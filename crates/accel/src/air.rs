@@ -1,0 +1,363 @@
+//! AIR — the accelerator intermediate representation.
+//!
+//! The gem5-SALAM analogue: accelerators are control/data-flow graphs
+//! (CDFGs) whose blocks execute with instruction-level parallelism bounded
+//! by functional-unit constraints, exactly the model SALAM derives from
+//! LLVM IR. Blocks take arguments (phi-style), so loops are block
+//! re-entries with updated arguments.
+
+use marvel_isa::AluOp;
+
+pub type NodeId = u32;
+pub const NODE_NONE: NodeId = u32::MAX;
+
+/// Reference to one of the accelerator's on-chip memories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemRef {
+    Spm(usize),
+    RegBank(usize),
+}
+
+/// Dataflow node operations. Floating-point values travel as `f64` bit
+/// patterns in the 64-bit dataflow values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NodeOp {
+    Const(u64),
+    /// Block argument `i`.
+    Arg(usize),
+    /// Integer ALU op (64-bit, RISC-V division semantics, no traps).
+    Alu(AluOp),
+    FAdd,
+    FSub,
+    FMul,
+    FDiv,
+    /// `(a < b) as u64` on f64 values.
+    FCmpLt,
+    /// Signed integer → f64.
+    ItoF,
+    /// f64 → signed integer (truncating).
+    FtoI,
+    /// `c != 0 ? a : b`.
+    Select,
+    /// Load `w` bytes from `mem[a]` (local byte address).
+    Load { mem: MemRef, w: u8 },
+    /// Store `w` bytes of `b` to `mem[a]`.
+    Store { mem: MemRef, w: u8 },
+}
+
+impl NodeOp {
+    /// Execution latency in cycles (memory latency added by the engine).
+    pub fn latency(self) -> u32 {
+        match self {
+            NodeOp::Const(_) | NodeOp::Arg(_) => 0,
+            NodeOp::Alu(op) => op.latency(),
+            NodeOp::FAdd | NodeOp::FSub => 4,
+            NodeOp::FMul => 5,
+            NodeOp::FDiv => 16,
+            NodeOp::FCmpLt => 2,
+            NodeOp::ItoF | NodeOp::FtoI => 2,
+            NodeOp::Select => 1,
+            NodeOp::Load { .. } => 0,
+            NodeOp::Store { .. } => 1,
+        }
+    }
+
+    /// Functional-unit class consumed when this node issues.
+    pub fn fu_class(self) -> FuClass {
+        match self {
+            NodeOp::Const(_) | NodeOp::Arg(_) => FuClass::Free,
+            NodeOp::Alu(_) | NodeOp::Select => FuClass::IntAlu,
+            NodeOp::FAdd | NodeOp::FSub | NodeOp::FCmpLt => FuClass::FpAdd,
+            NodeOp::FMul | NodeOp::FDiv => FuClass::FpMul,
+            NodeOp::ItoF | NodeOp::FtoI => FuClass::IntAlu,
+            NodeOp::Load { mem, .. } | NodeOp::Store { mem, .. } => FuClass::MemPort(mem),
+        }
+    }
+
+    pub fn is_store(self) -> bool {
+        matches!(self, NodeOp::Store { .. })
+    }
+
+    pub fn is_mem(self) -> Option<MemRef> {
+        match self {
+            NodeOp::Load { mem, .. } | NodeOp::Store { mem, .. } => Some(mem),
+            _ => None,
+        }
+    }
+}
+
+/// FU classes used by the per-cycle scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FuClass {
+    Free,
+    IntAlu,
+    FpAdd,
+    FpMul,
+    MemPort(MemRef),
+}
+
+/// One dataflow node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Node {
+    pub op: NodeOp,
+    pub a: NodeId,
+    pub b: NodeId,
+    pub c: NodeId,
+}
+
+/// Block terminator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Terminator {
+    /// Unconditional jump with block arguments.
+    Jump { target: usize, args: Vec<NodeId> },
+    /// Two-way branch on an integer condition node.
+    Branch { cond: NodeId, then_: (usize, Vec<NodeId>), else_: (usize, Vec<NodeId>) },
+    /// Computation finished.
+    Finish,
+}
+
+/// A block: dataflow nodes + terminator. `n_args` block arguments arrive
+/// from the predecessor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    pub n_args: usize,
+    pub nodes: Vec<Node>,
+    pub term: Terminator,
+}
+
+/// The whole accelerator CDFG. Block 0 is the entry; its arguments come
+/// from the MMR data registers.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Cdfg {
+    pub blocks: Vec<Block>,
+}
+
+impl Cdfg {
+    /// Structural validation: operand indices in range, terminator
+    /// arg counts match target `n_args`, arg nodes within `n_args`.
+    pub fn validate(&self) -> Result<(), String> {
+        for (bi, b) in self.blocks.iter().enumerate() {
+            for (ni, n) in b.nodes.iter().enumerate() {
+                for (slot, &o) in [n.a, n.b, n.c].iter().enumerate() {
+                    if o != NODE_NONE && o as usize >= ni {
+                        return Err(format!("block {bi} node {ni} operand {slot} refers forward"));
+                    }
+                }
+                if let NodeOp::Arg(i) = n.op {
+                    if i >= b.n_args {
+                        return Err(format!("block {bi} node {ni}: arg {i} out of range"));
+                    }
+                }
+            }
+            let check = |t: usize, args: &Vec<NodeId>| -> Result<(), String> {
+                let tb = self.blocks.get(t).ok_or(format!("block {bi}: bad target {t}"))?;
+                if tb.n_args != args.len() {
+                    return Err(format!("block {bi}: target {t} expects {} args, got {}", tb.n_args, args.len()));
+                }
+                for &a in args {
+                    if a as usize >= b.nodes.len() {
+                        return Err(format!("block {bi}: terminator arg {a} out of range"));
+                    }
+                }
+                Ok(())
+            };
+            match &b.term {
+                Terminator::Jump { target, args } => check(*target, args)?,
+                Terminator::Branch { cond, then_, else_ } => {
+                    if *cond as usize >= b.nodes.len() {
+                        return Err(format!("block {bi}: branch cond out of range"));
+                    }
+                    check(then_.0, &then_.1)?;
+                    check(else_.0, &else_.1)?;
+                }
+                Terminator::Finish => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builder for CDFGs.
+///
+/// ```
+/// use marvel_accel::air::{CdfgBuilder, MemRef};
+/// use marvel_isa::AluOp;
+///
+/// let mut g = CdfgBuilder::new();
+/// let entry = g.block(1); // one argument: element count
+/// g.select(entry);
+/// let n = g.arg(0);
+/// let zero = g.konst(0);
+/// let done = g.alu(AluOp::Sltu, zero, n);
+/// g.finish();
+/// let cdfg = g.build().unwrap();
+/// assert_eq!(cdfg.blocks.len(), 1);
+/// # let _ = done;
+/// ```
+#[derive(Debug, Default)]
+pub struct CdfgBuilder {
+    blocks: Vec<Block>,
+    cur: usize,
+}
+
+impl CdfgBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare a block with `n_args` arguments; returns its index.
+    pub fn block(&mut self, n_args: usize) -> usize {
+        self.blocks.push(Block { n_args, nodes: Vec::new(), term: Terminator::Finish });
+        self.blocks.len() - 1
+    }
+
+    /// Select the block subsequent node insertions go into.
+    pub fn select(&mut self, b: usize) {
+        self.cur = b;
+    }
+
+    fn push(&mut self, op: NodeOp, a: NodeId, b: NodeId, c: NodeId) -> NodeId {
+        let blk = &mut self.blocks[self.cur];
+        blk.nodes.push(Node { op, a, b, c });
+        (blk.nodes.len() - 1) as NodeId
+    }
+
+    pub fn konst(&mut self, v: u64) -> NodeId {
+        self.push(NodeOp::Const(v), NODE_NONE, NODE_NONE, NODE_NONE)
+    }
+
+    /// f64 constant (stored as bits).
+    pub fn fconst(&mut self, v: f64) -> NodeId {
+        self.konst(v.to_bits())
+    }
+
+    pub fn arg(&mut self, i: usize) -> NodeId {
+        self.push(NodeOp::Arg(i), NODE_NONE, NODE_NONE, NODE_NONE)
+    }
+
+    pub fn alu(&mut self, op: AluOp, a: NodeId, b: NodeId) -> NodeId {
+        self.push(NodeOp::Alu(op), a, b, NODE_NONE)
+    }
+
+    pub fn fadd(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.push(NodeOp::FAdd, a, b, NODE_NONE)
+    }
+
+    pub fn fsub(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.push(NodeOp::FSub, a, b, NODE_NONE)
+    }
+
+    pub fn fmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.push(NodeOp::FMul, a, b, NODE_NONE)
+    }
+
+    pub fn fdiv(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.push(NodeOp::FDiv, a, b, NODE_NONE)
+    }
+
+    pub fn fcmp_lt(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.push(NodeOp::FCmpLt, a, b, NODE_NONE)
+    }
+
+    pub fn itof(&mut self, a: NodeId) -> NodeId {
+        self.push(NodeOp::ItoF, a, NODE_NONE, NODE_NONE)
+    }
+
+    pub fn ftoi(&mut self, a: NodeId) -> NodeId {
+        self.push(NodeOp::FtoI, a, NODE_NONE, NODE_NONE)
+    }
+
+    pub fn select_val(&mut self, c: NodeId, a: NodeId, b: NodeId) -> NodeId {
+        self.push(NodeOp::Select, a, b, c)
+    }
+
+    pub fn load(&mut self, mem: MemRef, w: u8, addr: NodeId) -> NodeId {
+        self.push(NodeOp::Load { mem, w }, addr, NODE_NONE, NODE_NONE)
+    }
+
+    pub fn store(&mut self, mem: MemRef, w: u8, addr: NodeId, val: NodeId) -> NodeId {
+        self.push(NodeOp::Store { mem, w }, addr, val, NODE_NONE)
+    }
+
+    pub fn jump(&mut self, target: usize, args: &[NodeId]) {
+        self.blocks[self.cur].term = Terminator::Jump { target, args: args.to_vec() };
+    }
+
+    pub fn branch(&mut self, cond: NodeId, then_: usize, targs: &[NodeId], else_: usize, eargs: &[NodeId]) {
+        self.blocks[self.cur].term = Terminator::Branch {
+            cond,
+            then_: (then_, targs.to_vec()),
+            else_: (else_, eargs.to_vec()),
+        };
+    }
+
+    pub fn finish(&mut self) {
+        self.blocks[self.cur].term = Terminator::Finish;
+    }
+
+    /// Validate and produce the CDFG.
+    ///
+    /// # Errors
+    /// Returns the first structural problem found.
+    pub fn build(self) -> Result<Cdfg, String> {
+        let g = Cdfg { blocks: self.blocks };
+        g.validate()?;
+        Ok(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_validate() {
+        let mut g = CdfgBuilder::new();
+        let b0 = g.block(1);
+        let b1 = g.block(1);
+        g.select(b0);
+        let i = g.arg(0);
+        let one = g.konst(1);
+        let next = g.alu(AluOp::Add, i, one);
+        g.jump(b1, &[next]);
+        g.select(b1);
+        let _ = g.arg(0);
+        g.finish();
+        assert!(g.build().is_ok());
+    }
+
+    #[test]
+    fn forward_reference_rejected() {
+        let g = Cdfg {
+            blocks: vec![Block {
+                n_args: 0,
+                nodes: vec![Node { op: NodeOp::Alu(AluOp::Add), a: 1, b: NODE_NONE, c: NODE_NONE }],
+                term: Terminator::Finish,
+            }],
+        };
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn arg_count_mismatch_rejected() {
+        let mut g = CdfgBuilder::new();
+        let b0 = g.block(0);
+        let b1 = g.block(2);
+        g.select(b0);
+        let k = g.konst(1);
+        g.jump(b1, &[k]); // b1 wants 2 args
+        g.select(b1);
+        g.finish();
+        assert!(g.build().is_err());
+    }
+
+    #[test]
+    fn fu_classes() {
+        assert_eq!(NodeOp::FMul.fu_class(), FuClass::FpMul);
+        assert_eq!(NodeOp::Const(0).fu_class(), FuClass::Free);
+        assert!(matches!(
+            NodeOp::Load { mem: MemRef::Spm(0), w: 8 }.fu_class(),
+            FuClass::MemPort(MemRef::Spm(0))
+        ));
+    }
+}

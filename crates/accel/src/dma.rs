@@ -1,0 +1,135 @@
+//! DMA engine: moves data between system RAM and accelerator SRAMs with a
+//! modelled bandwidth, as in gem5-SALAM's cluster DMA devices.
+
+use crate::air::MemRef;
+use crate::engine::Accelerator;
+
+/// Transfer direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DmaDir {
+    /// RAM → SRAM.
+    ToSram,
+    /// SRAM → RAM.
+    ToRam,
+}
+
+/// One queued transfer. `ram_off` is a byte offset into the RAM slice the
+/// engine is ticked with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DmaJob {
+    pub dir: DmaDir,
+    pub ram_off: usize,
+    pub mem: MemRef,
+    pub mem_off: usize,
+    pub len: usize,
+}
+
+/// The DMA engine: processes jobs in order at `bandwidth` bytes/cycle.
+#[derive(Debug, Clone)]
+pub struct DmaEngine {
+    jobs: std::collections::VecDeque<DmaJob>,
+    progress: usize,
+    /// Bytes moved per cycle.
+    pub bandwidth: usize,
+    pub bytes_moved: u64,
+}
+
+impl DmaEngine {
+    pub fn new(bandwidth: usize) -> Self {
+        assert!(bandwidth > 0);
+        DmaEngine { jobs: Default::default(), progress: 0, bandwidth, bytes_moved: 0 }
+    }
+
+    pub fn push(&mut self, job: DmaJob) {
+        self.jobs.push_back(job);
+    }
+
+    pub fn busy(&self) -> bool {
+        !self.jobs.is_empty()
+    }
+
+    /// Advance one cycle; returns `false` on an out-of-range transfer.
+    pub fn tick(&mut self, ram: &mut [u8], accel: &mut Accelerator) -> bool {
+        let Some(job) = self.jobs.front().copied() else { return true };
+        let n = self.bandwidth.min(job.len - self.progress);
+        let ram_lo = job.ram_off + self.progress;
+        if ram_lo + n > ram.len() {
+            return false;
+        }
+        let mem_lo = job.mem_off + self.progress;
+        match job.dir {
+            DmaDir::ToSram => {
+                let chunk = ram[ram_lo..ram_lo + n].to_vec();
+                if accel.mem(job.mem).fill(mem_lo, &chunk).is_none() {
+                    return false;
+                }
+            }
+            DmaDir::ToRam => match accel.mem(job.mem).drain(mem_lo, n) {
+                Some(chunk) => ram[ram_lo..ram_lo + n].copy_from_slice(&chunk),
+                None => return false,
+            },
+        }
+        self.progress += n;
+        self.bytes_moved += n as u64;
+        if self.progress >= job.len {
+            self.jobs.pop_front();
+            self.progress = 0;
+        }
+        true
+    }
+
+    /// Run all queued jobs to completion; returns cycles consumed.
+    pub fn run_all(&mut self, ram: &mut [u8], accel: &mut Accelerator) -> Option<u64> {
+        let mut cycles = 0;
+        while self.busy() {
+            if !self.tick(ram, accel) {
+                return None;
+            }
+            cycles += 1;
+        }
+        Some(cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::air::CdfgBuilder;
+    use crate::engine::FuConfig;
+    use crate::sram::{Sram, SramKind};
+
+    fn dummy_accel() -> Accelerator {
+        let mut g = CdfgBuilder::new();
+        let b = g.block(0);
+        g.select(b);
+        g.finish();
+        let spm = Sram::new("S", SramKind::Spm, 64, 2);
+        Accelerator::new("d", g.build().unwrap(), FuConfig::default(), vec![spm], vec![], 0)
+    }
+
+    #[test]
+    fn roundtrip_transfer() {
+        let mut a = dummy_accel();
+        let mut ram = vec![0u8; 128];
+        for (i, b) in ram.iter_mut().enumerate().take(32) {
+            *b = i as u8;
+        }
+        let mut dma = DmaEngine::new(8);
+        dma.push(DmaJob { dir: DmaDir::ToSram, ram_off: 0, mem: MemRef::Spm(0), mem_off: 0, len: 32 });
+        let c1 = dma.run_all(&mut ram, &mut a).unwrap();
+        assert_eq!(c1, 4); // 32 bytes at 8 B/cycle
+        assert_eq!(a.spms[0].bytes()[..32], (0..32).map(|i| i as u8).collect::<Vec<_>>()[..]);
+        dma.push(DmaJob { dir: DmaDir::ToRam, ram_off: 64, mem: MemRef::Spm(0), mem_off: 0, len: 32 });
+        dma.run_all(&mut ram, &mut a).unwrap();
+        assert_eq!(ram[64..96], ram[0..32].to_vec()[..]);
+    }
+
+    #[test]
+    fn out_of_range_fails() {
+        let mut a = dummy_accel();
+        let mut ram = vec![0u8; 16];
+        let mut dma = DmaEngine::new(8);
+        dma.push(DmaJob { dir: DmaDir::ToSram, ram_off: 0, mem: MemRef::Spm(0), mem_off: 60, len: 16 });
+        assert!(dma.run_all(&mut ram, &mut a).is_none());
+    }
+}

@@ -1,0 +1,578 @@
+//! The accelerator compute unit: cycle-stepped CDFG execution with
+//! functional-unit constraints and per-memory port limits — the
+//! gem5-SALAM dynamic execution engine analogue.
+
+use crate::air::{Cdfg, FuClass, MemRef, NodeOp, Terminator, NODE_NONE};
+use crate::mmr::{Mmr, CTRL_START, MMR_CTRL, MMR_DATA0, MMR_STATUS, STATUS_DONE, STATUS_ERROR};
+use crate::sram::Sram;
+use marvel_isa::Isa;
+
+/// Functional-unit configuration — the Fig. 17 design-space axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuConfig {
+    pub int_alu: usize,
+    pub fp_add: usize,
+    pub fp_mul: usize,
+}
+
+impl FuConfig {
+    pub fn uniform(n: usize) -> Self {
+        FuConfig { int_alu: n, fp_add: n, fp_mul: n }
+    }
+
+    /// Analytic area estimate in arbitrary units (functional units only;
+    /// memories are added by [`Accelerator::area`]).
+    pub fn fu_area(&self) -> f64 {
+        self.int_alu as f64 * 1.0 + self.fp_add as f64 * 2.5 + self.fp_mul as f64 * 4.0
+    }
+}
+
+impl Default for FuConfig {
+    fn default() -> Self {
+        FuConfig::uniform(4)
+    }
+}
+
+/// Datapath error conditions (classified as Crash by the injector).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccelError {
+    /// A load/store fell outside its SPM/RegBank.
+    OutOfBounds { mem_is_spm: bool, mem_idx: usize, addr: u64 },
+}
+
+impl std::fmt::Display for AccelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AccelError::OutOfBounds { mem_is_spm, mem_idx, addr } => write!(
+                f,
+                "out-of-bounds access to {} {} at local address {addr:#x}",
+                if *mem_is_spm { "SPM" } else { "RegBank" },
+                mem_idx
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AccelError {}
+
+/// Externally visible execution state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccelState {
+    Idle,
+    Running,
+    Done,
+    Error(AccelError),
+}
+
+/// Per-run statistics.
+#[derive(Debug, Clone, Default)]
+pub struct AccelStats {
+    pub compute_cycles: u64,
+    pub nodes_executed: u64,
+    pub mem_reads: u64,
+    pub mem_writes: u64,
+    pub blocks_executed: u64,
+}
+
+#[derive(Debug, Clone)]
+struct BlockExec {
+    block: usize,
+    args: Vec<u64>,
+    vals: Vec<u64>,
+    done: Vec<bool>,
+    started: Vec<bool>,
+    /// (completion cycle, node index)
+    pending: Vec<(u64, u32)>,
+    remaining: usize,
+}
+
+/// A SALAM-style accelerator instance.
+#[derive(Debug, Clone)]
+pub struct Accelerator {
+    pub name: String,
+    pub cdfg: Cdfg,
+    pub fu: FuConfig,
+    pub spms: Vec<Sram>,
+    pub regbanks: Vec<Sram>,
+    pub mmr: Mmr,
+    state: AccelState,
+    exec: Option<BlockExec>,
+    cycle: u64,
+    /// Interrupt line (level); raised on completion, cleared by MMR access.
+    pub irq: bool,
+    pub stats: AccelStats,
+}
+
+impl Accelerator {
+    pub fn new(name: &str, cdfg: Cdfg, fu: FuConfig, spms: Vec<Sram>, regbanks: Vec<Sram>, n_args: usize) -> Self {
+        cdfg.validate().expect("invalid CDFG");
+        assert_eq!(cdfg.blocks[0].n_args, n_args, "entry block arg count mismatch");
+        Accelerator {
+            name: name.to_string(),
+            cdfg,
+            fu,
+            spms,
+            regbanks,
+            mmr: Mmr::new(n_args),
+            state: AccelState::Idle,
+            exec: None,
+            cycle: 0,
+            irq: false,
+            stats: AccelStats::default(),
+        }
+    }
+
+    pub fn state(&self) -> AccelState {
+        self.state
+    }
+
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Look up a memory by reference.
+    pub fn mem(&mut self, m: MemRef) -> &mut Sram {
+        match m {
+            MemRef::Spm(i) => &mut self.spms[i],
+            MemRef::RegBank(i) => &mut self.regbanks[i],
+        }
+    }
+
+    pub fn mem_ref(&self, m: MemRef) -> &Sram {
+        match m {
+            MemRef::Spm(i) => &self.spms[i],
+            MemRef::RegBank(i) => &self.regbanks[i],
+        }
+    }
+
+    /// Total area in arbitrary units: FUs + on-chip SRAM.
+    pub fn area(&self) -> f64 {
+        let sram: usize = self.spms.iter().chain(&self.regbanks).map(|s| s.size()).sum();
+        self.fu.fu_area() + sram as f64 * 0.004
+    }
+
+    /// Start computation directly (standalone mode), passing entry-block
+    /// arguments. Equivalent to writing the data MMRs then CTRL.start.
+    pub fn start(&mut self, args: &[u64]) {
+        for (i, &a) in args.iter().enumerate() {
+            self.mmr.poke(MMR_DATA0 + i, a);
+        }
+        self.mmr.poke(MMR_CTRL, CTRL_START);
+    }
+
+    /// Reset to idle (keeps memory contents).
+    pub fn reset(&mut self) {
+        self.state = AccelState::Idle;
+        self.exec = None;
+        self.mmr.poke(MMR_CTRL, 0);
+        self.mmr.poke(MMR_STATUS, 0);
+        self.irq = false;
+        self.stats = AccelStats::default();
+    }
+
+    fn enter_block(&mut self, block: usize, args: Vec<u64>) {
+        let b = &self.cdfg.blocks[block];
+        let n = b.nodes.len();
+        self.stats.blocks_executed += 1;
+        self.exec = Some(BlockExec {
+            block,
+            args,
+            vals: vec![0; n],
+            done: vec![false; n],
+            started: vec![false; n],
+            pending: Vec::new(),
+            remaining: n,
+        });
+    }
+
+    /// Advance one cycle.
+    pub fn tick(&mut self) -> AccelState {
+        self.cycle += 1;
+        match self.state {
+            AccelState::Idle => {
+                // MMR-triggered start: entry args come from the data MMRs
+                // (reads are monitored — an injected MMR fault activates
+                // here).
+                if self.mmr.peek(MMR_CTRL) & CTRL_START != 0 {
+                    let n_args = self.cdfg.blocks[0].n_args;
+                    let args: Vec<u64> =
+                        (0..n_args).map(|i| self.mmr.read(MMR_DATA0 + i).unwrap_or(0)).collect();
+                    self.mmr.poke(MMR_CTRL, 0);
+                    self.mmr.poke(MMR_STATUS, 0);
+                    self.state = AccelState::Running;
+                    self.enter_block(0, args);
+                }
+            }
+            AccelState::Running => {
+                self.stats.compute_cycles += 1;
+                self.step_block();
+            }
+            AccelState::Done | AccelState::Error(_) => {}
+        }
+        self.state
+    }
+
+    fn finish_with(&mut self, st: AccelState) {
+        self.state = st;
+        self.exec = None;
+        let status = match st {
+            AccelState::Done => STATUS_DONE,
+            AccelState::Error(_) => STATUS_DONE | STATUS_ERROR,
+            _ => 0,
+        };
+        self.mmr.poke(MMR_STATUS, status);
+        self.irq = true;
+    }
+
+    fn step_block(&mut self) {
+        let now = self.cycle;
+        let mut ex = self.exec.take().expect("running without exec state");
+
+        // 1. retire completions.
+        let mut i = 0;
+        while i < ex.pending.len() {
+            if ex.pending[i].0 <= now {
+                let (_, ni) = ex.pending.swap_remove(i);
+                ex.done[ni as usize] = true;
+                ex.remaining -= 1;
+            } else {
+                i += 1;
+            }
+        }
+
+        // 2. block complete → terminator.
+        if ex.remaining == 0 {
+            let term = self.cdfg.blocks[ex.block].term.clone();
+            match term {
+                Terminator::Finish => {
+                    self.finish_with(AccelState::Done);
+                    return;
+                }
+                Terminator::Jump { target, args } => {
+                    let vals: Vec<u64> = args.iter().map(|&a| ex.vals[a as usize]).collect();
+                    self.enter_block(target, vals);
+                    return;
+                }
+                Terminator::Branch { cond, then_, else_ } => {
+                    let (t, args) = if ex.vals[cond as usize] != 0 { then_ } else { else_ };
+                    let vals: Vec<u64> = args.iter().map(|&a| ex.vals[a as usize]).collect();
+                    self.enter_block(t, vals);
+                    return;
+                }
+            }
+        }
+
+        // 3. issue ready nodes under FU constraints.
+        let mut int_left = self.fu.int_alu;
+        let mut fpa_left = self.fu.fp_add;
+        let mut fpm_left = self.fu.fp_mul;
+        let mut mem_used: Vec<(MemRef, usize)> = Vec::new();
+
+        let block = ex.block;
+        let n_nodes = self.cdfg.blocks[block].nodes.len();
+        for ni in 0..n_nodes {
+            if ex.started[ni] {
+                continue;
+            }
+            let node = self.cdfg.blocks[block].nodes[ni];
+            // Operand readiness.
+            let ready = [node.a, node.b, node.c]
+                .iter()
+                .all(|&o| o == NODE_NONE || ex.done[o as usize]);
+            if !ready {
+                continue;
+            }
+            // Per-memory ordering: loads wait for earlier unfinished
+            // stores (RAW) and stores wait for earlier unfinished loads
+            // (WAR); same-kind accesses proceed in parallel. Designs must
+            // not issue two same-block stores to one address (WAW), which
+            // none of the MachSuite kernels do.
+            if let Some(m) = node.op.is_mem() {
+                let blocked = self.cdfg.blocks[block].nodes[..ni].iter().enumerate().any(|(pi, p)| {
+                    p.op.is_mem() == Some(m)
+                        && !ex.done[pi]
+                        && (p.op.is_store() != node.op.is_store())
+                });
+                if blocked {
+                    continue;
+                }
+            }
+            // FU availability.
+            match node.op.fu_class() {
+                FuClass::Free => {}
+                FuClass::IntAlu => {
+                    if int_left == 0 {
+                        continue;
+                    }
+                    int_left -= 1;
+                }
+                FuClass::FpAdd => {
+                    if fpa_left == 0 {
+                        continue;
+                    }
+                    fpa_left -= 1;
+                }
+                FuClass::FpMul => {
+                    if fpm_left == 0 {
+                        continue;
+                    }
+                    fpm_left -= 1;
+                }
+                FuClass::MemPort(m) => {
+                    let ports = self.mem_ref(m).ports;
+                    let used = mem_used.iter_mut().find(|(mm, _)| *mm == m);
+                    match used {
+                        Some((_, u)) => {
+                            if *u >= ports {
+                                continue;
+                            }
+                            *u += 1;
+                        }
+                        None => mem_used.push((m, 1)),
+                    }
+                }
+            }
+
+            // Execute.
+            ex.started[ni] = true;
+            self.stats.nodes_executed += 1;
+            let a = if node.a == NODE_NONE { 0 } else { ex.vals[node.a as usize] };
+            let b = if node.b == NODE_NONE { 0 } else { ex.vals[node.b as usize] };
+            let c = if node.c == NODE_NONE { 0 } else { ex.vals[node.c as usize] };
+            let mut lat = node.op.latency();
+            let val = match node.op {
+                NodeOp::Const(v) => v,
+                NodeOp::Arg(k) => ex.args[k],
+                NodeOp::Alu(op) => op.eval(a, b, Isa::RiscV).expect("riscv alu never traps"),
+                NodeOp::FAdd => (f64::from_bits(a) + f64::from_bits(b)).to_bits(),
+                NodeOp::FSub => (f64::from_bits(a) - f64::from_bits(b)).to_bits(),
+                NodeOp::FMul => (f64::from_bits(a) * f64::from_bits(b)).to_bits(),
+                NodeOp::FDiv => (f64::from_bits(a) / f64::from_bits(b)).to_bits(),
+                NodeOp::FCmpLt => (f64::from_bits(a) < f64::from_bits(b)) as u64,
+                NodeOp::ItoF => ((a as i64) as f64).to_bits(),
+                NodeOp::FtoI => (f64::from_bits(a) as i64) as u64,
+                NodeOp::Select => {
+                    if c != 0 {
+                        a
+                    } else {
+                        b
+                    }
+                }
+                NodeOp::Load { mem, w } => {
+                    self.stats.mem_reads += 1;
+                    lat += self.mem_ref(mem).kind.read_latency();
+                    match self.mem(mem).read(a, w as usize) {
+                        Some(v) => v,
+                        None => {
+                            let (is_spm, idx) = match mem {
+                                MemRef::Spm(i) => (true, i),
+                                MemRef::RegBank(i) => (false, i),
+                            };
+                            self.finish_with(AccelState::Error(AccelError::OutOfBounds {
+                                mem_is_spm: is_spm,
+                                mem_idx: idx,
+                                addr: a,
+                            }));
+                            return;
+                        }
+                    }
+                }
+                NodeOp::Store { mem, w } => {
+                    self.stats.mem_writes += 1;
+                    match self.mem(mem).write(a, w as usize, b) {
+                        Some(()) => 0,
+                        None => {
+                            let (is_spm, idx) = match mem {
+                                MemRef::Spm(i) => (true, i),
+                                MemRef::RegBank(i) => (false, i),
+                            };
+                            self.finish_with(AccelState::Error(AccelError::OutOfBounds {
+                                mem_is_spm: is_spm,
+                                mem_idx: idx,
+                                addr: a,
+                            }));
+                            return;
+                        }
+                    }
+                }
+            };
+            ex.vals[ni] = val;
+            if lat == 0 {
+                ex.done[ni] = true;
+                ex.remaining -= 1;
+            } else {
+                ex.pending.push((now + lat as u64, ni as u32));
+            }
+        }
+
+        self.exec = Some(ex);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::air::CdfgBuilder;
+    use marvel_isa::AluOp;
+    use crate::sram::SramKind;
+
+    /// Sum the first `n` u64 words of SPM0 into SPM1[0].
+    fn sum_accel(fu: FuConfig) -> Accelerator {
+        let mut g = CdfgBuilder::new();
+        let entry = g.block(1); // arg0 = n
+        let body = g.block(3); // i, n, acc
+        let done = g.block(1); // acc
+        g.select(entry);
+        let n = g.arg(0);
+        let z = g.konst(0);
+        g.jump(body, &[z, n, z]);
+        g.select(body);
+        let i = g.arg(0);
+        let n = g.arg(1);
+        let acc = g.arg(2);
+        let eight = g.konst(8);
+        let addr = g.alu(AluOp::Mul, i, eight);
+        let v = g.load(MemRef::Spm(0), 8, addr);
+        let acc2 = g.alu(AluOp::Add, acc, v);
+        let one = g.konst(1);
+        let i2 = g.alu(AluOp::Add, i, one);
+        let more = g.alu(AluOp::Sltu, i2, n);
+        g.branch(more, body, &[i2, n, acc2], done, &[acc2]);
+        g.select(done);
+        let acc = g.arg(0);
+        let z = g.konst(0);
+        g.store(MemRef::Spm(1), 8, z, acc);
+        g.finish();
+
+        let spm0 = Sram::new("IN", SramKind::Spm, 256, 2);
+        let spm1 = Sram::new("OUT", SramKind::Spm, 8, 1);
+        Accelerator::new("sum", g.build().unwrap(), fu, vec![spm0, spm1], vec![], 1)
+    }
+
+    fn run(a: &mut Accelerator, max: u64) -> AccelState {
+        for _ in 0..max {
+            match a.tick() {
+                AccelState::Running | AccelState::Idle => {}
+                s => return s,
+            }
+        }
+        panic!("accelerator did not finish");
+    }
+
+    #[test]
+    fn computes_sum() {
+        let mut a = sum_accel(FuConfig::default());
+        for i in 0..16u64 {
+            a.spms[0].write(i * 8, 8, i + 1).unwrap();
+        }
+        a.start(&[16]);
+        let st = run(&mut a, 10_000);
+        assert_eq!(st, AccelState::Done);
+        assert_eq!(a.spms[1].read(0, 8).unwrap(), 136); // 1+..+16
+        assert!(a.stats.compute_cycles > 16);
+        assert!(a.irq);
+    }
+
+    /// A block with 16 independent FP multiplies: FU-bound, not
+    /// latency-bound.
+    fn parallel_accel(fu: FuConfig) -> Accelerator {
+        let mut g = CdfgBuilder::new();
+        let b = g.block(0);
+        g.select(b);
+        let mut prods = Vec::new();
+        for i in 0..16u64 {
+            let addr = g.konst(i * 8);
+            let v = g.load(MemRef::Spm(0), 8, addr);
+            let k = g.fconst(1.5);
+            prods.push(g.fmul(v, k));
+        }
+        for (i, p) in prods.into_iter().enumerate() {
+            let addr = g.konst(i as u64 * 8);
+            g.store(MemRef::Spm(1), 8, addr, p);
+        }
+        g.finish();
+        let spm0 = Sram::new("IN", SramKind::Spm, 128, 4);
+        let spm1 = Sram::new("OUT", SramKind::Spm, 128, 4);
+        Accelerator::new("par", g.build().unwrap(), fu, vec![spm0, spm1], vec![], 0)
+    }
+
+    #[test]
+    fn fewer_fus_run_slower() {
+        // A serial loop is latency-bound (FU count irrelevant); a parallel
+        // block is FU-bound. Check both properties.
+        let mut fast = parallel_accel(FuConfig::uniform(16));
+        let mut slow = parallel_accel(FuConfig::uniform(1));
+        for a in [&mut fast, &mut slow] {
+            for i in 0..16u64 {
+                a.spms[0].write(i * 8, 8, 1.0f64.to_bits()).unwrap();
+            }
+            a.start(&[]);
+            run(a, 100_000);
+        }
+        assert!(
+            slow.stats.compute_cycles > fast.stats.compute_cycles,
+            "slow {} vs fast {}",
+            slow.stats.compute_cycles,
+            fast.stats.compute_cycles
+        );
+        assert_eq!(slow.spms[1].read(0, 8), Some(1.5f64.to_bits()));
+
+        let mut s1 = sum_accel(FuConfig::uniform(8));
+        let mut s2 = sum_accel(FuConfig::uniform(2));
+        for a in [&mut s1, &mut s2] {
+            for i in 0..16u64 {
+                a.spms[0].write(i * 8, 8, 1).unwrap();
+            }
+            a.start(&[16]);
+            run(a, 100_000);
+        }
+        // Serial loop: nearly identical runtimes.
+        let (c1, c2) = (s1.stats.compute_cycles as i64, s2.stats.compute_cycles as i64);
+        assert!((c1 - c2).abs() <= c1 / 4, "serial loop should be latency-bound: {c1} vs {c2}");
+    }
+
+    #[test]
+    fn out_of_bounds_is_error() {
+        let mut a = sum_accel(FuConfig::default());
+        a.start(&[64]); // 64*8 = 512 > 256-byte SPM
+        let st = run(&mut a, 100_000);
+        assert!(matches!(st, AccelState::Error(_)));
+        assert_eq!(a.mmr.peek(crate::mmr::MMR_STATUS) & STATUS_ERROR, STATUS_ERROR);
+    }
+
+    #[test]
+    fn spm_fault_changes_result() {
+        let mut a = sum_accel(FuConfig::default());
+        for i in 0..8u64 {
+            a.spms[0].write(i * 8, 8, 2).unwrap();
+        }
+        a.spms[0].flip_bit(0); // word 0 bit 0: 2 -> 3
+        a.start(&[8]);
+        run(&mut a, 10_000);
+        assert_eq!(a.spms[1].read(0, 8).unwrap(), 17);
+        assert_eq!(a.spms[0].fate(), Some(crate::sram::SramFate::Read));
+    }
+
+    #[test]
+    fn restart_after_reset() {
+        let mut a = sum_accel(FuConfig::default());
+        for i in 0..4u64 {
+            a.spms[0].write(i * 8, 8, 5).unwrap();
+        }
+        a.start(&[4]);
+        run(&mut a, 10_000);
+        let c1 = a.stats.compute_cycles;
+        a.reset();
+        a.start(&[4]);
+        let st = run(&mut a, 10_000);
+        assert_eq!(st, AccelState::Done);
+        assert_eq!(a.stats.compute_cycles, c1, "deterministic re-execution");
+    }
+
+    #[test]
+    fn area_grows_with_fus_and_srams() {
+        let small = sum_accel(FuConfig::uniform(1));
+        let big = sum_accel(FuConfig::uniform(16));
+        assert!(big.area() > small.area());
+    }
+}

@@ -1,0 +1,154 @@
+//! Memory-mapped registers: the accelerator's host interface (control,
+//! status, data/argument registers) — itself a fault-injection target.
+
+use crate::sram::SramFate;
+
+/// Register indices.
+pub const MMR_CTRL: usize = 0;
+pub const MMR_STATUS: usize = 1;
+/// First data/argument register.
+pub const MMR_DATA0: usize = 2;
+
+/// CTRL bit: start computation.
+pub const CTRL_START: u64 = 1;
+/// STATUS bit: computation finished.
+pub const STATUS_DONE: u64 = 1;
+/// STATUS bit: the datapath raised an error (e.g. out-of-bounds access).
+pub const STATUS_ERROR: u64 = 2;
+
+/// An MMR block of 64-bit registers.
+#[derive(Debug, Clone)]
+pub struct Mmr {
+    regs: Vec<u64>,
+    stuck: Vec<(u64, bool)>,
+    armed: Option<(usize, SramFate)>,
+}
+
+impl Mmr {
+    pub fn new(n_data: usize) -> Self {
+        Mmr { regs: vec![0; MMR_DATA0 + n_data], stuck: Vec::new(), armed: None }
+    }
+
+    pub fn len(&self) -> usize {
+        self.regs.len()
+    }
+
+    /// Grow the register block so at least `n_data` data registers exist
+    /// (hosted configurations need extra registers for DMA addresses).
+    pub fn ensure_data_regs(&mut self, n_data: usize) {
+        let need = MMR_DATA0 + n_data;
+        if self.regs.len() < need {
+            self.regs.resize(need, 0);
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.regs.is_empty()
+    }
+
+    pub fn read(&mut self, idx: usize) -> Option<u64> {
+        if idx >= self.regs.len() {
+            return None;
+        }
+        if let Some((r, fate)) = &mut self.armed {
+            if *r == idx && *fate == SramFate::Pending {
+                *fate = SramFate::Read;
+            }
+        }
+        Some(self.regs[idx])
+    }
+
+    pub fn write(&mut self, idx: usize, v: u64) -> Option<()> {
+        if idx >= self.regs.len() {
+            return None;
+        }
+        if let Some((r, fate)) = &mut self.armed {
+            if *r == idx && *fate == SramFate::Pending {
+                *fate = SramFate::Overwritten;
+            }
+        }
+        let mut v = v;
+        for &(bit, value) in &self.stuck {
+            if (bit / 64) as usize == idx {
+                let m = 1u64 << (bit % 64);
+                if value {
+                    v |= m;
+                } else {
+                    v &= !m;
+                }
+            }
+        }
+        self.regs[idx] = v;
+        Some(())
+    }
+
+    /// Internal (non-monitored) peek used by the engine.
+    pub fn peek(&self, idx: usize) -> u64 {
+        self.regs[idx]
+    }
+
+    /// Internal set used by the engine (status updates).
+    pub fn poke(&mut self, idx: usize, v: u64) {
+        self.regs[idx] = v;
+    }
+
+    pub fn bit_len(&self) -> u64 {
+        self.regs.len() as u64 * 64
+    }
+
+    pub fn flip_bit(&mut self, bit: u64) -> SramFate {
+        let idx = (bit / 64) as usize;
+        self.regs[idx] ^= 1 << (bit % 64);
+        self.armed = Some((idx, SramFate::Pending));
+        SramFate::Pending
+    }
+
+    pub fn set_stuck(&mut self, bit: u64, value: bool) {
+        self.stuck.push((bit, value));
+        let idx = (bit / 64) as usize;
+        let m = 1u64 << (bit % 64);
+        if value {
+            self.regs[idx] |= m;
+        } else {
+            self.regs[idx] &= !m;
+        }
+        self.armed = Some((idx, SramFate::Pending));
+    }
+
+    pub fn fate(&self) -> Option<SramFate> {
+        self.armed.map(|(_, f)| f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_and_bounds() {
+        let mut m = Mmr::new(4);
+        assert_eq!(m.len(), 6);
+        m.write(MMR_DATA0, 0x1234).unwrap();
+        assert_eq!(m.read(MMR_DATA0), Some(0x1234));
+        assert!(m.write(6, 0).is_none());
+        assert!(m.read(99).is_none());
+    }
+
+    #[test]
+    fn flips_and_fate() {
+        let mut m = Mmr::new(1);
+        m.write(MMR_DATA0, 0).unwrap();
+        m.flip_bit((MMR_DATA0 as u64) * 64 + 5);
+        assert_eq!(m.peek(MMR_DATA0), 32);
+        m.read(MMR_DATA0).unwrap();
+        assert_eq!(m.fate(), Some(SramFate::Read));
+    }
+
+    #[test]
+    fn stuck_applies_on_write() {
+        let mut m = Mmr::new(1);
+        m.set_stuck((MMR_DATA0 as u64) * 64, true);
+        m.write(MMR_DATA0, 0).unwrap();
+        assert_eq!(m.peek(MMR_DATA0) & 1, 1);
+    }
+}

@@ -1,0 +1,229 @@
+//! On-chip SRAM arrays: scratchpad memories (SPMs) and register banks.
+//!
+//! These are the paper's DSA injection targets (Table IV). Register banks
+//! behave like SPMs but with a delta delay between write and read
+//! availability, modelled as one extra cycle of read latency.
+
+/// Fate of the armed (injected) bit — mirrors the CPU-side contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SramFate {
+    #[default]
+    Pending,
+    Read,
+    Overwritten,
+}
+
+/// Kind of on-chip memory (affects latency and the Table IV "Memory Type"
+/// column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SramKind {
+    Spm,
+    RegBank,
+}
+
+impl SramKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            SramKind::Spm => "SPM",
+            SramKind::RegBank => "RegBank",
+        }
+    }
+
+    /// Read latency in cycles (RegBanks pay the delta delay).
+    pub fn read_latency(self) -> u32 {
+        match self {
+            SramKind::Spm => 1,
+            SramKind::RegBank => 2,
+        }
+    }
+}
+
+/// A named, fault-injectable on-chip memory.
+#[derive(Debug, Clone)]
+pub struct Sram {
+    pub name: String,
+    pub kind: SramKind,
+    bytes: Vec<u8>,
+    stuck: Vec<(u64, bool)>,
+    armed: Option<(usize, SramFate)>,
+    /// Parallel access ports (per-cycle access limit).
+    pub ports: usize,
+}
+
+impl Sram {
+    pub fn new(name: &str, kind: SramKind, size: usize, ports: usize) -> Self {
+        Sram { name: name.to_string(), kind, bytes: vec![0; size], stuck: Vec::new(), armed: None, ports }
+    }
+
+    pub fn size(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Read `n ≤ 8` bytes at `off`.
+    ///
+    /// Returns `None` when the access runs out of bounds (the accelerator
+    /// raises an error — a Crash in fault-effect terms).
+    pub fn read(&mut self, off: u64, n: usize) -> Option<u64> {
+        let off = off as usize;
+        if off + n > self.bytes.len() {
+            return None;
+        }
+        if let Some((b, fate)) = &mut self.armed {
+            if *fate == SramFate::Pending && *b >= off && *b < off + n {
+                *fate = SramFate::Read;
+            }
+        }
+        let mut out = [0u8; 8];
+        out[..n].copy_from_slice(&self.bytes[off..off + n]);
+        Some(u64::from_le_bytes(out))
+    }
+
+    /// Write `n ≤ 8` bytes at `off`.
+    pub fn write(&mut self, off: u64, n: usize, val: u64) -> Option<()> {
+        let off = off as usize;
+        if off + n > self.bytes.len() {
+            return None;
+        }
+        if let Some((b, fate)) = &mut self.armed {
+            if *fate == SramFate::Pending && *b >= off && *b < off + n {
+                *fate = SramFate::Overwritten;
+            }
+        }
+        self.bytes[off..off + n].copy_from_slice(&val.to_le_bytes()[..n]);
+        self.apply_stuck_range(off, n);
+        Some(())
+    }
+
+    /// Bulk copy in (DMA fill).
+    pub fn fill(&mut self, off: usize, data: &[u8]) -> Option<()> {
+        if off + data.len() > self.bytes.len() {
+            return None;
+        }
+        if let Some((b, fate)) = &mut self.armed {
+            if *fate == SramFate::Pending && *b >= off && *b < off + data.len() {
+                *fate = SramFate::Overwritten;
+            }
+        }
+        self.bytes[off..off + data.len()].copy_from_slice(data);
+        self.apply_stuck_range(off, data.len());
+        Some(())
+    }
+
+    /// Bulk copy out (DMA drain). Marks the range as read.
+    pub fn drain(&mut self, off: usize, len: usize) -> Option<Vec<u8>> {
+        if off + len > self.bytes.len() {
+            return None;
+        }
+        if let Some((b, fate)) = &mut self.armed {
+            if *fate == SramFate::Pending && *b >= off && *b < off + len {
+                *fate = SramFate::Read;
+            }
+        }
+        Some(self.bytes[off..off + len].to_vec())
+    }
+
+    /// Raw contents (tests/verification).
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    // ---- fault injection ----
+
+    pub fn bit_len(&self) -> u64 {
+        self.bytes.len() as u64 * 8
+    }
+
+    pub fn flip_bit(&mut self, bit: u64) -> SramFate {
+        let byte = (bit / 8) as usize;
+        self.bytes[byte] ^= 1 << (bit % 8);
+        self.armed = Some((byte, SramFate::Pending));
+        SramFate::Pending
+    }
+
+    pub fn set_stuck(&mut self, bit: u64, value: bool) {
+        self.stuck.push((bit, value));
+        let byte = (bit / 8) as usize;
+        let mask = 1u8 << (bit % 8);
+        if value {
+            self.bytes[byte] |= mask;
+        } else {
+            self.bytes[byte] &= !mask;
+        }
+        self.armed = Some((byte, SramFate::Pending));
+    }
+
+    pub fn fate(&self) -> Option<SramFate> {
+        self.armed.map(|(_, f)| f)
+    }
+
+    fn apply_stuck_range(&mut self, off: usize, n: usize) {
+        for &(bit, value) in &self.stuck {
+            let byte = (bit / 8) as usize;
+            if byte >= off && byte < off + n {
+                let mask = 1u8 << (bit % 8);
+                if value {
+                    self.bytes[byte] |= mask;
+                } else {
+                    self.bytes[byte] &= !mask;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut s = Sram::new("t", SramKind::Spm, 64, 2);
+        s.write(8, 8, 0x1122_3344_5566_7788).unwrap();
+        assert_eq!(s.read(8, 8).unwrap(), 0x1122_3344_5566_7788);
+        assert_eq!(s.read(8, 2).unwrap(), 0x7788);
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let mut s = Sram::new("t", SramKind::Spm, 16, 1);
+        assert!(s.read(12, 8).is_none());
+        assert!(s.write(16, 1, 0).is_none());
+        assert!(s.fill(10, &[0; 8]).is_none());
+    }
+
+    #[test]
+    fn flip_and_fate_tracking() {
+        let mut s = Sram::new("t", SramKind::Spm, 16, 1);
+        s.flip_bit(9); // byte 1, bit 1
+        assert_eq!(s.bytes()[1], 2);
+        assert_eq!(s.fate(), Some(SramFate::Pending));
+        s.read(0, 8);
+        assert_eq!(s.fate(), Some(SramFate::Read));
+    }
+
+    #[test]
+    fn overwrite_masks_fault() {
+        let mut s = Sram::new("t", SramKind::Spm, 16, 1);
+        s.flip_bit(0);
+        s.write(0, 1, 0xAA);
+        assert_eq!(s.fate(), Some(SramFate::Overwritten));
+    }
+
+    #[test]
+    fn dma_fill_drain() {
+        let mut s = Sram::new("t", SramKind::RegBank, 16, 1);
+        s.fill(4, &[1, 2, 3, 4]).unwrap();
+        assert_eq!(s.drain(4, 4).unwrap(), vec![1, 2, 3, 4]);
+        assert_eq!(SramKind::RegBank.read_latency(), 2);
+    }
+
+    #[test]
+    fn stuck_bit_reasserts() {
+        let mut s = Sram::new("t", SramKind::Spm, 8, 1);
+        s.set_stuck(3, true);
+        s.write(0, 1, 0);
+        assert_eq!(s.read(0, 1).unwrap() & 8, 8);
+        s.fill(0, &[0]).unwrap();
+        assert_eq!(s.read(0, 1).unwrap() & 8, 8);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property tests on the accelerator engine: schedule determinism,
+//! FU-count result-invariance, and SRAM fault algebra.
+
+use marvel_accel::air::{CdfgBuilder, MemRef};
+use marvel_accel::{AccelState, Accelerator, FuConfig, Sram, SramKind};
+use marvel_isa::AluOp;
+use proptest::prelude::*;
+
+/// acc = Σ (in[i] * k + c) over n elements, result in OUT[0].
+fn mac_accel(fu: FuConfig, n: u64, k: u64, c: u64) -> Accelerator {
+    let mut g = CdfgBuilder::new();
+    let entry = g.block(0);
+    let body = g.block(2);
+    let done = g.block(1);
+    g.select(entry);
+    let z = g.konst(0);
+    g.jump(body, &[z, z]);
+    g.select(body);
+    let i = g.arg(0);
+    let acc = g.arg(1);
+    let eight = g.konst(8);
+    let off = g.alu(AluOp::Mul, i, eight);
+    let v = g.load(MemRef::Spm(0), 8, off);
+    let kk = g.konst(k);
+    let prod = g.alu(AluOp::Mul, v, kk);
+    let cc = g.konst(c);
+    let term = g.alu(AluOp::Add, prod, cc);
+    let acc2 = g.alu(AluOp::Add, acc, term);
+    let one = g.konst(1);
+    let i2 = g.alu(AluOp::Add, i, one);
+    let nn = g.konst(n);
+    let more = g.alu(AluOp::Sltu, i2, nn);
+    g.branch(more, body, &[i2, acc2], done, &[acc2]);
+    g.select(done);
+    let acc = g.arg(0);
+    let z = g.konst(0);
+    g.store(MemRef::Spm(1), 8, z, acc);
+    g.finish();
+    Accelerator::new(
+        "mac",
+        g.build().unwrap(),
+        fu,
+        vec![Sram::new("IN", SramKind::Spm, 512, 2), Sram::new("OUT", SramKind::Spm, 8, 1)],
+        vec![],
+        0,
+    )
+}
+
+fn run_to_done(a: &mut Accelerator) -> u64 {
+    a.start(&[]);
+    for _ in 0..2_000_000u64 {
+        match a.tick() {
+            AccelState::Done => return a.spms[1].read(0, 8).unwrap(),
+            AccelState::Error(e) => panic!("accel error: {e}"),
+            _ => {}
+        }
+    }
+    panic!("accel did not finish");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn result_matches_host_and_is_fu_invariant(
+        vals in prop::collection::vec(any::<u32>(), 1..32),
+        k in 1u64..1000,
+        c in 0u64..1000,
+        fus in 1usize..8,
+    ) {
+        let n = vals.len() as u64;
+        let expect: u64 = vals
+            .iter()
+            .fold(0u64, |acc, &v| acc.wrapping_add((v as u64).wrapping_mul(k).wrapping_add(c)));
+
+        let mut small = mac_accel(FuConfig::uniform(fus), n, k, c);
+        let mut big = mac_accel(FuConfig::uniform(16), n, k, c);
+        for (i, &v) in vals.iter().enumerate() {
+            small.spms[0].write(i as u64 * 8, 8, v as u64).unwrap();
+            big.spms[0].write(i as u64 * 8, 8, v as u64).unwrap();
+        }
+        let r1 = run_to_done(&mut small);
+        let r2 = run_to_done(&mut big);
+        prop_assert_eq!(r1, expect);
+        prop_assert_eq!(r2, expect);
+    }
+
+    #[test]
+    fn cycle_counts_deterministic(seed in any::<u64>()) {
+        let n = 8 + (seed % 16);
+        let mut a = mac_accel(FuConfig::default(), n, 3, 1);
+        let mut b = mac_accel(FuConfig::default(), n, 3, 1);
+        for i in 0..n {
+            a.spms[0].write(i * 8, 8, seed ^ i).unwrap();
+            b.spms[0].write(i * 8, 8, seed ^ i).unwrap();
+        }
+        run_to_done(&mut a);
+        run_to_done(&mut b);
+        prop_assert_eq!(a.stats.compute_cycles, b.stats.compute_cycles);
+        prop_assert_eq!(a.stats.nodes_executed, b.stats.nodes_executed);
+    }
+
+    #[test]
+    fn double_flip_is_identity(bytes in 8u64..512, bit in 0u64..64) {
+        let mut s = Sram::new("t", SramKind::Spm, 512, 2);
+        s.write(0, 8, 0xDEAD_BEEF_CAFE_F00D).unwrap();
+        let snapshot: Vec<u8> = s.bytes().to_vec();
+        let target = (bytes * 8 + bit) % s.bit_len();
+        s.flip_bit(target);
+        s.flip_bit(target);
+        prop_assert_eq!(s.bytes(), &snapshot[..]);
+    }
+}

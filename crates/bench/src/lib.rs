@@ -1,0 +1,21 @@
+//! # marvel-bench
+//!
+//! Criterion micro-benchmarks for the simulator stack plus the ablation
+//! studies called out in DESIGN.md (checkpoint-clone vs re-execution,
+//! early termination on/off). The headline figure/table reproductions
+//! live in `marvel-experiments`.
+
+use marvel_core::Golden;
+use marvel_cpu::CoreConfig;
+use marvel_ir::assemble;
+use marvel_isa::Isa;
+use marvel_soc::System;
+
+/// Build a checkpointed golden for a benchmark (shared by bench targets).
+pub fn golden(bench: &str, isa: Isa) -> Golden {
+    let m = marvel_workloads::mibench::build(bench);
+    let bin = assemble(&m, isa).unwrap();
+    let mut sys = System::new(CoreConfig::table2(isa));
+    sys.load_binary(&bin);
+    Golden::prepare(sys, 80_000_000).unwrap()
+}

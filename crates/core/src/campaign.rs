@@ -1,0 +1,506 @@
+//! CPU-side statistical fault-injection campaigns (the paper's Fig. 2
+//! layout): checkpoint preparation, parallel workers, early termination,
+//! and AVF/HVF classification.
+
+use crate::fault::{FaultKind, FaultMask, FaultModel, MaskGenerator};
+use crate::stats::error_margin;
+use marvel_cpu::{CoreStats, TraceMode};
+use marvel_soc::{RunOutcome, SysEvent, System, Target};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// AVF fault-effect classes (Section IV-A2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultEffect {
+    /// No observable deviation from the fault-free run.
+    Masked,
+    /// Completed normally with different program output.
+    Sdc,
+    /// Trap, hang or other catastrophic interruption.
+    Crash,
+}
+
+/// HVF fault-effect classes (Section IV-D): did the fault become visible
+/// at the commit stage?
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HvfEffect {
+    Masked,
+    Corruption,
+}
+
+/// Result of one injection run.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    pub effect: FaultEffect,
+    /// HVF classification (when the campaign collects it) — computed from
+    /// the *same run*, enabling the paper's fault-propagation correlation.
+    pub hvf: Option<HvfEffect>,
+    /// Trap tag for crashes.
+    pub trap: Option<&'static str>,
+    /// The run was cut short by the early-termination optimisation.
+    pub early_terminated: bool,
+    /// Simulated cycles of this run (from checkpoint).
+    pub cycles: u64,
+}
+
+/// Campaign-wide configuration.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    pub n_faults: usize,
+    pub kind: FaultKind,
+    pub seed: u64,
+    /// Collect the HVF classification alongside AVF (same runs).
+    pub collect_hvf: bool,
+    /// Worker threads (0 = all available cores).
+    pub workers: usize,
+    /// Watchdog = checkpoint + `watchdog_factor` × golden exec cycles.
+    pub watchdog_factor: u64,
+    /// Enable the fault-overwritten/invalid-entry early termination.
+    pub early_termination: bool,
+    pub confidence: f64,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            n_faults: 1000,
+            kind: FaultKind::Transient,
+            seed: 0xC0FFEE,
+            collect_hvf: false,
+            workers: 0,
+            watchdog_factor: 3,
+            early_termination: true,
+            confidence: 0.95,
+        }
+    }
+}
+
+/// Errors preparing the golden reference run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GoldenError {
+    /// The program crashed or timed out fault-free.
+    BadGoldenRun(String),
+}
+
+impl std::fmt::Display for GoldenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GoldenError::BadGoldenRun(s) => write!(f, "golden run failed: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for GoldenError {}
+
+/// Golden reference: the checkpointed system plus the fault-free outcome.
+#[derive(Debug, Clone)]
+pub struct Golden {
+    /// System state at the checkpoint marker (warm caches included).
+    pub ckpt: System,
+    pub ckpt_cycle: u64,
+    /// Cycles from checkpoint to halt in the fault-free run.
+    pub exec_cycles: u64,
+    pub output: Vec<u8>,
+    /// Golden commit trace for HVF comparison.
+    pub trace: Arc<Vec<marvel_cpu::CommitRecord>>,
+    pub stats: CoreStats,
+    /// Cycle at which the `SwitchCpu` marker committed in the golden run
+    /// (used for directed injection windows, e.g. the Listing 1 sanity
+    /// check).
+    pub switch_cycle: Option<u64>,
+}
+
+impl Golden {
+    /// Run `sys` (already loaded) to its checkpoint marker, snapshot it,
+    /// then complete the fault-free run recording output + commit trace.
+    ///
+    /// Programs without a `Checkpoint` marker are checkpointed at cycle 0.
+    ///
+    /// # Errors
+    /// [`GoldenError::BadGoldenRun`] if the fault-free run traps or
+    /// exceeds `max_cycles`.
+    pub fn prepare(mut sys: System, max_cycles: u64) -> Result<Golden, GoldenError> {
+        let mut ckpt = sys.clone();
+        let mut ckpt_cycle = 0;
+        loop {
+            match sys.tick() {
+                SysEvent::Checkpoint => {
+                    ckpt = sys.clone();
+                    ckpt_cycle = sys.cycle;
+                    break;
+                }
+                SysEvent::Halted => {
+                    return Err(GoldenError::BadGoldenRun("halted before checkpoint".into()))
+                }
+                SysEvent::Trapped(t) => {
+                    return Err(GoldenError::BadGoldenRun(format!("trapped before checkpoint: {t}")))
+                }
+                _ => {}
+            }
+            if sys.cycle >= max_cycles {
+                // No checkpoint marker: snapshot the initial state instead.
+                break;
+            }
+        }
+
+        let mut golden_run = ckpt.clone();
+        golden_run.core.trace_mode = TraceMode::Record;
+        match golden_run.run(max_cycles) {
+            RunOutcome::Halted { cycles } => {
+                let trace = Arc::new(std::mem::take(&mut golden_run.core.trace));
+                Ok(Golden {
+                    ckpt,
+                    ckpt_cycle,
+                    exec_cycles: cycles - ckpt_cycle,
+                    output: golden_run.bus.console.clone(),
+                    trace,
+                    stats: golden_run.core.stats.clone(),
+                    switch_cycle: golden_run.switch_cycle,
+                })
+            }
+            RunOutcome::Crashed { trap, .. } => {
+                Err(GoldenError::BadGoldenRun(format!("golden run trapped: {trap}")))
+            }
+            RunOutcome::Timeout => Err(GoldenError::BadGoldenRun("golden run timed out".into())),
+        }
+    }
+
+    /// Injection window: every cycle of the post-checkpoint execution.
+    pub fn injection_window(&self) -> std::ops::Range<u64> {
+        self.ckpt_cycle..self.ckpt_cycle + self.exec_cycles
+    }
+}
+
+/// Execute one injection run.
+pub fn run_one(golden: &Golden, mask: &FaultMask, cc: &CampaignConfig) -> RunRecord {
+    let mut sys = golden.ckpt.clone();
+    if cc.collect_hvf {
+        sys.core.trace_mode = TraceMode::Check(golden.trace.clone());
+    }
+    let watchdog =
+        golden.ckpt_cycle + golden.exec_cycles.saturating_mul(cc.watchdog_factor) + 50_000;
+
+    // Arm the fault.
+    match mask.model {
+        FaultModel::Permanent { value } => {
+            for &b in &mask.bits {
+                sys.set_stuck(mask.target, b, value);
+            }
+        }
+        FaultModel::Transient { cycle } => {
+            while sys.cycle < cycle {
+                match sys.tick() {
+                    SysEvent::Halted | SysEvent::Trapped(_) => break,
+                    _ => {}
+                }
+                if sys.cycle >= watchdog {
+                    break;
+                }
+            }
+            for &b in &mask.bits {
+                sys.flip(mask.target, b);
+            }
+        }
+    }
+
+    // If the fault landed in an invalid entry, it is masked immediately.
+    if cc.early_termination {
+        if let Some(f) = sys.fault_fate(mask.target) {
+            if f.is_masked_early() {
+                return RunRecord {
+                    effect: FaultEffect::Masked,
+                    hvf: cc.collect_hvf.then_some(HvfEffect::Masked),
+                    trap: None,
+                    early_terminated: true,
+                    cycles: sys.cycle - golden.ckpt_cycle,
+                };
+            }
+        }
+    }
+
+    // Run to completion with periodic early-termination checks.
+    let mut check_at = sys.cycle + 256;
+    let outcome = loop {
+        match sys.tick() {
+            SysEvent::Halted => break RunOutcome::Halted { cycles: sys.cycle },
+            SysEvent::Trapped(t) => break RunOutcome::Crashed { trap: t, cycles: sys.cycle },
+            _ => {}
+        }
+        if sys.cycle >= watchdog {
+            break RunOutcome::Timeout;
+        }
+        if cc.early_termination && sys.cycle >= check_at {
+            check_at = sys.cycle + 1024;
+            if mask.model.is_transient() {
+                if let Some(f) = sys.fault_fate(mask.target) {
+                    if f.is_masked_early() && sys.core.divergence.is_none() {
+                        return RunRecord {
+                            effect: FaultEffect::Masked,
+                            hvf: cc.collect_hvf.then_some(HvfEffect::Masked),
+                            trap: None,
+                            early_terminated: true,
+                            cycles: sys.cycle - golden.ckpt_cycle,
+                        };
+                    }
+                }
+            }
+        }
+    };
+
+    // Classify.
+    let (effect, trap) = match &outcome {
+        RunOutcome::Halted { .. } => {
+            if sys.bus.console == golden.output {
+                (FaultEffect::Masked, None)
+            } else {
+                (FaultEffect::Sdc, None)
+            }
+        }
+        RunOutcome::Crashed { trap, .. } => (FaultEffect::Crash, Some(trap.tag())),
+        RunOutcome::Timeout => (FaultEffect::Crash, Some("watchdog")),
+    };
+    let hvf = cc.collect_hvf.then(|| {
+        // Any commit-stage divergence — or a crash/SDC, which by
+        // definition became architecturally visible — counts as
+        // Corruption.
+        if sys.core.divergence.is_some() || effect != FaultEffect::Masked {
+            HvfEffect::Corruption
+        } else {
+            HvfEffect::Masked
+        }
+    });
+    RunRecord {
+        effect,
+        hvf,
+        trap,
+        early_terminated: false,
+        cycles: sys.cycle - golden.ckpt_cycle,
+    }
+}
+
+/// Aggregated campaign results.
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    pub target: Target,
+    pub records: Vec<RunRecord>,
+    /// Injectable-bit population (for margin reporting).
+    pub bit_population: u64,
+    pub golden_exec_cycles: u64,
+    pub confidence: f64,
+}
+
+impl CampaignResult {
+    pub fn n(&self) -> usize {
+        self.records.len()
+    }
+
+    fn frac(&self, e: FaultEffect) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().filter(|r| r.effect == e).count() as f64 / self.records.len() as f64
+    }
+
+    /// Total AVF = P(SDC) + P(Crash).
+    pub fn avf(&self) -> f64 {
+        self.frac(FaultEffect::Sdc) + self.frac(FaultEffect::Crash)
+    }
+
+    /// SDC-only AVF (the paper's Section V-C).
+    pub fn sdc_avf(&self) -> f64 {
+        self.frac(FaultEffect::Sdc)
+    }
+
+    /// Crash-only AVF.
+    pub fn crash_avf(&self) -> f64 {
+        self.frac(FaultEffect::Crash)
+    }
+
+    /// HVF (fraction of runs whose fault reached the commit stage); `None`
+    /// if the campaign did not collect it.
+    pub fn hvf(&self) -> Option<f64> {
+        if self.records.iter().all(|r| r.hvf.is_none()) {
+            return None;
+        }
+        let n = self.records.len() as f64;
+        Some(
+            self.records.iter().filter(|r| r.hvf == Some(HvfEffect::Corruption)).count() as f64 / n,
+        )
+    }
+
+    /// Fraction of runs cut short by early termination.
+    pub fn early_termination_rate(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().filter(|r| r.early_terminated).count() as f64
+            / self.records.len() as f64
+    }
+
+    /// Statistical error margin of the AVF estimate.
+    pub fn margin(&self) -> f64 {
+        error_margin(
+            self.records.len().max(1),
+            self.bit_population.saturating_mul(self.golden_exec_cycles.max(1)),
+            self.confidence,
+        )
+    }
+}
+
+/// Run a full campaign over `target` with parallel workers.
+pub fn run_campaign(golden: &Golden, target: Target, cc: &CampaignConfig) -> CampaignResult {
+    let bit_len = golden.ckpt.bit_len(target);
+    let mut gen = MaskGenerator::new(cc.seed ^ (target_hash(target)));
+    let masks = gen.single_bit(target, bit_len, cc.kind, golden.injection_window(), cc.n_faults);
+    let records = run_masks(golden, &masks, cc);
+    CampaignResult {
+        target,
+        records,
+        bit_population: bit_len,
+        golden_exec_cycles: golden.exec_cycles,
+        confidence: cc.confidence,
+    }
+}
+
+/// Run an explicit mask list (directed experiments, multi-bit studies).
+pub fn run_masks(golden: &Golden, masks: &[FaultMask], cc: &CampaignConfig) -> Vec<RunRecord> {
+    let workers = if cc.workers == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    } else {
+        cc.workers
+    };
+    let workers = workers.min(masks.len().max(1));
+    let next = AtomicUsize::new(0);
+    let mut records: Vec<Option<RunRecord>> = vec![None; masks.len()];
+    let slots: Vec<std::sync::Mutex<Option<RunRecord>>> =
+        masks.iter().map(|_| std::sync::Mutex::new(None)).collect();
+
+    crossbeam::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= masks.len() {
+                    break;
+                }
+                let rec = run_one(golden, &masks[i], cc);
+                *slots[i].lock().unwrap() = Some(rec);
+            });
+        }
+    })
+    .expect("campaign worker panicked");
+
+    for (i, slot) in slots.into_iter().enumerate() {
+        records[i] = slot.into_inner().unwrap();
+    }
+    records.into_iter().map(|r| r.expect("all masks executed")).collect()
+}
+
+fn target_hash(t: Target) -> u64 {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    let mut h = DefaultHasher::new();
+    t.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marvel_cpu::CoreConfig;
+    use marvel_ir::{assemble, FuncBuilder, Module};
+    use marvel_isa::{AluOp, Cond, Isa};
+
+    fn bench_module() -> Module {
+        let mut m = Module::new();
+        let buf = m.global_zeroed("buf", 256, 8);
+        let f = m.declare("main", 0);
+        let mut b = FuncBuilder::new(0);
+        let base = b.addr_of(buf);
+        b.checkpoint();
+        let i = b.li(0);
+        let top = b.new_label();
+        b.bind(top);
+        let v = b.bin(AluOp::Mul, i, i);
+        b.store_idx(marvel_isa::MemWidth::D, v, base, i);
+        let i2 = b.bin(AluOp::Add, i, 1);
+        b.assign(i, i2);
+        b.br(Cond::Lt, i, 32, top);
+        let j = b.li(0);
+        let top2 = b.new_label();
+        b.bind(top2);
+        let v2 = b.load_idx(marvel_isa::MemWidth::D, false, base, j);
+        b.out_byte(v2);
+        let j2 = b.bin(AluOp::Add, j, 1);
+        b.assign(j, j2);
+        b.br(Cond::Lt, j, 32, top2);
+        b.halt();
+        m.define(f, b.build());
+        m
+    }
+
+    fn golden_for(isa: Isa) -> Golden {
+        let bin = assemble(&bench_module(), isa).unwrap();
+        let mut sys = System::new(CoreConfig::table2(isa));
+        sys.load_binary(&bin);
+        Golden::prepare(sys, 3_000_000).unwrap()
+    }
+
+    #[test]
+    fn golden_prepares_and_checkpoint_is_before_halt() {
+        let g = golden_for(Isa::RiscV);
+        assert!(g.exec_cycles > 100);
+        assert_eq!(g.output.len(), 32);
+        assert!(!g.trace.is_empty());
+    }
+
+    #[test]
+    fn small_campaign_classifies_all_runs() {
+        let g = golden_for(Isa::RiscV);
+        let cc = CampaignConfig {
+            n_faults: 24,
+            collect_hvf: true,
+            workers: 4,
+            ..Default::default()
+        };
+        let res = run_campaign(&g, Target::PrfInt, &cc);
+        assert_eq!(res.n(), 24);
+        let total = res.avf() + res.frac(FaultEffect::Masked);
+        assert!((total - 1.0).abs() < 1e-9);
+        // HVF ≥ AVF by definition.
+        assert!(res.hvf().unwrap() + 1e-9 >= res.avf());
+        assert!(res.margin() > 0.0);
+    }
+
+    #[test]
+    fn fp_prf_faults_always_masked() {
+        // Integer workloads never read the FP register file.
+        let g = golden_for(Isa::Arm);
+        let cc = CampaignConfig { n_faults: 10, workers: 2, ..Default::default() };
+        let res = run_campaign(&g, Target::PrfFp, &cc);
+        assert!((res.avf() - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = golden_for(Isa::RiscV);
+        let cc = CampaignConfig { n_faults: 12, workers: 3, ..Default::default() };
+        let r1 = run_campaign(&g, Target::L1D, &cc);
+        let r2 = run_campaign(&g, Target::L1D, &cc);
+        let e1: Vec<_> = r1.records.iter().map(|r| r.effect).collect();
+        let e2: Vec<_> = r2.records.iter().map(|r| r.effect).collect();
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn permanent_campaign_runs() {
+        let g = golden_for(Isa::RiscV);
+        let cc = CampaignConfig {
+            n_faults: 10,
+            kind: FaultKind::Permanent,
+            workers: 2,
+            ..Default::default()
+        };
+        let res = run_campaign(&g, Target::L1D, &cc);
+        assert_eq!(res.n(), 10);
+    }
+}

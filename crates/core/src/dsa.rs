@@ -1,0 +1,364 @@
+//! Standalone DSA fault-injection harness: DMA-in → compute → DMA-out with
+//! cycle-accurate injection timing, used for the paper's Table IV /
+//! Fig. 14 / Fig. 17 accelerator campaigns.
+//!
+//! For SPM/RegBank targets, HVF and AVF are identical (Section IV-D): any
+//! non-masked fault is architecturally visible, so only the AVF classes
+//! are reported.
+
+use crate::campaign::{CampaignConfig, FaultEffect, RunRecord};
+use crate::fault::{FaultMask, FaultModel, MaskGenerator};
+use crate::stats::error_margin;
+use marvel_accel::{AccelState, Accelerator, DmaEngine, DmaJob};
+use marvel_soc::Target;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A self-contained accelerator experiment: the accelerator, a private RAM
+/// buffer, DMA plans and entry arguments.
+#[derive(Debug, Clone)]
+pub struct DsaHarness {
+    pub accel: Accelerator,
+    pub ram: Vec<u8>,
+    pub jobs_in: Vec<DmaJob>,
+    pub jobs_out: Vec<DmaJob>,
+    pub args: Vec<u64>,
+    /// Byte range of `ram` holding the result after DMA-out.
+    pub output: std::ops::Range<usize>,
+}
+
+/// Outcome of one harness run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DsaOutcome {
+    Done { output: Vec<u8>, cycles: u64 },
+    /// Datapath error (out-of-bounds access) or DMA failure.
+    Error { cycles: u64 },
+    Timeout,
+}
+
+impl DsaHarness {
+    /// Apply a fault mask to this harness's accelerator.
+    fn apply(&mut self, mask: &FaultMask, permanent_value: Option<bool>) {
+        for &bit in &mask.bits {
+            match (mask.target, permanent_value) {
+                (Target::Spm { mem, .. }, None) => {
+                    self.accel.spms[mem].flip_bit(bit);
+                }
+                (Target::Spm { mem, .. }, Some(v)) => self.accel.spms[mem].set_stuck(bit, v),
+                (Target::RegBank { mem, .. }, None) => {
+                    self.accel.regbanks[mem].flip_bit(bit);
+                }
+                (Target::RegBank { mem, .. }, Some(v)) => self.accel.regbanks[mem].set_stuck(bit, v),
+                (Target::Mmr { .. }, None) => {
+                    self.accel.mmr.flip_bit(bit);
+                }
+                (Target::Mmr { .. }, Some(v)) => self.accel.mmr.set_stuck(bit, v),
+                _ => panic!("{:?} is not a DSA target", mask.target),
+            }
+        }
+    }
+
+    fn bit_len(&self, target: Target) -> u64 {
+        match target {
+            Target::Spm { mem, .. } => self.accel.spms[mem].bit_len(),
+            Target::RegBank { mem, .. } => self.accel.regbanks[mem].bit_len(),
+            Target::Mmr { .. } => self.accel.mmr.bit_len(),
+            _ => panic!("{target:?} is not a DSA target"),
+        }
+    }
+
+    /// Run the full DMA-in → compute → DMA-out sequence, optionally
+    /// injecting `mask` at its transient cycle (permanent faults are
+    /// applied before the run).
+    pub fn run(&mut self, mask: Option<&FaultMask>, watchdog: u64) -> DsaOutcome {
+        // Permanent faults apply immediately.
+        if let Some(m) = mask {
+            if let FaultModel::Permanent { value } = m.model {
+                self.apply(&{ m.clone() }, Some(value));
+            }
+        }
+        let inject_at = mask.and_then(|m| match m.model {
+            FaultModel::Transient { cycle } => Some(cycle),
+            _ => None,
+        });
+
+        let mut cycle: u64 = 0;
+        let mut dma = DmaEngine::new(8);
+        for j in &self.jobs_in {
+            dma.push(*j);
+        }
+        let mut phase = 0u8; // 0 = dma-in, 1 = compute, 2 = dma-out
+        self.accel.start(&self.args.clone());
+
+        loop {
+            cycle += 1;
+            if cycle > watchdog {
+                return DsaOutcome::Timeout;
+            }
+            if let Some(c) = inject_at {
+                if cycle == c {
+                    let m = mask.unwrap().clone();
+                    self.apply(&m, None);
+                }
+            }
+            match phase {
+                0 => {
+                    if dma.busy() {
+                        if !dma.tick(&mut self.ram, &mut self.accel) {
+                            return DsaOutcome::Error { cycles: cycle };
+                        }
+                    } else {
+                        phase = 1;
+                    }
+                }
+                1 => match self.accel.tick() {
+                    AccelState::Done => {
+                        for j in &self.jobs_out {
+                            dma.push(*j);
+                        }
+                        phase = 2;
+                    }
+                    AccelState::Error(_) => return DsaOutcome::Error { cycles: cycle },
+                    _ => {}
+                },
+                _ => {
+                    if dma.busy() {
+                        if !dma.tick(&mut self.ram, &mut self.accel) {
+                            return DsaOutcome::Error { cycles: cycle };
+                        }
+                    } else {
+                        return DsaOutcome::Done {
+                            output: self.ram[self.output.clone()].to_vec(),
+                            cycles: cycle,
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Golden reference for a DSA campaign.
+#[derive(Debug, Clone)]
+pub struct DsaGolden {
+    pub harness: DsaHarness,
+    pub output: Vec<u8>,
+    pub cycles: u64,
+}
+
+impl DsaGolden {
+    /// Execute the fault-free run.
+    ///
+    /// # Panics
+    /// Panics if the fault-free run errors or times out (a design bug).
+    pub fn prepare(harness: DsaHarness, watchdog: u64) -> DsaGolden {
+        let mut h = harness.clone();
+        match h.run(None, watchdog) {
+            DsaOutcome::Done { output, cycles } => DsaGolden { harness, output, cycles },
+            o => panic!("fault-free DSA run failed: {o:?}"),
+        }
+    }
+}
+
+/// DSA campaign result (AVF == HVF for these targets).
+#[derive(Debug, Clone)]
+pub struct DsaCampaignResult {
+    pub target: Target,
+    pub records: Vec<RunRecord>,
+    pub bit_population: u64,
+    pub golden_cycles: u64,
+    pub confidence: f64,
+}
+
+impl DsaCampaignResult {
+    fn frac(&self, e: FaultEffect) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().filter(|r| r.effect == e).count() as f64 / self.records.len() as f64
+    }
+
+    pub fn avf(&self) -> f64 {
+        self.frac(FaultEffect::Sdc) + self.frac(FaultEffect::Crash)
+    }
+
+    pub fn sdc_avf(&self) -> f64 {
+        self.frac(FaultEffect::Sdc)
+    }
+
+    pub fn crash_avf(&self) -> f64 {
+        self.frac(FaultEffect::Crash)
+    }
+
+    pub fn margin(&self) -> f64 {
+        error_margin(
+            self.records.len().max(1),
+            self.bit_population.saturating_mul(self.golden_cycles.max(1)),
+            self.confidence,
+        )
+    }
+}
+
+/// Run a statistical campaign on one DSA memory target.
+pub fn run_dsa_campaign(golden: &DsaGolden, target: Target, cc: &CampaignConfig) -> DsaCampaignResult {
+    let bit_len = golden.harness.bit_len(target);
+    let mut gen = MaskGenerator::new(cc.seed ^ 0xD5A);
+    let masks = gen.single_bit(target, bit_len, cc.kind, 1..golden.cycles.max(2), cc.n_faults);
+
+    let workers = if cc.workers == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    } else {
+        cc.workers
+    };
+    let workers = workers.min(masks.len().max(1));
+    let next = AtomicUsize::new(0);
+    let slots: Vec<std::sync::Mutex<Option<RunRecord>>> =
+        masks.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    let watchdog = golden.cycles * cc.watchdog_factor + 10_000;
+
+    crossbeam::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= masks.len() {
+                    break;
+                }
+                let mut h = golden.harness.clone();
+                let outcome = h.run(Some(&masks[i]), watchdog);
+                let (effect, trap) = match &outcome {
+                    DsaOutcome::Done { output, .. } => {
+                        if *output == golden.output {
+                            (FaultEffect::Masked, None)
+                        } else {
+                            (FaultEffect::Sdc, None)
+                        }
+                    }
+                    DsaOutcome::Error { .. } => (FaultEffect::Crash, Some("accel-error")),
+                    DsaOutcome::Timeout => (FaultEffect::Crash, Some("watchdog")),
+                };
+                let cycles = match outcome {
+                    DsaOutcome::Done { cycles, .. } | DsaOutcome::Error { cycles } => cycles,
+                    DsaOutcome::Timeout => watchdog,
+                };
+                *slots[i].lock().unwrap() = Some(RunRecord {
+                    effect,
+                    hvf: None,
+                    trap,
+                    early_terminated: false,
+                    cycles,
+                });
+            });
+        }
+    })
+    .expect("dsa campaign worker panicked");
+
+    let records = slots.into_iter().map(|s| s.into_inner().unwrap().unwrap()).collect();
+    DsaCampaignResult {
+        target,
+        records,
+        bit_population: bit_len,
+        golden_cycles: golden.cycles,
+        confidence: cc.confidence,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marvel_accel::air::{CdfgBuilder, MemRef};
+    use marvel_accel::{DmaDir, FuConfig, Sram, SramKind};
+    use marvel_isa::AluOp;
+
+    /// OUT[i] = IN[i] * 3, i in 0..8 (u64).
+    fn triple_harness() -> DsaHarness {
+        let mut g = CdfgBuilder::new();
+        let entry = g.block(0);
+        let body = g.block(1);
+        let done = g.block(0);
+        g.select(entry);
+        let z = g.konst(0);
+        g.jump(body, &[z]);
+        g.select(body);
+        let i = g.arg(0);
+        let eight = g.konst(8);
+        let addr = g.alu(AluOp::Mul, i, eight);
+        let v = g.load(MemRef::Spm(0), 8, addr);
+        let three = g.konst(3);
+        let v3 = g.alu(AluOp::Mul, v, three);
+        g.store(MemRef::Spm(1), 8, addr, v3);
+        let one = g.konst(1);
+        let i2 = g.alu(AluOp::Add, i, one);
+        let n = g.konst(8);
+        let more = g.alu(AluOp::Sltu, i2, n);
+        g.branch(more, body, &[i2], done, &[]);
+        g.select(done);
+        g.finish();
+        let accel = Accelerator::new(
+            "triple",
+            g.build().unwrap(),
+            FuConfig::default(),
+            vec![Sram::new("IN", SramKind::Spm, 64, 2), Sram::new("OUT", SramKind::Spm, 64, 2)],
+            vec![],
+            0,
+        );
+        let mut ram = vec![0u8; 256];
+        for i in 0..8u64 {
+            ram[(i * 8) as usize..(i * 8 + 8) as usize].copy_from_slice(&(i + 1).to_le_bytes());
+        }
+        DsaHarness {
+            accel,
+            ram,
+            jobs_in: vec![DmaJob { dir: DmaDir::ToSram, ram_off: 0, mem: MemRef::Spm(0), mem_off: 0, len: 64 }],
+            jobs_out: vec![DmaJob { dir: DmaDir::ToRam, ram_off: 128, mem: MemRef::Spm(1), mem_off: 0, len: 64 }],
+            args: vec![],
+            output: 128..192,
+        }
+    }
+
+    #[test]
+    fn golden_run_correct() {
+        let g = DsaGolden::prepare(triple_harness(), 100_000);
+        for i in 0..8u64 {
+            let off = (i * 8) as usize;
+            let v = u64::from_le_bytes(g.output[off..off + 8].try_into().unwrap());
+            assert_eq!(v, (i + 1) * 3);
+        }
+        assert!(g.cycles > 10);
+    }
+
+    #[test]
+    fn input_spm_campaign_mostly_sdc() {
+        let g = DsaGolden::prepare(triple_harness(), 100_000);
+        let cc = CampaignConfig { n_faults: 60, workers: 4, ..Default::default() };
+        let res = run_dsa_campaign(&g, Target::Spm { accel: 0, mem: 0 }, &cc);
+        assert_eq!(res.records.len(), 60);
+        // Data SPM faults corrupt outputs but never addresses: SDC-heavy,
+        // crash-free (the paper's Observation #6 for FFT/GEMM-style SPMs).
+        assert!(res.crash_avf() < 1e-9);
+        assert!(res.sdc_avf() > 0.2, "sdc {}", res.sdc_avf());
+        assert!(res.avf() < 1.0);
+    }
+
+    #[test]
+    fn permanent_dsa_faults() {
+        let g = DsaGolden::prepare(triple_harness(), 100_000);
+        let cc = CampaignConfig {
+            n_faults: 30,
+            kind: crate::fault::FaultKind::Permanent,
+            workers: 4,
+            ..Default::default()
+        };
+        let res = run_dsa_campaign(&g, Target::Spm { accel: 0, mem: 1 }, &cc);
+        assert_eq!(res.records.len(), 30);
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = DsaGolden::prepare(triple_harness(), 100_000);
+        let cc = CampaignConfig { n_faults: 16, workers: 3, ..Default::default() };
+        let r1 = run_dsa_campaign(&g, Target::Spm { accel: 0, mem: 0 }, &cc);
+        let r2 = run_dsa_campaign(&g, Target::Spm { accel: 0, mem: 0 }, &cc);
+        let e1: Vec<_> = r1.records.iter().map(|r| r.effect).collect();
+        let e2: Vec<_> = r2.records.iter().map(|r| r.effect).collect();
+        assert_eq!(e1, e2);
+    }
+}

@@ -1,0 +1,188 @@
+//! Fault models and fault masks (the paper's Table III).
+//!
+//! * **Transient**: a storage element's bit is flipped at a chosen clock
+//!   cycle of the execution; position and cycle can be random or directed.
+//! * **Permanent**: a storage element's bit is stuck at 0 or 1 from the
+//!   checkpoint onward.
+//!
+//! Single- and multi-bit variants of both are supported, as are mixed
+//! multi-fault scenarios (several masks applied to one run).
+
+use marvel_soc::Target;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Fault model of one mask (Table III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultModel {
+    /// Flip at `cycle` (absolute system cycle).
+    Transient { cycle: u64 },
+    /// Stuck-at `value` from the checkpoint onward.
+    Permanent { value: bool },
+}
+
+impl FaultModel {
+    pub fn is_transient(&self) -> bool {
+        matches!(self, FaultModel::Transient { .. })
+    }
+
+    /// Paper-style description row.
+    pub fn describe(&self) -> &'static str {
+        match self {
+            FaultModel::Transient { .. } => {
+                "A storage element's bit value is flipped in a clock cycle of the program \
+                 execution; the bit position and the cycle can be set arbitrarily"
+            }
+            FaultModel::Permanent { .. } => {
+                "A storage element's bit value is permanently set to '0' or to '1'; the bit \
+                 position can be set arbitrarily"
+            }
+        }
+    }
+}
+
+/// A fault mask: which bits of which structure, under which model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultMask {
+    pub target: Target,
+    /// Bit indices within the target's flat bit space (one for single-bit
+    /// faults, several for multi-bit faults).
+    pub bits: Vec<u64>,
+    pub model: FaultModel,
+}
+
+/// Shorthand for the model axis of a campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    Transient,
+    /// Stuck-at with randomly chosen polarity per fault.
+    Permanent,
+    PermanentStuck0,
+    PermanentStuck1,
+}
+
+/// Deterministic, seeded generator of statistically sampled fault masks
+/// (uniform distribution over bits × cycles, per Leveugle et al.).
+#[derive(Debug)]
+pub struct MaskGenerator {
+    rng: StdRng,
+}
+
+impl MaskGenerator {
+    pub fn new(seed: u64) -> Self {
+        MaskGenerator { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// `n` single-bit masks for `target` with `bit_len` injectable bits.
+    /// Transient cycles are drawn uniformly from `window`.
+    pub fn single_bit(
+        &mut self,
+        target: Target,
+        bit_len: u64,
+        kind: FaultKind,
+        window: std::ops::Range<u64>,
+        n: usize,
+    ) -> Vec<FaultMask> {
+        assert!(bit_len > 0, "target has no injectable bits");
+        (0..n)
+            .map(|_| FaultMask {
+                target,
+                bits: vec![self.rng.gen_range(0..bit_len)],
+                model: self.model(kind, &window),
+            })
+            .collect()
+    }
+
+    /// `n` multi-bit masks of `burst` adjacent bits each (spatial
+    /// multi-bit upsets).
+    pub fn adjacent_multi_bit(
+        &mut self,
+        target: Target,
+        bit_len: u64,
+        burst: u64,
+        kind: FaultKind,
+        window: std::ops::Range<u64>,
+        n: usize,
+    ) -> Vec<FaultMask> {
+        assert!(burst >= 1 && burst <= bit_len);
+        (0..n)
+            .map(|_| {
+                let start = self.rng.gen_range(0..bit_len - burst + 1);
+                FaultMask {
+                    target,
+                    bits: (start..start + burst).collect(),
+                    model: self.model(kind, &window),
+                }
+            })
+            .collect()
+    }
+
+    fn model(&mut self, kind: FaultKind, window: &std::ops::Range<u64>) -> FaultModel {
+        match kind {
+            FaultKind::Transient => FaultModel::Transient {
+                cycle: if window.is_empty() { window.start } else { self.rng.gen_range(window.clone()) },
+            },
+            FaultKind::Permanent => FaultModel::Permanent { value: self.rng.gen_bool(0.5) },
+            FaultKind::PermanentStuck0 => FaultModel::Permanent { value: false },
+            FaultKind::PermanentStuck1 => FaultModel::Permanent { value: true },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_is_deterministic() {
+        let mk = |seed| {
+            MaskGenerator::new(seed).single_bit(Target::PrfInt, 8192, FaultKind::Transient, 100..200, 50)
+        };
+        assert_eq!(mk(7), mk(7));
+        assert_ne!(mk(7), mk(8));
+    }
+
+    #[test]
+    fn masks_within_ranges() {
+        let masks =
+            MaskGenerator::new(1).single_bit(Target::L1D, 1000, FaultKind::Transient, 10..20, 200);
+        for m in &masks {
+            assert!(m.bits[0] < 1000);
+            match m.model {
+                FaultModel::Transient { cycle } => assert!((10..20).contains(&cycle)),
+                _ => panic!("wrong model"),
+            }
+        }
+    }
+
+    #[test]
+    fn adjacent_bursts_are_contiguous() {
+        let masks = MaskGenerator::new(2).adjacent_multi_bit(
+            Target::L1D,
+            512,
+            4,
+            FaultKind::PermanentStuck1,
+            0..1,
+            100,
+        );
+        for m in &masks {
+            assert_eq!(m.bits.len(), 4);
+            for w in m.bits.windows(2) {
+                assert_eq!(w[1], w[0] + 1);
+            }
+            assert!(*m.bits.last().unwrap() < 512);
+            assert_eq!(m.model, FaultModel::Permanent { value: true });
+        }
+    }
+
+    #[test]
+    fn stuck_polarity_mix() {
+        let masks =
+            MaskGenerator::new(3).single_bit(Target::L1I, 100, FaultKind::Permanent, 0..1, 200);
+        let ones = masks
+            .iter()
+            .filter(|m| matches!(m.model, FaultModel::Permanent { value: true }))
+            .count();
+        assert!(ones > 50 && ones < 150, "polarities should be mixed: {ones}");
+    }
+}

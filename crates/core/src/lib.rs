@@ -1,0 +1,39 @@
+//! # marvel-core
+//!
+//! The gem5-MARVEL fault-injection framework (the paper's primary
+//! contribution): microarchitecture-level statistical fault injection for
+//! heterogeneous SoCs — CPUs of all three prevailing 64-bit ISA flavours
+//! plus SALAM-style domain-specific accelerators — under transient and
+//! permanent fault models, reporting both AVF and HVF.
+//!
+//! Layout mirrors the paper's Fig. 2 campaign pipeline:
+//!
+//! 1. [`fault::MaskGenerator`] draws statistically sampled fault masks;
+//! 2. [`campaign::Golden::prepare`] builds the checkpoint + fault-free
+//!    reference (output and commit trace);
+//! 3. [`campaign::run_campaign`] fans injection runs out over parallel
+//!    workers with early termination for definitively masked faults;
+//! 4. results classify into Masked/SDC/Crash (AVF) and Masked/Corruption
+//!    (HVF), with [`stats`] providing error margins, weighted AVF and the
+//!    OPF performance-reliability metric.
+//!
+//! Accelerator-side campaigns use [`dsa::run_dsa_campaign`] on a
+//! [`dsa::DsaHarness`] (DMA-in → compute → DMA-out, cycle-timed
+//! injection).
+
+pub mod campaign;
+pub mod dsa;
+pub mod fault;
+pub mod report;
+pub mod features;
+pub mod stats;
+
+pub use campaign::{
+    run_campaign, run_masks, run_one, CampaignConfig, CampaignResult, FaultEffect, Golden,
+    GoldenError, HvfEffect, RunRecord,
+};
+pub use dsa::{run_dsa_campaign, DsaCampaignResult, DsaGolden, DsaHarness, DsaOutcome};
+pub use fault::{FaultKind, FaultMask, FaultModel, MaskGenerator};
+pub use report::{crash_breakdown, csv_row, render_campaign, PropagationMatrix, CSV_HEADER};
+pub use marvel_soc::Target;
+pub use stats::{error_margin, opf, required_samples, weighted_avf};

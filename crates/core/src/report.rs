@@ -1,0 +1,192 @@
+//! Campaign reporting: the paper's Fig. 3(b) fault-propagation
+//! correlation (HVF class × AVF class, from the same runs) and
+//! text/CSV rendering of campaign results.
+
+use crate::campaign::{CampaignResult, FaultEffect, HvfEffect, RunRecord};
+use std::collections::BTreeMap;
+
+/// Joint HVF × AVF classification counts — only computable because the
+/// framework classifies both metrics on the *same* injection runs, the
+/// correlation capability the paper highlights as unique.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PropagationMatrix {
+    /// Masked in hardware (never reached the commit stage); necessarily
+    /// software-masked too.
+    pub hw_masked: usize,
+    /// Architecturally visible at commit but masked by the software layer
+    /// — the gap between HVF and AVF.
+    pub corrupt_sw_masked: usize,
+    /// Architecturally visible and surfaced as a silent data corruption.
+    pub corrupt_sdc: usize,
+    /// Architecturally visible and surfaced as a crash.
+    pub corrupt_crash: usize,
+}
+
+impl PropagationMatrix {
+    /// Build from records; `None` if the campaign did not collect HVF.
+    pub fn from_records(records: &[RunRecord]) -> Option<PropagationMatrix> {
+        if records.iter().any(|r| r.hvf.is_none()) {
+            return None;
+        }
+        let mut m = PropagationMatrix::default();
+        for r in records {
+            match (r.hvf.unwrap(), r.effect) {
+                (HvfEffect::Masked, _) => m.hw_masked += 1,
+                (HvfEffect::Corruption, FaultEffect::Masked) => m.corrupt_sw_masked += 1,
+                (HvfEffect::Corruption, FaultEffect::Sdc) => m.corrupt_sdc += 1,
+                (HvfEffect::Corruption, FaultEffect::Crash) => m.corrupt_crash += 1,
+            }
+        }
+        Some(m)
+    }
+
+    pub fn total(&self) -> usize {
+        self.hw_masked + self.corrupt_sw_masked + self.corrupt_sdc + self.corrupt_crash
+    }
+
+    /// Fraction of hardware-visible corruptions the software layer masked
+    /// — the paper's explanation for HVF > AVF.
+    pub fn software_masking_rate(&self) -> f64 {
+        let corrupt = self.corrupt_sw_masked + self.corrupt_sdc + self.corrupt_crash;
+        if corrupt == 0 {
+            0.0
+        } else {
+            self.corrupt_sw_masked as f64 / corrupt as f64
+        }
+    }
+
+    /// Render as the Fig. 3(b)-style propagation report.
+    pub fn render(&self) -> String {
+        let n = self.total().max(1) as f64;
+        format!(
+            "fault propagation (n = {}):\n\
+             \x20 masked in hardware          : {:>5} ({:>5.1}%)\n\
+             \x20 reached commit, SW-masked   : {:>5} ({:>5.1}%)\n\
+             \x20 reached commit, SDC         : {:>5} ({:>5.1}%)\n\
+             \x20 reached commit, crash       : {:>5} ({:>5.1}%)\n\
+             \x20 software masking rate       : {:.1}%\n",
+            self.total(),
+            self.hw_masked,
+            self.hw_masked as f64 / n * 100.0,
+            self.corrupt_sw_masked,
+            self.corrupt_sw_masked as f64 / n * 100.0,
+            self.corrupt_sdc,
+            self.corrupt_sdc as f64 / n * 100.0,
+            self.corrupt_crash,
+            self.corrupt_crash as f64 / n * 100.0,
+            self.software_masking_rate() * 100.0,
+        )
+    }
+}
+
+/// Crash-cause breakdown (trap tags → counts).
+pub fn crash_breakdown(records: &[RunRecord]) -> BTreeMap<&'static str, usize> {
+    let mut out = BTreeMap::new();
+    for r in records {
+        if let Some(tag) = r.trap {
+            *out.entry(tag).or_insert(0) += 1;
+        }
+    }
+    out
+}
+
+/// Full text report for one campaign.
+pub fn render_campaign(res: &CampaignResult) -> String {
+    let mut s = String::new();
+    s.push_str(&format!("target      : {}\n", res.target.name()));
+    s.push_str(&format!("faults      : {}\n", res.n()));
+    s.push_str(&format!(
+        "AVF         : {:.2}%  (SDC {:.2}%, Crash {:.2}%)  ±{:.2}% @{:.0}%\n",
+        res.avf() * 100.0,
+        res.sdc_avf() * 100.0,
+        res.crash_avf() * 100.0,
+        res.margin() * 100.0,
+        res.confidence * 100.0
+    ));
+    if let Some(h) = res.hvf() {
+        s.push_str(&format!("HVF         : {:.2}%\n", h * 100.0));
+    }
+    s.push_str(&format!("early-term  : {:.1}%\n", res.early_termination_rate() * 100.0));
+    let crashes = crash_breakdown(&res.records);
+    if !crashes.is_empty() {
+        s.push_str("crash causes:\n");
+        for (tag, n) in crashes {
+            s.push_str(&format!("  {tag:<22}{n}\n"));
+        }
+    }
+    if let Some(m) = PropagationMatrix::from_records(&res.records) {
+        s.push_str(&m.render());
+    }
+    s
+}
+
+/// CSV line (plus header) for aggregating campaigns across scripts.
+pub fn csv_row(label: &str, res: &CampaignResult) -> String {
+    format!(
+        "{label},{},{},{:.5},{:.5},{:.5},{},{:.5}\n",
+        res.target.name(),
+        res.n(),
+        res.avf(),
+        res.sdc_avf(),
+        res.crash_avf(),
+        res.hvf().map(|h| format!("{h:.5}")).unwrap_or_default(),
+        res.early_termination_rate()
+    )
+}
+
+/// Header matching [`csv_row`].
+pub const CSV_HEADER: &str = "label,target,faults,avf,sdc,crash,hvf,early_term\n";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(effect: FaultEffect, hvf: HvfEffect) -> RunRecord {
+        RunRecord { effect, hvf: Some(hvf), trap: None, early_terminated: false, cycles: 1 }
+    }
+
+    #[test]
+    fn matrix_partitions_and_rates() {
+        let records = vec![
+            rec(FaultEffect::Masked, HvfEffect::Masked),
+            rec(FaultEffect::Masked, HvfEffect::Masked),
+            rec(FaultEffect::Masked, HvfEffect::Corruption), // SW-masked
+            rec(FaultEffect::Sdc, HvfEffect::Corruption),
+            rec(FaultEffect::Crash, HvfEffect::Corruption),
+        ];
+        let m = PropagationMatrix::from_records(&records).unwrap();
+        assert_eq!(m.hw_masked, 2);
+        assert_eq!(m.corrupt_sw_masked, 1);
+        assert_eq!(m.corrupt_sdc, 1);
+        assert_eq!(m.corrupt_crash, 1);
+        assert_eq!(m.total(), 5);
+        assert!((m.software_masking_rate() - 1.0 / 3.0).abs() < 1e-12);
+        let text = m.render();
+        assert!(text.contains("software masking rate"));
+    }
+
+    #[test]
+    fn matrix_requires_hvf() {
+        let records = vec![RunRecord {
+            effect: FaultEffect::Masked,
+            hvf: None,
+            trap: None,
+            early_terminated: false,
+            cycles: 1,
+        }];
+        assert!(PropagationMatrix::from_records(&records).is_none());
+    }
+
+    #[test]
+    fn crash_tags_counted() {
+        let mut r1 = rec(FaultEffect::Crash, HvfEffect::Corruption);
+        r1.trap = Some("mem-fault");
+        let mut r2 = rec(FaultEffect::Crash, HvfEffect::Corruption);
+        r2.trap = Some("mem-fault");
+        let mut r3 = rec(FaultEffect::Crash, HvfEffect::Corruption);
+        r3.trap = Some("watchdog");
+        let b = crash_breakdown(&[r1, r2, r3]);
+        assert_eq!(b["mem-fault"], 2);
+        assert_eq!(b["watchdog"], 1);
+    }
+}

@@ -1,0 +1,61 @@
+//! Property tests on the statistical machinery and fault-mask generator.
+
+use marvel_core::{error_margin, required_samples, weighted_avf, FaultKind, MaskGenerator, Target};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn margin_monotone_in_samples(n1 in 10usize..5000, n2 in 10usize..5000) {
+        let (lo, hi) = (n1.min(n2), n1.max(n2));
+        prop_assume!(lo != hi);
+        prop_assert!(error_margin(hi, u64::MAX, 0.95) <= error_margin(lo, u64::MAX, 0.95));
+    }
+
+    #[test]
+    fn margin_bounded(n in 1usize..100_000, pop in 1u64..u64::MAX) {
+        let e = error_margin(n, pop, 0.95);
+        prop_assert!((0.0..=1.0).contains(&e), "margin {e}");
+    }
+
+    #[test]
+    fn required_samples_achieves_margin(e in 0.01f64..0.2) {
+        let n = required_samples(e, u64::MAX / 2, 0.95);
+        prop_assert!(error_margin(n, u64::MAX / 2, 0.95) <= e + 1e-6);
+        // And one fewer sample would miss it (tightness up to rounding).
+        if n > 2 {
+            prop_assert!(error_margin(n - 2, u64::MAX / 2, 0.95) > e - 0.002);
+        }
+    }
+
+    #[test]
+    fn weighted_avf_within_hull(avfs in prop::collection::vec((0.0f64..1.0, 0.001f64..100.0), 1..20)) {
+        let w = weighted_avf(&avfs);
+        let lo = avfs.iter().map(|(a, _)| *a).fold(f64::INFINITY, f64::min);
+        let hi = avfs.iter().map(|(a, _)| *a).fold(0.0, f64::max);
+        prop_assert!(w >= lo - 1e-12 && w <= hi + 1e-12, "{lo} <= {w} <= {hi}");
+    }
+
+    #[test]
+    fn masks_respect_bounds(seed in any::<u64>(), bit_len in 1u64..1_000_000, n in 1usize..200) {
+        let mut g = MaskGenerator::new(seed);
+        let masks = g.single_bit(Target::L1D, bit_len, FaultKind::Transient, 5..105, n);
+        prop_assert_eq!(masks.len(), n);
+        for m in &masks {
+            prop_assert!(m.bits[0] < bit_len);
+            match m.model {
+                marvel_core::FaultModel::Transient { cycle } => prop_assert!((5..105).contains(&cycle)),
+                _ => prop_assert!(false, "wrong model"),
+            }
+        }
+    }
+
+    #[test]
+    fn adjacent_bursts_in_bounds(seed in any::<u64>(), bit_len in 64u64..100_000, burst in 1u64..16) {
+        let mut g = MaskGenerator::new(seed);
+        let masks = g.adjacent_multi_bit(Target::L1I, bit_len, burst, FaultKind::Permanent, 0..1, 50);
+        for m in &masks {
+            prop_assert_eq!(m.bits.len() as u64, burst);
+            prop_assert!(*m.bits.last().unwrap() < bit_len);
+        }
+    }
+}

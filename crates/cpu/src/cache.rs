@@ -1,0 +1,422 @@
+//! Write-back, write-allocate caches with tree-PLRU replacement and
+//! bit-accurate line contents.
+//!
+//! Cache lines hold the **actual program bytes**, so a flipped bit in the
+//! L1I data array really changes what the decoder sees, and a flipped bit
+//! in the L1D really changes loaded values — the property the whole
+//! fault-injection methodology rests on.
+
+use crate::config::CacheConfig;
+
+/// Monitoring state for the single armed (injected) bit, used for the
+/// paper's early-termination optimisation and fault-propagation reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultFate {
+    /// Not yet read or overwritten.
+    #[default]
+    Pending,
+    /// The faulty storage was read before being overwritten (the fault was
+    /// activated; the run must complete to classify it).
+    Read,
+    /// The faulty storage was overwritten/refilled before any read: the
+    /// fault is definitively masked.
+    Overwritten,
+    /// The fault targeted an invalid/unused entry: masked immediately.
+    InvalidAtInjection,
+}
+
+impl FaultFate {
+    /// True when the outcome is already known to be Masked.
+    pub fn is_masked_early(self) -> bool {
+        matches!(self, FaultFate::Overwritten | FaultFate::InvalidAtInjection)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    data: Box<[u8]>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Armed {
+    set: usize,
+    way: usize,
+    byte: usize,
+    fate: FaultFate,
+}
+
+/// One cache level.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: usize,
+    lines: Vec<Line>,
+    /// Tree-PLRU state bits, one word per set (supports assoc ≤ 8).
+    plru: Vec<u8>,
+    /// Permanent stuck-at faults on data bits: (bit index, value).
+    stuck: Vec<(u64, bool)>,
+    armed: Option<Armed>,
+    pub hits: u64,
+    pub misses: u64,
+}
+
+impl Cache {
+    pub fn new(cfg: CacheConfig) -> Self {
+        let sets = cfg.sets();
+        assert!(sets.is_power_of_two() && cfg.line.is_power_of_two());
+        assert!(cfg.assoc <= 8, "tree-PLRU model supports up to 8 ways");
+        let lines = (0..sets * cfg.assoc)
+            .map(|_| Line { tag: 0, valid: false, dirty: false, data: vec![0u8; cfg.line].into_boxed_slice() })
+            .collect();
+        Cache { cfg, sets, lines, plru: vec![0; sets], stuck: Vec::new(), armed: None, hits: 0, misses: 0 }
+    }
+
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    #[inline]
+    fn set_of(&self, addr: u64) -> usize {
+        ((addr / self.cfg.line as u64) as usize) & (self.sets - 1)
+    }
+
+    #[inline]
+    fn tag_of(&self, addr: u64) -> u64 {
+        addr / (self.cfg.line as u64 * self.sets as u64)
+    }
+
+    #[inline]
+    fn idx(&self, set: usize, way: usize) -> usize {
+        set * self.cfg.assoc + way
+    }
+
+    /// Look up `addr`; returns the way on a hit (and updates PLRU).
+    pub fn lookup(&mut self, addr: u64) -> Option<usize> {
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        for way in 0..self.cfg.assoc {
+            let l = &self.lines[self.idx(set, way)];
+            if l.valid && l.tag == tag {
+                self.touch(set, way);
+                return Some(way);
+            }
+        }
+        None
+    }
+
+    /// Tree-PLRU touch: flip tree bits towards `way`.
+    fn touch(&mut self, set: usize, way: usize) {
+        // For associativity w (power of two ≤ 8) the tree has w-1 internal
+        // nodes stored breadth-first in a byte.
+        let mut node = 0usize;
+        let mut lo = 0usize;
+        let mut hi = self.cfg.assoc;
+        let mut bits = self.plru[set];
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if way < mid {
+                bits |= 1 << node; // next victim search goes right
+                node = 2 * node + 1;
+                hi = mid;
+            } else {
+                bits &= !(1 << node);
+                node = 2 * node + 2;
+                lo = mid;
+            }
+        }
+        self.plru[set] = bits;
+    }
+
+    /// Tree-PLRU victim selection (prefers invalid ways first).
+    pub fn victim(&self, set: usize) -> usize {
+        for way in 0..self.cfg.assoc {
+            if !self.lines[self.idx(set, way)].valid {
+                return way;
+            }
+        }
+        let bits = self.plru[set];
+        let mut node = 0usize;
+        let mut lo = 0usize;
+        let mut hi = self.cfg.assoc;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if bits & (1 << node) != 0 {
+                node = 2 * node + 2;
+                lo = mid;
+            } else {
+                node = 2 * node + 1;
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Read `n` bytes at `addr` from a resident line. Caller must have hit.
+    pub fn read(&mut self, addr: u64, n: usize, way: usize) -> u64 {
+        let set = self.set_of(addr);
+        let off = (addr as usize) & (self.cfg.line - 1);
+        debug_assert!(off + n <= self.cfg.line);
+        self.note_access(set, way, off, n, false);
+        let l = &self.lines[self.idx(set, way)];
+        let mut out = [0u8; 8];
+        out[..n].copy_from_slice(&l.data[off..off + n]);
+        u64::from_le_bytes(out)
+    }
+
+    /// Borrow the raw bytes of a resident line (instruction fetch path).
+    /// `note_range` marks the byte range as read for fault monitoring.
+    pub fn line_bytes(&mut self, addr: u64, way: usize, note_from: usize, note_len: usize) -> &[u8] {
+        let set = self.set_of(addr);
+        self.note_access(set, way, note_from, note_len, false);
+        &self.lines[self.idx(set, way)].data
+    }
+
+    /// Write `n` bytes at `addr` into a resident line, marking it dirty.
+    pub fn write(&mut self, addr: u64, n: usize, val: u64, way: usize) {
+        let set = self.set_of(addr);
+        let off = (addr as usize) & (self.cfg.line - 1);
+        debug_assert!(off + n <= self.cfg.line);
+        self.note_access(set, way, off, n, true);
+        let idx = self.idx(set, way);
+        let l = &mut self.lines[idx];
+        l.data[off..off + n].copy_from_slice(&val.to_le_bytes()[..n]);
+        l.dirty = true;
+        self.apply_stuck_to_line(set, way);
+    }
+
+    /// Install a line; returns the evicted dirty line `(addr, data)` if a
+    /// write-back is required.
+    pub fn fill(&mut self, addr: u64, data: &[u8]) -> Option<(u64, Vec<u8>)> {
+        let set = self.set_of(addr);
+        let way = self.victim(set);
+        // Filling over the armed line without it having been read masks it.
+        if let Some(a) = &mut self.armed {
+            if a.set == set && a.way == way && a.fate == FaultFate::Pending {
+                a.fate = FaultFate::Overwritten;
+            }
+        }
+        let line_size = self.cfg.line as u64;
+        let sets = self.sets as u64;
+        let new_tag = self.tag_of(addr);
+        let idx = self.idx(set, way);
+        let l = &mut self.lines[idx];
+        let evicted = if l.valid && l.dirty {
+            let eaddr = (l.tag * sets + set as u64) * line_size;
+            Some((eaddr, l.data.to_vec()))
+        } else {
+            None
+        };
+        l.tag = new_tag;
+        l.valid = true;
+        l.dirty = false;
+        l.data.copy_from_slice(data);
+        self.apply_stuck_to_line(set, way);
+        self.touch(set, way);
+        evicted
+    }
+
+    /// Invalidate every line, writing back nothing (test/reset helper).
+    pub fn invalidate_all(&mut self) {
+        for l in &mut self.lines {
+            l.valid = false;
+            l.dirty = false;
+        }
+    }
+
+    fn note_access(&mut self, set: usize, way: usize, off: usize, n: usize, is_write: bool) {
+        if let Some(a) = &mut self.armed {
+            if a.set == set && a.way == way && a.fate == FaultFate::Pending && a.byte >= off && a.byte < off + n {
+                a.fate = if is_write { FaultFate::Overwritten } else { FaultFate::Read };
+            }
+        }
+    }
+
+    // ---- fault injection ----
+
+    /// Total injectable data-array bits.
+    pub fn bit_len(&self) -> u64 {
+        (self.lines.len() * self.cfg.line * 8) as u64
+    }
+
+    /// Flip one data-array bit (transient fault). Arms fate monitoring.
+    pub fn flip_bit(&mut self, bit: u64) -> FaultFate {
+        let (set, way, byte, mask) = self.locate(bit);
+        let idx = self.idx(set, way);
+        let valid = self.lines[idx].valid;
+        self.lines[idx].data[byte] ^= mask;
+        let fate = if valid { FaultFate::Pending } else { FaultFate::InvalidAtInjection };
+        self.armed = Some(Armed { set, way, byte, fate });
+        fate
+    }
+
+    /// Install a permanent stuck-at fault on a data-array bit.
+    pub fn set_stuck(&mut self, bit: u64, value: bool) {
+        self.stuck.push((bit, value));
+        let (set, way, byte, mask) = self.locate(bit);
+        let idx = self.idx(set, way);
+        if value {
+            self.lines[idx].data[byte] |= mask;
+        } else {
+            self.lines[idx].data[byte] &= !mask;
+        }
+        let valid = self.lines[idx].valid;
+        self.armed = Some(Armed {
+            set,
+            way,
+            byte,
+            fate: if valid { FaultFate::Pending } else { FaultFate::InvalidAtInjection },
+        });
+    }
+
+    /// Current fate of the armed fault (if any).
+    pub fn fate(&self) -> Option<FaultFate> {
+        self.armed.map(|a| a.fate)
+    }
+
+    fn locate(&self, bit: u64) -> (usize, usize, usize, u8) {
+        let line_bits = (self.cfg.line * 8) as u64;
+        let line_idx = (bit / line_bits) as usize;
+        let set = line_idx / self.cfg.assoc;
+        let way = line_idx % self.cfg.assoc;
+        let bit_in_line = bit % line_bits;
+        let byte = (bit_in_line / 8) as usize;
+        let mask = 1u8 << (bit_in_line % 8);
+        (set, way, byte, mask)
+    }
+
+    fn apply_stuck_to_line(&mut self, set: usize, way: usize) {
+        if self.stuck.is_empty() {
+            return;
+        }
+        let stuck = self.stuck.clone();
+        for (bit, value) in stuck {
+            let (s, w, byte, mask) = self.locate(bit);
+            if s == set && w == way {
+                let idx = self.idx(set, way);
+                if value {
+                    self.lines[idx].data[byte] |= mask;
+                } else {
+                    self.lines[idx].data[byte] &= !mask;
+                }
+            }
+        }
+    }
+
+    /// Whether the line holding `bit` is currently valid (used to report
+    /// immediate masking for faults into invalid entries).
+    pub fn bit_in_valid_line(&self, bit: u64) -> bool {
+        let (set, way, _, _) = self.locate(bit);
+        self.lines[self.idx(set, way)].valid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        // 1 KiB, 4-way, 64 B lines → 4 sets.
+        Cache::new(CacheConfig { size: 1024, assoc: 4, line: 64, latency: 1 })
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = small();
+        assert!(c.lookup(0x4000_0000).is_none());
+        c.fill(0x4000_0000, &[7u8; 64]);
+        let way = c.lookup(0x4000_0000).expect("hit after fill");
+        assert_eq!(c.read(0x4000_0008, 8, way), 0x0707_0707_0707_0707);
+    }
+
+    #[test]
+    fn write_sets_dirty_and_evicts() {
+        let mut c = small();
+        c.fill(0x4000_0000, &[0u8; 64]);
+        let way = c.lookup(0x4000_0000).unwrap();
+        c.write(0x4000_0000, 8, 0xDEAD_BEEF, way);
+        // Fill 4 more lines mapping to set 0 (set stride = 4 * 64 = 256).
+        let mut evicted = None;
+        for i in 1..=4u64 {
+            if let Some(e) = c.fill(0x4000_0000 + i * 256, &[0u8; 64]) {
+                evicted = Some(e);
+            }
+        }
+        let (addr, data) = evicted.expect("dirty line written back");
+        assert_eq!(addr, 0x4000_0000);
+        assert_eq!(&data[..4], &0xDEAD_BEEFu32.to_le_bytes());
+    }
+
+    #[test]
+    fn plru_victim_changes_with_touches() {
+        let mut c = small();
+        for i in 0..4u64 {
+            c.fill(0x4000_0000 + i * 256, &[0u8; 64]);
+        }
+        // Touch ways 0..3 in order; victim should not be the most recent.
+        for i in 0..4u64 {
+            c.lookup(0x4000_0000 + i * 256);
+        }
+        let v = c.victim(0);
+        assert_ne!(v, 3, "most recently used way must not be the victim");
+    }
+
+    #[test]
+    fn flip_changes_data_and_tracks_fate() {
+        let mut c = small();
+        c.fill(0x4000_0000, &[0u8; 64]);
+        // bit 3 of set 0 way 0 byte 0
+        let fate = c.flip_bit(3);
+        assert_eq!(fate, FaultFate::Pending);
+        let way = c.lookup(0x4000_0000).unwrap();
+        let v = c.read(0x4000_0000, 1, way);
+        assert_eq!(v, 0b1000);
+        assert_eq!(c.fate(), Some(FaultFate::Read));
+    }
+
+    #[test]
+    fn flip_invalid_line_masked_immediately() {
+        let mut c = small();
+        let fate = c.flip_bit(0);
+        assert_eq!(fate, FaultFate::InvalidAtInjection);
+        assert!(fate.is_masked_early());
+    }
+
+    #[test]
+    fn overwrite_before_read_is_masked() {
+        let mut c = small();
+        c.fill(0x4000_0000, &[0u8; 64]);
+        c.flip_bit(0);
+        let way = c.lookup(0x4000_0000).unwrap();
+        c.write(0x4000_0000, 1, 0xFF, way);
+        assert_eq!(c.fate(), Some(FaultFate::Overwritten));
+    }
+
+    #[test]
+    fn stuck_at_survives_writes() {
+        let mut c = small();
+        c.fill(0x4000_0000, &[0u8; 64]);
+        c.set_stuck(0, true); // bit 0 of byte 0 stuck at 1
+        let way = c.lookup(0x4000_0000).unwrap();
+        c.write(0x4000_0000, 1, 0x00, way);
+        let v = c.read(0x4000_0000, 1, way);
+        assert_eq!(v & 1, 1, "stuck-at-1 must survive the write of 0");
+    }
+
+    #[test]
+    fn stuck_at_survives_refill() {
+        let mut c = small();
+        c.set_stuck(7, true); // byte 0 bit 7 of set0/way0
+        c.fill(0x4000_0000, &[0u8; 64]);
+        let way = c.lookup(0x4000_0000).unwrap();
+        assert_eq!(c.read(0x4000_0000, 1, way) & 0x80, 0x80);
+    }
+
+    #[test]
+    fn bit_len_matches_geometry() {
+        let c = small();
+        assert_eq!(c.bit_len(), 1024 * 8);
+    }
+}

@@ -1,0 +1,156 @@
+//! Core configuration — defaults reproduce the paper's Table II.
+
+use marvel_isa::Isa;
+
+/// Geometry of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total size in bytes.
+    pub size: usize,
+    /// Associativity (ways).
+    pub assoc: usize,
+    /// Line size in bytes.
+    pub line: usize,
+    /// Hit latency in cycles.
+    pub latency: u32,
+}
+
+impl CacheConfig {
+    pub fn sets(&self) -> usize {
+        self.size / (self.assoc * self.line)
+    }
+}
+
+/// Out-of-order core configuration.
+///
+/// The defaults are the paper's Table II: 64-bit 8-issue OoO; 32 KiB 4-way
+/// L1I and L1D (64 B lines, 128 sets); 1 MiB 8-way L2 (2048 sets); 128
+/// integer + 128 FP physical registers; LQ/SQ/IQ/ROB = 32/32/64/128.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoreConfig {
+    pub isa: Isa,
+    pub fetch_width: usize,
+    pub issue_width: usize,
+    pub commit_width: usize,
+    pub rob_entries: usize,
+    pub iq_entries: usize,
+    pub lq_entries: usize,
+    pub sq_entries: usize,
+    /// Integer physical register file size.
+    pub int_prf: usize,
+    /// Floating-point physical register file size (modelled as injectable
+    /// storage; the integer workloads never read it).
+    pub fp_prf: usize,
+    pub l1i: CacheConfig,
+    pub l1d: CacheConfig,
+    pub l2: CacheConfig,
+    /// Main-memory access latency (beyond L2) in cycles.
+    pub mem_latency: u32,
+    /// Number of simple integer ALUs.
+    pub n_alu: usize,
+    /// Number of (unpipelined) multiply/divide units.
+    pub n_muldiv: usize,
+    /// Load/store ports into the L1D per cycle.
+    pub n_mem_ports: usize,
+    /// Bimodal predictor entries (2-bit counters).
+    pub bp_entries: usize,
+    /// Return-address-stack depth.
+    pub ras_entries: usize,
+    /// Fetch-queue capacity in micro-ops.
+    pub fetch_queue: usize,
+}
+
+impl CoreConfig {
+    /// The paper's Table II configuration for `isa`.
+    pub fn table2(isa: Isa) -> Self {
+        CoreConfig {
+            isa,
+            fetch_width: 8,
+            issue_width: 8,
+            commit_width: 8,
+            rob_entries: 128,
+            iq_entries: 64,
+            lq_entries: 32,
+            sq_entries: 32,
+            int_prf: 128,
+            fp_prf: 128,
+            l1i: CacheConfig { size: 32 * 1024, assoc: 4, line: 64, latency: 2 },
+            l1d: CacheConfig { size: 32 * 1024, assoc: 4, line: 64, latency: 2 },
+            l2: CacheConfig { size: 1024 * 1024, assoc: 8, line: 64, latency: 14 },
+            mem_latency: 80,
+            n_alu: 4,
+            n_muldiv: 1,
+            n_mem_ports: 2,
+            bp_entries: 4096,
+            ras_entries: 16,
+            fetch_queue: 24,
+        }
+    }
+
+    /// Table II variant with a different integer PRF size (the paper's
+    /// Fig. 15 sensitivity study uses 96/128/192).
+    pub fn with_int_prf(isa: Isa, int_prf: usize) -> Self {
+        let mut c = Self::table2(isa);
+        c.int_prf = int_prf;
+        c
+    }
+
+    /// Render the configuration as the paper's Table II rows.
+    pub fn table2_rows() -> Vec<(&'static str, String)> {
+        let c = Self::table2(Isa::RiscV);
+        vec![
+            ("ISA", "RISC-V / Arm / x86".to_string()),
+            ("Pipeline", format!("64-bit OoO ({}-issue)", c.issue_width)),
+            (
+                "L1 Instruction Cache",
+                format!("{}KB, {}B line, {} sets, {}-way", c.l1i.size / 1024, c.l1i.line, c.l1i.sets(), c.l1i.assoc),
+            ),
+            (
+                "L1 Data Cache",
+                format!("{}KB, {}B line, {} sets, {}-way", c.l1d.size / 1024, c.l1d.line, c.l1d.sets(), c.l1d.assoc),
+            ),
+            (
+                "L2 Cache",
+                format!("{}MB, {}B line, {} sets, {}-way", c.l2.size / 1024 / 1024, c.l2.line, c.l2.sets(), c.l2.assoc),
+            ),
+            ("Physical Register File", format!("{} Int; {} FP", c.int_prf, c.fp_prf)),
+            (
+                "LQ/SQ/IQ/ROB entries",
+                format!("{}/{}/{}/{}", c.lq_entries, c.sq_entries, c.iq_entries, c.rob_entries),
+            ),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_matches_paper() {
+        let c = CoreConfig::table2(Isa::Arm);
+        assert_eq!(c.l1i.sets(), 128);
+        assert_eq!(c.l1i.assoc, 4);
+        assert_eq!(c.l1d.size, 32 * 1024);
+        assert_eq!(c.l2.sets(), 2048);
+        assert_eq!(c.l2.assoc, 8);
+        assert_eq!(c.int_prf, 128);
+        assert_eq!((c.lq_entries, c.sq_entries, c.iq_entries, c.rob_entries), (32, 32, 64, 128));
+        assert_eq!(c.issue_width, 8);
+    }
+
+    #[test]
+    fn table2_rows_render() {
+        let rows = CoreConfig::table2_rows();
+        assert_eq!(rows.len(), 7);
+        assert!(rows[2].1.contains("32KB"));
+        assert!(rows[6].1.contains("32/32/64/128"));
+    }
+
+    #[test]
+    fn prf_override() {
+        let c = CoreConfig::with_int_prf(Isa::RiscV, 96);
+        assert_eq!(c.int_prf, 96);
+        assert_eq!(c.fp_prf, 128);
+    }
+}

@@ -1,0 +1,1352 @@
+//! The out-of-order core: fetch (decoding real bytes from the L1I) →
+//! rename → issue → execute → commit, with commit-time squash recovery.
+//!
+//! Every architectural and microarchitectural value is held as explicit
+//! bits in an injectable structure (PRF, caches, LQ/SQ, ROB results,
+//! rename map), so injected faults propagate — or are masked — for the
+//! same reasons they would in hardware: dead registers, wrong-path
+//! execution, overwrites, cache evictions, decode don't-cares.
+
+use crate::bp::BranchPredictor;
+use crate::cache::{Cache, FaultFate};
+use crate::config::CoreConfig;
+use crate::lsq::{LoadQueue, StoreQueue};
+use crate::prf::{FreeList, PhysRegFile, RenameMap};
+use marvel_isa::{Isa, MicroOp, Op, Trap, REG_NONE};
+use std::sync::Arc;
+
+/// Backing memory + devices, provided by the SoC.
+pub trait Bus {
+    /// Read a full cache line from RAM. Returns `false` if unmapped.
+    fn read_line(&mut self, addr: u64, buf: &mut [u8]) -> bool;
+    /// Write a full cache line back to RAM. Returns `false` if unmapped.
+    fn write_line(&mut self, addr: u64, data: &[u8]) -> bool;
+    /// Uncached device read.
+    fn device_read(&mut self, addr: u64, size: u8) -> Option<u64>;
+    /// Uncached device write.
+    fn device_write(&mut self, addr: u64, size: u8, val: u64) -> Option<()>;
+    /// Address is backed by cacheable RAM.
+    fn is_cacheable(&self, addr: u64) -> bool;
+    /// Address belongs to a device range.
+    fn is_device(&self, addr: u64) -> bool;
+}
+
+const PNONE: u16 = u16::MAX;
+const QNONE: u16 = u16::MAX;
+
+/// Load-pipeline depth between address generation and the cache access
+/// made through the buffered LQ request bits.
+const REQUEST_DELAY: u64 = 4;
+
+/// What happened during a [`Core::tick`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepEvent {
+    None,
+    /// A `Halt` committed: the program ended normally.
+    Halted,
+    /// A trap reached the commit stage (the run is a Crash).
+    Trapped(Trap),
+    /// A `Checkpoint` marker committed.
+    CheckpointHit,
+    /// A `SwitchCpu` marker committed.
+    SwitchCpuHit,
+}
+
+/// One entry of the commit trace (the HVF comparison stream).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitRecord {
+    pub pc: u64,
+    pub kind: u8,
+    pub result: u64,
+    pub addr: u64,
+}
+
+/// Commit-trace mode.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum TraceMode {
+    #[default]
+    Off,
+    /// Record the trace (golden run).
+    Record,
+    /// Compare online against a golden trace, noting the first divergence.
+    Check(Arc<Vec<CommitRecord>>),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EState {
+    Waiting,
+    Executing,
+    Done,
+}
+
+#[derive(Debug, Clone)]
+struct RobEntry {
+    seq: u64,
+    uop: MicroOp,
+    pc: u64,
+    macro_len: u8,
+    first_of_macro: bool,
+    last_of_macro: bool,
+    predicted_next: u64,
+    actual_next: u64,
+    taken: bool,
+    pdst: u16,
+    prev_pdst: u16,
+    psrc: [u16; 3],
+    state: EState,
+    trap: Option<Trap>,
+    lq: u16,
+    sq: u16,
+    result: u64,
+    mem_addr: u64,
+    /// An older store detected a memory-ordering violation: re-execute
+    /// this load from fetch when it reaches the commit head.
+    replay: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct FetchedUop {
+    uop: MicroOp,
+    pc: u64,
+    macro_len: u8,
+    first_of_macro: bool,
+    last_of_macro: bool,
+    predicted_next: u64,
+    trap: Option<Trap>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    at: u64,
+    seq: u64,
+    result: u64,
+    /// For loads: deliver the value from this LQ entry's data field at
+    /// writeback time (so LQ faults during the access window propagate).
+    from_lq: u16,
+}
+
+/// Execution statistics.
+#[derive(Debug, Clone, Default)]
+pub struct CoreStats {
+    pub cycles: u64,
+    pub committed_uops: u64,
+    pub committed_macros: u64,
+    pub loads: u64,
+    pub stores: u64,
+    pub branches: u64,
+    pub mispredicts: u64,
+    pub lq_occ_accum: u64,
+    pub sq_occ_accum: u64,
+    pub flushes: u64,
+    pub replays: u64,
+}
+
+impl CoreStats {
+    /// Instructions (macro) per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed_macros as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// The out-of-order core.
+#[derive(Debug, Clone)]
+pub struct Core {
+    pub cfg: CoreConfig,
+    isa: Isa,
+    cycle: u64,
+    next_seq: u64,
+
+    // front end
+    fetch_pc: u64,
+    fetch_halted: bool,
+    fetch_stall_until: u64,
+    fq: Vec<FetchedUop>,
+    bp: BranchPredictor,
+
+    // rename
+    rename: RenameMap,
+    retire: RenameMap,
+    freelist: FreeList,
+
+    // backend
+    rob: std::collections::VecDeque<RobEntry>,
+    iq: Vec<u64>,
+    events: Vec<Event>,
+    /// Loads whose AGU has fired but whose cache access (through the
+    /// buffered LQ request bits) is still in the load pipeline.
+    pending_loads: Vec<(u64, u64)>,
+    muldiv_free_at: u64,
+
+    // memory system
+    pub prf: PhysRegFile,
+    pub prf_fp: PhysRegFile,
+    pub l1i: Cache,
+    pub l1d: Cache,
+    pub l2: Cache,
+    pub lq: LoadQueue,
+    pub sq: StoreQueue,
+
+    // interrupts
+    irq_pending: bool,
+    in_irq: bool,
+    iret_pc: u64,
+
+    /// Memory-dependence predictor: loads whose PC hashes into a set bit
+    /// have violated before and now wait for older store addresses
+    /// (store-set style, as in the Alpha 21264 / gem5 O3).
+    mdp: Vec<bool>,
+
+    // ROB-result injection
+    rob_armed: Option<(u64, FaultFate)>,
+    rob_flip: Option<(u64, u64)>, // (entry index within capacity, bit)
+
+    // trace
+    pub trace_mode: TraceMode,
+    pub trace: Vec<CommitRecord>,
+    trace_pos: usize,
+    pub divergence: Option<u64>,
+
+    pub stats: CoreStats,
+}
+
+fn op_tag(op: Op) -> u8 {
+    match op {
+        Op::Alu(_) | Op::AluImm(_) | Op::LoadImm | Op::MovK(_) | Op::Auipc | Op::LinkAddr => 1,
+        Op::Load { .. } => 2,
+        Op::Store { .. } => 3,
+        Op::Branch(_) | Op::Jal | Op::Jalr | Op::Iret => 4,
+        Op::Halt | Op::Checkpoint | Op::SwitchCpu | Op::Nop => 5,
+    }
+}
+
+impl Core {
+    pub fn new(cfg: CoreConfig) -> Self {
+        let spec = cfg.isa.reg_spec();
+        let prf = PhysRegFile::new(cfg.int_prf);
+        let rename = RenameMap::new(spec.total_regs as usize, cfg.int_prf as u16);
+        let retire = RenameMap::new(spec.total_regs as usize, cfg.int_prf as u16);
+        let freelist = FreeList::new(cfg.int_prf as u16, &[0]);
+        Core {
+            isa: cfg.isa,
+            cycle: 0,
+            next_seq: 1,
+            fetch_pc: 0,
+            fetch_halted: true,
+            fetch_stall_until: 0,
+            fq: Vec::new(),
+            bp: BranchPredictor::new(cfg.bp_entries, cfg.ras_entries),
+            rename,
+            retire,
+            freelist,
+            rob: std::collections::VecDeque::with_capacity(cfg.rob_entries),
+            iq: Vec::new(),
+            events: Vec::new(),
+            pending_loads: Vec::new(),
+            muldiv_free_at: 0,
+            prf,
+            prf_fp: PhysRegFile::new(cfg.fp_prf),
+            l1i: Cache::new(cfg.l1i),
+            l1d: Cache::new(cfg.l1d),
+            l2: Cache::new(cfg.l2),
+            lq: LoadQueue::new(cfg.lq_entries),
+            sq: StoreQueue::new(cfg.sq_entries),
+            irq_pending: false,
+            in_irq: false,
+            iret_pc: 0,
+            mdp: vec![false; 1024],
+            rob_armed: None,
+            rob_flip: None,
+            trace_mode: TraceMode::Off,
+            trace: Vec::new(),
+            trace_pos: 0,
+            divergence: None,
+            stats: CoreStats::default(),
+            cfg,
+        }
+    }
+
+    /// Reset the pipeline and start fetching at `pc`. Cache contents are
+    /// preserved (checkpoints capture warm caches).
+    pub fn reset_to(&mut self, pc: u64) {
+        self.fetch_pc = pc;
+        self.fetch_halted = false;
+        self.fetch_stall_until = 0;
+        self.fq.clear();
+        self.rob.clear();
+        self.iq.clear();
+        self.events.clear();
+        self.pending_loads.clear();
+        self.lq.clear();
+        self.sq = StoreQueue::new(self.cfg.sq_entries);
+        let spec = self.isa.reg_spec();
+        self.rename = RenameMap::new(spec.total_regs as usize, self.cfg.int_prf as u16);
+        self.retire = RenameMap::new(spec.total_regs as usize, self.cfg.int_prf as u16);
+        self.freelist = FreeList::new(self.cfg.int_prf as u16, &[0]);
+        self.prf.set_all_ready();
+    }
+
+    pub fn isa(&self) -> Isa {
+        self.isa
+    }
+
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Raise/clear the external interrupt line.
+    pub fn set_irq(&mut self, level: bool) {
+        self.irq_pending = level;
+    }
+
+    pub fn in_irq(&self) -> bool {
+        self.in_irq
+    }
+
+    /// Advance one cycle.
+    pub fn tick(&mut self, bus: &mut dyn Bus) -> StepEvent {
+        self.cycle += 1;
+        self.stats.cycles += 1;
+        self.stats.lq_occ_accum += self.lq.occupancy() as u64;
+        self.stats.sq_occ_accum += self.sq.occupancy() as u64;
+
+        // 1. writeback: deliver due completion events.
+        self.writeback();
+        // 2. commit.
+        let ev = self.commit();
+        if matches!(ev, StepEvent::Halted) {
+            // Drain every committed store (console output included) before
+            // declaring the program finished.
+            while self.sq.oldest_senior().is_some() {
+                if let Some(t) = self.drain_stores(bus) {
+                    return StepEvent::Trapped(t);
+                }
+            }
+            return ev;
+        }
+        if !matches!(ev, StepEvent::None) {
+            return ev;
+        }
+        // 3. drain senior stores.
+        if let Some(t) = self.drain_stores(bus) {
+            return StepEvent::Trapped(t);
+        }
+        // 4. issue/execute.
+        self.issue(bus);
+        // 5. rename/dispatch.
+        self.dispatch();
+        // 6. fetch.
+        self.fetch(bus);
+        StepEvent::None
+    }
+
+    // ------------------------------------------------------------------
+    // writeback
+    // ------------------------------------------------------------------
+
+    fn rob_index_of(&self, seq: u64) -> Option<usize> {
+        let front = self.rob.front()?.seq;
+        if seq < front {
+            return None;
+        }
+        let idx = (seq - front) as usize;
+        if idx < self.rob.len() && self.rob[idx].seq == seq {
+            Some(idx)
+        } else {
+            None
+        }
+    }
+
+    fn writeback(&mut self) {
+        let now = self.cycle;
+        let mut i = 0;
+        while i < self.events.len() {
+            if self.events[i].at <= now {
+                let e = self.events.swap_remove(i);
+                if let Some(idx) = self.rob_index_of(e.seq) {
+                    // Loads deliver from the (injectable) LQ data field.
+                    let value = if e.from_lq != QNONE {
+                        let lqe = &self.lq.entries[e.from_lq as usize];
+                        if lqe.valid && lqe.seq == e.seq {
+                            lqe.data
+                        } else {
+                            e.result
+                        }
+                    } else {
+                        e.result
+                    };
+                    let (pdst, rob_base) = {
+                        let ent = &mut self.rob[idx];
+                        ent.state = EState::Done;
+                        ent.result = value;
+                        (ent.pdst, idx)
+                    };
+                    // Apply a pending ROB-result fault the moment the value
+                    // lands in the entry.
+                    self.apply_rob_flip(rob_base);
+                    let result = self.rob[rob_base].result;
+                    if pdst != PNONE {
+                        self.prf.write(pdst, result);
+                        self.prf.set_ready(pdst, true);
+                    }
+                }
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    fn apply_rob_flip(&mut self, idx: usize) {
+        if let Some((slot, bit)) = self.rob_flip {
+            let cap = self.cfg.rob_entries as u64;
+            let ent_seq = self.rob[idx].seq;
+            if ent_seq % cap == slot {
+                self.rob[idx].result ^= 1 << bit;
+                self.rob_flip = None;
+                if let Some((_, f)) = &mut self.rob_armed {
+                    *f = FaultFate::Read;
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // commit
+    // ------------------------------------------------------------------
+
+    fn commit(&mut self) -> StepEvent {
+        for _ in 0..self.cfg.commit_width {
+            let Some(head) = self.rob.front() else { return StepEvent::None };
+            if head.state != EState::Done {
+                return StepEvent::None;
+            }
+            // External interrupt: accept at macro boundaries.
+            if self.irq_pending && !self.in_irq && head.first_of_macro && head.trap.is_none() {
+                let resume = head.pc;
+                self.in_irq = true;
+                self.iret_pc = resume;
+                self.flush_to(marvel_ir::memmap::IRQ_VECTOR);
+                return StepEvent::None;
+            }
+            let ent = self.rob.front().unwrap().clone();
+            if let Some(t) = ent.trap {
+                return StepEvent::Trapped(t);
+            }
+            // Memory-ordering replay: squash from this load (inclusive)
+            // and refetch it; the conflicting older store has retired.
+            if ent.replay {
+                self.stats.replays += 1;
+                let pc = ent.pc;
+                self.mdp[(pc >> 2) as usize & 1023] = true;
+                self.flush_to(pc);
+                return StepEvent::None;
+            }
+
+            // Architectural effects.
+            if ent.pdst != PNONE {
+                let prev = ent.prev_pdst;
+                self.retire.set(ent.uop.rd, ent.pdst);
+                if prev != PNONE && prev != 0 {
+                    self.freelist.release(prev);
+                }
+            }
+            if ent.uop.op.is_store() && ent.sq != QNONE {
+                self.sq.entries[ent.sq as usize].senior = true;
+                self.stats.stores += 1;
+            }
+            if ent.uop.op.is_load() && ent.lq != QNONE {
+                self.lq.free(ent.lq as usize);
+                self.stats.loads += 1;
+            }
+
+            // Commit trace (HVF stream).
+            let tag = op_tag(ent.uop.op);
+            if tag <= 4 && !matches!(ent.uop.op, Op::Nop) {
+                let rec = CommitRecord {
+                    pc: ent.pc,
+                    kind: tag,
+                    result: if tag == 4 { ent.actual_next } else { ent.result },
+                    addr: ent.mem_addr,
+                };
+                match &self.trace_mode {
+                    TraceMode::Off => {}
+                    TraceMode::Record => self.trace.push(rec),
+                    TraceMode::Check(golden) => {
+                        if self.divergence.is_none() {
+                            let ok = golden.get(self.trace_pos) == Some(&rec);
+                            if !ok {
+                                self.divergence = Some(self.trace_pos as u64);
+                            }
+                        }
+                        self.trace_pos += 1;
+                    }
+                }
+            }
+
+            self.stats.committed_uops += 1;
+            if ent.last_of_macro {
+                self.stats.committed_macros += 1;
+            }
+
+            // Simulation markers.
+            match ent.uop.op {
+                Op::Halt => {
+                    self.rob.pop_front();
+                    return StepEvent::Halted;
+                }
+                Op::Checkpoint => {
+                    self.rob.pop_front();
+                    return StepEvent::CheckpointHit;
+                }
+                Op::SwitchCpu => {
+                    self.rob.pop_front();
+                    return StepEvent::SwitchCpuHit;
+                }
+                Op::Iret => {
+                    let target = self.iret_pc;
+                    self.in_irq = false;
+                    self.rob.pop_front();
+                    self.flush_to(target);
+                    return StepEvent::None;
+                }
+                _ => {}
+            }
+
+            // Control-flow validation (commit-time squash).
+            if ent.uop.op.is_control() && ent.last_of_macro {
+                self.stats.branches += 1;
+                let mispredicted = ent.actual_next != ent.predicted_next;
+                if let Op::Branch(_) = ent.uop.op {
+                    self.bp.train(ent.pc, ent.taken, mispredicted);
+                }
+                self.rob.pop_front();
+                if mispredicted {
+                    self.stats.mispredicts += 1;
+                    let t = ent.actual_next;
+                    self.flush_to(t);
+                    return StepEvent::None;
+                }
+                continue;
+            }
+
+            self.rob.pop_front();
+        }
+        StepEvent::None
+    }
+
+    /// Full pipeline flush; resume fetching at `pc`.
+    fn flush_to(&mut self, pc: u64) {
+        self.stats.flushes += 1;
+        // Release in-flight destination registers.
+        let pdsts: Vec<u16> = self.rob.iter().filter(|e| e.pdst != PNONE).map(|e| e.pdst).collect();
+        for p in pdsts {
+            if p != 0 {
+                self.freelist.release(p);
+                self.prf.set_ready(p, true);
+            }
+        }
+        self.rob.clear();
+        self.iq.clear();
+        self.events.clear();
+        self.pending_loads.clear();
+        self.lq.clear();
+        self.sq.squash_after(0);
+        self.rename.copy_from(&self.retire);
+        // Rebuild the free list from the retirement map to stay consistent
+        // even after rename-map fault injection.
+        self.freelist = FreeList::new(self.cfg.int_prf as u16, self.retire.entries());
+        self.fq.clear();
+        self.fetch_pc = pc;
+        self.fetch_halted = false;
+        self.fetch_stall_until = 0;
+    }
+
+    // ------------------------------------------------------------------
+    // store drain
+    // ------------------------------------------------------------------
+
+    fn drain_stores(&mut self, bus: &mut dyn Bus) -> Option<Trap> {
+        for _ in 0..self.isa.store_drain_per_cycle() {
+            let Some(idx) = self.sq.oldest_senior() else { return None };
+            let mut e = self.sq.entries[idx];
+            // A fault-corrupted width field saturates at the bus width.
+            e.size = e.size.clamp(1, 8);
+            if e.device || bus.is_device(e.addr) {
+                if bus.device_write(e.addr, e.size, e.data).is_none() {
+                    return Some(Trap::MemFault { pc: 0, addr: e.addr });
+                }
+            } else if bus.is_cacheable(e.addr)
+                && bus.is_cacheable(e.addr + e.size.saturating_sub(1) as u64)
+            {
+                self.data_write(bus, e.addr, e.size, e.data);
+            } else {
+                // A fault-corrupted committed store aimed outside every
+                // mapped range: machine-check-style crash.
+                return Some(Trap::MemFault { pc: 0, addr: e.addr });
+            }
+            self.sq.free(idx);
+        }
+        None
+    }
+
+    // ------------------------------------------------------------------
+    // cache plumbing
+    // ------------------------------------------------------------------
+
+    /// Ensure the line holding `addr` is resident in L1 (`icache` selects
+    /// L1I/L1D); returns total access latency.
+    fn ensure_line(&mut self, bus: &mut dyn Bus, addr: u64, icache: bool) -> Option<u32> {
+        let line = self.cfg.l1d.line as u64;
+        let laddr = addr & !(line - 1);
+        let (l1, l1_lat) = if icache {
+            (&mut self.l1i, self.cfg.l1i.latency)
+        } else {
+            (&mut self.l1d, self.cfg.l1d.latency)
+        };
+        if l1.lookup(laddr).is_some() {
+            l1.hits += 1;
+            return Some(l1_lat);
+        }
+        l1.misses += 1;
+        // L2 lookup.
+        let mut lat = l1_lat + self.cfg.l2.latency;
+        let mut buf = vec![0u8; line as usize];
+        if let Some(way) = self.l2.lookup(laddr) {
+            self.l2.hits += 1;
+            let bytes = self.l2.line_bytes(laddr, way, 0, line as usize);
+            buf.copy_from_slice(bytes);
+        } else {
+            self.l2.misses += 1;
+            lat += self.cfg.mem_latency;
+            if !bus.read_line(laddr, &mut buf) {
+                return None;
+            }
+            if let Some((eaddr, edata)) = self.l2.fill(laddr, &buf) {
+                let _ = bus.write_line(eaddr, &edata);
+            }
+        }
+        let l1 = if icache { &mut self.l1i } else { &mut self.l1d };
+        if let Some((eaddr, edata)) = l1.fill(laddr, &buf) {
+            // Write back dirty L1 victim into L2 (allocate on writeback).
+            if let Some(way) = self.l2.lookup(eaddr) {
+                let line_sz = edata.len();
+                for (i, chunk) in edata.chunks(8).enumerate() {
+                    let mut v = [0u8; 8];
+                    v[..chunk.len()].copy_from_slice(chunk);
+                    self.l2.write(eaddr + (i * 8) as u64, chunk.len(), u64::from_le_bytes(v), way);
+                }
+                let _ = line_sz;
+            } else if let Some((e2, d2)) = self.l2.fill(eaddr, &edata) {
+                let _ = bus.write_line(e2, &d2);
+            }
+        }
+        Some(lat)
+    }
+
+    /// Read `size` bytes from the (resident) L1D, splitting across lines
+    /// for misaligned x86 accesses.
+    fn data_read(&mut self, bus: &mut dyn Bus, addr: u64, size: u8) -> Option<(u64, u32)> {
+        let line = self.cfg.l1d.line as u64;
+        let mut lat = 0;
+        let end = addr + size as u64;
+        let mut out: u64 = 0;
+        let mut shift = 0;
+        let mut a = addr;
+        while a < end {
+            let seg_end = ((a & !(line - 1)) + line).min(end);
+            let n = (seg_end - a) as usize;
+            lat = lat.max(self.ensure_line(bus, a, false)?);
+            let way = self.l1d.lookup(a & !(line - 1))?;
+            let v = self.l1d.read(a, n, way);
+            out |= v << shift;
+            shift += 8 * n;
+            a = seg_end;
+        }
+        Some((out, lat))
+    }
+
+    fn data_write(&mut self, bus: &mut dyn Bus, addr: u64, size: u8, val: u64) -> Option<u32> {
+        let line = self.cfg.l1d.line as u64;
+        let mut lat = 0;
+        let end = addr + size as u64;
+        let mut a = addr;
+        let mut v = val;
+        while a < end {
+            let seg_end = ((a & !(line - 1)) + line).min(end);
+            let n = (seg_end - a) as usize;
+            lat = lat.max(self.ensure_line(bus, a, false)?);
+            let way = self.l1d.lookup(a & !(line - 1))?;
+            self.l1d.write(a, n, v, way);
+            v = if n < 8 { v >> (8 * n) } else { 0 };
+            a = seg_end;
+        }
+        Some(lat)
+    }
+
+    // ------------------------------------------------------------------
+    // issue/execute
+    // ------------------------------------------------------------------
+
+    fn operand(&mut self, p: u16) -> u64 {
+        if p == PNONE {
+            0
+        } else {
+            self.prf.read(p)
+        }
+    }
+
+    fn issue(&mut self, bus: &mut dyn Bus) {
+        let mut alu_left = self.cfg.n_alu;
+        let mut mem_left = self.cfg.n_mem_ports;
+
+        // Deferred load accesses first (they own the L1D ports this cycle).
+        let due: Vec<(u64, u64)> = {
+            let now = self.cycle;
+            let mut due = Vec::new();
+            let mut keep = Vec::new();
+            for &(at, seq) in &self.pending_loads {
+                if at <= now {
+                    due.push((at, seq));
+                } else {
+                    keep.push((at, seq));
+                }
+            }
+            self.pending_loads = keep;
+            due
+        };
+        for (_, seq) in due {
+            if mem_left == 0 {
+                self.pending_loads.push((self.cycle + 1, seq));
+                continue;
+            }
+            if self.finish_load_access(bus, seq) {
+                mem_left -= 1;
+            } else {
+                self.pending_loads.push((self.cycle + REQUEST_DELAY, seq));
+            }
+        }
+        let mut issued = 0usize;
+        let mut i = 0;
+        // IQ is kept in ascending seq order (oldest first).
+        while i < self.iq.len() && issued < self.cfg.issue_width {
+            let seq = self.iq[i];
+            let Some(idx) = self.rob_index_of(seq) else {
+                self.iq.remove(i);
+                continue;
+            };
+            let ent = self.rob[idx].clone();
+            let ready = ent.psrc.iter().all(|&p| p == PNONE || self.prf.is_ready(p));
+            if !ready {
+                i += 1;
+                continue;
+            }
+            let is_mem = ent.uop.op.is_load() || ent.uop.op.is_store();
+            let needs_muldiv = matches!(ent.uop.op, Op::Alu(o) | Op::AluImm(o) if o.needs_muldiv_unit());
+            if is_mem {
+                // Address generation borrows an ALU; the L1D ports are
+                // consumed by the deferred accesses above.
+                if alu_left == 0 {
+                    i += 1;
+                    continue;
+                }
+            } else if needs_muldiv {
+                if self.muldiv_free_at > self.cycle {
+                    i += 1;
+                    continue;
+                }
+            } else if alu_left == 0 {
+                i += 1;
+                continue;
+            }
+
+            let fired = if is_mem {
+                let ok = self.issue_mem(bus, idx);
+                if ok {
+                    alu_left -= 1;
+                }
+                ok
+            } else {
+                if needs_muldiv {
+                    let lat = match ent.uop.op {
+                        Op::Alu(o) | Op::AluImm(o) => o.latency(),
+                        _ => 1,
+                    };
+                    self.muldiv_free_at = self.cycle + lat as u64;
+                } else {
+                    alu_left -= 1;
+                }
+                self.issue_alu(idx);
+                true
+            };
+            if fired {
+                self.iq.remove(i);
+                issued += 1;
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    fn issue_alu(&mut self, idx: usize) {
+        let ent = self.rob[idx].clone();
+        let a = self.operand(ent.psrc[0]);
+        let b = self.operand(ent.psrc[1]);
+        let (result, next, taken, trap, lat) = self.exec_alu(&ent, a, b);
+        let e = &mut self.rob[idx];
+        e.state = EState::Executing;
+        e.actual_next = next;
+        e.taken = taken;
+        e.trap = e.trap.or(trap);
+        let seq = e.seq;
+        self.events.push(Event { at: self.cycle + lat as u64, seq, result, from_lq: QNONE });
+    }
+
+    fn exec_alu(&mut self, ent: &RobEntry, a: u64, b: u64) -> (u64, u64, bool, Option<Trap>, u32) {
+        let u = &ent.uop;
+        let fallthrough = ent.pc.wrapping_add(ent.macro_len as u64);
+        match u.op {
+            Op::Alu(op) => match op.eval(a, b, self.isa) {
+                Ok(v) => (v, fallthrough, false, None, op.latency()),
+                Err(()) => (0, fallthrough, false, Some(Trap::DivideByZero { pc: ent.pc }), 1),
+            },
+            Op::AluImm(op) => match op.eval(a, u.imm as u64, self.isa) {
+                Ok(v) => (v, fallthrough, false, None, op.latency()),
+                Err(()) => (0, fallthrough, false, Some(Trap::DivideByZero { pc: ent.pc }), 1),
+            },
+            Op::LoadImm => (u.imm as u64, fallthrough, false, None, 1),
+            Op::MovK(sh) => {
+                let mask = 0xFFFFu64 << sh;
+                ((a & !mask) | (((u.imm as u64) & 0xFFFF) << sh), fallthrough, false, None, 1)
+            }
+            Op::Auipc => (ent.pc.wrapping_add(u.imm as u64), fallthrough, false, None, 1),
+            Op::LinkAddr => (fallthrough, fallthrough, false, None, 1),
+            Op::Jal => (fallthrough, ent.pc.wrapping_add(u.imm as u64), true, None, 1),
+            Op::Jalr => (fallthrough, a.wrapping_add(u.imm as u64), true, None, 1),
+            Op::Branch(c) => {
+                let taken = c.eval(a, b);
+                let next = if taken { ent.pc.wrapping_add(u.imm as u64) } else { fallthrough };
+                (0, next, taken, None, 1)
+            }
+            _ => (0, fallthrough, false, None, 1),
+        }
+    }
+
+    /// Try to issue a memory micro-op; returns `false` to retry later.
+    fn issue_mem(&mut self, bus: &mut dyn Bus, idx: usize) -> bool {
+        let ent = self.rob[idx].clone();
+        let base = self.operand(ent.psrc[0]);
+        let index = self.operand(ent.psrc[1]);
+        let addr = if ent.uop.reg_offset {
+            base.wrapping_add(index)
+        } else {
+            base.wrapping_add(ent.uop.imm as u64)
+        };
+
+        let (w, is_load) = match ent.uop.op {
+            Op::Load { w, .. } => (w, true),
+            Op::Store { w } => (w, false),
+            _ => unreachable!("issue_mem on non-memory uop"),
+        };
+        let size = w.bytes() as u8;
+        let seq = ent.seq;
+
+        // Alignment / mapping checks produce precise traps.
+        let misaligned = addr % size as u64 != 0;
+        let device = bus.is_device(addr);
+        let mapped = device
+            || (bus.is_cacheable(addr) && bus.is_cacheable(addr + size as u64 - 1));
+        let mut trap = None;
+        if misaligned && self.isa.traps_on_misaligned() {
+            trap = Some(Trap::Misaligned { pc: ent.pc, addr });
+        } else if !mapped {
+            trap = Some(Trap::MemFault { pc: ent.pc, addr });
+        }
+        if let Some(t) = trap {
+            let e = &mut self.rob[idx];
+            e.trap = Some(t);
+            e.state = EState::Done;
+            e.mem_addr = addr;
+            if is_load && e.lq != QNONE {
+                let lqe = &mut self.lq.entries[e.lq as usize];
+                lqe.addr = addr;
+                lqe.addr_ready = true;
+                lqe.size = size;
+                lqe.done = true;
+            }
+            if !is_load && e.sq != QNONE {
+                let sqe = &mut self.sq.entries[e.sq as usize];
+                sqe.addr = addr;
+                sqe.addr_ready = true;
+                sqe.size = size;
+                sqe.data_ready = true;
+            }
+            return true;
+        }
+
+        if is_load {
+            // AGU phase: buffer the request in the LQ (LSQ request
+            // buffering). The cache access happens REQUEST_DELAY cycles
+            // later *through the buffered — injectable — bits*, so the
+            // request stays architecturally live in the queue, as in
+            // gem5's LSQ.
+            // Loads issue speculatively past older stores with unknown
+            // addresses and rely on store-snoop replay, unless the
+            // memory-dependence predictor has seen this PC violate.
+            if self.mdp[(ent.pc >> 2) as usize & 1023] && self.sq.older_unknown_addr(seq) {
+                return false;
+            }
+            if ent.lq != QNONE {
+                let lqe = &mut self.lq.entries[ent.lq as usize];
+                lqe.addr = addr;
+                lqe.addr_ready = true;
+                lqe.size = size;
+            }
+            {
+                let e = &mut self.rob[idx];
+                e.state = EState::Executing;
+                e.mem_addr = addr;
+            }
+            self.pending_loads.push((self.cycle + REQUEST_DELAY, seq));
+            true
+        } else {
+            // Store: snoop the LQ for younger loads that already executed
+            // to an overlapping address — a memory-ordering violation;
+            // they must replay (gem5 O3's LSQ violation check).
+            let lo = addr;
+            let hi = addr + size as u64;
+            let violators: Vec<u64> = self
+                .lq
+                .entries
+                .iter()
+                .filter(|l| {
+                    l.valid && l.seq > seq && l.addr_ready && l.done && {
+                        let llo = l.addr;
+                        let lhi = l.addr + l.size.clamp(1, 8) as u64;
+                        llo < hi && lo < lhi
+                    }
+                })
+                .map(|l| l.seq)
+                .collect();
+            for vseq in violators {
+                if let Some(vidx) = self.rob_index_of(vseq) {
+                    self.rob[vidx].replay = true;
+                }
+            }
+            // Capture address and data into the SQ.
+            let data = self.operand(ent.psrc[2]);
+            let e = &mut self.rob[idx];
+            e.mem_addr = addr;
+            e.state = EState::Done;
+            e.result = data;
+            if e.sq != QNONE {
+                let sqe = &mut self.sq.entries[e.sq as usize];
+                sqe.addr = addr;
+                sqe.addr_ready = true;
+                sqe.size = size;
+                sqe.data = data;
+                sqe.data_ready = true;
+                sqe.device = device;
+            }
+            true
+        }
+    }
+
+    /// Perform the deferred cache access of a load through its buffered
+    /// LQ request bits. Returns `false` when the access must be retried
+    /// (store-forwarding conflict not yet drained).
+    fn finish_load_access(&mut self, bus: &mut dyn Bus, seq: u64) -> bool {
+        let Some(idx) = self.rob_index_of(seq) else { return true }; // squashed
+        let ent = self.rob[idx].clone();
+        if ent.state != EState::Executing {
+            return true;
+        }
+        let (eff_addr, eff_size) = if ent.lq != QNONE {
+            let lqe = self.lq.entries[ent.lq as usize];
+            if !lqe.valid || lqe.seq != seq {
+                return true; // entry lost to a fault: writeback never comes
+            }
+            (lqe.addr, lqe.size.clamp(1, 8))
+        } else {
+            (ent.mem_addr, 8)
+        };
+        // Re-validate: the buffered request may have been corrupted.
+        if eff_addr % eff_size.max(1) as u64 != 0 && self.isa.traps_on_misaligned() {
+            let e = &mut self.rob[idx];
+            e.trap = Some(Trap::Misaligned { pc: ent.pc, addr: eff_addr });
+            e.state = EState::Done;
+            return true;
+        }
+        let device = bus.is_device(eff_addr);
+        let (raw, lat) = match self.sq.forwarding_candidate(seq, eff_addr, eff_size) {
+            Some((sidx, covers)) => {
+                let se = self.sq.entries[sidx];
+                if !covers || !se.data_ready {
+                    return false; // partial overlap: wait for drain
+                }
+                let shift = (eff_addr - se.addr) * 8;
+                (se.data >> shift, 1u32)
+            }
+            None => {
+                if device {
+                    match bus.device_read(eff_addr, eff_size) {
+                        Some(v) => (v, 10),
+                        None => {
+                            let e = &mut self.rob[idx];
+                            e.trap = Some(Trap::MemFault { pc: ent.pc, addr: eff_addr });
+                            e.state = EState::Done;
+                            return true;
+                        }
+                    }
+                } else if !bus.is_cacheable(eff_addr)
+                    || !bus.is_cacheable(eff_addr + eff_size as u64 - 1)
+                {
+                    let e = &mut self.rob[idx];
+                    e.trap = Some(Trap::MemFault { pc: ent.pc, addr: eff_addr });
+                    e.state = EState::Done;
+                    return true;
+                } else {
+                    match self.data_read(bus, eff_addr, eff_size) {
+                        Some(x) => x,
+                        None => {
+                            let e = &mut self.rob[idx];
+                            e.trap = Some(Trap::MemFault { pc: ent.pc, addr: eff_addr });
+                            e.state = EState::Done;
+                            return true;
+                        }
+                    }
+                }
+            }
+        };
+        let value = match ent.uop.op {
+            Op::Load { w, signed } => {
+                let mut raw_masked = raw;
+                if eff_size as u64 != w.bytes() {
+                    let bits = (eff_size as u32 * 8).min(63);
+                    raw_masked &= (1u64 << bits) - 1;
+                }
+                w.extend(raw_masked, signed)
+            }
+            _ => raw,
+        };
+        let e = &mut self.rob[idx];
+        e.mem_addr = eff_addr;
+        let from_lq = e.lq;
+        if e.lq != QNONE {
+            let lqe = &mut self.lq.entries[e.lq as usize];
+            lqe.done = true;
+            lqe.data = value;
+        }
+        self.events.push(Event { at: self.cycle + lat as u64, seq, result: value, from_lq });
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // rename / dispatch
+    // ------------------------------------------------------------------
+
+    fn dispatch(&mut self) {
+        let spec = self.isa.reg_spec();
+        let zero = spec.zero;
+        let mut width = self.cfg.issue_width;
+        while width > 0 && !self.fq.is_empty() {
+            if self.rob.len() >= self.cfg.rob_entries || self.iq.len() >= self.cfg.iq_entries {
+                return;
+            }
+            let fu = self.fq[0];
+
+            // Resource checks before consuming.
+            let is_load = fu.uop.op.is_load();
+            let is_store = fu.uop.op.is_store();
+            let needs_dst = fu.uop.rd != REG_NONE && Some(fu.uop.rd) != zero && fu.trap.is_none();
+            if needs_dst && self.freelist.is_empty() {
+                return;
+            }
+            let lq_idx = if is_load && fu.trap.is_none() {
+                match self.lq.alloc(self.next_seq) {
+                    Some(i) => i as u16,
+                    None => return,
+                }
+            } else {
+                QNONE
+            };
+            let sq_idx = if is_store && fu.trap.is_none() {
+                match self.sq.alloc(self.next_seq) {
+                    Some(i) => i as u16,
+                    None => {
+                        if lq_idx != QNONE {
+                            self.lq.free(lq_idx as usize);
+                        }
+                        return;
+                    }
+                }
+            } else {
+                QNONE
+            };
+
+            self.fq.remove(0);
+            let seq = self.next_seq;
+            self.next_seq += 1;
+
+            let mut psrc = [PNONE; 3];
+            for (k, rs) in [fu.uop.rs1, fu.uop.rs2, fu.uop.rs3].into_iter().enumerate() {
+                if rs != REG_NONE {
+                    psrc[k] = if Some(rs) == zero { 0 } else { self.rename.get(rs) };
+                }
+            }
+            let (pdst, prev_pdst) = if needs_dst {
+                let p = self.freelist.alloc().expect("checked non-empty");
+                let prev = self.rename.get(fu.uop.rd);
+                self.rename.set(fu.uop.rd, p);
+                self.prf.set_ready(p, false);
+                (p, prev)
+            } else {
+                (PNONE, PNONE)
+            };
+
+            let needs_exec = fu.trap.is_none()
+                && !matches!(fu.uop.op, Op::Halt | Op::Checkpoint | Op::SwitchCpu | Op::Nop | Op::Iret);
+
+            let ent = RobEntry {
+                seq,
+                uop: fu.uop,
+                pc: fu.pc,
+                macro_len: fu.macro_len,
+                first_of_macro: fu.first_of_macro,
+                last_of_macro: fu.last_of_macro,
+                predicted_next: fu.predicted_next,
+                actual_next: fu.pc.wrapping_add(fu.macro_len as u64),
+                taken: false,
+                pdst,
+                prev_pdst,
+                psrc,
+                state: if needs_exec { EState::Waiting } else { EState::Done },
+                trap: fu.trap,
+                lq: lq_idx,
+                sq: sq_idx,
+                result: 0,
+                mem_addr: 0,
+                replay: false,
+            };
+            self.rob.push_back(ent);
+            if needs_exec {
+                self.iq.push(seq);
+            }
+            width -= 1;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // fetch
+    // ------------------------------------------------------------------
+
+    fn fetch(&mut self, bus: &mut dyn Bus) {
+        if self.fetch_halted || self.cycle < self.fetch_stall_until {
+            return;
+        }
+        let mut budget = self.cfg.fetch_width;
+        while budget > 0 {
+            if self.fq.len() + 4 > self.cfg.fetch_queue {
+                return;
+            }
+            let pc = self.fetch_pc;
+            // Gather up to max_inst_len bytes across at most two lines.
+            let max_len = self.isa.max_inst_len();
+            let mut window = [0u8; 16];
+            let line = self.cfg.l1i.line as u64;
+            let off = (pc % line) as usize;
+            let avail0 = (line as usize - off).min(max_len);
+
+            if !bus.is_cacheable(pc) {
+                self.push_trap_uop(pc, Trap::FetchFault { pc });
+                return;
+            }
+            match self.ensure_line(bus, pc, true) {
+                Some(lat) if lat > self.cfg.l1i.latency => {
+                    self.fetch_stall_until = self.cycle + lat as u64;
+                    return;
+                }
+                Some(_) => {}
+                None => {
+                    self.push_trap_uop(pc, Trap::FetchFault { pc });
+                    return;
+                }
+            }
+            {
+                let way = self.l1i.lookup(pc & !(line - 1)).expect("resident");
+                let bytes = self.l1i.line_bytes(pc & !(line - 1), way, off, avail0);
+                window[..avail0].copy_from_slice(&bytes[off..off + avail0]);
+            }
+            let mut avail = avail0;
+            let mut decoded = self.isa.decode(&window[..avail]);
+            if matches!(decoded, Err(marvel_isa::trap::DecodeError::Truncated)) && avail < max_len {
+                // Need bytes from the next line.
+                let npc = (pc & !(line - 1)) + line;
+                if !bus.is_cacheable(npc) {
+                    self.push_trap_uop(pc, Trap::FetchFault { pc: npc });
+                    return;
+                }
+                match self.ensure_line(bus, npc, true) {
+                    Some(lat) if lat > self.cfg.l1i.latency => {
+                        self.fetch_stall_until = self.cycle + lat as u64;
+                        return;
+                    }
+                    Some(_) => {}
+                    None => {
+                        self.push_trap_uop(pc, Trap::FetchFault { pc: npc });
+                        return;
+                    }
+                }
+                let need = max_len - avail;
+                {
+                    let way = self.l1i.lookup(npc).expect("resident");
+                    let bytes = self.l1i.line_bytes(npc, way, 0, need);
+                    window[avail..avail + need].copy_from_slice(&bytes[..need]);
+                }
+                avail += need;
+                decoded = self.isa.decode(&window[..avail]);
+            }
+
+            let d = match decoded {
+                Ok(d) => d,
+                Err(_) => {
+                    self.push_trap_uop(pc, Trap::IllegalInstruction { pc });
+                    return;
+                }
+            };
+
+            // Predict the next fetch address.
+            let len = d.len as u64;
+            let fallthrough = pc.wrapping_add(len);
+            let last = d.uops.as_slice().last().copied().unwrap_or(MicroOp::bare(Op::Nop));
+            let predicted_next = match last.op {
+                Op::Jal => {
+                    if d.call {
+                        self.bp.ras_push(fallthrough);
+                    }
+                    pc.wrapping_add(last.imm as u64)
+                }
+                Op::Jalr => {
+                    if d.ret {
+                        self.bp.ras_pop().unwrap_or(fallthrough)
+                    } else {
+                        if d.call {
+                            self.bp.ras_push(fallthrough);
+                        }
+                        fallthrough
+                    }
+                }
+                Op::Branch(_) => {
+                    if self.bp.predict(pc) {
+                        pc.wrapping_add(last.imm as u64)
+                    } else {
+                        fallthrough
+                    }
+                }
+                _ => fallthrough,
+            };
+
+            let n = d.uops.len();
+            for (k, &u) in d.uops.as_slice().iter().enumerate() {
+                self.fq.push(FetchedUop {
+                    uop: u,
+                    pc,
+                    macro_len: d.len,
+                    first_of_macro: k == 0,
+                    last_of_macro: k == n - 1,
+                    predicted_next: if k == n - 1 { predicted_next } else { fallthrough },
+                    trap: None,
+                });
+            }
+            budget = budget.saturating_sub(n);
+            self.fetch_pc = predicted_next;
+            // Stop fetching past a Halt marker.
+            if matches!(last.op, Op::Halt) {
+                self.fetch_halted = true;
+                return;
+            }
+        }
+    }
+
+    fn push_trap_uop(&mut self, pc: u64, trap: Trap) {
+        self.fq.push(FetchedUop {
+            uop: MicroOp::bare(Op::Nop),
+            pc,
+            macro_len: 0,
+            first_of_macro: true,
+            last_of_macro: true,
+            predicted_next: pc,
+            trap: Some(trap),
+        });
+        self.fetch_halted = true;
+    }
+
+    // ------------------------------------------------------------------
+    // ROB fault injection
+    // ------------------------------------------------------------------
+
+    /// Injectable ROB bit space: 64 result bits per entry slot.
+    pub fn rob_bit_len(&self) -> u64 {
+        self.cfg.rob_entries as u64 * 64
+    }
+
+    /// Arm a flip of a result bit in ROB slot `bit/64`; it fires when the
+    /// next result lands in that slot (or corrupts a live result at once).
+    pub fn rob_flip_bit(&mut self, bit: u64) -> FaultFate {
+        let slot = bit / 64;
+        let b = bit % 64;
+        // If the slot currently holds a done entry, corrupt it in place.
+        let cap = self.cfg.rob_entries as u64;
+        for e in &mut self.rob {
+            if e.seq % cap == slot && e.state == EState::Done {
+                e.result ^= 1 << b;
+                self.rob_armed = Some((bit, FaultFate::Read));
+                return FaultFate::Pending;
+            }
+        }
+        self.rob_flip = Some((slot, b));
+        self.rob_armed = Some((bit, FaultFate::Pending));
+        FaultFate::Pending
+    }
+
+    /// Fate of the armed ROB fault.
+    pub fn rob_fate(&self) -> Option<FaultFate> {
+        self.rob_armed.map(|(_, f)| f)
+    }
+
+    /// Access the speculative rename map (fault-injection target).
+    pub fn rename_map_mut(&mut self) -> &mut RenameMap {
+        &mut self.rename
+    }
+
+    pub fn rename_map(&self) -> &RenameMap {
+        &self.rename
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marvel_isa::AluOp;
+
+    #[test]
+    fn op_tags_cover_classes() {
+        assert_eq!(op_tag(Op::Alu(AluOp::Add)), 1);
+        assert_eq!(op_tag(Op::Load { w: marvel_isa::MemWidth::D, signed: false }), 2);
+        assert_eq!(op_tag(Op::Store { w: marvel_isa::MemWidth::B }), 3);
+        assert_eq!(op_tag(Op::Jal), 4);
+        assert_eq!(op_tag(Op::Halt), 5);
+    }
+
+    #[test]
+    fn core_constructs_for_all_isas() {
+        for isa in Isa::ALL {
+            let c = Core::new(CoreConfig::table2(isa));
+            assert_eq!(c.prf.len(), 128);
+            assert_eq!(c.lq.entries.len(), 32);
+            assert_eq!(c.rob_bit_len(), 128 * 64);
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! Physical register file, rename map and free list — all fault-injectable.
+
+use crate::cache::FaultFate;
+
+/// A physical register file holding explicit 64-bit values.
+#[derive(Debug, Clone)]
+pub struct PhysRegFile {
+    vals: Vec<u64>,
+    ready: Vec<bool>,
+    stuck: Vec<(u64, bool)>,
+    armed: Option<(u16, FaultFate)>,
+}
+
+impl PhysRegFile {
+    /// Register 0 is reserved as the constant-zero register.
+    pub fn new(n: usize) -> Self {
+        PhysRegFile { vals: vec![0; n], ready: vec![true; n], stuck: Vec::new(), armed: None }
+    }
+
+    pub fn len(&self) -> usize {
+        self.vals.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.vals.is_empty()
+    }
+
+    #[inline]
+    pub fn read(&mut self, p: u16) -> u64 {
+        if let Some((ap, fate)) = &mut self.armed {
+            if *ap == p && *fate == FaultFate::Pending {
+                *fate = FaultFate::Read;
+            }
+        }
+        self.vals[p as usize]
+    }
+
+    /// Peek without touching fault monitoring (trace/debug use).
+    pub fn peek(&self, p: u16) -> u64 {
+        self.vals[p as usize]
+    }
+
+    #[inline]
+    pub fn write(&mut self, p: u16, v: u64) {
+        if let Some((ap, fate)) = &mut self.armed {
+            if *ap == p && *fate == FaultFate::Pending {
+                *fate = FaultFate::Overwritten;
+            }
+        }
+        let mut v = v;
+        for &(bit, value) in &self.stuck {
+            if (bit / 64) as u16 == p {
+                let m = 1u64 << (bit % 64);
+                if value {
+                    v |= m;
+                } else {
+                    v &= !m;
+                }
+            }
+        }
+        self.vals[p as usize] = v;
+    }
+
+    #[inline]
+    pub fn is_ready(&self, p: u16) -> bool {
+        self.ready[p as usize]
+    }
+
+    pub fn set_ready(&mut self, p: u16, r: bool) {
+        self.ready[p as usize] = r;
+    }
+
+    /// Mark every register ready (used at reset).
+    pub fn set_all_ready(&mut self) {
+        self.ready.iter_mut().for_each(|r| *r = true);
+    }
+
+    // ---- fault injection ----
+
+    pub fn bit_len(&self) -> u64 {
+        self.vals.len() as u64 * 64
+    }
+
+    pub fn flip_bit(&mut self, bit: u64) -> FaultFate {
+        let p = (bit / 64) as u16;
+        self.vals[p as usize] ^= 1 << (bit % 64);
+        self.armed = Some((p, FaultFate::Pending));
+        FaultFate::Pending
+    }
+
+    pub fn set_stuck(&mut self, bit: u64, value: bool) {
+        self.stuck.push((bit, value));
+        let p = (bit / 64) as usize;
+        let m = 1u64 << (bit % 64);
+        if value {
+            self.vals[p] |= m;
+        } else {
+            self.vals[p] &= !m;
+        }
+        self.armed = Some((p as u16, FaultFate::Pending));
+    }
+
+    pub fn fate(&self) -> Option<FaultFate> {
+        self.armed.map(|(_, f)| f)
+    }
+}
+
+/// Rename map: architectural register → physical register. Injectable: a
+/// flipped mapping bit silently redirects reads/writes of an architectural
+/// register to the wrong physical register.
+#[derive(Debug, Clone)]
+pub struct RenameMap {
+    map: Vec<u16>,
+    prf_size: u16,
+}
+
+impl RenameMap {
+    pub fn new(arch_regs: usize, prf_size: u16) -> Self {
+        RenameMap { map: vec![0; arch_regs], prf_size }
+    }
+
+    #[inline]
+    pub fn get(&self, a: u8) -> u16 {
+        self.map[a as usize]
+    }
+
+    pub fn set(&mut self, a: u8, p: u16) {
+        self.map[a as usize] = p;
+    }
+
+    pub fn copy_from(&mut self, other: &RenameMap) {
+        self.map.copy_from_slice(&other.map);
+    }
+
+    pub fn entries(&self) -> &[u16] {
+        &self.map
+    }
+
+    /// Bits per entry (⌈log2(prf)⌉).
+    pub fn bits_per_entry(&self) -> u64 {
+        (16 - (self.prf_size.max(2) - 1).leading_zeros()) as u64
+    }
+
+    pub fn bit_len(&self) -> u64 {
+        self.map.len() as u64 * self.bits_per_entry()
+    }
+
+    /// Flip a mapping bit; the result is clamped into the PRF range by
+    /// wrapping (matching a physical array whose decoder ignores the
+    /// overflow bit).
+    pub fn flip_bit(&mut self, bit: u64) {
+        let bpe = self.bits_per_entry();
+        let a = (bit / bpe) as usize;
+        let b = bit % bpe;
+        self.map[a] = (self.map[a] ^ (1 << b)) % self.prf_size;
+    }
+}
+
+/// Free list of physical registers.
+#[derive(Debug, Clone)]
+pub struct FreeList {
+    free: Vec<u16>,
+}
+
+impl FreeList {
+    /// All registers except 0 (constant zero) and those in `in_use`.
+    pub fn new(prf_size: u16, in_use: &[u16]) -> Self {
+        let mut free: Vec<u16> = (1..prf_size).filter(|p| !in_use.contains(p)).collect();
+        free.reverse(); // pop from the low end first
+        FreeList { free }
+    }
+
+    pub fn alloc(&mut self) -> Option<u16> {
+        self.free.pop()
+    }
+
+    pub fn release(&mut self, p: u16) {
+        debug_assert_ne!(p, 0, "the zero register is never freed");
+        self.free.push(p);
+    }
+
+    pub fn len(&self) -> usize {
+        self.free.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.free.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_and_fate() {
+        let mut prf = PhysRegFile::new(8);
+        prf.write(3, 42);
+        assert_eq!(prf.read(3), 42);
+        prf.flip_bit(3 * 64 + 1); // flip bit 1 of reg 3
+        assert_eq!(prf.peek(3), 40);
+        assert_eq!(prf.fate(), Some(FaultFate::Pending));
+        let _ = prf.read(3);
+        assert_eq!(prf.fate(), Some(FaultFate::Read));
+    }
+
+    #[test]
+    fn overwrite_masks() {
+        let mut prf = PhysRegFile::new(8);
+        prf.flip_bit(2 * 64);
+        prf.write(2, 0);
+        assert_eq!(prf.fate(), Some(FaultFate::Overwritten));
+    }
+
+    #[test]
+    fn stuck_bits_apply_on_write() {
+        let mut prf = PhysRegFile::new(8);
+        prf.set_stuck(64 + 4, true); // reg 1 bit 4 stuck at 1
+        prf.write(1, 0);
+        assert_eq!(prf.peek(1), 16);
+        prf.set_stuck(64 + 5, false);
+        prf.write(1, 0xFF);
+        assert_eq!(prf.peek(1) & 0b11_0000, 0b01_0000);
+    }
+
+    #[test]
+    fn rename_map_bits() {
+        let m = RenameMap::new(32, 128);
+        assert_eq!(m.bits_per_entry(), 7);
+        assert_eq!(m.bit_len(), 32 * 7);
+        let m = RenameMap::new(32, 96);
+        assert_eq!(m.bits_per_entry(), 7);
+    }
+
+    #[test]
+    fn rename_flip_stays_in_range() {
+        let mut m = RenameMap::new(4, 96);
+        m.set(2, 95);
+        m.flip_bit(2 * 7 + 6); // flip the top bit of entry 2
+        assert!(m.get(2) < 96);
+    }
+
+    #[test]
+    fn free_list_excludes_in_use_and_zero() {
+        let mut fl = FreeList::new(8, &[3, 5]);
+        let mut got = Vec::new();
+        while let Some(p) = fl.alloc() {
+            got.push(p);
+        }
+        assert_eq!(got, vec![1, 2, 4, 6, 7]);
+    }
+}

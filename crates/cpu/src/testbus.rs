@@ -1,0 +1,71 @@
+//! A minimal RAM + console bus used by unit tests and examples that want a
+//! core without the full SoC.
+
+use crate::core::Bus;
+use marvel_ir::memmap::{CONSOLE_ADDR, RAM_BASE, RAM_SIZE};
+
+/// RAM plus a console byte sink.
+#[derive(Debug, Clone)]
+pub struct TestBus {
+    pub ram: Vec<u8>,
+    pub console: Vec<u8>,
+}
+
+impl TestBus {
+    pub fn new() -> Self {
+        TestBus { ram: vec![0u8; RAM_SIZE as usize], console: Vec::new() }
+    }
+
+    /// Load an image at `addr`.
+    pub fn load(&mut self, addr: u64, image: &[u8]) {
+        let off = (addr - RAM_BASE) as usize;
+        self.ram[off..off + image.len()].copy_from_slice(image);
+    }
+}
+
+impl Default for TestBus {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Bus for TestBus {
+    fn read_line(&mut self, addr: u64, buf: &mut [u8]) -> bool {
+        if !self.is_cacheable(addr) || !self.is_cacheable(addr + buf.len() as u64 - 1) {
+            return false;
+        }
+        let off = (addr - RAM_BASE) as usize;
+        buf.copy_from_slice(&self.ram[off..off + buf.len()]);
+        true
+    }
+
+    fn write_line(&mut self, addr: u64, data: &[u8]) -> bool {
+        if !self.is_cacheable(addr) || !self.is_cacheable(addr + data.len() as u64 - 1) {
+            return false;
+        }
+        let off = (addr - RAM_BASE) as usize;
+        self.ram[off..off + data.len()].copy_from_slice(data);
+        true
+    }
+
+    fn device_read(&mut self, _addr: u64, _size: u8) -> Option<u64> {
+        None
+    }
+
+    fn device_write(&mut self, addr: u64, _size: u8, val: u64) -> Option<()> {
+        if addr == CONSOLE_ADDR {
+            self.console.push(val as u8);
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn is_cacheable(&self, addr: u64) -> bool {
+        (RAM_BASE..RAM_BASE + RAM_SIZE).contains(&addr)
+    }
+
+    fn is_device(&self, addr: u64) -> bool {
+        addr == CONSOLE_ADDR
+    }
+}

@@ -1,0 +1,271 @@
+//! Differential execution tests: the out-of-order core running each ISA
+//! flavour must reproduce the IR interpreter's golden console output.
+
+use marvel_cpu::testbus::TestBus;
+use marvel_cpu::{Core, CoreConfig, StepEvent};
+use marvel_ir::{assemble, interp, FuncBuilder, Module, Value};
+use marvel_isa::{AluOp, Cond, Isa, MemWidth};
+
+/// Run a module on the core; returns (console bytes, cycles).
+fn run_on_core(m: &Module, isa: Isa, max_cycles: u64) -> (Vec<u8>, u64) {
+    let bin = assemble(m, isa).unwrap_or_else(|e| panic!("{isa}: assemble failed: {e}"));
+    let mut bus = TestBus::new();
+    bus.load(bin.entry, &bin.image);
+    let mut core = Core::new(CoreConfig::table2(isa));
+    core.reset_to(bin.entry);
+    for _ in 0..max_cycles {
+        match core.tick(&mut bus) {
+            StepEvent::Halted => return (bus.console, core.cycle()),
+            StepEvent::Trapped(t) => panic!("{isa}: unexpected trap: {t}"),
+            _ => {}
+        }
+    }
+    panic!("{isa}: did not halt in {max_cycles} cycles (committed {} uops)", core.stats.committed_uops);
+}
+
+fn check_all_isas(m: &Module, max_cycles: u64) {
+    let golden = interp::run(m, 10_000_000).expect("interpreter");
+    for isa in Isa::ALL {
+        let (out, _) = run_on_core(m, isa, max_cycles);
+        assert_eq!(
+            out, golden.output,
+            "{isa}: core output diverged from golden (got {:02x?}, want {:02x?})",
+            out, golden.output
+        );
+    }
+}
+
+#[test]
+fn arithmetic_and_output() {
+    let mut m = Module::new();
+    let f = m.declare("main", 0);
+    let mut b = FuncBuilder::new(0);
+    let x = b.bin(AluOp::Mul, 6, 7);
+    b.out_byte(x);
+    let y = b.bin(AluOp::Sub, x, 100); // -58
+    let z = b.bin(AluOp::Sra, y, 1); // -29
+    b.out_byte(z);
+    let w = b.bin(AluOp::Xor, z, 0xF0);
+    b.out_byte(w);
+    b.halt();
+    m.define(f, b.build());
+    check_all_isas(&m, 200_000);
+}
+
+#[test]
+fn loops_and_branches() {
+    let mut m = Module::new();
+    let f = m.declare("main", 0);
+    let mut b = FuncBuilder::new(0);
+    // sum of 0..100 = 4950; output low byte (4950 & 0xFF = 0x56)
+    let i = b.li(0);
+    let acc = b.li(0);
+    let top = b.new_label();
+    b.bind(top);
+    let acc2 = b.bin(AluOp::Add, acc, i);
+    b.assign(acc, acc2);
+    let i2 = b.bin(AluOp::Add, i, 1);
+    b.assign(i, i2);
+    b.br(Cond::Lt, i, 100, top);
+    b.out_byte(acc);
+    let hi = b.bin(AluOp::Srl, acc, 8);
+    b.out_byte(hi);
+    b.halt();
+    m.define(f, b.build());
+    check_all_isas(&m, 500_000);
+}
+
+#[test]
+fn memory_and_globals() {
+    let mut m = Module::new();
+    let g = m.global_u64("tbl", &[3, 1, 4, 1, 5, 9, 2, 6]);
+    let buf = m.global_zeroed("buf", 64, 8);
+    let f = m.declare("main", 0);
+    let mut b = FuncBuilder::new(0);
+    let src = b.addr_of(g);
+    let dst = b.addr_of(buf);
+    // Copy reversed, then output.
+    let i = b.li(0);
+    let top = b.new_label();
+    b.bind(top);
+    let v = b.load_idx(MemWidth::D, false, src, i);
+    let ri = b.bin(AluOp::Sub, 7, i);
+    b.store_idx(MemWidth::D, v, dst, ri);
+    let i2 = b.bin(AluOp::Add, i, 1);
+    b.assign(i, i2);
+    b.br(Cond::Lt, i, 8, top);
+    let j = b.li(0);
+    let top2 = b.new_label();
+    b.bind(top2);
+    let v2 = b.load_idx(MemWidth::D, false, dst, j);
+    b.out_byte(v2);
+    let j2 = b.bin(AluOp::Add, j, 1);
+    b.assign(j, j2);
+    b.br(Cond::Lt, j, 8, top2);
+    b.halt();
+    m.define(f, b.build());
+    check_all_isas(&m, 500_000);
+}
+
+#[test]
+fn subword_memory() {
+    let mut m = Module::new();
+    let buf = m.global_zeroed("buf", 32, 8);
+    let f = m.declare("main", 0);
+    let mut b = FuncBuilder::new(0);
+    let base = b.addr_of(buf);
+    b.store(MemWidth::W, 0x1234_5678, base, 0);
+    b.store(MemWidth::H, 0xBEEF, base, 4);
+    b.store(MemWidth::B, 0x7F, base, 6);
+    let w = b.load(MemWidth::H, false, base, 0); // 0x5678
+    b.out_byte(w);
+    let hb = b.bin(AluOp::Srl, w, 8);
+    b.out_byte(hb); // 0x56
+    let sb = b.load(MemWidth::B, true, base, 3); // sign-extended 0x12
+    b.out_byte(sb);
+    let h = b.load(MemWidth::H, true, base, 4); // 0xBEEF sign-extended
+    let neg = b.bin(AluOp::Slt, h, 0);
+    b.out_byte(neg); // 1
+    b.halt();
+    m.define(f, b.build());
+    check_all_isas(&m, 200_000);
+}
+
+#[test]
+fn calls_and_recursion() {
+    let mut m = Module::new();
+    let fib = m.declare("fib", 1);
+    let f = m.declare("main", 0);
+    let mut b = FuncBuilder::new(1);
+    let n = b.param(0);
+    let rec = b.new_label();
+    b.br(Cond::Ge, n, 2, rec);
+    b.ret(Some(Value::Reg(n)));
+    b.bind(rec);
+    let n1 = b.bin(AluOp::Sub, n, 1);
+    let n2 = b.bin(AluOp::Sub, n, 2);
+    let a = b.call(fib, &[Value::Reg(n1)]);
+    let c = b.call(fib, &[Value::Reg(n2)]);
+    let s = b.bin(AluOp::Add, a, c);
+    b.ret(Some(Value::Reg(s)));
+    m.define(fib, b.build());
+
+    let mut b = FuncBuilder::new(0);
+    let v = b.call(fib, &[Value::Imm(12)]); // 144
+    b.out_byte(v);
+    b.halt();
+    m.define(f, b.build());
+    check_all_isas(&m, 2_000_000);
+}
+
+#[test]
+fn division_and_remainder() {
+    let mut m = Module::new();
+    let f = m.declare("main", 0);
+    let mut b = FuncBuilder::new(0);
+    let q = b.bin(AluOp::Div, 1000, 7); // 142
+    b.out_byte(q);
+    let r = b.bin(AluOp::Rem, 1000, 7); // 6
+    b.out_byte(r);
+    let neg = b.li(-1000);
+    let q2 = b.bin(AluOp::Div, neg, 7); // -142
+    let abs = b.bin(AluOp::Sub, 0, q2);
+    b.out_byte(abs);
+    b.halt();
+    m.define(f, b.build());
+    check_all_isas(&m, 200_000);
+}
+
+#[test]
+fn checkpoint_and_switchcpu_markers_commit() {
+    let mut m = Module::new();
+    let f = m.declare("main", 0);
+    let mut b = FuncBuilder::new(0);
+    b.checkpoint();
+    let x = b.li(9);
+    b.switch_cpu();
+    b.out_byte(x);
+    b.halt();
+    m.define(f, b.build());
+
+    for isa in Isa::ALL {
+        let bin = assemble(&m, isa).unwrap();
+        let mut bus = TestBus::new();
+        bus.load(bin.entry, &bin.image);
+        let mut core = Core::new(CoreConfig::table2(isa));
+        core.reset_to(bin.entry);
+        let mut seen = Vec::new();
+        for _ in 0..100_000 {
+            match core.tick(&mut bus) {
+                StepEvent::CheckpointHit => seen.push("ckpt"),
+                StepEvent::SwitchCpuHit => seen.push("switch"),
+                StepEvent::Halted => {
+                    seen.push("halt");
+                    break;
+                }
+                StepEvent::Trapped(t) => panic!("{isa}: trap {t}"),
+                StepEvent::None => {}
+            }
+        }
+        assert_eq!(seen, vec!["ckpt", "switch", "halt"], "{isa}");
+        assert_eq!(bus.console, vec![9]);
+    }
+}
+
+#[test]
+fn spill_heavy_function() {
+    // More live values than any ISA has registers: exercises spill slots.
+    let mut m = Module::new();
+    let f = m.declare("main", 0);
+    let mut b = FuncBuilder::new(0);
+    let vals: Vec<_> = (1..=40i64).map(|i| b.li(i * 3)).collect();
+    let mut acc = b.li(0);
+    for v in &vals {
+        acc = b.bin(AluOp::Add, acc, *v);
+    }
+    for v in &vals {
+        acc = b.bin(AluOp::Xor, acc, *v);
+    }
+    b.out_byte(acc);
+    let hi = b.bin(AluOp::Srl, acc, 8);
+    b.out_byte(hi);
+    b.halt();
+    m.define(f, b.build());
+    check_all_isas(&m, 500_000);
+}
+
+#[test]
+fn stats_are_plausible() {
+    let mut m = Module::new();
+    let f = m.declare("main", 0);
+    let mut b = FuncBuilder::new(0);
+    let i = b.li(0);
+    let top = b.new_label();
+    b.bind(top);
+    let i2 = b.bin(AluOp::Add, i, 1);
+    b.assign(i, i2);
+    b.br(Cond::Lt, i, 50, top);
+    b.out_byte(i);
+    b.halt();
+    m.define(f, b.build());
+
+    for isa in Isa::ALL {
+        let bin = assemble(&m, isa).unwrap();
+        let mut bus = TestBus::new();
+        bus.load(bin.entry, &bin.image);
+        let mut core = Core::new(CoreConfig::table2(isa));
+        core.reset_to(bin.entry);
+        loop {
+            match core.tick(&mut bus) {
+                StepEvent::Halted => break,
+                StepEvent::Trapped(t) => panic!("{isa}: {t}"),
+                _ => {}
+            }
+        }
+        let s = &core.stats;
+        assert!(s.committed_macros > 100, "{isa}: {}", s.committed_macros);
+        assert!(s.branches >= 50, "{isa}");
+        assert!(s.ipc() > 0.05 && s.ipc() < 8.0, "{isa}: ipc {}", s.ipc());
+        assert!(core.l1i.hits > 0);
+    }
+}

@@ -1,0 +1,20 @@
+//! AVF of the load queue (transient, single-bit)
+use marvel_core::FaultKind;
+use marvel_experiments::{avf_figure, banner, results_dir, Metric};
+use marvel_soc::Target;
+fn main() {
+    banner("Fig. 7", "AVF of the load queue (transient, single-bit)");
+    // The combined runner (all_cpu_figures) computes the Fig. 4-13
+    // campaigns in one pass and caches each series; reuse it when present
+    // (delete results/.cache to recompute this figure standalone).
+    let cached = results_dir().join(".cache/fig07_lq_avf.csv");
+    if let Ok(csv) = std::fs::read_to_string(&cached) {
+        println!("[reusing combined-run series from {cached:?}]");
+        print!("{csv}");
+        std::fs::write(results_dir().join("fig07_lq_avf.csv"), csv).unwrap();
+        return;
+    }
+    let t = avf_figure("Fig. 7", Target::LoadQueue, FaultKind::Transient, Metric::TotalAvf);
+    print!("{}", t.render());
+    t.save_csv("fig07_lq_avf.csv");
+}

@@ -1,0 +1,20 @@
+//! SDC-only AVF of the physical register file
+use marvel_core::FaultKind;
+use marvel_experiments::{avf_figure, banner, results_dir, Metric};
+use marvel_soc::Target;
+fn main() {
+    banner("Fig. 9", "SDC-only AVF of the physical register file");
+    // The combined runner (all_cpu_figures) computes the Fig. 4-13
+    // campaigns in one pass and caches each series; reuse it when present
+    // (delete results/.cache to recompute this figure standalone).
+    let cached = results_dir().join(".cache/fig09_rf_sdc.csv");
+    if let Ok(csv) = std::fs::read_to_string(&cached) {
+        println!("[reusing combined-run series from {cached:?}]");
+        print!("{csv}");
+        std::fs::write(results_dir().join("fig09_rf_sdc.csv"), csv).unwrap();
+        return;
+    }
+    let t = avf_figure("Fig. 9", Target::PrfInt, FaultKind::Transient, Metric::SdcAvf);
+    print!("{}", t.render());
+    t.save_csv("fig09_rf_sdc.csv");
+}

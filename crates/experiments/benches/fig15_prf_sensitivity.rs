@@ -1,0 +1,41 @@
+//! Fig. 15: physical-register-file AVF sensitivity to PRF size
+//! (96/128/192 registers, RISC-V).
+
+use marvel_core::{run_campaign, weighted_avf};
+use marvel_experiments::{banner, benches, config, cpu_golden, results_dir};
+use marvel_isa::Isa;
+use marvel_soc::Target;
+
+fn main() {
+    banner("Fig. 15", "RF AVF vs number of physical registers (RISC-V)");
+    let cc = config();
+    let sizes = [96usize, 128, 192];
+    let mut out = format!("{:<16}{:>8}{:>8}{:>8}\n", "benchmark", "96", "128", "192");
+    let mut csv = String::from("benchmark,prf96,prf128,prf192\n");
+    let mut per_size: Vec<Vec<(f64, f64)>> = vec![Vec::new(); sizes.len()];
+    for bench in benches() {
+        let mut vals = Vec::new();
+        for (k, &n) in sizes.iter().enumerate() {
+            let golden = cpu_golden(bench, Isa::RiscV, Some(n));
+            let res = run_campaign(&golden, Target::PrfInt, &cc);
+            vals.push(res.avf() * 100.0);
+            per_size[k].push((res.avf(), golden.exec_cycles as f64));
+            eprintln!("  [{bench}/prf{n}] avf={:.1}%", res.avf() * 100.0);
+        }
+        out.push_str(&format!(
+            "{:<16}{:>7.1}%{:>7.1}%{:>7.1}%\n",
+            bench, vals[0], vals[1], vals[2]
+        ));
+        csv.push_str(&format!("{bench},{:.3},{:.3},{:.3}\n", vals[0], vals[1], vals[2]));
+    }
+    out.push_str(&format!(
+        "{:<16}{:>7.1}%{:>7.1}%{:>7.1}%\n",
+        "wAVF",
+        weighted_avf(&per_size[0]) * 100.0,
+        weighted_avf(&per_size[1]) * 100.0,
+        weighted_avf(&per_size[2]) * 100.0
+    ));
+    print!("{out}");
+    std::fs::write(results_dir().join("fig15_prf_sensitivity.csv"), csv).unwrap();
+    println!("[saved results/fig15_prf_sensitivity.csv]");
+}

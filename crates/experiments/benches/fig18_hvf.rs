@@ -1,0 +1,44 @@
+//! Fig. 18: Hardware Vulnerability Factor (HVF) vs AVF for the physical
+//! register file and the L1 data cache over six benchmarks — HVF and AVF
+//! measured on the *same* runs.
+
+use marvel_core::{run_campaign, CampaignConfig};
+use marvel_experiments::{banner, config, cpu_golden, results_dir};
+use marvel_isa::Isa;
+use marvel_soc::Target;
+
+const BENCHES: [&str; 6] = ["qsort", "sha", "crc32", "dijkstra", "fft", "stringsearch"];
+
+fn main() {
+    banner("Fig. 18", "HVF vs AVF (physical register file + L1D, same runs)");
+    let cc = CampaignConfig { collect_hvf: true, ..config() };
+    let mut out = format!(
+        "{:<14}{:<10}{:>8}{:>8}\n",
+        "benchmark", "target", "HVF%", "AVF%"
+    );
+    let mut csv = String::from("benchmark,target,hvf,avf\n");
+    for bench in BENCHES {
+        let golden = cpu_golden(bench, Isa::RiscV, None);
+        for (tname, target) in [("RF", Target::PrfInt), ("L1D", Target::L1D)] {
+            let res = run_campaign(&golden, target, &cc);
+            let hvf = res.hvf().expect("campaign collected HVF");
+            let avf = res.avf();
+            assert!(
+                hvf + 1e-9 >= avf,
+                "{bench}/{tname}: HVF ({hvf}) must be >= AVF ({avf}) by definition"
+            );
+            out.push_str(&format!(
+                "{:<14}{:<10}{:>7.1}%{:>7.1}%\n",
+                bench,
+                tname,
+                hvf * 100.0,
+                avf * 100.0
+            ));
+            csv.push_str(&format!("{bench},{tname},{hvf:.4},{avf:.4}\n"));
+            eprintln!("  [{bench}/{tname}] hvf={:.1}% avf={:.1}%", hvf * 100.0, avf * 100.0);
+        }
+    }
+    print!("{out}");
+    std::fs::write(results_dir().join("fig18_hvf.csv"), csv).unwrap();
+    println!("[saved results/fig18_hvf.csv]");
+}

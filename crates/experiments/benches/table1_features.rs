@@ -1,0 +1,10 @@
+//! Table I: framework feature matrix.
+fn main() {
+    marvel_experiments::banner("Table I", "resilience-analysis framework capabilities");
+    print!("{}", marvel_core::features::render_table1());
+    std::fs::write(
+        marvel_experiments::results_dir().join("table1.txt"),
+        marvel_core::features::render_table1(),
+    )
+    .unwrap();
+}

@@ -1,0 +1,11 @@
+//! Table II: major simulator configurations for each ISA.
+use marvel_cpu::CoreConfig;
+fn main() {
+    marvel_experiments::banner("Table II", "major simulator configuration (all ISAs)");
+    let mut out = String::new();
+    for (k, v) in CoreConfig::table2_rows() {
+        out.push_str(&format!("{k:<26}{v}\n"));
+    }
+    print!("{out}");
+    std::fs::write(marvel_experiments::results_dir().join("table2.txt"), out).unwrap();
+}

@@ -1,0 +1,15 @@
+//! Table III: fault model descriptions.
+use marvel_core::FaultModel;
+fn main() {
+    marvel_experiments::banner("Table III", "fault models");
+    let rows = [
+        ("Transient", FaultModel::Transient { cycle: 0 }.describe()),
+        ("Permanent", FaultModel::Permanent { value: false }.describe()),
+    ];
+    let mut out = String::new();
+    for (name, desc) in rows {
+        out.push_str(&format!("{name:<12}{desc}\n"));
+    }
+    print!("{out}");
+    std::fs::write(marvel_experiments::results_dir().join("table3.txt"), out).unwrap();
+}

@@ -1,0 +1,221 @@
+//! # marvel-experiments
+//!
+//! Shared drivers behind the per-table/figure reproduction harnesses
+//! (`cargo bench -p marvel-experiments` regenerates every table and
+//! figure of the paper's evaluation).
+//!
+//! Environment knobs:
+//!
+//! * `MARVEL_FAULTS` — faults per (structure × benchmark × ISA) cell
+//!   (default 32 — sized for a single-core CI box; the paper uses 1000 ≈ 3% margin @ 95%).
+//! * `MARVEL_BENCHES` — comma-separated benchmark subset.
+//! * `MARVEL_WORKERS` — worker threads (default: all cores).
+//!
+//! Results are printed as the paper's rows/series and mirrored as CSV
+//! under `results/` at the workspace root.
+
+use marvel_core::{
+    run_campaign, CampaignConfig, CampaignResult, FaultKind, Golden, Target,
+};
+use marvel_cpu::CoreConfig;
+use marvel_ir::assemble;
+use marvel_isa::Isa;
+use marvel_soc::System;
+use marvel_workloads::mibench;
+use std::io::Write;
+
+/// Max cycles for golden runs (fault-free).
+pub const GOLDEN_BUDGET: u64 = 80_000_000;
+
+/// Campaign configuration from the environment.
+pub fn config() -> CampaignConfig {
+    let n_faults = std::env::var("MARVEL_FAULTS").ok().and_then(|v| v.parse().ok()).unwrap_or(32);
+    let workers = std::env::var("MARVEL_WORKERS").ok().and_then(|v| v.parse().ok()).unwrap_or(0);
+    CampaignConfig { n_faults, workers, ..Default::default() }
+}
+
+/// Benchmark subset from the environment (default: the full suite).
+pub fn benches() -> Vec<&'static str> {
+    match std::env::var("MARVEL_BENCHES") {
+        Ok(s) => mibench::NAMES
+            .iter()
+            .copied()
+            .filter(|n| s.split(',').any(|x| x.trim() == *n))
+            .collect(),
+        Err(_) => mibench::NAMES.to_vec(),
+    }
+}
+
+/// Build and checkpoint a benchmark on an ISA (optionally with a
+/// non-default integer PRF size).
+pub fn cpu_golden(bench: &str, isa: Isa, int_prf: Option<usize>) -> Golden {
+    let m = mibench::build(bench);
+    let bin = assemble(&m, isa).unwrap_or_else(|e| panic!("{bench}/{isa}: {e}"));
+    let cfg = match int_prf {
+        Some(n) => CoreConfig::with_int_prf(isa, n),
+        None => CoreConfig::table2(isa),
+    };
+    let mut sys = System::new(cfg);
+    sys.load_binary(&bin);
+    Golden::prepare(sys, GOLDEN_BUDGET).unwrap_or_else(|e| panic!("{bench}/{isa}: {e}"))
+}
+
+/// Which scalar a figure extracts from a campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    TotalAvf,
+    SdcAvf,
+    CrashAvf,
+}
+
+impl Metric {
+    pub fn of(self, r: &CampaignResult) -> f64 {
+        match self {
+            Metric::TotalAvf => r.avf(),
+            Metric::SdcAvf => r.sdc_avf(),
+            Metric::CrashAvf => r.crash_avf(),
+        }
+    }
+}
+
+/// A figure as (benchmark × ISA) percentages plus the weighted-AVF row.
+pub struct FigTable {
+    pub title: String,
+    pub isas: Vec<Isa>,
+    /// (benchmark, per-ISA values in percent).
+    pub rows: Vec<(String, Vec<f64>)>,
+    /// Weighted AVF per ISA, in percent.
+    pub wavf: Vec<f64>,
+    pub margin_pct: f64,
+}
+
+impl FigTable {
+    /// Render as the paper's series.
+    pub fn render(&self) -> String {
+        let mut s = format!("== {} ==\n", self.title);
+        s.push_str(&format!("{:<16}", "benchmark"));
+        for isa in &self.isas {
+            s.push_str(&format!("{:>10}", isa.name()));
+        }
+        s.push('\n');
+        for (name, vals) in &self.rows {
+            s.push_str(&format!("{name:<16}"));
+            for v in vals {
+                s.push_str(&format!("{v:>9.1}%"));
+            }
+            s.push('\n');
+        }
+        s.push_str(&format!("{:<16}", "wAVF"));
+        for v in &self.wavf {
+            s.push_str(&format!("{v:>9.1}%"));
+        }
+        s.push_str(&format!("\n(±{:.1}% @95%)\n", self.margin_pct));
+        s
+    }
+
+    /// Save as CSV under `results/` at the workspace root.
+    pub fn save_csv(&self, file: &str) {
+        let dir = results_dir();
+        let path = dir.join(file);
+        let mut out = String::new();
+        out.push_str("benchmark");
+        for isa in &self.isas {
+            out.push_str(&format!(",{}", isa.name()));
+        }
+        out.push('\n');
+        for (name, vals) in &self.rows {
+            out.push_str(name);
+            for v in vals {
+                out.push_str(&format!(",{v:.3}"));
+            }
+            out.push('\n');
+        }
+        out.push_str("wAVF");
+        for v in &self.wavf {
+            out.push_str(&format!(",{v:.3}"));
+        }
+        out.push('\n');
+        std::fs::write(&path, out).unwrap_or_else(|e| panic!("writing {path:?}: {e}"));
+        println!("[saved {path:?}]");
+    }
+}
+
+/// Workspace-root `results/` directory.
+pub fn results_dir() -> std::path::PathBuf {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Run the standard per-benchmark × per-ISA campaign for one structure —
+/// the driver behind Figs. 4–13.
+pub fn avf_figure(title: &str, target: Target, kind: FaultKind, metric: Metric) -> FigTable {
+    let cc = CampaignConfig { kind, ..config() };
+    let isas = Isa::ALL.to_vec();
+    let mut rows = Vec::new();
+    let mut per_isa: Vec<Vec<(f64, f64)>> = vec![Vec::new(); isas.len()];
+    for bench in benches() {
+        let mut vals = Vec::new();
+        for (k, &isa) in isas.iter().enumerate() {
+            let golden = cpu_golden(bench, isa, None);
+            let res = run_campaign(&golden, target, &cc);
+            let v = metric.of(&res);
+            vals.push(v * 100.0);
+            per_isa[k].push((v, golden.exec_cycles as f64));
+            eprintln!(
+                "  [{bench}/{isa}] {}: avf={:.1}% sdc={:.1}% crash={:.1}% early={:.0}%",
+                target.name(),
+                res.avf() * 100.0,
+                res.sdc_avf() * 100.0,
+                res.crash_avf() * 100.0,
+                res.early_termination_rate() * 100.0
+            );
+        }
+        rows.push((bench.to_string(), vals));
+    }
+    let wavf = per_isa.iter().map(|v| marvel_core::weighted_avf(v) * 100.0).collect();
+    let margin_pct = marvel_core::error_margin(cc.n_faults, u64::MAX, cc.confidence) * 100.0;
+    FigTable { title: title.to_string(), isas, rows, wavf, margin_pct }
+}
+
+/// Pretty-print a header for a harness.
+pub fn banner(name: &str, what: &str) {
+    println!("\n================================================================");
+    println!("{name} — {what}");
+    println!("faults/cell = {} (MARVEL_FAULTS to change; paper used 1000)", config().n_faults);
+    println!("================================================================");
+    let _ = std::io::stdout().flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_defaults() {
+        let c = config();
+        assert!(c.n_faults > 0);
+        assert_eq!(c.kind, FaultKind::Transient);
+    }
+
+    #[test]
+    fn benches_default_full_suite() {
+        assert_eq!(benches().len(), 15);
+    }
+
+    #[test]
+    fn figtable_renders_and_saves() {
+        let t = FigTable {
+            title: "test".into(),
+            isas: Isa::ALL.to_vec(),
+            rows: vec![("x".into(), vec![1.0, 2.0, 3.0])],
+            wavf: vec![1.0, 2.0, 3.0],
+            margin_pct: 5.0,
+        };
+        let s = t.render();
+        assert!(s.contains("wAVF"));
+        t.save_csv("_test.csv");
+        assert!(results_dir().join("_test.csv").exists());
+        let _ = std::fs::remove_file(results_dir().join("_test.csv"));
+    }
+}

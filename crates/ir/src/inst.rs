@@ -1,0 +1,162 @@
+//! The portable intermediate representation.
+//!
+//! Workloads are written once against this IR and compiled to each ISA
+//! flavour, mirroring the paper's per-ISA GCC builds of MiBench: the same
+//! source produces *different binaries* per ISA (different instruction
+//! counts, register pressure and code footprints), which is what drives the
+//! cross-ISA vulnerability differences.
+
+use marvel_isa::{AluOp, Cond, MemWidth};
+
+/// Virtual register: unlimited supply per function.
+pub type VReg = u32;
+/// Branch target label, local to a function.
+pub type Label = u32;
+/// Function index within a [`crate::Module`].
+pub type FuncId = usize;
+/// Global (data object) index within a [`crate::Module`].
+pub type GlobalId = usize;
+
+/// An IR operand: a virtual register or an immediate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Value {
+    Reg(VReg),
+    Imm(i64),
+}
+
+impl From<VReg> for Value {
+    fn from(r: VReg) -> Self {
+        Value::Reg(r)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Imm(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Imm(v as i64)
+    }
+}
+
+/// One IR instruction. Three-address code over virtual registers; control
+/// flow uses labels bound with [`IrInst::Bind`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IrInst {
+    /// `dst = a <op> b`
+    Bin { op: AluOp, dst: VReg, a: Value, b: Value },
+    /// `dst = mem[base + offset]`
+    Load { w: MemWidth, signed: bool, dst: VReg, base: Value, offset: i64 },
+    /// `mem[base + offset] = src`
+    Store { w: MemWidth, src: Value, base: Value, offset: i64 },
+    /// `dst = mem[base + index * w.bytes()]` — lowered to register-offset
+    /// addressing on the Arm flavour, shift+add+load elsewhere.
+    LoadIdx { w: MemWidth, signed: bool, dst: VReg, base: Value, index: Value },
+    /// `mem[base + index * w.bytes()] = src`
+    StoreIdx { w: MemWidth, src: Value, base: Value, index: Value },
+    /// `dst = &global`
+    AddrOf { dst: VReg, global: GlobalId },
+    /// `if cond(a, b): goto target`
+    Br { cond: Cond, a: Value, b: Value, target: Label },
+    /// `goto target`
+    Jump { target: Label },
+    /// Bind `label` at this point.
+    Bind { label: Label },
+    /// Call `func(args...)`, optionally receiving a return value.
+    Call { func: FuncId, args: Vec<Value>, dst: Option<VReg> },
+    /// Return from the current function.
+    Ret { val: Option<Value> },
+    /// End simulation.
+    Halt,
+    /// Checkpoint marker (`m5_checkpoint()` analogue).
+    Checkpoint,
+    /// Injection-window end marker (`m5_switch_cpu()` analogue).
+    SwitchCpu,
+    Nop,
+}
+
+impl IrInst {
+    /// Virtual register defined by this instruction, if any.
+    pub fn def(&self) -> Option<VReg> {
+        match self {
+            IrInst::Bin { dst, .. }
+            | IrInst::Load { dst, .. }
+            | IrInst::LoadIdx { dst, .. }
+            | IrInst::AddrOf { dst, .. } => Some(*dst),
+            IrInst::Call { dst, .. } => *dst,
+            _ => None,
+        }
+    }
+
+    /// Virtual registers read by this instruction.
+    pub fn uses(&self) -> Vec<VReg> {
+        fn push(v: &Value, out: &mut Vec<VReg>) {
+            if let Value::Reg(r) = v {
+                out.push(*r);
+            }
+        }
+        let mut out = Vec::new();
+        match self {
+            IrInst::Bin { a, b, .. } => {
+                push(a, &mut out);
+                push(b, &mut out);
+            }
+            IrInst::Load { base, .. } => push(base, &mut out),
+            IrInst::Store { src, base, .. } => {
+                push(src, &mut out);
+                push(base, &mut out);
+            }
+            IrInst::LoadIdx { base, index, .. } => {
+                push(base, &mut out);
+                push(index, &mut out);
+            }
+            IrInst::StoreIdx { src, base, index, .. } => {
+                push(src, &mut out);
+                push(base, &mut out);
+                push(index, &mut out);
+            }
+            IrInst::Br { a, b, .. } => {
+                push(a, &mut out);
+                push(b, &mut out);
+            }
+            IrInst::Call { args, .. } => {
+                for a in args {
+                    push(a, &mut out);
+                }
+            }
+            IrInst::Ret { val: Some(v) } => push(v, &mut out),
+            _ => {}
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defs_and_uses() {
+        let i = IrInst::Bin { op: AluOp::Add, dst: 3, a: Value::Reg(1), b: Value::Imm(5) };
+        assert_eq!(i.def(), Some(3));
+        assert_eq!(i.uses(), vec![1]);
+
+        let s = IrInst::StoreIdx {
+            w: MemWidth::W,
+            src: Value::Reg(1),
+            base: Value::Reg(2),
+            index: Value::Reg(3),
+        };
+        assert_eq!(s.def(), None);
+        assert_eq!(s.uses(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn value_from_impls() {
+        assert_eq!(Value::from(3u32), Value::Reg(3));
+        assert_eq!(Value::from(-1i64), Value::Imm(-1));
+    }
+}

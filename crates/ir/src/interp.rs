@@ -1,0 +1,408 @@
+//! Reference interpreter for the portable IR.
+//!
+//! This is the *golden semantic model*: the cycle-level CPU running any ISA
+//! flavour must produce exactly the console output this interpreter
+//! produces for the same module. The fault-injection test-suite uses it for
+//! differential testing, and the workload crate uses it to pin expected
+//! outputs.
+//!
+//! To guarantee ISA-portability of workloads, the interpreter is stricter
+//! than any flavour: division by zero and misaligned accesses are errors.
+
+use crate::inst::{IrInst, Label, Value};
+use crate::memmap::{CONSOLE_ADDR, RAM_BASE, RAM_SIZE};
+use crate::module::Module;
+use marvel_isa::{AluOp, Isa, MemWidth};
+use std::collections::HashMap;
+
+/// Where the interpreter places globals (an arbitrary but fixed spot inside
+/// RAM; workload behaviour must not depend on absolute addresses).
+const GLOBAL_BASE: u64 = RAM_BASE + 1024 * 1024;
+
+/// Execution statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InterpStats {
+    pub insts: u64,
+    pub loads: u64,
+    pub stores: u64,
+    pub calls: u64,
+    pub branches: u64,
+}
+
+/// Interpreter errors (all indicate a workload bug, not a simulated fault).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpError {
+    OutOfRange { addr: u64 },
+    Misaligned { addr: u64, width: u64 },
+    DivideByZero,
+    StepLimit,
+    MissingReturnValue { func: String },
+    NoHalt,
+}
+
+impl std::fmt::Display for InterpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InterpError::OutOfRange { addr } => write!(f, "access out of range: {addr:#x}"),
+            InterpError::Misaligned { addr, width } => {
+                write!(f, "misaligned {width}-byte access at {addr:#x}")
+            }
+            InterpError::DivideByZero => f.write_str("division by zero (non-portable)"),
+            InterpError::StepLimit => f.write_str("step limit exceeded"),
+            InterpError::MissingReturnValue { func } => {
+                write!(f, "call expected a return value but {func} returned none")
+            }
+            InterpError::NoHalt => f.write_str("main returned without halt"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// The result of a completed interpretation.
+#[derive(Debug, Clone)]
+pub struct InterpResult {
+    /// Bytes written to the console device — the program "output".
+    pub output: Vec<u8>,
+    pub stats: InterpStats,
+}
+
+/// Run a module's `main` to the `Halt` instruction.
+///
+/// # Errors
+///
+/// Returns [`InterpError`] on any non-portable behaviour or if `step_limit`
+/// IR instructions execute without reaching `Halt`.
+pub fn run(module: &Module, step_limit: u64) -> Result<InterpResult, InterpError> {
+    Interp::new(module, step_limit).run()
+}
+
+struct Interp<'m> {
+    module: &'m Module,
+    mem: Vec<u8>,
+    global_addrs: Vec<u64>,
+    output: Vec<u8>,
+    stats: InterpStats,
+    steps_left: u64,
+    /// Per-function label index maps, computed lazily.
+    label_maps: Vec<Option<HashMap<Label, usize>>>,
+}
+
+enum FlowResult {
+    Returned(Option<u64>),
+    Halted,
+}
+
+impl<'m> Interp<'m> {
+    fn new(module: &'m Module, step_limit: u64) -> Self {
+        let mut mem = vec![0u8; RAM_SIZE as usize];
+        let mut global_addrs = Vec::with_capacity(module.globals.len());
+        let mut cursor = GLOBAL_BASE;
+        for g in &module.globals {
+            let align = g.align.max(1) as u64;
+            cursor = (cursor + align - 1) & !(align - 1);
+            global_addrs.push(cursor);
+            let off = (cursor - RAM_BASE) as usize;
+            mem[off..off + g.bytes.len()].copy_from_slice(&g.bytes);
+            cursor += g.bytes.len() as u64;
+        }
+        assert!(cursor < RAM_BASE + RAM_SIZE, "globals exceed RAM");
+        Interp {
+            module,
+            mem,
+            global_addrs,
+            output: Vec::new(),
+            stats: InterpStats::default(),
+            steps_left: step_limit,
+            label_maps: vec![None; module.funcs.len()],
+        }
+    }
+
+    fn run(mut self) -> Result<InterpResult, InterpError> {
+        let main = self.module.main_id();
+        match self.call(main, &[])? {
+            FlowResult::Halted => Ok(InterpResult { output: self.output, stats: self.stats }),
+            FlowResult::Returned(_) => Err(InterpError::NoHalt),
+        }
+    }
+
+    fn label_map(&mut self, func: usize) -> &HashMap<Label, usize> {
+        if self.label_maps[func].is_none() {
+            let mut map = HashMap::new();
+            for (i, inst) in self.module.funcs[func].insts.iter().enumerate() {
+                if let IrInst::Bind { label } = inst {
+                    map.insert(*label, i);
+                }
+            }
+            self.label_maps[func] = Some(map);
+        }
+        self.label_maps[func].as_ref().unwrap()
+    }
+
+    fn call(&mut self, func: usize, args: &[u64]) -> Result<FlowResult, InterpError> {
+        let module = self.module;
+        let f = &module.funcs[func];
+        let mut regs = vec![0u64; f.n_vregs.max(1) as usize];
+        regs[..args.len()].copy_from_slice(args);
+        let insts = &f.insts;
+        let mut ip = 0usize;
+        self.stats.calls += 1;
+
+        while ip < insts.len() {
+            if self.steps_left == 0 {
+                return Err(InterpError::StepLimit);
+            }
+            self.steps_left -= 1;
+            self.stats.insts += 1;
+
+            // Clone is avoided: we match on a reference and only recurse for
+            // calls, which copies out the needed fields first.
+            match &insts[ip] {
+                IrInst::Bin { op, dst, a, b } => {
+                    let av = self.val(&regs, a);
+                    let bv = self.val(&regs, b);
+                    if matches!(op, AluOp::Div | AluOp::Rem) && bv == 0 {
+                        return Err(InterpError::DivideByZero);
+                    }
+                    let r = op.eval(av, bv, Isa::RiscV).expect("riscv alu never traps");
+                    regs[*dst as usize] = r;
+                }
+                IrInst::Load { w, signed, dst, base, offset } => {
+                    let addr = self.val(&regs, base).wrapping_add(*offset as u64);
+                    regs[*dst as usize] = self.read(addr, *w, *signed)?;
+                }
+                IrInst::Store { w, src, base, offset } => {
+                    let addr = self.val(&regs, base).wrapping_add(*offset as u64);
+                    let v = self.val(&regs, src);
+                    self.write(addr, *w, v)?;
+                }
+                IrInst::LoadIdx { w, signed, dst, base, index } => {
+                    let addr = self
+                        .val(&regs, base)
+                        .wrapping_add(self.val(&regs, index).wrapping_mul(w.bytes()));
+                    regs[*dst as usize] = self.read(addr, *w, *signed)?;
+                }
+                IrInst::StoreIdx { w, src, base, index } => {
+                    let addr = self
+                        .val(&regs, base)
+                        .wrapping_add(self.val(&regs, index).wrapping_mul(w.bytes()));
+                    let v = self.val(&regs, src);
+                    self.write(addr, *w, v)?;
+                }
+                IrInst::AddrOf { dst, global } => {
+                    regs[*dst as usize] = self.global_addrs[*global];
+                }
+                IrInst::Br { cond, a, b, target } => {
+                    self.stats.branches += 1;
+                    let av = self.val(&regs, a);
+                    let bv = self.val(&regs, b);
+                    if cond.eval(av, bv) {
+                        let t = *target;
+                        ip = self.label_map(func)[&t];
+                    }
+                }
+                IrInst::Jump { target } => {
+                    self.stats.branches += 1;
+                    let t = *target;
+                    ip = self.label_map(func)[&t];
+                }
+                IrInst::Bind { .. } | IrInst::Nop | IrInst::Checkpoint | IrInst::SwitchCpu => {}
+                IrInst::Call { func: callee, args, dst } => {
+                    let argv: Vec<u64> = args.iter().map(|a| self.val(&regs, a)).collect();
+                    let callee = *callee;
+                    let dst = *dst;
+                    match self.call(callee, &argv)? {
+                        FlowResult::Halted => return Ok(FlowResult::Halted),
+                        FlowResult::Returned(v) => {
+                            if let Some(d) = dst {
+                                let v = v.ok_or_else(|| InterpError::MissingReturnValue {
+                                    func: self.module.funcs[callee].name.clone(),
+                                })?;
+                                regs[d as usize] = v;
+                            }
+                        }
+                    }
+                }
+                IrInst::Ret { val } => {
+                    let v = val.as_ref().map(|v| self.val(&regs, v));
+                    return Ok(FlowResult::Returned(v));
+                }
+                IrInst::Halt => return Ok(FlowResult::Halted),
+            }
+            ip += 1;
+        }
+        Ok(FlowResult::Returned(None))
+    }
+
+    fn val(&self, regs: &[u64], v: &Value) -> u64 {
+        match v {
+            Value::Reg(r) => regs[*r as usize],
+            Value::Imm(i) => *i as u64,
+        }
+    }
+
+    fn read(&mut self, addr: u64, w: MemWidth, signed: bool) -> Result<u64, InterpError> {
+        self.stats.loads += 1;
+        let n = w.bytes();
+        if addr % n != 0 {
+            return Err(InterpError::Misaligned { addr, width: n });
+        }
+        if addr < RAM_BASE || addr + n > RAM_BASE + RAM_SIZE {
+            return Err(InterpError::OutOfRange { addr });
+        }
+        let off = (addr - RAM_BASE) as usize;
+        let mut raw = [0u8; 8];
+        raw[..n as usize].copy_from_slice(&self.mem[off..off + n as usize]);
+        Ok(w.extend(u64::from_le_bytes(raw), signed))
+    }
+
+    fn write(&mut self, addr: u64, w: MemWidth, v: u64) -> Result<(), InterpError> {
+        self.stats.stores += 1;
+        let n = w.bytes();
+        if addr == CONSOLE_ADDR {
+            self.output.push(v as u8);
+            return Ok(());
+        }
+        if addr % n != 0 {
+            return Err(InterpError::Misaligned { addr, width: n });
+        }
+        if addr < RAM_BASE || addr + n > RAM_BASE + RAM_SIZE {
+            return Err(InterpError::OutOfRange { addr });
+        }
+        let off = (addr - RAM_BASE) as usize;
+        self.mem[off..off + n as usize].copy_from_slice(&v.to_le_bytes()[..n as usize]);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::FuncBuilder;
+    use marvel_isa::Cond;
+
+    #[test]
+    fn loop_and_output() {
+        let mut m = Module::new();
+        let f = m.declare("main", 0);
+        let mut b = FuncBuilder::new(0);
+        let i = b.li(0);
+        let top = b.new_label();
+        b.bind(top);
+        b.out_byte(i);
+        let next = b.bin(AluOp::Add, i, 1);
+        b.assign(i, next);
+        b.br(Cond::Lt, i, 4, top);
+        b.halt();
+        m.define(f, b.build());
+        let r = run(&m, 10_000).unwrap();
+        assert_eq!(r.output, vec![0, 1, 2, 3]);
+        assert!(r.stats.branches >= 4);
+    }
+
+    #[test]
+    fn globals_and_memory() {
+        let mut m = Module::new();
+        let g = m.global_u64("t", &[10, 20, 30]);
+        let f = m.declare("main", 0);
+        let mut b = FuncBuilder::new(0);
+        let base = b.addr_of(g);
+        let x = b.load(MemWidth::D, false, base, 8);
+        b.out_byte(x); // 20
+        let i = b.li(2);
+        let y = b.load_idx(MemWidth::D, false, base, i);
+        b.out_byte(y); // 30
+        b.store_idx(MemWidth::D, 99i64, base, i);
+        let z = b.load(MemWidth::D, false, base, 16);
+        b.out_byte(z); // 99
+        b.halt();
+        m.define(f, b.build());
+        let r = run(&m, 10_000).unwrap();
+        assert_eq!(r.output, vec![20, 30, 99]);
+    }
+
+    #[test]
+    fn calls_and_returns() {
+        let mut m = Module::new();
+        let sq = m.declare("square", 1);
+        let f = m.declare("main", 0);
+        let mut b = FuncBuilder::new(1);
+        let p = b.param(0);
+        let r = b.bin(AluOp::Mul, p, p);
+        b.ret(Some(Value::Reg(r)));
+        m.define(sq, b.build());
+
+        let mut b = FuncBuilder::new(0);
+        let v = b.call(sq, &[Value::Imm(7)]);
+        b.out_byte(v);
+        b.halt();
+        m.define(f, b.build());
+        let r = run(&m, 10_000).unwrap();
+        assert_eq!(r.output, vec![49]);
+    }
+
+    #[test]
+    fn recursion() {
+        // fib(10) = 55
+        let mut m = Module::new();
+        let fib = m.declare("fib", 1);
+        let f = m.declare("main", 0);
+        let mut b = FuncBuilder::new(1);
+        let n = b.param(0);
+        let l = b.new_label();
+        b.br(Cond::Ge, n, 2, l);
+        b.ret(Some(Value::Reg(n)));
+        b.bind(l);
+        let n1 = b.bin(AluOp::Sub, n, 1);
+        let n2 = b.bin(AluOp::Sub, n, 2);
+        let a = b.call(fib, &[Value::Reg(n1)]);
+        let c = b.call(fib, &[Value::Reg(n2)]);
+        let s = b.bin(AluOp::Add, a, c);
+        b.ret(Some(Value::Reg(s)));
+        m.define(fib, b.build());
+
+        let mut b = FuncBuilder::new(0);
+        let v = b.call(fib, &[Value::Imm(10)]);
+        b.out_byte(v);
+        b.halt();
+        m.define(f, b.build());
+        let r = run(&m, 1_000_000).unwrap();
+        assert_eq!(r.output, vec![55]);
+    }
+
+    #[test]
+    fn step_limit_enforced() {
+        let mut m = Module::new();
+        let f = m.declare("main", 0);
+        let mut b = FuncBuilder::new(0);
+        let top = b.new_label();
+        b.bind(top);
+        b.jump(top);
+        m.define(f, b.build());
+        assert_eq!(run(&m, 100).unwrap_err(), InterpError::StepLimit);
+    }
+
+    #[test]
+    fn div_zero_is_error() {
+        let mut m = Module::new();
+        let f = m.declare("main", 0);
+        let mut b = FuncBuilder::new(0);
+        b.bin(AluOp::Div, 1i64, 0i64);
+        b.halt();
+        m.define(f, b.build());
+        assert_eq!(run(&m, 100).unwrap_err(), InterpError::DivideByZero);
+    }
+
+    #[test]
+    fn misaligned_is_error() {
+        let mut m = Module::new();
+        let g = m.global_u64("t", &[0]);
+        let f = m.declare("main", 0);
+        let mut b = FuncBuilder::new(0);
+        let base = b.addr_of(g);
+        b.load(MemWidth::D, false, base, 3);
+        b.halt();
+        m.define(f, b.build());
+        assert!(matches!(run(&m, 100).unwrap_err(), InterpError::Misaligned { .. }));
+    }
+}

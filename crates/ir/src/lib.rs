@@ -1,0 +1,49 @@
+//! # marvel-ir
+//!
+//! The portable intermediate representation and compiler used to build the
+//! framework's workloads once and run them on all three ISA flavours —
+//! the analogue of the paper's per-ISA GCC builds of MiBench.
+//!
+//! Pipeline:
+//!
+//! 1. Build a [`Module`] with [`FuncBuilder`] (three-address code over
+//!    virtual registers, labels, calls, globals).
+//! 2. [`assemble`] it for an [`marvel_isa::Isa`]: usage-priority register
+//!    allocation, per-ISA instruction selection (addressing modes,
+//!    immediate ranges, two-operand constraints), two-pass layout with
+//!    branch relaxation, and encoding into a loadable [`Binary`].
+//! 3. Optionally [`interp::run`] the module for the golden (ISA-agnostic)
+//!    output used in differential tests.
+//!
+//! ```
+//! use marvel_ir::{Module, FuncBuilder, assemble, interp};
+//! use marvel_isa::{AluOp, Isa};
+//!
+//! let mut m = Module::new();
+//! let main = m.declare("main", 0);
+//! let mut b = FuncBuilder::new(0);
+//! let v = b.bin(AluOp::Mul, 6i64, 7i64);
+//! b.out_byte(v);
+//! b.halt();
+//! m.define(main, b.build());
+//!
+//! let golden = interp::run(&m, 1_000)?;
+//! assert_eq!(golden.output, vec![42]);
+//! let bin = assemble(&m, Isa::RiscV)?;
+//! assert!(bin.code_len > 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod assemble;
+pub mod inst;
+pub mod interp;
+pub mod lower;
+pub mod memmap;
+pub mod module;
+pub mod opt;
+
+pub use assemble::{assemble, Binary};
+pub use inst::{FuncId, GlobalId, IrInst, Label, VReg, Value};
+pub use lower::{lower, Item, LowerError, Lowered};
+pub use module::{FuncBody, FuncBuilder, Function, Global, Module};
+pub use opt::{optimize, OptStats};

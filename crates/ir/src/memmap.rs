@@ -1,0 +1,54 @@
+//! Physical memory map shared by the compiler, the SoC and the loader.
+//!
+//! The map is bare-metal "full-system-ish": programs, data and stack live
+//! in one RAM range; devices are memory-mapped below it. All mapped ranges
+//! sit under 2^31 so absolute addresses are materialisable with 32-bit
+//! immediate sequences on every ISA flavour; accesses outside the mapped
+//! ranges fault, which is how wild pointers produced by bit flips turn into
+//! Crashes.
+
+/// Console device: stores to this address append the low byte of the data
+/// to the captured program output (the SDC comparison stream).
+pub const CONSOLE_ADDR: u64 = 0x1000_0000;
+
+/// Interrupt controller (GIC/PLIC flavour) register block base.
+pub const IRQ_CTRL_BASE: u64 = 0x1100_0000;
+/// Interrupt controller register block size in bytes.
+pub const IRQ_CTRL_SIZE: u64 = 0x1000;
+
+/// Accelerator cluster MMR space base (each accelerator gets a 4 KiB page).
+pub const ACCEL_MMR_BASE: u64 = 0x2000_0000;
+/// MMR page size per accelerator.
+pub const ACCEL_MMR_STRIDE: u64 = 0x1000;
+
+/// RAM base: code is loaded here, data follows, the stack grows down from
+/// the top.
+pub const RAM_BASE: u64 = 0x4000_0000;
+/// Default RAM size (4 MiB).
+pub const RAM_SIZE: u64 = 4 * 1024 * 1024;
+
+/// Initial stack pointer (16-byte aligned, small red zone below the top).
+pub const STACK_TOP: u64 = RAM_BASE + RAM_SIZE - 256;
+
+/// Interrupt vector: the address the core jumps to when accepting an
+/// external interrupt. The SoC installs a hand-written handler stub here.
+pub const IRQ_VECTOR: u64 = RAM_BASE + RAM_SIZE - 0x1000;
+
+/// The default ISR writes `claimed source + 1` here; programs poll this
+/// word to synchronise with accelerator completion interrupts.
+pub const IRQ_FLAG_ADDR: u64 = IRQ_VECTOR - 8;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_are_disjoint_and_below_2g() {
+        assert!(CONSOLE_ADDR < IRQ_CTRL_BASE);
+        assert!(IRQ_CTRL_BASE + IRQ_CTRL_SIZE <= ACCEL_MMR_BASE);
+        assert!(ACCEL_MMR_BASE < RAM_BASE);
+        assert!(RAM_BASE + RAM_SIZE <= 1 << 31);
+        assert!(STACK_TOP % 16 == 0);
+        assert!(IRQ_VECTOR > RAM_BASE && IRQ_VECTOR < STACK_TOP);
+    }
+}

@@ -1,0 +1,434 @@
+//! Module and function builders: the "source language" API workloads use.
+
+use crate::inst::{FuncId, GlobalId, IrInst, Label, VReg, Value};
+use crate::memmap::CONSOLE_ADDR;
+use marvel_isa::{AluOp, Cond, MemWidth};
+
+/// A data object placed in the binary's data section.
+#[derive(Debug, Clone)]
+pub struct Global {
+    pub name: String,
+    pub bytes: Vec<u8>,
+    /// Alignment in bytes (power of two).
+    pub align: usize,
+}
+
+/// A function: a linear instruction list with embedded label bindings.
+#[derive(Debug, Clone)]
+pub struct Function {
+    pub name: String,
+    /// Number of declared parameters; parameters occupy vregs `0..n_params`.
+    pub n_params: u32,
+    pub insts: Vec<IrInst>,
+    pub n_vregs: u32,
+    pub n_labels: u32,
+}
+
+/// A whole program: functions (index 0 need not be the entry; the entry is
+/// the function named `main`) plus global data.
+#[derive(Debug, Clone, Default)]
+pub struct Module {
+    pub funcs: Vec<Function>,
+    pub globals: Vec<Global>,
+}
+
+impl Module {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare a function and obtain its id before building its body (so
+    /// mutually recursive calls can be expressed). The body is attached
+    /// later by [`Module::define`].
+    pub fn declare(&mut self, name: &str, n_params: u32) -> FuncId {
+        self.funcs.push(Function {
+            name: name.to_string(),
+            n_params,
+            insts: Vec::new(),
+            n_vregs: n_params,
+            n_labels: 0,
+        });
+        self.funcs.len() - 1
+    }
+
+    /// Attach a built body to a declared function.
+    ///
+    /// # Panics
+    /// Panics if the function already has a body.
+    pub fn define(&mut self, id: FuncId, body: FuncBody) {
+        let f = &mut self.funcs[id];
+        assert!(f.insts.is_empty(), "function {} already defined", f.name);
+        assert_eq!(f.n_params, body.n_params, "parameter count mismatch for {}", f.name);
+        f.insts = body.insts;
+        f.n_vregs = body.n_vregs;
+        f.n_labels = body.n_labels;
+    }
+
+    /// Add a global data object; returns its id.
+    pub fn global(&mut self, name: &str, bytes: Vec<u8>, align: usize) -> GlobalId {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        self.globals.push(Global { name: name.to_string(), bytes, align });
+        self.globals.len() - 1
+    }
+
+    /// Add a zero-initialised global of `len` bytes.
+    pub fn global_zeroed(&mut self, name: &str, len: usize, align: usize) -> GlobalId {
+        self.global(name, vec![0u8; len], align)
+    }
+
+    /// Add a global holding little-endian `u64` words.
+    pub fn global_u64(&mut self, name: &str, words: &[u64]) -> GlobalId {
+        let mut bytes = Vec::with_capacity(words.len() * 8);
+        for w in words {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        self.global(name, bytes, 8)
+    }
+
+    /// Add a global holding little-endian `u32` words.
+    pub fn global_u32(&mut self, name: &str, words: &[u32]) -> GlobalId {
+        let mut bytes = Vec::with_capacity(words.len() * 4);
+        for w in words {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        self.global(name, bytes, 8)
+    }
+
+    /// Find a function id by name.
+    pub fn func_id(&self, name: &str) -> Option<FuncId> {
+        self.funcs.iter().position(|f| f.name == name)
+    }
+
+    /// The entry function (`main`).
+    ///
+    /// # Panics
+    /// Panics if no `main` exists.
+    pub fn main_id(&self) -> FuncId {
+        self.func_id("main").expect("module has no `main`")
+    }
+
+    /// Structural validation: every label bound exactly once, every branch
+    /// target bound, every used function has a body, parameter counts match.
+    pub fn validate(&self) -> Result<(), String> {
+        for f in &self.funcs {
+            if f.insts.is_empty() {
+                return Err(format!("function {} has no body", f.name));
+            }
+            let mut bound = vec![0u32; f.n_labels as usize];
+            for i in &f.insts {
+                if let IrInst::Bind { label } = i {
+                    bound[*label as usize] += 1;
+                }
+            }
+            for i in &f.insts {
+                match i {
+                    IrInst::Br { target, .. } | IrInst::Jump { target } => {
+                        if bound.get(*target as usize) != Some(&1) {
+                            return Err(format!(
+                                "function {}: label {} bound {} times",
+                                f.name,
+                                target,
+                                bound.get(*target as usize).copied().unwrap_or(0)
+                            ));
+                        }
+                    }
+                    IrInst::Call { func, args, .. } => {
+                        let callee = self
+                            .funcs
+                            .get(*func)
+                            .ok_or_else(|| format!("function {}: call to unknown id {func}", f.name))?;
+                        if callee.n_params as usize != args.len() {
+                            return Err(format!(
+                                "function {}: call to {} with {} args (expects {})",
+                                f.name,
+                                callee.name,
+                                args.len(),
+                                callee.n_params
+                            ));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            match f.insts.last() {
+                Some(IrInst::Ret { .. }) | Some(IrInst::Halt) | Some(IrInst::Jump { .. }) => {}
+                _ => {
+                    return Err(format!("function {} does not end in ret/halt/jump", f.name));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The body produced by a [`FuncBuilder`].
+#[derive(Debug, Clone)]
+pub struct FuncBody {
+    n_params: u32,
+    insts: Vec<IrInst>,
+    n_vregs: u32,
+    n_labels: u32,
+}
+
+/// Builder for one function body.
+///
+/// ```
+/// use marvel_ir::{Module, FuncBuilder};
+/// use marvel_isa::{AluOp, Cond, MemWidth};
+///
+/// let mut m = Module::new();
+/// let main = m.declare("main", 0);
+/// let mut b = FuncBuilder::new(0);
+/// let i = b.li(0);
+/// let top = b.new_label();
+/// b.bind(top);
+/// let i2 = b.bin(AluOp::Add, i, 1);
+/// b.assign(i, i2);
+/// b.br(Cond::Lt, i, 10, top);
+/// b.out_byte(i);
+/// b.halt();
+/// m.define(main, b.build());
+/// assert!(m.validate().is_ok());
+/// ```
+#[derive(Debug)]
+pub struct FuncBuilder {
+    n_params: u32,
+    insts: Vec<IrInst>,
+    next_vreg: u32,
+    next_label: u32,
+}
+
+impl FuncBuilder {
+    /// Create a builder; parameters occupy vregs `0..n_params`.
+    pub fn new(n_params: u32) -> Self {
+        FuncBuilder { n_params, insts: Vec::new(), next_vreg: n_params, next_label: 0 }
+    }
+
+    /// The vreg holding parameter `i`.
+    pub fn param(&self, i: u32) -> VReg {
+        assert!(i < self.n_params, "parameter index out of range");
+        i
+    }
+
+    /// Allocate a fresh virtual register.
+    pub fn vreg(&mut self) -> VReg {
+        let r = self.next_vreg;
+        self.next_vreg += 1;
+        r
+    }
+
+    /// Allocate a label (bind it later with [`FuncBuilder::bind`]).
+    pub fn new_label(&mut self) -> Label {
+        let l = self.next_label;
+        self.next_label += 1;
+        l
+    }
+
+    pub fn bind(&mut self, l: Label) {
+        self.insts.push(IrInst::Bind { label: l });
+    }
+
+    /// `dst = a <op> b` into a fresh vreg.
+    pub fn bin(&mut self, op: AluOp, a: impl Into<Value>, b: impl Into<Value>) -> VReg {
+        let dst = self.vreg();
+        self.insts.push(IrInst::Bin { op, dst, a: a.into(), b: b.into() });
+        dst
+    }
+
+    /// `dst = a <op> b` into an existing vreg.
+    pub fn bin_into(&mut self, dst: VReg, op: AluOp, a: impl Into<Value>, b: impl Into<Value>) {
+        self.insts.push(IrInst::Bin { op, dst, a: a.into(), b: b.into() });
+    }
+
+    /// Copy `src` into `dst` (`dst = src + 0`).
+    pub fn assign(&mut self, dst: VReg, src: impl Into<Value>) {
+        self.insts.push(IrInst::Bin { op: AluOp::Add, dst, a: src.into(), b: Value::Imm(0) });
+    }
+
+    /// Materialise a constant into a fresh vreg.
+    pub fn li(&mut self, v: i64) -> VReg {
+        let dst = self.vreg();
+        self.insts.push(IrInst::Bin { op: AluOp::Add, dst, a: Value::Imm(v), b: Value::Imm(0) });
+        dst
+    }
+
+    pub fn load(&mut self, w: MemWidth, signed: bool, base: impl Into<Value>, offset: i64) -> VReg {
+        let dst = self.vreg();
+        self.insts.push(IrInst::Load { w, signed, dst, base: base.into(), offset });
+        dst
+    }
+
+    pub fn store(&mut self, w: MemWidth, src: impl Into<Value>, base: impl Into<Value>, offset: i64) {
+        self.insts.push(IrInst::Store { w, src: src.into(), base: base.into(), offset });
+    }
+
+    /// `mem[base + index*w.bytes()]` load (element-indexed).
+    pub fn load_idx(
+        &mut self,
+        w: MemWidth,
+        signed: bool,
+        base: impl Into<Value>,
+        index: impl Into<Value>,
+    ) -> VReg {
+        let dst = self.vreg();
+        self.insts.push(IrInst::LoadIdx { w, signed, dst, base: base.into(), index: index.into() });
+        dst
+    }
+
+    /// `mem[base + index*w.bytes()] = src` (element-indexed).
+    pub fn store_idx(
+        &mut self,
+        w: MemWidth,
+        src: impl Into<Value>,
+        base: impl Into<Value>,
+        index: impl Into<Value>,
+    ) {
+        self.insts.push(IrInst::StoreIdx { w, src: src.into(), base: base.into(), index: index.into() });
+    }
+
+    /// `dst = &global`.
+    pub fn addr_of(&mut self, g: GlobalId) -> VReg {
+        let dst = self.vreg();
+        self.insts.push(IrInst::AddrOf { dst, global: g });
+        dst
+    }
+
+    pub fn br(&mut self, cond: Cond, a: impl Into<Value>, b: impl Into<Value>, target: Label) {
+        self.insts.push(IrInst::Br { cond, a: a.into(), b: b.into(), target });
+    }
+
+    pub fn jump(&mut self, target: Label) {
+        self.insts.push(IrInst::Jump { target });
+    }
+
+    /// Call returning a value.
+    pub fn call(&mut self, func: FuncId, args: &[Value]) -> VReg {
+        let dst = self.vreg();
+        self.insts.push(IrInst::Call { func, args: args.to_vec(), dst: Some(dst) });
+        dst
+    }
+
+    /// Call ignoring any return value.
+    pub fn call_void(&mut self, func: FuncId, args: &[Value]) {
+        self.insts.push(IrInst::Call { func, args: args.to_vec(), dst: None });
+    }
+
+    pub fn ret(&mut self, val: Option<Value>) {
+        self.insts.push(IrInst::Ret { val });
+    }
+
+    /// Emit the low byte of `v` to the console device (the program-output
+    /// stream compared for SDC detection).
+    pub fn out_byte(&mut self, v: impl Into<Value>) {
+        self.insts.push(IrInst::Store {
+            w: MemWidth::B,
+            src: v.into(),
+            base: Value::Imm(CONSOLE_ADDR as i64),
+            offset: 0,
+        });
+    }
+
+    pub fn halt(&mut self) {
+        self.insts.push(IrInst::Halt);
+    }
+
+    pub fn checkpoint(&mut self) {
+        self.insts.push(IrInst::Checkpoint);
+    }
+
+    pub fn switch_cpu(&mut self) {
+        self.insts.push(IrInst::SwitchCpu);
+    }
+
+    pub fn nop(&mut self) {
+        self.insts.push(IrInst::Nop);
+    }
+
+    /// Number of instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Finish the body.
+    pub fn build(self) -> FuncBody {
+        FuncBody {
+            n_params: self.n_params,
+            insts: self.insts,
+            n_vregs: self.next_vreg,
+            n_labels: self.next_label,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_validate_simple() {
+        let mut m = Module::new();
+        let f = m.declare("main", 0);
+        let mut b = FuncBuilder::new(0);
+        let x = b.li(1);
+        b.out_byte(x);
+        b.halt();
+        m.define(f, b.build());
+        assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_unbound_label() {
+        let mut m = Module::new();
+        let f = m.declare("main", 0);
+        let mut b = FuncBuilder::new(0);
+        let l = b.new_label();
+        b.jump(l); // never bound
+        m.define(f, b.build());
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_bad_arity() {
+        let mut m = Module::new();
+        let callee = m.declare("f", 2);
+        let f = m.declare("main", 0);
+        let mut b = FuncBuilder::new(2);
+        b.ret(Some(Value::Imm(0)));
+        m.define(callee, b.build());
+        let mut b = FuncBuilder::new(0);
+        b.call_void(callee, &[Value::Imm(1)]); // wrong arity
+        b.halt();
+        m.define(f, b.build());
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn validate_requires_terminator() {
+        let mut m = Module::new();
+        let f = m.declare("main", 0);
+        let mut b = FuncBuilder::new(0);
+        b.li(1);
+        m.define(f, b.build());
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn params_are_low_vregs() {
+        let b = FuncBuilder::new(3);
+        assert_eq!(b.param(0), 0);
+        assert_eq!(b.param(2), 2);
+    }
+
+    #[test]
+    fn global_helpers() {
+        let mut m = Module::new();
+        let g = m.global_u64("tbl", &[1, 2, 3]);
+        assert_eq!(m.globals[g].bytes.len(), 24);
+        let g2 = m.global_zeroed("buf", 100, 8);
+        assert_eq!(m.globals[g2].bytes, vec![0u8; 100]);
+    }
+}

@@ -1,0 +1,234 @@
+//! Optional IR optimisation passes: block-local constant folding, copy
+//! propagation and strength reduction.
+//!
+//! The workload suite compiles unoptimised by default (the paper's
+//! validation programs use `-O0`), but the passes are available for
+//! studies of vulnerability across compiler optimisation levels — the
+//! methodology of the authors' IISWC'21 follow-up — and are exercised by
+//! differential tests (optimised and unoptimised modules must produce
+//! identical interpreter output).
+
+use crate::inst::{IrInst, VReg, Value};
+use crate::module::Module;
+use marvel_isa::AluOp;
+use std::collections::HashMap;
+
+/// Statistics from one [`optimize`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptStats {
+    pub folded: usize,
+    pub propagated: usize,
+    pub strength_reduced: usize,
+}
+
+/// Run all passes over every function. Returns per-pass counts.
+pub fn optimize(m: &mut Module) -> OptStats {
+    let mut stats = OptStats::default();
+    for f in &mut m.funcs {
+        stats = add(stats, fold_function(&mut f.insts));
+    }
+    stats
+}
+
+fn add(a: OptStats, b: OptStats) -> OptStats {
+    OptStats {
+        folded: a.folded + b.folded,
+        propagated: a.propagated + b.propagated,
+        strength_reduced: a.strength_reduced + b.strength_reduced,
+    }
+}
+
+/// Evaluate a constant binary op with the portable (RISC-V) semantics the
+/// interpreter uses. Division by zero is left for runtime.
+fn eval_const(op: AluOp, a: i64, b: i64) -> Option<i64> {
+    if matches!(op, AluOp::Div | AluOp::Rem) && b == 0 {
+        return None;
+    }
+    Some(op.eval(a as u64, b as u64, marvel_isa::Isa::RiscV).ok()? as i64)
+}
+
+fn fold_function(insts: &mut [IrInst]) -> OptStats {
+    let mut stats = OptStats::default();
+    // Known constants per vreg within the current basic block.
+    let mut known: HashMap<VReg, i64> = HashMap::new();
+
+    let subst = |v: &mut Value, known: &HashMap<VReg, i64>, stats: &mut OptStats| {
+        if let Value::Reg(r) = v {
+            if let Some(c) = known.get(r) {
+                *v = Value::Imm(*c);
+                stats.propagated += 1;
+            }
+        }
+    };
+
+    for inst in insts.iter_mut() {
+        match inst {
+            // Basic-block boundary: a label is a join point.
+            IrInst::Bind { .. } => known.clear(),
+            IrInst::Bin { op, dst, a, b } => {
+                subst(a, &known, &mut stats);
+                subst(b, &known, &mut stats);
+                // Strength reduction: multiply by a power of two.
+                if *op == AluOp::Mul {
+                    if let Value::Imm(iv) = b {
+                        if *iv > 0 && (*iv & (*iv - 1)) == 0 {
+                            *op = AluOp::Sll;
+                            *b = Value::Imm(iv.trailing_zeros() as i64);
+                            stats.strength_reduced += 1;
+                        }
+                    }
+                }
+                // Algebraic identities.
+                match (*op, &a, &b) {
+                    (AluOp::Add | AluOp::Sub | AluOp::Or | AluOp::Xor | AluOp::Sll | AluOp::Srl | AluOp::Sra, _, Value::Imm(0)) => {}
+                    _ => {}
+                }
+                if let (Value::Imm(av), Value::Imm(bv)) = (&a, &b) {
+                    if let Some(c) = eval_const(*op, *av, *bv) {
+                        known.insert(*dst, c);
+                        *inst = IrInst::Bin {
+                            op: AluOp::Add,
+                            dst: *dst,
+                            a: Value::Imm(c),
+                            b: Value::Imm(0),
+                        };
+                        stats.folded += 1;
+                        continue;
+                    }
+                }
+                // Re-extract dst (inst may have been left intact).
+                if let IrInst::Bin { dst, .. } = inst {
+                    known.remove(dst);
+                }
+            }
+            IrInst::Load { dst, base, .. } => {
+                subst(base, &known, &mut stats);
+                known.remove(dst);
+            }
+            IrInst::LoadIdx { dst, base, index, .. } => {
+                subst(base, &known, &mut stats);
+                subst(index, &known, &mut stats);
+                known.remove(dst);
+            }
+            IrInst::Store { src, base, .. } => {
+                subst(src, &known, &mut stats);
+                subst(base, &known, &mut stats);
+            }
+            IrInst::StoreIdx { src, base, index, .. } => {
+                subst(src, &known, &mut stats);
+                subst(base, &known, &mut stats);
+                subst(index, &known, &mut stats);
+            }
+            IrInst::AddrOf { dst, .. } => {
+                known.remove(dst);
+            }
+            IrInst::Br { a, b, .. } => {
+                subst(a, &known, &mut stats);
+                subst(b, &known, &mut stats);
+            }
+            IrInst::Call { args, dst, .. } => {
+                for arg in args.iter_mut() {
+                    subst(arg, &known, &mut stats);
+                }
+                if let Some(d) = dst {
+                    known.remove(d);
+                }
+            }
+            IrInst::Ret { val: Some(v) } => subst(v, &known, &mut stats),
+            _ => {}
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp;
+    use crate::module::FuncBuilder;
+    use marvel_isa::{Cond, MemWidth};
+
+    fn workload() -> Module {
+        let mut m = Module::new();
+        let g = m.global_u64("t", &[3, 1, 4, 1, 5]);
+        let f = m.declare("main", 0);
+        let mut b = FuncBuilder::new(0);
+        let base = b.addr_of(g);
+        let four = b.li(4); // known constant
+        let eight = b.bin(AluOp::Mul, four, 2); // foldable: 8
+        let acc = b.li(0);
+        let i = b.li(0);
+        let top = b.new_label();
+        b.bind(top);
+        let scaled = b.bin(AluOp::Mul, i, 8); // strength-reducible
+        let addr = b.bin(AluOp::Add, base, scaled);
+        let v = b.load(MemWidth::D, false, addr, 0);
+        let x = b.bin(AluOp::Add, acc, v);
+        b.assign(acc, x);
+        let i2 = b.bin(AluOp::Add, i, 1);
+        b.assign(i, i2);
+        b.br(Cond::Lt, i, 5, top);
+        let fin = b.bin(AluOp::Xor, acc, eight);
+        b.out_byte(fin);
+        b.halt();
+        m.define(f, b.build());
+        m
+    }
+
+    #[test]
+    fn passes_fire() {
+        let mut m = workload();
+        let s = optimize(&mut m);
+        assert!(s.folded >= 1, "{s:?}");
+        assert!(s.strength_reduced >= 1, "{s:?}");
+        assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn output_is_preserved() {
+        let plain = workload();
+        let mut opt = workload();
+        optimize(&mut opt);
+        let a = interp::run(&plain, 1_000_000).unwrap();
+        let b = interp::run(&opt, 1_000_000).unwrap();
+        assert_eq!(a.output, b.output);
+    }
+
+    #[test]
+    fn div_by_zero_not_folded() {
+        let mut m = Module::new();
+        let f = m.declare("main", 0);
+        let mut b = FuncBuilder::new(0);
+        let zero = b.li(0);
+        b.bin(AluOp::Div, 10, zero);
+        b.halt();
+        m.define(f, b.build());
+        optimize(&mut m);
+        // The division must survive (runtime semantics are ISA-dependent).
+        assert!(m.funcs[0]
+            .insts
+            .iter()
+            .any(|i| matches!(i, IrInst::Bin { op: AluOp::Div, .. })));
+    }
+
+    #[test]
+    fn labels_reset_knowledge() {
+        // A constant defined before a loop label must not be propagated
+        // into the loop if redefined inside it.
+        let mut m = Module::new();
+        let f = m.declare("main", 0);
+        let mut b = FuncBuilder::new(0);
+        let x = b.li(1);
+        let top = b.new_label();
+        b.bind(top);
+        b.out_byte(x);
+        let x2 = b.bin(AluOp::Add, x, 1);
+        b.assign(x, x2);
+        b.br(Cond::Lt, x, 4, top);
+        b.halt();
+        m.define(f, b.build());
+        let plain_out = interp::run(&m, 10_000).unwrap().output;
+        optimize(&mut m);
+        assert_eq!(interp::run(&m, 10_000).unwrap().output, plain_out);
+    }
+}

@@ -1,0 +1,503 @@
+//! Arm-flavour encoding: fixed 4-byte words, a dense 8-bit opcode space,
+//! register-offset addressing modes, `movz`/`movk` wide-immediate moves,
+//! and a **strict** decoder that checks every must-be-zero field (the
+//! UNDEFINED-on-reserved-bits behaviour of real A-profile decoders).
+//!
+//! Strict decode means nearly every bit of a fetched instruction matters:
+//! flips are rarely masked at decode, which is the honest mechanism behind
+//! the paper's Arm-has-highest-L1I-AVF observation.
+//!
+//! Word layouts (bit 31 is the MSB):
+//!
+//! | class         | 31:24 | 23:19 | 18:14 | 13:5 | 4:0 |
+//! |---------------|-------|-------|-------|------|-----|
+//! | ALU reg-reg   | opc   | rm    | rn    | mbz  | rd  |
+//! | ALU reg-imm   | opc   | imm9 (23:15) | rn (14:10) | mbz (9:5) | rd |
+//! | movz/movk     | opc   | imm16 (23:8) | hw (7:6) | mbz (5) | rd |
+//! | load/store imm| opc   | imm9 (23:15) | rn (14:10) | mbz (9:5) | rd/rs |
+//! | load/store rr | opc   | rm    | rn    | mbz  | rd/rs |
+//! | b.cond        | opc   | rm    | rn    | imm14 (13:0 spans) | — |
+//! | b / bl        | opc   | imm24 (23:0) | | | |
+//! | br / blr      | opc   | mbz   | rn    | mbz  | mbz |
+//! | sys           | opc   | mbz (23:9) | code (8:0) | | |
+
+use crate::asm::{AsmInst, EncodeError};
+use crate::op::{AluOp, Cond, Decoded, MemWidth, MicroOp, Op};
+use crate::trap::DecodeError;
+
+/// Link register (r30).
+const LR: u8 = 30;
+
+const OPC_ALU_RR_BASE: u32 = 0x01; // ..0x0D
+const OPC_ALU_RI_BASE: u32 = 0x11; // ..0x1D
+const OPC_MOVZ: u32 = 0x20;
+const OPC_MOVK: u32 = 0x21;
+const OPC_LDU_BASE: u32 = 0x28; // +widx, unsigned loads, imm offset
+const OPC_LDS_BASE: u32 = 0x2C; // +widx, signed loads, imm offset
+const OPC_ST_BASE: u32 = 0x30; // +widx, stores, imm offset
+const OPC_LDRR_BASE: u32 = 0x34; // +widx, unsigned loads, reg offset
+const OPC_STRR_BASE: u32 = 0x38; // +widx, stores, reg offset
+const OPC_B: u32 = 0x40;
+const OPC_BL: u32 = 0x41;
+const OPC_BR: u32 = 0x42;
+const OPC_BLR: u32 = 0x43;
+const OPC_BCOND_BASE: u32 = 0x44; // ..0x49
+const OPC_SYS: u32 = 0x50;
+const OPC_LDSRR_BASE: u32 = 0x60; // +widx, signed loads, reg offset
+
+const SYS_HALT: u32 = 0;
+const SYS_CHECKPOINT: u32 = 1;
+const SYS_SWITCHCPU: u32 = 2;
+const SYS_IRET: u32 = 3;
+const SYS_NOP: u32 = 4;
+
+fn alu_idx(op: AluOp) -> u32 {
+    match op {
+        AluOp::Add => 0,
+        AluOp::Sub => 1,
+        AluOp::And => 2,
+        AluOp::Or => 3,
+        AluOp::Xor => 4,
+        AluOp::Sll => 5,
+        AluOp::Srl => 6,
+        AluOp::Sra => 7,
+        AluOp::Mul => 8,
+        AluOp::Div => 9,
+        AluOp::Rem => 10,
+        AluOp::Slt => 11,
+        AluOp::Sltu => 12,
+    }
+}
+
+fn alu_from_idx(i: u32) -> Option<AluOp> {
+    Some(match i {
+        0 => AluOp::Add,
+        1 => AluOp::Sub,
+        2 => AluOp::And,
+        3 => AluOp::Or,
+        4 => AluOp::Xor,
+        5 => AluOp::Sll,
+        6 => AluOp::Srl,
+        7 => AluOp::Sra,
+        8 => AluOp::Mul,
+        9 => AluOp::Div,
+        10 => AluOp::Rem,
+        11 => AluOp::Slt,
+        12 => AluOp::Sltu,
+        _ => return None,
+    })
+}
+
+fn widx(w: MemWidth) -> u32 {
+    match w {
+        MemWidth::B => 0,
+        MemWidth::H => 1,
+        MemWidth::W => 2,
+        MemWidth::D => 3,
+    }
+}
+
+fn width_from_idx(i: u32) -> MemWidth {
+    match i {
+        0 => MemWidth::B,
+        1 => MemWidth::H,
+        2 => MemWidth::W,
+        _ => MemWidth::D,
+    }
+}
+
+fn cond_idx(c: Cond) -> u32 {
+    match c {
+        Cond::Eq => 0,
+        Cond::Ne => 1,
+        Cond::Lt => 2,
+        Cond::Ge => 3,
+        Cond::Ltu => 4,
+        Cond::Geu => 5,
+    }
+}
+
+fn cond_from_idx(i: u32) -> Option<Cond> {
+    Some(match i {
+        0 => Cond::Eq,
+        1 => Cond::Ne,
+        2 => Cond::Lt,
+        3 => Cond::Ge,
+        4 => Cond::Ltu,
+        5 => Cond::Geu,
+        _ => return None,
+    })
+}
+
+fn reg(inst: &'static str, r: u8) -> Result<u32, EncodeError> {
+    if r < 32 {
+        Ok(r as u32)
+    } else {
+        Err(EncodeError::BadRegister { inst, reg: r })
+    }
+}
+
+fn imm9(inst: &'static str, v: i64) -> Result<u32, EncodeError> {
+    if !(-256..256).contains(&v) {
+        return Err(EncodeError::ImmOutOfRange { inst, imm: v });
+    }
+    Ok((v as u32) & 0x1FF)
+}
+
+fn sext(v: u32, bits: u32) -> i64 {
+    let shift = 64 - bits;
+    (((v as u64) << shift) as i64) >> shift
+}
+
+pub fn encode(inst: &AsmInst) -> Result<Vec<u8>, EncodeError> {
+    let name = inst.name();
+    let word: u32 = match *inst {
+        AsmInst::AluRR { op, rd, rn, rm } => {
+            ((OPC_ALU_RR_BASE + alu_idx(op)) << 24)
+                | (reg(name, rm)? << 19)
+                | (reg(name, rn)? << 14)
+                | reg(name, rd)?
+        }
+        AsmInst::AluRI { op, rd, rn, imm } => {
+            let iv = match op {
+                AluOp::Sll | AluOp::Srl | AluOp::Sra => {
+                    if !(0..64).contains(&imm) {
+                        return Err(EncodeError::ImmOutOfRange { inst: name, imm });
+                    }
+                    imm as u32
+                }
+                _ => imm9(name, imm)?,
+            };
+            ((OPC_ALU_RI_BASE + alu_idx(op)) << 24) | (iv << 15) | (reg(name, rn)? << 10) | reg(name, rd)?
+        }
+        AsmInst::MovZ { rd, imm16, hw } => {
+            if hw > 3 {
+                return Err(EncodeError::ImmOutOfRange { inst: name, imm: hw as i64 });
+            }
+            (OPC_MOVZ << 24) | ((imm16 as u32) << 8) | ((hw as u32) << 6) | reg(name, rd)?
+        }
+        AsmInst::MovK { rd, imm16, hw } => {
+            if hw > 3 {
+                return Err(EncodeError::ImmOutOfRange { inst: name, imm: hw as i64 });
+            }
+            (OPC_MOVK << 24) | ((imm16 as u32) << 8) | ((hw as u32) << 6) | reg(name, rd)?
+        }
+        AsmInst::Load { w, signed, rd, base, offset } => {
+            let bytes = MemWidth::bytes(w) as i64;
+            let off = offset as i64;
+            if off % bytes != 0 {
+                return Err(EncodeError::ImmOutOfRange { inst: name, imm: off });
+            }
+            let scaled = imm9(name, off / bytes)?;
+            let base_opc = if signed && w != MemWidth::D { OPC_LDS_BASE } else { OPC_LDU_BASE };
+            ((base_opc + widx(w)) << 24) | (scaled << 15) | (reg(name, base)? << 10) | reg(name, rd)?
+        }
+        AsmInst::Store { w, rs, base, offset } => {
+            let bytes = MemWidth::bytes(w) as i64;
+            let off = offset as i64;
+            if off % bytes != 0 {
+                return Err(EncodeError::ImmOutOfRange { inst: name, imm: off });
+            }
+            let scaled = imm9(name, off / bytes)?;
+            ((OPC_ST_BASE + widx(w)) << 24) | (scaled << 15) | (reg(name, base)? << 10) | reg(name, rs)?
+        }
+        AsmInst::LoadRR { w, signed, rd, base, index } => {
+            let base_opc = if signed && w != MemWidth::D { OPC_LDSRR_BASE } else { OPC_LDRR_BASE };
+            ((base_opc + widx(w)) << 24)
+                | (reg(name, index)? << 19)
+                | (reg(name, base)? << 14)
+                | reg(name, rd)?
+        }
+        AsmInst::StoreRR { w, rs, base, index } => {
+            ((OPC_STRR_BASE + widx(w)) << 24)
+                | (reg(name, index)? << 19)
+                | (reg(name, base)? << 14)
+                | reg(name, rs)?
+        }
+        AsmInst::Branch { cond, rn, rm, offset } => {
+            if offset % 4 != 0 || !(-(1 << 15)..(1 << 15)).contains(&offset) {
+                return Err(EncodeError::ImmOutOfRange { inst: name, imm: offset as i64 });
+            }
+            ((OPC_BCOND_BASE + cond_idx(cond)) << 24)
+                | (reg(name, rm)? << 19)
+                | (reg(name, rn)? << 14)
+                | (((offset / 4) as u32) & 0x3FFF)
+        }
+        AsmInst::Jmp { offset } => {
+            if offset % 4 != 0 || !(-(1 << 25)..(1 << 25)).contains(&offset) {
+                return Err(EncodeError::ImmOutOfRange { inst: name, imm: offset as i64 });
+            }
+            (OPC_B << 24) | (((offset / 4) as u32) & 0xFF_FFFF)
+        }
+        AsmInst::Call { offset } => {
+            if offset % 4 != 0 || !(-(1 << 25)..(1 << 25)).contains(&offset) {
+                return Err(EncodeError::ImmOutOfRange { inst: name, imm: offset as i64 });
+            }
+            (OPC_BL << 24) | (((offset / 4) as u32) & 0xFF_FFFF)
+        }
+        AsmInst::JmpInd { rn } => (OPC_BR << 24) | (reg(name, rn)? << 14),
+        AsmInst::Ret => (OPC_BR << 24) | ((LR as u32) << 14),
+        AsmInst::CallInd { rn } => (OPC_BLR << 24) | (reg(name, rn)? << 14),
+        AsmInst::Halt => (OPC_SYS << 24) | SYS_HALT,
+        AsmInst::Checkpoint => (OPC_SYS << 24) | SYS_CHECKPOINT,
+        AsmInst::SwitchCpu => (OPC_SYS << 24) | SYS_SWITCHCPU,
+        AsmInst::Iret => (OPC_SYS << 24) | SYS_IRET,
+        AsmInst::Nop => (OPC_SYS << 24) | SYS_NOP,
+        AsmInst::MovRR { rd, rs } => {
+            ((OPC_ALU_RI_BASE + alu_idx(AluOp::Add)) << 24) | (reg(name, rs)? << 10) | reg(name, rd)?
+        }
+        AsmInst::Lui { .. } | AsmInst::MovImm64 { .. } | AsmInst::AluRM { .. } => {
+            return Err(EncodeError::UnsupportedForm { inst: name })
+        }
+    };
+    Ok(word.to_le_bytes().to_vec())
+}
+
+/// Strict field check: returns `Invalid` if any must-be-zero bit is set.
+fn mbz(w: u32, mask: u32) -> Result<(), DecodeError> {
+    if w & mask != 0 {
+        Err(DecodeError::Invalid)
+    } else {
+        Ok(())
+    }
+}
+
+pub fn decode(bytes: &[u8]) -> Result<Decoded, DecodeError> {
+    if bytes.len() < 4 {
+        return Err(DecodeError::Truncated);
+    }
+    let w = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    let opc = w >> 24;
+    let rm = ((w >> 19) & 0x1F) as u8;
+    let rn5 = ((w >> 14) & 0x1F) as u8;
+    let rd = (w & 0x1F) as u8;
+
+    let mut u = MicroOp::bare(Op::Nop);
+    match opc {
+        o if (OPC_ALU_RR_BASE..OPC_ALU_RR_BASE + 13).contains(&o) => {
+            mbz(w, 0x3FE0)?; // bits 13:5
+            u.op = Op::Alu(alu_from_idx(o - OPC_ALU_RR_BASE).unwrap());
+            u.rd = rd;
+            u.rs1 = rn5;
+            u.rs2 = rm;
+        }
+        o if (OPC_ALU_RI_BASE..OPC_ALU_RI_BASE + 13).contains(&o) => {
+            mbz(w, 0x3E0)?; // bits 9:5
+            let op = alu_from_idx(o - OPC_ALU_RI_BASE).unwrap();
+            let raw = (w >> 15) & 0x1FF;
+            let imm = match op {
+                AluOp::Sll | AluOp::Srl | AluOp::Sra => (raw & 63) as i64,
+                _ => sext(raw, 9),
+            };
+            u.op = Op::AluImm(op);
+            u.rd = rd;
+            u.rs1 = ((w >> 10) & 0x1F) as u8;
+            u.imm = imm;
+        }
+        OPC_MOVZ => {
+            mbz(w, 0x20)?; // bit 5
+            let hw = ((w >> 6) & 3) as u8;
+            u.op = Op::LoadImm;
+            u.rd = rd;
+            u.imm = ((((w >> 8) & 0xFFFF) as u64) << (16 * hw as u32)) as i64;
+        }
+        OPC_MOVK => {
+            mbz(w, 0x20)?;
+            let hw = ((w >> 6) & 3) as u8;
+            u.op = Op::MovK(hw * 16);
+            u.rd = rd;
+            u.rs1 = rd; // read-modify-write of rd
+            u.imm = ((w >> 8) & 0xFFFF) as i64;
+        }
+        o if (OPC_LDU_BASE..OPC_LDU_BASE + 4).contains(&o)
+            || (OPC_LDS_BASE..OPC_LDS_BASE + 4).contains(&o) =>
+        {
+            mbz(w, 0x3E0)?;
+            let signed = o >= OPC_LDS_BASE;
+            let wd = width_from_idx(if signed { o - OPC_LDS_BASE } else { o - OPC_LDU_BASE });
+            u.op = Op::Load { w: wd, signed };
+            u.rd = rd;
+            u.rs1 = ((w >> 10) & 0x1F) as u8;
+            u.imm = sext((w >> 15) & 0x1FF, 9) * wd.bytes() as i64;
+        }
+        o if (OPC_ST_BASE..OPC_ST_BASE + 4).contains(&o) => {
+            mbz(w, 0x3E0)?;
+            let wd = width_from_idx(o - OPC_ST_BASE);
+            u.op = Op::Store { w: wd };
+            u.rs1 = ((w >> 10) & 0x1F) as u8;
+            u.rs3 = rd;
+            u.imm = sext((w >> 15) & 0x1FF, 9) * wd.bytes() as i64;
+        }
+        o if (OPC_LDRR_BASE..OPC_LDRR_BASE + 4).contains(&o)
+            || (OPC_LDSRR_BASE..OPC_LDSRR_BASE + 4).contains(&o) =>
+        {
+            mbz(w, 0x3FE0)?;
+            let signed = o >= OPC_LDSRR_BASE;
+            let wd = width_from_idx(if signed { o - OPC_LDSRR_BASE } else { o - OPC_LDRR_BASE });
+            u.op = Op::Load { w: wd, signed };
+            u.rd = rd;
+            u.rs1 = rn5;
+            u.rs2 = rm;
+            u.reg_offset = true;
+        }
+        o if (OPC_STRR_BASE..OPC_STRR_BASE + 4).contains(&o) => {
+            mbz(w, 0x3FE0)?;
+            let wd = width_from_idx(o - OPC_STRR_BASE);
+            u.op = Op::Store { w: wd };
+            u.rs1 = rn5;
+            u.rs2 = rm;
+            u.rs3 = rd;
+            u.reg_offset = true;
+        }
+        OPC_B => {
+            u.op = Op::Jal;
+            u.imm = sext(w & 0xFF_FFFF, 24) * 4;
+        }
+        OPC_BL => {
+            u.op = Op::Jal;
+            u.rd = LR;
+            u.imm = sext(w & 0xFF_FFFF, 24) * 4;
+        }
+        OPC_BR => {
+            mbz(w, 0x00F8_3FFF)?; // rm, bits 13:5, rd must be zero
+            u.op = Op::Jalr;
+            u.rs1 = rn5;
+        }
+        OPC_BLR => {
+            mbz(w, 0x00F8_3FFF)?;
+            u.op = Op::Jalr;
+            u.rd = LR;
+            u.rs1 = rn5;
+        }
+        o if (OPC_BCOND_BASE..OPC_BCOND_BASE + 6).contains(&o) => {
+            u.op = Op::Branch(cond_from_idx(o - OPC_BCOND_BASE).unwrap());
+            u.rs1 = rn5;
+            u.rs2 = rm;
+            u.imm = sext(w & 0x3FFF, 14) * 4;
+        }
+        OPC_SYS => {
+            mbz(w, 0x00FF_FE00)?;
+            u.op = match w & 0x1FF {
+                SYS_HALT => Op::Halt,
+                SYS_CHECKPOINT => Op::Checkpoint,
+                SYS_SWITCHCPU => Op::SwitchCpu,
+                SYS_IRET => Op::Iret,
+                SYS_NOP => Op::Nop,
+                _ => return Err(DecodeError::Invalid),
+            };
+        }
+        _ => return Err(DecodeError::Invalid),
+    }
+    let call = matches!(u.op, Op::Jal | Op::Jalr) && u.rd == LR;
+    let ret = u.op == Op::Jalr && u.rs1 == LR && u.rd != LR;
+    Ok(Decoded::single(4, u).with_hints(call, ret))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enc(i: AsmInst) -> Vec<u8> {
+        encode(&i).unwrap()
+    }
+
+    fn dec1(b: &[u8]) -> MicroOp {
+        let d = decode(b).unwrap();
+        assert_eq!(d.len, 4);
+        d.uops.as_slice()[0]
+    }
+
+    #[test]
+    fn roundtrip_alu() {
+        for op in AluOp::ALL {
+            let u = dec1(&enc(AsmInst::AluRR { op, rd: 1, rn: 2, rm: 3 }));
+            assert_eq!(u.op, Op::Alu(op));
+            assert_eq!((u.rd, u.rs1, u.rs2), (1, 2, 3));
+            let u = dec1(&enc(AsmInst::AluRI { op, rd: 1, rn: 2, imm: 7 }));
+            assert_eq!(u.op, Op::AluImm(op));
+            assert_eq!(u.imm, 7);
+        }
+    }
+
+    #[test]
+    fn roundtrip_movz_movk() {
+        let u = dec1(&enc(AsmInst::MovZ { rd: 9, imm16: 0xBEEF, hw: 1 }));
+        assert_eq!(u.op, Op::LoadImm);
+        assert_eq!(u.imm as u64, 0xBEEF_0000);
+        let u = dec1(&enc(AsmInst::MovK { rd: 9, imm16: 0xCAFE, hw: 2 }));
+        assert_eq!(u.op, Op::MovK(32));
+        assert_eq!(u.rs1, 9);
+        assert_eq!(u.imm, 0xCAFE);
+    }
+
+    #[test]
+    fn roundtrip_mem_imm_scaled() {
+        let u = dec1(&enc(AsmInst::Load { w: MemWidth::D, signed: false, rd: 3, base: 4, offset: -2040 }));
+        assert_eq!(u.imm, -2040);
+        assert!(matches!(u.op, Op::Load { w: MemWidth::D, .. }));
+        let u = dec1(&enc(AsmInst::Store { w: MemWidth::W, rs: 7, base: 8, offset: 1020 }));
+        assert_eq!(u.imm, 1020);
+        assert_eq!(u.rs3, 7);
+        // unscaled offsets rejected
+        assert!(encode(&AsmInst::Load { w: MemWidth::D, signed: false, rd: 3, base: 4, offset: 9 }).is_err());
+    }
+
+    #[test]
+    fn roundtrip_mem_reg_offset() {
+        let u = dec1(&enc(AsmInst::LoadRR { w: MemWidth::W, signed: true, rd: 3, base: 4, index: 5 }));
+        assert!(u.reg_offset);
+        assert_eq!((u.rs1, u.rs2), (4, 5));
+        assert!(matches!(u.op, Op::Load { w: MemWidth::W, signed: true }));
+        let u = dec1(&enc(AsmInst::StoreRR { w: MemWidth::B, rs: 6, base: 4, index: 5 }));
+        assert!(u.reg_offset);
+        assert_eq!(u.rs3, 6);
+    }
+
+    #[test]
+    fn roundtrip_branches() {
+        for c in Cond::ALL {
+            let u = dec1(&enc(AsmInst::Branch { cond: c, rn: 1, rm: 2, offset: -32768 }));
+            assert_eq!(u.op, Op::Branch(c));
+            assert_eq!(u.imm, -32768);
+        }
+        let u = dec1(&enc(AsmInst::Call { offset: 4096 }));
+        assert_eq!(u.op, Op::Jal);
+        assert_eq!(u.rd, 30);
+        let u = dec1(&enc(AsmInst::Ret));
+        assert_eq!(u.op, Op::Jalr);
+        assert_eq!(u.rs1, 30);
+    }
+
+    #[test]
+    fn strict_decoder_rejects_mbz_violations() {
+        // Set a must-be-zero bit in an ALU reg-reg word: strict decode fails.
+        let b = enc(AsmInst::AluRR { op: AluOp::Add, rd: 1, rn: 2, rm: 3 });
+        let w = u32::from_le_bytes([b[0], b[1], b[2], b[3]]) | (1 << 7);
+        assert_eq!(decode(&w.to_le_bytes()), Err(DecodeError::Invalid));
+        // Same for system instructions.
+        let b = enc(AsmInst::Halt);
+        let w = u32::from_le_bytes([b[0], b[1], b[2], b[3]]) | (1 << 20);
+        assert_eq!(decode(&w.to_le_bytes()), Err(DecodeError::Invalid));
+    }
+
+    #[test]
+    fn sys_roundtrip() {
+        assert_eq!(dec1(&enc(AsmInst::Halt)).op, Op::Halt);
+        assert_eq!(dec1(&enc(AsmInst::Checkpoint)).op, Op::Checkpoint);
+        assert_eq!(dec1(&enc(AsmInst::SwitchCpu)).op, Op::SwitchCpu);
+        assert_eq!(dec1(&enc(AsmInst::Iret)).op, Op::Iret);
+        assert_eq!(dec1(&enc(AsmInst::Nop)).op, Op::Nop);
+    }
+
+    #[test]
+    fn unsupported_forms_rejected() {
+        assert!(encode(&AsmInst::Lui { rd: 1, imm20: 0 }).is_err());
+        assert!(encode(&AsmInst::MovImm64 { rd: 1, imm: 0 }).is_err());
+        assert!(encode(&AsmInst::AluRM { op: AluOp::Add, rd: 1, base: 2, offset: 0 }).is_err());
+    }
+
+    #[test]
+    fn truncated() {
+        assert_eq!(decode(&[1, 2]), Err(DecodeError::Truncated));
+    }
+}

@@ -1,0 +1,181 @@
+//! Assembler-level instruction set: what the `marvel-ir` compiler emits and
+//! what the per-ISA encoders consume.
+//!
+//! Not every form exists in every ISA flavour — e.g. register-offset
+//! addressing ([`AsmInst::LoadRR`]) is Arm-only, memory-operand ALU forms
+//! ([`AsmInst::AluRM`]) are x86-only, and `Lui`/`Auipc` are RISC-V-only.
+//! The lowering passes in `marvel-ir` pick per-ISA instruction selections.
+
+use crate::op::{AluOp, Cond, MemWidth};
+
+/// An assembler-level (macro) instruction.
+///
+/// Branch/jump offsets are relative to the **start address of the
+/// instruction itself**, in bytes, for every ISA flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AsmInst {
+    /// `rd = rn <op> rm`
+    AluRR { op: AluOp, rd: u8, rn: u8, rm: u8 },
+    /// `rd = rn <op> imm` — immediate range is ISA-dependent
+    /// (RISC-V: 12-bit signed, Arm: 9-bit signed, x86: 32-bit signed;
+    /// shifts: 6-bit unsigned everywhere).
+    AluRI { op: AluOp, rd: u8, rn: u8, imm: i64 },
+    /// `rd = imm16 << (16*hw)` (Arm `movz`; also encodable on x86 as a
+    /// `mov r, imm` and on RISC-V when the value fits `lui`/`addi` forms).
+    MovZ { rd: u8, imm16: u16, hw: u8 },
+    /// `rd = (rd & !(0xFFFF << 16*hw)) | imm16 << (16*hw)` (Arm `movk`).
+    MovK { rd: u8, imm16: u16, hw: u8 },
+    /// `rd = sext(imm20 << 12)` (RISC-V `lui`).
+    Lui { rd: u8, imm20: i32 },
+    /// `rd = imm` with a full 64-bit immediate (x86 `mov r, imm64`).
+    MovImm64 { rd: u8, imm: i64 },
+    /// Register-register move: x86 `mov r, r`, RISC-V/Arm `add rd, rs, 0`.
+    MovRR { rd: u8, rs: u8 },
+    /// `rd = mem[base + offset]`.
+    Load { w: MemWidth, signed: bool, rd: u8, base: u8, offset: i32 },
+    /// `rd = mem[base + index]` (Arm register-offset addressing).
+    LoadRR { w: MemWidth, signed: bool, rd: u8, base: u8, index: u8 },
+    /// `mem[base + offset] = rs`.
+    Store { w: MemWidth, rs: u8, base: u8, offset: i32 },
+    /// `mem[base + index] = rs` (Arm register-offset addressing).
+    StoreRR { w: MemWidth, rs: u8, base: u8, index: u8 },
+    /// `rd = rd <op> mem[base + offset]` (x86 memory-operand ALU form;
+    /// cracked into a load micro-op plus an ALU micro-op at decode).
+    AluRM { op: AluOp, rd: u8, base: u8, offset: i32 },
+    /// `if cond(rn, rm): pc += offset`.
+    Branch { cond: Cond, rn: u8, rm: u8, offset: i32 },
+    /// `pc += offset` (unconditional).
+    Jmp { offset: i32 },
+    /// Call: RISC-V `jal ra`, Arm `bl lr`; the x86 flavour pushes the return
+    /// address onto the stack (cracked into 4 micro-ops at decode).
+    Call { offset: i32 },
+    /// Indirect call through `rn`.
+    CallInd { rn: u8 },
+    /// Return: RISC-V `jalr x0, ra`, Arm `br lr`, x86 pops from the stack.
+    Ret,
+    /// Indirect jump through `rn`.
+    JmpInd { rn: u8 },
+    /// End simulation (the `m5_exit()` analogue).
+    Halt,
+    /// Checkpoint marker (the `m5_checkpoint()` analogue).
+    Checkpoint,
+    /// Injection-window end marker (the `m5_switch_cpu()` analogue).
+    SwitchCpu,
+    /// Return from interrupt.
+    Iret,
+    Nop,
+}
+
+/// Error returned when an [`AsmInst`] cannot be encoded in a given ISA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EncodeError {
+    /// The immediate/offset does not fit the instruction format.
+    ImmOutOfRange { inst: &'static str, imm: i64 },
+    /// A register index exceeds the ISA's architectural register count, or
+    /// refers to an internal micro-op temporary.
+    BadRegister { inst: &'static str, reg: u8 },
+    /// The instruction form does not exist in this ISA flavour.
+    UnsupportedForm { inst: &'static str },
+}
+
+impl std::fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EncodeError::ImmOutOfRange { inst, imm } => {
+                write!(f, "immediate {imm} out of range for {inst}")
+            }
+            EncodeError::BadRegister { inst, reg } => {
+                write!(f, "register r{reg} not encodable in {inst}")
+            }
+            EncodeError::UnsupportedForm { inst } => {
+                write!(f, "instruction form {inst} not supported by this ISA")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+impl AsmInst {
+    /// Short mnemonic-like name, used in error messages and disassembly.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AsmInst::AluRR { .. } => "alu.rr",
+            AsmInst::AluRI { .. } => "alu.ri",
+            AsmInst::MovZ { .. } => "movz",
+            AsmInst::MovK { .. } => "movk",
+            AsmInst::Lui { .. } => "lui",
+            AsmInst::MovImm64 { .. } => "mov.imm64",
+            AsmInst::MovRR { .. } => "mov.rr",
+            AsmInst::Load { .. } => "load",
+            AsmInst::LoadRR { .. } => "load.rr",
+            AsmInst::Store { .. } => "store",
+            AsmInst::StoreRR { .. } => "store.rr",
+            AsmInst::AluRM { .. } => "alu.rm",
+            AsmInst::Branch { .. } => "b.cond",
+            AsmInst::Jmp { .. } => "jmp",
+            AsmInst::Call { .. } => "call",
+            AsmInst::CallInd { .. } => "call.ind",
+            AsmInst::Ret => "ret",
+            AsmInst::JmpInd { .. } => "jmp.ind",
+            AsmInst::Halt => "halt",
+            AsmInst::Checkpoint => "checkpoint",
+            AsmInst::SwitchCpu => "switchcpu",
+            AsmInst::Iret => "iret",
+            AsmInst::Nop => "nop",
+        }
+    }
+
+    /// True if this instruction transfers control.
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            AsmInst::Branch { .. }
+                | AsmInst::Jmp { .. }
+                | AsmInst::Call { .. }
+                | AsmInst::CallInd { .. }
+                | AsmInst::Ret
+                | AsmInst::JmpInd { .. }
+                | AsmInst::Iret
+        )
+    }
+
+    /// Patch the control-flow offset (used by the two-pass assembler once
+    /// label addresses are known). No-op for non-relative instructions.
+    pub fn with_offset(mut self, off: i32) -> Self {
+        match &mut self {
+            AsmInst::Branch { offset, .. }
+            | AsmInst::Jmp { offset }
+            | AsmInst::Call { offset } => *offset = off,
+            _ => {}
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_offset_patches_relatives_only() {
+        let b = AsmInst::Branch { cond: Cond::Eq, rn: 1, rm: 2, offset: 0 }.with_offset(64);
+        assert!(matches!(b, AsmInst::Branch { offset: 64, .. }));
+        let r = AsmInst::Ret.with_offset(64);
+        assert_eq!(r, AsmInst::Ret);
+    }
+
+    #[test]
+    fn control_classification() {
+        assert!(AsmInst::Ret.is_control());
+        assert!(AsmInst::Jmp { offset: 0 }.is_control());
+        assert!(!AsmInst::Nop.is_control());
+        assert!(!AsmInst::Halt.is_control());
+    }
+
+    #[test]
+    fn encode_error_display() {
+        let e = EncodeError::ImmOutOfRange { inst: "alu.ri", imm: 99999 };
+        assert!(e.to_string().contains("99999"));
+    }
+}

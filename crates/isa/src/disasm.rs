@@ -1,0 +1,225 @@
+//! Disassembler: renders decoded micro-ops back into readable mnemonics.
+//!
+//! Used by the `marvel` CLI's `disasm` subcommand and by debugging dumps;
+//! operates on the *decoded* form, so a fault-corrupted instruction stream
+//! disassembles exactly the way the core will execute it.
+
+use crate::op::{AluOp, Cond, Decoded, MemWidth, MicroOp, Op, REG_NONE};
+use crate::trap::DecodeError;
+use crate::Isa;
+
+fn alu_name(op: AluOp) -> &'static str {
+    match op {
+        AluOp::Add => "add",
+        AluOp::Sub => "sub",
+        AluOp::And => "and",
+        AluOp::Or => "or",
+        AluOp::Xor => "xor",
+        AluOp::Sll => "sll",
+        AluOp::Srl => "srl",
+        AluOp::Sra => "sra",
+        AluOp::Mul => "mul",
+        AluOp::Div => "div",
+        AluOp::Rem => "rem",
+        AluOp::Slt => "slt",
+        AluOp::Sltu => "sltu",
+    }
+}
+
+fn cond_name(c: Cond) -> &'static str {
+    match c {
+        Cond::Eq => "beq",
+        Cond::Ne => "bne",
+        Cond::Lt => "blt",
+        Cond::Ge => "bge",
+        Cond::Ltu => "bltu",
+        Cond::Geu => "bgeu",
+    }
+}
+
+fn width_suffix(w: MemWidth, signed: bool) -> &'static str {
+    match (w, signed) {
+        (MemWidth::B, false) => "bu",
+        (MemWidth::B, true) => "b",
+        (MemWidth::H, false) => "hu",
+        (MemWidth::H, true) => "h",
+        (MemWidth::W, false) => "wu",
+        (MemWidth::W, true) => "w",
+        (MemWidth::D, _) => "d",
+    }
+}
+
+fn imm_off(v: i64) -> String {
+    if v >= 0 {
+        format!("+ {v}")
+    } else {
+        format!("- {}", -v)
+    }
+}
+
+fn reg(r: u8) -> String {
+    if r == REG_NONE {
+        "-".to_string()
+    } else {
+        format!("r{r}")
+    }
+}
+
+/// Render one micro-op.
+pub fn format_uop(u: &MicroOp, pc: u64) -> String {
+    match u.op {
+        Op::Alu(op) => format!("{} {}, {}, {}", alu_name(op), reg(u.rd), reg(u.rs1), reg(u.rs2)),
+        Op::AluImm(op) => format!("{}i {}, {}, {}", alu_name(op), reg(u.rd), reg(u.rs1), u.imm),
+        Op::LoadImm => format!("li {}, {:#x}", reg(u.rd), u.imm),
+        Op::MovK(sh) => format!("movk {}, {:#x} << {}", reg(u.rd), u.imm & 0xFFFF, sh),
+        Op::Auipc => format!("auipc {}, {:#x}", reg(u.rd), u.imm),
+        Op::LinkAddr => format!("linkaddr {}", reg(u.rd)),
+        Op::Load { w, signed } => {
+            if u.reg_offset {
+                format!("l{} {}, [{} + {}]", width_suffix(w, signed), reg(u.rd), reg(u.rs1), reg(u.rs2))
+            } else {
+                format!("l{} {}, [{} {}]", width_suffix(w, signed), reg(u.rd), reg(u.rs1), imm_off(u.imm))
+            }
+        }
+        Op::Store { w } => {
+            if u.reg_offset {
+                format!("s{} {}, [{} + {}]", width_suffix(w, true), reg(u.rs3), reg(u.rs1), reg(u.rs2))
+            } else {
+                format!("s{} {}, [{} {}]", width_suffix(w, true), reg(u.rs3), reg(u.rs1), imm_off(u.imm))
+            }
+        }
+        Op::Branch(c) => {
+            format!("{} {}, {}, {:#x}", cond_name(c), reg(u.rs1), reg(u.rs2), pc.wrapping_add(u.imm as u64))
+        }
+        Op::Jal => {
+            if u.rd == REG_NONE || u.rd == 0 {
+                format!("j {:#x}", pc.wrapping_add(u.imm as u64))
+            } else {
+                format!("jal {}, {:#x}", reg(u.rd), pc.wrapping_add(u.imm as u64))
+            }
+        }
+        Op::Jalr => format!("jalr {}, {} + {}", reg(u.rd), reg(u.rs1), u.imm),
+        Op::Halt => "halt".to_string(),
+        Op::Checkpoint => "checkpoint".to_string(),
+        Op::SwitchCpu => "switchcpu".to_string(),
+        Op::Iret => "iret".to_string(),
+        Op::Nop => "nop".to_string(),
+    }
+}
+
+/// One disassembled macro instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DisasmLine {
+    pub pc: u64,
+    pub bytes: Vec<u8>,
+    /// `Err` carries the decode failure for undecodable bytes.
+    pub text: Result<String, DecodeError>,
+}
+
+impl std::fmt::Display for DisasmLine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let hex: String = self.bytes.iter().map(|b| format!("{b:02x}")).collect();
+        let text = match &self.text {
+            Ok(t) => t.clone(),
+            Err(e) => format!("<{e}>"),
+        };
+        write!(f, "{:#010x}:  {:<24}{}", self.pc, hex, text)
+    }
+}
+
+/// Disassemble a code region. Undecodable bytes advance by the minimum
+/// instruction granule and are reported, mirroring how a fetcher would
+/// trap on them.
+pub fn disassemble(isa: Isa, base: u64, code: &[u8]) -> Vec<DisasmLine> {
+    let mut out = Vec::new();
+    let mut off = 0usize;
+    let granule = match isa {
+        Isa::X86 => 1,
+        _ => 4,
+    };
+    while off < code.len() {
+        let pc = base + off as u64;
+        match isa.decode(&code[off..]) {
+            Ok(Decoded { len, uops, .. }) => {
+                let text = uops
+                    .as_slice()
+                    .iter()
+                    .map(|u| format_uop(u, pc))
+                    .collect::<Vec<_>>()
+                    .join(" ; ");
+                out.push(DisasmLine {
+                    pc,
+                    bytes: code[off..off + len as usize].to_vec(),
+                    text: Ok(text),
+                });
+                off += len as usize;
+            }
+            Err(e) => {
+                let n = granule.min(code.len() - off);
+                out.push(DisasmLine { pc, bytes: code[off..off + n].to_vec(), text: Err(e) });
+                off += n;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::AsmInst;
+
+    #[test]
+    fn disassembles_simple_sequences() {
+        for isa in Isa::ALL {
+            let mut code = Vec::new();
+            for inst in [
+                AsmInst::AluRI { op: AluOp::Add, rd: 1, rn: 1, imm: 5 },
+                AsmInst::Store { w: MemWidth::D, rs: 1, base: 2, offset: 8 },
+                AsmInst::Halt,
+            ] {
+                code.extend(isa.encode(&inst).unwrap());
+            }
+            let lines = disassemble(isa, 0x4000_0000, &code);
+            assert_eq!(lines.len(), 3, "{isa}");
+            assert!(lines[0].text.as_ref().unwrap().contains("addi"), "{isa}: {}", lines[0]);
+            assert!(lines[1].text.as_ref().unwrap().contains("sd r1"), "{isa}: {}", lines[1]);
+            assert_eq!(lines[2].text.as_ref().unwrap(), "halt");
+            assert_eq!(lines[1].pc, 0x4000_0000 + lines[0].bytes.len() as u64);
+        }
+    }
+
+    #[test]
+    fn branch_targets_are_absolute() {
+        let isa = Isa::RiscV;
+        let code = isa.encode(&AsmInst::Branch { cond: Cond::Eq, rn: 1, rm: 2, offset: -8 }).unwrap();
+        let lines = disassemble(isa, 0x4000_0100, &code);
+        assert!(lines[0].text.as_ref().unwrap().contains("0x400000f8"), "{}", lines[0]);
+    }
+
+    #[test]
+    fn invalid_bytes_reported_not_skipped_silently() {
+        let lines = disassemble(Isa::RiscV, 0x4000_0000, &[0xFF, 0xFF, 0xFF, 0xFF, 0x13, 0, 0, 0]);
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].text.is_err());
+        assert!(lines[1].text.is_ok());
+    }
+
+    #[test]
+    fn cracked_x86_shows_all_uops() {
+        let isa = Isa::X86;
+        let code = isa.encode(&AsmInst::Ret).unwrap();
+        let lines = disassemble(isa, 0x4000_0000, &code);
+        let t = lines[0].text.as_ref().unwrap();
+        assert!(t.contains(" ; "), "cracked ret should show multiple uops: {t}");
+        assert!(t.contains("jalr"));
+    }
+
+    #[test]
+    fn display_formats_line() {
+        let l = DisasmLine { pc: 0x4000_0000, bytes: vec![0x13, 0, 0, 0], text: Ok("nop".into()) };
+        let s = l.to_string();
+        assert!(s.contains("0x40000000"));
+        assert!(s.contains("13000000"));
+    }
+}

@@ -1,0 +1,215 @@
+//! # marvel-isa
+//!
+//! Miniature instruction-set architectures that model the resilience-relevant
+//! differences between the three prevailing 64-bit ISAs studied by
+//! gem5-MARVEL (HPCA 2024): **x86**, **Arm**, and **RISC-V**.
+//!
+//! Each mini-ISA provides:
+//!
+//! * a binary **encoding** for the assembler-level instruction set
+//!   ([`AsmInst`]) — fixed 4-byte words for the Arm and RISC-V flavours,
+//!   variable-length (2–12 byte) instructions for the x86 flavour;
+//! * a **decoder** that turns raw bytes (as fetched from the L1 instruction
+//!   cache, faults included) into micro-operations ([`MicroOp`]); and
+//! * a **register specification** ([`RegSpec`]) describing architectural
+//!   register count, the zero register, reserved registers and the
+//!   allocatable set used by the `marvel-ir` compiler.
+//!
+//! The decoders deliberately differ in *validity density* — the probability
+//! that a random bit flip in an encoded instruction still decodes to a valid
+//! (but wrong) instruction — and in *don't-care bit density*, mirroring the
+//! paper's observation that simpler decode logic masks more faults
+//! (Observation #2 / Architectural Implication #2).
+//!
+//! ```
+//! use marvel_isa::{Isa, AsmInst, AluOp};
+//!
+//! let inst = AsmInst::AluRR { op: AluOp::Add, rd: 5, rn: 6, rm: 7 };
+//! let bytes = Isa::RiscV.encode(&inst).expect("encodable");
+//! let decoded = Isa::RiscV.decode(&bytes).expect("decodable");
+//! assert_eq!(decoded.len as usize, bytes.len());
+//! ```
+
+pub mod asm;
+pub mod disasm;
+pub mod op;
+pub mod reg;
+pub mod trap;
+
+mod arm;
+mod rv;
+mod x86;
+
+pub use asm::{AsmInst, EncodeError};
+pub use disasm::{disassemble, DisasmLine};
+pub use op::{AluOp, Cond, Decoded, MemWidth, MicroOp, Op, UopVec, REG_NONE};
+pub use reg::RegSpec;
+pub use trap::Trap;
+
+/// The three instruction-set architectures supported by the framework.
+///
+/// These are *flavours*: miniature ISAs reproducing the axes that matter for
+/// microarchitectural fault injection (encoding width and density,
+/// architectural register count, addressing-mode richness, micro-op
+/// cracking, memory-ordering strength) rather than the full commercial ISAs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Isa {
+    /// x86 flavour: variable-length encoding, 16 architectural registers,
+    /// memory operands cracked into micro-ops, TSO memory ordering,
+    /// stack-based call/return.
+    X86,
+    /// Arm flavour: fixed 4-byte encoding with a dense opcode space and a
+    /// strict decoder, 31 registers + zero register, register-offset
+    /// addressing, weak memory ordering.
+    Arm,
+    /// RISC-V flavour: fixed 4-byte RV-style encoding with a sparse opcode
+    /// space and a *simple* decoder that treats several encoding bits as
+    /// don't-care, 31 registers + `x0`, base+imm12 addressing only, weak
+    /// memory ordering.
+    RiscV,
+}
+
+impl Isa {
+    /// All supported ISAs, in the order used throughout the paper's figures.
+    pub const ALL: [Isa; 3] = [Isa::Arm, Isa::X86, Isa::RiscV];
+
+    /// Human-readable name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Isa::X86 => "x86",
+            Isa::Arm => "Arm",
+            Isa::RiscV => "RISC-V",
+        }
+    }
+
+    /// Register specification for this ISA.
+    pub fn reg_spec(self) -> &'static RegSpec {
+        match self {
+            Isa::X86 => &reg::X86_REGS,
+            Isa::Arm => &reg::ARM_REGS,
+            Isa::RiscV => &reg::RV_REGS,
+        }
+    }
+
+    /// Encode an assembler-level instruction to bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EncodeError`] if an operand does not fit the instruction
+    /// format (e.g. an immediate out of range) or the form does not exist in
+    /// this ISA (e.g. register-offset addressing outside the Arm flavour).
+    pub fn encode(self, inst: &AsmInst) -> Result<Vec<u8>, EncodeError> {
+        match self {
+            Isa::X86 => x86::encode(inst),
+            Isa::Arm => arm::encode(inst),
+            Isa::RiscV => rv::encode(inst),
+        }
+    }
+
+    /// Length in bytes that `inst` will occupy, without encoding it.
+    ///
+    /// For the fixed-width flavours this is always 4. For the x86 flavour
+    /// the length depends only on the instruction *form*, never on operand
+    /// values, so two-pass assembly can lay out code before branch targets
+    /// are known.
+    pub fn encoded_len(self, inst: &AsmInst) -> Result<usize, EncodeError> {
+        match self {
+            Isa::X86 => x86::encoded_len(inst),
+            Isa::Arm | Isa::RiscV => Ok(4),
+        }
+    }
+
+    /// Decode the instruction starting at `bytes[0]`.
+    ///
+    /// `bytes` may be longer than the instruction; the decoded length is
+    /// reported in [`Decoded::len`].
+    ///
+    /// # Errors
+    ///
+    /// * [`trap::DecodeError::Invalid`] — the bytes do not form a valid
+    ///   instruction (this becomes an illegal-instruction trap if the
+    ///   instruction reaches the commit stage).
+    /// * [`trap::DecodeError::Truncated`] — more bytes are required to
+    ///   decide (only possible for the variable-length x86 flavour).
+    pub fn decode(self, bytes: &[u8]) -> Result<Decoded, trap::DecodeError> {
+        match self {
+            Isa::X86 => x86::decode(bytes),
+            Isa::Arm => arm::decode(bytes),
+            Isa::RiscV => rv::decode(bytes),
+        }
+    }
+
+    /// Maximum encoded instruction length for this ISA, in bytes.
+    pub fn max_inst_len(self) -> usize {
+        match self {
+            Isa::X86 => 12,
+            Isa::Arm | Isa::RiscV => 4,
+        }
+    }
+
+    /// Whether misaligned data accesses trap (Arm/RISC-V flavours) or are
+    /// permitted (x86 flavour).
+    pub fn traps_on_misaligned(self) -> bool {
+        !matches!(self, Isa::X86)
+    }
+
+    /// Whether integer division by zero raises a trap (x86) or produces a
+    /// defined result (Arm: 0, RISC-V: all-ones) without trapping.
+    pub fn traps_on_div_zero(self) -> bool {
+        matches!(self, Isa::X86)
+    }
+
+    /// Store-queue drain rate towards the L1D per cycle once stores commit.
+    ///
+    /// The x86 flavour models TSO: committed stores drain strictly in order,
+    /// one per cycle, so they occupy the store queue longer. The weakly
+    /// ordered flavours may drain two per cycle.
+    pub fn store_drain_per_cycle(self) -> usize {
+        match self {
+            Isa::X86 => 1,
+            Isa::Arm | Isa::RiscV => 2,
+        }
+    }
+
+    /// Whether loads may issue speculatively past older stores with unknown
+    /// addresses (weakly ordered flavours) or must wait (TSO flavour).
+    pub fn loads_bypass_unknown_stores(self) -> bool {
+        !matches!(self, Isa::X86)
+    }
+}
+
+impl std::fmt::Display for Isa {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_paper_names() {
+        assert_eq!(Isa::X86.name(), "x86");
+        assert_eq!(Isa::Arm.name(), "Arm");
+        assert_eq!(Isa::RiscV.name(), "RISC-V");
+    }
+
+    #[test]
+    fn isa_memory_model_knobs() {
+        assert!(Isa::X86.traps_on_div_zero());
+        assert!(!Isa::RiscV.traps_on_div_zero());
+        assert!(Isa::RiscV.traps_on_misaligned());
+        assert!(!Isa::X86.traps_on_misaligned());
+        assert_eq!(Isa::X86.store_drain_per_cycle(), 1);
+        assert!(Isa::Arm.loads_bypass_unknown_stores());
+        assert!(!Isa::X86.loads_bypass_unknown_stores());
+    }
+
+    #[test]
+    fn fixed_width_isas_report_len_4() {
+        let i = AsmInst::Nop;
+        assert_eq!(Isa::Arm.encoded_len(&i).unwrap(), 4);
+        assert_eq!(Isa::RiscV.encoded_len(&i).unwrap(), 4);
+    }
+}

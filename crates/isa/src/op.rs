@@ -1,0 +1,447 @@
+//! Micro-operation level semantics shared by all three ISA flavours.
+//!
+//! Decoders translate raw bytes into one or more [`MicroOp`]s. The
+//! out-of-order core in `marvel-cpu` renames and executes micro-ops; it
+//! never sees encoding details.
+
+use crate::Isa;
+
+/// Sentinel register index meaning "no register".
+pub const REG_NONE: u8 = 0xFF;
+
+/// Integer ALU operations (64-bit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    Add,
+    Sub,
+    And,
+    Or,
+    Xor,
+    /// Logical shift left (shift amount taken modulo 64).
+    Sll,
+    /// Logical shift right.
+    Srl,
+    /// Arithmetic shift right.
+    Sra,
+    Mul,
+    /// Signed division; divide-by-zero semantics are ISA-dependent.
+    Div,
+    /// Signed remainder; divide-by-zero semantics are ISA-dependent.
+    Rem,
+    /// Set-if-less-than (signed): `rd = (a < b) as u64`.
+    Slt,
+    /// Set-if-less-than (unsigned).
+    Sltu,
+}
+
+impl AluOp {
+    /// All ALU operations, used by encoders' opcode tables and tests.
+    pub const ALL: [AluOp; 13] = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Sll,
+        AluOp::Srl,
+        AluOp::Sra,
+        AluOp::Mul,
+        AluOp::Div,
+        AluOp::Rem,
+        AluOp::Slt,
+        AluOp::Sltu,
+    ];
+
+    /// Evaluate the operation.
+    ///
+    /// Returns `Err(())` only for the divide-by-zero case on ISAs that trap
+    /// on it (the x86 flavour); other flavours produce their architecturally
+    /// defined result.
+    pub fn eval(self, a: u64, b: u64, isa: Isa) -> Result<u64, ()> {
+        Ok(match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Sll => a.wrapping_shl((b & 63) as u32),
+            AluOp::Srl => a.wrapping_shr((b & 63) as u32),
+            AluOp::Sra => ((a as i64).wrapping_shr((b & 63) as u32)) as u64,
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::Div => {
+                if b == 0 {
+                    if isa.traps_on_div_zero() {
+                        return Err(());
+                    }
+                    match isa {
+                        Isa::Arm => 0,
+                        _ => u64::MAX, // RISC-V: all ones
+                    }
+                } else if a as i64 == i64::MIN && b as i64 == -1 {
+                    a // overflow: defined as MIN (RISC-V), wrap for others
+                } else {
+                    ((a as i64) / (b as i64)) as u64
+                }
+            }
+            AluOp::Rem => {
+                if b == 0 {
+                    if isa.traps_on_div_zero() {
+                        return Err(());
+                    }
+                    match isa {
+                        Isa::Arm => a,
+                        _ => a, // RISC-V: dividend
+                    }
+                } else if a as i64 == i64::MIN && b as i64 == -1 {
+                    0
+                } else {
+                    ((a as i64) % (b as i64)) as u64
+                }
+            }
+            AluOp::Slt => ((a as i64) < (b as i64)) as u64,
+            AluOp::Sltu => (a < b) as u64,
+        })
+    }
+
+    /// Execution latency in cycles on the modelled functional units.
+    pub fn latency(self) -> u32 {
+        match self {
+            AluOp::Mul => 3,
+            AluOp::Div | AluOp::Rem => 12,
+            _ => 1,
+        }
+    }
+
+    /// Whether the op requires the (single, unpipelined) multiply/divide
+    /// functional unit.
+    pub fn needs_muldiv_unit(self) -> bool {
+        matches!(self, AluOp::Mul | AluOp::Div | AluOp::Rem)
+    }
+}
+
+/// Branch conditions (compare-and-branch form in all three flavours).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cond {
+    Eq,
+    Ne,
+    Lt,
+    Ge,
+    Ltu,
+    Geu,
+}
+
+impl Cond {
+    pub const ALL: [Cond; 6] = [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Ge, Cond::Ltu, Cond::Geu];
+
+    /// Evaluate the condition on two register values.
+    pub fn eval(self, a: u64, b: u64) -> bool {
+        match self {
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+            Cond::Lt => (a as i64) < (b as i64),
+            Cond::Ge => (a as i64) >= (b as i64),
+            Cond::Ltu => a < b,
+            Cond::Geu => a >= b,
+        }
+    }
+}
+
+/// Memory access width in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemWidth {
+    B,
+    H,
+    W,
+    D,
+}
+
+impl MemWidth {
+    pub const ALL: [MemWidth; 4] = [MemWidth::B, MemWidth::H, MemWidth::W, MemWidth::D];
+
+    /// Width in bytes.
+    pub fn bytes(self) -> u64 {
+        match self {
+            MemWidth::B => 1,
+            MemWidth::H => 2,
+            MemWidth::W => 4,
+            MemWidth::D => 8,
+        }
+    }
+
+    /// Truncate (and optionally sign-extend) a 64-bit value read at this
+    /// width.
+    pub fn extend(self, raw: u64, signed: bool) -> u64 {
+        let bits = self.bytes() * 8;
+        if bits == 64 {
+            return raw;
+        }
+        let mask = (1u64 << bits) - 1;
+        let v = raw & mask;
+        if signed && (v >> (bits - 1)) & 1 == 1 {
+            v | !mask
+        } else {
+            v
+        }
+    }
+}
+
+/// A micro-operation: the unit of renaming, issue and execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// `rd = rs1 <op> rs2`
+    Alu(AluOp),
+    /// `rd = rs1 <op> imm`
+    AluImm(AluOp),
+    /// `rd = imm`
+    LoadImm,
+    /// `rd = (rs1 & !(0xFFFF << s)) | ((imm & 0xFFFF) << s)` — Arm `movk`.
+    MovK(u8),
+    /// `rd = pc + imm` — RISC-V `auipc` (also used to materialise
+    /// pc-relative addresses).
+    Auipc,
+    /// `rd = pc + macro_len` — internal micro-op used by the x86 flavour's
+    /// cracked `call`.
+    LinkAddr,
+    /// `rd = mem[rs1 + imm]`, or `mem[rs1 + rs2]` if `reg_offset`.
+    Load { w: MemWidth, signed: bool },
+    /// `mem[rs1 + imm] = rs3` (or `mem[rs1 + rs2] = rs3` if `reg_offset`).
+    Store { w: MemWidth },
+    /// `if cond(rs1, rs2): pc = pc + imm`
+    Branch(Cond),
+    /// `rd = pc + macro_len; pc = pc + imm`
+    Jal,
+    /// `rd = pc + macro_len; pc = rs1 + imm`
+    Jalr,
+    /// End of simulation (the `m5_exit()` analogue).
+    Halt,
+    /// Checkpoint marker (the `m5_checkpoint()` analogue) — the harness
+    /// snapshots the full system state when this commits.
+    Checkpoint,
+    /// Injection-window end marker (the `m5_switch_cpu()` analogue).
+    SwitchCpu,
+    /// Return from interrupt handler.
+    Iret,
+    Nop,
+}
+
+impl Op {
+    /// True if this micro-op may redirect the program counter.
+    pub fn is_control(self) -> bool {
+        matches!(self, Op::Branch(_) | Op::Jal | Op::Jalr | Op::Iret)
+    }
+
+    /// True for loads.
+    pub fn is_load(self) -> bool {
+        matches!(self, Op::Load { .. })
+    }
+
+    /// True for stores.
+    pub fn is_store(self) -> bool {
+        matches!(self, Op::Store { .. })
+    }
+}
+
+/// A fully decoded micro-operation with its register operands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MicroOp {
+    pub op: Op,
+    /// Destination architectural register, or [`REG_NONE`].
+    pub rd: u8,
+    /// First source (ALU lhs / memory base / branch lhs), or [`REG_NONE`].
+    pub rs1: u8,
+    /// Second source (ALU rhs / branch rhs / index register), or
+    /// [`REG_NONE`].
+    pub rs2: u8,
+    /// Store data register, or [`REG_NONE`].
+    pub rs3: u8,
+    /// Immediate (offset for memory/branches, value for `LoadImm`).
+    pub imm: i64,
+    /// Memory address is `rs1 + rs2` rather than `rs1 + imm`.
+    pub reg_offset: bool,
+}
+
+impl MicroOp {
+    /// A micro-op with no operands.
+    pub fn bare(op: Op) -> Self {
+        MicroOp { op, rd: REG_NONE, rs1: REG_NONE, rs2: REG_NONE, rs3: REG_NONE, imm: 0, reg_offset: false }
+    }
+
+    /// Source registers actually read by this micro-op.
+    pub fn sources(&self) -> impl Iterator<Item = u8> + '_ {
+        [self.rs1, self.rs2, self.rs3].into_iter().filter(|&r| r != REG_NONE)
+    }
+}
+
+/// Fixed-capacity vector of micro-ops produced by decoding one macro
+/// instruction (at most 4: the x86 flavour's cracked `call`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UopVec {
+    arr: [MicroOp; 4],
+    n: u8,
+}
+
+impl UopVec {
+    pub fn new() -> Self {
+        UopVec { arr: [MicroOp::bare(Op::Nop); 4], n: 0 }
+    }
+
+    pub fn of(uops: &[MicroOp]) -> Self {
+        let mut v = Self::new();
+        for &u in uops {
+            v.push(u);
+        }
+        v
+    }
+
+    /// # Panics
+    /// Panics if more than 4 micro-ops are pushed.
+    pub fn push(&mut self, u: MicroOp) {
+        assert!((self.n as usize) < 4, "macro instruction cracked into >4 uops");
+        self.arr[self.n as usize] = u;
+        self.n += 1;
+    }
+
+    pub fn len(&self) -> usize {
+        self.n as usize
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    pub fn as_slice(&self) -> &[MicroOp] {
+        &self.arr[..self.n as usize]
+    }
+}
+
+impl Default for UopVec {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The result of decoding one macro instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decoded {
+    /// Encoded length in bytes.
+    pub len: u8,
+    /// The micro-ops, in program order.
+    pub uops: UopVec,
+    /// Hint: this macro instruction is a call (push the return-address
+    /// stack in the branch predictor).
+    pub call: bool,
+    /// Hint: this macro instruction is a return (pop the RAS).
+    pub ret: bool,
+}
+
+impl Decoded {
+    pub fn single(len: u8, uop: MicroOp) -> Self {
+        Decoded { len, uops: UopVec::of(&[uop]), call: false, ret: false }
+    }
+
+    /// Attach call/return predictor hints.
+    pub fn with_hints(mut self, call: bool, ret: bool) -> Self {
+        self.call = call;
+        self.ret = ret;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_basic_ops() {
+        let isa = Isa::RiscV;
+        assert_eq!(AluOp::Add.eval(2, 3, isa).unwrap(), 5);
+        assert_eq!(AluOp::Sub.eval(2, 3, isa).unwrap(), u64::MAX);
+        assert_eq!(AluOp::And.eval(0b1100, 0b1010, isa).unwrap(), 0b1000);
+        assert_eq!(AluOp::Or.eval(0b1100, 0b1010, isa).unwrap(), 0b1110);
+        assert_eq!(AluOp::Xor.eval(0b1100, 0b1010, isa).unwrap(), 0b0110);
+        assert_eq!(AluOp::Sll.eval(1, 8, isa).unwrap(), 256);
+        assert_eq!(AluOp::Srl.eval(u64::MAX, 63, isa).unwrap(), 1);
+        assert_eq!(AluOp::Sra.eval(u64::MAX, 63, isa).unwrap(), u64::MAX);
+        assert_eq!(AluOp::Mul.eval(7, 6, isa).unwrap(), 42);
+        assert_eq!(AluOp::Slt.eval(u64::MAX, 0, isa).unwrap(), 1); // -1 < 0
+        assert_eq!(AluOp::Sltu.eval(u64::MAX, 0, isa).unwrap(), 0);
+    }
+
+    #[test]
+    fn shift_amounts_are_mod_64() {
+        assert_eq!(AluOp::Sll.eval(1, 64, Isa::Arm).unwrap(), 1);
+        assert_eq!(AluOp::Sll.eval(1, 65, Isa::Arm).unwrap(), 2);
+    }
+
+    #[test]
+    fn div_by_zero_isa_semantics() {
+        assert!(AluOp::Div.eval(5, 0, Isa::X86).is_err());
+        assert_eq!(AluOp::Div.eval(5, 0, Isa::Arm).unwrap(), 0);
+        assert_eq!(AluOp::Div.eval(5, 0, Isa::RiscV).unwrap(), u64::MAX);
+        assert!(AluOp::Rem.eval(5, 0, Isa::X86).is_err());
+        assert_eq!(AluOp::Rem.eval(5, 0, Isa::RiscV).unwrap(), 5);
+    }
+
+    #[test]
+    fn div_overflow_defined() {
+        let min = i64::MIN as u64;
+        assert_eq!(AluOp::Div.eval(min, u64::MAX, Isa::RiscV).unwrap(), min);
+        assert_eq!(AluOp::Rem.eval(min, u64::MAX, Isa::RiscV).unwrap(), 0);
+    }
+
+    #[test]
+    fn signed_division() {
+        let isa = Isa::RiscV;
+        let a = (-7i64) as u64;
+        assert_eq!(AluOp::Div.eval(a, 2, isa).unwrap() as i64, -3);
+        assert_eq!(AluOp::Rem.eval(a, 2, isa).unwrap() as i64, -1);
+    }
+
+    #[test]
+    fn cond_eval() {
+        assert!(Cond::Eq.eval(3, 3));
+        assert!(Cond::Ne.eval(3, 4));
+        assert!(Cond::Lt.eval(u64::MAX, 0)); // signed
+        assert!(Cond::Geu.eval(u64::MAX, 0)); // unsigned
+        assert!(Cond::Ge.eval(5, 5));
+        assert!(Cond::Ltu.eval(1, 2));
+    }
+
+    #[test]
+    fn memwidth_extend() {
+        assert_eq!(MemWidth::B.extend(0xFF, true), u64::MAX);
+        assert_eq!(MemWidth::B.extend(0xFF, false), 0xFF);
+        assert_eq!(MemWidth::H.extend(0x8000, true), 0xFFFF_FFFF_FFFF_8000);
+        assert_eq!(MemWidth::W.extend(0x1_0000_0001, false), 1);
+        assert_eq!(MemWidth::D.extend(u64::MAX, false), u64::MAX);
+    }
+
+    #[test]
+    fn uopvec_push_and_slice() {
+        let mut v = UopVec::new();
+        assert!(v.is_empty());
+        v.push(MicroOp::bare(Op::Halt));
+        v.push(MicroOp::bare(Op::Nop));
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.as_slice()[0].op, Op::Halt);
+    }
+
+    #[test]
+    fn microop_sources_skip_none() {
+        let mut u = MicroOp::bare(Op::Alu(AluOp::Add));
+        u.rs1 = 3;
+        u.rs2 = REG_NONE;
+        u.rs3 = 7;
+        let s: Vec<u8> = u.sources().collect();
+        assert_eq!(s, vec![3, 7]);
+    }
+
+    #[test]
+    fn alu_latencies() {
+        assert_eq!(AluOp::Add.latency(), 1);
+        assert_eq!(AluOp::Mul.latency(), 3);
+        assert_eq!(AluOp::Div.latency(), 12);
+        assert!(AluOp::Div.needs_muldiv_unit());
+        assert!(!AluOp::Xor.needs_muldiv_unit());
+    }
+}

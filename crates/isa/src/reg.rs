@@ -1,0 +1,148 @@
+//! Architectural register specifications for the three ISA flavours.
+//!
+//! The register spec drives both the rename stage of the out-of-order core
+//! (architectural register count) and the `marvel-ir` register allocator
+//! (allocatable set, reserved scratch registers, stack pointer, link
+//! register). Register-count differences are one of the honest mechanisms
+//! behind the paper's cross-ISA register-file AVF observations: the x86
+//! flavour's 16 registers force more spilling (fewer live physical
+//! registers, more L1D traffic), while the RISC-V flavour's extra
+//! address-materialisation temporaries increase physical-register pressure.
+
+/// Register layout of one ISA flavour.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegSpec {
+    /// Total architectural register count visible to the encoder.
+    pub arch_regs: u8,
+    /// Total register namespace including internal micro-op temporaries
+    /// (used by the rename stage; never encodable).
+    pub total_regs: u8,
+    /// Hardwired zero register, if any.
+    pub zero: Option<u8>,
+    /// Stack pointer register.
+    pub sp: u8,
+    /// Link register (return address), if the ISA keeps return addresses in
+    /// a register; `None` for the stack-based x86 flavour.
+    pub link: Option<u8>,
+    /// Register used for function return values.
+    pub ret_val: u8,
+    /// Scratch registers reserved for the lowering pass (address
+    /// materialisation, spill reloads). Never allocated to IR values.
+    pub scratch: [u8; 3],
+    /// Registers available to the linear-scan allocator.
+    pub allocatable: &'static [u8],
+}
+
+impl RegSpec {
+    /// Number of registers available to the allocator.
+    pub fn allocatable_count(&self) -> usize {
+        self.allocatable.len()
+    }
+
+    /// True if `r` is the hardwired zero register.
+    pub fn is_zero(&self, r: u8) -> bool {
+        self.zero == Some(r)
+    }
+}
+
+/// RISC-V flavour: x0 hardwired zero, x1 = ra, x2 = sp; x28–x30 are the
+/// lowering scratch registers; x10 carries return values.
+pub static RV_REGS: RegSpec = RegSpec {
+    arch_regs: 32,
+    total_regs: 32,
+    zero: Some(0),
+    sp: 2,
+    link: Some(1),
+    ret_val: 10,
+    scratch: [28, 29, 30],
+    allocatable: &[5, 6, 7, 8, 9, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27],
+};
+
+/// Arm flavour: r31 reads as zero (XZR), r29 = sp, r30 = lr; r26–r28 are
+/// scratch; r0 carries return values.
+pub static ARM_REGS: RegSpec = RegSpec {
+    arch_regs: 32,
+    total_regs: 32,
+    zero: Some(31),
+    sp: 29,
+    link: Some(30),
+    ret_val: 0,
+    scratch: [26, 27, 28],
+    allocatable: &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23, 24, 25],
+};
+
+/// x86 flavour: 16 architectural registers (+2 micro-op temporaries used by
+/// cracked memory-operand instructions), r4 = rsp, no link register
+/// (returns go through the stack), r0 = rax carries return values,
+/// r10/r11/r3 are scratch.
+pub static X86_REGS: RegSpec = RegSpec {
+    arch_regs: 16,
+    total_regs: 18,
+    zero: None,
+    sp: 4,
+    link: None,
+    ret_val: 0,
+    scratch: [10, 11, 3],
+    allocatable: &[1, 2, 5, 6, 7, 8, 9, 12, 13, 14, 15],
+};
+
+/// Index of the first x86 micro-op temporary register.
+pub const X86_UTMP0: u8 = 16;
+/// Index of the second x86 micro-op temporary register.
+pub const X86_UTMP1: u8 = 17;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn check_spec(s: &RegSpec) {
+        // No overlaps between reserved and allocatable registers.
+        let mut reserved: HashSet<u8> = HashSet::new();
+        reserved.insert(s.sp);
+        reserved.insert(s.ret_val);
+        if let Some(z) = s.zero {
+            reserved.insert(z);
+        }
+        if let Some(l) = s.link {
+            reserved.insert(l);
+        }
+        for &r in &s.scratch {
+            reserved.insert(r);
+        }
+        for &r in s.allocatable {
+            assert!(!reserved.contains(&r), "allocatable r{r} overlaps reserved set");
+            assert!(r < s.arch_regs);
+        }
+        assert!(s.total_regs >= s.arch_regs);
+    }
+
+    #[test]
+    fn rv_spec_consistent() {
+        check_spec(&RV_REGS);
+        assert!(RV_REGS.is_zero(0));
+        assert_eq!(RV_REGS.allocatable_count(), 22);
+    }
+
+    #[test]
+    fn arm_spec_consistent() {
+        check_spec(&ARM_REGS);
+        assert!(ARM_REGS.is_zero(31));
+        assert_eq!(ARM_REGS.allocatable_count(), 25);
+    }
+
+    #[test]
+    fn x86_spec_consistent() {
+        check_spec(&X86_REGS);
+        assert_eq!(X86_REGS.zero, None);
+        assert_eq!(X86_REGS.total_regs, 18);
+        assert_eq!(X86_REGS.allocatable_count(), 11);
+        assert!(X86_REGS.link.is_none());
+    }
+
+    #[test]
+    fn x86_has_fewest_allocatable_registers() {
+        assert!(X86_REGS.allocatable_count() < RV_REGS.allocatable_count());
+        assert!(X86_REGS.allocatable_count() < ARM_REGS.allocatable_count());
+    }
+}

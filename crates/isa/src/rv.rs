@@ -1,0 +1,552 @@
+//! RISC-V-flavour encoding: fixed 4-byte words with RV32I/RV64I-style field
+//! packing (R/I/S/B/U/J formats), a sparse 7-bit opcode space, and a
+//! deliberately *simple* decoder.
+//!
+//! The simple decoder mirrors minimal RISC-V implementations: it selects on
+//! `opcode`, `funct3` and two discriminating `funct7` bits (bit 30 for
+//! SUB/SRA, bit 25 for the M extension) and treats the remaining `funct7`
+//! bits as don't-care. Bit flips landing in those positions are therefore
+//! masked at decode — the mechanism behind the paper's Observation #2
+//! (RISC-V L1I shows the highest decode-level masking).
+
+use crate::asm::{AsmInst, EncodeError};
+use crate::op::{AluOp, Cond, Decoded, MemWidth, MicroOp, Op};
+use crate::trap::DecodeError;
+
+const OPC_OP: u32 = 0x33;
+const OPC_OP_IMM: u32 = 0x13;
+const OPC_LOAD: u32 = 0x03;
+const OPC_STORE: u32 = 0x23;
+const OPC_BRANCH: u32 = 0x63;
+const OPC_JAL: u32 = 0x6F;
+const OPC_JALR: u32 = 0x67;
+const OPC_LUI: u32 = 0x37;
+const OPC_AUIPC: u32 = 0x17;
+const OPC_SYSTEM: u32 = 0x73;
+
+const SYS_HALT: u32 = 0x000;
+const SYS_CHECKPOINT: u32 = 0x7C1;
+const SYS_SWITCHCPU: u32 = 0x7C2;
+const SYS_IRET: u32 = 0x7C3;
+const SYS_NOP: u32 = 0x7C4;
+
+/// Link register (x1 / `ra`).
+const RA: u8 = 1;
+
+fn reg(inst: &'static str, r: u8) -> Result<u32, EncodeError> {
+    if r < 32 {
+        Ok(r as u32)
+    } else {
+        Err(EncodeError::BadRegister { inst, reg: r })
+    }
+}
+
+fn check_imm(inst: &'static str, imm: i64, bits: u32) -> Result<(), EncodeError> {
+    let min = -(1i64 << (bits - 1));
+    let max = (1i64 << (bits - 1)) - 1;
+    if imm < min || imm > max {
+        Err(EncodeError::ImmOutOfRange { inst, imm })
+    } else {
+        Ok(())
+    }
+}
+
+fn r_type(funct7: u32, rs2: u32, rs1: u32, funct3: u32, rd: u32, opc: u32) -> u32 {
+    (funct7 << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | opc
+}
+
+fn i_type(imm: i64, rs1: u32, funct3: u32, rd: u32, opc: u32) -> u32 {
+    (((imm as u32) & 0xFFF) << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | opc
+}
+
+fn s_type(imm: i64, rs2: u32, rs1: u32, funct3: u32, opc: u32) -> u32 {
+    let imm = imm as u32;
+    ((imm >> 5 & 0x7F) << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) | ((imm & 0x1F) << 7) | opc
+}
+
+fn b_type(imm: i64, rs2: u32, rs1: u32, funct3: u32) -> u32 {
+    let imm = imm as u32;
+    ((imm >> 12 & 1) << 31)
+        | ((imm >> 5 & 0x3F) << 25)
+        | (rs2 << 20)
+        | (rs1 << 15)
+        | (funct3 << 12)
+        | ((imm >> 1 & 0xF) << 8)
+        | ((imm >> 11 & 1) << 7)
+        | OPC_BRANCH
+}
+
+fn j_type(imm: i64, rd: u32) -> u32 {
+    let imm = imm as u32;
+    ((imm >> 20 & 1) << 31)
+        | ((imm >> 1 & 0x3FF) << 21)
+        | ((imm >> 11 & 1) << 20)
+        | ((imm >> 12 & 0xFF) << 12)
+        | (rd << 7)
+        | OPC_JAL
+}
+
+fn alu_funct(op: AluOp) -> (u32, u32) {
+    // (funct3, funct7)
+    match op {
+        AluOp::Add => (0, 0x00),
+        AluOp::Sub => (0, 0x20),
+        AluOp::Sll => (1, 0x00),
+        AluOp::Slt => (2, 0x00),
+        AluOp::Sltu => (3, 0x00),
+        AluOp::Xor => (4, 0x00),
+        AluOp::Srl => (5, 0x00),
+        AluOp::Sra => (5, 0x20),
+        AluOp::Or => (6, 0x00),
+        AluOp::And => (7, 0x00),
+        AluOp::Mul => (0, 0x01),
+        AluOp::Div => (4, 0x01),
+        AluOp::Rem => (6, 0x01),
+    }
+}
+
+fn load_funct3(w: MemWidth, signed: bool) -> u32 {
+    match (w, signed) {
+        (MemWidth::B, true) => 0,
+        (MemWidth::H, true) => 1,
+        (MemWidth::W, true) => 2,
+        (MemWidth::D, _) => 3,
+        (MemWidth::B, false) => 4,
+        (MemWidth::H, false) => 5,
+        (MemWidth::W, false) => 6,
+    }
+}
+
+fn store_funct3(w: MemWidth) -> u32 {
+    match w {
+        MemWidth::B => 0,
+        MemWidth::H => 1,
+        MemWidth::W => 2,
+        MemWidth::D => 3,
+    }
+}
+
+fn cond_funct3(c: Cond) -> u32 {
+    match c {
+        Cond::Eq => 0,
+        Cond::Ne => 1,
+        Cond::Lt => 4,
+        Cond::Ge => 5,
+        Cond::Ltu => 6,
+        Cond::Geu => 7,
+    }
+}
+
+pub fn encode(inst: &AsmInst) -> Result<Vec<u8>, EncodeError> {
+    let name = inst.name();
+    let word: u32 = match *inst {
+        AsmInst::AluRR { op, rd, rn, rm } => {
+            let (f3, f7) = alu_funct(op);
+            r_type(f7, reg(name, rm)?, reg(name, rn)?, f3, reg(name, rd)?, OPC_OP)
+        }
+        AsmInst::AluRI { op, rd, rn, imm } => {
+            let rd = reg(name, rd)?;
+            let rn = reg(name, rn)?;
+            match op {
+                AluOp::Add | AluOp::Slt | AluOp::Sltu | AluOp::Xor | AluOp::Or | AluOp::And => {
+                    check_imm(name, imm, 12)?;
+                    let f3 = match op {
+                        AluOp::Add => 0,
+                        AluOp::Slt => 2,
+                        AluOp::Sltu => 3,
+                        AluOp::Xor => 4,
+                        AluOp::Or => 6,
+                        AluOp::And => 7,
+                        _ => unreachable!(),
+                    };
+                    i_type(imm, rn, f3, rd, OPC_OP_IMM)
+                }
+                AluOp::Sll | AluOp::Srl | AluOp::Sra => {
+                    if !(0..64).contains(&imm) {
+                        return Err(EncodeError::ImmOutOfRange { inst: name, imm });
+                    }
+                    let (f3, hi) = match op {
+                        AluOp::Sll => (1, 0),
+                        AluOp::Srl => (5, 0),
+                        AluOp::Sra => (5, 0x400), // bit 30 of imm12 field
+                        _ => unreachable!(),
+                    };
+                    i_type(imm | hi, rn, f3, rd, OPC_OP_IMM)
+                }
+                _ => return Err(EncodeError::UnsupportedForm { inst: name }),
+            }
+        }
+        AsmInst::Lui { rd, imm20 } => {
+            if !(-(1 << 19)..(1 << 19)).contains(&imm20) {
+                return Err(EncodeError::ImmOutOfRange { inst: name, imm: imm20 as i64 });
+            }
+            (((imm20 as u32) & 0xFFFFF) << 12) | (reg(name, rd)? << 7) | OPC_LUI
+        }
+        AsmInst::Load { w, signed, rd, base, offset } => {
+            check_imm(name, offset as i64, 12)?;
+            i_type(offset as i64, reg(name, base)?, load_funct3(w, signed), reg(name, rd)?, OPC_LOAD)
+        }
+        AsmInst::Store { w, rs, base, offset } => {
+            check_imm(name, offset as i64, 12)?;
+            s_type(offset as i64, reg(name, rs)?, reg(name, base)?, store_funct3(w), OPC_STORE)
+        }
+        AsmInst::Branch { cond, rn, rm, offset } => {
+            check_imm(name, offset as i64, 13)?;
+            if offset & 1 != 0 {
+                return Err(EncodeError::ImmOutOfRange { inst: name, imm: offset as i64 });
+            }
+            b_type(offset as i64, reg(name, rm)?, reg(name, rn)?, cond_funct3(cond))
+        }
+        AsmInst::Jmp { offset } => {
+            check_imm(name, offset as i64, 21)?;
+            j_type(offset as i64, 0)
+        }
+        AsmInst::Call { offset } => {
+            check_imm(name, offset as i64, 21)?;
+            j_type(offset as i64, RA as u32)
+        }
+        AsmInst::CallInd { rn } => i_type(0, reg(name, rn)?, 0, RA as u32, OPC_JALR),
+        AsmInst::Ret => i_type(0, RA as u32, 0, 0, OPC_JALR),
+        AsmInst::JmpInd { rn } => i_type(0, reg(name, rn)?, 0, 0, OPC_JALR),
+        AsmInst::Halt => i_type(SYS_HALT as i64, 0, 0, 0, OPC_SYSTEM),
+        AsmInst::Checkpoint => i_type(SYS_CHECKPOINT as i64, 0, 0, 0, OPC_SYSTEM),
+        AsmInst::SwitchCpu => i_type(SYS_SWITCHCPU as i64, 0, 0, 0, OPC_SYSTEM),
+        AsmInst::Iret => i_type(SYS_IRET as i64, 0, 0, 0, OPC_SYSTEM),
+        AsmInst::Nop => i_type(SYS_NOP as i64, 0, 0, 0, OPC_SYSTEM),
+        AsmInst::MovRR { rd, rs } => i_type(0, reg(name, rs)?, 0, reg(name, rd)?, OPC_OP_IMM),
+        AsmInst::MovZ { .. }
+        | AsmInst::MovK { .. }
+        | AsmInst::MovImm64 { .. }
+        | AsmInst::LoadRR { .. }
+        | AsmInst::StoreRR { .. }
+        | AsmInst::AluRM { .. } => return Err(EncodeError::UnsupportedForm { inst: name }),
+    };
+    Ok(word.to_le_bytes().to_vec())
+}
+
+fn sext(v: u32, bits: u32) -> i64 {
+    let shift = 64 - bits;
+    (((v as u64) << shift) as i64) >> shift
+}
+
+pub fn decode(bytes: &[u8]) -> Result<Decoded, DecodeError> {
+    if bytes.len() < 4 {
+        return Err(DecodeError::Truncated);
+    }
+    let w = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    let opc = w & 0x7F;
+    let rd = ((w >> 7) & 0x1F) as u8;
+    let funct3 = (w >> 12) & 0x7;
+    let rs1 = ((w >> 15) & 0x1F) as u8;
+    let rs2 = ((w >> 20) & 0x1F) as u8;
+    let imm_i = sext(w >> 20, 12);
+
+    let mut u = MicroOp::bare(Op::Nop);
+    match opc {
+        OPC_OP => {
+            // Simple decode: select on funct3 + bit25 (M extension) +
+            // bit30; the remaining funct7 bits are don't-care.
+            let m_ext = (w >> 25) & 1 == 1;
+            let bit30 = (w >> 30) & 1 == 1;
+            let op = if m_ext {
+                match funct3 {
+                    0..=3 => AluOp::Mul, // mul/mulh* collapse to mul
+                    4 | 5 => AluOp::Div, // div/divu collapse
+                    _ => AluOp::Rem,     // rem/remu collapse
+                }
+            } else {
+                match (funct3, bit30) {
+                    (0, false) => AluOp::Add,
+                    (0, true) => AluOp::Sub,
+                    (1, _) => AluOp::Sll,
+                    (2, _) => AluOp::Slt,
+                    (3, _) => AluOp::Sltu,
+                    (4, _) => AluOp::Xor,
+                    (5, false) => AluOp::Srl,
+                    (5, true) => AluOp::Sra,
+                    (6, _) => AluOp::Or,
+                    (7, _) => AluOp::And,
+                    _ => unreachable!(),
+                }
+            };
+            u.op = Op::Alu(op);
+            u.rd = rd;
+            u.rs1 = rs1;
+            u.rs2 = rs2;
+        }
+        OPC_OP_IMM => {
+            let bit30 = (w >> 30) & 1 == 1;
+            let (op, imm) = match funct3 {
+                0 => (AluOp::Add, imm_i),
+                1 => (AluOp::Sll, (imm_i & 63)),
+                2 => (AluOp::Slt, imm_i),
+                3 => (AluOp::Sltu, imm_i),
+                4 => (AluOp::Xor, imm_i),
+                5 => (if bit30 { AluOp::Sra } else { AluOp::Srl }, imm_i & 63),
+                6 => (AluOp::Or, imm_i),
+                7 => (AluOp::And, imm_i),
+                _ => unreachable!(),
+            };
+            u.op = Op::AluImm(op);
+            u.rd = rd;
+            u.rs1 = rs1;
+            u.imm = imm;
+        }
+        OPC_LOAD => {
+            let (w_, s) = match funct3 {
+                0 => (MemWidth::B, true),
+                1 => (MemWidth::H, true),
+                2 => (MemWidth::W, true),
+                3 => (MemWidth::D, false),
+                4 => (MemWidth::B, false),
+                5 => (MemWidth::H, false),
+                6 => (MemWidth::W, false),
+                _ => return Err(DecodeError::Invalid),
+            };
+            u.op = Op::Load { w: w_, signed: s };
+            u.rd = rd;
+            u.rs1 = rs1;
+            u.imm = imm_i;
+        }
+        OPC_STORE => {
+            let w_ = match funct3 {
+                0 => MemWidth::B,
+                1 => MemWidth::H,
+                2 => MemWidth::W,
+                3 => MemWidth::D,
+                _ => return Err(DecodeError::Invalid),
+            };
+            let imm = sext(((w >> 25) << 5) | ((w >> 7) & 0x1F), 12);
+            u.op = Op::Store { w: w_ };
+            u.rs1 = rs1;
+            u.rs3 = rs2;
+            u.imm = imm;
+        }
+        OPC_BRANCH => {
+            let c = match funct3 {
+                0 => Cond::Eq,
+                1 => Cond::Ne,
+                4 => Cond::Lt,
+                5 => Cond::Ge,
+                6 => Cond::Ltu,
+                7 => Cond::Geu,
+                _ => return Err(DecodeError::Invalid),
+            };
+            let imm = sext(
+                (((w >> 31) & 1) << 12)
+                    | (((w >> 7) & 1) << 11)
+                    | (((w >> 25) & 0x3F) << 5)
+                    | (((w >> 8) & 0xF) << 1),
+                13,
+            );
+            u.op = Op::Branch(c);
+            u.rs1 = rs1;
+            u.rs2 = rs2;
+            u.imm = imm;
+        }
+        OPC_JAL => {
+            let imm = sext(
+                (((w >> 31) & 1) << 20)
+                    | (((w >> 12) & 0xFF) << 12)
+                    | (((w >> 20) & 1) << 11)
+                    | (((w >> 21) & 0x3FF) << 1),
+                21,
+            );
+            u.op = Op::Jal;
+            u.rd = rd;
+            u.imm = imm;
+        }
+        OPC_JALR => {
+            // Simple decode: funct3 ignored.
+            u.op = Op::Jalr;
+            u.rd = rd;
+            u.rs1 = rs1;
+            u.imm = imm_i;
+        }
+        OPC_LUI => {
+            u.op = Op::LoadImm;
+            u.rd = rd;
+            u.imm = sext(w & 0xFFFF_F000, 32);
+        }
+        OPC_AUIPC => {
+            u.op = Op::Auipc;
+            u.rd = rd;
+            u.imm = sext(w & 0xFFFF_F000, 32);
+        }
+        OPC_SYSTEM => {
+            // Simple decode: funct3/rs1/rd ignored, imm12 selects.
+            u.op = match (w >> 20) & 0xFFF {
+                SYS_HALT => Op::Halt,
+                SYS_CHECKPOINT => Op::Checkpoint,
+                SYS_SWITCHCPU => Op::SwitchCpu,
+                SYS_IRET => Op::Iret,
+                SYS_NOP => Op::Nop,
+                _ => return Err(DecodeError::Invalid),
+            };
+        }
+        _ => return Err(DecodeError::Invalid),
+    }
+    let call = matches!(u.op, Op::Jal | Op::Jalr) && u.rd == RA;
+    let ret = u.op == Op::Jalr && u.rs1 == RA && u.rd != RA;
+    Ok(Decoded::single(4, u).with_hints(call, ret))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::REG_NONE as _RN;
+
+    fn enc(i: AsmInst) -> Vec<u8> {
+        encode(&i).unwrap()
+    }
+
+    fn dec1(b: &[u8]) -> MicroOp {
+        let d = decode(b).unwrap();
+        assert_eq!(d.len, 4);
+        assert_eq!(d.uops.len(), 1);
+        d.uops.as_slice()[0]
+    }
+
+    #[test]
+    fn roundtrip_alu_rr() {
+        for op in AluOp::ALL {
+            let b = enc(AsmInst::AluRR { op, rd: 5, rn: 6, rm: 7 });
+            let u = dec1(&b);
+            assert_eq!(u.op, Op::Alu(op), "{op:?}");
+            assert_eq!((u.rd, u.rs1, u.rs2), (5, 6, 7));
+        }
+    }
+
+    #[test]
+    fn roundtrip_alu_ri() {
+        let b = enc(AsmInst::AluRI { op: AluOp::Add, rd: 1, rn: 2, imm: -7 });
+        let u = dec1(&b);
+        assert_eq!(u.op, Op::AluImm(AluOp::Add));
+        assert_eq!(u.imm, -7);
+        let b = enc(AsmInst::AluRI { op: AluOp::Sra, rd: 1, rn: 2, imm: 63 });
+        let u = dec1(&b);
+        assert_eq!(u.op, Op::AluImm(AluOp::Sra));
+        assert_eq!(u.imm, 63);
+    }
+
+    #[test]
+    fn roundtrip_loads_stores() {
+        for w in MemWidth::ALL {
+            let b = enc(AsmInst::Load { w, signed: false, rd: 3, base: 4, offset: -16 });
+            let u = dec1(&b);
+            assert!(matches!(u.op, Op::Load { .. }));
+            assert_eq!(u.imm, -16);
+            let b = enc(AsmInst::Store { w, rs: 9, base: 4, offset: 40 });
+            let u = dec1(&b);
+            assert_eq!(u.op, Op::Store { w });
+            assert_eq!(u.rs3, 9);
+            assert_eq!(u.rs1, 4);
+            assert_eq!(u.imm, 40);
+        }
+    }
+
+    #[test]
+    fn roundtrip_branches() {
+        for c in Cond::ALL {
+            let b = enc(AsmInst::Branch { cond: c, rn: 1, rm: 2, offset: -64 });
+            let u = dec1(&b);
+            assert_eq!(u.op, Op::Branch(c));
+            assert_eq!(u.imm, -64);
+        }
+        let b = enc(AsmInst::Jmp { offset: 2048 });
+        assert_eq!(dec1(&b).imm, 2048);
+        let b = enc(AsmInst::Call { offset: -2048 });
+        let u = dec1(&b);
+        assert_eq!(u.op, Op::Jal);
+        assert_eq!(u.rd, 1); // ra
+        assert_eq!(u.imm, -2048);
+    }
+
+    #[test]
+    fn roundtrip_lui_and_sys() {
+        let b = enc(AsmInst::Lui { rd: 7, imm20: 0x40000 });
+        let u = dec1(&b);
+        assert_eq!(u.op, Op::LoadImm);
+        assert_eq!(u.imm, 0x4000_0000);
+        assert_eq!(dec1(&enc(AsmInst::Halt)).op, Op::Halt);
+        assert_eq!(dec1(&enc(AsmInst::Checkpoint)).op, Op::Checkpoint);
+        assert_eq!(dec1(&enc(AsmInst::SwitchCpu)).op, Op::SwitchCpu);
+        assert_eq!(dec1(&enc(AsmInst::Nop)).op, Op::Nop);
+    }
+
+    #[test]
+    fn ret_decodes_to_jalr_ra() {
+        let u = dec1(&enc(AsmInst::Ret));
+        assert_eq!(u.op, Op::Jalr);
+        assert_eq!(u.rs1, 1);
+        assert_eq!(u.rd, 0); // x0: link discarded
+    }
+
+    #[test]
+    fn imm_range_enforced() {
+        assert!(encode(&AsmInst::AluRI { op: AluOp::Add, rd: 1, rn: 2, imm: 4096 }).is_err());
+        assert!(encode(&AsmInst::Load { w: MemWidth::D, signed: false, rd: 1, base: 2, offset: 5000 }).is_err());
+        assert!(encode(&AsmInst::Branch { cond: Cond::Eq, rn: 1, rm: 2, offset: 8192 }).is_err());
+    }
+
+    #[test]
+    fn unsupported_forms_rejected() {
+        assert!(encode(&AsmInst::MovZ { rd: 1, imm16: 1, hw: 0 }).is_err());
+        assert!(encode(&AsmInst::AluRM { op: AluOp::Add, rd: 1, base: 2, offset: 0 }).is_err());
+        assert!(encode(&AsmInst::LoadRR { w: MemWidth::D, signed: false, rd: 1, base: 2, index: 3 }).is_err());
+    }
+
+    #[test]
+    fn funct7_dont_care_bits_are_masked() {
+        // Flipping funct7 bits other than 25/30 must not change the decode:
+        // this is the "simple decoder" masking property.
+        let mut b = enc(AsmInst::AluRR { op: AluOp::Add, rd: 5, rn: 6, rm: 7 });
+        let before = dec1(&b);
+        let w = u32::from_le_bytes([b[0], b[1], b[2], b[3]]) ^ (1 << 26) ^ (1 << 31);
+        b = w.to_le_bytes().to_vec();
+        assert_eq!(dec1(&b), before);
+    }
+
+    #[test]
+    fn sparse_opcode_space_random_words_mostly_invalid() {
+        // Statistical sanity: random 32-bit words should frequently fail to
+        // decode (sparse 7-bit opcode space).
+        let mut invalid = 0;
+        let mut x: u32 = 0x12345678;
+        for _ in 0..1000 {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            if decode(&x.to_le_bytes()).is_err() {
+                invalid += 1;
+            }
+        }
+        assert!(invalid > 600, "expected mostly-invalid random words, got {invalid}/1000 invalid");
+    }
+
+    #[test]
+    fn truncated_input() {
+        assert_eq!(decode(&[0x13, 0x00]), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn store_negative_offset_roundtrip() {
+        let b = enc(AsmInst::Store { w: MemWidth::D, rs: 8, base: 2, offset: -8 });
+        let u = dec1(&b);
+        assert_eq!(u.imm, -8);
+    }
+
+    #[test]
+    fn jalr_decode_ignores_funct3() {
+        // Simple decoder: JALR funct3 is a don't-care.
+        let mut b = enc(AsmInst::Ret);
+        let w = u32::from_le_bytes([b[0], b[1], b[2], b[3]]) | (0b101 << 12);
+        b = w.to_le_bytes().to_vec();
+        assert_eq!(dec1(&b).op, Op::Jalr);
+    }
+
+    #[test]
+    fn no_reg_none_leaks() {
+        let u = dec1(&enc(AsmInst::Jmp { offset: 8 }));
+        assert_eq!(u.rs1, _RN);
+        assert_eq!(u.rd, 0);
+    }
+}

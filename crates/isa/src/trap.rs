@@ -1,0 +1,91 @@
+//! Trap and decode-error types shared across the simulator stack.
+
+/// Architectural traps. When a faulting instruction reaches the commit
+/// stage, the simulation ends with the trap recorded; the fault-injection
+/// framework classifies such runs as **Crash**.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trap {
+    /// Bytes at the fetch address did not decode to a valid instruction.
+    IllegalInstruction { pc: u64 },
+    /// A data access fell outside every mapped physical range.
+    MemFault { pc: u64, addr: u64 },
+    /// A misaligned access on an ISA flavour that traps on misalignment.
+    Misaligned { pc: u64, addr: u64 },
+    /// Integer division by zero on the x86 flavour.
+    DivideByZero { pc: u64 },
+    /// Instruction fetch fell outside mapped memory.
+    FetchFault { pc: u64 },
+    /// The simulation exceeded its watchdog cycle budget (e.g. a corrupted
+    /// loop bound); the paper counts these among Crashes.
+    Watchdog,
+}
+
+impl Trap {
+    /// Short machine-readable tag for reports.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Trap::IllegalInstruction { .. } => "illegal-instruction",
+            Trap::MemFault { .. } => "mem-fault",
+            Trap::Misaligned { .. } => "misaligned",
+            Trap::DivideByZero { .. } => "div-by-zero",
+            Trap::FetchFault { .. } => "fetch-fault",
+            Trap::Watchdog => "watchdog",
+        }
+    }
+}
+
+impl std::fmt::Display for Trap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Trap::IllegalInstruction { pc } => write!(f, "illegal instruction at {pc:#x}"),
+            Trap::MemFault { pc, addr } => write!(f, "memory fault at {pc:#x} (addr {addr:#x})"),
+            Trap::Misaligned { pc, addr } => write!(f, "misaligned access at {pc:#x} (addr {addr:#x})"),
+            Trap::DivideByZero { pc } => write!(f, "divide by zero at {pc:#x}"),
+            Trap::FetchFault { pc } => write!(f, "fetch fault at {pc:#x}"),
+            Trap::Watchdog => write!(f, "watchdog expired"),
+        }
+    }
+}
+
+impl std::error::Error for Trap {}
+
+/// Errors produced by the per-ISA instruction decoders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The bytes do not form a valid instruction.
+    Invalid,
+    /// More bytes are required to finish decoding (x86 flavour only); the
+    /// fetch stage retries once the next cache line is available.
+    Truncated,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Invalid => f.write_str("invalid instruction encoding"),
+            DecodeError::Truncated => f.write_str("truncated instruction"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trap_display_nonempty() {
+        for t in [
+            Trap::IllegalInstruction { pc: 0x80000000 },
+            Trap::MemFault { pc: 1, addr: 2 },
+            Trap::Misaligned { pc: 1, addr: 3 },
+            Trap::DivideByZero { pc: 1 },
+            Trap::FetchFault { pc: 1 },
+            Trap::Watchdog,
+        ] {
+            assert!(!t.to_string().is_empty());
+            assert!(!t.tag().is_empty());
+        }
+    }
+}

@@ -1,0 +1,818 @@
+//! x86-flavour encoding: variable-length instructions (1–11 bytes) built
+//! from an optional REX-like prefix, one or two opcode bytes, a ModRM byte
+//! and optional displacement/immediate fields.
+//!
+//! Resilience-relevant properties modelled after real x86:
+//!
+//! * **variable length** — a bit flip that changes an instruction's length
+//!   desynchronises decode for the rest of the fetch stream;
+//! * **memory-operand ALU forms** — `rd = rd <op> mem[base+disp]` cracks
+//!   into a load micro-op plus an ALU micro-op;
+//! * **stack-based call/return** — `call` pushes the return address
+//!   (4 micro-ops), `ret` pops it (3 micro-ops), so return addresses live
+//!   in the L1D and store queue rather than a link register;
+//! * **prefix don't-care bits** — REX bits W (3) and X (2) are ignored by
+//!   the decoder, a small decode-masking window;
+//! * only 16 architectural registers (ModRM 3-bit fields + prefix R/B
+//!   extension bits).
+//!
+//! Unlike real x86 there is no flags register: conditional branches are
+//! compare-and-branch (`Jcc rn, rm, disp32`). Branch displacements are
+//! relative to the **start** of the instruction (consistent with the other
+//! flavours; real x86 is end-relative).
+
+use crate::asm::{AsmInst, EncodeError};
+use crate::op::{AluOp, Cond, Decoded, MemWidth, MicroOp, Op, UopVec};
+use crate::reg::X86_UTMP0;
+use crate::trap::DecodeError;
+
+/// Stack pointer (r4 = rsp).
+const RSP: u8 = 4;
+
+// One-byte opcodes.
+const OPC_ADD_RM: u8 = 0x03;
+const OPC_OR_RM: u8 = 0x0B;
+const OPC_AND_RM: u8 = 0x23;
+const OPC_SUB_RM: u8 = 0x2B;
+const OPC_XOR_RM: u8 = 0x33;
+const OPC_LOAD_BASE: u8 = 0x10; // +0..6: lbu,lhu,lwu,ld,lb,lh,lw
+const OPC_STORE_BASE: u8 = 0x18; // +0..3: sb,sh,sw,sd
+const OPC_JCC_BASE: u8 = 0x70; // +cond (6)
+const OPC_GRP_IMM32: u8 = 0x81;
+const OPC_MOV_STORE: u8 = 0x89;
+const OPC_MOV_LOAD: u8 = 0x8B;
+const OPC_NOP: u8 = 0x90;
+const OPC_MOV_IMM64: u8 = 0xB8;
+const OPC_SHIFT_IMM: u8 = 0xC1;
+const OPC_RET: u8 = 0xC3;
+const OPC_MOV_IMM32: u8 = 0xC7;
+const OPC_CALL_REL: u8 = 0xE8;
+const OPC_JMP_REL: u8 = 0xE9;
+const OPC_GRP_FF: u8 = 0xFF;
+const OPC_ESCAPE: u8 = 0x0F;
+
+// Two-byte (0x0F-escaped) opcodes.
+const OPC2_SLL: u8 = 0x01;
+const OPC2_SRL: u8 = 0x02;
+const OPC2_SRA: u8 = 0x03;
+const OPC2_DIV: u8 = 0x06;
+const OPC2_REM: u8 = 0x07;
+const OPC2_SLT: u8 = 0x08;
+const OPC2_SLTU: u8 = 0x09;
+const OPC2_IMUL: u8 = 0xAF;
+const OPC2_HALT: u8 = 0x90;
+const OPC2_CHECKPOINT: u8 = 0x91;
+const OPC2_SWITCHCPU: u8 = 0x92;
+const OPC2_IRET: u8 = 0x93;
+
+fn reg(inst: &'static str, r: u8) -> Result<u8, EncodeError> {
+    if r < 16 {
+        Ok(r)
+    } else {
+        Err(EncodeError::BadRegister { inst, reg: r })
+    }
+}
+
+/// Assemble prefix (if needed) + opcode bytes + ModRM + displacement.
+struct Enc {
+    out: Vec<u8>,
+}
+
+impl Enc {
+    fn new() -> Self {
+        Enc { out: Vec::with_capacity(11) }
+    }
+
+    /// Push prefix + opcodes + ModRM for a register-register form.
+    fn modrm_rr(&mut self, opcodes: &[u8], r: u8, rm: u8) {
+        self.emit_prefixed(opcodes, r, rm, 0b11, &[]);
+    }
+
+    /// Push prefix + opcodes + ModRM + disp for a register-memory form.
+    fn modrm_mem(&mut self, opcodes: &[u8], r: u8, base: u8, disp: i32) {
+        let (mode, disp_bytes): (u8, Vec<u8>) = if disp == 0 {
+            (0b00, vec![])
+        } else if (-128..128).contains(&disp) {
+            (0b01, vec![disp as i8 as u8])
+        } else {
+            (0b10, disp.to_le_bytes().to_vec())
+        };
+        self.emit_prefixed(opcodes, r, base, mode, &disp_bytes);
+    }
+
+    fn emit_prefixed(&mut self, opcodes: &[u8], r: u8, rm: u8, mode: u8, tail: &[u8]) {
+        let need_prefix = r >= 8 || rm >= 8;
+        if need_prefix {
+            let mut p = 0x40u8;
+            if r >= 8 {
+                p |= 0b0010; // R bit
+            }
+            if rm >= 8 {
+                p |= 0b0001; // B bit
+            }
+            self.out.push(p);
+        }
+        self.out.extend_from_slice(opcodes);
+        self.out.push((mode << 6) | ((r & 7) << 3) | (rm & 7));
+        self.out.extend_from_slice(tail);
+    }
+}
+
+fn alu_rm_opcode(op: AluOp) -> Vec<u8> {
+    match op {
+        AluOp::Add => vec![OPC_ADD_RM],
+        AluOp::Or => vec![OPC_OR_RM],
+        AluOp::And => vec![OPC_AND_RM],
+        AluOp::Sub => vec![OPC_SUB_RM],
+        AluOp::Xor => vec![OPC_XOR_RM],
+        AluOp::Sll => vec![OPC_ESCAPE, OPC2_SLL],
+        AluOp::Srl => vec![OPC_ESCAPE, OPC2_SRL],
+        AluOp::Sra => vec![OPC_ESCAPE, OPC2_SRA],
+        AluOp::Div => vec![OPC_ESCAPE, OPC2_DIV],
+        AluOp::Rem => vec![OPC_ESCAPE, OPC2_REM],
+        AluOp::Slt => vec![OPC_ESCAPE, OPC2_SLT],
+        AluOp::Sltu => vec![OPC_ESCAPE, OPC2_SLTU],
+        AluOp::Mul => vec![OPC_ESCAPE, OPC2_IMUL],
+    }
+}
+
+/// ModRM.reg selector for the 0x81 ALU-imm32 group.
+fn grp81_sel(op: AluOp) -> Option<u8> {
+    Some(match op {
+        AluOp::Add => 0,
+        AluOp::Or => 1,
+        AluOp::Slt => 2,
+        AluOp::Sltu => 3,
+        AluOp::And => 4,
+        AluOp::Sub => 5,
+        AluOp::Xor => 6,
+        _ => return None,
+    })
+}
+
+fn grp81_op(sel: u8) -> Option<AluOp> {
+    Some(match sel {
+        0 => AluOp::Add,
+        1 => AluOp::Or,
+        2 => AluOp::Slt,
+        3 => AluOp::Sltu,
+        4 => AluOp::And,
+        5 => AluOp::Sub,
+        6 => AluOp::Xor,
+        _ => return None,
+    })
+}
+
+fn cond_idx(c: Cond) -> u8 {
+    match c {
+        Cond::Eq => 0,
+        Cond::Ne => 1,
+        Cond::Lt => 2,
+        Cond::Ge => 3,
+        Cond::Ltu => 4,
+        Cond::Geu => 5,
+    }
+}
+
+fn cond_from_idx(i: u8) -> Option<Cond> {
+    Some(match i {
+        0 => Cond::Eq,
+        1 => Cond::Ne,
+        2 => Cond::Lt,
+        3 => Cond::Ge,
+        4 => Cond::Ltu,
+        5 => Cond::Geu,
+        _ => return None,
+    })
+}
+
+pub fn encode(inst: &AsmInst) -> Result<Vec<u8>, EncodeError> {
+    let name = inst.name();
+    let mut e = Enc::new();
+    match *inst {
+        AsmInst::AluRR { op, rd, rn, rm } => {
+            // Two-operand machine: dst must equal first source. The lowering
+            // pass guarantees rd == rn (inserting moves where needed).
+            if rd != rn {
+                return Err(EncodeError::UnsupportedForm { inst: name });
+            }
+            e.modrm_rr(&alu_rm_opcode(op), reg(name, rd)?, reg(name, rm)?);
+        }
+        AsmInst::AluRI { op, rd, rn, imm } => {
+            if rd != rn {
+                return Err(EncodeError::UnsupportedForm { inst: name });
+            }
+            match op {
+                AluOp::Sll | AluOp::Srl | AluOp::Sra => {
+                    if !(0..64).contains(&imm) {
+                        return Err(EncodeError::ImmOutOfRange { inst: name, imm });
+                    }
+                    let sel = match op {
+                        AluOp::Sll => 4,
+                        AluOp::Srl => 5,
+                        _ => 7,
+                    };
+                    e.modrm_rr(&[OPC_SHIFT_IMM], sel, reg(name, rd)?);
+                    e.out.push(imm as u8);
+                }
+                _ => {
+                    let sel = grp81_sel(op).ok_or(EncodeError::UnsupportedForm { inst: name })?;
+                    if !(i32::MIN as i64..=i32::MAX as i64).contains(&imm) {
+                        return Err(EncodeError::ImmOutOfRange { inst: name, imm });
+                    }
+                    e.modrm_rr(&[OPC_GRP_IMM32], sel, reg(name, rd)?);
+                    e.out.extend_from_slice(&(imm as i32).to_le_bytes());
+                }
+            }
+        }
+        AsmInst::MovZ { rd, imm16, hw } => {
+            // Encoded as mov r, imm32/imm64.
+            let v = (imm16 as u64) << (16 * hw as u64);
+            return encode(&AsmInst::MovImm64 { rd, imm: v as i64 });
+        }
+        AsmInst::MovImm64 { rd, imm } => {
+            if (i32::MIN as i64..=i32::MAX as i64).contains(&imm) {
+                e.modrm_rr(&[OPC_MOV_IMM32], 0, reg(name, rd)?);
+                e.out.extend_from_slice(&(imm as i32).to_le_bytes());
+            } else {
+                e.modrm_rr(&[OPC_MOV_IMM64], 0, reg(name, rd)?);
+                e.out.extend_from_slice(&imm.to_le_bytes());
+            }
+        }
+        AsmInst::Load { w, signed, rd, base, offset } => {
+            let idx = match (w, signed) {
+                (MemWidth::B, false) => 0,
+                (MemWidth::H, false) => 1,
+                (MemWidth::W, false) => 2,
+                (MemWidth::D, _) => 3,
+                (MemWidth::B, true) => 4,
+                (MemWidth::H, true) => 5,
+                (MemWidth::W, true) => 6,
+            };
+            e.modrm_mem(&[OPC_LOAD_BASE + idx], reg(name, rd)?, reg(name, base)?, offset);
+        }
+        AsmInst::Store { w, rs, base, offset } => {
+            let idx = match w {
+                MemWidth::B => 0,
+                MemWidth::H => 1,
+                MemWidth::W => 2,
+                MemWidth::D => 3,
+            };
+            e.modrm_mem(&[OPC_STORE_BASE + idx], reg(name, rs)?, reg(name, base)?, offset);
+        }
+        AsmInst::AluRM { op, rd, base, offset } => {
+            match op {
+                AluOp::Add | AluOp::Sub | AluOp::And | AluOp::Or | AluOp::Xor | AluOp::Mul => {}
+                _ => return Err(EncodeError::UnsupportedForm { inst: name }),
+            }
+            e.modrm_mem(&alu_rm_opcode(op), reg(name, rd)?, reg(name, base)?, offset);
+        }
+        AsmInst::Branch { cond, rn, rm, offset } => {
+            e.modrm_rr(&[OPC_JCC_BASE + cond_idx(cond)], reg(name, rn)?, reg(name, rm)?);
+            e.out.extend_from_slice(&offset.to_le_bytes());
+        }
+        AsmInst::Jmp { offset } => {
+            e.out.push(OPC_JMP_REL);
+            e.out.extend_from_slice(&offset.to_le_bytes());
+        }
+        AsmInst::Call { offset } => {
+            e.out.push(OPC_CALL_REL);
+            e.out.extend_from_slice(&offset.to_le_bytes());
+        }
+        AsmInst::CallInd { rn } => e.modrm_rr(&[OPC_GRP_FF], 2, reg(name, rn)?),
+        AsmInst::JmpInd { rn } => e.modrm_rr(&[OPC_GRP_FF], 4, reg(name, rn)?),
+        AsmInst::MovRR { rd, rs } => {
+            e.modrm_rr(&[OPC_MOV_LOAD], reg(name, rd)?, reg(name, rs)?);
+        }
+        AsmInst::Ret => e.out.push(OPC_RET),
+        AsmInst::Halt => e.out.extend_from_slice(&[OPC_ESCAPE, OPC2_HALT]),
+        AsmInst::Checkpoint => e.out.extend_from_slice(&[OPC_ESCAPE, OPC2_CHECKPOINT]),
+        AsmInst::SwitchCpu => e.out.extend_from_slice(&[OPC_ESCAPE, OPC2_SWITCHCPU]),
+        AsmInst::Iret => e.out.extend_from_slice(&[OPC_ESCAPE, OPC2_IRET]),
+        AsmInst::Nop => e.out.push(OPC_NOP),
+        AsmInst::Lui { .. }
+        | AsmInst::LoadRR { .. }
+        | AsmInst::StoreRR { .. }
+        | AsmInst::MovK { .. } => return Err(EncodeError::UnsupportedForm { inst: name }),
+    }
+    Ok(e.out)
+}
+
+/// Instruction length without encoding (value-dependent only through
+/// already-known operands, never through late-bound branch offsets, which
+/// always use disp32).
+pub fn encoded_len(inst: &AsmInst) -> Result<usize, EncodeError> {
+    encode(inst).map(|b| b.len())
+}
+
+struct Cursor<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        let v = *self.b.get(self.pos).ok_or(DecodeError::Truncated)?;
+        self.pos += 1;
+        Ok(v)
+    }
+
+    fn i8(&mut self) -> Result<i8, DecodeError> {
+        Ok(self.u8()? as i8)
+    }
+
+    fn i32(&mut self) -> Result<i32, DecodeError> {
+        let mut a = [0u8; 4];
+        for x in &mut a {
+            *x = self.u8()?;
+        }
+        Ok(i32::from_le_bytes(a))
+    }
+
+    fn i64(&mut self) -> Result<i64, DecodeError> {
+        let mut a = [0u8; 8];
+        for x in &mut a {
+            *x = self.u8()?;
+        }
+        Ok(i64::from_le_bytes(a))
+    }
+}
+
+struct ModRm {
+    mode: u8,
+    reg: u8,
+    rm: u8,
+    /// Displacement (memory modes only).
+    disp: i32,
+}
+
+fn read_modrm(c: &mut Cursor, rex_r: bool, rex_b: bool) -> Result<ModRm, DecodeError> {
+    let m = c.u8()?;
+    let mode = m >> 6;
+    let mut reg = (m >> 3) & 7;
+    let mut rm = m & 7;
+    if rex_r {
+        reg += 8;
+    }
+    if rex_b {
+        rm += 8;
+    }
+    let disp = match mode {
+        0b01 => c.i8()? as i32,
+        0b10 => c.i32()?,
+        _ => 0,
+    };
+    Ok(ModRm { mode, reg, rm, disp })
+}
+
+fn load_uop(w: MemWidth, signed: bool, rd: u8, base: u8, disp: i32) -> MicroOp {
+    let mut u = MicroOp::bare(Op::Load { w, signed });
+    u.rd = rd;
+    u.rs1 = base;
+    u.imm = disp as i64;
+    u
+}
+
+fn alu_rr_uop(op: AluOp, rd: u8, rn: u8, rm: u8) -> MicroOp {
+    let mut u = MicroOp::bare(Op::Alu(op));
+    u.rd = rd;
+    u.rs1 = rn;
+    u.rs2 = rm;
+    u
+}
+
+pub fn decode(bytes: &[u8]) -> Result<Decoded, DecodeError> {
+    let mut c = Cursor { b: bytes, pos: 0 };
+    let mut op0 = c.u8()?;
+    let (mut rex_r, mut rex_b) = (false, false);
+    if (0x40..0x50).contains(&op0) {
+        // REX-like prefix; bits W (3) and X (2) are don't-care.
+        rex_r = op0 & 0b0010 != 0;
+        rex_b = op0 & 0b0001 != 0;
+        op0 = c.u8()?;
+        if (0x40..0x50).contains(&op0) {
+            return Err(DecodeError::Invalid); // double prefix
+        }
+    }
+
+    let mut uops = UopVec::new();
+    match op0 {
+        OPC_ADD_RM | OPC_OR_RM | OPC_AND_RM | OPC_SUB_RM | OPC_XOR_RM => {
+            let op = match op0 {
+                OPC_ADD_RM => AluOp::Add,
+                OPC_OR_RM => AluOp::Or,
+                OPC_AND_RM => AluOp::And,
+                OPC_SUB_RM => AluOp::Sub,
+                _ => AluOp::Xor,
+            };
+            let m = read_modrm(&mut c, rex_r, rex_b)?;
+            if m.mode == 0b11 {
+                uops.push(alu_rr_uop(op, m.reg, m.reg, m.rm));
+            } else {
+                uops.push(load_uop(MemWidth::D, false, X86_UTMP0, m.rm, m.disp));
+                uops.push(alu_rr_uop(op, m.reg, m.reg, X86_UTMP0));
+            }
+        }
+        o if (OPC_LOAD_BASE..OPC_LOAD_BASE + 7).contains(&o) => {
+            let (w, s) = match o - OPC_LOAD_BASE {
+                0 => (MemWidth::B, false),
+                1 => (MemWidth::H, false),
+                2 => (MemWidth::W, false),
+                3 => (MemWidth::D, false),
+                4 => (MemWidth::B, true),
+                5 => (MemWidth::H, true),
+                _ => (MemWidth::W, true),
+            };
+            let m = read_modrm(&mut c, rex_r, rex_b)?;
+            if m.mode == 0b11 {
+                return Err(DecodeError::Invalid);
+            }
+            uops.push(load_uop(w, s, m.reg, m.rm, m.disp));
+        }
+        o if (OPC_STORE_BASE..OPC_STORE_BASE + 4).contains(&o) => {
+            let w = match o - OPC_STORE_BASE {
+                0 => MemWidth::B,
+                1 => MemWidth::H,
+                2 => MemWidth::W,
+                _ => MemWidth::D,
+            };
+            let m = read_modrm(&mut c, rex_r, rex_b)?;
+            if m.mode == 0b11 {
+                return Err(DecodeError::Invalid);
+            }
+            let mut u = MicroOp::bare(Op::Store { w });
+            u.rs1 = m.rm;
+            u.rs3 = m.reg;
+            u.imm = m.disp as i64;
+            uops.push(u);
+        }
+        o if (OPC_JCC_BASE..OPC_JCC_BASE + 6).contains(&o) => {
+            let m = read_modrm(&mut c, rex_r, rex_b)?;
+            if m.mode != 0b11 {
+                return Err(DecodeError::Invalid);
+            }
+            let disp = c.i32()?;
+            let mut u = MicroOp::bare(Op::Branch(cond_from_idx(o - OPC_JCC_BASE).unwrap()));
+            u.rs1 = m.reg;
+            u.rs2 = m.rm;
+            u.imm = disp as i64;
+            uops.push(u);
+        }
+        OPC_GRP_IMM32 => {
+            let m = read_modrm(&mut c, rex_r, rex_b)?;
+            if m.mode != 0b11 {
+                return Err(DecodeError::Invalid);
+            }
+            let op = grp81_op(m.reg & 7).ok_or(DecodeError::Invalid)?;
+            let imm = c.i32()?;
+            let mut u = MicroOp::bare(Op::AluImm(op));
+            u.rd = m.rm;
+            u.rs1 = m.rm;
+            u.imm = imm as i64;
+            uops.push(u);
+        }
+        OPC_SHIFT_IMM => {
+            let m = read_modrm(&mut c, rex_r, rex_b)?;
+            if m.mode != 0b11 {
+                return Err(DecodeError::Invalid);
+            }
+            let op = match m.reg & 7 {
+                4 => AluOp::Sll,
+                5 => AluOp::Srl,
+                7 => AluOp::Sra,
+                _ => return Err(DecodeError::Invalid),
+            };
+            let sh = c.u8()?;
+            let mut u = MicroOp::bare(Op::AluImm(op));
+            u.rd = m.rm;
+            u.rs1 = m.rm;
+            u.imm = (sh & 63) as i64;
+            uops.push(u);
+        }
+        OPC_MOV_LOAD => {
+            let m = read_modrm(&mut c, rex_r, rex_b)?;
+            if m.mode == 0b11 {
+                let mut u = MicroOp::bare(Op::AluImm(AluOp::Add));
+                u.rd = m.reg;
+                u.rs1 = m.rm;
+                u.imm = 0;
+                uops.push(u);
+            } else {
+                uops.push(load_uop(MemWidth::D, false, m.reg, m.rm, m.disp));
+            }
+        }
+        OPC_MOV_STORE => {
+            let m = read_modrm(&mut c, rex_r, rex_b)?;
+            if m.mode == 0b11 {
+                let mut u = MicroOp::bare(Op::AluImm(AluOp::Add));
+                u.rd = m.rm;
+                u.rs1 = m.reg;
+                u.imm = 0;
+                uops.push(u);
+            } else {
+                let mut u = MicroOp::bare(Op::Store { w: MemWidth::D });
+                u.rs1 = m.rm;
+                u.rs3 = m.reg;
+                u.imm = m.disp as i64;
+                uops.push(u);
+            }
+        }
+        OPC_MOV_IMM32 | OPC_MOV_IMM64 => {
+            let m = read_modrm(&mut c, rex_r, rex_b)?;
+            if m.mode != 0b11 || m.reg & 7 != 0 {
+                return Err(DecodeError::Invalid);
+            }
+            let imm = if op0 == OPC_MOV_IMM32 { c.i32()? as i64 } else { c.i64()? };
+            let mut u = MicroOp::bare(Op::LoadImm);
+            u.rd = m.rm;
+            u.imm = imm;
+            uops.push(u);
+        }
+        OPC_JMP_REL => {
+            let disp = c.i32()?;
+            let mut u = MicroOp::bare(Op::Jal);
+            u.imm = disp as i64;
+            uops.push(u);
+        }
+        OPC_CALL_REL => {
+            let disp = c.i32()?;
+            // Crack: push return address, adjust rsp, jump.
+            let mut link = MicroOp::bare(Op::LinkAddr);
+            link.rd = X86_UTMP0;
+            uops.push(link);
+            let mut st = MicroOp::bare(Op::Store { w: MemWidth::D });
+            st.rs1 = RSP;
+            st.rs3 = X86_UTMP0;
+            st.imm = -8;
+            uops.push(st);
+            let mut sp = MicroOp::bare(Op::AluImm(AluOp::Add));
+            sp.rd = RSP;
+            sp.rs1 = RSP;
+            sp.imm = -8;
+            uops.push(sp);
+            let mut j = MicroOp::bare(Op::Jal);
+            j.imm = disp as i64;
+            uops.push(j);
+        }
+        OPC_RET => {
+            // Crack: pop return address, adjust rsp, indirect jump.
+            uops.push(load_uop(MemWidth::D, false, X86_UTMP0, RSP, 0));
+            let mut sp = MicroOp::bare(Op::AluImm(AluOp::Add));
+            sp.rd = RSP;
+            sp.rs1 = RSP;
+            sp.imm = 8;
+            uops.push(sp);
+            let mut j = MicroOp::bare(Op::Jalr);
+            j.rs1 = X86_UTMP0;
+            uops.push(j);
+        }
+        OPC_GRP_FF => {
+            let m = read_modrm(&mut c, rex_r, rex_b)?;
+            if m.mode != 0b11 {
+                return Err(DecodeError::Invalid);
+            }
+            match m.reg & 7 {
+                4 => {
+                    let mut j = MicroOp::bare(Op::Jalr);
+                    j.rs1 = m.rm;
+                    uops.push(j);
+                }
+                2 => {
+                    let mut link = MicroOp::bare(Op::LinkAddr);
+                    link.rd = X86_UTMP0;
+                    uops.push(link);
+                    let mut st = MicroOp::bare(Op::Store { w: MemWidth::D });
+                    st.rs1 = RSP;
+                    st.rs3 = X86_UTMP0;
+                    st.imm = -8;
+                    uops.push(st);
+                    let mut sp = MicroOp::bare(Op::AluImm(AluOp::Add));
+                    sp.rd = RSP;
+                    sp.rs1 = RSP;
+                    sp.imm = -8;
+                    uops.push(sp);
+                    let mut j = MicroOp::bare(Op::Jalr);
+                    j.rs1 = m.rm;
+                    uops.push(j);
+                }
+                _ => return Err(DecodeError::Invalid),
+            }
+        }
+        OPC_NOP => {
+            uops.push(MicroOp::bare(Op::Nop));
+        }
+        OPC_ESCAPE => {
+            let op1 = c.u8()?;
+            match op1 {
+                OPC2_HALT => uops.push(MicroOp::bare(Op::Halt)),
+                OPC2_CHECKPOINT => uops.push(MicroOp::bare(Op::Checkpoint)),
+                OPC2_SWITCHCPU => uops.push(MicroOp::bare(Op::SwitchCpu)),
+                OPC2_IRET => uops.push(MicroOp::bare(Op::Iret)),
+                OPC2_SLL | OPC2_SRL | OPC2_SRA | OPC2_DIV | OPC2_REM | OPC2_SLT | OPC2_SLTU => {
+                    let op = match op1 {
+                        OPC2_SLL => AluOp::Sll,
+                        OPC2_SRL => AluOp::Srl,
+                        OPC2_SRA => AluOp::Sra,
+                        OPC2_DIV => AluOp::Div,
+                        OPC2_REM => AluOp::Rem,
+                        OPC2_SLT => AluOp::Slt,
+                        _ => AluOp::Sltu,
+                    };
+                    let m = read_modrm(&mut c, rex_r, rex_b)?;
+                    if m.mode != 0b11 {
+                        return Err(DecodeError::Invalid);
+                    }
+                    uops.push(alu_rr_uop(op, m.reg, m.reg, m.rm));
+                }
+                OPC2_IMUL => {
+                    let m = read_modrm(&mut c, rex_r, rex_b)?;
+                    if m.mode == 0b11 {
+                        uops.push(alu_rr_uop(AluOp::Mul, m.reg, m.reg, m.rm));
+                    } else {
+                        uops.push(load_uop(MemWidth::D, false, X86_UTMP0, m.rm, m.disp));
+                        uops.push(alu_rr_uop(AluOp::Mul, m.reg, m.reg, X86_UTMP0));
+                    }
+                }
+                _ => return Err(DecodeError::Invalid),
+            }
+        }
+        _ => return Err(DecodeError::Invalid),
+    }
+    debug_assert!(!uops.is_empty());
+    let call = uops.len() == 4; // only the cracked call forms produce 4 uops
+    let ret = op0 == OPC_RET;
+    Ok(Decoded { len: c.pos as u8, uops, call, ret })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::REG_NONE;
+
+    fn enc(i: AsmInst) -> Vec<u8> {
+        encode(&i).unwrap()
+    }
+
+    fn dec(b: &[u8]) -> Decoded {
+        decode(b).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_alu_rr() {
+        for op in [AluOp::Add, AluOp::Sub, AluOp::And, AluOp::Or, AluOp::Xor, AluOp::Mul, AluOp::Div] {
+            let b = enc(AsmInst::AluRR { op, rd: 5, rn: 5, rm: 12 });
+            let d = dec(&b);
+            assert_eq!(d.len as usize, b.len());
+            assert_eq!(d.uops.len(), 1);
+            let u = d.uops.as_slice()[0];
+            assert_eq!(u.op, Op::Alu(op));
+            assert_eq!((u.rd, u.rs1, u.rs2), (5, 5, 12));
+        }
+    }
+
+    #[test]
+    fn two_operand_constraint() {
+        assert!(encode(&AsmInst::AluRR { op: AluOp::Add, rd: 1, rn: 2, rm: 3 }).is_err());
+    }
+
+    #[test]
+    fn prefix_only_when_high_regs() {
+        let lo = enc(AsmInst::AluRR { op: AluOp::Add, rd: 1, rn: 1, rm: 2 });
+        let hi = enc(AsmInst::AluRR { op: AluOp::Add, rd: 9, rn: 9, rm: 2 });
+        assert_eq!(lo.len() + 1, hi.len());
+        assert!((0x40..0x50).contains(&hi[0]));
+    }
+
+    #[test]
+    fn prefix_w_x_bits_dont_care() {
+        let mut b = enc(AsmInst::AluRR { op: AluOp::Add, rd: 9, rn: 9, rm: 2 });
+        let before = dec(&b);
+        b[0] ^= 0b1100; // flip W and X
+        assert_eq!(dec(&b), before);
+    }
+
+    #[test]
+    fn alu_mem_cracks_to_two_uops() {
+        let b = enc(AsmInst::AluRM { op: AluOp::Add, rd: 3, base: 6, offset: 256 });
+        let d = dec(&b);
+        assert_eq!(d.uops.len(), 2);
+        let l = d.uops.as_slice()[0];
+        let a = d.uops.as_slice()[1];
+        assert!(l.op.is_load());
+        assert_eq!(l.rd, X86_UTMP0);
+        assert_eq!(l.imm, 256);
+        assert_eq!(a.op, Op::Alu(AluOp::Add));
+        assert_eq!((a.rd, a.rs1, a.rs2), (3, 3, X86_UTMP0));
+    }
+
+    #[test]
+    fn disp8_vs_disp32_length() {
+        let short = enc(AsmInst::Load { w: MemWidth::D, signed: false, rd: 1, base: 2, offset: 16 });
+        let long = enc(AsmInst::Load { w: MemWidth::D, signed: false, rd: 1, base: 2, offset: 4096 });
+        assert_eq!(short.len() + 3, long.len());
+        assert_eq!(dec(&short).uops.as_slice()[0].imm, 16);
+        assert_eq!(dec(&long).uops.as_slice()[0].imm, 4096);
+    }
+
+    #[test]
+    fn call_cracks_to_four_uops() {
+        let b = enc(AsmInst::Call { offset: 1000 });
+        let d = dec(&b);
+        assert_eq!(d.uops.len(), 4);
+        let s = d.uops.as_slice();
+        assert_eq!(s[0].op, Op::LinkAddr);
+        assert!(s[1].op.is_store());
+        assert_eq!(s[1].rs1, RSP);
+        assert_eq!(s[1].imm, -8);
+        assert_eq!(s[3].op, Op::Jal);
+        assert_eq!(s[3].imm, 1000);
+    }
+
+    #[test]
+    fn ret_cracks_to_three_uops() {
+        let d = dec(&enc(AsmInst::Ret));
+        assert_eq!(d.uops.len(), 3);
+        let s = d.uops.as_slice();
+        assert!(s[0].op.is_load());
+        assert_eq!(s[2].op, Op::Jalr);
+        assert_eq!(s[2].rs1, X86_UTMP0);
+    }
+
+    #[test]
+    fn roundtrip_branches() {
+        for c in Cond::ALL {
+            let b = enc(AsmInst::Branch { cond: c, rn: 3, rm: 14, offset: -100 });
+            let d = dec(&b);
+            let u = d.uops.as_slice()[0];
+            assert_eq!(u.op, Op::Branch(c));
+            assert_eq!((u.rs1, u.rs2), (3, 14));
+            assert_eq!(u.imm, -100);
+        }
+    }
+
+    #[test]
+    fn roundtrip_mov_imm() {
+        let b = enc(AsmInst::MovImm64 { rd: 7, imm: -5 });
+        assert_eq!(dec(&b).uops.as_slice()[0].imm, -5);
+        let b = enc(AsmInst::MovImm64 { rd: 7, imm: 0x1234_5678_9ABC });
+        assert_eq!(dec(&b).uops.as_slice()[0].imm, 0x1234_5678_9ABC);
+        let b = enc(AsmInst::MovZ { rd: 2, imm16: 0xFFFF, hw: 3 });
+        assert_eq!(dec(&b).uops.as_slice()[0].imm as u64, 0xFFFF_0000_0000_0000);
+    }
+
+    #[test]
+    fn roundtrip_sized_mem() {
+        for (w, s) in [(MemWidth::B, true), (MemWidth::H, false), (MemWidth::W, true)] {
+            let b = enc(AsmInst::Load { w, signed: s, rd: 1, base: 2, offset: 8 });
+            let u = dec(&b).uops.as_slice()[0];
+            assert_eq!(u.op, Op::Load { w, signed: s });
+        }
+        let b = enc(AsmInst::Store { w: MemWidth::B, rs: 1, base: 2, offset: 0 });
+        let u = dec(&b).uops.as_slice()[0];
+        assert_eq!(u.op, Op::Store { w: MemWidth::B });
+        assert_eq!(u.rs3, 1);
+    }
+
+    #[test]
+    fn reg_moves() {
+        let b = enc(AsmInst::AluRI { op: AluOp::Add, rd: 1, rn: 1, imm: 0 });
+        assert_eq!(dec(&b).uops.as_slice()[0].op, Op::AluImm(AluOp::Add));
+    }
+
+    #[test]
+    fn sys_ops() {
+        assert_eq!(dec(&enc(AsmInst::Halt)).uops.as_slice()[0].op, Op::Halt);
+        assert_eq!(dec(&enc(AsmInst::Nop)).uops.as_slice()[0].op, Op::Nop);
+        assert_eq!(dec(&enc(AsmInst::Checkpoint)).uops.as_slice()[0].op, Op::Checkpoint);
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let b = enc(AsmInst::Jmp { offset: 123456 });
+        assert_eq!(decode(&b[..2]), Err(DecodeError::Truncated));
+        assert_eq!(decode(&[]), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn invalid_encodings() {
+        assert_eq!(decode(&[0xFE, 0x00]), Err(DecodeError::Invalid));
+        // mod=11 on a sized load is invalid
+        assert_eq!(decode(&[OPC_LOAD_BASE, 0b11_000_000]), Err(DecodeError::Invalid));
+        // double prefix
+        assert_eq!(decode(&[0x41, 0x42, 0x90]), Err(DecodeError::Invalid));
+    }
+
+    #[test]
+    fn high_registers_via_prefix_roundtrip() {
+        let b = enc(AsmInst::Store { w: MemWidth::D, rs: 13, base: 12, offset: -64 });
+        let u = dec(&b).uops.as_slice()[0];
+        assert_eq!((u.rs1, u.rs3), (12, 13));
+        assert_eq!(u.imm, -64);
+    }
+
+    #[test]
+    fn unused_reg_fields_are_none() {
+        let u = dec(&enc(AsmInst::Jmp { offset: 4 })).uops.as_slice()[0];
+        assert_eq!(u.rd, REG_NONE);
+    }
+}

@@ -1,0 +1,136 @@
+//! Property tests: every encodable instruction decodes back to micro-ops
+//! with the same architectural semantics, on every ISA flavour.
+
+use marvel_isa::{AluOp, AsmInst, Cond, Isa, MemWidth, Op};
+use proptest::prelude::*;
+
+fn arb_alu() -> impl Strategy<Value = AluOp> {
+    prop::sample::select(AluOp::ALL.to_vec())
+}
+
+fn arb_cond() -> impl Strategy<Value = Cond> {
+    prop::sample::select(Cond::ALL.to_vec())
+}
+
+fn arb_width() -> impl Strategy<Value = MemWidth> {
+    prop::sample::select(MemWidth::ALL.to_vec())
+}
+
+/// Register valid in every ISA flavour (x86 has only 16).
+fn arb_reg() -> impl Strategy<Value = u8> {
+    0u8..16
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn alu_rr_roundtrips(op in arb_alu(), rd in arb_reg(), rm in arb_reg()) {
+        for isa in Isa::ALL {
+            // x86 is two-operand: rd == rn everywhere for portability.
+            let inst = AsmInst::AluRR { op, rd, rn: rd, rm };
+            let bytes = isa.encode(&inst).unwrap();
+            prop_assert_eq!(bytes.len(), isa.encoded_len(&inst).unwrap());
+            let d = isa.decode(&bytes).unwrap();
+            prop_assert_eq!(d.len as usize, bytes.len());
+            prop_assert_eq!(d.uops.len(), 1);
+            let u = d.uops.as_slice()[0];
+            prop_assert_eq!(u.op, Op::Alu(op));
+            prop_assert_eq!(u.rd, rd);
+            prop_assert_eq!(u.rs2, rm);
+        }
+    }
+
+    #[test]
+    fn alu_ri_roundtrips(op in arb_alu(), rd in arb_reg(), imm in -256i64..256) {
+        // Immediate forms exist for these ops in every flavour.
+        prop_assume!(matches!(
+            op,
+            AluOp::Add | AluOp::And | AluOp::Or | AluOp::Xor | AluOp::Slt | AluOp::Sltu
+        ));
+        for isa in Isa::ALL {
+            let inst = AsmInst::AluRI { op, rd, rn: rd, imm };
+            let bytes = isa.encode(&inst).unwrap();
+            let d = isa.decode(&bytes).unwrap();
+            let u = d.uops.as_slice()[0];
+            prop_assert_eq!(u.op, Op::AluImm(op));
+            prop_assert_eq!(u.imm, imm);
+        }
+    }
+
+    #[test]
+    fn shift_imm_roundtrips(rd in arb_reg(), sh in 0i64..64) {
+        for isa in Isa::ALL {
+            for op in [AluOp::Sll, AluOp::Srl, AluOp::Sra] {
+                let inst = AsmInst::AluRI { op, rd, rn: rd, imm: sh };
+                let bytes = isa.encode(&inst).unwrap();
+                let u = isa.decode(&bytes).unwrap().uops.as_slice()[0];
+                prop_assert_eq!(u.op, Op::AluImm(op));
+                prop_assert_eq!(u.imm, sh);
+            }
+        }
+    }
+
+    #[test]
+    fn load_store_roundtrip(w in arb_width(), rd in arb_reg(), base in arb_reg(), off in -31i32..32) {
+        // Offset scaled so the Arm flavour's scaled-imm9 form accepts it.
+        let offset = off * w.bytes() as i32;
+        for isa in Isa::ALL {
+            let l = AsmInst::Load { w, signed: false, rd, base, offset };
+            let bytes = isa.encode(&l).unwrap();
+            let u = isa.decode(&bytes).unwrap().uops.as_slice()[0];
+            prop_assert_eq!(u.op, Op::Load { w, signed: false });
+            prop_assert_eq!(u.imm, offset as i64);
+            prop_assert_eq!(u.rs1, base);
+
+            let s = AsmInst::Store { w, rs: rd, base, offset };
+            let bytes = isa.encode(&s).unwrap();
+            let u = isa.decode(&bytes).unwrap().uops.as_slice()[0];
+            prop_assert_eq!(u.op, Op::Store { w });
+            prop_assert_eq!(u.rs3, rd);
+            prop_assert_eq!(u.imm, offset as i64);
+        }
+    }
+
+    #[test]
+    fn branch_roundtrip(c in arb_cond(), rn in arb_reg(), rm in arb_reg(), off in -512i32..512) {
+        let offset = off * 4;
+        for isa in Isa::ALL {
+            let inst = AsmInst::Branch { cond: c, rn, rm, offset };
+            let bytes = isa.encode(&inst).unwrap();
+            let u = isa.decode(&bytes).unwrap().uops.as_slice()[0];
+            prop_assert_eq!(u.op, Op::Branch(c));
+            prop_assert_eq!(u.imm, offset as i64);
+        }
+    }
+
+    #[test]
+    fn alu_eval_matches_host_semantics(a in any::<u64>(), b in any::<u64>()) {
+        // Add/Sub/logic/shifts agree with two's-complement host arithmetic.
+        let isa = Isa::RiscV;
+        prop_assert_eq!(AluOp::Add.eval(a, b, isa).unwrap(), a.wrapping_add(b));
+        prop_assert_eq!(AluOp::Sub.eval(a, b, isa).unwrap(), a.wrapping_sub(b));
+        prop_assert_eq!(AluOp::Xor.eval(a, b, isa).unwrap(), a ^ b);
+        prop_assert_eq!(AluOp::Sll.eval(a, b, isa).unwrap(), a.wrapping_shl((b & 63) as u32));
+        prop_assert_eq!(AluOp::Mul.eval(a, b, isa).unwrap(), a.wrapping_mul(b));
+        if b != 0 {
+            prop_assert_eq!(
+                AluOp::Div.eval(a, b, isa).unwrap() as i64,
+                (a as i64).wrapping_div(b as i64)
+            );
+        }
+    }
+
+    #[test]
+    fn decoder_never_panics_on_random_bytes(bytes in prop::collection::vec(any::<u8>(), 1..16)) {
+        for isa in Isa::ALL {
+            let _ = isa.decode(&bytes); // must not panic
+        }
+    }
+
+    #[test]
+    fn memwidth_extend_idempotent(v in any::<u64>(), w in arb_width(), s in any::<bool>()) {
+        let once = w.extend(v, s);
+        prop_assert_eq!(w.extend(once, s), once);
+    }
+}

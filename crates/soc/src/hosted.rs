@@ -1,0 +1,275 @@
+//! Host-driven accelerator wrapper: the SALAM flow where the CPU programs
+//! the accelerator's MMRs, DMA moves data between system RAM and the
+//! accelerator's SPMs/RegBanks, and completion is signalled by interrupt.
+
+use marvel_accel::mmr::{CTRL_START, MMR_CTRL, MMR_STATUS, STATUS_DONE, STATUS_ERROR};
+use marvel_accel::{AccelState, Accelerator, DmaDir, DmaEngine, DmaJob, MemRef};
+use marvel_ir::memmap::RAM_BASE;
+
+/// One entry of an accelerator's DMA plan. The RAM address comes from MMR
+/// data register `addr_arg` at start time, so the host chooses buffers.
+#[derive(Debug, Clone, Copy)]
+pub struct DmaPlanEntry {
+    pub dir: DmaDir,
+    /// Index of the MMR data register holding the RAM byte address.
+    pub addr_arg: usize,
+    pub mem: MemRef,
+    pub mem_off: usize,
+    pub len: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum HState {
+    Idle,
+    DmaIn,
+    Compute,
+    DmaOut,
+    Done,
+}
+
+/// An accelerator plus its DMA engine and host-interface state machine.
+#[derive(Debug, Clone)]
+pub struct HostedAccel {
+    pub accel: Accelerator,
+    pub dma: DmaEngine,
+    pub plan_in: Vec<DmaPlanEntry>,
+    pub plan_out: Vec<DmaPlanEntry>,
+    /// MMR data registers passed as CDFG entry arguments.
+    pub compute_args: Vec<usize>,
+    state: HState,
+    /// Edge-triggered completion interrupt (consumed by the SoC).
+    pub irq_out: bool,
+    /// Total cycles spent per phase (reporting).
+    pub dma_cycles: u64,
+    pub compute_cycles: u64,
+}
+
+impl HostedAccel {
+    pub fn new(
+        mut accel: Accelerator,
+        plan_in: Vec<DmaPlanEntry>,
+        plan_out: Vec<DmaPlanEntry>,
+        compute_args: Vec<usize>,
+    ) -> Self {
+        let max_reg = plan_in
+            .iter()
+            .chain(&plan_out)
+            .map(|e| e.addr_arg + 1)
+            .chain(compute_args.iter().map(|&i| i + 1))
+            .max()
+            .unwrap_or(0);
+        accel.mmr.ensure_data_regs(max_reg);
+        HostedAccel {
+            accel,
+            dma: DmaEngine::new(8),
+            plan_in,
+            plan_out,
+            compute_args,
+            state: HState::Idle,
+            irq_out: false,
+            dma_cycles: 0,
+            compute_cycles: 0,
+        }
+    }
+
+    /// Host MMR write (8-byte registers).
+    pub fn mmr_write(&mut self, reg: usize, val: u64) -> Option<()> {
+        self.accel.mmr.write(reg, val)
+    }
+
+    /// Host MMR read.
+    pub fn mmr_read(&mut self, reg: usize) -> Option<u64> {
+        self.accel.mmr.read(reg)
+    }
+
+    pub fn busy(&self) -> bool {
+        !matches!(self.state, HState::Idle | HState::Done)
+    }
+
+    fn queue_plan(&mut self, entries: &[DmaPlanEntry]) -> bool {
+        for e in entries.iter() {
+            let ram_addr = self.accel.mmr.peek(marvel_accel::mmr::MMR_DATA0 + e.addr_arg);
+            if ram_addr < RAM_BASE {
+                return false;
+            }
+            self.dma.push(DmaJob {
+                dir: e.dir,
+                ram_off: (ram_addr - RAM_BASE) as usize,
+                mem: e.mem,
+                mem_off: e.mem_off,
+                len: e.len,
+            });
+        }
+        true
+    }
+
+    fn fail(&mut self) {
+        self.accel.mmr.poke(MMR_STATUS, STATUS_DONE | STATUS_ERROR);
+        self.state = HState::Done;
+        self.irq_out = true;
+    }
+
+    /// Advance one cycle. `ram` is the system RAM.
+    pub fn tick(&mut self, ram: &mut [u8]) {
+        match self.state {
+            HState::Idle | HState::Done => {
+                if self.accel.mmr.peek(MMR_CTRL) & CTRL_START != 0 {
+                    self.accel.mmr.poke(MMR_CTRL, 0);
+                    self.accel.mmr.poke(MMR_STATUS, 0);
+                    self.accel.reset();
+                    let plan = self.plan_in.clone();
+                    if !self.queue_plan(&plan) {
+                        self.fail();
+                        return;
+                    }
+                    self.state = HState::DmaIn;
+                }
+            }
+            HState::DmaIn => {
+                self.dma_cycles += 1;
+                if !self.dma.tick(ram, &mut self.accel) {
+                    self.fail();
+                    return;
+                }
+                if !self.dma.busy() {
+                    let args: Vec<u64> = self
+                        .compute_args
+                        .iter()
+                        .map(|&i| self.accel.mmr.peek(marvel_accel::mmr::MMR_DATA0 + i))
+                        .collect();
+                    self.accel.start(&args);
+                    self.state = HState::Compute;
+                }
+            }
+            HState::Compute => {
+                self.compute_cycles += 1;
+                match self.accel.tick() {
+                    AccelState::Done => {
+                        // Suppress the accelerator's own IRQ until DMA-out
+                        // completes; the host must not read stale results.
+                        self.accel.irq = false;
+                        let plan = self.plan_out.clone();
+                        if !self.queue_plan(&plan) {
+                            self.fail();
+                            return;
+                        }
+                        self.state = HState::DmaOut;
+                    }
+                    AccelState::Error(_) => {
+                        self.accel.irq = false;
+                        self.state = HState::Done;
+                        self.irq_out = true;
+                    }
+                    _ => {}
+                }
+            }
+            HState::DmaOut => {
+                self.dma_cycles += 1;
+                if !self.dma.tick(ram, &mut self.accel) {
+                    self.fail();
+                    return;
+                }
+                if !self.dma.busy() {
+                    self.state = HState::Done;
+                    self.irq_out = true;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marvel_accel::air::CdfgBuilder;
+    use marvel_accel::{FuConfig, Sram, SramKind};
+    use marvel_isa::AluOp;
+
+    /// OUT[i] = IN[i] + 1 for i in 0..arg0
+    fn inc_accel() -> Accelerator {
+        let mut g = CdfgBuilder::new();
+        let entry = g.block(1);
+        let body = g.block(2);
+        let done = g.block(0);
+        g.select(entry);
+        let n = g.arg(0);
+        let z = g.konst(0);
+        g.jump(body, &[z, n]);
+        g.select(body);
+        let i = g.arg(0);
+        let n = g.arg(1);
+        let eight = g.konst(8);
+        let addr = g.alu(AluOp::Mul, i, eight);
+        let v = g.load(MemRef::Spm(0), 8, addr);
+        let one = g.konst(1);
+        let v2 = g.alu(AluOp::Add, v, one);
+        g.store(MemRef::Spm(1), 8, addr, v2);
+        let i2 = g.alu(AluOp::Add, i, one);
+        let more = g.alu(AluOp::Sltu, i2, n);
+        g.branch(more, body, &[i2, n], done, &[]);
+        g.select(done);
+        g.finish();
+        Accelerator::new(
+            "inc",
+            g.build().unwrap(),
+            FuConfig::default(),
+            vec![Sram::new("IN", SramKind::Spm, 64, 2), Sram::new("OUT", SramKind::Spm, 64, 2)],
+            vec![],
+            1,
+        )
+    }
+
+    #[test]
+    fn full_hosted_flow() {
+        let a = inc_accel();
+        let mut h = HostedAccel::new(
+            a,
+            vec![DmaPlanEntry { dir: DmaDir::ToSram, addr_arg: 1, mem: MemRef::Spm(0), mem_off: 0, len: 64 }],
+            vec![DmaPlanEntry { dir: DmaDir::ToRam, addr_arg: 2, mem: MemRef::Spm(1), mem_off: 0, len: 64 }],
+            vec![0], // arg0 = element count from data reg 0
+        );
+        let mut ram = vec![0u8; 4096];
+        for i in 0..8u64 {
+            ram[(i * 8) as usize..(i * 8 + 8) as usize].copy_from_slice(&(i * 10).to_le_bytes());
+        }
+        // Program MMRs: count=8, in at RAM_BASE+0, out at RAM_BASE+1024.
+        h.mmr_write(marvel_accel::mmr::MMR_DATA0, 8).unwrap();
+        h.mmr_write(marvel_accel::mmr::MMR_DATA0 + 1, RAM_BASE).unwrap();
+        h.mmr_write(marvel_accel::mmr::MMR_DATA0 + 2, RAM_BASE + 1024).unwrap();
+        h.mmr_write(MMR_CTRL, CTRL_START).unwrap();
+        for _ in 0..100_000 {
+            h.tick(&mut ram);
+            if h.irq_out {
+                break;
+            }
+        }
+        assert!(h.irq_out, "hosted flow must raise completion IRQ");
+        assert_eq!(h.mmr_read(MMR_STATUS).unwrap() & STATUS_DONE, STATUS_DONE);
+        for i in 0..8u64 {
+            let off = 1024 + (i * 8) as usize;
+            let v = u64::from_le_bytes(ram[off..off + 8].try_into().unwrap());
+            assert_eq!(v, i * 10 + 1);
+        }
+        assert!(h.dma_cycles > 0 && h.compute_cycles > 0);
+    }
+
+    #[test]
+    fn bad_dma_address_fails_gracefully() {
+        let a = inc_accel();
+        let mut h = HostedAccel::new(
+            a,
+            vec![DmaPlanEntry { dir: DmaDir::ToSram, addr_arg: 1, mem: MemRef::Spm(0), mem_off: 0, len: 64 }],
+            vec![],
+            vec![0],
+        );
+        let mut ram = vec![0u8; 128];
+        h.mmr_write(marvel_accel::mmr::MMR_DATA0, 8).unwrap();
+        h.mmr_write(marvel_accel::mmr::MMR_DATA0 + 1, 0x10).unwrap(); // below RAM_BASE
+        h.mmr_write(MMR_CTRL, CTRL_START).unwrap();
+        for _ in 0..100 {
+            h.tick(&mut ram);
+        }
+        assert!(h.irq_out);
+        assert_eq!(h.mmr_read(MMR_STATUS).unwrap() & STATUS_ERROR, STATUS_ERROR);
+    }
+}

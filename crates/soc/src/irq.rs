@@ -1,0 +1,180 @@
+//! Interrupt controllers: GIC-flavour (Arm), PLIC-flavour (RISC-V) and
+//! APIC-flavour (x86).
+//!
+//! The paper's port of gem5-SALAM from Arm to RISC-V hinged on translating
+//! GIC interrupt delivery to the PLIC; this module models the three
+//! controllers behind one register-block interface so the same SoC
+//! composition works for every ISA flavour. The programming models differ
+//! in where claim/complete live:
+//!
+//! | controller | claim (read)      | complete (write)   |
+//! |------------|-------------------|--------------------|
+//! | GIC        | `0x08` (IAR)      | `0x10` (EOIR)      |
+//! | PLIC       | `0x08` (claim)    | `0x08` (complete)  |
+//! | APIC       | `0x08` (vector)   | `0x10` (EOI)       |
+//!
+//! Offset `0x00` always reads the raw pending mask.
+
+use marvel_isa::Isa;
+
+/// Controller flavour (selected by the SoC from the CPU ISA).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IrqCtrlKind {
+    Gic,
+    Plic,
+    Apic,
+}
+
+impl IrqCtrlKind {
+    /// The natural controller for an ISA flavour.
+    pub fn for_isa(isa: Isa) -> Self {
+        match isa {
+            Isa::Arm => IrqCtrlKind::Gic,
+            Isa::RiscV => IrqCtrlKind::Plic,
+            Isa::X86 => IrqCtrlKind::Apic,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            IrqCtrlKind::Gic => "GIC",
+            IrqCtrlKind::Plic => "PLIC",
+            IrqCtrlKind::Apic => "APIC",
+        }
+    }
+
+    /// Byte offset of the claim register.
+    pub fn claim_offset(self) -> u64 {
+        0x08
+    }
+
+    /// Byte offset of the complete/EOI register.
+    pub fn complete_offset(self) -> u64 {
+        match self {
+            IrqCtrlKind::Plic => 0x08,
+            IrqCtrlKind::Gic | IrqCtrlKind::Apic => 0x10,
+        }
+    }
+}
+
+/// A small level-style interrupt controller with claim/complete semantics.
+/// Sources are numbered 1..=32 (0 means "no interrupt", as in the PLIC).
+#[derive(Debug, Clone)]
+pub struct IrqController {
+    pub kind: IrqCtrlKind,
+    pending: u32,
+    in_service: u32,
+    pub claims: u64,
+    pub completions: u64,
+}
+
+impl IrqController {
+    pub fn new(kind: IrqCtrlKind) -> Self {
+        IrqController { kind, pending: 0, in_service: 0, claims: 0, completions: 0 }
+    }
+
+    /// Post (edge) interrupt from source `src` (1-based).
+    pub fn post(&mut self, src: u32) {
+        assert!((1..=32).contains(&src));
+        self.pending |= 1 << (src - 1);
+    }
+
+    /// Level seen by the CPU: any pending, not-in-service source.
+    pub fn line(&self) -> bool {
+        self.pending & !self.in_service != 0
+    }
+
+    /// Claim the highest-priority (lowest-numbered) pending source.
+    /// Returns 0 when nothing is pending.
+    pub fn claim(&mut self) -> u32 {
+        let avail = self.pending & !self.in_service;
+        if avail == 0 {
+            return 0;
+        }
+        let src = avail.trailing_zeros() + 1;
+        self.in_service |= 1 << (src - 1);
+        self.pending &= !(1 << (src - 1));
+        self.claims += 1;
+        src
+    }
+
+    /// Complete servicing `src`.
+    pub fn complete(&mut self, src: u32) {
+        if (1..=32).contains(&src) {
+            self.in_service &= !(1 << (src - 1));
+            self.completions += 1;
+        }
+    }
+
+    /// Register-block read at byte offset `off`.
+    pub fn mmio_read(&mut self, off: u64) -> Option<u64> {
+        if off == 0 {
+            Some(self.pending as u64)
+        } else if off == self.kind.claim_offset() {
+            Some(self.claim() as u64)
+        } else {
+            None
+        }
+    }
+
+    /// Register-block write at byte offset `off`.
+    pub fn mmio_write(&mut self, off: u64, val: u64) -> Option<()> {
+        if off == self.kind.complete_offset() {
+            self.complete(val as u32);
+            Some(())
+        } else if off == 0x18 {
+            // Software-triggered interrupt (test aid).
+            self.post((val as u32).clamp(1, 32));
+            Some(())
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_match_isas() {
+        assert_eq!(IrqCtrlKind::for_isa(Isa::Arm), IrqCtrlKind::Gic);
+        assert_eq!(IrqCtrlKind::for_isa(Isa::RiscV), IrqCtrlKind::Plic);
+        assert_eq!(IrqCtrlKind::for_isa(Isa::X86), IrqCtrlKind::Apic);
+        assert_eq!(IrqCtrlKind::Plic.complete_offset(), IrqCtrlKind::Plic.claim_offset());
+        assert_ne!(IrqCtrlKind::Gic.complete_offset(), IrqCtrlKind::Gic.claim_offset());
+    }
+
+    #[test]
+    fn post_claim_complete_cycle() {
+        let mut c = IrqController::new(IrqCtrlKind::Plic);
+        assert!(!c.line());
+        c.post(3);
+        assert!(c.line());
+        let src = c.claim();
+        assert_eq!(src, 3);
+        assert!(!c.line(), "claimed interrupt no longer asserts the line");
+        c.complete(3);
+        assert_eq!(c.completions, 1);
+    }
+
+    #[test]
+    fn priority_is_lowest_source_first() {
+        let mut c = IrqController::new(IrqCtrlKind::Gic);
+        c.post(5);
+        c.post(2);
+        assert_eq!(c.claim(), 2);
+        assert_eq!(c.claim(), 5);
+        assert_eq!(c.claim(), 0);
+    }
+
+    #[test]
+    fn mmio_interface() {
+        let mut c = IrqController::new(IrqCtrlKind::Plic);
+        c.post(1);
+        assert_eq!(c.mmio_read(0), Some(1));
+        assert_eq!(c.mmio_read(8), Some(1)); // claim source 1
+        assert!(c.mmio_write(8, 1).is_some()); // complete
+        assert_eq!(c.mmio_read(0x30), None);
+    }
+}

@@ -1,0 +1,107 @@
+//! Hand-assembled interrupt service routine stubs, one per ISA flavour.
+//!
+//! The stub preserves the two scratch registers it uses in the red zone
+//! below the stack pointer, claims the interrupt from the controller,
+//! completes it, stores `source + 1` to [`IRQ_FLAG_ADDR`] for the polling
+//! program, restores the registers and returns with `iret`.
+
+use crate::irq::IrqCtrlKind;
+use marvel_ir::memmap::{IRQ_CTRL_BASE, IRQ_FLAG_ADDR};
+use marvel_isa::{AluOp, AsmInst, Isa, MemWidth};
+
+/// Materialise a 32-bit absolute value into `rd` (fixed per-ISA forms).
+fn mat32(isa: Isa, rd: u8, v: u64) -> Vec<AsmInst> {
+    debug_assert!(v < (1 << 31));
+    match isa {
+        Isa::RiscV => {
+            let v = v as i64;
+            let hi = (v + 0x800) >> 12;
+            let lo = v - (hi << 12);
+            vec![
+                AsmInst::Lui { rd, imm20: hi as i32 },
+                AsmInst::AluRI { op: AluOp::Add, rd, rn: rd, imm: lo },
+            ]
+        }
+        Isa::Arm => vec![
+            AsmInst::MovZ { rd, imm16: v as u16, hw: 0 },
+            AsmInst::MovK { rd, imm16: (v >> 16) as u16, hw: 1 },
+        ],
+        Isa::X86 => vec![AsmInst::MovImm64 { rd, imm: v as i64 }],
+    }
+}
+
+/// Build the ISR machine code for `isa` and the given controller flavour.
+pub fn build_isr(isa: Isa, kind: IrqCtrlKind) -> Vec<u8> {
+    let spec = isa.reg_spec();
+    let (s0, s1) = (spec.scratch[0], spec.scratch[1]);
+    let sp = spec.sp;
+    let mut insts: Vec<AsmInst> = Vec::new();
+    // Save scratch registers in the red zone.
+    insts.push(AsmInst::Store { w: MemWidth::D, rs: s0, base: sp, offset: -8 });
+    insts.push(AsmInst::Store { w: MemWidth::D, rs: s1, base: sp, offset: -16 });
+    // Claim and complete.
+    insts.extend(mat32(isa, s0, IRQ_CTRL_BASE));
+    insts.push(AsmInst::Load {
+        w: MemWidth::D,
+        signed: false,
+        rd: s1,
+        base: s0,
+        offset: kind.claim_offset() as i32,
+    });
+    insts.push(AsmInst::Store {
+        w: MemWidth::D,
+        rs: s1,
+        base: s0,
+        offset: kind.complete_offset() as i32,
+    });
+    // Publish source + 1 to the flag word.
+    insts.push(AsmInst::AluRI { op: AluOp::Add, rd: s1, rn: s1, imm: 1 });
+    insts.extend(mat32(isa, s0, IRQ_FLAG_ADDR));
+    insts.push(AsmInst::Store { w: MemWidth::D, rs: s1, base: s0, offset: 0 });
+    // Restore and return.
+    insts.push(AsmInst::Load { w: MemWidth::D, signed: false, rd: s0, base: sp, offset: -8 });
+    insts.push(AsmInst::Load { w: MemWidth::D, signed: false, rd: s1, base: sp, offset: -16 });
+    insts.push(AsmInst::Iret);
+
+    let mut out = Vec::new();
+    for i in &insts {
+        out.extend(isa.encode(i).expect("ISR instructions always encodable"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isr_encodes_and_decodes_for_all_isas() {
+        for isa in Isa::ALL {
+            let kind = IrqCtrlKind::for_isa(isa);
+            let code = build_isr(isa, kind);
+            assert!(!code.is_empty());
+            // Every instruction must decode back.
+            let mut pc = 0;
+            let mut n = 0;
+            let mut saw_iret = false;
+            while pc < code.len() {
+                let d = isa.decode(&code[pc..]).unwrap_or_else(|e| panic!("{isa}: {e:?} at {pc}"));
+                if d.uops.as_slice().iter().any(|u| u.op == marvel_isa::Op::Iret) {
+                    saw_iret = true;
+                }
+                pc += d.len as usize;
+                n += 1;
+            }
+            assert!(saw_iret, "{isa}: ISR must end in iret");
+            assert!(n >= 9, "{isa}: suspiciously short ISR");
+        }
+    }
+
+    #[test]
+    fn isr_fits_the_vector_page() {
+        for isa in Isa::ALL {
+            let code = build_isr(isa, IrqCtrlKind::for_isa(isa));
+            assert!(code.len() < 0x200, "{isa}: ISR too large");
+        }
+    }
+}

@@ -1,0 +1,488 @@
+//! The heterogeneous system: core + RAM + console + interrupt controller +
+//! hosted accelerators, with a unified fault-injection surface and
+//! clone-based checkpointing.
+
+use crate::hosted::HostedAccel;
+use crate::irq::{IrqCtrlKind, IrqController};
+use crate::isr::build_isr;
+use marvel_cpu::{Bus, Core, CoreConfig, FaultFate, StepEvent};
+use marvel_ir::memmap::{
+    ACCEL_MMR_BASE, ACCEL_MMR_STRIDE, CONSOLE_ADDR, IRQ_CTRL_BASE, IRQ_CTRL_SIZE, IRQ_VECTOR,
+    RAM_BASE, RAM_SIZE,
+};
+use marvel_ir::Binary;
+use marvel_isa::Trap;
+
+/// All fault-injection targets of the heterogeneous SoC.
+///
+/// CPU-side targets follow the paper's Section IV-E list; DSA-side targets
+/// are the Table IV scratchpads, register banks and MMR blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Target {
+    /// Integer physical register file.
+    PrfInt,
+    /// Floating-point physical register file.
+    PrfFp,
+    /// L1 instruction cache data array.
+    L1I,
+    /// L1 data cache data array.
+    L1D,
+    /// L2 cache data array.
+    L2,
+    LoadQueue,
+    StoreQueue,
+    /// Reorder-buffer result fields.
+    Rob,
+    /// Speculative rename map.
+    RenameMap,
+    /// Scratchpad `mem` of accelerator `accel`.
+    Spm { accel: usize, mem: usize },
+    /// Register bank `mem` of accelerator `accel`.
+    RegBank { accel: usize, mem: usize },
+    /// MMR block of accelerator `accel`.
+    Mmr { accel: usize },
+}
+
+impl Target {
+    /// CPU-side targets (no accelerator indices needed).
+    pub const CPU_ALL: [Target; 9] = [
+        Target::PrfInt,
+        Target::PrfFp,
+        Target::L1I,
+        Target::L1D,
+        Target::L2,
+        Target::LoadQueue,
+        Target::StoreQueue,
+        Target::Rob,
+        Target::RenameMap,
+    ];
+
+    pub fn name(&self) -> String {
+        match self {
+            Target::PrfInt => "PhysRegFile(Int)".into(),
+            Target::PrfFp => "PhysRegFile(FP)".into(),
+            Target::L1I => "L1I".into(),
+            Target::L1D => "L1D".into(),
+            Target::L2 => "L2".into(),
+            Target::LoadQueue => "LoadQueue".into(),
+            Target::StoreQueue => "StoreQueue".into(),
+            Target::Rob => "ROB".into(),
+            Target::RenameMap => "RenameMap".into(),
+            Target::Spm { accel, mem } => format!("SPM[{accel}.{mem}]"),
+            Target::RegBank { accel, mem } => format!("RegBank[{accel}.{mem}]"),
+            Target::Mmr { accel } => format!("MMR[{accel}]"),
+        }
+    }
+}
+
+/// Devices + memory, split from the core so `Core::tick(&mut bus)` can
+/// borrow them while the core is borrowed mutably.
+#[derive(Debug, Clone)]
+pub struct SocBus {
+    pub ram: Vec<u8>,
+    pub console: Vec<u8>,
+    pub irq_ctrl: IrqController,
+    pub accels: Vec<HostedAccel>,
+}
+
+impl SocBus {
+    fn accel_reg(&self, addr: u64) -> Option<(usize, usize)> {
+        if addr < ACCEL_MMR_BASE {
+            return None;
+        }
+        let idx = ((addr - ACCEL_MMR_BASE) / ACCEL_MMR_STRIDE) as usize;
+        if idx >= self.accels.len() {
+            return None;
+        }
+        let off = (addr - ACCEL_MMR_BASE) % ACCEL_MMR_STRIDE;
+        if off % 8 != 0 {
+            return None;
+        }
+        Some((idx, (off / 8) as usize))
+    }
+
+    /// Advance all devices one cycle; posts accelerator IRQs.
+    fn tick_devices(&mut self) {
+        let ram = &mut self.ram;
+        for (i, a) in self.accels.iter_mut().enumerate() {
+            a.tick(ram);
+            if a.irq_out {
+                a.irq_out = false;
+                self.irq_ctrl.post(i as u32 + 1);
+            }
+        }
+    }
+}
+
+impl Bus for SocBus {
+    fn read_line(&mut self, addr: u64, buf: &mut [u8]) -> bool {
+        if !self.is_cacheable(addr) || !self.is_cacheable(addr + buf.len() as u64 - 1) {
+            return false;
+        }
+        let off = (addr - RAM_BASE) as usize;
+        buf.copy_from_slice(&self.ram[off..off + buf.len()]);
+        true
+    }
+
+    fn write_line(&mut self, addr: u64, data: &[u8]) -> bool {
+        if !self.is_cacheable(addr) || !self.is_cacheable(addr + data.len() as u64 - 1) {
+            return false;
+        }
+        let off = (addr - RAM_BASE) as usize;
+        self.ram[off..off + data.len()].copy_from_slice(data);
+        true
+    }
+
+    fn device_read(&mut self, addr: u64, _size: u8) -> Option<u64> {
+        if (IRQ_CTRL_BASE..IRQ_CTRL_BASE + IRQ_CTRL_SIZE).contains(&addr) {
+            return self.irq_ctrl.mmio_read(addr - IRQ_CTRL_BASE);
+        }
+        if let Some((idx, reg)) = self.accel_reg(addr) {
+            return self.accels[idx].mmr_read(reg);
+        }
+        None
+    }
+
+    fn device_write(&mut self, addr: u64, _size: u8, val: u64) -> Option<()> {
+        if addr == CONSOLE_ADDR {
+            self.console.push(val as u8);
+            return Some(());
+        }
+        if (IRQ_CTRL_BASE..IRQ_CTRL_BASE + IRQ_CTRL_SIZE).contains(&addr) {
+            return self.irq_ctrl.mmio_write(addr - IRQ_CTRL_BASE, val);
+        }
+        if let Some((idx, reg)) = self.accel_reg(addr) {
+            return self.accels[idx].mmr_write(reg, val);
+        }
+        None
+    }
+
+    fn is_cacheable(&self, addr: u64) -> bool {
+        (RAM_BASE..RAM_BASE + RAM_SIZE).contains(&addr)
+    }
+
+    fn is_device(&self, addr: u64) -> bool {
+        addr == CONSOLE_ADDR
+            || (IRQ_CTRL_BASE..IRQ_CTRL_BASE + IRQ_CTRL_SIZE).contains(&addr)
+            || self.accel_reg(addr).is_some()
+    }
+}
+
+/// Outcome of [`System::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// `Halt` committed; console output captured.
+    Halted { cycles: u64 },
+    /// A trap reached commit (fault-effect class: Crash).
+    Crashed { trap: Trap, cycles: u64 },
+    /// The cycle budget expired (fault-effect class: Crash/hang).
+    Timeout,
+}
+
+/// Events surfaced by [`System::tick`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SysEvent {
+    Running,
+    Halted,
+    Trapped(Trap),
+    Checkpoint,
+    SwitchCpu,
+}
+
+/// The heterogeneous system under test. `Clone` is the checkpoint
+/// mechanism: cloning captures the full architectural *and*
+/// microarchitectural state, including warm caches — the paper's extended
+/// gem5 checkpoint semantics.
+#[derive(Debug, Clone)]
+pub struct System {
+    pub core: Core,
+    pub bus: SocBus,
+    pub cycle: u64,
+    /// Cycle at which the `Checkpoint` marker committed (if seen).
+    pub checkpoint_cycle: Option<u64>,
+    /// Cycle at which the `SwitchCpu` marker committed (if seen).
+    pub switch_cycle: Option<u64>,
+}
+
+impl System {
+    pub fn new(cfg: CoreConfig) -> Self {
+        let kind = IrqCtrlKind::for_isa(cfg.isa);
+        System {
+            core: Core::new(cfg),
+            bus: SocBus {
+                ram: vec![0u8; RAM_SIZE as usize],
+                console: Vec::new(),
+                irq_ctrl: IrqController::new(kind),
+                accels: Vec::new(),
+            },
+            cycle: 0,
+            checkpoint_cycle: None,
+            switch_cycle: None,
+        }
+    }
+
+    /// Load a program image and install the ISR stub; the core starts at
+    /// the binary's entry.
+    pub fn load_binary(&mut self, bin: &Binary) {
+        assert_eq!(bin.isa, self.core.isa(), "binary ISA mismatch");
+        let off = (bin.entry - RAM_BASE) as usize;
+        self.bus.ram[off..off + bin.image.len()].copy_from_slice(&bin.image);
+        let isr = build_isr(self.core.isa(), self.bus.irq_ctrl.kind);
+        let voff = (IRQ_VECTOR - RAM_BASE) as usize;
+        self.bus.ram[voff..voff + isr.len()].copy_from_slice(&isr);
+        self.core.reset_to(bin.entry);
+    }
+
+    /// Attach a hosted accelerator; returns its index (MMR page
+    /// `ACCEL_MMR_BASE + idx * ACCEL_MMR_STRIDE`, IRQ source `idx + 1`).
+    pub fn add_accel(&mut self, a: HostedAccel) -> usize {
+        self.bus.accels.push(a);
+        self.bus.accels.len() - 1
+    }
+
+    /// Advance one cycle.
+    pub fn tick(&mut self) -> SysEvent {
+        self.cycle += 1;
+        self.bus.tick_devices();
+        self.core.set_irq(self.bus.irq_ctrl.line());
+        match self.core.tick(&mut self.bus) {
+            StepEvent::None => SysEvent::Running,
+            StepEvent::Halted => SysEvent::Halted,
+            StepEvent::Trapped(t) => SysEvent::Trapped(t),
+            StepEvent::CheckpointHit => {
+                self.checkpoint_cycle = Some(self.cycle);
+                SysEvent::Checkpoint
+            }
+            StepEvent::SwitchCpuHit => {
+                self.switch_cycle = Some(self.cycle);
+                SysEvent::SwitchCpu
+            }
+        }
+    }
+
+    /// Run until halt/trap or the cycle budget expires.
+    pub fn run(&mut self, max_cycles: u64) -> RunOutcome {
+        while self.cycle < max_cycles {
+            match self.tick() {
+                SysEvent::Halted => return RunOutcome::Halted { cycles: self.cycle },
+                SysEvent::Trapped(t) => return RunOutcome::Crashed { trap: t, cycles: self.cycle },
+                _ => {}
+            }
+        }
+        RunOutcome::Timeout
+    }
+
+    /// Run until the `Checkpoint` marker commits (or halt/trap).
+    pub fn run_to_checkpoint(&mut self, max_cycles: u64) -> SysEvent {
+        while self.cycle < max_cycles {
+            match self.tick() {
+                SysEvent::Running => {}
+                e => return e,
+            }
+        }
+        SysEvent::Running
+    }
+
+    /// Program output so far.
+    pub fn output(&self) -> &[u8] {
+        &self.bus.console
+    }
+
+    // ------------------------------------------------------------------
+    // fault-injection surface
+    // ------------------------------------------------------------------
+
+    /// Injectable bit count of `target`.
+    pub fn bit_len(&self, t: Target) -> u64 {
+        match t {
+            Target::PrfInt => self.core.prf.bit_len(),
+            Target::PrfFp => self.core.prf_fp.bit_len(),
+            Target::L1I => self.core.l1i.bit_len(),
+            Target::L1D => self.core.l1d.bit_len(),
+            Target::L2 => self.core.l2.bit_len(),
+            Target::LoadQueue => self.core.lq.bit_len(),
+            Target::StoreQueue => self.core.sq.bit_len(),
+            Target::Rob => self.core.rob_bit_len(),
+            Target::RenameMap => self.core.rename_map().bit_len(),
+            Target::Spm { accel, mem } => self.bus.accels[accel].accel.spms[mem].bit_len(),
+            Target::RegBank { accel, mem } => self.bus.accels[accel].accel.regbanks[mem].bit_len(),
+            Target::Mmr { accel } => self.bus.accels[accel].accel.mmr.bit_len(),
+        }
+    }
+
+    /// Flip one bit of `target` (transient fault).
+    pub fn flip(&mut self, t: Target, bit: u64) {
+        assert!(bit < self.bit_len(t), "bit {bit} out of range for {}", t.name());
+        match t {
+            Target::PrfInt => {
+                self.core.prf.flip_bit(bit);
+            }
+            Target::PrfFp => {
+                self.core.prf_fp.flip_bit(bit);
+            }
+            Target::L1I => {
+                self.core.l1i.flip_bit(bit);
+            }
+            Target::L1D => {
+                self.core.l1d.flip_bit(bit);
+            }
+            Target::L2 => {
+                self.core.l2.flip_bit(bit);
+            }
+            Target::LoadQueue => {
+                self.core.lq.flip_bit(bit);
+            }
+            Target::StoreQueue => {
+                self.core.sq.flip_bit(bit);
+            }
+            Target::Rob => {
+                self.core.rob_flip_bit(bit);
+            }
+            Target::RenameMap => self.core.rename_map_mut().flip_bit(bit),
+            Target::Spm { accel, mem } => {
+                self.bus.accels[accel].accel.spms[mem].flip_bit(bit);
+            }
+            Target::RegBank { accel, mem } => {
+                self.bus.accels[accel].accel.regbanks[mem].flip_bit(bit);
+            }
+            Target::Mmr { accel } => {
+                self.bus.accels[accel].accel.mmr.flip_bit(bit);
+            }
+        }
+    }
+
+    /// Install a permanent stuck-at fault.
+    pub fn set_stuck(&mut self, t: Target, bit: u64, value: bool) {
+        assert!(bit < self.bit_len(t), "bit {bit} out of range for {}", t.name());
+        match t {
+            Target::PrfInt => self.core.prf.set_stuck(bit, value),
+            Target::PrfFp => self.core.prf_fp.set_stuck(bit, value),
+            Target::L1I => self.core.l1i.set_stuck(bit, value),
+            Target::L1D => self.core.l1d.set_stuck(bit, value),
+            Target::L2 => self.core.l2.set_stuck(bit, value),
+            Target::Spm { accel, mem } => self.bus.accels[accel].accel.spms[mem].set_stuck(bit, value),
+            Target::RegBank { accel, mem } => {
+                self.bus.accels[accel].accel.regbanks[mem].set_stuck(bit, value)
+            }
+            Target::Mmr { accel } => self.bus.accels[accel].accel.mmr.set_stuck(bit, value),
+            // Queue/ROB/rename state is short-lived; permanent faults there
+            // are modelled as repeated transients by the campaign layer.
+            Target::LoadQueue | Target::StoreQueue | Target::Rob | Target::RenameMap => {
+                self.flip(t, bit)
+            }
+        }
+    }
+
+    /// Early-termination monitoring state of the armed fault, if the
+    /// target supports it.
+    pub fn fault_fate(&self, t: Target) -> Option<FaultFate> {
+        fn conv(f: marvel_accel::SramFate) -> FaultFate {
+            match f {
+                marvel_accel::SramFate::Pending => FaultFate::Pending,
+                marvel_accel::SramFate::Read => FaultFate::Read,
+                marvel_accel::SramFate::Overwritten => FaultFate::Overwritten,
+            }
+        }
+        match t {
+            Target::PrfInt => self.core.prf.fate(),
+            Target::PrfFp => self.core.prf_fp.fate(),
+            Target::L1I => self.core.l1i.fate(),
+            Target::L1D => self.core.l1d.fate(),
+            Target::L2 => self.core.l2.fate(),
+            Target::Rob => self.core.rob_fate(),
+            Target::Spm { accel, mem } => self.bus.accels[accel].accel.spms[mem].fate().map(conv),
+            Target::RegBank { accel, mem } => {
+                self.bus.accels[accel].accel.regbanks[mem].fate().map(conv)
+            }
+            Target::Mmr { accel } => self.bus.accels[accel].accel.mmr.fate().map(conv),
+            Target::LoadQueue | Target::StoreQueue | Target::RenameMap => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marvel_ir::{assemble, FuncBuilder, Module};
+    use marvel_isa::{AluOp, Isa};
+
+    fn hello_module() -> Module {
+        let mut m = Module::new();
+        let f = m.declare("main", 0);
+        let mut b = FuncBuilder::new(0);
+        let x = b.bin(AluOp::Add, 40, 2);
+        b.out_byte(x);
+        b.halt();
+        m.define(f, b.build());
+        m
+    }
+
+    #[test]
+    fn run_program_on_soc() {
+        for isa in Isa::ALL {
+            let bin = assemble(&hello_module(), isa).unwrap();
+            let mut sys = System::new(CoreConfig::table2(isa));
+            sys.load_binary(&bin);
+            let out = sys.run(1_000_000);
+            assert!(matches!(out, RunOutcome::Halted { .. }), "{isa}: {out:?}");
+            assert_eq!(sys.output(), &[42]);
+        }
+    }
+
+    #[test]
+    fn checkpoint_clone_restores_state() {
+        let isa = Isa::RiscV;
+        let mut m = Module::new();
+        let f = m.declare("main", 0);
+        let mut b = FuncBuilder::new(0);
+        let x = b.li(7);
+        b.checkpoint();
+        let y = b.bin(AluOp::Mul, x, 6);
+        b.out_byte(y);
+        b.halt();
+        m.define(f, b.build());
+        let bin = assemble(&m, isa).unwrap();
+        let mut sys = System::new(CoreConfig::table2(isa));
+        sys.load_binary(&bin);
+        assert_eq!(sys.run_to_checkpoint(1_000_000), SysEvent::Checkpoint);
+        let ckpt = sys.clone();
+        // Run the original and a restored copy; identical outcomes.
+        let o1 = sys.run(1_000_000);
+        let mut restored = ckpt.clone();
+        let o2 = restored.run(1_000_000);
+        assert_eq!(o1, o2);
+        assert_eq!(sys.output(), restored.output());
+        assert_eq!(sys.output(), &[42]);
+        // Determinism extends to cycle counts.
+        assert_eq!(sys.cycle, restored.cycle);
+    }
+
+    #[test]
+    fn bit_lens_match_table2() {
+        let sys = System::new(CoreConfig::table2(Isa::Arm));
+        assert_eq!(sys.bit_len(Target::PrfInt), 128 * 64);
+        assert_eq!(sys.bit_len(Target::L1I), 32 * 1024 * 8);
+        assert_eq!(sys.bit_len(Target::L1D), 32 * 1024 * 8);
+        assert_eq!(sys.bit_len(Target::L2), 1024 * 1024 * 8);
+        assert_eq!(sys.bit_len(Target::LoadQueue), 32 * 136);
+        assert_eq!(sys.bit_len(Target::StoreQueue), 32 * 136);
+    }
+
+    #[test]
+    fn prf_flip_can_cause_sdc_or_crash_or_mask() {
+        // Just exercise the injection path: flip a random PRF bit mid-run
+        // and require the system to terminate one way or another.
+        let isa = Isa::Arm;
+        let bin = assemble(&hello_module(), isa).unwrap();
+        for bit in [5u64, 700, 4000] {
+            let mut sys = System::new(CoreConfig::table2(isa));
+            sys.load_binary(&bin);
+            for _ in 0..20 {
+                sys.tick();
+            }
+            sys.flip(Target::PrfInt, bit);
+            let out = sys.run(2_000_000);
+            assert!(!matches!(out, RunOutcome::Timeout), "bit {bit}: hung");
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Heterogeneous SoC integration tests: host CPU + hosted accelerator +
+//! DMA + interrupt controller, on every ISA flavour, including fault
+//! injection into accelerator structures *through the SoC*.
+
+use marvel_accel::air::{CdfgBuilder, MemRef};
+use marvel_accel::{Accelerator, DmaDir, FuConfig, Sram, SramKind};
+use marvel_ir::memmap::{ACCEL_MMR_BASE, IRQ_FLAG_ADDR};
+use marvel_ir::{assemble, FuncBuilder, Module};
+use marvel_isa::{AluOp, Cond, Isa, MemWidth};
+use marvel_soc::{DmaPlanEntry, HostedAccel, RunOutcome, System, Target};
+
+/// OUT[i] = IN[i] + 100 for 8 u64 values.
+fn accel_add100() -> Accelerator {
+    let mut g = CdfgBuilder::new();
+    let entry = g.block(0);
+    let body = g.block(1);
+    let done = g.block(0);
+    g.select(entry);
+    let z = g.konst(0);
+    g.jump(body, &[z]);
+    g.select(body);
+    let i = g.arg(0);
+    let eight = g.konst(8);
+    let off = g.alu(AluOp::Mul, i, eight);
+    let v = g.load(MemRef::Spm(0), 8, off);
+    let hundred = g.konst(100);
+    let v2 = g.alu(AluOp::Add, v, hundred);
+    g.store(MemRef::Spm(1), 8, off, v2);
+    let one = g.konst(1);
+    let i2 = g.alu(AluOp::Add, i, one);
+    let n = g.konst(8);
+    let more = g.alu(AluOp::Sltu, i2, n);
+    g.branch(more, body, &[i2], done, &[]);
+    g.select(done);
+    g.finish();
+    Accelerator::new(
+        "add100",
+        g.build().unwrap(),
+        FuConfig::default(),
+        vec![Sram::new("IN", SramKind::Spm, 64, 2), Sram::new("OUT", SramKind::Spm, 64, 2)],
+        vec![],
+        0,
+    )
+}
+
+fn host_module() -> Module {
+    let mut m = Module::new();
+    let input = m.global_u64("in", &[1, 2, 3, 4, 5, 6, 7, 8]);
+    let output = m.global_zeroed("out", 64, 8);
+    let f = m.declare("main", 0);
+    let mut b = FuncBuilder::new(0);
+    b.checkpoint();
+    let mmr = b.li(ACCEL_MMR_BASE as i64);
+    let inp = b.addr_of(input);
+    let outp = b.addr_of(output);
+    b.store(MemWidth::D, inp, mmr, 16); // data0: input RAM address
+    b.store(MemWidth::D, outp, mmr, 24); // data1: output RAM address
+    b.store(MemWidth::D, 1, mmr, 0); // CTRL.start
+    let flag = b.li(IRQ_FLAG_ADDR as i64);
+    let wait = b.new_label();
+    b.bind(wait);
+    let fv = b.load(MemWidth::D, false, flag, 0);
+    b.br(Cond::Eq, fv, 0, wait);
+    let i = b.li(0);
+    let top = b.new_label();
+    b.bind(top);
+    let v = b.load_idx(MemWidth::D, false, outp, i);
+    b.out_byte(v);
+    let i2 = b.bin(AluOp::Add, i, 1);
+    b.assign(i, i2);
+    b.br(Cond::Lt, i, 8, top);
+    b.halt();
+    m.define(f, b.build());
+    m
+}
+
+fn hosted() -> HostedAccel {
+    HostedAccel::new(
+        accel_add100(),
+        vec![DmaPlanEntry { dir: DmaDir::ToSram, addr_arg: 0, mem: MemRef::Spm(0), mem_off: 0, len: 64 }],
+        vec![DmaPlanEntry { dir: DmaDir::ToRam, addr_arg: 1, mem: MemRef::Spm(1), mem_off: 0, len: 64 }],
+        vec![],
+    )
+}
+
+fn build_system(isa: Isa) -> System {
+    let mut sys = System::new(marvel_cpu::CoreConfig::table2(isa));
+    sys.add_accel(hosted());
+    let bin = assemble(&host_module(), isa).unwrap();
+    sys.load_binary(&bin);
+    sys
+}
+
+#[test]
+fn interrupt_driven_offload_on_every_isa() {
+    // The same SoC composition works with GIC (Arm), PLIC (RISC-V) and
+    // APIC (x86) delivery — the paper's Section III-C portability claim.
+    for isa in Isa::ALL {
+        let mut sys = build_system(isa);
+        let out = sys.run(3_000_000);
+        assert!(matches!(out, RunOutcome::Halted { .. }), "{isa}: {out:?}");
+        assert_eq!(sys.output(), &[101, 102, 103, 104, 105, 106, 107, 108], "{isa}");
+        assert_eq!(sys.bus.irq_ctrl.claims, 1, "{isa}: exactly one claim");
+        assert_eq!(sys.bus.irq_ctrl.completions, 1, "{isa}: exactly one completion");
+    }
+}
+
+#[test]
+fn spm_fault_through_soc_corrupts_offloaded_result() {
+    // Flip a bit of the input SPM after DMA-in: the host-visible result
+    // must change — end-to-end propagation through accelerator + DMA +
+    // interrupt + host readback.
+    let isa = Isa::RiscV;
+    let mut sys = build_system(isa);
+    // Run until the accelerator has its input (DMA done => busy compute or
+    // later); tick a bounded number of cycles then inject.
+    for _ in 0..400 {
+        sys.tick();
+    }
+    sys.flip(Target::Spm { accel: 0, mem: 0 }, 5); // IN[0] bit 5: 1 -> 33
+    let out = sys.run(3_000_000);
+    assert!(matches!(out, RunOutcome::Halted { .. }), "{out:?}");
+    // Golden would be 101..108; a corrupted IN[0] shows as 133 (if the
+    // flip landed before the compute read) or 101 (already consumed).
+    let first = sys.output()[0];
+    assert!(first == 133 || first == 101, "unexpected first byte {first}");
+    assert_eq!(&sys.output()[1..], &[102, 103, 104, 105, 106, 107, 108]);
+}
+
+#[test]
+fn mmr_bit_len_and_injection_via_system() {
+    let sys = build_system(Isa::Arm);
+    let t = Target::Mmr { accel: 0 };
+    assert!(sys.bit_len(t) >= 4 * 64, "CTRL+STATUS+data regs");
+    let mut sys2 = sys.clone();
+    sys2.flip(t, 64 + 1); // STATUS bit 1
+    assert_eq!(sys2.fault_fate(t).is_some(), true);
+}
+
+#[test]
+fn checkpoint_captures_accelerator_state() {
+    let isa = Isa::Arm;
+    let mut sys = build_system(isa);
+    // Advance into the middle of the offload, checkpoint, then verify
+    // both copies finish identically (accelerator state included).
+    for _ in 0..500 {
+        sys.tick();
+    }
+    let mut a = sys.clone();
+    let mut b = sys.clone();
+    let ra = a.run(3_000_000);
+    let rb = b.run(3_000_000);
+    assert_eq!(ra, rb);
+    assert_eq!(a.output(), b.output());
+    assert_eq!(a.cycle, b.cycle);
+}

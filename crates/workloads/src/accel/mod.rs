@@ -1,0 +1,132 @@
+//! The eight MachSuite-style accelerator designs of the paper's Table IV,
+//! with the exact SPM/RegBank component names and sizes, packaged as
+//! ready-to-run [`DsaHarness`] experiments.
+
+mod designs_a;
+mod designs_b;
+
+pub use designs_a::{bfs, fft, gemm, md_knn};
+pub use designs_b::{mergesort, spmv, stencil2d, stencil3d};
+
+use marvel_accel::{FuConfig, SramKind};
+use marvel_core::DsaHarness;
+use marvel_soc::Target;
+
+/// One injectable component of a design (a Table IV row).
+#[derive(Debug, Clone)]
+pub struct Component {
+    pub name: &'static str,
+    pub target: Target,
+    pub bytes: usize,
+    pub kind: SramKind,
+}
+
+/// A registered DSA design.
+pub struct DsaDesign {
+    pub name: &'static str,
+    /// The Table IV injection components.
+    pub components: Vec<Component>,
+    /// Build the harness (accelerator + inputs + DMA plan) for an FU
+    /// configuration.
+    pub make: fn(FuConfig) -> DsaHarness,
+}
+
+fn spm(name: &'static str, mem: usize, bytes: usize) -> Component {
+    Component { name, target: Target::Spm { accel: 0, mem }, bytes, kind: SramKind::Spm }
+}
+
+fn regbank(name: &'static str, mem: usize, bytes: usize) -> Component {
+    Component { name, target: Target::RegBank { accel: 0, mem }, bytes, kind: SramKind::RegBank }
+}
+
+/// All eight designs, Table IV order, with the paper's component sizes.
+pub fn designs() -> Vec<DsaDesign> {
+    vec![
+        DsaDesign {
+            name: "BFS",
+            components: vec![regbank("EDGES", 0, 16_384), regbank("NODES", 1, 2_048)],
+            make: bfs,
+        },
+        DsaDesign {
+            name: "FFT",
+            components: vec![spm("IMG", 0, 8_192), spm("REAL", 1, 8_192)],
+            make: fft,
+        },
+        DsaDesign {
+            name: "GEMM",
+            components: vec![spm("MATRIX1", 0, 32_768), spm("MATRIX3", 2, 32_768)],
+            make: gemm,
+        },
+        DsaDesign {
+            name: "MD_KNN",
+            components: vec![spm("NLADDR", 0, 16_384), spm("FORCEX", 1, 2_048)],
+            make: md_knn,
+        },
+        DsaDesign {
+            name: "MERGESORT",
+            components: vec![spm("MAIN", 0, 8_192), spm("TEMP", 1, 8_192)],
+            make: mergesort,
+        },
+        DsaDesign {
+            name: "SPMV",
+            components: vec![spm("VAL", 0, 13_328), spm("COLS", 1, 6_664)],
+            make: spmv,
+        },
+        DsaDesign {
+            name: "STENCIL2D",
+            components: vec![
+                spm("ORIG", 0, 32_768),
+                spm("SOL", 1, 32_768),
+                regbank("FILTER", 0, 360),
+            ],
+            make: stencil2d,
+        },
+        DsaDesign {
+            name: "STENCIL3D",
+            components: vec![
+                spm("ORIG", 0, 65_536),
+                spm("SOL", 1, 65_536),
+                regbank("C_VAR", 0, 8),
+            ],
+            make: stencil3d,
+        },
+    ]
+}
+
+/// Find a design by name.
+pub fn design(name: &str) -> DsaDesign {
+    designs().into_iter().find(|d| d.name == name).unwrap_or_else(|| panic!("unknown design {name}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_sizes_match_paper() {
+        let ds = designs();
+        assert_eq!(ds.len(), 8);
+        let find = |d: &str, c: &str| -> usize {
+            ds.iter()
+                .find(|x| x.name == d)
+                .unwrap()
+                .components
+                .iter()
+                .find(|x| x.name == c)
+                .unwrap()
+                .bytes
+        };
+        assert_eq!(find("BFS", "EDGES"), 16_384);
+        assert_eq!(find("BFS", "NODES"), 2_048);
+        assert_eq!(find("FFT", "IMG"), 8_192);
+        assert_eq!(find("GEMM", "MATRIX1"), 32_768);
+        assert_eq!(find("MD_KNN", "NLADDR"), 16_384);
+        assert_eq!(find("MD_KNN", "FORCEX"), 2_048);
+        assert_eq!(find("MERGESORT", "TEMP"), 8_192);
+        assert_eq!(find("SPMV", "VAL"), 13_328);
+        assert_eq!(find("SPMV", "COLS"), 6_664);
+        assert_eq!(find("STENCIL2D", "FILTER"), 360);
+        assert_eq!(find("STENCIL3D", "ORIG"), 65_536);
+        assert_eq!(find("STENCIL3D", "C_VAR"), 8);
+    }
+}

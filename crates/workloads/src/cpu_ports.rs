@@ -1,0 +1,256 @@
+//! CPU-side implementations of the four algorithms used for the paper's
+//! CPU-vs-DSA comparison (Fig. 16): GEMM, BFS, FFT and KNN.
+//!
+//! The CPU flavour computes in integer/fixed-point (the modelled cores are
+//! integer machines), while the DSA flavour uses f64 — the comparison is
+//! about vulnerability and operations-per-failure, not bit-equality.
+//! FFT reuses the `mibench::fft` benchmark.
+
+use crate::util::{digest_words, for_range, Lcg};
+use marvel_ir::{FuncBuilder, Module};
+use marvel_isa::{AluOp, Cond, MemWidth};
+
+/// Number of "operations" per run, for OPS/OPF accounting.
+pub fn ops_per_run(name: &str) -> f64 {
+    match name {
+        // 2 N^3 with N matched to each platform's problem size.
+        "gemm" => 2.0 * 32f64.powi(3),
+        "gemm_dsa" => 2.0 * 64f64.powi(3),
+        "bfs" => 2048.0 * 2.0,  // edge relaxations
+        "fft" => 5.0 * 64.0 * 6.0, // 5 N log N
+        "fft_dsa" => 5.0 * 1024.0 * 10.0,
+        "knn" => 256.0 * 8.0 * 10.0,
+        _ => 1.0,
+    }
+}
+
+/// 32×32 fixed-point (Q8) matrix multiply.
+pub fn gemm_cpu() -> Module {
+    const N: i64 = 32;
+    let mut m = Module::new();
+    let mut rng = Lcg::new(0x6E33);
+    let a: Vec<u64> = (0..N * N).map(|_| (rng.below(512) as i64 - 256) as u64).collect();
+    let bm: Vec<u64> = (0..N * N).map(|_| (rng.below(512) as i64 - 256) as u64).collect();
+    let g_a = m.global_u64("A", &a);
+    let g_b = m.global_u64("B", &bm);
+    let g_c = m.global_zeroed("C", (N * N * 8) as usize, 8);
+
+    let f = m.declare("main", 0);
+    let mut b = FuncBuilder::new(0);
+    let av = b.addr_of(g_a);
+    let bv = b.addr_of(g_b);
+    let warm = b.li(0);
+    for_range(&mut b, N * N, |b, i| {
+        let v = b.load_idx(MemWidth::D, false, av, i);
+        let v2 = b.load_idx(MemWidth::D, false, bv, i);
+        let s = b.bin(AluOp::Add, v, v2);
+        let w = b.bin(AluOp::Add, warm, s);
+        b.assign(warm, w);
+    });
+    b.checkpoint();
+    let cv = b.addr_of(g_c);
+    for_range(&mut b, N, |b, i| {
+        let arow = b.bin(AluOp::Mul, i, N);
+        for_range(b, N, |b, j| {
+            let acc = b.li(0);
+            for_range(b, N, |b, k| {
+                let ai = b.bin(AluOp::Add, arow, k);
+                let a = b.load_idx(MemWidth::D, false, av, ai);
+                let brow = b.bin(AluOp::Mul, k, N);
+                let bi = b.bin(AluOp::Add, brow, j);
+                let bb = b.load_idx(MemWidth::D, false, bv, bi);
+                let p = b.bin(AluOp::Mul, a, bb);
+                let ps = b.bin(AluOp::Sra, p, 8);
+                let na = b.bin(AluOp::Add, acc, ps);
+                b.assign(acc, na);
+            });
+            let ci = b.bin(AluOp::Add, arow, j);
+            b.store_idx(MemWidth::D, acc, cv, ci);
+        });
+    });
+    b.switch_cpu();
+    digest_words(&mut b, g_c, N * N);
+    b.halt();
+    m.define(f, b.build());
+    m
+}
+
+/// BFS over the same 256-node/2048-edge graph shape as the DSA design.
+pub fn bfs_cpu() -> Module {
+    const N: i64 = 256;
+    const DEG: i64 = 8;
+    const INF: i64 = 999;
+    let mut m = Module::new();
+    let mut rng = Lcg::new(0xBF5);
+    let mut nodes = Vec::new();
+    let mut edges = Vec::new();
+    for i in 0..N as u64 {
+        nodes.push((i * DEG as u64) | ((DEG as u64) << 32));
+        edges.push((i + 1) % N as u64);
+        for _ in 1..DEG {
+            edges.push(rng.below(N as u64));
+        }
+    }
+    let g_nodes = m.global_u64("nodes", &nodes);
+    let g_edges = m.global_u64("edges", &edges);
+    let g_level = m.global_zeroed("level", (N * 8) as usize, 8);
+
+    let f = m.declare("main", 0);
+    let mut b = FuncBuilder::new(0);
+    let ev = b.addr_of(g_edges);
+    let warm = b.li(0);
+    for_range(&mut b, N * DEG, |b, i| {
+        let v = b.load_idx(MemWidth::D, false, ev, i);
+        let w = b.bin(AluOp::Add, warm, v);
+        b.assign(warm, w);
+    });
+    b.checkpoint();
+    let nv = b.addr_of(g_nodes);
+    let lv = b.addr_of(g_level);
+    for_range(&mut b, N, |b, i| {
+        b.store_idx(MemWidth::D, INF, lv, i);
+    });
+    b.store(MemWidth::D, 0i64, lv, 0);
+    for_range(&mut b, 12, |b, h| {
+        for_range(b, N, |b, n| {
+            let l = b.load_idx(MemWidth::D, false, lv, n);
+            let skip = b.new_label();
+            b.br(Cond::Ne, l, h, skip);
+            let nd = b.load_idx(MemWidth::D, false, nv, n);
+            let start = b.bin(AluOp::And, nd, 0xFFFF_FFFFi64);
+            let count = b.bin(AluOp::Srl, nd, 32);
+            let e = b.vreg();
+            b.assign(e, start);
+            let end = b.bin(AluOp::Add, start, count);
+            let etop = b.new_label();
+            let edone = b.new_label();
+            b.bind(etop);
+            b.br(Cond::Geu, e, end, edone);
+            let tgt = b.load_idx(MemWidth::D, false, ev, e);
+            let tl = b.load_idx(MemWidth::D, false, lv, tgt);
+            let h1 = b.bin(AluOp::Add, h, 1);
+            let noupd = b.new_label();
+            b.br(Cond::Geu, h1, tl, noupd);
+            b.store_idx(MemWidth::D, h1, lv, tgt);
+            b.bind(noupd);
+            let e2 = b.bin(AluOp::Add, e, 1);
+            b.assign(e, e2);
+            b.jump(etop);
+            b.bind(edone);
+            b.bind(skip);
+        });
+    });
+    b.switch_cpu();
+    digest_words(&mut b, g_level, N);
+    b.halt();
+    m.define(f, b.build());
+    m
+}
+
+/// KNN force accumulation (fixed-point Q16 reciprocal via Newton) over
+/// the same 256-atom/8-neighbour lists as the DSA design.
+pub fn knn_cpu() -> Module {
+    const ATOMS: i64 = 256;
+    const NEIGH: i64 = 8;
+    let mut m = Module::new();
+    let mut rng = Lcg::new(0x3DD);
+    let posx: Vec<u64> = (0..ATOMS).map(|_| rng.below(1000) * 655 / 100).collect(); // Q16 /100
+    let posy: Vec<u64> = (0..ATOMS).map(|_| rng.below(1000) * 655 / 100).collect();
+    let posz: Vec<u64> = (0..ATOMS).map(|_| rng.below(1000) * 655 / 100).collect();
+    let mut nl = Vec::new();
+    for i in 0..ATOMS as u64 {
+        for k in 1..=NEIGH as u64 {
+            nl.push((i + k * 7) % ATOMS as u64);
+        }
+    }
+    let g_x = m.global_u64("posx", &posx);
+    let g_y = m.global_u64("posy", &posy);
+    let g_z = m.global_u64("posz", &posz);
+    let g_nl = m.global_u64("nl", &nl);
+    let g_f = m.global_zeroed("forcex", (ATOMS * 8) as usize, 8);
+
+    let f = m.declare("main", 0);
+    let mut b = FuncBuilder::new(0);
+    let xv = b.addr_of(g_x);
+    let warm = b.li(0);
+    for_range(&mut b, ATOMS, |b, i| {
+        let v = b.load_idx(MemWidth::D, false, xv, i);
+        let w = b.bin(AluOp::Add, warm, v);
+        b.assign(warm, w);
+    });
+    b.checkpoint();
+    let yv = b.addr_of(g_y);
+    let zv = b.addr_of(g_z);
+    let nlv = b.addr_of(g_nl);
+    let fv = b.addr_of(g_f);
+    for_range(&mut b, ATOMS, |b, i| {
+        let px = b.load_idx(MemWidth::D, false, xv, i);
+        let py = b.load_idx(MemWidth::D, false, yv, i);
+        let pz = b.load_idx(MemWidth::D, false, zv, i);
+        let fx = b.li(0);
+        let base = b.bin(AluOp::Mul, i, NEIGH);
+        for_range(b, NEIGH, |b, j| {
+            let slot = b.bin(AluOp::Add, base, j);
+            let idx = b.load_idx(MemWidth::D, false, nlv, slot);
+            let qx = b.load_idx(MemWidth::D, false, xv, idx);
+            let qy = b.load_idx(MemWidth::D, false, yv, idx);
+            let qz = b.load_idx(MemWidth::D, false, zv, idx);
+            let dx = b.bin(AluOp::Sub, px, qx);
+            let dy = b.bin(AluOp::Sub, py, qy);
+            let dz = b.bin(AluOp::Sub, pz, qz);
+            // r2 in Q16: (dx*dx)>>16 etc.
+            let dx2 = b.bin(AluOp::Mul, dx, dx);
+            let dx2s = b.bin(AluOp::Sra, dx2, 16);
+            let dy2 = b.bin(AluOp::Mul, dy, dy);
+            let dy2s = b.bin(AluOp::Sra, dy2, 16);
+            let dz2 = b.bin(AluOp::Mul, dz, dz);
+            let dz2s = b.bin(AluOp::Sra, dz2, 16);
+            let s1 = b.bin(AluOp::Add, dx2s, dy2s);
+            let r2 = b.bin(AluOp::Add, s1, dz2s);
+            let r2nz = b.bin(AluOp::Or, r2, 1);
+            // r2inv (Q16) = 2^32 / r2
+            let big = b.li(1i64 << 32);
+            let r2inv = b.bin(AluOp::Div, big, r2nz);
+            let r4 = b.bin(AluOp::Mul, r2inv, r2inv);
+            let r4s = b.bin(AluOp::Sra, r4, 16);
+            let r6 = b.bin(AluOp::Mul, r4s, r2inv);
+            let r6s = b.bin(AluOp::Sra, r6, 16);
+            let half = b.li(1 << 15);
+            let t1 = b.bin(AluOp::Sub, r6s, half);
+            let pot = b.bin(AluOp::Mul, r6s, t1);
+            let pots = b.bin(AluOp::Sra, pot, 16);
+            let term = b.bin(AluOp::Mul, pots, dx);
+            let terms = b.bin(AluOp::Sra, term, 16);
+            let nf = b.bin(AluOp::Add, fx, terms);
+            b.assign(fx, nf);
+        });
+        b.store_idx(MemWidth::D, fx, fv, i);
+    });
+    b.switch_cpu();
+    digest_words(&mut b, g_f, ATOMS);
+    b.halt();
+    m.define(f, b.build());
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marvel_ir::interp;
+
+    #[test]
+    fn cpu_ports_run() {
+        for (name, m) in [("gemm", gemm_cpu()), ("bfs", bfs_cpu()), ("knn", knn_cpu())] {
+            m.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+            let r = interp::run(&m, 100_000_000).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(r.output.len() >= 8, "{name}");
+        }
+    }
+
+    #[test]
+    fn ops_table_positive() {
+        for n in ["gemm", "gemm_dsa", "bfs", "fft", "fft_dsa", "knn"] {
+            assert!(ops_per_run(n) > 0.0);
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! # marvel-workloads
+//!
+//! Workload content for the gem5-MARVEL reproduction:
+//!
+//! * [`mibench`] — the paper's 15-benchmark MiBench-style CPU suite
+//!   (Section III-D), written once against the portable IR and compiled
+//!   per ISA;
+//! * [`accel`] — the 8 MachSuite-style accelerator designs of Table IV
+//!   with the paper's exact SPM/RegBank geometries;
+//! * [`cpu_ports`] — CPU implementations of GEMM/BFS/FFT/KNN for the
+//!   CPU-vs-DSA comparison (Fig. 16).
+
+pub mod accel;
+pub mod cpu_ports;
+pub mod mibench;
+pub mod util;

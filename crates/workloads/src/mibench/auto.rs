@@ -1,0 +1,533 @@
+//! Automotive/telecomm MiBench miniatures: adpcm encode/decode,
+//! basicmath, bitcount, crc32.
+
+use crate::util::{digest_bytes, digest_words, for_range, for_range_unrolled, out_u64, Lcg};
+use marvel_ir::{FuncBuilder, Module, Value};
+use marvel_isa::{AluOp, Cond, MemWidth};
+
+// ---------------------------------------------------------------------
+// IMA ADPCM reference tables + Rust reference codec (input generation)
+// ---------------------------------------------------------------------
+
+const INDEX_TABLE: [i64; 16] = [-1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8];
+
+fn step_table() -> Vec<i64> {
+    // Standard IMA step table (89 entries).
+    vec![
+        7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37, 41, 45, 50, 55, 60,
+        66, 73, 80, 88, 97, 107, 118, 130, 143, 157, 173, 190, 209, 230, 253, 279, 307, 337, 371,
+        408, 449, 494, 544, 598, 658, 724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878,
+        2066, 2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894, 6484, 7132, 7845,
+        8630, 9493, 10442, 11487, 12635, 13899, 15289, 16818, 18500, 20350, 22385, 24623, 27086,
+        29794, 32767,
+    ]
+}
+
+const N_SAMPLES: usize = 1536;
+
+fn pcm_input() -> Vec<i16> {
+    // Deterministic "speech-like" signal: sum of two integer sinusoids
+    // approximated by a table-free recurrence plus LCG noise.
+    let mut rng = Lcg::new(0xADC);
+    let mut out = Vec::with_capacity(N_SAMPLES);
+    let (mut s, mut c) = (0i64, 30000i64);
+    for i in 0..N_SAMPLES {
+        // Rotation by a small angle in fixed point: s' = s + c>>5 ...
+        s += c >> 5;
+        c -= s >> 5;
+        let noise = (rng.below(1024) as i64) - 512;
+        let v = (s >> 2) + noise + ((i as i64 % 64) - 32) * 16;
+        out.push(v.clamp(-32768, 32767) as i16);
+    }
+    out
+}
+
+/// Rust reference IMA ADPCM encoder (for decoder input generation).
+fn ref_encode(pcm: &[i16]) -> Vec<u8> {
+    let steps = step_table();
+    let mut pred: i64 = 0;
+    let mut index: i64 = 0;
+    let mut out = Vec::new();
+    let mut nibbles = Vec::new();
+    for &sample in pcm {
+        let step = steps[index as usize];
+        let mut diff = sample as i64 - pred;
+        let sign = if diff < 0 { 8 } else { 0 };
+        if diff < 0 {
+            diff = -diff;
+        }
+        let mut delta = 0i64;
+        let mut vpdiff = step >> 3;
+        if diff >= step {
+            delta = 4;
+            diff -= step;
+            vpdiff += step;
+        }
+        if diff >= step >> 1 {
+            delta |= 2;
+            diff -= step >> 1;
+            vpdiff += step >> 1;
+        }
+        if diff >= step >> 2 {
+            delta |= 1;
+            vpdiff += step >> 2;
+        }
+        if sign != 0 {
+            pred -= vpdiff;
+        } else {
+            pred += vpdiff;
+        }
+        pred = pred.clamp(-32768, 32767);
+        index = (index + INDEX_TABLE[(delta | sign) as usize]).clamp(0, 88);
+        nibbles.push((delta | sign) as u8);
+    }
+    for ch in nibbles.chunks(2) {
+        out.push(ch[0] | (ch.get(1).copied().unwrap_or(0) << 4));
+    }
+    out
+}
+
+/// `adpcme` — IMA ADPCM encoder over 512 PCM samples.
+pub fn adpcme() -> Module {
+    let mut m = Module::new();
+    let pcm = pcm_input();
+    let pcm_words: Vec<u32> = pcm.iter().map(|&s| s as u16 as u32).collect();
+    let g_in = m.global_u32("pcm", &pcm_words);
+    let g_steps = m.global_u64("steps", &step_table().iter().map(|&v| v as u64).collect::<Vec<_>>());
+    let g_idx = m.global_u64("idxtab", &INDEX_TABLE.iter().map(|&v| v as u64).collect::<Vec<_>>());
+    let g_out = m.global_zeroed("enc", N_SAMPLES / 2, 8);
+
+    let f = m.declare("main", 0);
+    let mut b = FuncBuilder::new(0);
+    // Warm inputs, then checkpoint.
+    let inp = b.addr_of(g_in);
+    let warm = b.li(0);
+    for_range(&mut b, N_SAMPLES as i64, |b, i| {
+        let v = b.load_idx(MemWidth::W, false, inp, i);
+        let w = b.bin(AluOp::Add, warm, v);
+        b.assign(warm, w);
+    });
+    b.checkpoint();
+
+    let steps = b.addr_of(g_steps);
+    let idxt = b.addr_of(g_idx);
+    let out = b.addr_of(g_out);
+    let pred = b.li(0);
+    let index = b.li(0);
+    for_range_unrolled(&mut b, N_SAMPLES as i64, 2, |b, i| {
+        // sample: sign-extend the stored 16-bit value.
+        let raw = b.load_idx(MemWidth::W, false, inp, i);
+        let sh = b.bin(AluOp::Sll, raw, 48);
+        let sample = b.bin(AluOp::Sra, sh, 48);
+        let step = b.load_idx(MemWidth::D, false, steps, index);
+        let diff0 = b.bin(AluOp::Sub, sample, pred);
+        let neg = b.bin(AluOp::Slt, diff0, 0);
+        let sign = b.bin(AluOp::Sll, neg, 3);
+        let ndiff = b.bin(AluOp::Sub, 0, diff0);
+        // |diff| via select: diff = neg ? -diff : diff
+        let diff = b.vreg();
+        let l_else = b.new_label();
+        let l_end = b.new_label();
+        b.br(Cond::Eq, neg, 0, l_else);
+        b.assign(diff, ndiff);
+        b.jump(l_end);
+        b.bind(l_else);
+        b.assign(diff, diff0);
+        b.bind(l_end);
+
+        let delta = b.li(0);
+        let vpdiff = b.bin(AluOp::Srl, step, 3);
+        // bit 2
+        let l_no4 = b.new_label();
+        b.br(Cond::Lt, diff, step, l_no4);
+        b.bin_into(delta, AluOp::Or, delta, 4);
+        let d2 = b.bin(AluOp::Sub, diff, step);
+        b.assign(diff, d2);
+        let v2 = b.bin(AluOp::Add, vpdiff, step);
+        b.assign(vpdiff, v2);
+        b.bind(l_no4);
+        // bit 1
+        let half = b.bin(AluOp::Srl, step, 1);
+        let l_no2 = b.new_label();
+        b.br(Cond::Lt, diff, half, l_no2);
+        b.bin_into(delta, AluOp::Or, delta, 2);
+        let d3 = b.bin(AluOp::Sub, diff, half);
+        b.assign(diff, d3);
+        let v3 = b.bin(AluOp::Add, vpdiff, half);
+        b.assign(vpdiff, v3);
+        b.bind(l_no2);
+        // bit 0
+        let quarter = b.bin(AluOp::Srl, step, 2);
+        let l_no1 = b.new_label();
+        b.br(Cond::Lt, diff, quarter, l_no1);
+        b.bin_into(delta, AluOp::Or, delta, 1);
+        let v4 = b.bin(AluOp::Add, vpdiff, quarter);
+        b.assign(vpdiff, v4);
+        b.bind(l_no1);
+
+        // predictor update
+        let l_pos = b.new_label();
+        let l_upd = b.new_label();
+        b.br(Cond::Eq, neg, 0, l_pos);
+        let pm = b.bin(AluOp::Sub, pred, vpdiff);
+        b.assign(pred, pm);
+        b.jump(l_upd);
+        b.bind(l_pos);
+        let pp = b.bin(AluOp::Add, pred, vpdiff);
+        b.assign(pred, pp);
+        b.bind(l_upd);
+        clamp(b, pred, -32768, 32767);
+
+        // index update
+        let code = b.bin(AluOp::Or, delta, sign);
+        let adj = b.load_idx(MemWidth::D, false, idxt, code);
+        let ni = b.bin(AluOp::Add, index, adj);
+        b.assign(index, ni);
+        clamp(b, index, 0, 88);
+
+        // pack nibble
+        let byte_i = b.bin(AluOp::Srl, i, 1);
+        let lo_bit = b.bin(AluOp::And, i, 1);
+        let old = b.load_idx(MemWidth::B, false, out, byte_i);
+        let shift = b.bin(AluOp::Sll, lo_bit, 2); // 0 or 4
+        let nib = b.bin(AluOp::Sll, code, shift);
+        let merged = b.bin(AluOp::Or, old, nib);
+        b.store_idx(MemWidth::B, merged, out, byte_i);
+    });
+
+    b.switch_cpu();
+    digest_bytes(&mut b, g_out, (N_SAMPLES / 2) as i64);
+    out_u64(&mut b, pred);
+    b.halt();
+    m.define(f, b.build());
+    m
+}
+
+/// Emit `v = clamp(v, lo, hi)` on an existing vreg.
+fn clamp(b: &mut FuncBuilder, v: marvel_ir::VReg, lo: i64, hi: i64) {
+    let l_lo = b.new_label();
+    let l_done = b.new_label();
+    b.br(Cond::Lt, v, lo, l_lo);
+    let l_hi = b.new_label();
+    b.br(Cond::Ge, hi, v, l_done);
+    b.bind(l_hi);
+    b.assign(v, Value::Imm(hi));
+    b.jump(l_done);
+    b.bind(l_lo);
+    b.assign(v, Value::Imm(lo));
+    b.bind(l_done);
+}
+
+/// `adpcmd` — IMA ADPCM decoder over the reference-encoded stream.
+pub fn adpcmd() -> Module {
+    let mut m = Module::new();
+    let enc = ref_encode(&pcm_input());
+    let g_in = m.global("enc", enc, 8);
+    let g_steps = m.global_u64("steps", &step_table().iter().map(|&v| v as u64).collect::<Vec<_>>());
+    let g_idx = m.global_u64("idxtab", &INDEX_TABLE.iter().map(|&v| v as u64).collect::<Vec<_>>());
+    let g_out = m.global_zeroed("pcm_out", N_SAMPLES * 4, 8);
+
+    let f = m.declare("main", 0);
+    let mut b = FuncBuilder::new(0);
+    let inp = b.addr_of(g_in);
+    let warm = b.li(0);
+    for_range(&mut b, (N_SAMPLES / 2) as i64, |b, i| {
+        let v = b.load_idx(MemWidth::B, false, inp, i);
+        let w = b.bin(AluOp::Add, warm, v);
+        b.assign(warm, w);
+    });
+    b.checkpoint();
+
+    let steps = b.addr_of(g_steps);
+    let idxt = b.addr_of(g_idx);
+    let out = b.addr_of(g_out);
+    let pred = b.li(0);
+    let index = b.li(0);
+    for_range_unrolled(&mut b, N_SAMPLES as i64, 2, |b, i| {
+        let byte_i = b.bin(AluOp::Srl, i, 1);
+        let lo_bit = b.bin(AluOp::And, i, 1);
+        let byte = b.load_idx(MemWidth::B, false, inp, byte_i);
+        let shift = b.bin(AluOp::Sll, lo_bit, 2);
+        let shifted = b.bin(AluOp::Srl, byte, shift);
+        let code = b.bin(AluOp::And, shifted, 0xF);
+
+        let step = b.load_idx(MemWidth::D, false, steps, index);
+        // vpdiff = step>>3 + (code&4 ? step : 0) + (code&2 ? step>>1 : 0)
+        //          + (code&1 ? step>>2 : 0)
+        let vpdiff = b.bin(AluOp::Srl, step, 3);
+        let b4 = b.bin(AluOp::And, code, 4);
+        let l_no4 = b.new_label();
+        b.br(Cond::Eq, b4, 0, l_no4);
+        let v2 = b.bin(AluOp::Add, vpdiff, step);
+        b.assign(vpdiff, v2);
+        b.bind(l_no4);
+        let b2 = b.bin(AluOp::And, code, 2);
+        let l_no2 = b.new_label();
+        b.br(Cond::Eq, b2, 0, l_no2);
+        let half = b.bin(AluOp::Srl, step, 1);
+        let v3 = b.bin(AluOp::Add, vpdiff, half);
+        b.assign(vpdiff, v3);
+        b.bind(l_no2);
+        let b1 = b.bin(AluOp::And, code, 1);
+        let l_no1 = b.new_label();
+        b.br(Cond::Eq, b1, 0, l_no1);
+        let quarter = b.bin(AluOp::Srl, step, 2);
+        let v4 = b.bin(AluOp::Add, vpdiff, quarter);
+        b.assign(vpdiff, v4);
+        b.bind(l_no1);
+
+        let b8 = b.bin(AluOp::And, code, 8);
+        let l_pos = b.new_label();
+        let l_upd = b.new_label();
+        b.br(Cond::Eq, b8, 0, l_pos);
+        let pm = b.bin(AluOp::Sub, pred, vpdiff);
+        b.assign(pred, pm);
+        b.jump(l_upd);
+        b.bind(l_pos);
+        let pp = b.bin(AluOp::Add, pred, vpdiff);
+        b.assign(pred, pp);
+        b.bind(l_upd);
+        clamp(b, pred, -32768, 32767);
+
+        let adj = b.load_idx(MemWidth::D, false, idxt, code);
+        let ni = b.bin(AluOp::Add, index, adj);
+        b.assign(index, ni);
+        clamp(b, index, 0, 88);
+
+        b.store_idx(MemWidth::W, pred, out, i);
+    });
+
+    b.switch_cpu();
+    digest_words(&mut b, g_out, (N_SAMPLES / 2) as i64);
+    b.halt();
+    m.define(f, b.build());
+    m
+}
+
+/// `basicmath` — integer square roots (Newton), GCDs and fixed-point
+/// angle conversions, as in MiBench's basicmath kernel mix.
+pub fn basicmath() -> Module {
+    let mut m = Module::new();
+    let mut rng = Lcg::new(0xBA51C);
+    let inputs: Vec<u64> = (0..320).map(|_| rng.below(1 << 40)).collect();
+    let g_in = m.global_u64("vals", &inputs);
+    let g_out = m.global_zeroed("res", 320 * 8, 8);
+
+    let f = m.declare("main", 0);
+
+    // isqrt(v): Newton iteration on integers.
+    let isqrt = m.declare("isqrt", 1);
+    {
+        let mut b = FuncBuilder::new(1);
+        let v = b.param(0);
+        let early = b.new_label();
+        b.br(Cond::Ltu, v, 2, early);
+        let x = b.bin(AluOp::Srl, v, 1);
+        let top = b.new_label();
+        b.bind(top);
+        let q = b.bin(AluOp::Div, v, x);
+        let s = b.bin(AluOp::Add, x, q);
+        let nx = b.bin(AluOp::Srl, s, 1);
+        let cont = b.new_label();
+        b.br(Cond::Ltu, nx, x, cont);
+        b.ret(Some(Value::Reg(x)));
+        b.bind(cont);
+        b.assign(x, nx);
+        b.jump(top);
+        b.bind(early);
+        b.ret(Some(Value::Reg(v)));
+        m.define(isqrt, b.build());
+    }
+
+    // gcd(a, b): Euclid.
+    let gcd = m.declare("gcd", 2);
+    {
+        let mut b = FuncBuilder::new(2);
+        let a = b.param(0);
+        let bb = b.param(1);
+        let top = b.new_label();
+        b.bind(top);
+        let done = b.new_label();
+        b.br(Cond::Eq, bb, 0, done);
+        let r = b.bin(AluOp::Rem, a, bb);
+        b.assign(a, bb);
+        b.assign(bb, r);
+        b.jump(top);
+        b.bind(done);
+        b.ret(Some(Value::Reg(a)));
+        m.define(gcd, b.build());
+    }
+
+    let mut b = FuncBuilder::new(0);
+    let inp = b.addr_of(g_in);
+    let warm = b.li(0);
+    for_range(&mut b, 320, |b, i| {
+        let v = b.load_idx(MemWidth::D, false, inp, i);
+        let w = b.bin(AluOp::Xor, warm, v);
+        b.assign(warm, w);
+    });
+    b.checkpoint();
+    let out = b.addr_of(g_out);
+    for_range_unrolled(&mut b, 320, 2, |b, i| {
+        let v = b.load_idx(MemWidth::D, false, inp, i);
+        let r = b.call(isqrt, &[Value::Reg(v)]);
+        // deg→rad in Q16: rad = deg * 205887 >> 16  (pi/180 ≈ 205887/2^16/180... scaled)
+        let rad = b.bin(AluOp::Mul, r, 205887);
+        let rad16 = b.bin(AluOp::Srl, rad, 16);
+        let j = b.bin(AluOp::Add, i, 1);
+        let jm = b.bin(AluOp::Rem, j, 320);
+        let v2 = b.load_idx(MemWidth::D, false, inp, jm);
+        let v2m = b.bin(AluOp::Or, v2, 1);
+        let v1m = b.bin(AluOp::Or, v, 1);
+        let g = b.call(gcd, &[Value::Reg(v1m), Value::Reg(v2m)]);
+        let mix = b.bin(AluOp::Xor, rad16, g);
+        let mix2 = b.bin(AluOp::Add, mix, r);
+        b.store_idx(MemWidth::D, mix2, out, i);
+    });
+    b.switch_cpu();
+    digest_words(&mut b, g_out, 320);
+    b.halt();
+    m.define(f, b.build());
+    m
+}
+
+/// `bitcount` — four bit-counting strategies over 160 words.
+pub fn bitcount() -> Module {
+    let mut m = Module::new();
+    let mut rng = Lcg::new(0xB17C);
+    let vals: Vec<u64> = (0..640).map(|_| rng.next_u64()).collect();
+    // 8-bit popcount table.
+    let table: Vec<u8> = (0..256u32).map(|v| v.count_ones() as u8).collect();
+    let g_in = m.global_u64("vals", &vals);
+    let g_tab = m.global("poptab", table, 8);
+    let g_out = m.global_zeroed("counts", 4 * 8, 8);
+
+    let f = m.declare("main", 0);
+    let mut b = FuncBuilder::new(0);
+    let inp = b.addr_of(g_in);
+    let tab = b.addr_of(g_tab);
+    let warm = b.li(0);
+    for_range(&mut b, 640, |b, i| {
+        let v = b.load_idx(MemWidth::D, false, inp, i);
+        let w = b.bin(AluOp::Add, warm, v);
+        b.assign(warm, w);
+    });
+    b.checkpoint();
+
+    let c_kern = b.li(0);
+    let c_tab = b.li(0);
+    let c_shift = b.li(0);
+    let c_par = b.li(0);
+    for_range_unrolled(&mut b, 640, 2, |b, i| {
+        let v = b.load_idx(MemWidth::D, false, inp, i);
+        // Kernighan
+        let x = b.vreg();
+        b.assign(x, v);
+        let top = b.new_label();
+        let done = b.new_label();
+        b.bind(top);
+        b.br(Cond::Eq, x, 0, done);
+        let xm1 = b.bin(AluOp::Sub, x, 1);
+        let nx = b.bin(AluOp::And, x, xm1);
+        b.assign(x, nx);
+        let ck = b.bin(AluOp::Add, c_kern, 1);
+        b.assign(c_kern, ck);
+        b.jump(top);
+        b.bind(done);
+        // table: 8 byte lookups
+        for byte in 0..8i64 {
+            let sh = b.bin(AluOp::Srl, v, byte * 8);
+            let idx = b.bin(AluOp::And, sh, 0xFF);
+            let c = b.load_idx(MemWidth::B, false, tab, idx);
+            let ct = b.bin(AluOp::Add, c_tab, c);
+            b.assign(c_tab, ct);
+        }
+        // shift-and-test over 16 low bits
+        for bit in 0..16i64 {
+            let sh = b.bin(AluOp::Srl, v, bit);
+            let one = b.bin(AluOp::And, sh, 1);
+            let cs = b.bin(AluOp::Add, c_shift, one);
+            b.assign(c_shift, cs);
+        }
+        // parity fold
+        let p1 = b.bin(AluOp::Srl, v, 32);
+        let p2 = b.bin(AluOp::Xor, v, p1);
+        let p3 = b.bin(AluOp::Srl, p2, 16);
+        let p4 = b.bin(AluOp::Xor, p2, p3);
+        let p5 = b.bin(AluOp::Srl, p4, 8);
+        let p6 = b.bin(AluOp::Xor, p4, p5);
+        let pz = b.bin(AluOp::And, p6, 0xFF);
+        let pc = b.load_idx(MemWidth::B, false, tab, pz);
+        let par = b.bin(AluOp::And, pc, 1);
+        let cp = b.bin(AluOp::Add, c_par, par);
+        b.assign(c_par, cp);
+    });
+    let out = b.addr_of(g_out);
+    b.store(MemWidth::D, c_kern, out, 0);
+    b.store(MemWidth::D, c_tab, out, 8);
+    b.store(MemWidth::D, c_shift, out, 16);
+    b.store(MemWidth::D, c_par, out, 24);
+    b.switch_cpu();
+    digest_words(&mut b, g_out, 4);
+    b.halt();
+    m.define(f, b.build());
+    m
+}
+
+/// `crc32` — table-driven CRC-32 over a 1.5 KiB buffer.
+pub fn crc32() -> Module {
+    let mut m = Module::new();
+    // CRC-32 (IEEE) table.
+    let mut table = vec![0u32; 256];
+    for (i, e) in table.iter_mut().enumerate() {
+        let mut c = i as u32;
+        for _ in 0..8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+        }
+        *e = c;
+    }
+    let mut rng = Lcg::new(0xC3C);
+    let data: Vec<u8> = (0..6144).map(|_| rng.next_u32() as u8).collect();
+    let g_tab = m.global_u32("crctab", &table);
+    let g_in = m.global("data", data, 8);
+    let g_out = m.global_zeroed("crcs", 3 * 8, 8);
+
+    let f = m.declare("main", 0);
+    let mut b = FuncBuilder::new(0);
+    let tab = b.addr_of(g_tab);
+    let inp = b.addr_of(g_in);
+    let warm = b.li(0);
+    for_range(&mut b, 6144, |b, i| {
+        let v = b.load_idx(MemWidth::B, false, inp, i);
+        let w = b.bin(AluOp::Add, warm, v);
+        b.assign(warm, w);
+    });
+    b.checkpoint();
+
+    let out = b.addr_of(g_out);
+    // Three passes over thirds of the buffer, like crc32 over three files.
+    for part in 0..3i64 {
+        let crc = b.li(0xFFFF_FFFF);
+        let base_i = part * 2048;
+        for_range_unrolled(&mut b, 2048, 4, |b, i| {
+            let gi = b.bin(AluOp::Add, i, base_i);
+            let byte = b.load_idx(MemWidth::B, false, inp, gi);
+            let x = b.bin(AluOp::Xor, crc, byte);
+            let idx = b.bin(AluOp::And, x, 0xFF);
+            let t = b.load_idx(MemWidth::W, false, tab, idx);
+            let sh = b.bin(AluOp::Srl, crc, 8);
+            let sh32 = b.bin(AluOp::And, sh, 0xFF_FFFF);
+            let nc = b.bin(AluOp::Xor, t, sh32);
+            b.assign(crc, nc);
+        });
+        let fin = b.bin(AluOp::Xor, crc, 0xFFFF_FFFFi64);
+        let fin32 = b.bin(AluOp::Sll, fin, 32);
+        let fin32b = b.bin(AluOp::Srl, fin32, 32);
+        b.store(MemWidth::D, fin32b, out, part * 8);
+    }
+    b.switch_cpu();
+    digest_words(&mut b, g_out, 3);
+    b.halt();
+    m.define(f, b.build());
+    m
+}

@@ -1,0 +1,356 @@
+//! SUSAN-style image kernels (smoothing, edges, corners) and
+//! stringsearch.
+
+use crate::util::{digest_bytes, digest_words, for_range, for_range_unrolled, out_u64, Lcg};
+use marvel_ir::{FuncBuilder, GlobalId, Module, VReg};
+use marvel_isa::{AluOp, Cond, MemWidth};
+
+const W: i64 = 48;
+const H: i64 = 32;
+
+fn make_image(m: &mut Module) -> GlobalId {
+    // Deterministic synthetic scene: gradient + blobs + noise.
+    let mut rng = Lcg::new(0x5CA);
+    let mut img = vec![0u8; (W * H) as usize];
+    for y in 0..H {
+        for x in 0..W {
+            let mut v = (x * 4 + y * 3) as i64;
+            // two bright blobs with hard edges (for corners/edges)
+            if (10..20).contains(&x) && (8..16).contains(&y) {
+                v += 120;
+            }
+            if (28..42).contains(&x) && (18..28).contains(&y) {
+                v += 90;
+            }
+            v += (rng.below(8)) as i64;
+            img[(y * W + x) as usize] = v.clamp(0, 255) as u8;
+        }
+    }
+    m.global("image", img, 8)
+}
+
+/// Emit `|a - b|` into a fresh vreg.
+fn absdiff(b: &mut FuncBuilder, a: VReg, c: VReg) -> VReg {
+    let d = b.bin(AluOp::Sub, a, c);
+    let neg = b.bin(AluOp::Sub, 0, d);
+    let r = b.vreg();
+    let l_neg = b.new_label();
+    let l_done = b.new_label();
+    b.br(Cond::Lt, d, 0, l_neg);
+    b.assign(r, d);
+    b.jump(l_done);
+    b.bind(l_neg);
+    b.assign(r, neg);
+    b.bind(l_done);
+    r
+}
+
+/// USAN count over the 3×3 (`radius = 1`) or 5×5 (`radius = 2`)
+/// neighbourhood of pixel `(x, y)`, with brightness threshold `t`.
+fn usan_count(
+    b: &mut FuncBuilder,
+    img: VReg,
+    x: VReg,
+    y: VReg,
+    radius: i64,
+    t: i64,
+) -> (VReg, VReg) {
+    let row = b.bin(AluOp::Mul, y, W);
+    let center_i = b.bin(AluOp::Add, row, x);
+    let center = b.load_idx(MemWidth::B, false, img, center_i);
+    let count = b.li(0);
+    for dy in -radius..=radius {
+        for dx in -radius..=radius {
+            if dx == 0 && dy == 0 {
+                continue;
+            }
+            let ny = b.bin(AluOp::Add, y, dy);
+            let nx = b.bin(AluOp::Add, x, dx);
+            let nrow = b.bin(AluOp::Mul, ny, W);
+            let ni = b.bin(AluOp::Add, nrow, nx);
+            let p = b.load_idx(MemWidth::B, false, img, ni);
+            let d = absdiff(b, p, center);
+            let similar = b.bin(AluOp::Slt, d, t);
+            let nc = b.bin(AluOp::Add, count, similar);
+            b.assign(count, nc);
+        }
+    }
+    (count, center)
+}
+
+/// `smooth` — SUSAN smoothing: brightness-similarity-gated 3×3 average.
+pub fn smooth() -> Module {
+    let mut m = Module::new();
+    let g_img = make_image(&mut m);
+    let g_out = m.global_zeroed("smoothed", (W * H) as usize, 8);
+    let f = m.declare("main", 0);
+    let mut b = FuncBuilder::new(0);
+    let img = b.addr_of(g_img);
+    let warm = b.li(0);
+    for_range(&mut b, W * H, |b, i| {
+        let v = b.load_idx(MemWidth::B, false, img, i);
+        let w2 = b.bin(AluOp::Add, warm, v);
+        b.assign(warm, w2);
+    });
+    b.checkpoint();
+    let out = b.addr_of(g_out);
+    for_range(&mut b, H - 2, |b, yy| {
+        let y = b.bin(AluOp::Add, yy, 1);
+        for_range_unrolled(b, W - 2, 2, |b, xx| {
+            let x = b.bin(AluOp::Add, xx, 1);
+            let row = b.bin(AluOp::Mul, y, W);
+            let ci = b.bin(AluOp::Add, row, x);
+            let center = b.load_idx(MemWidth::B, false, img, ci);
+            let sum = b.li(0);
+            let cnt = b.li(0);
+            for dy in -1..=1i64 {
+                for dx in -1..=1i64 {
+                    if dx == 0 && dy == 0 {
+                        continue;
+                    }
+                    let ny = b.bin(AluOp::Add, y, dy);
+                    let nx = b.bin(AluOp::Add, x, dx);
+                    let nrow = b.bin(AluOp::Mul, ny, W);
+                    let ni = b.bin(AluOp::Add, nrow, nx);
+                    let p = b.load_idx(MemWidth::B, false, img, ni);
+                    let d = absdiff(b, p, center);
+                    let l_skip = b.new_label();
+                    b.br(Cond::Ge, d, 26, l_skip);
+                    let s2 = b.bin(AluOp::Add, sum, p);
+                    b.assign(sum, s2);
+                    let c2 = b.bin(AluOp::Add, cnt, 1);
+                    b.assign(cnt, c2);
+                    b.bind(l_skip);
+                }
+            }
+            // out = cnt ? sum/cnt : center
+            let r = b.vreg();
+            let l_zero = b.new_label();
+            let l_done = b.new_label();
+            b.br(Cond::Eq, cnt, 0, l_zero);
+            let avg = b.bin(AluOp::Div, sum, cnt);
+            b.assign(r, avg);
+            b.jump(l_done);
+            b.bind(l_zero);
+            b.assign(r, center);
+            b.bind(l_done);
+            b.store_idx(MemWidth::B, r, out, ci);
+        });
+    });
+    b.switch_cpu();
+    digest_bytes(&mut b, g_out, W * H);
+    b.halt();
+    m.define(f, b.build());
+    m
+}
+
+/// `edges` — SUSAN edge response: `max(0, g - usan_area)` over a 5×5 mask.
+pub fn edges() -> Module {
+    let mut m = Module::new();
+    let g_img = make_image(&mut m);
+    let g_out = m.global_zeroed("edgemap", (W * H) as usize, 8);
+    let f = m.declare("main", 0);
+    let mut b = FuncBuilder::new(0);
+    let img = b.addr_of(g_img);
+    let warm = b.li(0);
+    for_range(&mut b, W * H, |b, i| {
+        let v = b.load_idx(MemWidth::B, false, img, i);
+        let w2 = b.bin(AluOp::Add, warm, v);
+        b.assign(warm, w2);
+    });
+    b.checkpoint();
+    let out = b.addr_of(g_out);
+    let edge_count = b.li(0);
+    for_range(&mut b, H - 2, |b, yy| {
+        let y = b.bin(AluOp::Add, yy, 1);
+        for_range_unrolled(b, W - 2, 2, |b, xx| {
+            let x = b.bin(AluOp::Add, xx, 1);
+            let (count, _) = usan_count(b, img, x, y, 1, 20);
+            // response = max(0, 7 - count)
+            let resp = b.bin(AluOp::Sub, 7, count);
+            let l_neg = b.new_label();
+            let l_done = b.new_label();
+            b.br(Cond::Lt, resp, 0, l_neg);
+            b.jump(l_done);
+            b.bind(l_neg);
+            b.assign(resp, 0i64);
+            b.bind(l_done);
+            let row = b.bin(AluOp::Mul, y, W);
+            let ci = b.bin(AluOp::Add, row, x);
+            b.store_idx(MemWidth::B, resp, out, ci);
+            let is_edge = b.bin(AluOp::Slt, 0, resp);
+            let ec = b.bin(AluOp::Add, edge_count, is_edge);
+            b.assign(edge_count, ec);
+        });
+    });
+    b.switch_cpu();
+    digest_bytes(&mut b, g_out, W * H);
+    out_u64(&mut b, edge_count);
+    b.halt();
+    m.define(f, b.build());
+    m
+}
+
+/// `corners` — SUSAN corners: pixels whose 5×5 USAN area falls below the
+/// geometric corner threshold.
+pub fn corners() -> Module {
+    let mut m = Module::new();
+    let g_img = make_image(&mut m);
+    let g_out = m.global_zeroed("cornermap", (W * H) as usize, 8);
+    let f = m.declare("main", 0);
+    let mut b = FuncBuilder::new(0);
+    let img = b.addr_of(g_img);
+    let warm = b.li(0);
+    for_range(&mut b, W * H, |b, i| {
+        let v = b.load_idx(MemWidth::B, false, img, i);
+        let w2 = b.bin(AluOp::Add, warm, v);
+        b.assign(warm, w2);
+    });
+    b.checkpoint();
+    let out = b.addr_of(g_out);
+    let corner_count = b.li(0);
+    for_range(&mut b, H - 2, |b, yy| {
+        let y = b.bin(AluOp::Add, yy, 1);
+        for_range_unrolled(b, W - 2, 2, |b, xx| {
+            let x = b.bin(AluOp::Add, xx, 1);
+            let (count, center) = usan_count(b, img, x, y, 1, 22);
+            // Corner: USAN < 3 and the centre is locally bright-ish.
+            let is_small = b.bin(AluOp::Slt, count, 4);
+            let bright = b.bin(AluOp::Slt, 40, center);
+            let is_corner = b.bin(AluOp::And, is_small, bright);
+            let row = b.bin(AluOp::Mul, y, W);
+            let ci = b.bin(AluOp::Add, row, x);
+            b.store_idx(MemWidth::B, is_corner, out, ci);
+            let cc = b.bin(AluOp::Add, corner_count, is_corner);
+            b.assign(corner_count, cc);
+        });
+    });
+    b.switch_cpu();
+    digest_bytes(&mut b, g_out, W * H);
+    out_u64(&mut b, corner_count);
+    b.halt();
+    m.define(f, b.build());
+    m
+}
+
+/// `stringsearch` — Boyer–Moore–Horspool over a 2 KiB text with 8
+/// patterns.
+pub fn stringsearch() -> Module {
+    let mut m = Module::new();
+    let mut rng = Lcg::new(0x57A);
+    // Word-like text from a small alphabet.
+    let alphabet = b"etaoinshrdlu ";
+    let mut text = vec![0u8; 6144];
+    for t in text.iter_mut() {
+        *t = alphabet[rng.below(alphabet.len() as u64) as usize];
+    }
+    // Plant known patterns.
+    let patterns: Vec<&[u8]> = vec![
+        b"resilience", b"fault", b"marvel", b"inject", b"gem", b"soc", b"avf", b"zzzz",
+    ];
+    let mut pos = 100usize;
+    for p in patterns.iter().take(6) {
+        text[pos..pos + p.len()].copy_from_slice(p);
+        pos += 257;
+    }
+    let g_text = m.global("text", text, 8);
+    // Pattern table: 8 patterns padded to 16 bytes each + length array.
+    let mut pat_bytes = vec![0u8; 8 * 16];
+    let mut pat_lens = vec![0u64; 8];
+    for (i, p) in patterns.iter().enumerate() {
+        pat_bytes[i * 16..i * 16 + p.len()].copy_from_slice(p);
+        pat_lens[i] = p.len() as u64;
+    }
+    let g_pats = m.global("patterns", pat_bytes, 8);
+    let g_lens = m.global_u64("patlens", &pat_lens);
+    let g_skip = m.global_zeroed("skiptab", 256 * 8, 8);
+    let g_out = m.global_zeroed("matches", 8 * 8, 8);
+
+    let f = m.declare("main", 0);
+    let mut b = FuncBuilder::new(0);
+    let text_v = b.addr_of(g_text);
+    let warm = b.li(0);
+    for_range(&mut b, 6144, |b, i| {
+        let v = b.load_idx(MemWidth::B, false, text_v, i);
+        let w = b.bin(AluOp::Add, warm, v);
+        b.assign(warm, w);
+    });
+    b.checkpoint();
+    let pats = b.addr_of(g_pats);
+    let lens = b.addr_of(g_lens);
+    let skip = b.addr_of(g_skip);
+    let out = b.addr_of(g_out);
+
+    for_range(&mut b, 8, |b, pi| {
+        let plen = b.load_idx(MemWidth::D, false, lens, pi);
+        let pbase_off = b.bin(AluOp::Mul, pi, 16);
+        // skip table init: all = plen
+        for_range_unrolled(b, 256, 8, |b, c| {
+            b.store_idx(MemWidth::D, plen, skip, c);
+        });
+        // skip[p[j]] = plen-1-j for j in 0..plen-1
+        let lm1 = b.bin(AluOp::Sub, plen, 1);
+        let j = b.li(0);
+        let jt = b.new_label();
+        let jd = b.new_label();
+        b.bind(jt);
+        b.br(Cond::Ge, j, lm1, jd);
+        let pj = b.bin(AluOp::Add, pbase_off, j);
+        let ch = b.load_idx(MemWidth::B, false, pats, pj);
+        let s = b.bin(AluOp::Sub, lm1, j);
+        b.store_idx(MemWidth::D, s, skip, ch);
+        let j2 = b.bin(AluOp::Add, j, 1);
+        b.assign(j, j2);
+        b.jump(jt);
+        b.bind(jd);
+
+        // search
+        let found = b.li(0);
+        let i = b.vreg();
+        b.assign(i, lm1);
+        let st = b.new_label();
+        let sd = b.new_label();
+        b.bind(st);
+        b.br(Cond::Ge, i, 6144, sd);
+        // compare backwards
+        let k = b.vreg();
+        b.assign(k, lm1);
+        let ti = b.vreg();
+        b.assign(ti, i);
+        let ct = b.new_label();
+        let mismatch = b.new_label();
+        let matched = b.new_label();
+        let advance = b.new_label();
+        b.bind(ct);
+        let tc = b.load_idx(MemWidth::B, false, text_v, ti);
+        let pk = b.bin(AluOp::Add, pbase_off, k);
+        let pc = b.load_idx(MemWidth::B, false, pats, pk);
+        b.br(Cond::Ne, tc, pc, mismatch);
+        let kz = b.new_label();
+        b.br(Cond::Eq, k, 0, matched);
+        b.bind(kz);
+        let k2 = b.bin(AluOp::Sub, k, 1);
+        b.assign(k, k2);
+        let ti2 = b.bin(AluOp::Sub, ti, 1);
+        b.assign(ti, ti2);
+        b.jump(ct);
+        b.bind(matched);
+        let f2 = b.bin(AluOp::Add, found, 1);
+        b.assign(found, f2);
+        b.bind(mismatch);
+        b.jump(advance);
+        b.bind(advance);
+        let last = b.load_idx(MemWidth::B, false, text_v, i);
+        let adv = b.load_idx(MemWidth::D, false, skip, last);
+        let i2 = b.bin(AluOp::Add, i, adv);
+        b.assign(i, i2);
+        b.jump(st);
+        b.bind(sd);
+        b.store_idx(MemWidth::D, found, out, pi);
+    });
+    b.switch_cpu();
+    digest_words(&mut b, g_out, 8);
+    b.halt();
+    m.define(f, b.build());
+    m
+}

@@ -1,0 +1,725 @@
+//! Network/security/consumer MiBench miniatures: dijkstra, fft, patricia,
+//! qsort, rijndael (AES-128), sha (SHA-1).
+
+use crate::util::{digest_words, digest_words32, for_range, for_range_unrolled, out_u64, Lcg};
+use marvel_ir::{FuncBuilder, Module, VReg, Value};
+use marvel_isa::{AluOp, Cond, MemWidth};
+
+/// `dijkstra` — O(N²) single-source shortest paths over a dense
+/// 20-node adjacency matrix, repeated from 4 sources.
+pub fn dijkstra() -> Module {
+    const N: i64 = 28;
+    let mut m = Module::new();
+    let mut rng = Lcg::new(0xD1);
+    let mut adj = vec![0u32; (N * N) as usize];
+    for i in 0..N {
+        for j in 0..N {
+            if i != j {
+                adj[(i * N + j) as usize] = 1 + rng.below(99) as u32;
+            }
+        }
+    }
+    let g_adj = m.global_u32("adj", &adj);
+    let g_dist = m.global_zeroed("dist", (N * 8) as usize, 8);
+    let g_vis = m.global_zeroed("visited", (N * 8) as usize, 8);
+    let g_out = m.global_zeroed("alldist", (3 * N * 8) as usize, 8);
+    const INF: i64 = 1 << 40;
+
+    let f = m.declare("main", 0);
+    let mut b = FuncBuilder::new(0);
+    let adj_v = b.addr_of(g_adj);
+    let warm = b.li(0);
+    for_range(&mut b, N * N, |b, i| {
+        let v = b.load_idx(MemWidth::W, false, adj_v, i);
+        let w = b.bin(AluOp::Add, warm, v);
+        b.assign(warm, w);
+    });
+    b.checkpoint();
+    let dist = b.addr_of(g_dist);
+    let vis = b.addr_of(g_vis);
+    let out = b.addr_of(g_out);
+
+    for src in 0..3i64 {
+        // init
+        for_range(&mut b, N, |b, i| {
+            b.store_idx(MemWidth::D, INF, dist, i);
+            b.store_idx(MemWidth::D, 0i64, vis, i);
+        });
+        b.store(MemWidth::D, 0i64, dist, src * 9 * 8);
+        for_range(&mut b, N, |b, _round| {
+            // find unvisited min
+            let best = b.li(INF);
+            let besti = b.li(-1);
+            for_range_unrolled(b, N, 2, |b, i| {
+                let v = b.load_idx(MemWidth::D, false, vis, i);
+                let skip = b.new_label();
+                b.br(Cond::Ne, v, 0, skip);
+                let d = b.load_idx(MemWidth::D, false, dist, i);
+                b.br(Cond::Ge, d, best, skip);
+                b.assign(best, d);
+                b.assign(besti, i);
+                b.bind(skip);
+            });
+            let none = b.new_label();
+            let go = b.new_label();
+            b.br(Cond::Lt, besti, 0, none);
+            b.jump(go);
+            b.bind(none);
+            b.jump(go); // no early exit construct; relaxation happens naturally
+            b.bind(go);
+            let l_skip_all = b.new_label();
+            b.br(Cond::Lt, besti, 0, l_skip_all);
+            b.store_idx(MemWidth::D, 1i64, vis, besti);
+            // relax neighbours
+            let rowbase = b.bin(AluOp::Mul, besti, N);
+            for_range_unrolled(b, N, 2, |b, j| {
+                let ai = b.bin(AluOp::Add, rowbase, j);
+                let w = b.load_idx(MemWidth::W, false, adj_v, ai);
+                let skip = b.new_label();
+                b.br(Cond::Eq, w, 0, skip);
+                let nd = b.bin(AluOp::Add, best, w);
+                let dj = b.load_idx(MemWidth::D, false, dist, j);
+                b.br(Cond::Ge, nd, dj, skip);
+                b.store_idx(MemWidth::D, nd, dist, j);
+                b.bind(skip);
+            });
+            b.bind(l_skip_all);
+        });
+        // save distances
+        for_range(&mut b, N, |b, i| {
+            let d = b.load_idx(MemWidth::D, false, dist, i);
+            let oi = b.bin(AluOp::Add, i, src * N);
+            b.store_idx(MemWidth::D, d, out, oi);
+        });
+    }
+    b.switch_cpu();
+    digest_words(&mut b, g_out, 3 * N);
+    b.halt();
+    m.define(f, b.build());
+    m
+}
+
+/// `fft` — 64-point fixed-point (Q14) radix-2 decimation-in-time FFT with
+/// a real twiddle table, plus inverse-transform check digest.
+pub fn fft() -> Module {
+    const N: i64 = 256;
+    const LOGN: i64 = 8;
+    const Q: i64 = 14;
+    let mut m = Module::new();
+    // Twiddles: cos/sin for k in 0..N/2, Q14.
+    let mut tw = Vec::new();
+    for k in 0..(N / 2) {
+        let ang = -2.0 * std::f64::consts::PI * k as f64 / N as f64;
+        tw.push(((ang.cos() * (1 << Q) as f64).round() as i64) as u64);
+        tw.push(((ang.sin() * (1 << Q) as f64).round() as i64) as u64);
+    }
+    let g_tw = m.global_u64("twiddles", &tw);
+    // Input: Q14 samples of a synthetic waveform.
+    let mut rng = Lcg::new(0xFF7);
+    let re: Vec<u64> = (0..N)
+        .map(|i| {
+            let v = ((i % 8) as i64 - 4) * 1024 + (rng.below(512) as i64 - 256);
+            v as u64
+        })
+        .collect();
+    let g_re = m.global_u64("re", &re);
+    let g_im = m.global_zeroed("im", (N * 8) as usize, 8);
+    let g_wre = m.global_zeroed("wre", (N * 8) as usize, 8);
+    let g_wim = m.global_zeroed("wim", (N * 8) as usize, 8);
+
+    let f = m.declare("main", 0);
+    let mut b = FuncBuilder::new(0);
+    let re_v = b.addr_of(g_re);
+    let warm = b.li(0);
+    for_range(&mut b, N, |b, i| {
+        let v = b.load_idx(MemWidth::D, false, re_v, i);
+        let w = b.bin(AluOp::Add, warm, v);
+        b.assign(warm, w);
+    });
+    b.checkpoint();
+    let _im_v = b.addr_of(g_im);
+    let wre = b.addr_of(g_wre);
+    let wim = b.addr_of(g_wim);
+    let tw_v = b.addr_of(g_tw);
+
+    // Bit-reversal copy into working arrays.
+    for_range(&mut b, N, |b, i| {
+        // reverse LOGN bits of i
+        let r = b.li(0);
+        for bit in 0..LOGN {
+            let sh = b.bin(AluOp::Srl, i, bit);
+            let one = b.bin(AluOp::And, sh, 1);
+            let up = b.bin(AluOp::Sll, one, LOGN - 1 - bit);
+            let r2 = b.bin(AluOp::Or, r, up);
+            b.assign(r, r2);
+        }
+        let v = b.load_idx(MemWidth::D, false, re_v, i);
+        b.store_idx(MemWidth::D, v, wre, r);
+        b.store_idx(MemWidth::D, 0i64, wim, r);
+    });
+
+    // Butterflies.
+    for s in 1..=LOGN {
+        let mlen = 1i64 << s;
+        let half = mlen / 2;
+        let step = N / mlen;
+        for_range(&mut b, N / mlen, |b, blk| {
+            let base = b.bin(AluOp::Mul, blk, mlen);
+            let unroll = if half >= 4 { 2 } else { 1 };
+            for_range_unrolled(b, half, unroll, |b, j| {
+                let tw_i = b.bin(AluOp::Mul, j, step);
+                let tw_off = b.bin(AluOp::Mul, tw_i, 2);
+                let wr = b.load_idx(MemWidth::D, false, tw_v, tw_off);
+                let two = b.bin(AluOp::Add, tw_off, 1);
+                let wi = b.load_idx(MemWidth::D, false, tw_v, two);
+                let i0 = b.bin(AluOp::Add, base, j);
+                let i1 = b.bin(AluOp::Add, i0, half);
+                let xr = b.load_idx(MemWidth::D, false, wre, i1);
+                let xi = b.load_idx(MemWidth::D, false, wim, i1);
+                // t = w * x (complex, Q14)
+                let a = b.bin(AluOp::Mul, wr, xr);
+                let c = b.bin(AluOp::Mul, wi, xi);
+                let tr0 = b.bin(AluOp::Sub, a, c);
+                let tr = b.bin(AluOp::Sra, tr0, Q);
+                let d = b.bin(AluOp::Mul, wr, xi);
+                let e = b.bin(AluOp::Mul, wi, xr);
+                let ti0 = b.bin(AluOp::Add, d, e);
+                let ti = b.bin(AluOp::Sra, ti0, Q);
+                let ur = b.load_idx(MemWidth::D, false, wre, i0);
+                let ui = b.load_idx(MemWidth::D, false, wim, i0);
+                let sr = b.bin(AluOp::Add, ur, tr);
+                let si = b.bin(AluOp::Add, ui, ti);
+                let dr = b.bin(AluOp::Sub, ur, tr);
+                let di = b.bin(AluOp::Sub, ui, ti);
+                b.store_idx(MemWidth::D, sr, wre, i0);
+                b.store_idx(MemWidth::D, si, wim, i0);
+                b.store_idx(MemWidth::D, dr, wre, i1);
+                b.store_idx(MemWidth::D, di, wim, i1);
+            });
+        });
+    }
+    b.switch_cpu();
+    digest_words(&mut b, g_wre, N);
+    digest_words(&mut b, g_wim, N);
+    b.halt();
+    m.define(f, b.build());
+    m
+}
+
+/// `patricia` — bitwise trie (Patricia-style) over 32-bit keys:
+/// insert 64, probe 128.
+pub fn patricia() -> Module {
+    let mut m = Module::new();
+    let mut rng = Lcg::new(0x9A7);
+    let inserts: Vec<u64> = (0..160).map(|_| rng.next_u32() as u64).collect();
+    let mut probes: Vec<u64> = inserts.iter().take(160).copied().collect();
+    probes.extend((0..160).map(|_| rng.next_u32() as u64));
+    let g_ins = m.global_u64("inserts", &inserts);
+    let g_probe = m.global_u64("probes", &probes);
+    // Node pool: [key, left, right] × 512; node 0 = sentinel root.
+    let g_pool = m.global_zeroed("pool", 1024 * 24, 8);
+    let g_out = m.global_zeroed("hits", 16, 8);
+
+    let f = m.declare("main", 0);
+    let mut b = FuncBuilder::new(0);
+    let ins = b.addr_of(g_ins);
+    let warm = b.li(0);
+    for_range(&mut b, 160, |b, i| {
+        let v = b.load_idx(MemWidth::D, false, ins, i);
+        let w = b.bin(AluOp::Xor, warm, v);
+        b.assign(warm, w);
+    });
+    b.checkpoint();
+    let pool = b.addr_of(g_pool);
+    let probe = b.addr_of(g_probe);
+    let out = b.addr_of(g_out);
+    let next_free = b.li(1);
+
+    // Insert.
+    for_range_unrolled(&mut b, 160, 2, |b, i| {
+        let key = b.load_idx(MemWidth::D, false, ins, i);
+        let node = b.li(0);
+        let bit = b.li(31);
+        let top = b.new_label();
+        let done = b.new_label();
+        b.bind(top);
+        b.br(Cond::Lt, bit, 0, done);
+        let sh = b.bin(AluOp::Srl, key, bit);
+        let dir = b.bin(AluOp::And, sh, 1);
+        // child slot offset = node*24 + 8 + dir*8
+        let nb = b.bin(AluOp::Mul, node, 24);
+        let ds = b.bin(AluOp::Mul, dir, 8);
+        let slot0 = b.bin(AluOp::Add, nb, 8);
+        let slot = b.bin(AluOp::Add, slot0, ds);
+        let addr = b.bin(AluOp::Add, pool, slot);
+        let child = b.load(MemWidth::D, false, addr, 0);
+        let have = b.new_label();
+        b.br(Cond::Ne, child, 0, have);
+        // allocate
+        let newn = b.vreg();
+        b.assign(newn, next_free);
+        let nf2 = b.bin(AluOp::Add, next_free, 1);
+        b.assign(next_free, nf2);
+        b.store(MemWidth::D, newn, addr, 0);
+        b.assign(child, newn);
+        b.bind(have);
+        b.assign(node, child);
+        let b2 = b.bin(AluOp::Sub, bit, 1);
+        b.assign(bit, b2);
+        // stop after 12 levels (compressed path: store key at leaf level)
+        let lvl = b.bin(AluOp::Sub, 31, bit);
+        b.br(Cond::Lt, lvl, 12, top);
+        b.bind(done);
+        let nb2 = b.bin(AluOp::Mul, node, 24);
+        let kaddr = b.bin(AluOp::Add, pool, nb2);
+        b.store(MemWidth::D, key, kaddr, 0);
+    });
+
+    // Probe.
+    let hits = b.li(0);
+    let misses = b.li(0);
+    for_range_unrolled(&mut b, 320, 2, |b, i| {
+        let key = b.load_idx(MemWidth::D, false, probe, i);
+        let node = b.li(0);
+        let bit = b.li(31);
+        let fail = b.new_label();
+        let check = b.new_label();
+        let top = b.new_label();
+        let next = b.new_label();
+        b.bind(top);
+        let sh = b.bin(AluOp::Srl, key, bit);
+        let dir = b.bin(AluOp::And, sh, 1);
+        let nb = b.bin(AluOp::Mul, node, 24);
+        let ds = b.bin(AluOp::Mul, dir, 8);
+        let slot0 = b.bin(AluOp::Add, nb, 8);
+        let slot = b.bin(AluOp::Add, slot0, ds);
+        let addr = b.bin(AluOp::Add, pool, slot);
+        let child = b.load(MemWidth::D, false, addr, 0);
+        b.br(Cond::Eq, child, 0, fail);
+        b.assign(node, child);
+        let b2 = b.bin(AluOp::Sub, bit, 1);
+        b.assign(bit, b2);
+        let lvl = b.bin(AluOp::Sub, 31, bit);
+        b.br(Cond::Lt, lvl, 12, top);
+        b.jump(check);
+        b.bind(check);
+        let nb2 = b.bin(AluOp::Mul, node, 24);
+        let kaddr = b.bin(AluOp::Add, pool, nb2);
+        let stored = b.load(MemWidth::D, false, kaddr, 0);
+        b.br(Cond::Ne, stored, key, fail);
+        let h2 = b.bin(AluOp::Add, hits, 1);
+        b.assign(hits, h2);
+        b.jump(next);
+        b.bind(fail);
+        let m2 = b.bin(AluOp::Add, misses, 1);
+        b.assign(misses, m2);
+        b.bind(next);
+    });
+    b.store(MemWidth::D, hits, out, 0);
+    b.store(MemWidth::D, misses, out, 8);
+    b.switch_cpu();
+    digest_words(&mut b, g_out, 2);
+    out_u64(&mut b, next_free);
+    b.halt();
+    m.define(f, b.build());
+    m
+}
+
+/// `qsort` — recursive quicksort (Lomuto) over 220 32-bit keys.
+pub fn qsort() -> Module {
+    const N: i64 = 1280;
+    let mut m = Module::new();
+    let mut rng = Lcg::new(0x4507);
+    let vals: Vec<u32> = (0..N).map(|_| rng.next_u32()).collect();
+    let g_arr = m.global_u32("arr", &vals);
+    let f = m.declare("main", 0);
+    let qs = m.declare("qs", 3); // (base, lo, hi)
+
+    {
+        let mut b = FuncBuilder::new(3);
+        let base = b.param(0);
+        let lo = b.param(1);
+        let hi = b.param(2);
+        let done = b.new_label();
+        b.br(Cond::Ge, lo, hi, done);
+        // pivot = arr[hi]
+        let pivot = b.load_idx(MemWidth::W, false, base, hi);
+        let i = b.vreg();
+        b.assign(i, lo);
+        let j = b.vreg();
+        b.assign(j, lo);
+        let top = b.new_label();
+        let skip = b.new_label();
+        let endloop = b.new_label();
+        b.bind(top);
+        b.br(Cond::Ge, j, hi, endloop);
+        let aj = b.load_idx(MemWidth::W, false, base, j);
+        b.br(Cond::Geu, aj, pivot, skip);
+        let ai = b.load_idx(MemWidth::W, false, base, i);
+        b.store_idx(MemWidth::W, aj, base, i);
+        b.store_idx(MemWidth::W, ai, base, j);
+        let i2 = b.bin(AluOp::Add, i, 1);
+        b.assign(i, i2);
+        b.bind(skip);
+        let j2 = b.bin(AluOp::Add, j, 1);
+        b.assign(j, j2);
+        b.jump(top);
+        b.bind(endloop);
+        let ai = b.load_idx(MemWidth::W, false, base, i);
+        b.store_idx(MemWidth::W, pivot, base, i);
+        b.store_idx(MemWidth::W, ai, base, hi);
+        // recurse
+        let im1 = b.bin(AluOp::Sub, i, 1);
+        let l_right = b.new_label();
+        b.br(Cond::Ge, lo, im1, l_right);
+        b.call_void(qs, &[Value::Reg(base), Value::Reg(lo), Value::Reg(im1)]);
+        b.bind(l_right);
+        let ip1 = b.bin(AluOp::Add, i, 1);
+        b.br(Cond::Ge, ip1, hi, done);
+        b.call_void(qs, &[Value::Reg(base), Value::Reg(ip1), Value::Reg(hi)]);
+        b.bind(done);
+        b.ret(None);
+        m.define(qs, b.build());
+    }
+
+    let mut b = FuncBuilder::new(0);
+    let arr = b.addr_of(g_arr);
+    let warm = b.li(0);
+    for_range(&mut b, N, |b, i| {
+        let v = b.load_idx(MemWidth::W, false, arr, i);
+        let w = b.bin(AluOp::Add, warm, v);
+        b.assign(warm, w);
+    });
+    b.checkpoint();
+    b.call_void(qs, &[Value::Reg(arr), Value::Imm(0), Value::Imm(N - 1)]);
+    b.switch_cpu();
+    digest_words32(&mut b, g_arr, N);
+    b.halt();
+    m.define(f, b.build());
+    m
+}
+
+// AES tables/reference for rijndael.
+const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76,
+    0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0,
+    0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+    0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75,
+    0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84,
+    0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+    0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8,
+    0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5, 0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2,
+    0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+    0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb,
+    0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79,
+    0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+    0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a,
+    0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e,
+    0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16,
+];
+
+fn aes_round_keys(key: [u8; 16]) -> Vec<u8> {
+    let mut w = vec![0u32; 44];
+    for i in 0..4 {
+        w[i] = u32::from_be_bytes([key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]]);
+    }
+    let mut rcon: u32 = 0x0100_0000;
+    for i in 4..44 {
+        let mut t = w[i - 1];
+        if i % 4 == 0 {
+            t = t.rotate_left(8);
+            let b = t.to_be_bytes();
+            t = u32::from_be_bytes([SBOX[b[0] as usize], SBOX[b[1] as usize], SBOX[b[2] as usize], SBOX[b[3] as usize]]);
+            t ^= rcon;
+            rcon = xtime32(rcon);
+        }
+        w[i] = w[i - 4] ^ t;
+    }
+    w.iter().flat_map(|v| v.to_be_bytes()).collect()
+}
+
+fn xtime32(v: u32) -> u32 {
+    let b = (v >> 24) as u8;
+    let x = if b & 0x80 != 0 { (b << 1) ^ 0x1b } else { b << 1 };
+    (x as u32) << 24
+}
+
+/// `rijndael` — AES-128 ECB encryption of 8 blocks (SubBytes, ShiftRows,
+/// MixColumns, AddRoundKey in IR over precomputed round keys).
+pub fn rijndael() -> Module {
+    let mut m = Module::new();
+    let key: [u8; 16] = *b"MARVEL-HPCA-2024";
+    let rk = aes_round_keys(key);
+    let mut rng = Lcg::new(0xAE5);
+    let pt: Vec<u8> = (0..256).map(|_| rng.next_u32() as u8).collect();
+    let g_sbox = m.global("sbox", SBOX.to_vec(), 8);
+    let g_rk = m.global("roundkeys", rk, 8);
+    let g_state = m.global("state", pt, 8);
+
+    let f = m.declare("main", 0);
+    let mut b = FuncBuilder::new(0);
+    let sbox = b.addr_of(g_sbox);
+    let warm = b.li(0);
+    for_range(&mut b, 256, |b, i| {
+        let v = b.load_idx(MemWidth::B, false, sbox, i);
+        let w = b.bin(AluOp::Add, warm, v);
+        b.assign(warm, w);
+    });
+    b.checkpoint();
+    let rk_v = b.addr_of(g_rk);
+    let st = b.addr_of(g_state);
+
+    // xtime(a) = (a<<1) ^ (a&0x80 ? 0x1b : 0), all mod 256.
+    for_range(&mut b, 16, |b, blk| {
+        let base = b.bin(AluOp::Mul, blk, 16);
+        // AddRoundKey(0)
+        for i in 0..16i64 {
+            let si = b.bin(AluOp::Add, base, i);
+            let v = b.load_idx(MemWidth::B, false, st, si);
+            let k = b.load(MemWidth::B, false, rk_v, i);
+            let x = b.bin(AluOp::Xor, v, k);
+            b.store_idx(MemWidth::B, x, st, si);
+        }
+        // Rounds 1..=9 as a runtime loop (MixColumns included);
+        // round 10 (no MixColumns) is peeled below.
+        let round = b.li(1);
+        let r_top = b.new_label();
+        b.bind(r_top);
+        // SubBytes
+        for i in 0..16i64 {
+            let si = b.bin(AluOp::Add, base, i);
+            let v = b.load_idx(MemWidth::B, false, st, si);
+            let s = b.load_idx(MemWidth::B, false, sbox, v);
+            b.store_idx(MemWidth::B, s, st, si);
+        }
+        // ShiftRows
+        for r in 1..4i64 {
+            let mut cells = Vec::new();
+            for c in 0..4i64 {
+                let si = b.bin(AluOp::Add, base, r + 4 * c);
+                cells.push(b.load_idx(MemWidth::B, false, st, si));
+            }
+            for c in 0..4i64 {
+                let si = b.bin(AluOp::Add, base, r + 4 * c);
+                let src = cells[((c + r) % 4) as usize];
+                b.store_idx(MemWidth::B, src, st, si);
+            }
+        }
+        // MixColumns
+        for c in 0..4i64 {
+            let mut a = Vec::new();
+            for r in 0..4i64 {
+                let si = b.bin(AluOp::Add, base, 4 * c + r);
+                a.push(b.load_idx(MemWidth::B, false, st, si));
+            }
+            let xt = |b: &mut FuncBuilder, v: VReg| -> VReg {
+                let hi = b.bin(AluOp::And, v, 0x80);
+                let sh = b.bin(AluOp::Sll, v, 1);
+                let sh8 = b.bin(AluOp::And, sh, 0xFF);
+                let sel = b.bin(AluOp::Sltu, 0, hi);
+                let poly = b.bin(AluOp::Mul, sel, 0x1b);
+                b.bin(AluOp::Xor, sh8, poly)
+            };
+            for r in 0..4i64 {
+                let a0 = a[r as usize];
+                let a1 = a[((r + 1) % 4) as usize];
+                let a2 = a[((r + 2) % 4) as usize];
+                let a3 = a[((r + 3) % 4) as usize];
+                let x0 = xt(b, a0);
+                let x1 = xt(b, a1);
+                let t1 = b.bin(AluOp::Xor, x0, x1);
+                let t2 = b.bin(AluOp::Xor, t1, a1);
+                let t3 = b.bin(AluOp::Xor, t2, a2);
+                let nv = b.bin(AluOp::Xor, t3, a3);
+                let si = b.bin(AluOp::Add, base, 4 * c + r);
+                b.store_idx(MemWidth::B, nv, st, si);
+            }
+        }
+        // AddRoundKey(round)
+        let rk_base = b.bin(AluOp::Mul, round, 16);
+        for i in 0..16i64 {
+            let si = b.bin(AluOp::Add, base, i);
+            let v = b.load_idx(MemWidth::B, false, st, si);
+            let ki = b.bin(AluOp::Add, rk_base, i);
+            let k = b.load_idx(MemWidth::B, false, rk_v, ki);
+            let x = b.bin(AluOp::Xor, v, k);
+            b.store_idx(MemWidth::B, x, st, si);
+        }
+        let r2 = b.bin(AluOp::Add, round, 1);
+        b.assign(round, r2);
+        b.br(Cond::Lt, round, 10, r_top);
+
+        // Final round: SubBytes + ShiftRows + AddRoundKey(10).
+        for i in 0..16i64 {
+            let si = b.bin(AluOp::Add, base, i);
+            let v = b.load_idx(MemWidth::B, false, st, si);
+            let s = b.load_idx(MemWidth::B, false, sbox, v);
+            b.store_idx(MemWidth::B, s, st, si);
+        }
+        for r in 1..4i64 {
+            let mut cells = Vec::new();
+            for c in 0..4i64 {
+                let si = b.bin(AluOp::Add, base, r + 4 * c);
+                cells.push(b.load_idx(MemWidth::B, false, st, si));
+            }
+            for c in 0..4i64 {
+                let si = b.bin(AluOp::Add, base, r + 4 * c);
+                let src = cells[((c + r) % 4) as usize];
+                b.store_idx(MemWidth::B, src, st, si);
+            }
+        }
+        for i in 0..16i64 {
+            let si = b.bin(AluOp::Add, base, i);
+            let v = b.load_idx(MemWidth::B, false, st, si);
+            let k = b.load(MemWidth::B, false, rk_v, 160 + i);
+            let x = b.bin(AluOp::Xor, v, k);
+            b.store_idx(MemWidth::B, x, st, si);
+        }
+    });
+    b.switch_cpu();
+    digest_words(&mut b, g_state, 32);
+    b.halt();
+    m.define(f, b.build());
+    m
+}
+
+/// `sha` — SHA-1 over 256 bytes (4 blocks, full 80-round compression).
+pub fn sha() -> Module {
+    let mut m = Module::new();
+    let mut rng = Lcg::new(0x5A1);
+    let data: Vec<u8> = (0..1024).map(|_| rng.next_u32() as u8).collect();
+    let g_in = m.global("msg", data, 8);
+    let g_w = m.global_zeroed("wsched", 80 * 8, 8);
+    let g_h = m.global_u64(
+        "h",
+        &[0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0],
+    );
+
+    let f = m.declare("main", 0);
+    let mut b = FuncBuilder::new(0);
+    let inp = b.addr_of(g_in);
+    let warm = b.li(0);
+    for_range(&mut b, 1024, |b, i| {
+        let v = b.load_idx(MemWidth::B, false, inp, i);
+        let w = b.bin(AluOp::Add, warm, v);
+        b.assign(warm, w);
+    });
+    b.checkpoint();
+    let wv = b.addr_of(g_w);
+    let hv = b.addr_of(g_h);
+    const M32: i64 = 0xFFFF_FFFF;
+
+    let rotl = |b: &mut FuncBuilder, v: VReg, n: i64| -> VReg {
+        let l = b.bin(AluOp::Sll, v, n);
+        let r = b.bin(AluOp::Srl, v, 32 - n);
+        let o = b.bin(AluOp::Or, l, r);
+        b.bin(AluOp::And, o, M32)
+    };
+
+    // Blocks as a runtime loop; within a block the four 20-round phases
+    // are unrolled 4 rounds per iteration (compiler-style unrolling).
+    for_range(&mut b, 16, |b, blk| {
+        let blk_base = b.bin(AluOp::Mul, blk, 64);
+        // Message schedule 0..16.
+        for_range(b, 16, |b, t| {
+            let t4 = b.bin(AluOp::Mul, t, 4);
+            let idx = b.bin(AluOp::Add, blk_base, t4);
+            let w = b.li(0);
+            for byte in 0..4i64 {
+                let bi = b.bin(AluOp::Add, idx, byte);
+                let v = b.load_idx(MemWidth::B, false, inp, bi);
+                let sh = b.bin(AluOp::Sll, w, 8);
+                let nw = b.bin(AluOp::Or, sh, v);
+                b.assign(w, nw);
+            }
+            b.store_idx(MemWidth::D, w, wv, t);
+        });
+        // Expansion 16..80.
+        for_range(b, 64, |b, tt| {
+            let t = b.bin(AluOp::Add, tt, 16);
+            let i3 = b.bin(AluOp::Sub, t, 3);
+            let i8 = b.bin(AluOp::Sub, t, 8);
+            let i14 = b.bin(AluOp::Sub, t, 14);
+            let i16 = b.bin(AluOp::Sub, t, 16);
+            let w3 = b.load_idx(MemWidth::D, false, wv, i3);
+            let w8 = b.load_idx(MemWidth::D, false, wv, i8);
+            let w14 = b.load_idx(MemWidth::D, false, wv, i14);
+            let w16 = b.load_idx(MemWidth::D, false, wv, i16);
+            let x1 = b.bin(AluOp::Xor, w3, w8);
+            let x2 = b.bin(AluOp::Xor, x1, w14);
+            let x3 = b.bin(AluOp::Xor, x2, w16);
+            let l = b.bin(AluOp::Sll, x3, 1);
+            let r = b.bin(AluOp::Srl, x3, 31);
+            let o = b.bin(AluOp::Or, l, r);
+            let w = b.bin(AluOp::And, o, M32);
+            b.store_idx(MemWidth::D, w, wv, t);
+        });
+        // Compression: 4 phases x (5 iterations x 4 unrolled rounds).
+        let a = b.load(MemWidth::D, false, hv, 0);
+        let bb = b.load(MemWidth::D, false, hv, 8);
+        let c = b.load(MemWidth::D, false, hv, 16);
+        let d = b.load(MemWidth::D, false, hv, 24);
+        let e = b.load(MemWidth::D, false, hv, 32);
+        for phase in 0..4i64 {
+            let (k, fexpr): (i64, u8) = match phase {
+                0 => (0x5A827999, 0),
+                1 => (0x6ED9EBA1, 1),
+                2 => (0x8F1BBCDC, 2),
+                _ => (0xCA62C1D6, 1),
+            };
+            let t = b.li(phase * 20);
+            let p_top = b.new_label();
+            b.bind(p_top);
+            for u in 0..4i64 {
+                let fv = match fexpr {
+                    0 => {
+                        let t1 = b.bin(AluOp::And, bb, c);
+                        let nb = b.bin(AluOp::Xor, bb, M32);
+                        let t2 = b.bin(AluOp::And, nb, d);
+                        b.bin(AluOp::Or, t1, t2)
+                    }
+                    1 => {
+                        let t1 = b.bin(AluOp::Xor, bb, c);
+                        b.bin(AluOp::Xor, t1, d)
+                    }
+                    _ => {
+                        let t1 = b.bin(AluOp::And, bb, c);
+                        let t2 = b.bin(AluOp::And, bb, d);
+                        let t3 = b.bin(AluOp::And, c, d);
+                        let t4 = b.bin(AluOp::Or, t1, t2);
+                        b.bin(AluOp::Or, t4, t3)
+                    }
+                };
+                let a5 = rotl(&mut *b, a, 5);
+                let s1 = b.bin(AluOp::Add, a5, fv);
+                let s2 = b.bin(AluOp::Add, s1, e);
+                let tu = b.bin(AluOp::Add, t, u);
+                let wt = b.load_idx(MemWidth::D, false, wv, tu);
+                let s3 = b.bin(AluOp::Add, s2, wt);
+                let s4 = b.bin(AluOp::Add, s3, k);
+                let tmp = b.bin(AluOp::And, s4, M32);
+                b.assign(e, d);
+                b.assign(d, c);
+                let b30 = rotl(&mut *b, bb, 30);
+                b.assign(c, b30);
+                b.assign(bb, a);
+                b.assign(a, tmp);
+            }
+            let t2 = b.bin(AluOp::Add, t, 4);
+            b.assign(t, t2);
+            b.br(Cond::Lt, t, (phase + 1) * 20, p_top);
+        }
+        for (i, v) in [(0i64, a), (8, bb), (16, c), (24, d), (32, e)] {
+            let old = b.load(MemWidth::D, false, hv, i);
+            let s = b.bin(AluOp::Add, old, v);
+            let s32 = b.bin(AluOp::And, s, M32);
+            b.store(MemWidth::D, s32, hv, i);
+        }
+    });
+    b.switch_cpu();
+    digest_words(&mut b, g_h, 5);
+    b.halt();
+    m.define(f, b.build());
+    m
+}

@@ -1,0 +1,54 @@
+//! The 15-benchmark MiBench-style suite used throughout the paper's CPU
+//! case studies (Section III-D).
+//!
+//! Every benchmark is a faithful miniature of its namesake's kernel,
+//! written once against the portable IR and compiled per ISA. Each
+//! program: warms its data, executes the `Checkpoint` marker (the
+//! `m5_checkpoint()` analogue — campaigns snapshot here), runs its kernel,
+//! emits an output digest (the SDC comparison stream) and halts.
+
+mod auto;
+mod image;
+mod misc;
+
+pub use auto::{adpcmd, adpcme, basicmath, bitcount, crc32};
+pub use image::{corners, edges, smooth, stringsearch};
+pub use misc::{dijkstra, fft, patricia, qsort, rijndael, sha};
+
+use marvel_ir::Module;
+
+/// Benchmark names in the paper's figure order.
+pub const NAMES: [&str; 15] = [
+    "adpcmd", "adpcme", "basicmath", "bitcount", "corners", "crc32", "dijkstra", "edges", "fft",
+    "patricia", "qsort", "rijndael", "sha", "smooth", "stringsearch",
+];
+
+/// Build a benchmark by name.
+///
+/// # Panics
+/// Panics on an unknown name.
+pub fn build(name: &str) -> Module {
+    match name {
+        "adpcmd" => adpcmd(),
+        "adpcme" => adpcme(),
+        "basicmath" => basicmath(),
+        "bitcount" => bitcount(),
+        "corners" => corners(),
+        "crc32" => crc32(),
+        "dijkstra" => dijkstra(),
+        "edges" => edges(),
+        "fft" => fft(),
+        "patricia" => patricia(),
+        "qsort" => qsort(),
+        "rijndael" => rijndael(),
+        "sha" => sha(),
+        "smooth" => smooth(),
+        "stringsearch" => stringsearch(),
+        _ => panic!("unknown benchmark {name}"),
+    }
+}
+
+/// The whole suite: `(name, module)` pairs.
+pub fn suite() -> Vec<(&'static str, Module)> {
+    NAMES.iter().map(|&n| (n, build(n))).collect()
+}

@@ -1,0 +1,162 @@
+//! Shared workload-construction helpers: deterministic input generation,
+//! counted loops and output digests.
+
+use marvel_ir::{FuncBuilder, GlobalId, VReg, Value};
+use marvel_isa::{AluOp, Cond, MemWidth};
+
+/// Deterministic 64-bit LCG used to generate workload inputs at build
+/// time (Numerical Recipes constants).
+#[derive(Debug, Clone)]
+pub struct Lcg(pub u64);
+
+impl Lcg {
+    pub fn new(seed: u64) -> Self {
+        Lcg(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0
+    }
+
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform value in `0..bound`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+/// Emit a counted loop `for i in 0..n { body(b, i) }`.
+///
+/// The loop always executes at least once; callers must pass `n >= 1`.
+pub fn for_range(b: &mut FuncBuilder, n: i64, body: impl FnOnce(&mut FuncBuilder, VReg)) {
+    debug_assert!(n >= 1);
+    let i = b.li(0);
+    let top = b.new_label();
+    b.bind(top);
+    body(b, i);
+    let i2 = b.bin(AluOp::Add, i, 1);
+    b.assign(i, i2);
+    b.br(Cond::Lt, i, n, top);
+}
+
+/// Emit a counted loop unrolled by `factor` (compiler-style unrolling —
+/// grows the code footprint the way `-O2`/`-funroll-loops` builds of the
+/// real MiBench do). `n` must be a positive multiple of `factor`.
+pub fn for_range_unrolled(
+    b: &mut FuncBuilder,
+    n: i64,
+    factor: i64,
+    body: impl Fn(&mut FuncBuilder, VReg),
+) {
+    assert!(factor >= 1 && n >= factor && n % factor == 0);
+    let i = b.li(0);
+    let top = b.new_label();
+    b.bind(top);
+    for u in 0..factor {
+        let iu = if u == 0 { i } else { b.bin(AluOp::Add, i, u) };
+        body(b, iu);
+    }
+    let i2 = b.bin(AluOp::Add, i, factor);
+    b.assign(i, i2);
+    b.br(Cond::Lt, i, n, top);
+}
+
+/// Emit a counted loop with a runtime bound held in a vreg.
+pub fn for_range_reg(b: &mut FuncBuilder, n: VReg, body: impl FnOnce(&mut FuncBuilder, VReg)) {
+    let i = b.li(0);
+    let top = b.new_label();
+    b.bind(top);
+    body(b, i);
+    let i2 = b.bin(AluOp::Add, i, 1);
+    b.assign(i, i2);
+    b.br(Cond::Lt, i, n, top);
+}
+
+/// Emit the 8 bytes of `v` to the console (LSB first).
+pub fn out_u64(b: &mut FuncBuilder, v: impl Into<Value> + Copy) {
+    for k in 0..8i64 {
+        let sh = b.bin(AluOp::Srl, v, k * 8);
+        b.out_byte(sh);
+    }
+}
+
+/// Mix `n_words` 64-bit words starting at `global` into a digest register
+/// (`h = h*31 ^ word`) and emit it. This is the standard benchmark output
+/// the SDC comparison keys on.
+pub fn digest_words(b: &mut FuncBuilder, base_of: GlobalId, n_words: i64) {
+    let base = b.addr_of(base_of);
+    let h = b.li(0);
+    for_range(b, n_words, |b, i| {
+        let w = b.load_idx(MemWidth::D, false, base, i);
+        let h31 = b.bin(AluOp::Mul, h, 31);
+        let hx = b.bin(AluOp::Xor, h31, w);
+        b.assign(h, hx);
+    });
+    out_u64(b, h);
+}
+
+/// Same digest over 32-bit words.
+pub fn digest_words32(b: &mut FuncBuilder, base_of: GlobalId, n_words: i64) {
+    let base = b.addr_of(base_of);
+    let h = b.li(0);
+    for_range(b, n_words, |b, i| {
+        let w = b.load_idx(MemWidth::W, false, base, i);
+        let h31 = b.bin(AluOp::Mul, h, 31);
+        let hx = b.bin(AluOp::Xor, h31, w);
+        b.assign(h, hx);
+    });
+    out_u64(b, h);
+}
+
+/// Same digest over bytes.
+pub fn digest_bytes(b: &mut FuncBuilder, base_of: GlobalId, n: i64) {
+    let base = b.addr_of(base_of);
+    let h = b.li(0);
+    for_range(b, n, |b, i| {
+        let w = b.load_idx(MemWidth::B, false, base, i);
+        let h31 = b.bin(AluOp::Mul, h, 31);
+        let hx = b.bin(AluOp::Xor, h31, w);
+        b.assign(h, hx);
+    });
+    out_u64(b, h);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marvel_ir::{interp, Module};
+
+    #[test]
+    fn lcg_deterministic_and_bounded() {
+        let mut a = Lcg::new(42);
+        let mut b = Lcg::new(42);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        for _ in 0..100 {
+            assert!(a.below(17) < 17);
+        }
+    }
+
+    #[test]
+    fn for_range_and_digest() {
+        let mut m = Module::new();
+        let g = m.global_u64("t", &[1, 2, 3, 4]);
+        let f = m.declare("main", 0);
+        let mut b = FuncBuilder::new(0);
+        digest_words(&mut b, g, 4);
+        b.halt();
+        m.define(f, b.build());
+        let r = interp::run(&m, 100_000).unwrap();
+        // h = ((((0*31^1)*31^2)*31^3)*31^4)
+        let mut h: u64 = 0;
+        for w in [1u64, 2, 3, 4] {
+            h = h.wrapping_mul(31) ^ w;
+        }
+        assert_eq!(r.output, h.to_le_bytes().to_vec());
+    }
+}

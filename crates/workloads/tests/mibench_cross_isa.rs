@@ -1,0 +1,45 @@
+//! Cross-ISA differential execution: every benchmark, compiled for every
+//! ISA flavour, must reproduce the interpreter's golden output on the
+//! cycle-level out-of-order core.
+
+use marvel_cpu::CoreConfig;
+use marvel_ir::{assemble, interp};
+use marvel_isa::Isa;
+use marvel_soc::{RunOutcome, System};
+use marvel_workloads::mibench;
+
+const MAX_CYCLES: u64 = 60_000_000;
+
+fn run_bench(name: &str, isa: Isa) -> (Vec<u8>, u64, usize) {
+    let m = mibench::build(name);
+    let bin = assemble(&m, isa).unwrap_or_else(|e| panic!("{name}/{isa}: assemble: {e}"));
+    let code = bin.code_len;
+    let mut sys = System::new(CoreConfig::table2(isa));
+    sys.load_binary(&bin);
+    match sys.run(MAX_CYCLES) {
+        RunOutcome::Halted { cycles } => (sys.output().to_vec(), cycles, code),
+        RunOutcome::Crashed { trap, cycles } => {
+            panic!("{name}/{isa}: crashed fault-free at cycle {cycles}: {trap}")
+        }
+        RunOutcome::Timeout => panic!("{name}/{isa}: timeout"),
+    }
+}
+
+#[test]
+fn suite_matches_golden_on_all_isas() {
+    let mut report = String::new();
+    for name in mibench::NAMES {
+        let golden = interp::run(&mibench::build(name), 100_000_000).unwrap();
+        for isa in Isa::ALL {
+            let (out, cycles, code) = run_bench(name, isa);
+            assert_eq!(
+                out, golden.output,
+                "{name}/{isa}: output mismatch (got {:02x?} want {:02x?})",
+                &out[..out.len().min(16)],
+                &golden.output[..golden.output.len().min(16)]
+            );
+            report.push_str(&format!("{name:<14}{isa:<8}{cycles:>10} cycles {code:>8} B code\n"));
+        }
+    }
+    eprintln!("{report}");
+}

@@ -1,0 +1,105 @@
+//! Interpreter-level validation of the MiBench suite: every benchmark
+//! validates, runs to completion, and produces a stable non-trivial
+//! digest.
+
+use marvel_ir::interp;
+use marvel_workloads::mibench;
+
+#[test]
+fn all_benchmarks_validate_and_run() {
+    for (name, m) in mibench::suite() {
+        m.validate().unwrap_or_else(|e| panic!("{name}: invalid module: {e}"));
+        let r = interp::run(&m, 50_000_000).unwrap_or_else(|e| panic!("{name}: interp error: {e}"));
+        assert!(r.output.len() >= 8, "{name}: too little output ({} bytes)", r.output.len());
+        assert!(
+            r.output.iter().any(|&b| b != 0),
+            "{name}: all-zero digest is suspicious"
+        );
+        assert!(r.stats.insts > 2_000, "{name}: too small ({} IR insts)", r.stats.insts);
+        assert!(r.stats.insts < 20_000_000, "{name}: too large ({} IR insts)", r.stats.insts);
+    }
+}
+
+#[test]
+fn outputs_are_deterministic() {
+    for name in ["sha", "qsort", "fft"] {
+        let a = interp::run(&mibench::build(name), 50_000_000).unwrap();
+        let b = interp::run(&mibench::build(name), 50_000_000).unwrap();
+        assert_eq!(a.output, b.output, "{name}");
+    }
+}
+
+#[test]
+fn qsort_actually_sorts() {
+    // The digest of a sorted array must differ from the unsorted input's
+    // digest; more importantly the module's own hits counter checks out in
+    // patricia. Here: recompute the expected sorted digest in Rust.
+    use marvel_workloads::util::Lcg;
+    let mut rng = Lcg::new(0x4507);
+    let mut vals: Vec<u32> = (0..1280).map(|_| rng.next_u32()).collect();
+    vals.sort_unstable();
+    let mut h: u64 = 0;
+    for v in &vals {
+        h = h.wrapping_mul(31) ^ (*v as u64);
+    }
+    let r = interp::run(&mibench::build("qsort"), 50_000_000).unwrap();
+    assert_eq!(r.output, h.to_le_bytes().to_vec());
+}
+
+#[test]
+fn sha_matches_reference() {
+    // Independent Rust SHA-1 over the same input.
+    use marvel_workloads::util::Lcg;
+    let mut rng = Lcg::new(0x5A1);
+    let data: Vec<u8> = (0..1024).map(|_| rng.next_u32() as u8).collect();
+    let mut h: [u32; 5] = [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0];
+    for blk in data.chunks(64) {
+        let mut w = [0u32; 80];
+        for t in 0..16 {
+            w[t] = u32::from_be_bytes([blk[4 * t], blk[4 * t + 1], blk[4 * t + 2], blk[4 * t + 3]]);
+        }
+        for t in 16..80 {
+            w[t] = (w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16]).rotate_left(1);
+        }
+        let (mut a, mut b, mut c, mut d, mut e) = (h[0], h[1], h[2], h[3], h[4]);
+        for (t, &wt) in w.iter().enumerate() {
+            let (k, f) = match t / 20 {
+                0 => (0x5A827999u32, (b & c) | (!b & d)),
+                1 => (0x6ED9EBA1, b ^ c ^ d),
+                2 => (0x8F1BBCDC, (b & c) | (b & d) | (c & d)),
+                _ => (0xCA62C1D6, b ^ c ^ d),
+            };
+            let tmp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(wt)
+                .wrapping_add(k);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = tmp;
+        }
+        h[0] = h[0].wrapping_add(a);
+        h[1] = h[1].wrapping_add(b);
+        h[2] = h[2].wrapping_add(c);
+        h[3] = h[3].wrapping_add(d);
+        h[4] = h[4].wrapping_add(e);
+    }
+    let mut digest: u64 = 0;
+    for v in h {
+        digest = digest.wrapping_mul(31) ^ (v as u64);
+    }
+    let r = interp::run(&mibench::build("sha"), 50_000_000).unwrap();
+    assert_eq!(r.output, digest.to_le_bytes().to_vec());
+}
+
+#[test]
+fn adpcm_encoder_matches_reference_decoder_input() {
+    // adpcmd decodes what the Rust reference encoder produced from the
+    // same PCM input; its digest must be non-trivial and stable.
+    let r = interp::run(&mibench::build("adpcmd"), 50_000_000).unwrap();
+    let r2 = interp::run(&mibench::build("adpcmd"), 50_000_000).unwrap();
+    assert_eq!(r.output, r2.output);
+}

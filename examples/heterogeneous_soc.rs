@@ -1,0 +1,127 @@
+//! Heterogeneous SoC demo: a RISC-V host CPU drives a hosted accelerator
+//! through memory-mapped registers; DMA moves the data; completion is
+//! signalled through the PLIC and an interrupt handler; the host polls the
+//! ISR's flag word and prints the accelerator's results.
+//!
+//! This is the full SALAM-style flow of the paper's Fig. 1, including the
+//! GIC→PLIC translation the paper describes (the SoC picks the interrupt
+//! controller flavour from the host ISA).
+//!
+//! ```sh
+//! cargo run --release --example heterogeneous_soc
+//! ```
+
+use gem5_marvel::accel::air::{CdfgBuilder, MemRef};
+use gem5_marvel::accel::{Accelerator, DmaDir, FuConfig, Sram, SramKind};
+use gem5_marvel::cpu::CoreConfig;
+use gem5_marvel::ir::memmap::{ACCEL_MMR_BASE, IRQ_FLAG_ADDR, RAM_BASE};
+use gem5_marvel::ir::{assemble, FuncBuilder, Module};
+use gem5_marvel::isa::{AluOp, Cond, Isa, MemWidth};
+use gem5_marvel::soc::{DmaPlanEntry, HostedAccel, RunOutcome, System};
+
+/// OUT[i] = IN[i]^2 for 16 u64 elements.
+fn square_accel() -> Accelerator {
+    let mut g = CdfgBuilder::new();
+    let entry = g.block(1);
+    let body = g.block(2);
+    let done = g.block(0);
+    g.select(entry);
+    let n = g.arg(0);
+    let z = g.konst(0);
+    g.jump(body, &[z, n]);
+    g.select(body);
+    let i = g.arg(0);
+    let n = g.arg(1);
+    let eight = g.konst(8);
+    let off = g.alu(AluOp::Mul, i, eight);
+    let v = g.load(MemRef::Spm(0), 8, off);
+    let sq = g.alu(AluOp::Mul, v, v);
+    g.store(MemRef::Spm(1), 8, off, sq);
+    let one = g.konst(1);
+    let i2 = g.alu(AluOp::Add, i, one);
+    let more = g.alu(AluOp::Sltu, i2, n);
+    g.branch(more, body, &[i2, n], done, &[]);
+    g.select(done);
+    g.finish();
+    Accelerator::new(
+        "square",
+        g.build().expect("valid cdfg"),
+        FuConfig::default(),
+        vec![
+            Sram::new("IN", SramKind::Spm, 128, 2),
+            Sram::new("OUT", SramKind::Spm, 128, 2),
+        ],
+        vec![],
+        1,
+    )
+}
+
+fn host_program() -> Module {
+    let mut m = Module::new();
+    // Input buffer in RAM (1..=16); output buffer zeroed.
+    let input = m.global_u64("input", &(1..=16u64).collect::<Vec<_>>());
+    let output = m.global_zeroed("output", 128, 8);
+    let main = m.declare("main", 0);
+    let mut b = FuncBuilder::new(0);
+    b.checkpoint();
+    // Program the accelerator MMRs: data0 = count, data1 = in addr,
+    // data2 = out addr; then set CTRL.start.
+    let mmr = b.li(ACCEL_MMR_BASE as i64);
+    let inp = b.addr_of(input);
+    let outp = b.addr_of(output);
+    b.store(MemWidth::D, 16, mmr, 16); // data0 (reg 2)
+    b.store(MemWidth::D, inp, mmr, 24); // data1 (reg 3)
+    b.store(MemWidth::D, outp, mmr, 32); // data2 (reg 4)
+    b.store(MemWidth::D, 1, mmr, 0); // CTRL.start
+    // Wait for the completion interrupt: the ISR writes source+1 to the
+    // flag word.
+    let flag_addr = b.li(IRQ_FLAG_ADDR as i64);
+    let wait = b.new_label();
+    b.bind(wait);
+    let f = b.load(MemWidth::D, false, flag_addr, 0);
+    b.br(Cond::Eq, f, 0, wait);
+    // Print the squared values (low bytes).
+    let i = b.li(0);
+    let top = b.new_label();
+    b.bind(top);
+    let v = b.load_idx(MemWidth::D, false, outp, i);
+    b.out_byte(v);
+    let i2 = b.bin(AluOp::Add, i, 1);
+    b.assign(i, i2);
+    b.br(Cond::Lt, i, 16, top);
+    b.halt();
+    m.define(main, b.build());
+    m
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let isa = Isa::RiscV;
+    let mut sys = System::new(CoreConfig::table2(isa));
+    println!(
+        "host ISA: {isa} → interrupt controller: {}",
+        sys.bus.irq_ctrl.kind.name()
+    );
+
+    // Attach the accelerator with its DMA plan (addresses come from the
+    // MMR data registers the host programs at runtime).
+    sys.add_accel(HostedAccel::new(
+        square_accel(),
+        vec![DmaPlanEntry { dir: DmaDir::ToSram, addr_arg: 1, mem: MemRef::Spm(0), mem_off: 0, len: 128 }],
+        vec![DmaPlanEntry { dir: DmaDir::ToRam, addr_arg: 2, mem: MemRef::Spm(1), mem_off: 0, len: 128 }],
+        vec![0],
+    ));
+
+    let bin = assemble(&host_program(), isa)?;
+    sys.load_binary(&bin);
+    match sys.run(5_000_000) {
+        RunOutcome::Halted { cycles } => {
+            println!("halted after {cycles} cycles");
+            println!("accelerator results (i^2 & 0xFF): {:?}", sys.output());
+            assert_eq!(sys.output()[3], 16); // 4^2
+            assert_eq!(sys.output()[15], (16u64 * 16) as u8);
+            println!("interrupt claims: {}", sys.bus.irq_ctrl.claims);
+            Ok(())
+        }
+        o => Err(format!("unexpected outcome: {o:?}").into()),
+    }
+}

@@ -1,0 +1,61 @@
+//! Quickstart: build a tiny program, checkpoint it, run a transient-fault
+//! campaign on the physical register file, and print the AVF.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use gem5_marvel::core::{run_campaign, CampaignConfig, Golden};
+use gem5_marvel::cpu::CoreConfig;
+use gem5_marvel::ir::{assemble, FuncBuilder, Module};
+use gem5_marvel::isa::{AluOp, Cond, Isa, MemWidth};
+use gem5_marvel::soc::{System, Target};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Write a workload against the portable IR: sum an array, print a
+    //    digest. The `checkpoint()` marker is where campaigns snapshot.
+    let mut m = Module::new();
+    let data = m.global_u64("data", &(1..=64u64).collect::<Vec<_>>());
+    let main = m.declare("main", 0);
+    let mut b = FuncBuilder::new(0);
+    let base = b.addr_of(data);
+    b.checkpoint();
+    let acc = b.li(0);
+    let i = b.li(0);
+    let top = b.new_label();
+    b.bind(top);
+    let v = b.load_idx(MemWidth::D, false, base, i);
+    let s = b.bin(AluOp::Add, acc, v);
+    b.assign(acc, s);
+    let i2 = b.bin(AluOp::Add, i, 1);
+    b.assign(i, i2);
+    b.br(Cond::Lt, i, 64, top);
+    for k in 0..8i64 {
+        let byte = b.bin(AluOp::Srl, acc, k * 8);
+        b.out_byte(byte);
+    }
+    b.halt();
+    m.define(main, b.build());
+
+    // 2. Compile it for each ISA flavour and run a PRF campaign.
+    println!("{:<8}{:>8}{:>8}{:>8}{:>10}", "ISA", "AVF%", "SDC%", "Crash%", "cycles");
+    for isa in Isa::ALL {
+        let bin = assemble(&m, isa)?;
+        let mut sys = System::new(CoreConfig::table2(isa));
+        sys.load_binary(&bin);
+        let golden = Golden::prepare(sys, 10_000_000)?;
+
+        let cc = CampaignConfig { n_faults: 200, ..Default::default() };
+        let res = run_campaign(&golden, Target::PrfInt, &cc);
+        println!(
+            "{:<8}{:>7.1}%{:>7.1}%{:>7.1}%{:>10}",
+            isa.name(),
+            res.avf() * 100.0,
+            res.sdc_avf() * 100.0,
+            res.crash_avf() * 100.0,
+            golden.exec_cycles
+        );
+    }
+    println!("\n(200 faults/cell; margin ±{:.1}% at 95%)", 100.0 * gem5_marvel::core::error_margin(200, u64::MAX, 0.95));
+    Ok(())
+}

@@ -1,0 +1,16 @@
+#!/usr/bin/env python3
+"""Summarise the results/ CSVs: per-figure wAVF rows and value ranges."""
+import csv, glob, os
+
+os.chdir(os.path.dirname(os.path.abspath(__file__)))
+for f in sorted(glob.glob("fig*.csv")):
+    with open(f) as fh:
+        rows = list(csv.reader(fh))
+    header, body = rows[0], rows[1:]
+    wavf = next((r for r in body if r[0] == "wAVF"), None)
+    vals = [float(v) for r in body if r[0] != "wAVF" for v in r[1:] if v]
+    if not vals:
+        continue
+    rng = f"{min(vals)*100:.1f}-{max(vals)*100:.1f}%" if max(vals) <= 1.0 else f"{min(vals):.1f}-{max(vals):.1f}"
+    w = ", ".join(f"{h}={float(v)*1:.1f}" for h, v in zip(header[1:], wavf[1:])) if wavf else "-"
+    print(f"{f:<28} range {rng:<14} wAVF[{w}]")

@@ -1,0 +1,239 @@
+//! `marvel` — command-line driver for the fault-injection framework.
+//!
+//! ```text
+//! marvel list
+//! marvel run <benchmark> [--isa arm|x86|riscv]
+//! marvel disasm <benchmark> [--isa ...] [--limit N]
+//! marvel campaign <benchmark> [--isa ...] [--target prf|l1i|l1d|l2|lq|sq|rob|rename]
+//!                 [--faults N] [--kind transient|permanent] [--hvf] [--seed S]
+//! marvel dsa <design> [--faults N] [--fus N]
+//! ```
+
+use gem5_marvel::core::{
+    run_campaign, run_dsa_campaign, CampaignConfig, DsaGolden, FaultKind, Golden,
+};
+use gem5_marvel::cpu::CoreConfig;
+use gem5_marvel::ir::assemble;
+use gem5_marvel::isa::{disassemble, Isa};
+use gem5_marvel::soc::{RunOutcome, System, Target};
+use gem5_marvel::workloads::{accel, mibench};
+use marvel_accel::FuConfig;
+use std::process::ExitCode;
+
+struct Args {
+    positional: Vec<String>,
+    flags: std::collections::HashMap<String, String>,
+    switches: std::collections::HashSet<String>,
+}
+
+fn parse_args(argv: &[String]) -> Args {
+    let mut positional = Vec::new();
+    let mut flags = std::collections::HashMap::new();
+    let mut switches = std::collections::HashSet::new();
+    let mut i = 0;
+    while i < argv.len() {
+        let a = &argv[i];
+        if let Some(name) = a.strip_prefix("--") {
+            if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
+                flags.insert(name.to_string(), argv[i + 1].clone());
+                i += 2;
+            } else {
+                switches.insert(name.to_string());
+                i += 1;
+            }
+        } else {
+            positional.push(a.clone());
+            i += 1;
+        }
+    }
+    Args { positional, flags, switches }
+}
+
+fn parse_isa(s: &str) -> Result<Isa, String> {
+    match s.to_lowercase().as_str() {
+        "arm" => Ok(Isa::Arm),
+        "x86" => Ok(Isa::X86),
+        "riscv" | "risc-v" | "rv" => Ok(Isa::RiscV),
+        other => Err(format!("unknown ISA '{other}' (arm|x86|riscv)")),
+    }
+}
+
+fn parse_target(s: &str) -> Result<Target, String> {
+    Ok(match s.to_lowercase().as_str() {
+        "prf" | "rf" => Target::PrfInt,
+        "prf-fp" | "fp" => Target::PrfFp,
+        "l1i" => Target::L1I,
+        "l1d" => Target::L1D,
+        "l2" => Target::L2,
+        "lq" => Target::LoadQueue,
+        "sq" => Target::StoreQueue,
+        "rob" => Target::Rob,
+        "rename" => Target::RenameMap,
+        other => return Err(format!("unknown target '{other}'")),
+    })
+}
+
+fn golden_for(bench: &str, isa: Isa) -> Result<Golden, String> {
+    if !mibench::NAMES.contains(&bench) {
+        return Err(format!("unknown benchmark '{bench}' (try `marvel list`)"));
+    }
+    let bin = assemble(&mibench::build(bench), isa).map_err(|e| e.to_string())?;
+    let mut sys = System::new(CoreConfig::table2(isa));
+    sys.load_binary(&bin);
+    Golden::prepare(sys, 200_000_000).map_err(|e| e.to_string())
+}
+
+fn cmd_list() -> Result<(), String> {
+    println!("CPU benchmarks (MiBench-style):");
+    for n in mibench::NAMES {
+        println!("  {n}");
+    }
+    println!("\nDSA designs (MachSuite-style, Table IV):");
+    for d in accel::designs() {
+        let comps: Vec<String> =
+            d.components.iter().map(|c| format!("{} ({} B)", c.name, c.bytes)).collect();
+        println!("  {:<12} {}", d.name, comps.join(", "));
+    }
+    Ok(())
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    let bench = args.positional.get(1).ok_or("usage: marvel run <benchmark>")?;
+    let isa = parse_isa(args.flags.get("isa").map(String::as_str).unwrap_or("riscv"))?;
+    let bin = assemble(&mibench::build(bench), isa).map_err(|e| e.to_string())?;
+    let mut sys = System::new(CoreConfig::table2(isa));
+    sys.load_binary(&bin);
+    match sys.run(200_000_000) {
+        RunOutcome::Halted { cycles } => {
+            let s = &sys.core.stats;
+            println!("{bench} on {isa}: halted after {cycles} cycles");
+            println!("  code size       : {} B", bin.code_len);
+            println!("  committed insts : {}", s.committed_macros);
+            println!("  IPC             : {:.2}", s.ipc());
+            println!("  branches        : {} ({} mispredicted)", s.branches, s.mispredicts);
+            println!("  loads / stores  : {} / {}", s.loads, s.stores);
+            println!(
+                "  L1I hit rate    : {:.1}%",
+                100.0 * sys.core.l1i.hits as f64 / (sys.core.l1i.hits + sys.core.l1i.misses).max(1) as f64
+            );
+            println!(
+                "  L1D hit rate    : {:.1}%",
+                100.0 * sys.core.l1d.hits as f64 / (sys.core.l1d.hits + sys.core.l1d.misses).max(1) as f64
+            );
+            let hex: String = sys.output().iter().map(|b| format!("{b:02x}")).collect();
+            println!("  output ({} B)   : {hex}", sys.output().len());
+            Ok(())
+        }
+        o => Err(format!("{bench} did not halt: {o:?}")),
+    }
+}
+
+fn cmd_disasm(args: &Args) -> Result<(), String> {
+    let bench = args.positional.get(1).ok_or("usage: marvel disasm <benchmark>")?;
+    let isa = parse_isa(args.flags.get("isa").map(String::as_str).unwrap_or("riscv"))?;
+    let limit: usize =
+        args.flags.get("limit").map(|v| v.parse().unwrap_or(40)).unwrap_or(40);
+    let bin = assemble(&mibench::build(bench), isa).map_err(|e| e.to_string())?;
+    for line in disassemble(isa, bin.entry, &bin.image[..bin.code_len]).iter().take(limit) {
+        println!("{line}");
+    }
+    println!("... ({} B of code total)", bin.code_len);
+    Ok(())
+}
+
+fn cmd_campaign(args: &Args) -> Result<(), String> {
+    let bench = args.positional.get(1).ok_or("usage: marvel campaign <benchmark>")?;
+    let isa = parse_isa(args.flags.get("isa").map(String::as_str).unwrap_or("riscv"))?;
+    let target = parse_target(args.flags.get("target").map(String::as_str).unwrap_or("prf"))?;
+    let n_faults: usize = args.flags.get("faults").map(|v| v.parse().unwrap_or(100)).unwrap_or(100);
+    let kind = match args.flags.get("kind").map(String::as_str).unwrap_or("transient") {
+        "permanent" => FaultKind::Permanent,
+        _ => FaultKind::Transient,
+    };
+    let seed: u64 = args.flags.get("seed").map(|v| v.parse().unwrap_or(0xC0FFEE)).unwrap_or(0xC0FFEE);
+    let cc = CampaignConfig {
+        n_faults,
+        kind,
+        seed,
+        collect_hvf: args.switches.contains("hvf"),
+        ..Default::default()
+    };
+    eprintln!("preparing golden run for {bench}/{isa} ...");
+    let golden = golden_for(bench, isa)?;
+    eprintln!(
+        "golden: {} cycles, injecting {} {:?} faults into {} ...",
+        golden.exec_cycles,
+        n_faults,
+        kind,
+        target.name()
+    );
+    let res = run_campaign(&golden, target, &cc);
+    println!("benchmark : {bench} ({isa})");
+    println!("target    : {}", target.name());
+    println!("faults    : {} ({kind:?}, seed {seed:#x})", res.n());
+    println!("AVF       : {:.2}% (±{:.2}% at 95%)", res.avf() * 100.0, res.margin() * 100.0);
+    println!("  SDC     : {:.2}%", res.sdc_avf() * 100.0);
+    println!("  Crash   : {:.2}%", res.crash_avf() * 100.0);
+    if let Some(h) = res.hvf() {
+        println!("HVF       : {:.2}%", h * 100.0);
+    }
+    println!("early-terminated runs: {:.0}%", res.early_termination_rate() * 100.0);
+    Ok(())
+}
+
+fn cmd_dsa(args: &Args) -> Result<(), String> {
+    let name = args.positional.get(1).ok_or("usage: marvel dsa <design>")?.to_uppercase();
+    let n_faults: usize = args.flags.get("faults").map(|v| v.parse().unwrap_or(100)).unwrap_or(100);
+    let fus: usize = args.flags.get("fus").map(|v| v.parse().unwrap_or(4)).unwrap_or(4);
+    let d = accel::designs()
+        .into_iter()
+        .find(|d| d.name == name)
+        .ok_or_else(|| format!("unknown design '{name}' (try `marvel list`)"))?;
+    let golden = DsaGolden::prepare((d.make)(FuConfig::uniform(fus)), 100_000_000);
+    println!("{name}: {} cycles fault-free, area {:.1} a.u., {} FUs/class", golden.cycles, golden.harness.accel.area(), fus);
+    let cc = CampaignConfig { n_faults, ..Default::default() };
+    for c in &d.components {
+        let res = run_dsa_campaign(&golden, c.target, &cc);
+        println!(
+            "  {:<10} ({:>6} B {:<8}): AVF {:>5.1}%  (SDC {:>5.1}%, Crash {:>5.1}%)",
+            c.name,
+            c.bytes,
+            c.kind.name(),
+            res.avf() * 100.0,
+            res.sdc_avf() * 100.0,
+            res.crash_avf() * 100.0
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = parse_args(&argv);
+    let cmd = args.positional.first().map(String::as_str).unwrap_or("help");
+    let r = match cmd {
+        "list" => cmd_list(),
+        "run" => cmd_run(&args),
+        "disasm" => cmd_disasm(&args),
+        "campaign" => cmd_campaign(&args),
+        "dsa" => cmd_dsa(&args),
+        _ => {
+            eprintln!(
+                "marvel — microarchitecture-level fault injection\n\n\
+                 usage:\n  marvel list\n  marvel run <benchmark> [--isa arm|x86|riscv]\n  \
+                 marvel disasm <benchmark> [--isa ...] [--limit N]\n  \
+                 marvel campaign <benchmark> [--isa ...] [--target prf|l1i|l1d|l2|lq|sq|rob|rename]\n            \
+                 [--faults N] [--kind transient|permanent] [--hvf] [--seed S]\n  \
+                 marvel dsa <design> [--faults N] [--fus N]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    match r {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # gem5-marvel
+//!
+//! A from-scratch Rust reproduction of **gem5-MARVEL** (HPCA 2024): a
+//! microarchitecture-level fault-injection framework for heterogeneous
+//! SoCs — out-of-order CPUs of three 64-bit ISA flavours (x86, Arm,
+//! RISC-V) plus SALAM-style domain-specific accelerators — evaluating
+//! transient and permanent fault resilience via AVF and HVF.
+//!
+//! This facade crate re-exports the whole stack:
+//!
+//! * [`isa`] — the three mini-ISAs (encodings, decoders, register specs);
+//! * [`ir`] — the portable IR and per-ISA compiler;
+//! * [`cpu`] — the cycle-level out-of-order core with injectable
+//!   structures;
+//! * [`accel`] — the CDFG accelerator engine (SPMs, RegBanks, MMRs, DMA);
+//! * [`soc`] — system composition, interrupt controllers, checkpointing;
+//! * [`core`] — the fault-injection framework (the paper's contribution);
+//! * [`workloads`] — the MiBench-style suite and MachSuite-style designs.
+//!
+//! Start with `examples/quickstart.rs`, or regenerate the paper's tables
+//! and figures with `cargo bench -p marvel-experiments`.
+
+pub use marvel_accel as accel;
+pub use marvel_core as core;
+pub use marvel_cpu as cpu;
+pub use marvel_ir as ir;
+pub use marvel_isa as isa;
+pub use marvel_soc as soc;
+pub use marvel_workloads as workloads;
