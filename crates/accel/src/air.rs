@@ -40,9 +40,15 @@ pub enum NodeOp {
     /// `c != 0 ? a : b`.
     Select,
     /// Load `w` bytes from `mem[a]` (local byte address).
-    Load { mem: MemRef, w: u8 },
+    Load {
+        mem: MemRef,
+        w: u8,
+    },
     /// Store `w` bytes of `b` to `mem[a]`.
-    Store { mem: MemRef, w: u8 },
+    Store {
+        mem: MemRef,
+        w: u8,
+    },
 }
 
 impl NodeOp {
@@ -152,7 +158,11 @@ impl Cdfg {
             let check = |t: usize, args: &Vec<NodeId>| -> Result<(), String> {
                 let tb = self.blocks.get(t).ok_or(format!("block {bi}: bad target {t}"))?;
                 if tb.n_args != args.len() {
-                    return Err(format!("block {bi}: target {t} expects {} args, got {}", tb.n_args, args.len()));
+                    return Err(format!(
+                        "block {bi}: target {t} expects {} args, got {}",
+                        tb.n_args,
+                        args.len()
+                    ));
                 }
                 for &a in args {
                     if a as usize >= b.nodes.len() {
@@ -283,12 +293,16 @@ impl CdfgBuilder {
         self.blocks[self.cur].term = Terminator::Jump { target, args: args.to_vec() };
     }
 
-    pub fn branch(&mut self, cond: NodeId, then_: usize, targs: &[NodeId], else_: usize, eargs: &[NodeId]) {
-        self.blocks[self.cur].term = Terminator::Branch {
-            cond,
-            then_: (then_, targs.to_vec()),
-            else_: (else_, eargs.to_vec()),
-        };
+    pub fn branch(
+        &mut self,
+        cond: NodeId,
+        then_: usize,
+        targs: &[NodeId],
+        else_: usize,
+        eargs: &[NodeId],
+    ) {
+        self.blocks[self.cur].term =
+            Terminator::Branch { cond, then_: (then_, targs.to_vec()), else_: (else_, eargs.to_vec()) };
     }
 
     pub fn finish(&mut self) {

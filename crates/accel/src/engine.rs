@@ -104,7 +104,14 @@ pub struct Accelerator {
 }
 
 impl Accelerator {
-    pub fn new(name: &str, cdfg: Cdfg, fu: FuConfig, spms: Vec<Sram>, regbanks: Vec<Sram>, n_args: usize) -> Self {
+    pub fn new(
+        name: &str,
+        cdfg: Cdfg,
+        fu: FuConfig,
+        spms: Vec<Sram>,
+        regbanks: Vec<Sram>,
+        n_args: usize,
+    ) -> Self {
         cdfg.validate().expect("invalid CDFG");
         assert_eq!(cdfg.blocks[0].n_args, n_args, "entry block arg count mismatch");
         Accelerator {
@@ -149,6 +156,30 @@ impl Accelerator {
     pub fn area(&self) -> f64 {
         let sram: usize = self.spms.iter().chain(&self.regbanks).map(|s| s.size()).sum();
         self.fu.fu_area() + sram as f64 * 0.004
+    }
+
+    /// Export execution and on-chip-memory counters into a telemetry
+    /// registry under `scope` (e.g. `accel.gemm.spm0.reads`).
+    pub fn publish_metrics(&self, reg: &marvel_telemetry::Registry, scope: &marvel_telemetry::Scope) {
+        if !reg.is_enabled() {
+            return;
+        }
+        reg.publish_scoped(scope, "cycles", self.cycle);
+        reg.publish_scoped(scope, "compute_cycles", self.stats.compute_cycles);
+        reg.publish_scoped(scope, "nodes_executed", self.stats.nodes_executed);
+        reg.publish_scoped(scope, "blocks_executed", self.stats.blocks_executed);
+        reg.publish_scoped(scope, "mem_reads", self.stats.mem_reads);
+        reg.publish_scoped(scope, "mem_writes", self.stats.mem_writes);
+        for (i, s) in self.spms.iter().enumerate() {
+            let sc = scope.indexed("spm", i);
+            reg.publish_scoped(&sc, "reads", s.reads);
+            reg.publish_scoped(&sc, "writes", s.writes);
+        }
+        for (i, s) in self.regbanks.iter().enumerate() {
+            let sc = scope.indexed("regbank", i);
+            reg.publish_scoped(&sc, "reads", s.reads);
+            reg.publish_scoped(&sc, "writes", s.writes);
+        }
     }
 
     /// Start computation directly (standalone mode), passing entry-block
@@ -276,9 +307,7 @@ impl Accelerator {
             }
             let node = self.cdfg.blocks[block].nodes[ni];
             // Operand readiness.
-            let ready = [node.a, node.b, node.c]
-                .iter()
-                .all(|&o| o == NODE_NONE || ex.done[o as usize]);
+            let ready = [node.a, node.b, node.c].iter().all(|&o| o == NODE_NONE || ex.done[o as usize]);
             if !ready {
                 continue;
             }
@@ -289,9 +318,7 @@ impl Accelerator {
             // none of the MachSuite kernels do.
             if let Some(m) = node.op.is_mem() {
                 let blocked = self.cdfg.blocks[block].nodes[..ni].iter().enumerate().any(|(pi, p)| {
-                    p.op.is_mem() == Some(m)
-                        && !ex.done[pi]
-                        && (p.op.is_store() != node.op.is_store())
+                    p.op.is_mem() == Some(m) && !ex.done[pi] && (p.op.is_store() != node.op.is_store())
                 });
                 if blocked {
                     continue;
@@ -413,8 +440,8 @@ impl Accelerator {
 mod tests {
     use super::*;
     use crate::air::CdfgBuilder;
-    use marvel_isa::AluOp;
     use crate::sram::SramKind;
+    use marvel_isa::AluOp;
 
     /// Sum the first `n` u64 words of SPM0 into SPM1[0].
     fn sum_accel(fu: FuConfig) -> Accelerator {

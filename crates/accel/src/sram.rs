@@ -48,11 +48,23 @@ pub struct Sram {
     armed: Option<(usize, SramFate)>,
     /// Parallel access ports (per-cycle access limit).
     pub ports: usize,
+    /// Access tallies (scalar reads/writes plus DMA fills/drains).
+    pub reads: u64,
+    pub writes: u64,
 }
 
 impl Sram {
     pub fn new(name: &str, kind: SramKind, size: usize, ports: usize) -> Self {
-        Sram { name: name.to_string(), kind, bytes: vec![0; size], stuck: Vec::new(), armed: None, ports }
+        Sram {
+            name: name.to_string(),
+            kind,
+            bytes: vec![0; size],
+            stuck: Vec::new(),
+            armed: None,
+            ports,
+            reads: 0,
+            writes: 0,
+        }
     }
 
     pub fn size(&self) -> usize {
@@ -68,6 +80,7 @@ impl Sram {
         if off + n > self.bytes.len() {
             return None;
         }
+        self.reads += 1;
         if let Some((b, fate)) = &mut self.armed {
             if *fate == SramFate::Pending && *b >= off && *b < off + n {
                 *fate = SramFate::Read;
@@ -84,6 +97,7 @@ impl Sram {
         if off + n > self.bytes.len() {
             return None;
         }
+        self.writes += 1;
         if let Some((b, fate)) = &mut self.armed {
             if *fate == SramFate::Pending && *b >= off && *b < off + n {
                 *fate = SramFate::Overwritten;
@@ -99,6 +113,7 @@ impl Sram {
         if off + data.len() > self.bytes.len() {
             return None;
         }
+        self.writes += 1;
         if let Some((b, fate)) = &mut self.armed {
             if *fate == SramFate::Pending && *b >= off && *b < off + data.len() {
                 *fate = SramFate::Overwritten;
@@ -114,6 +129,7 @@ impl Sram {
         if off + len > self.bytes.len() {
             return None;
         }
+        self.reads += 1;
         if let Some((b, fate)) = &mut self.armed {
             if *fate == SramFate::Pending && *b >= off && *b < off + len {
                 *fate = SramFate::Read;

@@ -10,7 +10,7 @@ use marvel_core::{run_campaign, CampaignConfig, Golden};
 use marvel_cpu::CoreConfig;
 use marvel_ir::assemble;
 use marvel_isa::Isa;
-use marvel_soc::{System, SysEvent};
+use marvel_soc::{SysEvent, System};
 
 /// Checkpoint restore: clone vs re-running warm-up from reset.
 fn checkpoint_vs_rerun(c: &mut Criterion) {

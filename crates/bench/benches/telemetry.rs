@@ -1,0 +1,83 @@
+//! Telemetry overhead benchmarks: the observability subsystem must stay
+//! under ~2% on the simulator hot path, and a disabled registry must be
+//! near-free.
+//!
+//! Three comparisons:
+//! * `injection_run/{off,on}` — one full injection run with telemetry
+//!   disabled vs registry + flight recorder enabled.
+//! * `counter/{noop,enabled}` — the raw `Counter::inc` hot path.
+//! * `histogram_record` — `Histogram::record` cost.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use marvel_bench::golden;
+use marvel_core::{run_one, CampaignConfig, FaultMask, FaultModel, TelemetryConfig};
+use marvel_isa::Isa;
+use marvel_soc::Target;
+use marvel_telemetry::{Counter, Registry};
+
+fn injection_run_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("injection_run");
+    g.sample_size(10);
+    let gold = golden("qsort", Isa::RiscV);
+    let mask = FaultMask {
+        target: Target::L1D,
+        bits: vec![4321],
+        model: FaultModel::Transient { cycle: gold.ckpt_cycle + gold.exec_cycles / 2 },
+    };
+    let off = CampaignConfig { n_faults: 1, ..Default::default() };
+    let on = CampaignConfig {
+        n_faults: 1,
+        telemetry: TelemetryConfig {
+            registry: Registry::new(),
+            progress_interval_ms: 0,
+            flight_capacity: 64,
+        },
+        ..Default::default()
+    };
+    g.bench_function("off", |b| b.iter(|| run_one(&gold, &mask, &off)));
+    g.bench_function("on", |b| b.iter(|| run_one(&gold, &mask, &on)));
+    g.finish();
+}
+
+fn counter_hot_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("counter");
+    const N: u64 = 100_000;
+    g.throughput(Throughput::Elements(N));
+    let noop = Counter::noop();
+    g.bench_function("noop", |b| {
+        b.iter(|| {
+            for i in 0..N {
+                black_box(&noop).add(black_box(i));
+            }
+        })
+    });
+    let reg = Registry::new();
+    let live = reg.counter("bench.n");
+    g.bench_function("enabled", |b| {
+        b.iter(|| {
+            for i in 0..N {
+                black_box(&live).add(black_box(i));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn histogram_record(c: &mut Criterion) {
+    const N: u64 = 100_000;
+    let reg = Registry::new();
+    let h = reg.histogram("bench.h").unwrap();
+    let mut g = c.benchmark_group("histogram");
+    g.throughput(Throughput::Elements(N));
+    g.bench_function("record", |b| {
+        b.iter(|| {
+            for i in 0..N {
+                h.record(black_box(i));
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, injection_run_overhead, counter_hot_path, histogram_record);
+criterion_main!(benches);

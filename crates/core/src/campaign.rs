@@ -4,9 +4,10 @@
 
 use crate::fault::{FaultKind, FaultMask, FaultModel, MaskGenerator};
 use crate::stats::error_margin;
-use marvel_cpu::{CoreStats, TraceMode};
+use marvel_cpu::{CoreStats, FaultFate, TraceMode};
 use marvel_soc::{RunOutcome, SysEvent, System, Target};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use marvel_telemetry::{Event, FlightDump, FlightRecorder, ProgressMeter, Registry, Scope};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// AVF fault-effect classes (Section IV-A2).
@@ -41,6 +42,27 @@ pub struct RunRecord {
     pub early_terminated: bool,
     /// Simulated cycles of this run (from checkpoint).
     pub cycles: u64,
+    /// Flight-recorder timeline, retained only for SDC/Crash runs of
+    /// campaigns that enabled the recorder.
+    pub forensics: Option<FlightDump>,
+}
+
+/// Observability settings carried by [`CampaignConfig`]. The default is
+/// fully off: a disabled registry, no progress line, no flight recorder —
+/// zero cost on the injection hot path.
+///
+/// Telemetry is strictly observational: enabling any of it never changes
+/// fault classifications (the determinism regression test pins this).
+#[derive(Debug, Clone, Default)]
+pub struct TelemetryConfig {
+    /// Registry campaign metrics are published to.
+    pub registry: Registry,
+    /// Print a live progress line to stderr every this-many milliseconds
+    /// (0 = off).
+    pub progress_interval_ms: u64,
+    /// Per-run flight-recorder event capacity (0 = off). Timelines are
+    /// kept only for SDC/Crash runs.
+    pub flight_capacity: usize,
 }
 
 /// Campaign-wide configuration.
@@ -58,6 +80,8 @@ pub struct CampaignConfig {
     /// Enable the fault-overwritten/invalid-entry early termination.
     pub early_termination: bool,
     pub confidence: f64,
+    /// Observability (metrics, progress line, flight recorder).
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for CampaignConfig {
@@ -71,6 +95,7 @@ impl Default for CampaignConfig {
             watchdog_factor: 3,
             early_termination: true,
             confidence: 0.95,
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -169,18 +194,79 @@ impl Golden {
     pub fn injection_window(&self) -> std::ops::Range<u64> {
         self.ckpt_cycle..self.ckpt_cycle + self.exec_cycles
     }
+
+    /// Export golden-run facts and checkpoint-state structure metrics
+    /// under `golden.*` (warm caches, occupancies at the checkpoint).
+    pub fn publish_metrics(&self, reg: &Registry) {
+        if !reg.is_enabled() {
+            return;
+        }
+        let scope = Scope::new("golden");
+        reg.publish_scoped(&scope, "ckpt_cycle", self.ckpt_cycle);
+        reg.publish_scoped(&scope, "exec_cycles", self.exec_cycles);
+        reg.publish_scoped(&scope, "output_bytes", self.output.len() as u64);
+        reg.publish_scoped(&scope, "trace_commits", self.trace.len() as u64);
+        self.ckpt.publish_metrics(reg, &scope.child("soc"));
+    }
+}
+
+/// Record the first observed fate transition of the armed bit.
+fn note_fate(fr: &mut FlightRecorder, cycle: u64, fate: Option<FaultFate>, seen: &mut bool) {
+    if *seen || !fr.is_enabled() {
+        return;
+    }
+    match fate {
+        Some(FaultFate::Read) => {
+            fr.record(cycle, Event::BitRead);
+            *seen = true;
+        }
+        Some(FaultFate::Overwritten) => {
+            fr.record(cycle, Event::BitOverwritten);
+            *seen = true;
+        }
+        Some(FaultFate::InvalidAtInjection) => {
+            fr.record(cycle, Event::InvalidEntry);
+            *seen = true;
+        }
+        _ => {}
+    }
+}
+
+fn effect_tag(e: FaultEffect) -> &'static str {
+    match e {
+        FaultEffect::Masked => "Masked",
+        FaultEffect::Sdc => "SDC",
+        FaultEffect::Crash => "Crash",
+    }
 }
 
 /// Execute one injection run.
 pub fn run_one(golden: &Golden, mask: &FaultMask, cc: &CampaignConfig) -> RunRecord {
+    let tel = &cc.telemetry;
+    let mut fr = if tel.flight_capacity > 0 {
+        FlightRecorder::new(tel.flight_capacity)
+    } else {
+        FlightRecorder::disabled()
+    };
+    let mut fate_seen = false;
+
+    let restore_start = tel.registry.is_enabled().then(std::time::Instant::now);
     let mut sys = golden.ckpt.clone();
+    if let Some(t0) = restore_start {
+        if let Some(h) = tel.registry.histogram("campaign.ckpt_restore_ns") {
+            h.record(t0.elapsed().as_nanos() as u64);
+        }
+    }
     if cc.collect_hvf {
         sys.core.trace_mode = TraceMode::Check(golden.trace.clone());
     }
-    let watchdog =
-        golden.ckpt_cycle + golden.exec_cycles.saturating_mul(cc.watchdog_factor) + 50_000;
+    let watchdog = golden.ckpt_cycle + golden.exec_cycles.saturating_mul(cc.watchdog_factor) + 50_000;
 
     // Arm the fault.
+    let model_tag = match mask.model {
+        FaultModel::Permanent { .. } => "permanent",
+        FaultModel::Transient { .. } => "transient",
+    };
     match mask.model {
         FaultModel::Permanent { value } => {
             for &b in &mask.bits {
@@ -202,23 +288,37 @@ pub fn run_one(golden: &Golden, mask: &FaultMask, cc: &CampaignConfig) -> RunRec
             }
         }
     }
+    fr.record(
+        sys.cycle,
+        Event::FaultArmed {
+            target: mask.target.name(),
+            bit: mask.bits.first().copied().unwrap_or(0),
+            model: model_tag,
+        },
+    );
 
     // If the fault landed in an invalid entry, it is masked immediately.
     if cc.early_termination {
         if let Some(f) = sys.fault_fate(mask.target) {
             if f.is_masked_early() {
+                note_fate(&mut fr, sys.cycle, Some(f), &mut fate_seen);
+                fr.record(sys.cycle, Event::EarlyTerminated);
                 return RunRecord {
                     effect: FaultEffect::Masked,
                     hvf: cc.collect_hvf.then_some(HvfEffect::Masked),
                     trap: None,
                     early_terminated: true,
                     cycles: sys.cycle - golden.ckpt_cycle,
+                    forensics: None,
                 };
             }
         }
     }
 
-    // Run to completion with periodic early-termination checks.
+    // Run to completion with periodic early-termination/fate checks. The
+    // fate poll is read-only, so the flight recorder never perturbs the
+    // simulation.
+    let poll_fate = cc.early_termination || fr.is_enabled();
     let mut check_at = sys.cycle + 256;
     let outcome = loop {
         match sys.tick() {
@@ -229,23 +329,33 @@ pub fn run_one(golden: &Golden, mask: &FaultMask, cc: &CampaignConfig) -> RunRec
         if sys.cycle >= watchdog {
             break RunOutcome::Timeout;
         }
-        if cc.early_termination && sys.cycle >= check_at {
+        if poll_fate && sys.cycle >= check_at {
             check_at = sys.cycle + 1024;
-            if mask.model.is_transient() {
-                if let Some(f) = sys.fault_fate(mask.target) {
+            let fate = sys.fault_fate(mask.target);
+            note_fate(&mut fr, sys.cycle, fate, &mut fate_seen);
+            if cc.early_termination && mask.model.is_transient() {
+                if let Some(f) = fate {
                     if f.is_masked_early() && sys.core.divergence.is_none() {
+                        fr.record(sys.cycle, Event::EarlyTerminated);
                         return RunRecord {
                             effect: FaultEffect::Masked,
                             hvf: cc.collect_hvf.then_some(HvfEffect::Masked),
                             trap: None,
                             early_terminated: true,
                             cycles: sys.cycle - golden.ckpt_cycle,
+                            forensics: None,
                         };
                     }
                 }
             }
         }
     };
+    note_fate(&mut fr, sys.cycle, sys.fault_fate(mask.target), &mut fate_seen);
+    if fr.is_enabled() {
+        if let Some(seq) = sys.core.divergence {
+            fr.record(sys.cycle, Event::FirstDivergence { seq });
+        }
+    }
 
     // Classify.
     let (effect, trap) = match &outcome {
@@ -259,6 +369,10 @@ pub fn run_one(golden: &Golden, mask: &FaultMask, cc: &CampaignConfig) -> RunRec
         RunOutcome::Crashed { trap, .. } => (FaultEffect::Crash, Some(trap.tag())),
         RunOutcome::Timeout => (FaultEffect::Crash, Some("watchdog")),
     };
+    if let Some(tag) = trap {
+        fr.record(sys.cycle, Event::Trap { tag });
+    }
+    fr.record(sys.cycle, Event::Classified { effect: effect_tag(effect) });
     let hvf = cc.collect_hvf.then(|| {
         // Any commit-stage divergence — or a crash/SDC, which by
         // definition became architecturally visible — counts as
@@ -269,12 +383,15 @@ pub fn run_one(golden: &Golden, mask: &FaultMask, cc: &CampaignConfig) -> RunRec
             HvfEffect::Masked
         }
     });
+    // Keep the timeline only when the run turned out interesting.
+    let forensics = (fr.is_enabled() && effect != FaultEffect::Masked).then(|| fr.take());
     RunRecord {
         effect,
         hvf,
         trap,
         early_terminated: false,
         cycles: sys.cycle - golden.ckpt_cycle,
+        forensics,
     }
 }
 
@@ -323,9 +440,7 @@ impl CampaignResult {
             return None;
         }
         let n = self.records.len() as f64;
-        Some(
-            self.records.iter().filter(|r| r.hvf == Some(HvfEffect::Corruption)).count() as f64 / n,
-        )
+        Some(self.records.iter().filter(|r| r.hvf == Some(HvfEffect::Corruption)).count() as f64 / n)
     }
 
     /// Fraction of runs cut short by early termination.
@@ -333,8 +448,7 @@ impl CampaignResult {
         if self.records.is_empty() {
             return 0.0;
         }
-        self.records.iter().filter(|r| r.early_terminated).count() as f64
-            / self.records.len() as f64
+        self.records.iter().filter(|r| r.early_terminated).count() as f64 / self.records.len() as f64
     }
 
     /// Statistical error margin of the AVF estimate.
@@ -352,7 +466,11 @@ pub fn run_campaign(golden: &Golden, target: Target, cc: &CampaignConfig) -> Cam
     let bit_len = golden.ckpt.bit_len(target);
     let mut gen = MaskGenerator::new(cc.seed ^ (target_hash(target)));
     let masks = gen.single_bit(target, bit_len, cc.kind, golden.injection_window(), cc.n_faults);
-    let records = run_masks(golden, &masks, cc);
+    let population = bit_len.saturating_mul(golden.exec_cycles.max(1));
+    let reg = &cc.telemetry.registry;
+    reg.publish("campaign.bit_population", bit_len);
+    reg.publish("campaign.golden_exec_cycles", golden.exec_cycles);
+    let records = run_masks_with_population(golden, &masks, cc, population);
     CampaignResult {
         target,
         records,
@@ -364,6 +482,17 @@ pub fn run_campaign(golden: &Golden, target: Target, cc: &CampaignConfig) -> Cam
 
 /// Run an explicit mask list (directed experiments, multi-bit studies).
 pub fn run_masks(golden: &Golden, masks: &[FaultMask], cc: &CampaignConfig) -> Vec<RunRecord> {
+    // No single-target bit population here; u64::MAX drives the progress
+    // margin toward the pure 1/sqrt(n) regime.
+    run_masks_with_population(golden, masks, cc, u64::MAX)
+}
+
+fn run_masks_with_population(
+    golden: &Golden,
+    masks: &[FaultMask],
+    cc: &CampaignConfig,
+    population: u64,
+) -> Vec<RunRecord> {
     let workers = if cc.workers == 0 {
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
     } else {
@@ -375,19 +504,79 @@ pub fn run_masks(golden: &Golden, masks: &[FaultMask], cc: &CampaignConfig) -> V
     let slots: Vec<std::sync::Mutex<Option<RunRecord>>> =
         masks.iter().map(|_| std::sync::Mutex::new(None)).collect();
 
+    let tel = &cc.telemetry;
+    let scope = Scope::new("campaign");
+    let done = AtomicU64::new(0);
+    let sdc_n = AtomicU64::new(0);
+    let crash_n = AtomicU64::new(0);
+    let early_n = AtomicU64::new(0);
+    let run_cycles = tel.registry.histogram("campaign.run_cycles");
+
     crossbeam::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|_| loop {
+        for w in 0..workers {
+            let worker_runs = tel.registry.scoped_counter(&scope.indexed("worker", w), "runs");
+            let (next, slots) = (&next, &slots);
+            let (done, sdc_n, crash_n, early_n) = (&done, &sdc_n, &crash_n, &early_n);
+            let run_cycles = run_cycles.clone();
+            s.spawn(move |_| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= masks.len() {
                     break;
                 }
                 let rec = run_one(golden, &masks[i], cc);
+                worker_runs.inc();
+                match rec.effect {
+                    FaultEffect::Sdc => sdc_n.fetch_add(1, Ordering::Relaxed),
+                    FaultEffect::Crash => crash_n.fetch_add(1, Ordering::Relaxed),
+                    FaultEffect::Masked => 0,
+                };
+                if rec.early_terminated {
+                    early_n.fetch_add(1, Ordering::Relaxed);
+                }
+                if let Some(h) = &run_cycles {
+                    h.record(rec.cycles);
+                }
                 *slots[i].lock().unwrap() = Some(rec);
+                done.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        if tel.progress_interval_ms > 0 {
+            let (done, sdc_n, crash_n, early_n) = (&done, &sdc_n, &crash_n, &early_n);
+            let total = masks.len() as u64;
+            let interval = std::time::Duration::from_millis(tel.progress_interval_ms);
+            let confidence = cc.confidence;
+            s.spawn(move |_| {
+                let meter = ProgressMeter::new("campaign", total);
+                loop {
+                    let d = done.load(Ordering::Relaxed);
+                    let margin = error_margin(d.max(1) as usize, population, confidence);
+                    eprintln!(
+                        "{}",
+                        meter.line(
+                            d,
+                            sdc_n.load(Ordering::Relaxed),
+                            crash_n.load(Ordering::Relaxed),
+                            early_n.load(Ordering::Relaxed),
+                            margin
+                        )
+                    );
+                    if d >= total {
+                        break;
+                    }
+                    std::thread::sleep(interval);
+                }
             });
         }
     })
     .expect("campaign worker panicked");
+
+    let total = masks.len() as u64;
+    let (sdc, crash) = (sdc_n.into_inner(), crash_n.into_inner());
+    tel.registry.publish_scoped(&scope, "runs", total);
+    tel.registry.publish_scoped(&scope, "sdc", sdc);
+    tel.registry.publish_scoped(&scope, "crash", crash);
+    tel.registry.publish_scoped(&scope, "masked", total - sdc - crash);
+    tel.registry.publish_scoped(&scope, "early_terminated", early_n.into_inner());
 
     for (i, slot) in slots.into_iter().enumerate() {
         records[i] = slot.into_inner().unwrap();
@@ -456,12 +645,7 @@ mod tests {
     #[test]
     fn small_campaign_classifies_all_runs() {
         let g = golden_for(Isa::RiscV);
-        let cc = CampaignConfig {
-            n_faults: 24,
-            collect_hvf: true,
-            workers: 4,
-            ..Default::default()
-        };
+        let cc = CampaignConfig { n_faults: 24, collect_hvf: true, workers: 4, ..Default::default() };
         let res = run_campaign(&g, Target::PrfInt, &cc);
         assert_eq!(res.n(), 24);
         let total = res.avf() + res.frac(FaultEffect::Masked);

@@ -9,9 +9,10 @@
 use crate::campaign::{CampaignConfig, FaultEffect, RunRecord};
 use crate::fault::{FaultMask, FaultModel, MaskGenerator};
 use crate::stats::error_margin;
-use marvel_accel::{AccelState, Accelerator, DmaEngine, DmaJob};
+use marvel_accel::{AccelState, Accelerator, DmaEngine, DmaJob, SramFate};
 use marvel_soc::Target;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use marvel_telemetry::{Event, FlightRecorder, ProgressMeter, Scope};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// A self-contained accelerator experiment: the accelerator, a private RAM
 /// buffer, DMA plans and entry arguments.
@@ -29,9 +30,14 @@ pub struct DsaHarness {
 /// Outcome of one harness run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DsaOutcome {
-    Done { output: Vec<u8>, cycles: u64 },
+    Done {
+        output: Vec<u8>,
+        cycles: u64,
+    },
     /// Datapath error (out-of-bounds access) or DMA failure.
-    Error { cycles: u64 },
+    Error {
+        cycles: u64,
+    },
     Timeout,
 }
 
@@ -66,14 +72,44 @@ impl DsaHarness {
         }
     }
 
+    /// Fate of the armed (injected) bit for `target`, if any.
+    pub fn fault_fate(&self, target: Target) -> Option<SramFate> {
+        match target {
+            Target::Spm { mem, .. } => self.accel.spms[mem].fate(),
+            Target::RegBank { mem, .. } => self.accel.regbanks[mem].fate(),
+            Target::Mmr { .. } => self.accel.mmr.fate(),
+            _ => None,
+        }
+    }
+
     /// Run the full DMA-in → compute → DMA-out sequence, optionally
     /// injecting `mask` at its transient cycle (permanent faults are
     /// applied before the run).
     pub fn run(&mut self, mask: Option<&FaultMask>, watchdog: u64) -> DsaOutcome {
+        self.run_recorded(mask, watchdog, &mut FlightRecorder::disabled())
+    }
+
+    /// [`DsaHarness::run`] with a flight recorder capturing the phase
+    /// timeline and fault lifecycle. Recording is observational only — the
+    /// run is cycle-identical to an unrecorded one.
+    pub fn run_recorded(
+        &mut self,
+        mask: Option<&FaultMask>,
+        watchdog: u64,
+        fr: &mut FlightRecorder,
+    ) -> DsaOutcome {
         // Permanent faults apply immediately.
         if let Some(m) = mask {
             if let FaultModel::Permanent { value } = m.model {
                 self.apply(&{ m.clone() }, Some(value));
+                fr.record(
+                    0,
+                    Event::FaultArmed {
+                        target: m.target.name(),
+                        bit: m.bits.first().copied().unwrap_or(0),
+                        model: "permanent",
+                    },
+                );
             }
         }
         let inject_at = mask.and_then(|m| match m.model {
@@ -92,37 +128,59 @@ impl DsaHarness {
         loop {
             cycle += 1;
             if cycle > watchdog {
+                fr.record(cycle, Event::Trap { tag: "watchdog" });
                 return DsaOutcome::Timeout;
             }
             if let Some(c) = inject_at {
                 if cycle == c {
                     let m = mask.unwrap().clone();
                     self.apply(&m, None);
+                    fr.record(
+                        cycle,
+                        Event::FaultArmed {
+                            target: m.target.name(),
+                            bit: m.bits.first().copied().unwrap_or(0),
+                            model: "transient",
+                        },
+                    );
                 }
             }
             match phase {
                 0 => {
                     if dma.busy() {
                         if !dma.tick(&mut self.ram, &mut self.accel) {
+                            fr.record(cycle, Event::Trap { tag: "dma-error" });
                             return DsaOutcome::Error { cycles: cycle };
                         }
                     } else {
+                        fr.record(cycle, Event::Note { label: "dma_in_bytes", value: dma.bytes_moved });
                         phase = 1;
                     }
                 }
                 1 => match self.accel.tick() {
                     AccelState::Done => {
+                        fr.record(
+                            cycle,
+                            Event::Note {
+                                label: "compute_cycles",
+                                value: self.accel.stats.compute_cycles,
+                            },
+                        );
                         for j in &self.jobs_out {
                             dma.push(*j);
                         }
                         phase = 2;
                     }
-                    AccelState::Error(_) => return DsaOutcome::Error { cycles: cycle },
+                    AccelState::Error(_) => {
+                        fr.record(cycle, Event::Trap { tag: "accel-error" });
+                        return DsaOutcome::Error { cycles: cycle };
+                    }
                     _ => {}
                 },
                 _ => {
                     if dma.busy() {
                         if !dma.tick(&mut self.ram, &mut self.accel) {
+                            fr.record(cycle, Event::Trap { tag: "dma-error" });
                             return DsaOutcome::Error { cycles: cycle };
                         }
                     } else {
@@ -215,15 +273,36 @@ pub fn run_dsa_campaign(golden: &DsaGolden, target: Target, cc: &CampaignConfig)
         masks.iter().map(|_| std::sync::Mutex::new(None)).collect();
     let watchdog = golden.cycles * cc.watchdog_factor + 10_000;
 
+    let tel = &cc.telemetry;
+    let scope = Scope::new("dsa");
+    let population = bit_len.saturating_mul(golden.cycles.max(1));
+    tel.registry.publish_scoped(&scope, "bit_population", bit_len);
+    tel.registry.publish_scoped(&scope, "golden_cycles", golden.cycles);
+    let done = AtomicU64::new(0);
+    let sdc_n = AtomicU64::new(0);
+    let crash_n = AtomicU64::new(0);
+    let run_cycles = tel.registry.histogram("dsa.run_cycles");
+    let masks = masks.as_slice();
+
     crossbeam::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|_| loop {
+        for w in 0..workers {
+            let worker_runs = tel.registry.scoped_counter(&scope.indexed("worker", w), "runs");
+            let (next, slots) = (&next, &slots);
+            let (done, sdc_n, crash_n) = (&done, &sdc_n, &crash_n);
+            let run_cycles = run_cycles.clone();
+            let flight_capacity = tel.flight_capacity;
+            s.spawn(move |_| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= masks.len() {
                     break;
                 }
+                let mut fr = if flight_capacity > 0 {
+                    FlightRecorder::new(flight_capacity)
+                } else {
+                    FlightRecorder::disabled()
+                };
                 let mut h = golden.harness.clone();
-                let outcome = h.run(Some(&masks[i]), watchdog);
+                let outcome = h.run_recorded(Some(&masks[i]), watchdog, &mut fr);
                 let (effect, trap) = match &outcome {
                     DsaOutcome::Done { output, .. } => {
                         if *output == golden.output {
@@ -239,17 +318,83 @@ pub fn run_dsa_campaign(golden: &DsaGolden, target: Target, cc: &CampaignConfig)
                     DsaOutcome::Done { cycles, .. } | DsaOutcome::Error { cycles } => cycles,
                     DsaOutcome::Timeout => watchdog,
                 };
+                if fr.is_enabled() {
+                    match h.fault_fate(target) {
+                        Some(SramFate::Read) => fr.record(cycles, Event::BitRead),
+                        Some(SramFate::Overwritten) => fr.record(cycles, Event::BitOverwritten),
+                        _ => {}
+                    }
+                    let tag = match effect {
+                        FaultEffect::Masked => "Masked",
+                        FaultEffect::Sdc => "SDC",
+                        FaultEffect::Crash => "Crash",
+                    };
+                    fr.record(cycles, Event::Classified { effect: tag });
+                }
+                worker_runs.inc();
+                match effect {
+                    FaultEffect::Sdc => sdc_n.fetch_add(1, Ordering::Relaxed),
+                    FaultEffect::Crash => crash_n.fetch_add(1, Ordering::Relaxed),
+                    FaultEffect::Masked => 0,
+                };
+                if let Some(hist) = &run_cycles {
+                    hist.record(cycles);
+                }
+                let forensics = (fr.is_enabled() && effect != FaultEffect::Masked).then(|| fr.take());
                 *slots[i].lock().unwrap() = Some(RunRecord {
                     effect,
                     hvf: None,
                     trap,
                     early_terminated: false,
                     cycles,
+                    forensics,
                 });
+                done.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        if tel.progress_interval_ms > 0 {
+            let (done, sdc_n, crash_n) = (&done, &sdc_n, &crash_n);
+            let total = masks.len() as u64;
+            let interval = std::time::Duration::from_millis(tel.progress_interval_ms);
+            let confidence = cc.confidence;
+            s.spawn(move |_| {
+                let meter = ProgressMeter::new("dsa", total);
+                loop {
+                    let d = done.load(Ordering::Relaxed);
+                    let margin = error_margin(d.max(1) as usize, population, confidence);
+                    eprintln!(
+                        "{}",
+                        meter.line(
+                            d,
+                            sdc_n.load(Ordering::Relaxed),
+                            crash_n.load(Ordering::Relaxed),
+                            0,
+                            margin
+                        )
+                    );
+                    if d >= total {
+                        break;
+                    }
+                    std::thread::sleep(interval);
+                }
             });
         }
     })
     .expect("dsa campaign worker panicked");
+
+    let total = masks.len() as u64;
+    let (sdc, crash) = (sdc_n.into_inner(), crash_n.into_inner());
+    tel.registry.publish_scoped(&scope, "runs", total);
+    tel.registry.publish_scoped(&scope, "sdc", sdc);
+    tel.registry.publish_scoped(&scope, "crash", crash);
+    tel.registry.publish_scoped(&scope, "masked", total - sdc - crash);
+    if tel.registry.is_enabled() {
+        // One extra fault-free run to export the accelerator's structure
+        // counters (SPM/RegBank traffic, node/block execution).
+        let mut h = golden.harness.clone();
+        let _ = h.run(None, watchdog);
+        h.accel.publish_metrics(&tel.registry, &scope.child("golden_accel"));
+    }
 
     let records = slots.into_iter().map(|s| s.into_inner().unwrap().unwrap()).collect();
     DsaCampaignResult {
@@ -307,8 +452,20 @@ mod tests {
         DsaHarness {
             accel,
             ram,
-            jobs_in: vec![DmaJob { dir: DmaDir::ToSram, ram_off: 0, mem: MemRef::Spm(0), mem_off: 0, len: 64 }],
-            jobs_out: vec![DmaJob { dir: DmaDir::ToRam, ram_off: 128, mem: MemRef::Spm(1), mem_off: 0, len: 64 }],
+            jobs_in: vec![DmaJob {
+                dir: DmaDir::ToSram,
+                ram_off: 0,
+                mem: MemRef::Spm(0),
+                mem_off: 0,
+                len: 64,
+            }],
+            jobs_out: vec![DmaJob {
+                dir: DmaDir::ToRam,
+                ram_off: 128,
+                mem: MemRef::Spm(1),
+                mem_off: 0,
+                len: 64,
+            }],
             args: vec![],
             output: 128..192,
         }

@@ -177,12 +177,9 @@ mod tests {
 
     #[test]
     fn stuck_polarity_mix() {
-        let masks =
-            MaskGenerator::new(3).single_bit(Target::L1I, 100, FaultKind::Permanent, 0..1, 200);
-        let ones = masks
-            .iter()
-            .filter(|m| matches!(m.model, FaultModel::Permanent { value: true }))
-            .count();
+        let masks = MaskGenerator::new(3).single_bit(Target::L1I, 100, FaultKind::Permanent, 0..1, 200);
+        let ones =
+            masks.iter().filter(|m| matches!(m.model, FaultModel::Permanent { value: true })).count();
         assert!(ones > 50 && ones < 150, "polarities should be mixed: {ones}");
     }
 }

@@ -51,8 +51,21 @@ impl FrameworkRow {
 
 /// Column headers, paper order.
 pub const COLUMNS: [&str; 15] = [
-    "uArch", "gem5", "FS", "FI:CPU", "FI:DSA", "FI:SoC", "x86", "Arm", "RISC-V", "Transient",
-    "Permanent", "Single", "Multiple", "AVF", "HVF",
+    "uArch",
+    "gem5",
+    "FS",
+    "FI:CPU",
+    "FI:DSA",
+    "FI:SoC",
+    "x86",
+    "Arm",
+    "RISC-V",
+    "Transient",
+    "Permanent",
+    "Single",
+    "Multiple",
+    "AVF",
+    "HVF",
 ];
 
 /// The paper's Table I, including the "This Work" row this repository
@@ -62,14 +75,150 @@ pub fn table1() -> Vec<FrameworkRow> {
     let f = false;
     let t = true;
     vec![
-        FrameworkRow { name: "FIMSIM", sim_uarch: t, sim_gem5: t, full_system: f, fi_cpu: t, fi_dsa: f, fi_soc: f, isa_x86: f, isa_arm: f, isa_riscv: f, fm_transient: t, fm_permanent: t, bits_single: t, bits_multiple: t, metric_avf: t, metric_hvf: f },
-        FrameworkRow { name: "GeFIN", sim_uarch: t, sim_gem5: t, full_system: t, fi_cpu: t, fi_dsa: f, fi_soc: f, isa_x86: t, isa_arm: t, isa_riscv: f, fm_transient: t, fm_permanent: t, bits_single: t, bits_multiple: t, metric_avf: t, metric_hvf: t },
-        FrameworkRow { name: "MaFIN", sim_uarch: t, sim_gem5: f, full_system: t, fi_cpu: t, fi_dsa: f, fi_soc: f, isa_x86: t, isa_arm: f, isa_riscv: f, fm_transient: t, fm_permanent: t, bits_single: t, bits_multiple: t, metric_avf: t, metric_hvf: f },
-        FrameworkRow { name: "GemFI", sim_uarch: f, sim_gem5: t, full_system: f, fi_cpu: t, fi_dsa: f, fi_soc: f, isa_x86: t, isa_arm: f, isa_riscv: f, fm_transient: t, fm_permanent: t, bits_single: t, bits_multiple: f, metric_avf: f, metric_hvf: f },
-        FrameworkRow { name: "Thales/Fidelity", sim_uarch: f, sim_gem5: f, full_system: f, fi_cpu: f, fi_dsa: f, fi_soc: f, isa_x86: f, isa_arm: f, isa_riscv: f, fm_transient: t, fm_permanent: f, bits_single: t, bits_multiple: t, metric_avf: f, metric_hvf: f },
-        FrameworkRow { name: "LLFI/LLTFI", sim_uarch: f, sim_gem5: f, full_system: f, fi_cpu: t, fi_dsa: f, fi_soc: f, isa_x86: t, isa_arm: t, isa_riscv: f, fm_transient: t, fm_permanent: f, bits_single: t, bits_multiple: f, metric_avf: f, metric_hvf: f },
-        FrameworkRow { name: "gem5-Approxilyzer", sim_uarch: f, sim_gem5: t, full_system: t, fi_cpu: t, fi_dsa: f, fi_soc: f, isa_x86: t, isa_arm: f, isa_riscv: f, fm_transient: t, fm_permanent: f, bits_single: t, bits_multiple: f, metric_avf: f, metric_hvf: f },
-        FrameworkRow { name: "This Work", sim_uarch: t, sim_gem5: t, full_system: t, fi_cpu: t, fi_dsa: t, fi_soc: t, isa_x86: t, isa_arm: t, isa_riscv: t, fm_transient: t, fm_permanent: t, bits_single: t, bits_multiple: t, metric_avf: t, metric_hvf: t },
+        FrameworkRow {
+            name: "FIMSIM",
+            sim_uarch: t,
+            sim_gem5: t,
+            full_system: f,
+            fi_cpu: t,
+            fi_dsa: f,
+            fi_soc: f,
+            isa_x86: f,
+            isa_arm: f,
+            isa_riscv: f,
+            fm_transient: t,
+            fm_permanent: t,
+            bits_single: t,
+            bits_multiple: t,
+            metric_avf: t,
+            metric_hvf: f,
+        },
+        FrameworkRow {
+            name: "GeFIN",
+            sim_uarch: t,
+            sim_gem5: t,
+            full_system: t,
+            fi_cpu: t,
+            fi_dsa: f,
+            fi_soc: f,
+            isa_x86: t,
+            isa_arm: t,
+            isa_riscv: f,
+            fm_transient: t,
+            fm_permanent: t,
+            bits_single: t,
+            bits_multiple: t,
+            metric_avf: t,
+            metric_hvf: t,
+        },
+        FrameworkRow {
+            name: "MaFIN",
+            sim_uarch: t,
+            sim_gem5: f,
+            full_system: t,
+            fi_cpu: t,
+            fi_dsa: f,
+            fi_soc: f,
+            isa_x86: t,
+            isa_arm: f,
+            isa_riscv: f,
+            fm_transient: t,
+            fm_permanent: t,
+            bits_single: t,
+            bits_multiple: t,
+            metric_avf: t,
+            metric_hvf: f,
+        },
+        FrameworkRow {
+            name: "GemFI",
+            sim_uarch: f,
+            sim_gem5: t,
+            full_system: f,
+            fi_cpu: t,
+            fi_dsa: f,
+            fi_soc: f,
+            isa_x86: t,
+            isa_arm: f,
+            isa_riscv: f,
+            fm_transient: t,
+            fm_permanent: t,
+            bits_single: t,
+            bits_multiple: f,
+            metric_avf: f,
+            metric_hvf: f,
+        },
+        FrameworkRow {
+            name: "Thales/Fidelity",
+            sim_uarch: f,
+            sim_gem5: f,
+            full_system: f,
+            fi_cpu: f,
+            fi_dsa: f,
+            fi_soc: f,
+            isa_x86: f,
+            isa_arm: f,
+            isa_riscv: f,
+            fm_transient: t,
+            fm_permanent: f,
+            bits_single: t,
+            bits_multiple: t,
+            metric_avf: f,
+            metric_hvf: f,
+        },
+        FrameworkRow {
+            name: "LLFI/LLTFI",
+            sim_uarch: f,
+            sim_gem5: f,
+            full_system: f,
+            fi_cpu: t,
+            fi_dsa: f,
+            fi_soc: f,
+            isa_x86: t,
+            isa_arm: t,
+            isa_riscv: f,
+            fm_transient: t,
+            fm_permanent: f,
+            bits_single: t,
+            bits_multiple: f,
+            metric_avf: f,
+            metric_hvf: f,
+        },
+        FrameworkRow {
+            name: "gem5-Approxilyzer",
+            sim_uarch: f,
+            sim_gem5: t,
+            full_system: t,
+            fi_cpu: t,
+            fi_dsa: f,
+            fi_soc: f,
+            isa_x86: t,
+            isa_arm: f,
+            isa_riscv: f,
+            fm_transient: t,
+            fm_permanent: f,
+            bits_single: t,
+            bits_multiple: f,
+            metric_avf: f,
+            metric_hvf: f,
+        },
+        FrameworkRow {
+            name: "This Work",
+            sim_uarch: t,
+            sim_gem5: t,
+            full_system: t,
+            fi_cpu: t,
+            fi_dsa: t,
+            fi_soc: t,
+            isa_x86: t,
+            isa_arm: t,
+            isa_riscv: t,
+            fm_transient: t,
+            fm_permanent: t,
+            bits_single: t,
+            bits_multiple: t,
+            metric_avf: t,
+            metric_hvf: t,
+        },
     ]
 }
 

@@ -24,16 +24,16 @@
 pub mod campaign;
 pub mod dsa;
 pub mod fault;
-pub mod report;
 pub mod features;
+pub mod report;
 pub mod stats;
 
 pub use campaign::{
-    run_campaign, run_masks, run_one, CampaignConfig, CampaignResult, FaultEffect, Golden,
-    GoldenError, HvfEffect, RunRecord,
+    run_campaign, run_masks, run_one, CampaignConfig, CampaignResult, FaultEffect, Golden, GoldenError,
+    HvfEffect, RunRecord, TelemetryConfig,
 };
 pub use dsa::{run_dsa_campaign, DsaCampaignResult, DsaGolden, DsaHarness, DsaOutcome};
 pub use fault::{FaultKind, FaultMask, FaultModel, MaskGenerator};
-pub use report::{crash_breakdown, csv_row, render_campaign, PropagationMatrix, CSV_HEADER};
 pub use marvel_soc::Target;
+pub use report::{crash_breakdown, csv_row, render_campaign, PropagationMatrix, CSV_HEADER};
 pub use stats::{error_margin, opf, required_samples, weighted_avf};

@@ -142,7 +142,14 @@ mod tests {
     use super::*;
 
     fn rec(effect: FaultEffect, hvf: HvfEffect) -> RunRecord {
-        RunRecord { effect, hvf: Some(hvf), trap: None, early_terminated: false, cycles: 1 }
+        RunRecord {
+            effect,
+            hvf: Some(hvf),
+            trap: None,
+            early_terminated: false,
+            cycles: 1,
+            forensics: None,
+        }
     }
 
     #[test]
@@ -173,6 +180,7 @@ mod tests {
             trap: None,
             early_terminated: false,
             cycles: 1,
+            forensics: None,
         }];
         assert!(PropagationMatrix::from_records(&records).is_none());
     }

@@ -69,9 +69,23 @@ impl Cache {
         assert!(sets.is_power_of_two() && cfg.line.is_power_of_two());
         assert!(cfg.assoc <= 8, "tree-PLRU model supports up to 8 ways");
         let lines = (0..sets * cfg.assoc)
-            .map(|_| Line { tag: 0, valid: false, dirty: false, data: vec![0u8; cfg.line].into_boxed_slice() })
+            .map(|_| Line {
+                tag: 0,
+                valid: false,
+                dirty: false,
+                data: vec![0u8; cfg.line].into_boxed_slice(),
+            })
             .collect();
-        Cache { cfg, sets, lines, plru: vec![0; sets], stuck: Vec::new(), armed: None, hits: 0, misses: 0 }
+        Cache {
+            cfg,
+            sets,
+            lines,
+            plru: vec![0; sets],
+            stuck: Vec::new(),
+            armed: None,
+            hits: 0,
+            misses: 0,
+        }
     }
 
     pub fn config(&self) -> &CacheConfig {
@@ -218,6 +232,11 @@ impl Cache {
         evicted
     }
 
+    /// Number of currently valid lines (occupancy gauge).
+    pub fn valid_lines(&self) -> u64 {
+        self.lines.iter().filter(|l| l.valid).count() as u64
+    }
+
     /// Invalidate every line, writing back nothing (test/reset helper).
     pub fn invalidate_all(&mut self) {
         for l in &mut self.lines {
@@ -228,7 +247,12 @@ impl Cache {
 
     fn note_access(&mut self, set: usize, way: usize, off: usize, n: usize, is_write: bool) {
         if let Some(a) = &mut self.armed {
-            if a.set == set && a.way == way && a.fate == FaultFate::Pending && a.byte >= off && a.byte < off + n {
+            if a.set == set
+                && a.way == way
+                && a.fate == FaultFate::Pending
+                && a.byte >= off
+                && a.byte < off + n
+            {
                 a.fate = if is_write { FaultFate::Overwritten } else { FaultFate::Read };
             }
         }

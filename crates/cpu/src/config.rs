@@ -103,15 +103,33 @@ impl CoreConfig {
             ("Pipeline", format!("64-bit OoO ({}-issue)", c.issue_width)),
             (
                 "L1 Instruction Cache",
-                format!("{}KB, {}B line, {} sets, {}-way", c.l1i.size / 1024, c.l1i.line, c.l1i.sets(), c.l1i.assoc),
+                format!(
+                    "{}KB, {}B line, {} sets, {}-way",
+                    c.l1i.size / 1024,
+                    c.l1i.line,
+                    c.l1i.sets(),
+                    c.l1i.assoc
+                ),
             ),
             (
                 "L1 Data Cache",
-                format!("{}KB, {}B line, {} sets, {}-way", c.l1d.size / 1024, c.l1d.line, c.l1d.sets(), c.l1d.assoc),
+                format!(
+                    "{}KB, {}B line, {} sets, {}-way",
+                    c.l1d.size / 1024,
+                    c.l1d.line,
+                    c.l1d.sets(),
+                    c.l1d.assoc
+                ),
             ),
             (
                 "L2 Cache",
-                format!("{}MB, {}B line, {} sets, {}-way", c.l2.size / 1024 / 1024, c.l2.line, c.l2.sets(), c.l2.assoc),
+                format!(
+                    "{}MB, {}B line, {} sets, {}-way",
+                    c.l2.size / 1024 / 1024,
+                    c.l2.line,
+                    c.l2.sets(),
+                    c.l2.assoc
+                ),
             ),
             ("Physical Register File", format!("{} Int; {} FP", c.int_prf, c.fp_prf)),
             (

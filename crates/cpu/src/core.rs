@@ -137,6 +137,9 @@ pub struct CoreStats {
     pub mispredicts: u64,
     pub lq_occ_accum: u64,
     pub sq_occ_accum: u64,
+    pub rob_occ_accum: u64,
+    pub iq_occ_accum: u64,
+    pub freelist_free_accum: u64,
     pub flushes: u64,
     pub replays: u64,
 }
@@ -312,6 +315,9 @@ impl Core {
         self.stats.cycles += 1;
         self.stats.lq_occ_accum += self.lq.occupancy() as u64;
         self.stats.sq_occ_accum += self.sq.occupancy() as u64;
+        self.stats.rob_occ_accum += self.rob.len() as u64;
+        self.stats.iq_occ_accum += self.iq.len() as u64;
+        self.stats.freelist_free_accum += self.freelist.len() as u64;
 
         // 1. writeback: deliver due completion events.
         self.writeback();
@@ -570,7 +576,7 @@ impl Core {
 
     fn drain_stores(&mut self, bus: &mut dyn Bus) -> Option<Trap> {
         for _ in 0..self.isa.store_drain_per_cycle() {
-            let Some(idx) = self.sq.oldest_senior() else { return None };
+            let idx = self.sq.oldest_senior()?;
             let mut e = self.sq.entries[idx];
             // A fault-corrupted width field saturates at the bus width.
             e.size = e.size.clamp(1, 8);
@@ -809,12 +815,12 @@ impl Core {
         let fallthrough = ent.pc.wrapping_add(ent.macro_len as u64);
         match u.op {
             Op::Alu(op) => match op.eval(a, b, self.isa) {
-                Ok(v) => (v, fallthrough, false, None, op.latency()),
-                Err(()) => (0, fallthrough, false, Some(Trap::DivideByZero { pc: ent.pc }), 1),
+                Some(v) => (v, fallthrough, false, None, op.latency()),
+                None => (0, fallthrough, false, Some(Trap::DivideByZero { pc: ent.pc }), 1),
             },
             Op::AluImm(op) => match op.eval(a, u.imm as u64, self.isa) {
-                Ok(v) => (v, fallthrough, false, None, op.latency()),
-                Err(()) => (0, fallthrough, false, Some(Trap::DivideByZero { pc: ent.pc }), 1),
+                Some(v) => (v, fallthrough, false, None, op.latency()),
+                None => (0, fallthrough, false, Some(Trap::DivideByZero { pc: ent.pc }), 1),
             },
             Op::LoadImm => (u.imm as u64, fallthrough, false, None, 1),
             Op::MovK(sh) => {
@@ -856,8 +862,7 @@ impl Core {
         // Alignment / mapping checks produce precise traps.
         let misaligned = addr % size as u64 != 0;
         let device = bus.is_device(addr);
-        let mapped = device
-            || (bus.is_cacheable(addr) && bus.is_cacheable(addr + size as u64 - 1));
+        let mapped = device || (bus.is_cacheable(addr) && bus.is_cacheable(addr + size as u64 - 1));
         let mut trap = None;
         if misaligned && self.isa.traps_on_misaligned() {
             trap = Some(Trap::Misaligned { pc: ent.pc, addr });
@@ -1323,6 +1328,43 @@ impl Core {
 
     pub fn rename_map(&self) -> &RenameMap {
         &self.rename
+    }
+
+    /// Export per-structure counters into a telemetry registry under
+    /// `scope` (e.g. `cpu.l1d.miss`, `cpu.rob.occ_avg_x100`). Purely
+    /// observational: reads stats, never touches simulation state.
+    pub fn publish_metrics(&self, reg: &marvel_telemetry::Registry, scope: &marvel_telemetry::Scope) {
+        if !reg.is_enabled() {
+            return;
+        }
+        let s = &self.stats;
+        reg.publish_scoped(scope, "cycles", s.cycles);
+        reg.publish_scoped(scope, "committed_uops", s.committed_uops);
+        reg.publish_scoped(scope, "committed_macros", s.committed_macros);
+        reg.publish_scoped(scope, "loads", s.loads);
+        reg.publish_scoped(scope, "stores", s.stores);
+        reg.publish_scoped(scope, "branches", s.branches);
+        reg.publish_scoped(scope, "mispredicts", s.mispredicts);
+        reg.publish_scoped(scope, "flushes", s.flushes);
+        reg.publish_scoped(scope, "replays", s.replays);
+        for (name, c) in [("l1i", &self.l1i), ("l1d", &self.l1d), ("l2", &self.l2)] {
+            let sc = scope.child(name);
+            reg.publish_scoped(&sc, "hit", c.hits);
+            reg.publish_scoped(&sc, "miss", c.misses);
+            reg.publish_scoped(&sc, "valid_lines", c.valid_lines());
+        }
+        // Time-averaged occupancies, scaled x100 to keep two decimals in
+        // integer counters.
+        let avg = |accum: u64| (accum * 100).checked_div(s.cycles).unwrap_or(0);
+        reg.publish_scoped(&scope.child("rob"), "occ_avg_x100", avg(s.rob_occ_accum));
+        reg.publish_scoped(&scope.child("iq"), "occ_avg_x100", avg(s.iq_occ_accum));
+        reg.publish_scoped(&scope.child("lq"), "occ_avg_x100", avg(s.lq_occ_accum));
+        reg.publish_scoped(&scope.child("sq"), "occ_avg_x100", avg(s.sq_occ_accum));
+        let prf = scope.child("prf");
+        reg.publish_scoped(&prf, "int_regs", self.prf.len() as u64);
+        reg.publish_scoped(&prf, "fp_regs", self.prf_fp.len() as u64);
+        reg.publish_scoped(&prf, "freelist_free", self.freelist.len() as u64);
+        reg.publish_scoped(&prf, "freelist_free_avg_x100", avg(s.freelist_free_accum));
     }
 }
 

@@ -65,7 +65,7 @@ proptest! {
         c.fill(0x4000_0000, &[0u8; 64]);
         c.set_stuck(bit, v);
         let way = c.lookup(0x4000_0000).unwrap();
-        let byte_addr = 0x4000_0000 + (bit / 8 & !7);
+        let byte_addr = 0x4000_0000 + ((bit / 8) & !7);
         c.write(byte_addr, 8, w, way);
         let got = c.read(0x4000_0000 + bit / 8, 1, way);
         let bit_in_byte = bit % 8;

@@ -23,16 +23,76 @@ struct FigSpec {
 }
 
 const SPECS: [FigSpec; 10] = [
-    FigSpec { file: "fig04_rf_avf", title: "Fig. 4 (RF AVF)", target: Target::PrfInt, kind: FaultKind::Transient, metric: Metric::TotalAvf },
-    FigSpec { file: "fig05_l1i_avf", title: "Fig. 5 (L1I AVF)", target: Target::L1I, kind: FaultKind::Transient, metric: Metric::TotalAvf },
-    FigSpec { file: "fig06_l1d_avf", title: "Fig. 6 (L1D AVF)", target: Target::L1D, kind: FaultKind::Transient, metric: Metric::TotalAvf },
-    FigSpec { file: "fig07_lq_avf", title: "Fig. 7 (LQ AVF)", target: Target::LoadQueue, kind: FaultKind::Transient, metric: Metric::TotalAvf },
-    FigSpec { file: "fig08_sq_avf", title: "Fig. 8 (SQ AVF)", target: Target::StoreQueue, kind: FaultKind::Transient, metric: Metric::TotalAvf },
-    FigSpec { file: "fig09_rf_sdc", title: "Fig. 9 (RF SDC AVF)", target: Target::PrfInt, kind: FaultKind::Transient, metric: Metric::SdcAvf },
-    FigSpec { file: "fig10_l1i_sdc", title: "Fig. 10 (L1I SDC AVF)", target: Target::L1I, kind: FaultKind::Transient, metric: Metric::SdcAvf },
-    FigSpec { file: "fig11_l1d_sdc", title: "Fig. 11 (L1D SDC AVF)", target: Target::L1D, kind: FaultKind::Transient, metric: Metric::SdcAvf },
-    FigSpec { file: "fig12_l1i_perm", title: "Fig. 12 (L1I permanent SDC)", target: Target::L1I, kind: FaultKind::Permanent, metric: Metric::SdcAvf },
-    FigSpec { file: "fig13_l1d_perm", title: "Fig. 13 (L1D permanent SDC)", target: Target::L1D, kind: FaultKind::Permanent, metric: Metric::SdcAvf },
+    FigSpec {
+        file: "fig04_rf_avf",
+        title: "Fig. 4 (RF AVF)",
+        target: Target::PrfInt,
+        kind: FaultKind::Transient,
+        metric: Metric::TotalAvf,
+    },
+    FigSpec {
+        file: "fig05_l1i_avf",
+        title: "Fig. 5 (L1I AVF)",
+        target: Target::L1I,
+        kind: FaultKind::Transient,
+        metric: Metric::TotalAvf,
+    },
+    FigSpec {
+        file: "fig06_l1d_avf",
+        title: "Fig. 6 (L1D AVF)",
+        target: Target::L1D,
+        kind: FaultKind::Transient,
+        metric: Metric::TotalAvf,
+    },
+    FigSpec {
+        file: "fig07_lq_avf",
+        title: "Fig. 7 (LQ AVF)",
+        target: Target::LoadQueue,
+        kind: FaultKind::Transient,
+        metric: Metric::TotalAvf,
+    },
+    FigSpec {
+        file: "fig08_sq_avf",
+        title: "Fig. 8 (SQ AVF)",
+        target: Target::StoreQueue,
+        kind: FaultKind::Transient,
+        metric: Metric::TotalAvf,
+    },
+    FigSpec {
+        file: "fig09_rf_sdc",
+        title: "Fig. 9 (RF SDC AVF)",
+        target: Target::PrfInt,
+        kind: FaultKind::Transient,
+        metric: Metric::SdcAvf,
+    },
+    FigSpec {
+        file: "fig10_l1i_sdc",
+        title: "Fig. 10 (L1I SDC AVF)",
+        target: Target::L1I,
+        kind: FaultKind::Transient,
+        metric: Metric::SdcAvf,
+    },
+    FigSpec {
+        file: "fig11_l1d_sdc",
+        title: "Fig. 11 (L1D SDC AVF)",
+        target: Target::L1D,
+        kind: FaultKind::Transient,
+        metric: Metric::SdcAvf,
+    },
+    FigSpec {
+        file: "fig12_l1i_perm",
+        title: "Fig. 12 (L1I permanent SDC)",
+        target: Target::L1I,
+        kind: FaultKind::Permanent,
+        metric: Metric::SdcAvf,
+    },
+    FigSpec {
+        file: "fig13_l1d_perm",
+        title: "Fig. 13 (L1D permanent SDC)",
+        target: Target::L1D,
+        kind: FaultKind::Permanent,
+        metric: Metric::SdcAvf,
+    },
 ];
 
 /// Unique (target, kind) campaigns behind the ten figures.

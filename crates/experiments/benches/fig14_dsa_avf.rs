@@ -9,10 +9,8 @@ use marvel_workloads::accel::designs;
 fn main() {
     banner("Fig. 14", "DSA AVF breakdown (SDC + Crash) per injection component");
     let cc = config();
-    let mut out = format!(
-        "{:<12}{:<10}{:>8}{:>8}{:>8}\n",
-        "design", "component", "SDC%", "Crash%", "AVF%"
-    );
+    let mut out =
+        format!("{:<12}{:<10}{:>8}{:>8}{:>8}\n", "design", "component", "SDC%", "Crash%", "AVF%");
     let mut csv = String::from("design,component,sdc,crash,avf\n");
     for d in designs() {
         let golden = DsaGolden::prepare((d.make)(FuConfig::default()), 50_000_000);

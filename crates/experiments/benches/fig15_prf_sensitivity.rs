@@ -22,10 +22,7 @@ fn main() {
             per_size[k].push((res.avf(), golden.exec_cycles as f64));
             eprintln!("  [{bench}/prf{n}] avf={:.1}%", res.avf() * 100.0);
         }
-        out.push_str(&format!(
-            "{:<16}{:>7.1}%{:>7.1}%{:>7.1}%\n",
-            bench, vals[0], vals[1], vals[2]
-        ));
+        out.push_str(&format!("{:<16}{:>7.1}%{:>7.1}%{:>7.1}%\n", bench, vals[0], vals[1], vals[2]));
         csv.push_str(&format!("{bench},{:.3},{:.3},{:.3}\n", vals[0], vals[1], vals[2]));
     }
     out.push_str(&format!(

@@ -13,10 +13,7 @@ fn main() {
     let cc = config();
     let configs = [16usize, 8, 4, 2, 1];
     let d = design("GEMM");
-    let mut out = format!(
-        "{:<8}{:>10}{:>14}{:>12}\n",
-        "FUs", "AVF%", "exec cycles", "area (a.u.)"
-    );
+    let mut out = format!("{:<8}{:>10}{:>14}{:>12}\n", "FUs", "AVF%", "exec cycles", "area (a.u.)");
     let mut csv = String::from("fus,avf,cycles,area\n");
     for &n in &configs {
         let fu = FuConfig::uniform(n);

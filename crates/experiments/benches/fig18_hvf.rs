@@ -12,10 +12,7 @@ const BENCHES: [&str; 6] = ["qsort", "sha", "crc32", "dijkstra", "fft", "strings
 fn main() {
     banner("Fig. 18", "HVF vs AVF (physical register file + L1D, same runs)");
     let cc = CampaignConfig { collect_hvf: true, ..config() };
-    let mut out = format!(
-        "{:<14}{:<10}{:>8}{:>8}\n",
-        "benchmark", "target", "HVF%", "AVF%"
-    );
+    let mut out = format!("{:<14}{:<10}{:>8}{:>8}\n", "benchmark", "target", "HVF%", "AVF%");
     let mut csv = String::from("benchmark,target,hvf,avf\n");
     for bench in BENCHES {
         let golden = cpu_golden(bench, Isa::RiscV, None);

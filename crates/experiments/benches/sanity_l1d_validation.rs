@@ -87,14 +87,10 @@ fn main() {
             .collect();
         let cc = CampaignConfig { n_faults, ..Default::default() };
         let records = run_masks(&golden, &masks, &cc);
-        let unmasked =
-            records.iter().filter(|r| r.effect != FaultEffect::Masked).count() as f64;
+        let unmasked = records.iter().filter(|r| r.effect != FaultEffect::Masked).count() as f64;
         let avf = unmasked / records.len() as f64;
         out.push_str(&format!("{:<8} measured L1D AVF = {:>5.1}%\n", isa.name(), avf * 100.0));
-        assert!(
-            avf > 0.90,
-            "{isa}: validation AVF {avf:.3} below 90% — injector coverage broken"
-        );
+        assert!(avf > 0.90, "{isa}: validation AVF {avf:.3} below 90% — injector coverage broken");
     }
     print!("{out}");
     out.push_str("expected: ~100% (every resident array bit is read by the checksum)\n");

@@ -2,7 +2,8 @@
 use marvel_workloads::accel::designs;
 fn main() {
     marvel_experiments::banner("Table IV", "DSA injection components");
-    let mut out = format!("{:<12}{:<10}{:>14}  {}\n", "Accelerator", "Component", "Size (Bytes)", "Type");
+    let mut out =
+        format!("{:<12}{:<10}{:>14}  {}\n", "Accelerator", "Component", "Size (Bytes)", "Type");
     for d in designs() {
         for c in &d.components {
             out.push_str(&format!("{:<12}{:<10}{:>14}  {}\n", d.name, c.name, c.bytes, c.kind.name()));

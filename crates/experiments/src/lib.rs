@@ -14,9 +14,7 @@
 //! Results are printed as the paper's rows/series and mirrored as CSV
 //! under `results/` at the workspace root.
 
-use marvel_core::{
-    run_campaign, CampaignConfig, CampaignResult, FaultKind, Golden, Target,
-};
+use marvel_core::{run_campaign, CampaignConfig, CampaignResult, FaultKind, Golden, Target};
 use marvel_cpu::CoreConfig;
 use marvel_ir::assemble;
 use marvel_isa::Isa;
@@ -37,11 +35,9 @@ pub fn config() -> CampaignConfig {
 /// Benchmark subset from the environment (default: the full suite).
 pub fn benches() -> Vec<&'static str> {
     match std::env::var("MARVEL_BENCHES") {
-        Ok(s) => mibench::NAMES
-            .iter()
-            .copied()
-            .filter(|n| s.split(',').any(|x| x.trim() == *n))
-            .collect(),
+        Ok(s) => {
+            mibench::NAMES.iter().copied().filter(|n| s.split(',').any(|x| x.trim() == *n)).collect()
+        }
         Err(_) => mibench::NAMES.to_vec(),
     }
 }

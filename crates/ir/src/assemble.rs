@@ -210,7 +210,11 @@ fn assemble_lowered(module: &Module, l: &Lowered) -> Result<Binary, LowerError> 
                     emit(&mut pc, &AsmInst::Jmp { offset: joff }, &mut image)?;
                 } else {
                     let off = (taddr - pc as i64) as i32;
-                    emit(&mut pc, &AsmInst::Branch { cond: *cond, rn: *rn, rm: *rm, offset: off }, &mut image)?;
+                    emit(
+                        &mut pc,
+                        &AsmInst::Branch { cond: *cond, rn: *rn, rm: *rm, offset: off },
+                        &mut image,
+                    )?;
                 }
             }
             Item::Jmp { target } => {
@@ -237,15 +241,7 @@ fn assemble_lowered(module: &Module, l: &Lowered) -> Result<Binary, LowerError> 
         image[off..off + g.bytes.len()].copy_from_slice(&g.bytes);
     }
 
-    Ok(Binary {
-        isa,
-        image,
-        entry: RAM_BASE,
-        code_len,
-        func_addrs,
-        global_addrs,
-        inst_count,
-    })
+    Ok(Binary { isa, image, entry: RAM_BASE, code_len, func_addrs, global_addrs, inst_count })
 }
 
 #[cfg(test)]

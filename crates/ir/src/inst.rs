@@ -47,28 +47,73 @@ impl From<i32> for Value {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum IrInst {
     /// `dst = a <op> b`
-    Bin { op: AluOp, dst: VReg, a: Value, b: Value },
+    Bin {
+        op: AluOp,
+        dst: VReg,
+        a: Value,
+        b: Value,
+    },
     /// `dst = mem[base + offset]`
-    Load { w: MemWidth, signed: bool, dst: VReg, base: Value, offset: i64 },
+    Load {
+        w: MemWidth,
+        signed: bool,
+        dst: VReg,
+        base: Value,
+        offset: i64,
+    },
     /// `mem[base + offset] = src`
-    Store { w: MemWidth, src: Value, base: Value, offset: i64 },
+    Store {
+        w: MemWidth,
+        src: Value,
+        base: Value,
+        offset: i64,
+    },
     /// `dst = mem[base + index * w.bytes()]` — lowered to register-offset
     /// addressing on the Arm flavour, shift+add+load elsewhere.
-    LoadIdx { w: MemWidth, signed: bool, dst: VReg, base: Value, index: Value },
+    LoadIdx {
+        w: MemWidth,
+        signed: bool,
+        dst: VReg,
+        base: Value,
+        index: Value,
+    },
     /// `mem[base + index * w.bytes()] = src`
-    StoreIdx { w: MemWidth, src: Value, base: Value, index: Value },
+    StoreIdx {
+        w: MemWidth,
+        src: Value,
+        base: Value,
+        index: Value,
+    },
     /// `dst = &global`
-    AddrOf { dst: VReg, global: GlobalId },
+    AddrOf {
+        dst: VReg,
+        global: GlobalId,
+    },
     /// `if cond(a, b): goto target`
-    Br { cond: Cond, a: Value, b: Value, target: Label },
+    Br {
+        cond: Cond,
+        a: Value,
+        b: Value,
+        target: Label,
+    },
     /// `goto target`
-    Jump { target: Label },
+    Jump {
+        target: Label,
+    },
     /// Bind `label` at this point.
-    Bind { label: Label },
+    Bind {
+        label: Label,
+    },
     /// Call `func(args...)`, optionally receiving a return value.
-    Call { func: FuncId, args: Vec<Value>, dst: Option<VReg> },
+    Call {
+        func: FuncId,
+        args: Vec<Value>,
+        dst: Option<VReg>,
+    },
     /// Return from the current function.
-    Ret { val: Option<Value> },
+    Ret {
+        val: Option<Value>,
+    },
     /// End simulation.
     Halt,
     /// Checkpoint marker (`m5_checkpoint()` analogue).

@@ -244,7 +244,7 @@ impl<'m> Interp<'m> {
     fn read(&mut self, addr: u64, w: MemWidth, signed: bool) -> Result<u64, InterpError> {
         self.stats.loads += 1;
         let n = w.bytes();
-        if addr % n != 0 {
+        if !addr.is_multiple_of(n) {
             return Err(InterpError::Misaligned { addr, width: n });
         }
         if addr < RAM_BASE || addr + n > RAM_BASE + RAM_SIZE {
@@ -263,7 +263,7 @@ impl<'m> Interp<'m> {
             self.output.push(v as u8);
             return Ok(());
         }
-        if addr % n != 0 {
+        if !addr.is_multiple_of(n) {
             return Err(InterpError::Misaligned { addr, width: n });
         }
         if addr < RAM_BASE || addr + n > RAM_BASE + RAM_SIZE {

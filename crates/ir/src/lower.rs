@@ -39,14 +39,26 @@ pub enum Item {
     Label(u32),
     /// Conditional branch to a label; may be relaxed into an inverted
     /// branch over an unconditional jump if the offset overflows.
-    Br { cond: Cond, rn: u8, rm: u8, target: u32 },
+    Br {
+        cond: Cond,
+        rn: u8,
+        rm: u8,
+        target: u32,
+    },
     /// Unconditional jump to a label.
-    Jmp { target: u32 },
+    Jmp {
+        target: u32,
+    },
     /// Call to a function (offset patched at assembly).
-    CallF { func: FuncId },
+    CallF {
+        func: FuncId,
+    },
     /// Materialise the absolute address of a global into `rd`
     /// (fixed-length per ISA; the value is known only after data layout).
-    AddrOf { rd: u8, global: GlobalId },
+    AddrOf {
+        rd: u8,
+        global: GlobalId,
+    },
 }
 
 /// Errors produced during lowering.
@@ -120,7 +132,12 @@ pub fn lower(module: &Module, isa: Isa) -> Result<Lowered, LowerError> {
     // `_start` is conceptually function "entry": expose via index 0 of the
     // item stream instead; callers use `Lowered::items` + starts.
     let _ = start_idx;
-    Ok(Lowered { isa, items: ctx.items, func_item_starts: std::mem::take(&mut func_item_starts), n_labels: ctx.next_label })
+    Ok(Lowered {
+        isa,
+        items: ctx.items,
+        func_item_starts: std::mem::take(&mut func_item_starts),
+        n_labels: ctx.next_label,
+    })
 }
 
 struct ModCtx {
@@ -432,15 +449,8 @@ fn lower_func(ctx: &mut ModCtx, module: &Module, fid: FuncId) -> Result<(), Lowe
     let label_keys: Vec<u32> = (0..f.n_labels).map(|_| ctx.fresh_label()).collect();
     let epilogue = ctx.fresh_label();
 
-    let fx = FnCtx {
-        homes,
-        out_area,
-        save_offs,
-        slot_base,
-        epilogue,
-        label_keys: &label_keys,
-        has_calls,
-    };
+    let fx =
+        FnCtx { homes, out_area, save_offs, slot_base, epilogue, label_keys: &label_keys, has_calls };
 
     let arg_bias: i64 = if ctx.isa == Isa::X86 { 8 } else { 0 };
 
@@ -587,7 +597,13 @@ fn lower_inst(ctx: &mut ModCtx, fx: &FnCtx, inst: &IrInst) -> Result<(), LowerEr
             let rb = read_val(ctx, fx, base, s1, s2);
             let (t, spill) = write_target(fx, *dst, s0);
             if ctx.mem_off_fits(*w, *offset) {
-                ctx.inst(AsmInst::Load { w: *w, signed: *signed, rd: t, base: rb, offset: *offset as i32 });
+                ctx.inst(AsmInst::Load {
+                    w: *w,
+                    signed: *signed,
+                    rd: t,
+                    base: rb,
+                    offset: *offset as i32,
+                });
             } else {
                 ctx.emit_add_const(s2, rb, *offset, t);
                 ctx.inst(AsmInst::Load { w: *w, signed: *signed, rd: t, base: s2, offset: 0 });
@@ -667,7 +683,12 @@ fn lower_inst(ctx: &mut ModCtx, fx: &FnCtx, inst: &IrInst) -> Result<(), LowerEr
         IrInst::Br { cond, a, b, target } => {
             let ra = read_val(ctx, fx, a, s0, s2);
             let rb = read_val(ctx, fx, b, s1, s2);
-            ctx.items.push(Item::Br { cond: *cond, rn: ra, rm: rb, target: fx.label_keys[*target as usize] });
+            ctx.items.push(Item::Br {
+                cond: *cond,
+                rn: ra,
+                rm: rb,
+                target: fx.label_keys[*target as usize],
+            });
         }
         IrInst::Jump { target } => {
             ctx.items.push(Item::Jmp { target: fx.label_keys[*target as usize] });
@@ -769,11 +790,8 @@ mod tests {
         m.define(f, b.build());
         for isa in Isa::ALL {
             let l = lower(&m, isa).unwrap();
-            let stores = l
-                .items
-                .iter()
-                .filter(|i| matches!(i, Item::Inst(AsmInst::Store { .. })))
-                .count();
+            let stores =
+                l.items.iter().filter(|i| matches!(i, Item::Inst(AsmInst::Store { .. }))).count();
             assert!(stores > 3, "{isa}: expected spill stores, got {stores}");
         }
     }

@@ -43,12 +43,13 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // the point is to check the constant layout
     fn ranges_are_disjoint_and_below_2g() {
         assert!(CONSOLE_ADDR < IRQ_CTRL_BASE);
         assert!(IRQ_CTRL_BASE + IRQ_CTRL_SIZE <= ACCEL_MMR_BASE);
         assert!(ACCEL_MMR_BASE < RAM_BASE);
         assert!(RAM_BASE + RAM_SIZE <= 1 << 31);
-        assert!(STACK_TOP % 16 == 0);
+        assert!(STACK_TOP.is_multiple_of(16));
         assert!(IRQ_VECTOR > RAM_BASE && IRQ_VECTOR < STACK_TOP);
     }
 }

@@ -122,15 +122,15 @@ impl Module {
             }
             for i in &f.insts {
                 match i {
-                    IrInst::Br { target, .. } | IrInst::Jump { target } => {
-                        if bound.get(*target as usize) != Some(&1) {
-                            return Err(format!(
-                                "function {}: label {} bound {} times",
-                                f.name,
-                                target,
-                                bound.get(*target as usize).copied().unwrap_or(0)
-                            ));
-                        }
+                    IrInst::Br { target, .. } | IrInst::Jump { target }
+                        if bound.get(*target as usize) != Some(&1) =>
+                    {
+                        return Err(format!(
+                            "function {}: label {} bound {} times",
+                            f.name,
+                            target,
+                            bound.get(*target as usize).copied().unwrap_or(0)
+                        ));
                     }
                     IrInst::Call { func, args, .. } => {
                         let callee = self

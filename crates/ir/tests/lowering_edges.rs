@@ -32,8 +32,8 @@ fn large_immediates_all_ranges() {
         65535,
         65536,
         0x7FFF_FFFF,
-        0x8000_0000,       // beyond i32 (unsigned-32 path)
-        0xFFFF_FFFF,       // u32 max
+        0x8000_0000, // beyond i32 (unsigned-32 path)
+        0xFFFF_FFFF, // u32 max
         -1,
         -2049,
         -40_000,

@@ -168,7 +168,10 @@ pub fn encode(inst: &AsmInst) -> Result<Vec<u8>, EncodeError> {
                 }
                 _ => imm9(name, imm)?,
             };
-            ((OPC_ALU_RI_BASE + alu_idx(op)) << 24) | (iv << 15) | (reg(name, rn)? << 10) | reg(name, rd)?
+            ((OPC_ALU_RI_BASE + alu_idx(op)) << 24)
+                | (iv << 15)
+                | (reg(name, rn)? << 10)
+                | reg(name, rd)?
         }
         AsmInst::MovZ { rd, imm16, hw } => {
             if hw > 3 {
@@ -432,14 +435,17 @@ mod tests {
 
     #[test]
     fn roundtrip_mem_imm_scaled() {
-        let u = dec1(&enc(AsmInst::Load { w: MemWidth::D, signed: false, rd: 3, base: 4, offset: -2040 }));
+        let u =
+            dec1(&enc(AsmInst::Load { w: MemWidth::D, signed: false, rd: 3, base: 4, offset: -2040 }));
         assert_eq!(u.imm, -2040);
         assert!(matches!(u.op, Op::Load { w: MemWidth::D, .. }));
         let u = dec1(&enc(AsmInst::Store { w: MemWidth::W, rs: 7, base: 8, offset: 1020 }));
         assert_eq!(u.imm, 1020);
         assert_eq!(u.rs3, 7);
         // unscaled offsets rejected
-        assert!(encode(&AsmInst::Load { w: MemWidth::D, signed: false, rd: 3, base: 4, offset: 9 }).is_err());
+        assert!(
+            encode(&AsmInst::Load { w: MemWidth::D, signed: false, rd: 3, base: 4, offset: 9 }).is_err()
+        );
     }
 
     #[test]

@@ -15,46 +15,113 @@ use crate::op::{AluOp, Cond, MemWidth};
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AsmInst {
     /// `rd = rn <op> rm`
-    AluRR { op: AluOp, rd: u8, rn: u8, rm: u8 },
+    AluRR {
+        op: AluOp,
+        rd: u8,
+        rn: u8,
+        rm: u8,
+    },
     /// `rd = rn <op> imm` — immediate range is ISA-dependent
     /// (RISC-V: 12-bit signed, Arm: 9-bit signed, x86: 32-bit signed;
     /// shifts: 6-bit unsigned everywhere).
-    AluRI { op: AluOp, rd: u8, rn: u8, imm: i64 },
+    AluRI {
+        op: AluOp,
+        rd: u8,
+        rn: u8,
+        imm: i64,
+    },
     /// `rd = imm16 << (16*hw)` (Arm `movz`; also encodable on x86 as a
     /// `mov r, imm` and on RISC-V when the value fits `lui`/`addi` forms).
-    MovZ { rd: u8, imm16: u16, hw: u8 },
+    MovZ {
+        rd: u8,
+        imm16: u16,
+        hw: u8,
+    },
     /// `rd = (rd & !(0xFFFF << 16*hw)) | imm16 << (16*hw)` (Arm `movk`).
-    MovK { rd: u8, imm16: u16, hw: u8 },
+    MovK {
+        rd: u8,
+        imm16: u16,
+        hw: u8,
+    },
     /// `rd = sext(imm20 << 12)` (RISC-V `lui`).
-    Lui { rd: u8, imm20: i32 },
+    Lui {
+        rd: u8,
+        imm20: i32,
+    },
     /// `rd = imm` with a full 64-bit immediate (x86 `mov r, imm64`).
-    MovImm64 { rd: u8, imm: i64 },
+    MovImm64 {
+        rd: u8,
+        imm: i64,
+    },
     /// Register-register move: x86 `mov r, r`, RISC-V/Arm `add rd, rs, 0`.
-    MovRR { rd: u8, rs: u8 },
+    MovRR {
+        rd: u8,
+        rs: u8,
+    },
     /// `rd = mem[base + offset]`.
-    Load { w: MemWidth, signed: bool, rd: u8, base: u8, offset: i32 },
+    Load {
+        w: MemWidth,
+        signed: bool,
+        rd: u8,
+        base: u8,
+        offset: i32,
+    },
     /// `rd = mem[base + index]` (Arm register-offset addressing).
-    LoadRR { w: MemWidth, signed: bool, rd: u8, base: u8, index: u8 },
+    LoadRR {
+        w: MemWidth,
+        signed: bool,
+        rd: u8,
+        base: u8,
+        index: u8,
+    },
     /// `mem[base + offset] = rs`.
-    Store { w: MemWidth, rs: u8, base: u8, offset: i32 },
+    Store {
+        w: MemWidth,
+        rs: u8,
+        base: u8,
+        offset: i32,
+    },
     /// `mem[base + index] = rs` (Arm register-offset addressing).
-    StoreRR { w: MemWidth, rs: u8, base: u8, index: u8 },
+    StoreRR {
+        w: MemWidth,
+        rs: u8,
+        base: u8,
+        index: u8,
+    },
     /// `rd = rd <op> mem[base + offset]` (x86 memory-operand ALU form;
     /// cracked into a load micro-op plus an ALU micro-op at decode).
-    AluRM { op: AluOp, rd: u8, base: u8, offset: i32 },
+    AluRM {
+        op: AluOp,
+        rd: u8,
+        base: u8,
+        offset: i32,
+    },
     /// `if cond(rn, rm): pc += offset`.
-    Branch { cond: Cond, rn: u8, rm: u8, offset: i32 },
+    Branch {
+        cond: Cond,
+        rn: u8,
+        rm: u8,
+        offset: i32,
+    },
     /// `pc += offset` (unconditional).
-    Jmp { offset: i32 },
+    Jmp {
+        offset: i32,
+    },
     /// Call: RISC-V `jal ra`, Arm `bl lr`; the x86 flavour pushes the return
     /// address onto the stack (cracked into 4 micro-ops at decode).
-    Call { offset: i32 },
+    Call {
+        offset: i32,
+    },
     /// Indirect call through `rn`.
-    CallInd { rn: u8 },
+    CallInd {
+        rn: u8,
+    },
     /// Return: RISC-V `jalr x0, ra`, Arm `br lr`, x86 pops from the stack.
     Ret,
     /// Indirect jump through `rn`.
-    JmpInd { rn: u8 },
+    JmpInd {
+        rn: u8,
+    },
     /// End simulation (the `m5_exit()` analogue).
     Halt,
     /// Checkpoint marker (the `m5_checkpoint()` analogue).
@@ -144,9 +211,9 @@ impl AsmInst {
     /// label addresses are known). No-op for non-relative instructions.
     pub fn with_offset(mut self, off: i32) -> Self {
         match &mut self {
-            AsmInst::Branch { offset, .. }
-            | AsmInst::Jmp { offset }
-            | AsmInst::Call { offset } => *offset = off,
+            AsmInst::Branch { offset, .. } | AsmInst::Jmp { offset } | AsmInst::Call { offset } => {
+                *offset = off
+            }
             _ => {}
         }
         self

@@ -78,7 +78,13 @@ pub fn format_uop(u: &MicroOp, pc: u64) -> String {
             if u.reg_offset {
                 format!("l{} {}, [{} + {}]", width_suffix(w, signed), reg(u.rd), reg(u.rs1), reg(u.rs2))
             } else {
-                format!("l{} {}, [{} {}]", width_suffix(w, signed), reg(u.rd), reg(u.rs1), imm_off(u.imm))
+                format!(
+                    "l{} {}, [{} {}]",
+                    width_suffix(w, signed),
+                    reg(u.rd),
+                    reg(u.rs1),
+                    imm_off(u.imm)
+                )
             }
         }
         Op::Store { w } => {
@@ -89,7 +95,13 @@ pub fn format_uop(u: &MicroOp, pc: u64) -> String {
             }
         }
         Op::Branch(c) => {
-            format!("{} {}, {}, {:#x}", cond_name(c), reg(u.rs1), reg(u.rs2), pc.wrapping_add(u.imm as u64))
+            format!(
+                "{} {}, {}, {:#x}",
+                cond_name(c),
+                reg(u.rs1),
+                reg(u.rs2),
+                pc.wrapping_add(u.imm as u64)
+            )
         }
         Op::Jal => {
             if u.rd == REG_NONE || u.rd == 0 {
@@ -141,12 +153,8 @@ pub fn disassemble(isa: Isa, base: u64, code: &[u8]) -> Vec<DisasmLine> {
         let pc = base + off as u64;
         match isa.decode(&code[off..]) {
             Ok(Decoded { len, uops, .. }) => {
-                let text = uops
-                    .as_slice()
-                    .iter()
-                    .map(|u| format_uop(u, pc))
-                    .collect::<Vec<_>>()
-                    .join(" ; ");
+                let text =
+                    uops.as_slice().iter().map(|u| format_uop(u, pc)).collect::<Vec<_>>().join(" ; ");
                 out.push(DisasmLine {
                     pc,
                     bytes: code[off..off + len as usize].to_vec(),

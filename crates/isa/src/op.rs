@@ -54,11 +54,11 @@ impl AluOp {
 
     /// Evaluate the operation.
     ///
-    /// Returns `Err(())` only for the divide-by-zero case on ISAs that trap
+    /// Returns `None` only for the divide-by-zero case on ISAs that trap
     /// on it (the x86 flavour); other flavours produce their architecturally
     /// defined result.
-    pub fn eval(self, a: u64, b: u64, isa: Isa) -> Result<u64, ()> {
-        Ok(match self {
+    pub fn eval(self, a: u64, b: u64, isa: Isa) -> Option<u64> {
+        Some(match self {
             AluOp::Add => a.wrapping_add(b),
             AluOp::Sub => a.wrapping_sub(b),
             AluOp::And => a & b,
@@ -71,7 +71,7 @@ impl AluOp {
             AluOp::Div => {
                 if b == 0 {
                     if isa.traps_on_div_zero() {
-                        return Err(());
+                        return None;
                     }
                     match isa {
                         Isa::Arm => 0,
@@ -86,7 +86,7 @@ impl AluOp {
             AluOp::Rem => {
                 if b == 0 {
                     if isa.traps_on_div_zero() {
-                        return Err(());
+                        return None;
                     }
                     match isa {
                         Isa::Arm => a,
@@ -203,9 +203,14 @@ pub enum Op {
     /// cracked `call`.
     LinkAddr,
     /// `rd = mem[rs1 + imm]`, or `mem[rs1 + rs2]` if `reg_offset`.
-    Load { w: MemWidth, signed: bool },
+    Load {
+        w: MemWidth,
+        signed: bool,
+    },
     /// `mem[rs1 + imm] = rs3` (or `mem[rs1 + rs2] = rs3` if `reg_offset`).
-    Store { w: MemWidth },
+    Store {
+        w: MemWidth,
+    },
     /// `if cond(rs1, rs2): pc = pc + imm`
     Branch(Cond),
     /// `rd = pc + macro_len; pc = pc + imm`
@@ -263,7 +268,15 @@ pub struct MicroOp {
 impl MicroOp {
     /// A micro-op with no operands.
     pub fn bare(op: Op) -> Self {
-        MicroOp { op, rd: REG_NONE, rs1: REG_NONE, rs2: REG_NONE, rs3: REG_NONE, imm: 0, reg_offset: false }
+        MicroOp {
+            op,
+            rd: REG_NONE,
+            rs1: REG_NONE,
+            rs2: REG_NONE,
+            rs3: REG_NONE,
+            imm: 0,
+            reg_offset: false,
+        }
     }
 
     /// Source registers actually read by this micro-op.
@@ -375,10 +388,10 @@ mod tests {
 
     #[test]
     fn div_by_zero_isa_semantics() {
-        assert!(AluOp::Div.eval(5, 0, Isa::X86).is_err());
+        assert!(AluOp::Div.eval(5, 0, Isa::X86).is_none());
         assert_eq!(AluOp::Div.eval(5, 0, Isa::Arm).unwrap(), 0);
         assert_eq!(AluOp::Div.eval(5, 0, Isa::RiscV).unwrap(), u64::MAX);
-        assert!(AluOp::Rem.eval(5, 0, Isa::X86).is_err());
+        assert!(AluOp::Rem.eval(5, 0, Isa::X86).is_none());
         assert_eq!(AluOp::Rem.eval(5, 0, Isa::RiscV).unwrap(), 5);
     }
 

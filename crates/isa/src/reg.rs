@@ -68,7 +68,9 @@ pub static ARM_REGS: RegSpec = RegSpec {
     link: Some(30),
     ret_val: 0,
     scratch: [26, 27, 28],
-    allocatable: &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23, 24, 25],
+    allocatable: &[
+        1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23, 24, 25,
+    ],
 };
 
 /// x86 flavour: 16 architectural registers (+2 micro-op temporaries used by

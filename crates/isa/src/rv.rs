@@ -485,7 +485,8 @@ mod tests {
     #[test]
     fn imm_range_enforced() {
         assert!(encode(&AsmInst::AluRI { op: AluOp::Add, rd: 1, rn: 2, imm: 4096 }).is_err());
-        assert!(encode(&AsmInst::Load { w: MemWidth::D, signed: false, rd: 1, base: 2, offset: 5000 }).is_err());
+        assert!(encode(&AsmInst::Load { w: MemWidth::D, signed: false, rd: 1, base: 2, offset: 5000 })
+            .is_err());
         assert!(encode(&AsmInst::Branch { cond: Cond::Eq, rn: 1, rm: 2, offset: 8192 }).is_err());
     }
 
@@ -493,7 +494,8 @@ mod tests {
     fn unsupported_forms_rejected() {
         assert!(encode(&AsmInst::MovZ { rd: 1, imm16: 1, hw: 0 }).is_err());
         assert!(encode(&AsmInst::AluRM { op: AluOp::Add, rd: 1, base: 2, offset: 0 }).is_err());
-        assert!(encode(&AsmInst::LoadRR { w: MemWidth::D, signed: false, rd: 1, base: 2, index: 3 }).is_err());
+        assert!(encode(&AsmInst::LoadRR { w: MemWidth::D, signed: false, rd: 1, base: 2, index: 3 })
+            .is_err());
     }
 
     #[test]

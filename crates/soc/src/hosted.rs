@@ -224,8 +224,20 @@ mod tests {
         let a = inc_accel();
         let mut h = HostedAccel::new(
             a,
-            vec![DmaPlanEntry { dir: DmaDir::ToSram, addr_arg: 1, mem: MemRef::Spm(0), mem_off: 0, len: 64 }],
-            vec![DmaPlanEntry { dir: DmaDir::ToRam, addr_arg: 2, mem: MemRef::Spm(1), mem_off: 0, len: 64 }],
+            vec![DmaPlanEntry {
+                dir: DmaDir::ToSram,
+                addr_arg: 1,
+                mem: MemRef::Spm(0),
+                mem_off: 0,
+                len: 64,
+            }],
+            vec![DmaPlanEntry {
+                dir: DmaDir::ToRam,
+                addr_arg: 2,
+                mem: MemRef::Spm(1),
+                mem_off: 0,
+                len: 64,
+            }],
             vec![0], // arg0 = element count from data reg 0
         );
         let mut ram = vec![0u8; 4096];
@@ -258,7 +270,13 @@ mod tests {
         let a = inc_accel();
         let mut h = HostedAccel::new(
             a,
-            vec![DmaPlanEntry { dir: DmaDir::ToSram, addr_arg: 1, mem: MemRef::Spm(0), mem_off: 0, len: 64 }],
+            vec![DmaPlanEntry {
+                dir: DmaDir::ToSram,
+                addr_arg: 1,
+                mem: MemRef::Spm(0),
+                mem_off: 0,
+                len: 64,
+            }],
             vec![],
             vec![0],
         );

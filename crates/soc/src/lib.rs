@@ -15,5 +15,5 @@ pub mod isr;
 pub mod system;
 
 pub use hosted::{DmaPlanEntry, HostedAccel};
-pub use irq::{IrqCtrlKind, IrqController};
+pub use irq::{IrqController, IrqCtrlKind};
 pub use system::{RunOutcome, SocBus, SysEvent, System, Target};

@@ -3,12 +3,12 @@
 //! clone-based checkpointing.
 
 use crate::hosted::HostedAccel;
-use crate::irq::{IrqCtrlKind, IrqController};
+use crate::irq::{IrqController, IrqCtrlKind};
 use crate::isr::build_isr;
 use marvel_cpu::{Bus, Core, CoreConfig, FaultFate, StepEvent};
 use marvel_ir::memmap::{
-    ACCEL_MMR_BASE, ACCEL_MMR_STRIDE, CONSOLE_ADDR, IRQ_CTRL_BASE, IRQ_CTRL_SIZE, IRQ_VECTOR,
-    RAM_BASE, RAM_SIZE,
+    ACCEL_MMR_BASE, ACCEL_MMR_STRIDE, CONSOLE_ADDR, IRQ_CTRL_BASE, IRQ_CTRL_SIZE, IRQ_VECTOR, RAM_BASE,
+    RAM_SIZE,
 };
 use marvel_ir::Binary;
 use marvel_isa::Trap;
@@ -36,11 +36,19 @@ pub enum Target {
     /// Speculative rename map.
     RenameMap,
     /// Scratchpad `mem` of accelerator `accel`.
-    Spm { accel: usize, mem: usize },
+    Spm {
+        accel: usize,
+        mem: usize,
+    },
     /// Register bank `mem` of accelerator `accel`.
-    RegBank { accel: usize, mem: usize },
+    RegBank {
+        accel: usize,
+        mem: usize,
+    },
     /// MMR block of accelerator `accel`.
-    Mmr { accel: usize },
+    Mmr {
+        accel: usize,
+    },
 }
 
 impl Target {
@@ -95,7 +103,7 @@ impl SocBus {
             return None;
         }
         let off = (addr - ACCEL_MMR_BASE) % ACCEL_MMR_STRIDE;
-        if off % 8 != 0 {
+        if !off.is_multiple_of(8) {
             return None;
         }
         Some((idx, (off / 8) as usize))
@@ -202,6 +210,8 @@ pub struct System {
     pub checkpoint_cycle: Option<u64>,
     /// Cycle at which the `SwitchCpu` marker committed (if seen).
     pub switch_cycle: Option<u64>,
+    /// Traps surfaced by the run loop (commit-stage crashes).
+    pub traps: u64,
 }
 
 impl System {
@@ -218,6 +228,7 @@ impl System {
             cycle: 0,
             checkpoint_cycle: None,
             switch_cycle: None,
+            traps: 0,
         }
     }
 
@@ -248,7 +259,10 @@ impl System {
         match self.core.tick(&mut self.bus) {
             StepEvent::None => SysEvent::Running,
             StepEvent::Halted => SysEvent::Halted,
-            StepEvent::Trapped(t) => SysEvent::Trapped(t),
+            StepEvent::Trapped(t) => {
+                self.traps += 1;
+                SysEvent::Trapped(t)
+            }
             StepEvent::CheckpointHit => {
                 self.checkpoint_cycle = Some(self.cycle);
                 SysEvent::Checkpoint
@@ -286,6 +300,29 @@ impl System {
     /// Program output so far.
     pub fn output(&self) -> &[u8] {
         &self.bus.console
+    }
+
+    /// Export run-loop and per-structure counters into a telemetry
+    /// registry under `scope`: SoC-level cycle/trap gauges, the CPU's
+    /// structure metrics under `<scope>.cpu`, and each hosted
+    /// accelerator's under `<scope>.accel<i>`.
+    pub fn publish_metrics(&self, reg: &marvel_telemetry::Registry, scope: &marvel_telemetry::Scope) {
+        if !reg.is_enabled() {
+            return;
+        }
+        reg.publish_scoped(scope, "cycles", self.cycle);
+        reg.publish_scoped(scope, "traps", self.traps);
+        reg.publish_scoped(scope, "console_bytes", self.bus.console.len() as u64);
+        reg.publish_scoped(scope, "checkpoint_cycle", self.checkpoint_cycle.unwrap_or(0));
+        reg.publish_scoped(scope, "switch_cycle", self.switch_cycle.unwrap_or(0));
+        self.core.publish_metrics(reg, &scope.child("cpu"));
+        for (i, h) in self.bus.accels.iter().enumerate() {
+            let sc = scope.indexed("accel", i);
+            h.accel.publish_metrics(reg, &sc);
+            reg.publish_scoped(&sc, "dma_bytes_moved", h.dma.bytes_moved);
+            reg.publish_scoped(&sc, "dma_cycles", h.dma_cycles);
+            reg.publish_scoped(&sc, "hosted_compute_cycles", h.compute_cycles);
+        }
     }
 
     // ------------------------------------------------------------------

@@ -77,7 +77,13 @@ fn host_module() -> Module {
 fn hosted() -> HostedAccel {
     HostedAccel::new(
         accel_add100(),
-        vec![DmaPlanEntry { dir: DmaDir::ToSram, addr_arg: 0, mem: MemRef::Spm(0), mem_off: 0, len: 64 }],
+        vec![DmaPlanEntry {
+            dir: DmaDir::ToSram,
+            addr_arg: 0,
+            mem: MemRef::Spm(0),
+            mem_off: 0,
+            len: 64,
+        }],
         vec![DmaPlanEntry { dir: DmaDir::ToRam, addr_arg: 1, mem: MemRef::Spm(1), mem_off: 0, len: 64 }],
         vec![],
     )
@@ -134,7 +140,7 @@ fn mmr_bit_len_and_injection_via_system() {
     assert!(sys.bit_len(t) >= 4 * 64, "CTRL+STATUS+data regs");
     let mut sys2 = sys.clone();
     sys2.flip(t, 64 + 1); // STATUS bit 1
-    assert_eq!(sys2.fault_fate(t).is_some(), true);
+    assert!(sys2.fault_fate(t).is_some());
 }
 
 #[test]

@@ -1,0 +1,148 @@
+//! Artifact export: JSONL and CSV renderings of registry snapshots, plus
+//! file helpers used by campaign harnesses to attach metrics to figures.
+
+use crate::registry::Snapshot;
+use std::io::Write;
+use std::path::Path;
+
+/// Minimal JSON string escaping (names are ASCII metric paths, but be
+/// safe about quotes/backslashes/control bytes).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Render a snapshot as JSONL: one object per metric, counters first,
+/// both sections name-sorted (deterministic output for diffable
+/// artifacts).
+pub fn render_jsonl(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snap.counters {
+        out.push_str(&format!(
+            "{{\"type\":\"counter\",\"name\":{},\"value\":{value}}}\n",
+            json_string(name)
+        ));
+    }
+    for (name, h) in &snap.histograms {
+        let buckets: Vec<String> =
+            h.buckets.iter().map(|(le, n)| format!("{{\"le\":{le},\"count\":{n}}}")).collect();
+        out.push_str(&format!(
+            "{{\"type\":\"histogram\",\"name\":{},\"count\":{},\"sum\":{},\"mean\":{:.3},\"buckets\":[{}]}}\n",
+            json_string(name),
+            h.count,
+            h.sum,
+            h.mean(),
+            buckets.join(",")
+        ));
+    }
+    out
+}
+
+/// Render a snapshot as CSV (`name,kind,value,count,sum`): counters carry
+/// `value`, histograms carry `count`/`sum`.
+pub fn render_csv(snap: &Snapshot) -> String {
+    let mut out = String::from("name,kind,value,count,sum\n");
+    for (name, value) in &snap.counters {
+        out.push_str(&format!("{name},counter,{value},,\n"));
+    }
+    for (name, h) in &snap.histograms {
+        out.push_str(&format!("{name},histogram,,{},{}\n", h.count, h.sum));
+    }
+    out
+}
+
+/// Write a snapshot to `path`, picking the format from the extension
+/// (`.csv` → CSV, anything else → JSONL). Parent directories are created.
+pub fn write_snapshot(snap: &Snapshot, path: &Path) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let body =
+        if path.extension().is_some_and(|e| e == "csv") { render_csv(snap) } else { render_jsonl(snap) };
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(body.as_bytes())
+}
+
+/// Append one pre-rendered JSONL line to `path` (forensics dumps are
+/// written incrementally, one run per line). Parent directories are
+/// created.
+pub fn append_jsonl_line(path: &Path, line: &str) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut f = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+    writeln!(f, "{line}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn sample() -> Snapshot {
+        let reg = Registry::new();
+        reg.publish("campaign.runs", 100);
+        reg.publish("cpu.l1d.miss", 7);
+        let h = reg.histogram("campaign.run_cycles").unwrap();
+        h.record(100);
+        h.record(200);
+        reg.snapshot()
+    }
+
+    #[test]
+    fn jsonl_one_object_per_line() {
+        let text = render_jsonl(&sample());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("{\"type\":\"counter\",\"name\":\"campaign.runs\""));
+        assert!(lines[2].contains("\"type\":\"histogram\""));
+        assert!(lines[2].contains("\"count\":2,\"sum\":300"));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let text = render_csv(&sample());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "name,kind,value,count,sum");
+        assert_eq!(lines[1], "campaign.runs,counter,100,,");
+        assert_eq!(lines[3], "campaign.run_cycles,histogram,,2,300");
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_string("a\"b\\c\n"), r#""a\"b\\c\n""#);
+    }
+
+    #[test]
+    fn file_roundtrip_both_formats() {
+        let dir = std::env::temp_dir().join(format!("marvel-telemetry-test-{}", std::process::id()));
+        let snap = sample();
+        let jpath = dir.join("snap.jsonl");
+        let cpath = dir.join("snap.csv");
+        write_snapshot(&snap, &jpath).unwrap();
+        write_snapshot(&snap, &cpath).unwrap();
+        assert_eq!(std::fs::read_to_string(&jpath).unwrap(), render_jsonl(&snap));
+        assert!(std::fs::read_to_string(&cpath).unwrap().starts_with("name,kind"));
+        append_jsonl_line(&dir.join("f.jsonl"), "{}").unwrap();
+        append_jsonl_line(&dir.join("f.jsonl"), "{}").unwrap();
+        assert_eq!(std::fs::read_to_string(dir.join("f.jsonl")).unwrap(), "{}\n{}\n");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

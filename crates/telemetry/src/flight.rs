@@ -1,0 +1,228 @@
+//! The flight recorder: a bounded ring buffer of cycle-stamped events an
+//! injection run carries, dumped only when the run turns out interesting.
+
+use std::collections::VecDeque;
+
+/// One thing that happened during an injection run. Variants follow the
+/// life of the injected bit: armed → read/overwritten → (divergence →)
+//  trap/halt → classified.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// The fault mask was applied to the target structure.
+    FaultArmed { target: String, bit: u64, model: &'static str },
+    /// The faulty storage was read before being overwritten — the fault
+    /// is activated and may propagate.
+    BitRead,
+    /// The faulty storage was overwritten/refilled before any read — the
+    /// fault is architecturally dead.
+    BitOverwritten,
+    /// The fault landed in an invalid/unused entry.
+    InvalidEntry,
+    /// First commit-stage divergence from the golden trace (HVF
+    /// corruption onset); `seq` is the diverging commit sequence number.
+    FirstDivergence { seq: u64 },
+    /// A trap reached commit.
+    Trap { tag: &'static str },
+    /// The run was cut short by the early-termination optimisation.
+    EarlyTerminated,
+    /// Final effect classification of the run.
+    Classified { effect: &'static str },
+    /// Free-form instrumentation point.
+    Note { label: &'static str, value: u64 },
+}
+
+impl Event {
+    /// Stable lower-snake tag used in exports.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Event::FaultArmed { .. } => "fault_armed",
+            Event::BitRead => "bit_read",
+            Event::BitOverwritten => "bit_overwritten",
+            Event::InvalidEntry => "invalid_entry",
+            Event::FirstDivergence { .. } => "first_divergence",
+            Event::Trap { .. } => "trap",
+            Event::EarlyTerminated => "early_terminated",
+            Event::Classified { .. } => "classified",
+            Event::Note { .. } => "note",
+        }
+    }
+
+    /// Human-readable detail column.
+    pub fn detail(&self) -> String {
+        match self {
+            Event::FaultArmed { target, bit, model } => format!("{model} fault, bit {bit} of {target}"),
+            Event::BitRead => "faulty storage read (fault activated)".into(),
+            Event::BitOverwritten => "faulty storage overwritten (fault dead)".into(),
+            Event::InvalidEntry => "fault landed in an invalid entry".into(),
+            Event::FirstDivergence { seq } => format!("commit stream diverges from golden at seq {seq}"),
+            Event::Trap { tag } => format!("trap: {tag}"),
+            Event::EarlyTerminated => "run cut short: outcome already known".into(),
+            Event::Classified { effect } => format!("final class: {effect}"),
+            Event::Note { label, value } => format!("{label} = {value}"),
+        }
+    }
+
+    fn json_fields(&self) -> String {
+        match self {
+            Event::FaultArmed { target, bit, model } => format!(
+                r#","target":{},"bit":{bit},"model":"{model}""#,
+                crate::export::json_string(target)
+            ),
+            Event::FirstDivergence { seq } => format!(r#","seq":{seq}"#),
+            Event::Trap { tag } => format!(r#","trap":{}"#, crate::export::json_string(tag)),
+            Event::Classified { effect } => format!(r#","effect":"{effect}""#),
+            Event::Note { label, value } => {
+                format!(r#","label":{},"value":{value}"#, crate::export::json_string(label))
+            }
+            _ => String::new(),
+        }
+    }
+}
+
+/// An [`Event`] plus the system cycle it was observed at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimedEvent {
+    pub cycle: u64,
+    pub event: Event,
+}
+
+impl TimedEvent {
+    /// One JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        format!(
+            r#"{{"cycle":{},"event":"{}"{}}}"#,
+            self.cycle,
+            self.event.tag(),
+            self.event.json_fields()
+        )
+    }
+}
+
+/// Bounded ring buffer of [`TimedEvent`]s carried by one injection run.
+///
+/// Capacity 0 (the [`FlightRecorder::disabled`] default) makes `record` a
+/// single branch, so the recorder can be threaded through run loops
+/// unconditionally. When full, the oldest events are dropped (`dropped`
+/// counts them) — for crash forensics the *latest* events matter most.
+#[derive(Debug, Clone, Default)]
+pub struct FlightRecorder {
+    cap: usize,
+    events: VecDeque<TimedEvent>,
+    dropped: u64,
+}
+
+/// A finished recorder's timeline, detached from the run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FlightDump {
+    pub events: Vec<TimedEvent>,
+    pub dropped: u64,
+}
+
+impl FlightRecorder {
+    pub fn new(capacity: usize) -> FlightRecorder {
+        FlightRecorder { cap: capacity, events: VecDeque::new(), dropped: 0 }
+    }
+
+    /// A recorder that records nothing.
+    pub fn disabled() -> FlightRecorder {
+        FlightRecorder::default()
+    }
+
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.cap > 0
+    }
+
+    #[inline]
+    pub fn record(&mut self, cycle: u64, event: Event) {
+        if self.cap == 0 {
+            return;
+        }
+        if self.events.len() == self.cap {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(TimedEvent { cycle, event });
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Detach the recorded timeline (the recorder is left empty).
+    pub fn take(&mut self) -> FlightDump {
+        FlightDump { events: self.events.drain(..).collect(), dropped: self.dropped }
+    }
+}
+
+impl FlightDump {
+    /// Human-readable timeline table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{:>12}  {:<18} detail\n", "cycle", "event"));
+        for e in &self.events {
+            out.push_str(&format!("{:>12}  {:<18} {}\n", e.cycle, e.event.tag(), e.event.detail()));
+        }
+        if self.dropped > 0 {
+            out.push_str(&format!("({} earlier events dropped by the ring buffer)\n", self.dropped));
+        }
+        out
+    }
+
+    /// One JSON array of event objects (single line, JSONL-friendly).
+    pub fn to_json(&self) -> String {
+        let evs: Vec<String> = self.events.iter().map(|e| e.to_json()).collect();
+        format!(r#"{{"dropped":{},"events":[{}]}}"#, self.dropped, evs.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let mut fr = FlightRecorder::disabled();
+        fr.record(1, Event::BitRead);
+        assert!(fr.is_empty() && !fr.is_enabled());
+    }
+
+    #[test]
+    fn ring_drops_oldest() {
+        let mut fr = FlightRecorder::new(2);
+        fr.record(1, Event::BitRead);
+        fr.record(2, Event::BitOverwritten);
+        fr.record(3, Event::EarlyTerminated);
+        let d = fr.take();
+        assert_eq!(d.dropped, 1);
+        assert_eq!(d.events.len(), 2);
+        assert_eq!(d.events[0].cycle, 2);
+        assert_eq!(d.events[1].event, Event::EarlyTerminated);
+    }
+
+    #[test]
+    fn json_shapes() {
+        let mut fr = FlightRecorder::new(8);
+        fr.record(10, Event::FaultArmed { target: "L1D".into(), bit: 42, model: "transient" });
+        fr.record(20, Event::Trap { tag: "decode" });
+        let d = fr.take();
+        let j = d.to_json();
+        assert!(j.starts_with(r#"{"dropped":0,"events":["#), "{j}");
+        assert!(j.contains(r#""cycle":10,"event":"fault_armed","target":"L1D","bit":42"#), "{j}");
+        assert!(j.contains(r#""trap":"decode""#), "{j}");
+    }
+
+    #[test]
+    fn render_mentions_every_event() {
+        let mut fr = FlightRecorder::new(8);
+        fr.record(5, Event::FirstDivergence { seq: 99 });
+        fr.record(6, Event::Classified { effect: "SDC" });
+        let text = fr.take().render();
+        assert!(text.contains("first_divergence") && text.contains("seq 99"), "{text}");
+        assert!(text.contains("SDC"), "{text}");
+    }
+}

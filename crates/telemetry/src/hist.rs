@@ -1,0 +1,148 @@
+//! Fixed-bucket power-of-two histograms on atomics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bucket count: bucket `i` holds values whose upper bound is `2^i - 1`
+/// (bucket 0 = {0}), bucket 64 catches everything above `2^63 - 1`.
+const BUCKETS: usize = 65;
+
+/// A lock-free histogram with fixed power-of-two buckets.
+///
+/// `record` is two relaxed `fetch_add`s plus a `leading_zeros` — cheap
+/// enough to leave enabled in campaign hot loops. Bucket boundaries are
+/// value-independent, so merging/snapshotting needs no coordination.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// Point-in-time view of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    /// `(inclusive upper bound, count)` for every non-empty bucket.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl Histogram {
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    fn bucket_of(value: u64) -> usize {
+        (64 - value.leading_zeros()) as usize
+    }
+
+    /// Inclusive upper bound of bucket `i`.
+    fn bound_of(i: usize) -> u64 {
+        if i >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[Self::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> HistSnapshot {
+        let buckets = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then_some((Self::bound_of(i), n))
+            })
+            .collect();
+        HistSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl HistSnapshot {
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing quantile `q` (0.0..=1.0).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0;
+        for &(bound, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return bound;
+            }
+        }
+        self.buckets.last().map(|&(b, _)| b).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_power_of_two() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record(1000);
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1006);
+        // 0 → bound 0; 1 → bound 1; 2,3 → bound 3; 1000 → bound 1023.
+        assert_eq!(s.buckets, vec![(0, 1), (1, 1), (3, 2), (1023, 1)]);
+    }
+
+    #[test]
+    fn quantiles_and_mean() {
+        let h = Histogram::new();
+        for v in 0..100u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert!((s.mean() - 49.5).abs() < 1e-9);
+        assert!(s.quantile(0.5) <= 63);
+        assert_eq!(s.quantile(1.0), 127);
+        assert_eq!(HistSnapshot { count: 0, sum: 0, buckets: vec![] }.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn extreme_values() {
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.buckets, vec![(u64::MAX, 1)]);
+    }
+}

@@ -1,0 +1,42 @@
+//! # marvel-telemetry
+//!
+//! Campaign observability for the fault-injection framework: the paper's
+//! evaluation runs millions of injection runs across worker fleets
+//! (Fig. 2), and this crate is the measurement substrate those campaigns
+//! report through. Dependency-free and at the bottom of the workspace
+//! stack so every layer (CPU, accelerator, SoC, campaign driver, CLI) can
+//! publish into it.
+//!
+//! Four pieces:
+//!
+//! * [`Registry`] — named atomic [`Counter`]s and fixed-bucket power-of-two
+//!   [`Histogram`]s behind an `Arc`. A [`Registry::disabled`] registry
+//!   hands out no-op handles whose hot path is a single branch, so
+//!   instrumentation can stay compiled-in unconditionally.
+//! * [`Scope`] — cheap hierarchical dotted metric names
+//!   (`cpu.l1d.miss`, `campaign.worker3.runs`).
+//! * [`FlightRecorder`] — a bounded ring buffer of typed, cycle-stamped
+//!   [`Event`]s that an injection run carries; campaigns keep the dump
+//!   only for runs that classify SDC/Crash, turning "bit 1234 flipped and
+//!   something broke" into an ordered timeline of the fault's life.
+//! * [`export`]/[`progress`] — JSONL/CSV artifact writers for registry
+//!   snapshots and flight dumps, plus the live progress line
+//!   (rate + ETA + running AVF ± margin) campaigns print.
+//!
+//! Telemetry is strictly observational: nothing here feeds back into
+//! simulation state, so enabling it cannot perturb classifications (the
+//! root `telemetry_determinism` integration test enforces this).
+
+pub mod export;
+pub mod flight;
+pub mod hist;
+pub mod progress;
+pub mod registry;
+pub mod scope;
+
+pub use export::{append_jsonl_line, json_string, render_csv, render_jsonl, write_snapshot};
+pub use flight::{Event, FlightDump, FlightRecorder, TimedEvent};
+pub use hist::{HistSnapshot, Histogram};
+pub use progress::ProgressMeter;
+pub use registry::{Counter, Registry, Snapshot};
+pub use scope::Scope;

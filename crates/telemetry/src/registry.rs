@@ -1,0 +1,222 @@
+//! The metric registry: named atomic counters and histograms.
+
+use crate::hist::{HistSnapshot, Histogram};
+use crate::scope::Scope;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Shared, thread-safe metric registry.
+///
+/// Cloning is cheap (`Arc`); a clone sees the same metrics. A registry
+/// built with [`Registry::disabled`] hands out no-op [`Counter`]s and
+/// never materialises anything — instrumentation sites can therefore call
+/// unconditionally and stay off the profile when observability is off.
+///
+/// Metric *registration* (`counter`/`histogram`) takes a lock and is meant
+/// for setup paths; the returned handles are lock-free on the hot path.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    inner: Option<Arc<Inner>>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+/// Handle to one registered counter. `add`/`inc` are a branch plus a
+/// relaxed `fetch_add`; on a disabled registry they are just the branch.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    cell: Option<Arc<AtomicU64>>,
+}
+
+impl Counter {
+    /// A no-op counter not attached to any registry.
+    pub fn noop() -> Counter {
+        Counter { cell: None }
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(c) = &self.cell {
+            c.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Overwrite the value (gauge-style publish).
+    #[inline]
+    pub fn set(&self, v: u64) {
+        if let Some(c) = &self.cell {
+            c.store(v, Ordering::Relaxed);
+        }
+    }
+
+    pub fn get(&self) -> u64 {
+        self.cell.as_ref().map(|c| c.load(Ordering::Relaxed)).unwrap_or(0)
+    }
+}
+
+/// Point-in-time view of every metric in a registry.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    pub counters: Vec<(String, u64)>,
+    pub histograms: Vec<(String, HistSnapshot)>,
+}
+
+impl Registry {
+    /// An enabled, empty registry.
+    pub fn new() -> Registry {
+        Registry { inner: Some(Arc::new(Inner::default())) }
+    }
+
+    /// A registry whose handles are all no-ops (the default).
+    pub fn disabled() -> Registry {
+        Registry { inner: None }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Register (or look up) a counter by full metric name.
+    pub fn counter(&self, name: &str) -> Counter {
+        match &self.inner {
+            None => Counter::noop(),
+            Some(inner) => {
+                let mut map = inner.counters.lock().unwrap();
+                let cell = map.entry(name.to_string()).or_default().clone();
+                Counter { cell: Some(cell) }
+            }
+        }
+    }
+
+    /// Register (or look up) a counter under `scope`.
+    pub fn scoped_counter(&self, scope: &Scope, leaf: &str) -> Counter {
+        if self.inner.is_none() {
+            return Counter::noop();
+        }
+        self.counter(&scope.metric(leaf))
+    }
+
+    /// Register (or look up) a histogram by full metric name. Returns
+    /// `None` on a disabled registry (record through the `Option` with
+    /// `if let` or keep the handle in instrumentation structs).
+    pub fn histogram(&self, name: &str) -> Option<Arc<Histogram>> {
+        let inner = self.inner.as_ref()?;
+        let mut map = inner.histograms.lock().unwrap();
+        Some(map.entry(name.to_string()).or_default().clone())
+    }
+
+    /// Gauge-style publish: set counter `name` to `value`, registering it
+    /// if needed. Intended for end-of-run stat exports.
+    pub fn publish(&self, name: &str, value: u64) {
+        if self.inner.is_some() {
+            self.counter(name).set(value);
+        }
+    }
+
+    /// `publish` under a scope.
+    pub fn publish_scoped(&self, scope: &Scope, leaf: &str, value: u64) {
+        if self.inner.is_some() {
+            self.publish(&scope.metric(leaf), value);
+        }
+    }
+
+    /// Snapshot every metric (sorted by name; `BTreeMap` keeps this
+    /// deterministic across runs).
+    pub fn snapshot(&self) -> Snapshot {
+        let Some(inner) = &self.inner else {
+            return Snapshot::default();
+        };
+        let counters = inner
+            .counters
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        let histograms =
+            inner.histograms.lock().unwrap().iter().map(|(k, v)| (k.clone(), v.snapshot())).collect();
+        Snapshot { counters, histograms }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn counters_register_and_accumulate() {
+        let reg = Registry::new();
+        let c = reg.counter("campaign.runs");
+        c.add(3);
+        c.inc();
+        // Second handle to the same name sees the same cell.
+        assert_eq!(reg.counter("campaign.runs").get(), 4);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters, vec![("campaign.runs".to_string(), 4)]);
+    }
+
+    #[test]
+    fn disabled_registry_is_inert() {
+        let reg = Registry::disabled();
+        let c = reg.counter("x");
+        c.add(10);
+        assert_eq!(c.get(), 0);
+        assert!(reg.histogram("h").is_none());
+        reg.publish("y", 7);
+        let snap = reg.snapshot();
+        assert!(snap.counters.is_empty() && snap.histograms.is_empty());
+        assert!(!reg.is_enabled());
+    }
+
+    #[test]
+    fn concurrent_updates_from_clones() {
+        let reg = Registry::new();
+        let c = reg.counter("n");
+        thread::scope(|s| {
+            for _ in 0..8 {
+                let reg = reg.clone();
+                s.spawn(move || {
+                    let c = reg.counter("n");
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 8000);
+    }
+
+    #[test]
+    fn snapshot_is_name_sorted() {
+        let reg = Registry::new();
+        reg.publish("b", 2);
+        reg.publish("a", 1);
+        reg.histogram("z").unwrap().record(5);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters[0].0, "a");
+        assert_eq!(snap.counters[1].0, "b");
+        assert_eq!(snap.histograms[0].0, "z");
+    }
+
+    #[test]
+    fn scoped_helpers() {
+        let reg = Registry::new();
+        let cpu = Scope::new("cpu");
+        reg.scoped_counter(&cpu, "cycles").add(9);
+        reg.publish_scoped(&cpu.child("l1d"), "miss", 3);
+        let snap = reg.snapshot();
+        let names: Vec<_> = snap.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["cpu.cycles", "cpu.l1d.miss"]);
+    }
+}

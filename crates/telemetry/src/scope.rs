@@ -1,0 +1,79 @@
+//! Hierarchical metric names.
+
+use std::fmt;
+
+/// A dotted-path namespace for metric names: `Scope::new("cpu").child("l1d")`
+/// yields names like `cpu.l1d.miss` via [`Scope::metric`].
+///
+/// Scopes are plain strings under the hood; they exist so instrumentation
+/// sites compose names structurally (worker index, accelerator index)
+/// instead of formatting ad-hoc.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Scope {
+    path: String,
+}
+
+impl Scope {
+    /// The empty root scope: `root().metric("x")` is just `"x"`.
+    pub fn root() -> Scope {
+        Scope { path: String::new() }
+    }
+
+    pub fn new(name: &str) -> Scope {
+        debug_assert!(!name.is_empty());
+        Scope { path: name.to_string() }
+    }
+
+    /// A child scope: `Scope::new("campaign").child("worker3")`.
+    pub fn child(&self, name: &str) -> Scope {
+        if self.path.is_empty() {
+            Scope::new(name)
+        } else {
+            Scope { path: format!("{}.{}", self.path, name) }
+        }
+    }
+
+    /// `child` with a numeric suffix baked in: `indexed("worker", 3)` →
+    /// `campaign.worker3`.
+    pub fn indexed(&self, name: &str, idx: usize) -> Scope {
+        self.child(&format!("{name}{idx}"))
+    }
+
+    /// Full metric name for a leaf within this scope.
+    pub fn metric(&self, leaf: &str) -> String {
+        if self.path.is_empty() {
+            leaf.to_string()
+        } else {
+            format!("{}.{}", self.path, leaf)
+        }
+    }
+
+    pub fn as_str(&self) -> &str {
+        &self.path
+    }
+}
+
+impl fmt::Display for Scope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn composes_dotted_paths() {
+        let cpu = Scope::new("cpu");
+        assert_eq!(cpu.metric("cycles"), "cpu.cycles");
+        assert_eq!(cpu.child("l1d").metric("miss"), "cpu.l1d.miss");
+        assert_eq!(Scope::new("campaign").indexed("worker", 3).metric("runs"), "campaign.worker3.runs");
+    }
+
+    #[test]
+    fn root_scope_is_transparent() {
+        assert_eq!(Scope::root().metric("x"), "x");
+        assert_eq!(Scope::root().child("a").metric("b"), "a.b");
+    }
+}

@@ -140,10 +140,22 @@ pub fn bfs(fu: FuConfig) -> DsaHarness {
         ram,
         jobs_in: vec![
             DmaJob { dir: DmaDir::ToSram, ram_off: 0, mem: MemRef::RegBank(0), mem_off: 0, len: 16_384 },
-            DmaJob { dir: DmaDir::ToSram, ram_off: 16_384, mem: MemRef::RegBank(1), mem_off: 0, len: 2_048 },
+            DmaJob {
+                dir: DmaDir::ToSram,
+                ram_off: 16_384,
+                mem: MemRef::RegBank(1),
+                mem_off: 0,
+                len: 2_048,
+            },
             DmaJob { dir: DmaDir::ToSram, ram_off: 18_432, mem: MemRef::Spm(0), mem_off: 0, len: 2_048 },
         ],
-        jobs_out: vec![DmaJob { dir: DmaDir::ToRam, ram_off: 32_768, mem: MemRef::Spm(0), mem_off: 0, len: 2_048 }],
+        jobs_out: vec![DmaJob {
+            dir: DmaDir::ToRam,
+            ram_off: 32_768,
+            mem: MemRef::Spm(0),
+            mem_off: 0,
+            len: 2_048,
+        }],
         args: vec![],
         output: 32_768..34_816,
     }
@@ -244,7 +256,8 @@ pub fn fft(fu: FuConfig) -> DsaHarness {
         tw.push(ang.sin());
     }
     let mut rng = Lcg::new(0xFF7 + 1);
-    let re: Vec<f64> = (0..N).map(|i| ((i % 16) as f64 - 8.0) + (rng.below(100) as f64) / 100.0).collect();
+    let re: Vec<f64> =
+        (0..N).map(|i| ((i % 16) as f64 - 8.0) + (rng.below(100) as f64) / 100.0).collect();
     let im = vec![0.0f64; N as usize];
 
     let accel = Accelerator::new(
@@ -397,9 +410,21 @@ pub fn gemm(fu: FuConfig) -> DsaHarness {
         ram,
         jobs_in: vec![
             DmaJob { dir: DmaDir::ToSram, ram_off: 0, mem: MemRef::Spm(0), mem_off: 0, len: 32_768 },
-            DmaJob { dir: DmaDir::ToSram, ram_off: 32_768, mem: MemRef::Spm(1), mem_off: 0, len: 32_768 },
+            DmaJob {
+                dir: DmaDir::ToSram,
+                ram_off: 32_768,
+                mem: MemRef::Spm(1),
+                mem_off: 0,
+                len: 32_768,
+            },
         ],
-        jobs_out: vec![DmaJob { dir: DmaDir::ToRam, ram_off: 65_536, mem: MemRef::Spm(2), mem_off: 0, len: 32_768 }],
+        jobs_out: vec![DmaJob {
+            dir: DmaDir::ToRam,
+            ram_off: 65_536,
+            mem: MemRef::Spm(2),
+            mem_off: 0,
+            len: 32_768,
+        }],
         args: vec![],
         output: 65_536..98_304,
     }
@@ -526,7 +551,13 @@ pub fn md_knn(fu: FuConfig) -> DsaHarness {
             DmaJob { dir: DmaDir::ToSram, ram_off: 18_432, mem: MemRef::Spm(3), mem_off: 0, len: 2_048 },
             DmaJob { dir: DmaDir::ToSram, ram_off: 20_480, mem: MemRef::Spm(4), mem_off: 0, len: 2_048 },
         ],
-        jobs_out: vec![DmaJob { dir: DmaDir::ToRam, ram_off: 32_768, mem: MemRef::Spm(1), mem_off: 0, len: 2_048 }],
+        jobs_out: vec![DmaJob {
+            dir: DmaDir::ToRam,
+            ram_off: 32_768,
+            mem: MemRef::Spm(1),
+            mem_off: 0,
+            len: 2_048,
+        }],
         args: vec![],
         output: 32_768..34_816,
     }

@@ -141,10 +141,7 @@ pub fn mergesort(fu: FuConfig) -> DsaHarness {
         "mergesort",
         g.build().expect("mergesort cdfg"),
         fu,
-        vec![
-            Sram::new("MAIN", SramKind::Spm, 8_192, 2),
-            Sram::new("TEMP", SramKind::Spm, 8_192, 2),
-        ],
+        vec![Sram::new("MAIN", SramKind::Spm, 8_192, 2), Sram::new("TEMP", SramKind::Spm, 8_192, 2)],
         vec![],
         0,
     );
@@ -153,8 +150,20 @@ pub fn mergesort(fu: FuConfig) -> DsaHarness {
     DsaHarness {
         accel,
         ram,
-        jobs_in: vec![DmaJob { dir: DmaDir::ToSram, ram_off: 0, mem: MemRef::Spm(0), mem_off: 0, len: 8_192 }],
-        jobs_out: vec![DmaJob { dir: DmaDir::ToRam, ram_off: 16_384, mem: MemRef::Spm(0), mem_off: 0, len: 8_192 }],
+        jobs_in: vec![DmaJob {
+            dir: DmaDir::ToSram,
+            ram_off: 0,
+            mem: MemRef::Spm(0),
+            mem_off: 0,
+            len: 8_192,
+        }],
+        jobs_out: vec![DmaJob {
+            dir: DmaDir::ToRam,
+            ram_off: 16_384,
+            mem: MemRef::Spm(0),
+            mem_off: 0,
+            len: 8_192,
+        }],
         args: vec![],
         output: 16_384..24_576,
     }
@@ -268,7 +277,13 @@ pub fn spmv(fu: FuConfig) -> DsaHarness {
             DmaJob { dir: DmaDir::ToSram, ram_off: 24_576, mem: MemRef::Spm(2), mem_off: 0, len: 1_028 },
             DmaJob { dir: DmaDir::ToSram, ram_off: 28_672, mem: MemRef::Spm(3), mem_off: 0, len: 2_048 },
         ],
-        jobs_out: vec![DmaJob { dir: DmaDir::ToRam, ram_off: 40_960, mem: MemRef::Spm(4), mem_off: 0, len: 2_048 }],
+        jobs_out: vec![DmaJob {
+            dir: DmaDir::ToRam,
+            ram_off: 40_960,
+            mem: MemRef::Spm(4),
+            mem_off: 0,
+            len: 2_048,
+        }],
         args: vec![],
         output: 40_960..43_008,
     }
@@ -302,19 +317,10 @@ pub fn stencil2d(fu: FuConfig) -> DsaHarness {
     let dim = g.konst(DIM);
     let acc0 = g.fconst(0.0);
     let mut acc = acc0;
-    for (fi, (dr, dc)) in [
-        (-1i64, -1i64),
-        (-1, 0),
-        (-1, 1),
-        (0, -1),
-        (0, 0),
-        (0, 1),
-        (1, -1),
-        (1, 0),
-        (1, 1),
-    ]
-    .iter()
-    .enumerate()
+    for (fi, (dr, dc)) in
+        [(-1i64, -1i64), (-1, 0), (-1, 1), (0, -1), (0, 0), (0, 1), (1, -1), (1, 0), (1, 1)]
+            .iter()
+            .enumerate()
     {
         let drk = g.konst(*dr as u64);
         let dck = g.konst(*dc as u64);
@@ -360,10 +366,7 @@ pub fn stencil2d(fu: FuConfig) -> DsaHarness {
         "stencil2d",
         g.build().expect("stencil2d cdfg"),
         fu,
-        vec![
-            Sram::new("ORIG", SramKind::Spm, 32_768, 4),
-            Sram::new("SOL", SramKind::Spm, 32_768, 2),
-        ],
+        vec![Sram::new("ORIG", SramKind::Spm, 32_768, 4), Sram::new("SOL", SramKind::Spm, 32_768, 2)],
         vec![Sram::new("FILTER", SramKind::RegBank, 360, 2)],
         0,
     );
@@ -375,9 +378,21 @@ pub fn stencil2d(fu: FuConfig) -> DsaHarness {
         ram,
         jobs_in: vec![
             DmaJob { dir: DmaDir::ToSram, ram_off: 0, mem: MemRef::Spm(0), mem_off: 0, len: 32_768 },
-            DmaJob { dir: DmaDir::ToSram, ram_off: 32_768, mem: MemRef::RegBank(0), mem_off: 0, len: 360 },
+            DmaJob {
+                dir: DmaDir::ToSram,
+                ram_off: 32_768,
+                mem: MemRef::RegBank(0),
+                mem_off: 0,
+                len: 360,
+            },
         ],
-        jobs_out: vec![DmaJob { dir: DmaDir::ToRam, ram_off: 65_536, mem: MemRef::Spm(1), mem_off: 0, len: 32_768 }],
+        jobs_out: vec![DmaJob {
+            dir: DmaDir::ToRam,
+            ram_off: 65_536,
+            mem: MemRef::Spm(1),
+            mem_off: 0,
+            len: 32_768,
+        }],
         args: vec![],
         output: 65_536..98_304,
     }
@@ -480,10 +495,7 @@ pub fn stencil3d(fu: FuConfig) -> DsaHarness {
         "stencil3d",
         g.build().expect("stencil3d cdfg"),
         fu,
-        vec![
-            Sram::new("ORIG", SramKind::Spm, 65_536, 4),
-            Sram::new("SOL", SramKind::Spm, 65_536, 2),
-        ],
+        vec![Sram::new("ORIG", SramKind::Spm, 65_536, 4), Sram::new("SOL", SramKind::Spm, 65_536, 2)],
         vec![Sram::new("C_VAR", SramKind::RegBank, 8, 1)],
         0,
     );
@@ -497,7 +509,13 @@ pub fn stencil3d(fu: FuConfig) -> DsaHarness {
             DmaJob { dir: DmaDir::ToSram, ram_off: 0, mem: MemRef::Spm(0), mem_off: 0, len: 65_536 },
             DmaJob { dir: DmaDir::ToSram, ram_off: 65_536, mem: MemRef::RegBank(0), mem_off: 0, len: 8 },
         ],
-        jobs_out: vec![DmaJob { dir: DmaDir::ToRam, ram_off: 131_072, mem: MemRef::Spm(1), mem_off: 0, len: 65_536 }],
+        jobs_out: vec![DmaJob {
+            dir: DmaDir::ToRam,
+            ram_off: 131_072,
+            mem: MemRef::Spm(1),
+            mem_off: 0,
+            len: 65_536,
+        }],
         args: vec![],
         output: 131_072..196_608,
     }

@@ -74,20 +74,12 @@ pub fn designs() -> Vec<DsaDesign> {
         },
         DsaDesign {
             name: "STENCIL2D",
-            components: vec![
-                spm("ORIG", 0, 32_768),
-                spm("SOL", 1, 32_768),
-                regbank("FILTER", 0, 360),
-            ],
+            components: vec![spm("ORIG", 0, 32_768), spm("SOL", 1, 32_768), regbank("FILTER", 0, 360)],
             make: stencil2d,
         },
         DsaDesign {
             name: "STENCIL3D",
-            components: vec![
-                spm("ORIG", 0, 65_536),
-                spm("SOL", 1, 65_536),
-                regbank("C_VAR", 0, 8),
-            ],
+            components: vec![spm("ORIG", 0, 65_536), spm("SOL", 1, 65_536), regbank("C_VAR", 0, 8)],
             make: stencil3d,
         },
     ]

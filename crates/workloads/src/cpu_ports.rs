@@ -16,7 +16,7 @@ pub fn ops_per_run(name: &str) -> f64 {
         // 2 N^3 with N matched to each platform's problem size.
         "gemm" => 2.0 * 32f64.powi(3),
         "gemm_dsa" => 2.0 * 64f64.powi(3),
-        "bfs" => 2048.0 * 2.0,  // edge relaxations
+        "bfs" => 2048.0 * 2.0,     // edge relaxations
         "fft" => 5.0 * 64.0 * 6.0, // 5 N log N
         "fft_dsa" => 5.0 * 1024.0 * 10.0,
         "knn" => 256.0 * 8.0 * 10.0,

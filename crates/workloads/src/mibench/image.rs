@@ -14,7 +14,7 @@ fn make_image(m: &mut Module) -> GlobalId {
     let mut img = vec![0u8; (W * H) as usize];
     for y in 0..H {
         for x in 0..W {
-            let mut v = (x * 4 + y * 3) as i64;
+            let mut v = x * 4 + y * 3;
             // two bright blobs with hard edges (for corners/edges)
             if (10..20).contains(&x) && (8..16).contains(&y) {
                 v += 120;
@@ -47,14 +47,7 @@ fn absdiff(b: &mut FuncBuilder, a: VReg, c: VReg) -> VReg {
 
 /// USAN count over the 3×3 (`radius = 1`) or 5×5 (`radius = 2`)
 /// neighbourhood of pixel `(x, y)`, with brightness threshold `t`.
-fn usan_count(
-    b: &mut FuncBuilder,
-    img: VReg,
-    x: VReg,
-    y: VReg,
-    radius: i64,
-    t: i64,
-) -> (VReg, VReg) {
+fn usan_count(b: &mut FuncBuilder, img: VReg, x: VReg, y: VReg, radius: i64, t: i64) -> (VReg, VReg) {
     let row = b.bin(AluOp::Mul, y, W);
     let center_i = b.bin(AluOp::Add, row, x);
     let center = b.load_idx(MemWidth::B, false, img, center_i);
@@ -245,9 +238,8 @@ pub fn stringsearch() -> Module {
         *t = alphabet[rng.below(alphabet.len() as u64) as usize];
     }
     // Plant known patterns.
-    let patterns: Vec<&[u8]> = vec![
-        b"resilience", b"fault", b"marvel", b"inject", b"gem", b"soc", b"avf", b"zzzz",
-    ];
+    let patterns: Vec<&[u8]> =
+        vec![b"resilience", b"fault", b"marvel", b"inject", b"gem", b"soc", b"avf", b"zzzz"];
     let mut pos = 100usize;
     for p in patterns.iter().take(6) {
         text[pos..pos + p.len()].copy_from_slice(p);

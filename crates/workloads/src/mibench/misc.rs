@@ -118,7 +118,7 @@ pub fn fft() -> Module {
     let mut rng = Lcg::new(0xFF7);
     let re: Vec<u64> = (0..N)
         .map(|i| {
-            let v = ((i % 8) as i64 - 4) * 1024 + (rng.below(512) as i64 - 256);
+            let v = ((i % 8) - 4) * 1024 + (rng.below(512) as i64 - 256);
             v as u64
         })
         .collect();
@@ -420,7 +420,7 @@ const SBOX: [u8; 256] = [
 ];
 
 fn aes_round_keys(key: [u8; 16]) -> Vec<u8> {
-    let mut w = vec![0u32; 44];
+    let mut w = [0u32; 44];
     for i in 0..4 {
         w[i] = u32::from_be_bytes([key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]]);
     }
@@ -430,7 +430,12 @@ fn aes_round_keys(key: [u8; 16]) -> Vec<u8> {
         if i % 4 == 0 {
             t = t.rotate_left(8);
             let b = t.to_be_bytes();
-            t = u32::from_be_bytes([SBOX[b[0] as usize], SBOX[b[1] as usize], SBOX[b[2] as usize], SBOX[b[3] as usize]]);
+            t = u32::from_be_bytes([
+                SBOX[b[0] as usize],
+                SBOX[b[1] as usize],
+                SBOX[b[2] as usize],
+                SBOX[b[3] as usize],
+            ]);
             t ^= rcon;
             rcon = xtime32(rcon);
         }
@@ -591,10 +596,7 @@ pub fn sha() -> Module {
     let data: Vec<u8> = (0..1024).map(|_| rng.next_u32() as u8).collect();
     let g_in = m.global("msg", data, 8);
     let g_w = m.global_zeroed("wsched", 80 * 8, 8);
-    let g_h = m.global_u64(
-        "h",
-        &[0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0],
-    );
+    let g_h = m.global_u64("h", &[0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0]);
 
     let f = m.declare("main", 0);
     let mut b = FuncBuilder::new(0);

@@ -19,8 +19,21 @@ use marvel_ir::Module;
 
 /// Benchmark names in the paper's figure order.
 pub const NAMES: [&str; 15] = [
-    "adpcmd", "adpcme", "basicmath", "bitcount", "corners", "crc32", "dijkstra", "edges", "fft",
-    "patricia", "qsort", "rijndael", "sha", "smooth", "stringsearch",
+    "adpcmd",
+    "adpcme",
+    "basicmath",
+    "bitcount",
+    "corners",
+    "crc32",
+    "dijkstra",
+    "edges",
+    "fft",
+    "patricia",
+    "qsort",
+    "rijndael",
+    "sha",
+    "smooth",
+    "stringsearch",
 ];
 
 /// Build a benchmark by name.

@@ -40,11 +40,7 @@ fn designs_are_deterministic() {
 fn mergesort_sorts() {
     let d = design("MERGESORT");
     let g = DsaGolden::prepare((d.make)(FuConfig::default()), WATCHDOG);
-    let vals: Vec<u64> = g
-        .output
-        .chunks(8)
-        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
-        .collect();
+    let vals: Vec<u64> = g.output.chunks(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect();
     assert_eq!(vals.len(), 1024);
     for w in vals.windows(2) {
         assert!(w[0] <= w[1], "not sorted: {} > {}", w[0], w[1]);
@@ -65,11 +61,8 @@ fn gemm_matches_reference() {
     let n = 64usize;
     let a: Vec<f64> = (0..n * n).map(|_| (rng.below(2000) as f64 - 1000.0) / 1000.0).collect();
     let b: Vec<f64> = (0..n * n).map(|_| (rng.below(2000) as f64 - 1000.0) / 1000.0).collect();
-    let got: Vec<f64> = g
-        .output
-        .chunks(8)
-        .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().unwrap())))
-        .collect();
+    let got: Vec<f64> =
+        g.output.chunks(8).map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().unwrap()))).collect();
     for i in (0..n).step_by(17) {
         for j in (0..n).step_by(13) {
             // The accelerator reduces in tree order; compare with a
@@ -88,11 +81,8 @@ fn gemm_matches_reference() {
 fn bfs_levels_reachable() {
     let d = design("BFS");
     let g = DsaGolden::prepare((d.make)(FuConfig::default()), WATCHDOG);
-    let levels: Vec<u64> = g
-        .output
-        .chunks(8)
-        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
-        .collect();
+    let levels: Vec<u64> =
+        g.output.chunks(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect();
     assert_eq!(levels.len(), 256);
     assert_eq!(levels[0], 0);
     // Ring edges guarantee full reachability within 12 horizons for most

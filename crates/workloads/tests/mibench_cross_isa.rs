@@ -33,7 +33,8 @@ fn suite_matches_golden_on_all_isas() {
         for isa in Isa::ALL {
             let (out, cycles, code) = run_bench(name, isa);
             assert_eq!(
-                out, golden.output,
+                out,
+                golden.output,
                 "{name}/{isa}: output mismatch (got {:02x?} want {:02x?})",
                 &out[..out.len().min(16)],
                 &golden.output[..golden.output.len().min(16)]

@@ -11,10 +11,7 @@ fn all_benchmarks_validate_and_run() {
         m.validate().unwrap_or_else(|e| panic!("{name}: invalid module: {e}"));
         let r = interp::run(&m, 50_000_000).unwrap_or_else(|e| panic!("{name}: interp error: {e}"));
         assert!(r.output.len() >= 8, "{name}: too little output ({} bytes)", r.output.len());
-        assert!(
-            r.output.iter().any(|&b| b != 0),
-            "{name}: all-zero digest is suspicious"
-        );
+        assert!(r.output.iter().any(|&b| b != 0), "{name}: all-zero digest is suspicious");
         assert!(r.stats.insts > 2_000, "{name}: too small ({} IR insts)", r.stats.insts);
         assert!(r.stats.insts < 20_000_000, "{name}: too large ({} IR insts)", r.stats.insts);
     }
@@ -69,12 +66,7 @@ fn sha_matches_reference() {
                 2 => (0x8F1BBCDC, (b & c) | (b & d) | (c & d)),
                 _ => (0xCA62C1D6, b ^ c ^ d),
             };
-            let tmp = a
-                .rotate_left(5)
-                .wrapping_add(f)
-                .wrapping_add(e)
-                .wrapping_add(wt)
-                .wrapping_add(k);
+            let tmp = a.rotate_left(5).wrapping_add(f).wrapping_add(e).wrapping_add(wt).wrapping_add(k);
             e = d;
             d = c;
             c = b.rotate_left(30);

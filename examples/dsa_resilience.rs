@@ -8,7 +8,6 @@
 
 use gem5_marvel::accel::FuConfig;
 use gem5_marvel::core::{run_dsa_campaign, CampaignConfig, DsaGolden};
-use gem5_marvel::soc::Target;
 use gem5_marvel::workloads::accel::design;
 
 fn main() {

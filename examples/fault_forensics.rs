@@ -1,16 +1,21 @@
 //! Fault forensics: the paper's HVF/AVF correlation (Fig. 3b) on single
 //! faults — inject one bit, watch whether it reaches the commit stage
-//! (HVF) and what it does to the program (AVF), from the *same run*.
+//! (HVF) and what it does to the program (AVF), from the *same run* —
+//! then replay the worst offender with the flight recorder attached and
+//! print its full timeline (armed → activated → diverged → classified).
 //!
 //! ```sh
 //! cargo run --release --example fault_forensics
 //! ```
 
-use gem5_marvel::core::{run_one, CampaignConfig, FaultEffect, FaultMask, FaultModel, Golden, HvfEffect};
+use gem5_marvel::core::{
+    run_one, CampaignConfig, FaultEffect, FaultMask, FaultModel, Golden, HvfEffect, TelemetryConfig,
+};
 use gem5_marvel::cpu::CoreConfig;
 use gem5_marvel::ir::assemble;
 use gem5_marvel::isa::Isa;
 use gem5_marvel::soc::{System, Target};
+use gem5_marvel::telemetry::Registry;
 use gem5_marvel::workloads::mibench;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -29,7 +34,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cc = CampaignConfig { n_faults: 1, collect_hvf: true, ..Default::default() };
     let mid = golden.ckpt_cycle + golden.exec_cycles / 3;
 
-    println!("\n{:<14}{:>8}{:<4}{:>14}{:>16}{:>12}", "target", "bit", "", "cycle", "HVF class", "AVF class");
+    println!(
+        "\n{:<14}{:>8}{:<4}{:>14}{:>16}{:>12}",
+        "target", "bit", "", "cycle", "HVF class", "AVF class"
+    );
     let cases = [
         (Target::PrfInt, 40 * 64 + 3),
         (Target::PrfInt, 100 * 64 + 62),
@@ -37,9 +45,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         (Target::L1I, 99_000),
         (Target::StoreQueue, 5 * 136 + 70),
     ];
+    let mut worst: Option<FaultMask> = None;
     for (target, bit) in cases {
         let mask = FaultMask { target, bits: vec![bit], model: FaultModel::Transient { cycle: mid } };
         let rec = run_one(&golden, &mask, &cc);
+        if rec.effect != FaultEffect::Masked && worst.is_none() {
+            worst = Some(mask.clone());
+        }
         println!(
             "{:<14}{:>8}{:<4}{:>14}{:>16}{:>12}",
             target.name(),
@@ -60,5 +72,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("\nEvery SW-visible (AVF) effect is also a commit-stage (HVF) corruption,");
     println!("but corruptions can still be masked by the software layer — HVF >= AVF.");
+
+    // Replay the first non-masked fault with the flight recorder attached:
+    // same seed-free directed injection, now carrying a ring buffer of
+    // typed events. The rerun classifies identically (telemetry is
+    // observational) and hands back the timeline.
+    if let Some(mask) = worst {
+        let telemetry =
+            TelemetryConfig { registry: Registry::new(), progress_interval_ms: 0, flight_capacity: 64 };
+        let cc_rec = CampaignConfig { n_faults: 1, collect_hvf: true, telemetry, ..Default::default() };
+        let rec = run_one(&golden, &mask, &cc_rec);
+        println!(
+            "\nflight-recorder replay of {} bit {} ({:?}):",
+            mask.target.name(),
+            mask.bits[0],
+            rec.effect
+        );
+        match &rec.forensics {
+            Some(dump) => print!("{}", dump.render()),
+            None => println!("(run classified Masked — no timeline retained)"),
+        }
+        let snap = cc_rec.telemetry.registry.snapshot();
+        if let Some((name, h)) = snap.histograms.first() {
+            println!("{name}: mean {:.0} ns over {} restore(s)", h.mean(), h.count);
+        }
+    }
     Ok(())
 }

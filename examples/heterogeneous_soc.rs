@@ -14,7 +14,7 @@
 use gem5_marvel::accel::air::{CdfgBuilder, MemRef};
 use gem5_marvel::accel::{Accelerator, DmaDir, FuConfig, Sram, SramKind};
 use gem5_marvel::cpu::CoreConfig;
-use gem5_marvel::ir::memmap::{ACCEL_MMR_BASE, IRQ_FLAG_ADDR, RAM_BASE};
+use gem5_marvel::ir::memmap::{ACCEL_MMR_BASE, IRQ_FLAG_ADDR};
 use gem5_marvel::ir::{assemble, FuncBuilder, Module};
 use gem5_marvel::isa::{AluOp, Cond, Isa, MemWidth};
 use gem5_marvel::soc::{DmaPlanEntry, HostedAccel, RunOutcome, System};
@@ -47,10 +47,7 @@ fn square_accel() -> Accelerator {
         "square",
         g.build().expect("valid cdfg"),
         FuConfig::default(),
-        vec![
-            Sram::new("IN", SramKind::Spm, 128, 2),
-            Sram::new("OUT", SramKind::Spm, 128, 2),
-        ],
+        vec![Sram::new("IN", SramKind::Spm, 128, 2), Sram::new("OUT", SramKind::Spm, 128, 2)],
         vec![],
         1,
     )
@@ -73,8 +70,8 @@ fn host_program() -> Module {
     b.store(MemWidth::D, inp, mmr, 24); // data1 (reg 3)
     b.store(MemWidth::D, outp, mmr, 32); // data2 (reg 4)
     b.store(MemWidth::D, 1, mmr, 0); // CTRL.start
-    // Wait for the completion interrupt: the ISR writes source+1 to the
-    // flag word.
+                                     // Wait for the completion interrupt: the ISR writes source+1 to the
+                                     // flag word.
     let flag_addr = b.li(IRQ_FLAG_ADDR as i64);
     let wait = b.new_label();
     b.bind(wait);
@@ -97,17 +94,26 @@ fn host_program() -> Module {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let isa = Isa::RiscV;
     let mut sys = System::new(CoreConfig::table2(isa));
-    println!(
-        "host ISA: {isa} → interrupt controller: {}",
-        sys.bus.irq_ctrl.kind.name()
-    );
+    println!("host ISA: {isa} → interrupt controller: {}", sys.bus.irq_ctrl.kind.name());
 
     // Attach the accelerator with its DMA plan (addresses come from the
     // MMR data registers the host programs at runtime).
     sys.add_accel(HostedAccel::new(
         square_accel(),
-        vec![DmaPlanEntry { dir: DmaDir::ToSram, addr_arg: 1, mem: MemRef::Spm(0), mem_off: 0, len: 128 }],
-        vec![DmaPlanEntry { dir: DmaDir::ToRam, addr_arg: 2, mem: MemRef::Spm(1), mem_off: 0, len: 128 }],
+        vec![DmaPlanEntry {
+            dir: DmaDir::ToSram,
+            addr_arg: 1,
+            mem: MemRef::Spm(0),
+            mem_off: 0,
+            len: 128,
+        }],
+        vec![DmaPlanEntry {
+            dir: DmaDir::ToRam,
+            addr_arg: 2,
+            mem: MemRef::Spm(1),
+            mem_off: 0,
+            len: 128,
+        }],
         vec![0],
     ));
 

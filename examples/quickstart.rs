@@ -56,6 +56,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             golden.exec_cycles
         );
     }
-    println!("\n(200 faults/cell; margin ±{:.1}% at 95%)", 100.0 * gem5_marvel::core::error_margin(200, u64::MAX, 0.95));
+    println!(
+        "\n(200 faults/cell; margin ±{:.1}% at 95%)",
+        100.0 * gem5_marvel::core::error_margin(200, u64::MAX, 0.95)
+    );
     Ok(())
 }

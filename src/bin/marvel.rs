@@ -6,18 +6,27 @@
 //! marvel disasm <benchmark> [--isa ...] [--limit N]
 //! marvel campaign <benchmark> [--isa ...] [--target prf|l1i|l1d|l2|lq|sq|rob|rename]
 //!                 [--faults N] [--kind transient|permanent] [--hvf] [--seed S]
+//!                 [--metrics [path]] [--forensics [path]] [--progress [ms]]
 //! marvel dsa <design> [--faults N] [--fus N]
+//!                 [--metrics [path]] [--forensics [path]] [--progress [ms]]
 //! ```
+//!
+//! `--metrics`/`--forensics` export registry snapshots and flight-recorder
+//! timelines (JSONL; default paths under `results/`); `--progress` prints
+//! a live progress line with rate, ETA and the running AVF ± margin.
 
 use gem5_marvel::core::{
-    run_campaign, run_dsa_campaign, CampaignConfig, DsaGolden, FaultKind, Golden,
+    run_campaign, run_dsa_campaign, CampaignConfig, DsaGolden, FaultKind, Golden, RunRecord,
+    TelemetryConfig,
 };
 use gem5_marvel::cpu::CoreConfig;
 use gem5_marvel::ir::assemble;
 use gem5_marvel::isa::{disassemble, Isa};
 use gem5_marvel::soc::{RunOutcome, System, Target};
+use gem5_marvel::telemetry::{append_jsonl_line, json_string, write_snapshot, Registry};
 use gem5_marvel::workloads::{accel, mibench};
 use marvel_accel::FuConfig;
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 struct Args {
@@ -73,6 +82,62 @@ fn parse_target(s: &str) -> Result<Target, String> {
     })
 }
 
+/// Resolve `--<name> <path>` (explicit path) or bare `--<name>` (default
+/// path under `results/`).
+fn path_flag(args: &Args, name: &str, default: &str) -> Option<PathBuf> {
+    if let Some(v) = args.flags.get(name) {
+        Some(PathBuf::from(v))
+    } else if args.switches.contains(name) {
+        Some(PathBuf::from(default))
+    } else {
+        None
+    }
+}
+
+/// Build the observability config from `--metrics`, `--forensics` and
+/// `--progress [ms]`. Returns the config plus the export paths.
+fn telemetry_from_args(
+    args: &Args,
+    metrics_default: &str,
+    forensics_default: &str,
+) -> (TelemetryConfig, Option<PathBuf>, Option<PathBuf>) {
+    let metrics = path_flag(args, "metrics", metrics_default);
+    let forensics = path_flag(args, "forensics", forensics_default);
+    let progress_interval_ms = if args.switches.contains("progress") {
+        500
+    } else {
+        args.flags.get("progress").and_then(|v| v.parse().ok()).unwrap_or(0)
+    };
+    let tel = TelemetryConfig {
+        registry: if metrics.is_some() { Registry::new() } else { Registry::disabled() },
+        progress_interval_ms,
+        flight_capacity: if forensics.is_some() { 64 } else { 0 },
+    };
+    (tel, metrics, forensics)
+}
+
+/// Append every retained flight-recorder dump to `path` (one JSON object
+/// per run), returning how many were written. The file is truncated
+/// first so reruns do not mix campaigns.
+fn dump_forensics(path: &std::path::Path, records: &[RunRecord], label: &str) -> Result<usize, String> {
+    let mut n = 0;
+    for (i, r) in records.iter().enumerate() {
+        if let Some(d) = &r.forensics {
+            let line = format!(
+                "{{\"campaign\":{},\"run\":{},\"effect\":{},\"cycles\":{},\"timeline\":{}}}",
+                json_string(label),
+                i,
+                json_string(&format!("{:?}", r.effect)),
+                r.cycles,
+                d.to_json()
+            );
+            append_jsonl_line(path, &line).map_err(|e| e.to_string())?;
+            n += 1;
+        }
+    }
+    Ok(n)
+}
+
 fn golden_for(bench: &str, isa: Isa) -> Result<Golden, String> {
     if !mibench::NAMES.contains(&bench) {
         return Err(format!("unknown benchmark '{bench}' (try `marvel list`)"));
@@ -114,11 +179,13 @@ fn cmd_run(args: &Args) -> Result<(), String> {
             println!("  loads / stores  : {} / {}", s.loads, s.stores);
             println!(
                 "  L1I hit rate    : {:.1}%",
-                100.0 * sys.core.l1i.hits as f64 / (sys.core.l1i.hits + sys.core.l1i.misses).max(1) as f64
+                100.0 * sys.core.l1i.hits as f64
+                    / (sys.core.l1i.hits + sys.core.l1i.misses).max(1) as f64
             );
             println!(
                 "  L1D hit rate    : {:.1}%",
-                100.0 * sys.core.l1d.hits as f64 / (sys.core.l1d.hits + sys.core.l1d.misses).max(1) as f64
+                100.0 * sys.core.l1d.hits as f64
+                    / (sys.core.l1d.hits + sys.core.l1d.misses).max(1) as f64
             );
             let hex: String = sys.output().iter().map(|b| format!("{b:02x}")).collect();
             println!("  output ({} B)   : {hex}", sys.output().len());
@@ -131,8 +198,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
 fn cmd_disasm(args: &Args) -> Result<(), String> {
     let bench = args.positional.get(1).ok_or("usage: marvel disasm <benchmark>")?;
     let isa = parse_isa(args.flags.get("isa").map(String::as_str).unwrap_or("riscv"))?;
-    let limit: usize =
-        args.flags.get("limit").map(|v| v.parse().unwrap_or(40)).unwrap_or(40);
+    let limit: usize = args.flags.get("limit").map(|v| v.parse().unwrap_or(40)).unwrap_or(40);
     let bin = assemble(&mibench::build(bench), isa).map_err(|e| e.to_string())?;
     for line in disassemble(isa, bin.entry, &bin.image[..bin.code_len]).iter().take(limit) {
         println!("{line}");
@@ -151,15 +217,19 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
         _ => FaultKind::Transient,
     };
     let seed: u64 = args.flags.get("seed").map(|v| v.parse().unwrap_or(0xC0FFEE)).unwrap_or(0xC0FFEE);
+    let (telemetry, metrics_path, forensics_path) =
+        telemetry_from_args(args, "results/campaign_metrics.jsonl", "results/campaign_forensics.jsonl");
     let cc = CampaignConfig {
         n_faults,
         kind,
         seed,
         collect_hvf: args.switches.contains("hvf"),
+        telemetry,
         ..Default::default()
     };
     eprintln!("preparing golden run for {bench}/{isa} ...");
     let golden = golden_for(bench, isa)?;
+    golden.publish_metrics(&cc.telemetry.registry);
     eprintln!(
         "golden: {} cycles, injecting {} {:?} faults into {} ...",
         golden.exec_cycles,
@@ -178,6 +248,19 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
         println!("HVF       : {:.2}%", h * 100.0);
     }
     println!("early-terminated runs: {:.0}%", res.early_termination_rate() * 100.0);
+    if let Some(p) = &metrics_path {
+        write_snapshot(&cc.telemetry.registry.snapshot(), p).map_err(|e| e.to_string())?;
+        eprintln!("metrics snapshot written to {}", p.display());
+    }
+    if let Some(p) = &forensics_path {
+        std::fs::remove_file(p).ok();
+        let n = dump_forensics(p, &res.records, &format!("{bench}/{}", target.name()))?;
+        eprintln!("{n} flight-recorder dumps written to {}", p.display());
+        if let Some(r) = res.records.iter().find(|r| r.forensics.is_some()) {
+            println!("\nfirst {:?} timeline:", r.effect);
+            print!("{}", r.forensics.as_ref().unwrap().render());
+        }
+    }
     Ok(())
 }
 
@@ -190,8 +273,19 @@ fn cmd_dsa(args: &Args) -> Result<(), String> {
         .find(|d| d.name == name)
         .ok_or_else(|| format!("unknown design '{name}' (try `marvel list`)"))?;
     let golden = DsaGolden::prepare((d.make)(FuConfig::uniform(fus)), 100_000_000);
-    println!("{name}: {} cycles fault-free, area {:.1} a.u., {} FUs/class", golden.cycles, golden.harness.accel.area(), fus);
-    let cc = CampaignConfig { n_faults, ..Default::default() };
+    println!(
+        "{name}: {} cycles fault-free, area {:.1} a.u., {} FUs/class",
+        golden.cycles,
+        golden.harness.accel.area(),
+        fus
+    );
+    let (telemetry, metrics_path, forensics_path) =
+        telemetry_from_args(args, "results/dsa_metrics.jsonl", "results/dsa_forensics.jsonl");
+    let cc = CampaignConfig { n_faults, telemetry, ..Default::default() };
+    if let Some(p) = &forensics_path {
+        std::fs::remove_file(p).ok();
+    }
+    let mut dumps = 0;
     for c in &d.components {
         let res = run_dsa_campaign(&golden, c.target, &cc);
         println!(
@@ -203,6 +297,16 @@ fn cmd_dsa(args: &Args) -> Result<(), String> {
             res.sdc_avf() * 100.0,
             res.crash_avf() * 100.0
         );
+        if let Some(p) = &forensics_path {
+            dumps += dump_forensics(p, &res.records, &format!("{name}/{}", c.name))?;
+        }
+    }
+    if let Some(p) = &metrics_path {
+        write_snapshot(&cc.telemetry.registry.snapshot(), p).map_err(|e| e.to_string())?;
+        eprintln!("metrics snapshot written to {}", p.display());
+    }
+    if let Some(p) = &forensics_path {
+        eprintln!("{dumps} flight-recorder dumps written to {}", p.display());
     }
     Ok(())
 }
@@ -223,8 +327,10 @@ fn main() -> ExitCode {
                  usage:\n  marvel list\n  marvel run <benchmark> [--isa arm|x86|riscv]\n  \
                  marvel disasm <benchmark> [--isa ...] [--limit N]\n  \
                  marvel campaign <benchmark> [--isa ...] [--target prf|l1i|l1d|l2|lq|sq|rob|rename]\n            \
-                 [--faults N] [--kind transient|permanent] [--hvf] [--seed S]\n  \
-                 marvel dsa <design> [--faults N] [--fus N]"
+                 [--faults N] [--kind transient|permanent] [--hvf] [--seed S]\n            \
+                 [--metrics [path]] [--forensics [path]] [--progress [ms]]\n  \
+                 marvel dsa <design> [--faults N] [--fus N]\n            \
+                 [--metrics [path]] [--forensics [path]] [--progress [ms]]"
             );
             return ExitCode::from(2);
         }

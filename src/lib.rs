@@ -26,4 +26,5 @@ pub use marvel_cpu as cpu;
 pub use marvel_ir as ir;
 pub use marvel_isa as isa;
 pub use marvel_soc as soc;
+pub use marvel_telemetry as telemetry;
 pub use marvel_workloads as workloads;

@@ -77,7 +77,8 @@ fn permanent_faults_bias_toward_unmasked_vs_transient() {
     // on average than a single flip of the same bit.
     let g = golden("crc32", Isa::RiscV);
     let t = CampaignConfig { n_faults: 60, workers: 4, ..Default::default() };
-    let p = CampaignConfig { n_faults: 60, kind: FaultKind::Permanent, workers: 4, ..Default::default() };
+    let p =
+        CampaignConfig { n_faults: 60, kind: FaultKind::Permanent, workers: 4, ..Default::default() };
     let rt = run_campaign(&g, Target::L1D, &t);
     let rp = run_campaign(&g, Target::L1D, &p);
     assert!(rp.avf() + 0.10 >= rt.avf(), "permanent {} vs transient {}", rp.avf(), rt.avf());
@@ -100,7 +101,8 @@ fn dsa_and_cpu_frameworks_share_classification() {
 fn early_termination_changes_speed_not_results() {
     let g = golden("dijkstra", Isa::Arm);
     let on = CampaignConfig { n_faults: 40, workers: 4, early_termination: true, ..Default::default() };
-    let off = CampaignConfig { n_faults: 40, workers: 4, early_termination: false, ..Default::default() };
+    let off =
+        CampaignConfig { n_faults: 40, workers: 4, early_termination: false, ..Default::default() };
     let r_on = run_campaign(&g, Target::PrfInt, &on);
     let r_off = run_campaign(&g, Target::PrfInt, &off);
     assert!((r_on.avf() - r_off.avf()).abs() < 1e-9, "early termination must not change AVF");

@@ -1,0 +1,78 @@
+//! Overhead guard: full telemetry (registry + flight recorder) must not
+//! meaningfully slow the injection hot path relative to
+//! `Registry::disabled()`. The precision target is <2% (checked with the
+//! `telemetry` Criterion bench); this asserting guard uses a deliberately
+//! loose 2x bound so scheduler noise on CI machines cannot flake it while
+//! still catching structural regressions (e.g. an accidental lock or
+//! allocation per tick).
+
+use gem5_marvel::core::{run_one, CampaignConfig, FaultMask, FaultModel, Golden, TelemetryConfig};
+use gem5_marvel::cpu::CoreConfig;
+use gem5_marvel::ir::assemble;
+use gem5_marvel::isa::Isa;
+use gem5_marvel::soc::{System, Target};
+use gem5_marvel::telemetry::Registry;
+use gem5_marvel::workloads::mibench;
+use std::time::Instant;
+
+fn median_run_secs(golden: &Golden, mask: &FaultMask, cc: &CampaignConfig, reps: usize) -> f64 {
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            let rec = run_one(golden, mask, cc);
+            assert!(rec.cycles > 0);
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+#[test]
+fn telemetry_overhead_is_bounded() {
+    let bin = assemble(&mibench::build("crc32"), Isa::RiscV).unwrap();
+    let mut sys = System::new(CoreConfig::table2(Isa::RiscV));
+    sys.load_binary(&bin);
+    let golden = Golden::prepare(sys, 80_000_000).unwrap();
+    let mask = FaultMask {
+        target: Target::L1D,
+        bits: vec![4321],
+        model: FaultModel::Transient { cycle: golden.ckpt_cycle + golden.exec_cycles / 2 },
+    };
+
+    let off = CampaignConfig { n_faults: 1, ..Default::default() };
+    let on = CampaignConfig {
+        n_faults: 1,
+        telemetry: TelemetryConfig {
+            registry: Registry::new(),
+            progress_interval_ms: 0,
+            flight_capacity: 64,
+        },
+        ..Default::default()
+    };
+
+    // Warm up (page in code + golden state), then compare medians.
+    run_one(&golden, &mask, &off);
+    run_one(&golden, &mask, &on);
+    let t_off = median_run_secs(&golden, &mask, &off, 7);
+    let t_on = median_run_secs(&golden, &mask, &on, 7);
+
+    let ratio = t_on / t_off.max(1e-12);
+    assert!(
+        ratio < 2.0,
+        "telemetry-on injection run took {ratio:.2}x the disabled-registry time \
+         (off {t_off:.4}s, on {t_on:.4}s) — expected near-zero overhead"
+    );
+}
+
+#[test]
+fn disabled_registry_handles_are_noops() {
+    let reg = Registry::disabled();
+    let c = reg.counter("x.y");
+    for _ in 0..1_000_000 {
+        c.inc();
+    }
+    assert_eq!(c.get(), 0);
+    assert!(reg.histogram("h").is_none());
+    assert!(reg.snapshot().counters.is_empty());
+}

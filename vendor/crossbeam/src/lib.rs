@@ -1,0 +1,70 @@
+//! Offline stand-in for the `crossbeam` crate covering the one API this
+//! workspace uses: `crossbeam::thread::scope` + `Scope::spawn`. Backed by
+//! `std::thread::scope` (stable since Rust 1.63), wrapped to preserve the
+//! crossbeam call shape (`scope(..)` returns `Result`, spawn closures
+//! receive a `&Scope` argument).
+
+pub mod thread {
+    use std::any::Any;
+
+    /// Error type matching crossbeam's `scope` result payload.
+    pub type ScopeError = Box<dyn Any + Send + 'static>;
+
+    /// Wrapper over [`std::thread::Scope`] mirroring crossbeam's `Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. The closure receives a `&Scope` (ignored
+        /// by all in-repo callers, but kept for signature compatibility).
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Run `f` with a scope handle; joins all spawned threads before
+    /// returning. Unlike crossbeam, a panicking child propagates the panic
+    /// at join (so `Err` is never actually produced) — callers treating
+    /// the result with `.expect(..)` behave identically either way.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, ScopeError>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_workers() {
+        let n = AtomicUsize::new(0);
+        super::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| n.fetch_add(1, Ordering::Relaxed));
+            }
+        })
+        .unwrap();
+        assert_eq!(n.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn nested_spawn_through_handle() {
+        let n = AtomicUsize::new(0);
+        super::thread::scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| n.fetch_add(1, Ordering::Relaxed));
+            });
+        })
+        .unwrap();
+        assert_eq!(n.load(Ordering::Relaxed), 1);
+    }
+}

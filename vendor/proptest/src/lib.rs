@@ -1,0 +1,100 @@
+//! Offline stand-in for the `proptest` crate: the `proptest!` macro,
+//! range/`any`/collection/sample/tuple strategies, `prop_assert*` and
+//! `prop_assume!`. Cases are generated from a deterministic per-test seed
+//! (FNV of the test name), so failures reproduce across runs.
+//!
+//! Differences from real proptest, by design of this shim:
+//! * no shrinking — a failing case panics with the generated inputs left
+//!   to the assertion message;
+//! * `prop_assert*` panic immediately instead of returning `Err`;
+//! * config knobs other than `cases` are accepted but ignored.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// Re-exposes the module tree under the `prop::` prefix, as the real
+/// prelude does (`prop::collection::vec`, `prop::sample::select`, ...).
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    pub mod prop {
+        pub use crate::{collection, sample, strategy};
+    }
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Discard the current case (counts as a rejection, not a failure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::Rejected);
+        }
+    };
+}
+
+/// The `proptest! { ... }` block: an optional
+/// `#![proptest_config(..)]` inner attribute followed by `#[test]` fns
+/// whose arguments are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@expand ($cfg) $($rest)*);
+    };
+    (@expand ($cfg:expr) $(
+        #[test]
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        #[test]
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::case_rng(stringify!($name));
+            let mut accepted: u32 = 0;
+            let mut attempts: u32 = 0;
+            let max_attempts = config.cases.saturating_mul(16).max(64);
+            while accepted < config.cases && attempts < max_attempts {
+                attempts += 1;
+                $(let $arg = $crate::strategy::Strategy::generate(&$strat, &mut rng);)+
+                let verdict = (|| -> ::core::result::Result<(), $crate::test_runner::Rejected> {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::core::result::Result::Ok(())
+                })();
+                if verdict.is_ok() {
+                    accepted += 1;
+                }
+            }
+            assert!(
+                accepted >= config.cases.min(1),
+                "proptest {}: every generated case was rejected by prop_assume!",
+                stringify!($name)
+            );
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@expand ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}

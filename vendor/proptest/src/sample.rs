@@ -1,0 +1,24 @@
+//! Sampling strategies (`prop::sample::select`).
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Strategy drawing uniformly from a fixed set of values.
+#[derive(Debug, Clone)]
+pub struct Select<T: Clone> {
+    options: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        self.options[rng.gen_range(0..self.options.len())].clone()
+    }
+}
+
+/// `select(options)`: pick one of `options` uniformly.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select requires at least one option");
+    Select { options }
+}

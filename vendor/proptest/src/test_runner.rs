@@ -1,0 +1,39 @@
+//! Test-runner plumbing for the shim `proptest!` macro.
+
+pub use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Marker returned by `prop_assume!` when a case is discarded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rejected;
+
+/// Subset of proptest's `Config`: only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; 64 keeps campaign-heavy property
+        // tests fast while still exploring a meaningful sample.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic per-test RNG: FNV-1a of the test name. Failures therefore
+/// reproduce run-to-run without a persistence file.
+pub fn case_rng(test_name: &str) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    StdRng::seed_from_u64(h)
+}
