@@ -50,6 +50,18 @@ impl DmaEngine {
 
     /// Advance one cycle; returns `false` on an out-of-range transfer.
     pub fn tick(&mut self, ram: &mut [u8], accel: &mut Accelerator) -> bool {
+        self.tick_tainted(ram, None, accel)
+    }
+
+    /// [`tick`](Self::tick) with an optional RAM taint shadow (marvel-taint):
+    /// shadow bytes move with the data, and tainted bytes drained to RAM
+    /// are recorded as architecturally visible.
+    pub fn tick_tainted(
+        &mut self,
+        ram: &mut [u8],
+        ram_shadow: Option<&mut [u8]>,
+        accel: &mut Accelerator,
+    ) -> bool {
         let Some(job) = self.jobs.front().copied() else { return true };
         let n = self.bandwidth.min(job.len - self.progress);
         let ram_lo = job.ram_off + self.progress;
@@ -63,9 +75,40 @@ impl DmaEngine {
                 if accel.mem(job.mem).fill(mem_lo, &chunk).is_none() {
                     return false;
                 }
+                if accel.taint_enabled() {
+                    let zeros;
+                    let sh: &[u8] = match &ram_shadow {
+                        Some(s) if s.len() >= ram_lo + n => &s[ram_lo..ram_lo + n],
+                        _ => {
+                            zeros = vec![0u8; n];
+                            &zeros
+                        }
+                    };
+                    let mname = accel.mem_ref(job.mem).kind.name();
+                    accel.mem(job.mem).taint_fill(mem_lo, sh);
+                    if sh.iter().any(|&b| b != 0) {
+                        accel.taint_hop("RAM", mname);
+                    }
+                }
             }
             DmaDir::ToRam => match accel.mem(job.mem).drain(mem_lo, n) {
-                Some(chunk) => ram[ram_lo..ram_lo + n].copy_from_slice(&chunk),
+                Some(chunk) => {
+                    ram[ram_lo..ram_lo + n].copy_from_slice(&chunk);
+                    if accel.taint_enabled() {
+                        let sh =
+                            accel.mem_ref(job.mem).taint_drain(mem_lo, n).unwrap_or_else(|| vec![0; n]);
+                        if let Some(rs) = ram_shadow {
+                            if rs.len() >= ram_lo + n {
+                                rs[ram_lo..ram_lo + n].copy_from_slice(&sh);
+                            }
+                        }
+                        if sh.iter().any(|&b| b != 0) {
+                            let mname = accel.mem_ref(job.mem).kind.name();
+                            accel.taint_hop(mname, "RAM");
+                            accel.taint_arch(mname);
+                        }
+                    }
+                }
                 None => return false,
             },
         }
@@ -83,6 +126,23 @@ impl DmaEngine {
         let mut cycles = 0;
         while self.busy() {
             if !self.tick(ram, accel) {
+                return None;
+            }
+            cycles += 1;
+        }
+        Some(cycles)
+    }
+
+    /// [`run_all`](Self::run_all) with a RAM taint shadow.
+    pub fn run_all_tainted(
+        &mut self,
+        ram: &mut [u8],
+        ram_shadow: &mut [u8],
+        accel: &mut Accelerator,
+    ) -> Option<u64> {
+        let mut cycles = 0;
+        while self.busy() {
+            if !self.tick_tainted(ram, Some(ram_shadow), accel) {
                 return None;
             }
             cycles += 1;

@@ -5,7 +5,28 @@
 use crate::air::{Cdfg, FuClass, MemRef, NodeOp, Terminator, NODE_NONE};
 use crate::mmr::{Mmr, CTRL_START, MMR_CTRL, MMR_DATA0, MMR_STATUS, STATUS_DONE, STATUS_ERROR};
 use crate::sram::Sram;
-use marvel_isa::Isa;
+use marvel_isa::{AluOp, Isa};
+use marvel_telemetry::{alu_taint, TaintAluKind, TaintTracer};
+
+/// Map an ALU op onto its taint-transfer class (mirrors the CPU core).
+fn taint_kind(op: AluOp) -> TaintAluKind {
+    match op {
+        AluOp::And | AluOp::Or | AluOp::Xor => TaintAluKind::Bitwise,
+        AluOp::Add | AluOp::Sub => TaintAluKind::Arith,
+        AluOp::Sll => TaintAluKind::ShiftLeft,
+        AluOp::Srl | AluOp::Sra => TaintAluKind::ShiftRight,
+        AluOp::Mul | AluOp::Div | AluOp::Rem | AluOp::Slt | AluOp::Sltu => TaintAluKind::Wide,
+    }
+}
+
+/// marvel-taint state of an accelerator: the propagation tracer plus a
+/// sticky control-poison flag (set once a tainted value decides a branch,
+/// after which every store is suspect).
+#[derive(Debug, Clone)]
+pub struct AccelTaint {
+    pub tracer: TaintTracer,
+    ctl: bool,
+}
 
 /// Functional-unit configuration — the Fig. 17 design-space axis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,6 +105,9 @@ struct BlockExec {
     /// (completion cycle, node index)
     pending: Vec<(u64, u32)>,
     remaining: usize,
+    /// marvel-taint shadows of `args`/`vals` (empty when tracking is off).
+    args_taint: Vec<u64>,
+    vals_taint: Vec<u64>,
 }
 
 /// A SALAM-style accelerator instance.
@@ -101,6 +125,8 @@ pub struct Accelerator {
     /// Interrupt line (level); raised on completion, cleared by MMR access.
     pub irq: bool,
     pub stats: AccelStats,
+    /// marvel-taint plane (`None` = off).
+    taint: Option<Box<AccelTaint>>,
 }
 
 impl Accelerator {
@@ -126,6 +152,44 @@ impl Accelerator {
             cycle: 0,
             irq: false,
             stats: AccelStats::default(),
+            taint: None,
+        }
+    }
+
+    // ---- marvel-taint control ----
+
+    /// Enable taint tracking before fault arming: allocates the SRAM and
+    /// MMR shadows plus the propagation tracer (`seed` labels the
+    /// injection site).
+    pub fn enable_taint(&mut self, seed: &str) {
+        for s in self.spms.iter_mut().chain(self.regbanks.iter_mut()) {
+            s.enable_taint();
+        }
+        self.mmr.enable_taint();
+        self.taint = Some(Box::new(AccelTaint { tracer: TaintTracer::new(seed), ctl: false }));
+    }
+
+    pub fn taint_enabled(&self) -> bool {
+        self.taint.is_some()
+    }
+
+    pub fn taint_tracer(&self) -> Option<&TaintTracer> {
+        self.taint.as_deref().map(|t| &t.tracer)
+    }
+
+    /// Record a propagation hop on behalf of external movers (DMA).
+    pub fn taint_hop(&mut self, from: &'static str, to: &'static str) {
+        let cyc = self.cycle;
+        if let Some(t) = self.taint.as_deref_mut() {
+            t.tracer.hop(cyc, from, to);
+        }
+    }
+
+    /// Record that tainted state became architecturally visible (DMA out).
+    pub fn taint_arch(&mut self, structure: &'static str) {
+        let cyc = self.cycle;
+        if let Some(t) = self.taint.as_deref_mut() {
+            t.tracer.arch_reach(cyc, structure);
         }
     }
 
@@ -201,10 +265,11 @@ impl Accelerator {
         self.stats = AccelStats::default();
     }
 
-    fn enter_block(&mut self, block: usize, args: Vec<u64>) {
+    fn enter_block(&mut self, block: usize, args: Vec<u64>, args_taint: Vec<u64>) {
         let b = &self.cdfg.blocks[block];
         let n = b.nodes.len();
         self.stats.blocks_executed += 1;
+        let track = self.taint.is_some();
         self.exec = Some(BlockExec {
             block,
             args,
@@ -213,6 +278,8 @@ impl Accelerator {
             started: vec![false; n],
             pending: Vec::new(),
             remaining: n,
+            args_taint,
+            vals_taint: if track { vec![0; n] } else { Vec::new() },
         });
     }
 
@@ -228,10 +295,20 @@ impl Accelerator {
                     let n_args = self.cdfg.blocks[0].n_args;
                     let args: Vec<u64> =
                         (0..n_args).map(|i| self.mmr.read(MMR_DATA0 + i).unwrap_or(0)).collect();
+                    let args_taint: Vec<u64> = if self.taint.is_some() {
+                        let t: Vec<u64> =
+                            (0..n_args).map(|i| self.mmr.taint_of(MMR_DATA0 + i)).collect();
+                        if t.iter().any(|&x| x != 0) {
+                            self.taint_hop("MMR", "FU");
+                        }
+                        t
+                    } else {
+                        Vec::new()
+                    };
                     self.mmr.poke(MMR_CTRL, 0);
                     self.mmr.poke(MMR_STATUS, 0);
                     self.state = AccelState::Running;
-                    self.enter_block(0, args);
+                    self.enter_block(0, args, args_taint);
                 }
             }
             AccelState::Running => {
@@ -273,7 +350,11 @@ impl Accelerator {
 
         // 2. block complete → terminator.
         if ex.remaining == 0 {
+            let track = self.taint.is_some();
             let term = self.cdfg.blocks[ex.block].term.clone();
+            let taint_of = |ex: &BlockExec, a: u32, ctl: bool| -> u64 {
+                ex.vals_taint.get(a as usize).copied().unwrap_or(0) | if ctl { !0 } else { 0 }
+            };
             match term {
                 Terminator::Finish => {
                     self.finish_with(AccelState::Done);
@@ -281,13 +362,32 @@ impl Accelerator {
                 }
                 Terminator::Jump { target, args } => {
                     let vals: Vec<u64> = args.iter().map(|&a| ex.vals[a as usize]).collect();
-                    self.enter_block(target, vals);
+                    let ctl = self.taint.as_deref().is_some_and(|t| t.ctl);
+                    let vt: Vec<u64> = if track {
+                        args.iter().map(|&a| taint_of(&ex, a, ctl)).collect()
+                    } else {
+                        Vec::new()
+                    };
+                    self.enter_block(target, vals, vt);
                     return;
                 }
                 Terminator::Branch { cond, then_, else_ } => {
+                    // A tainted condition poisons control flow for good:
+                    // the very choice of path is now fault-dependent.
+                    if ex.vals_taint.get(cond as usize).copied().unwrap_or(0) != 0 {
+                        if let Some(t) = self.taint.as_deref_mut() {
+                            t.ctl = true;
+                        }
+                    }
                     let (t, args) = if ex.vals[cond as usize] != 0 { then_ } else { else_ };
                     let vals: Vec<u64> = args.iter().map(|&a| ex.vals[a as usize]).collect();
-                    self.enter_block(t, vals);
+                    let ctl = self.taint.as_deref().is_some_and(|t| t.ctl);
+                    let vt: Vec<u64> = if track {
+                        args.iter().map(|&a| taint_of(&ex, a, ctl)).collect()
+                    } else {
+                        Vec::new()
+                    };
+                    self.enter_block(t, vals, vt);
                     return;
                 }
             }
@@ -366,6 +466,13 @@ impl Accelerator {
             let a = if node.a == NODE_NONE { 0 } else { ex.vals[node.a as usize] };
             let b = if node.b == NODE_NONE { 0 } else { ex.vals[node.b as usize] };
             let c = if node.c == NODE_NONE { 0 } else { ex.vals[node.c as usize] };
+            let track = self.taint.is_some();
+            let tof = |t: &[u64], n: u32| if n == NODE_NONE { 0 } else { t[n as usize] };
+            let (ta, tb, tc) = if track {
+                (tof(&ex.vals_taint, node.a), tof(&ex.vals_taint, node.b), tof(&ex.vals_taint, node.c))
+            } else {
+                (0, 0, 0)
+            };
             let mut lat = node.op.latency();
             let val = match node.op {
                 NodeOp::Const(v) => v,
@@ -389,7 +496,18 @@ impl Accelerator {
                     self.stats.mem_reads += 1;
                     lat += self.mem_ref(mem).kind.read_latency();
                     match self.mem(mem).read(a, w as usize) {
-                        Some(v) => v,
+                        Some(v) => {
+                            if track {
+                                let mname = self.mem_ref(mem).kind.name();
+                                let t = self.mem_ref(mem).taint_read(a, w as usize)
+                                    | if ta != 0 { !0 } else { 0 };
+                                if t != 0 {
+                                    self.taint_hop(mname, "FU");
+                                }
+                                ex.vals_taint[ni] = t;
+                            }
+                            v
+                        }
                         None => {
                             let (is_spm, idx) = match mem {
                                 MemRef::Spm(i) => (true, i),
@@ -407,7 +525,18 @@ impl Accelerator {
                 NodeOp::Store { mem, w } => {
                     self.stats.mem_writes += 1;
                     match self.mem(mem).write(a, w as usize, b) {
-                        Some(()) => 0,
+                        Some(()) => {
+                            if track {
+                                let ctl = self.taint.as_deref().is_some_and(|t| t.ctl);
+                                let t = tb | if ta != 0 || ctl { !0 } else { 0 };
+                                let mname = self.mem_ref(mem).kind.name();
+                                self.mem(mem).taint_write(a, w as usize, t);
+                                if t != 0 {
+                                    self.taint_hop("FU", mname);
+                                }
+                            }
+                            0
+                        }
                         None => {
                             let (is_spm, idx) = match mem {
                                 MemRef::Spm(i) => (true, i),
@@ -423,6 +552,40 @@ impl Accelerator {
                     }
                 }
             };
+            if track {
+                ex.vals_taint[ni] = match node.op {
+                    NodeOp::Const(_) => 0,
+                    NodeOp::Arg(k) => ex.args_taint.get(k).copied().unwrap_or(0),
+                    NodeOp::Alu(op) => alu_taint(taint_kind(op), ta, tb, b),
+                    // FP and conversions mix bits non-locally: any tainted
+                    // input poisons the whole result.
+                    NodeOp::FAdd
+                    | NodeOp::FSub
+                    | NodeOp::FMul
+                    | NodeOp::FDiv
+                    | NodeOp::FCmpLt
+                    | NodeOp::ItoF
+                    | NodeOp::FtoI => {
+                        if (ta | tb) != 0 {
+                            !0
+                        } else {
+                            0
+                        }
+                    }
+                    // A tainted select condition could pick either input.
+                    NodeOp::Select => {
+                        if tc != 0 {
+                            !0
+                        } else if c != 0 {
+                            ta
+                        } else {
+                            tb
+                        }
+                    }
+                    NodeOp::Load { .. } => ex.vals_taint[ni], // set above
+                    NodeOp::Store { .. } => 0,
+                };
+            }
             ex.vals[ni] = val;
             if lat == 0 {
                 ex.done[ni] = true;

@@ -22,11 +22,13 @@ pub struct Mmr {
     regs: Vec<u64>,
     stuck: Vec<(u64, bool)>,
     armed: Option<(usize, SramFate)>,
+    /// marvel-taint shadow masks, one per register (empty = off).
+    shadow: Vec<u64>,
 }
 
 impl Mmr {
     pub fn new(n_data: usize) -> Self {
-        Mmr { regs: vec![0; MMR_DATA0 + n_data], stuck: Vec::new(), armed: None }
+        Mmr { regs: vec![0; MMR_DATA0 + n_data], stuck: Vec::new(), armed: None, shadow: Vec::new() }
     }
 
     pub fn len(&self) -> usize {
@@ -100,6 +102,9 @@ impl Mmr {
         let idx = (bit / 64) as usize;
         self.regs[idx] ^= 1 << (bit % 64);
         self.armed = Some((idx, SramFate::Pending));
+        if let Some(s) = self.shadow.get_mut(idx) {
+            *s |= 1 << (bit % 64);
+        }
         SramFate::Pending
     }
 
@@ -113,10 +118,34 @@ impl Mmr {
             self.regs[idx] &= !m;
         }
         self.armed = Some((idx, SramFate::Pending));
+        if let Some(s) = self.shadow.get_mut(idx) {
+            *s |= m;
+        }
     }
 
     pub fn fate(&self) -> Option<SramFate> {
         self.armed.map(|(_, f)| f)
+    }
+
+    // ---- marvel-taint shadow plane ----
+
+    /// Allocate the shadow plane (call before arming; enabling afterwards
+    /// conservatively taints the whole armed register).
+    pub fn enable_taint(&mut self) {
+        if self.shadow.is_empty() {
+            self.shadow = vec![0; self.regs.len()];
+        }
+        if let Some((idx, _)) = self.armed {
+            self.shadow[idx] = !0;
+        }
+        for &(bit, _) in &self.stuck {
+            self.shadow[(bit / 64) as usize] |= 1 << (bit % 64);
+        }
+    }
+
+    /// Taint mask of a register (0 when tracking is off).
+    pub fn taint_of(&self, idx: usize) -> u64 {
+        self.shadow.get(idx).copied().unwrap_or(0)
     }
 }
 

@@ -51,6 +51,10 @@ pub struct Sram {
     /// Access tallies (scalar reads/writes plus DMA fills/drains).
     pub reads: u64,
     pub writes: u64,
+    /// marvel-taint per-byte shadow (empty = tracking off). Taint
+    /// accessors never touch `armed`/`reads`/`writes`, so enabling the
+    /// plane cannot perturb fault fates or timing.
+    shadow: Vec<u8>,
 }
 
 impl Sram {
@@ -64,6 +68,7 @@ impl Sram {
             ports,
             reads: 0,
             writes: 0,
+            shadow: Vec::new(),
         }
     }
 
@@ -153,6 +158,9 @@ impl Sram {
         let byte = (bit / 8) as usize;
         self.bytes[byte] ^= 1 << (bit % 8);
         self.armed = Some((byte, SramFate::Pending));
+        if let Some(s) = self.shadow.get_mut(byte) {
+            *s |= 1 << (bit % 8);
+        }
         SramFate::Pending
     }
 
@@ -166,10 +174,91 @@ impl Sram {
             self.bytes[byte] &= !mask;
         }
         self.armed = Some((byte, SramFate::Pending));
+        if let Some(s) = self.shadow.get_mut(byte) {
+            *s |= mask;
+        }
     }
 
     pub fn fate(&self) -> Option<SramFate> {
         self.armed.map(|(_, f)| f)
+    }
+
+    // ---- marvel-taint shadow plane ----
+
+    /// Allocate the per-byte shadow. Call before fault arming; enabling
+    /// after arming conservatively taints the whole armed byte.
+    pub fn enable_taint(&mut self) {
+        if self.shadow.is_empty() {
+            self.shadow = vec![0; self.bytes.len()];
+        }
+        if let Some((byte, _)) = self.armed {
+            self.shadow[byte] = 0xFF;
+        }
+        for &(bit, _) in &self.stuck {
+            self.shadow[(bit / 8) as usize] |= 1 << (bit % 8);
+        }
+    }
+
+    #[inline]
+    pub fn taint_on(&self) -> bool {
+        !self.shadow.is_empty()
+    }
+
+    /// Shadow counterpart of [`read`](Self::read) (LE mask; 0 when off).
+    pub fn taint_read(&self, off: u64, n: usize) -> u64 {
+        let off = off as usize;
+        if self.shadow.is_empty() || off + n > self.shadow.len() {
+            return 0;
+        }
+        let mut out = [0u8; 8];
+        out[..n].copy_from_slice(&self.shadow[off..off + n]);
+        u64::from_le_bytes(out)
+    }
+
+    /// Shadow counterpart of [`write`](Self::write): replaces the range's
+    /// taint (clean data washes taint out), re-asserting stuck-at bits.
+    pub fn taint_write(&mut self, off: u64, n: usize, mask: u64) {
+        let off = off as usize;
+        if self.shadow.is_empty() || off + n > self.shadow.len() {
+            return;
+        }
+        self.shadow[off..off + n].copy_from_slice(&mask.to_le_bytes()[..n]);
+        self.reapply_stuck_taint(off, n);
+    }
+
+    /// Shadow counterpart of [`fill`](Self::fill) (DMA in).
+    pub fn taint_fill(&mut self, off: usize, shadow: &[u8]) {
+        if self.shadow.is_empty() || off + shadow.len() > self.shadow.len() {
+            return;
+        }
+        self.shadow[off..off + shadow.len()].copy_from_slice(shadow);
+        self.reapply_stuck_taint(off, shadow.len());
+    }
+
+    /// Shadow counterpart of [`drain`](Self::drain) (DMA out).
+    pub fn taint_drain(&self, off: usize, len: usize) -> Option<Vec<u8>> {
+        if self.shadow.is_empty() || off + len > self.shadow.len() {
+            return None;
+        }
+        Some(self.shadow[off..off + len].to_vec())
+    }
+
+    /// Any tainted byte in `[off, off+len)`?
+    pub fn taint_any(&self, off: usize, len: usize) -> bool {
+        if self.shadow.is_empty() || off + len > self.shadow.len() {
+            return false;
+        }
+        self.shadow[off..off + len].iter().any(|&b| b != 0)
+    }
+
+    fn reapply_stuck_taint(&mut self, off: usize, n: usize) {
+        for i in 0..self.stuck.len() {
+            let (bit, _) = self.stuck[i];
+            let byte = (bit / 8) as usize;
+            if byte >= off && byte < off + n {
+                self.shadow[byte] |= 1 << (bit % 8);
+            }
+        }
     }
 
     fn apply_stuck_range(&mut self, off: usize, n: usize) {
@@ -231,6 +320,26 @@ mod tests {
         s.fill(4, &[1, 2, 3, 4]).unwrap();
         assert_eq!(s.drain(4, 4).unwrap(), vec![1, 2, 3, 4]);
         assert_eq!(SramKind::RegBank.read_latency(), 2);
+    }
+
+    #[test]
+    fn taint_shadow_follows_flip_write_and_dma() {
+        let mut s = Sram::new("t", SramKind::Spm, 32, 1);
+        assert_eq!(s.taint_read(0, 8), 0); // off: cheap no-op
+        s.enable_taint();
+        s.flip_bit(8 * 4 + 2); // byte 4, bit 2
+        assert_eq!(s.taint_read(4, 1), 0b100);
+        assert!(s.taint_any(0, 8));
+        // Clean overwrite washes the taint out.
+        s.taint_write(4, 1, 0);
+        assert!(!s.taint_any(0, 8));
+        // DMA shadow roundtrip.
+        s.taint_fill(16, &[0xFF, 0, 0xFF, 0]);
+        assert_eq!(s.taint_drain(16, 4).unwrap(), vec![0xFF, 0, 0xFF, 0]);
+        // Stuck-at taint re-asserts across writes.
+        s.set_stuck(8 * 2 + 1, true);
+        s.taint_write(2, 1, 0);
+        assert_eq!(s.taint_read(2, 1), 0b10);
     }
 
     #[test]

@@ -3,8 +3,9 @@
 //! near-free.
 //!
 //! Three comparisons:
-//! * `injection_run/{off,on}` — one full injection run with telemetry
-//!   disabled vs registry + flight recorder enabled.
+//! * `injection_run/{off,on,taint}` — one full injection run with
+//!   telemetry disabled vs registry + flight recorder enabled vs the
+//!   full marvel-taint shadow plane on top.
 //! * `counter/{noop,enabled}` — the raw `Counter::inc` hot path.
 //! * `histogram_record` — `Histogram::record` cost.
 
@@ -31,11 +32,23 @@ fn injection_run_overhead(c: &mut Criterion) {
             registry: Registry::new(),
             progress_interval_ms: 0,
             flight_capacity: 64,
+            taint: false,
+        },
+        ..Default::default()
+    };
+    let taint = CampaignConfig {
+        n_faults: 1,
+        telemetry: TelemetryConfig {
+            registry: Registry::new(),
+            progress_interval_ms: 0,
+            flight_capacity: 64,
+            taint: true,
         },
         ..Default::default()
     };
     g.bench_function("off", |b| b.iter(|| run_one(&gold, &mask, &off)));
     g.bench_function("on", |b| b.iter(|| run_one(&gold, &mask, &on)));
+    g.bench_function("taint", |b| b.iter(|| run_one(&gold, &mask, &taint)));
     g.finish();
 }
 

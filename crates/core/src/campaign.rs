@@ -6,7 +6,9 @@ use crate::fault::{FaultKind, FaultMask, FaultModel, MaskGenerator};
 use crate::stats::error_margin;
 use marvel_cpu::{CoreStats, FaultFate, TraceMode};
 use marvel_soc::{RunOutcome, SysEvent, System, Target};
-use marvel_telemetry::{Event, FlightDump, FlightRecorder, ProgressMeter, Registry, Scope};
+use marvel_telemetry::{
+    Attribution, Event, FlightDump, FlightRecorder, ProgressMeter, Registry, Scope, TaintReport,
+};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -45,6 +47,10 @@ pub struct RunRecord {
     /// Flight-recorder timeline, retained only for SDC/Crash runs of
     /// campaigns that enabled the recorder.
     pub forensics: Option<FlightDump>,
+    /// marvel-taint attribution: where the fault first became
+    /// architecturally visible (or where it was last seen before being
+    /// masked). Present only when the campaign enabled taint tracking.
+    pub attribution: Option<Attribution>,
 }
 
 /// Observability settings carried by [`CampaignConfig`]. The default is
@@ -63,6 +69,10 @@ pub struct TelemetryConfig {
     /// Per-run flight-recorder event capacity (0 = off). Timelines are
     /// kept only for SDC/Crash runs.
     pub flight_capacity: usize,
+    /// Enable marvel-taint shadow tracking: per-run propagation timelines
+    /// (into the flight recorder) and per-structure AVF attribution.
+    /// Strictly observational — classifications stay bit-identical.
+    pub taint: bool,
 }
 
 /// Campaign-wide configuration.
@@ -240,6 +250,25 @@ fn effect_tag(e: FaultEffect) -> &'static str {
     }
 }
 
+/// Replay a taint report into the flight recorder (hop timeline plus the
+/// arch-reach / masked terminal event) and reduce it to an attribution.
+pub(crate) fn taint_finish(rep: Option<TaintReport>, fr: &mut FlightRecorder) -> Option<Attribution> {
+    let rep = rep?;
+    if fr.is_enabled() {
+        for h in &rep.hops {
+            fr.record(h.cycle, Event::TaintHop { from: h.from, to: h.to });
+        }
+        match &rep.first_arch {
+            Some((c, s)) => fr.record(*c, Event::TaintArch { structure: s.clone() }),
+            None => {
+                let (c, s) = rep.last_loc.clone().unwrap_or((0, rep.seed.clone()));
+                fr.record(c, Event::TaintMasked { structure: s });
+            }
+        }
+    }
+    Some(rep.attribution())
+}
+
 /// Execute one injection run.
 pub fn run_one(golden: &Golden, mask: &FaultMask, cc: &CampaignConfig) -> RunRecord {
     let tel = &cc.telemetry;
@@ -269,6 +298,9 @@ pub fn run_one(golden: &Golden, mask: &FaultMask, cc: &CampaignConfig) -> RunRec
     };
     match mask.model {
         FaultModel::Permanent { value } => {
+            if tel.taint {
+                sys.enable_taint(mask.target);
+            }
             for &b in &mask.bits {
                 sys.set_stuck(mask.target, b, value);
             }
@@ -282,6 +314,11 @@ pub fn run_one(golden: &Golden, mask: &FaultMask, cc: &CampaignConfig) -> RunRec
                 if sys.cycle >= watchdog {
                     break;
                 }
+            }
+            // Enable just before arming: the flip itself seeds the shadow
+            // planes, and the fault-free prefix carries no taint anyway.
+            if tel.taint {
+                sys.enable_taint(mask.target);
             }
             for &b in &mask.bits {
                 sys.flip(mask.target, b);
@@ -310,6 +347,7 @@ pub fn run_one(golden: &Golden, mask: &FaultMask, cc: &CampaignConfig) -> RunRec
                     early_terminated: true,
                     cycles: sys.cycle - golden.ckpt_cycle,
                     forensics: None,
+                    attribution: taint_finish(sys.taint_report(), &mut fr),
                 };
             }
         }
@@ -344,6 +382,7 @@ pub fn run_one(golden: &Golden, mask: &FaultMask, cc: &CampaignConfig) -> RunRec
                             early_terminated: true,
                             cycles: sys.cycle - golden.ckpt_cycle,
                             forensics: None,
+                            attribution: taint_finish(sys.taint_report(), &mut fr),
                         };
                     }
                 }
@@ -372,6 +411,7 @@ pub fn run_one(golden: &Golden, mask: &FaultMask, cc: &CampaignConfig) -> RunRec
     if let Some(tag) = trap {
         fr.record(sys.cycle, Event::Trap { tag });
     }
+    let attribution = taint_finish(sys.taint_report(), &mut fr);
     fr.record(sys.cycle, Event::Classified { effect: effect_tag(effect) });
     let hvf = cc.collect_hvf.then(|| {
         // Any commit-stage divergence — or a crash/SDC, which by
@@ -392,6 +432,7 @@ pub fn run_one(golden: &Golden, mask: &FaultMask, cc: &CampaignConfig) -> RunRec
         early_terminated: false,
         cycles: sys.cycle - golden.ckpt_cycle,
         forensics,
+        attribution,
     }
 }
 
@@ -461,11 +502,61 @@ impl CampaignResult {
     }
 }
 
+/// The mask list a campaign over `target` will execute (same seed
+/// derivation as [`run_campaign`]) — lets directed re-runs (pipeline
+/// trace pairs, forensics replays) target the exact same faults.
+pub fn campaign_masks(golden: &Golden, target: Target, cc: &CampaignConfig) -> Vec<FaultMask> {
+    let bit_len = golden.ckpt.bit_len(target);
+    let mut gen = MaskGenerator::new(cc.seed ^ (target_hash(target)));
+    gen.single_bit(target, bit_len, cc.kind, golden.injection_window(), cc.n_faults)
+}
+
+/// Re-run one fault as a golden/faulty pair with Konata pipeline tracing
+/// enabled, returning the two trace texts. The faulty run also enables
+/// taint tracking so corrupted commits are flagged (flushed in red /
+/// tainted label in Konata-compatible viewers).
+pub fn trace_pipeline_pair(golden: &Golden, mask: &FaultMask, cc: &CampaignConfig) -> (String, String) {
+    let watchdog = golden.ckpt_cycle + golden.exec_cycles.saturating_mul(cc.watchdog_factor) + 50_000;
+
+    let mut gsys = golden.ckpt.clone();
+    gsys.enable_pipe_trace();
+    let _ = gsys.run(watchdog);
+    let gtrace = gsys.core.pipe_tracer().map(|p| p.render_kanata()).unwrap_or_default();
+
+    let mut fsys = golden.ckpt.clone();
+    fsys.enable_pipe_trace();
+    match mask.model {
+        FaultModel::Permanent { value } => {
+            fsys.enable_taint(mask.target);
+            for &b in &mask.bits {
+                fsys.set_stuck(mask.target, b, value);
+            }
+        }
+        FaultModel::Transient { cycle } => {
+            while fsys.cycle < cycle {
+                match fsys.tick() {
+                    SysEvent::Halted | SysEvent::Trapped(_) => break,
+                    _ => {}
+                }
+                if fsys.cycle >= watchdog {
+                    break;
+                }
+            }
+            fsys.enable_taint(mask.target);
+            for &b in &mask.bits {
+                fsys.flip(mask.target, b);
+            }
+        }
+    }
+    let _ = fsys.run(watchdog);
+    let ftrace = fsys.core.pipe_tracer().map(|p| p.render_kanata()).unwrap_or_default();
+    (gtrace, ftrace)
+}
+
 /// Run a full campaign over `target` with parallel workers.
 pub fn run_campaign(golden: &Golden, target: Target, cc: &CampaignConfig) -> CampaignResult {
     let bit_len = golden.ckpt.bit_len(target);
-    let mut gen = MaskGenerator::new(cc.seed ^ (target_hash(target)));
-    let masks = gen.single_bit(target, bit_len, cc.kind, golden.injection_window(), cc.n_faults);
+    let masks = campaign_masks(golden, target, cc);
     let population = bit_len.saturating_mul(golden.exec_cycles.max(1));
     let reg = &cc.telemetry.registry;
     reg.publish("campaign.bit_population", bit_len);

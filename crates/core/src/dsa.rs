@@ -6,7 +6,7 @@
 //! non-masked fault is architecturally visible, so only the AVF classes
 //! are reported.
 
-use crate::campaign::{CampaignConfig, FaultEffect, RunRecord};
+use crate::campaign::{taint_finish, CampaignConfig, FaultEffect, RunRecord};
 use crate::fault::{FaultMask, FaultModel, MaskGenerator};
 use crate::stats::error_margin;
 use marvel_accel::{AccelState, Accelerator, DmaEngine, DmaJob, SramFate};
@@ -122,6 +122,10 @@ impl DsaHarness {
         for j in &self.jobs_in {
             dma.push(*j);
         }
+        // RAM taint shadow (marvel-taint): allocated only when the
+        // accelerator's shadow planes are on, so plain runs pay nothing.
+        let mut ram_shadow =
+            if self.accel.taint_enabled() { vec![0u8; self.ram.len()] } else { Vec::new() };
         let mut phase = 0u8; // 0 = dma-in, 1 = compute, 2 = dma-out
         self.accel.start(&self.args.clone());
 
@@ -145,10 +149,11 @@ impl DsaHarness {
                     );
                 }
             }
+            let shadow = (!ram_shadow.is_empty()).then_some(&mut ram_shadow[..]);
             match phase {
                 0 => {
                     if dma.busy() {
-                        if !dma.tick(&mut self.ram, &mut self.accel) {
+                        if !dma.tick_tainted(&mut self.ram, shadow, &mut self.accel) {
                             fr.record(cycle, Event::Trap { tag: "dma-error" });
                             return DsaOutcome::Error { cycles: cycle };
                         }
@@ -179,7 +184,7 @@ impl DsaHarness {
                 },
                 _ => {
                     if dma.busy() {
-                        if !dma.tick(&mut self.ram, &mut self.accel) {
+                        if !dma.tick_tainted(&mut self.ram, shadow, &mut self.accel) {
                             fr.record(cycle, Event::Trap { tag: "dma-error" });
                             return DsaOutcome::Error { cycles: cycle };
                         }
@@ -291,6 +296,7 @@ pub fn run_dsa_campaign(golden: &DsaGolden, target: Target, cc: &CampaignConfig)
             let (done, sdc_n, crash_n) = (&done, &sdc_n, &crash_n);
             let run_cycles = run_cycles.clone();
             let flight_capacity = tel.flight_capacity;
+            let taint = tel.taint;
             s.spawn(move |_| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= masks.len() {
@@ -302,6 +308,11 @@ pub fn run_dsa_campaign(golden: &DsaGolden, target: Target, cc: &CampaignConfig)
                     FlightRecorder::disabled()
                 };
                 let mut h = golden.harness.clone();
+                if taint {
+                    // Before arming: the injection inside `run_recorded`
+                    // seeds the shadow planes.
+                    h.accel.enable_taint(&target.name());
+                }
                 let outcome = h.run_recorded(Some(&masks[i]), watchdog, &mut fr);
                 let (effect, trap) = match &outcome {
                     DsaOutcome::Done { output, .. } => {
@@ -340,6 +351,7 @@ pub fn run_dsa_campaign(golden: &DsaGolden, target: Target, cc: &CampaignConfig)
                 if let Some(hist) = &run_cycles {
                     hist.record(cycles);
                 }
+                let attribution = taint_finish(h.accel.taint_tracer().map(|t| t.report()), &mut fr);
                 let forensics = (fr.is_enabled() && effect != FaultEffect::Masked).then(|| fr.take());
                 *slots[i].lock().unwrap() = Some(RunRecord {
                     effect,
@@ -348,6 +360,7 @@ pub fn run_dsa_campaign(golden: &DsaGolden, target: Target, cc: &CampaignConfig)
                     early_terminated: false,
                     cycles,
                     forensics,
+                    attribution,
                 });
                 done.fetch_add(1, Ordering::Relaxed);
             });

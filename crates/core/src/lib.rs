@@ -29,11 +29,14 @@ pub mod report;
 pub mod stats;
 
 pub use campaign::{
-    run_campaign, run_masks, run_one, CampaignConfig, CampaignResult, FaultEffect, Golden, GoldenError,
-    HvfEffect, RunRecord, TelemetryConfig,
+    campaign_masks, run_campaign, run_masks, run_one, trace_pipeline_pair, CampaignConfig,
+    CampaignResult, FaultEffect, Golden, GoldenError, HvfEffect, RunRecord, TelemetryConfig,
 };
 pub use dsa::{run_dsa_campaign, DsaCampaignResult, DsaGolden, DsaHarness, DsaOutcome};
 pub use fault::{FaultKind, FaultMask, FaultModel, MaskGenerator};
 pub use marvel_soc::Target;
-pub use report::{crash_breakdown, csv_row, render_campaign, PropagationMatrix, CSV_HEADER};
+pub use report::{
+    attribution_by_structure, attribution_csv, attribution_jsonl, crash_breakdown, csv_row,
+    render_attribution, render_campaign, PropagationMatrix, StructureAttribution, CSV_HEADER,
+};
 pub use stats::{error_margin, opf, required_samples, weighted_avf};

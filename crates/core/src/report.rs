@@ -79,6 +79,137 @@ impl PropagationMatrix {
     }
 }
 
+/// Per-structure marvel-taint attribution tallies: for every structure,
+/// how many runs first became architecturally visible there (split by
+/// final classification) and how many runs were last seen there before
+/// the fault was masked. This is the campaign-level "where do faults
+/// escape" view the per-run propagation timelines roll up into.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StructureAttribution {
+    /// Runs whose taint first reached architectural state here.
+    pub reached_arch: usize,
+    /// Runs whose taint was masked while last resident here.
+    pub masked: usize,
+    /// Of `reached_arch`, runs classified SDC / Crash.
+    pub sdc: usize,
+    pub crash: usize,
+    /// Sums for mean propagation depth/latency (over all runs counted).
+    pub hops_sum: usize,
+    pub cycle_sum: u64,
+}
+
+impl StructureAttribution {
+    pub fn runs(&self) -> usize {
+        self.reached_arch + self.masked
+    }
+
+    /// Mean structure-to-structure hops before the terminal event.
+    pub fn mean_hops(&self) -> f64 {
+        if self.runs() == 0 {
+            0.0
+        } else {
+            self.hops_sum as f64 / self.runs() as f64
+        }
+    }
+
+    /// Mean cycle of the terminal event (arch-reach or last sighting).
+    pub fn mean_cycle(&self) -> f64 {
+        if self.runs() == 0 {
+            0.0
+        } else {
+            self.cycle_sum as f64 / self.runs() as f64
+        }
+    }
+}
+
+/// Aggregate per-run attributions by structure; `None` when the campaign
+/// ran without taint tracking (no record carries an attribution).
+pub fn attribution_by_structure(
+    records: &[RunRecord],
+) -> Option<BTreeMap<String, StructureAttribution>> {
+    if records.iter().all(|r| r.attribution.is_none()) {
+        return None;
+    }
+    let mut out: BTreeMap<String, StructureAttribution> = BTreeMap::new();
+    for r in records {
+        let Some(a) = &r.attribution else { continue };
+        let e = out.entry(a.structure.clone()).or_default();
+        if a.reached_arch {
+            e.reached_arch += 1;
+            match r.effect {
+                FaultEffect::Sdc => e.sdc += 1,
+                FaultEffect::Crash => e.crash += 1,
+                FaultEffect::Masked => {}
+            }
+        } else {
+            e.masked += 1;
+        }
+        e.hops_sum += a.hops;
+        e.cycle_sum += a.cycle;
+    }
+    Some(out)
+}
+
+/// Render the per-structure attribution table.
+pub fn render_attribution(map: &BTreeMap<String, StructureAttribution>) -> String {
+    let mut s = String::from(
+        "taint attribution by structure:\n\
+         \x20 structure             arch  masked  sdc  crash  hops~  cycle~\n",
+    );
+    for (name, a) in map {
+        s.push_str(&format!(
+            "  {name:<20} {:>5} {:>7} {:>4} {:>6} {:>6.1} {:>7.0}\n",
+            a.reached_arch,
+            a.masked,
+            a.sdc,
+            a.crash,
+            a.mean_hops(),
+            a.mean_cycle(),
+        ));
+    }
+    s
+}
+
+/// CSV rendering of the attribution table (schema-versioned like all
+/// campaign artifacts; readable back via `check_snapshot_version`).
+pub fn attribution_csv(map: &BTreeMap<String, StructureAttribution>) -> String {
+    let mut out = format!(
+        "# schema_version={}\nstructure,reached_arch,masked,sdc,crash,mean_hops,mean_cycle\n",
+        marvel_telemetry::SCHEMA_VERSION
+    );
+    for (name, a) in map {
+        out.push_str(&format!(
+            "{name},{},{},{},{},{:.3},{:.1}\n",
+            a.reached_arch,
+            a.masked,
+            a.sdc,
+            a.crash,
+            a.mean_hops(),
+            a.mean_cycle()
+        ));
+    }
+    out
+}
+
+/// JSONL rendering of the attribution table (schema line first).
+pub fn attribution_jsonl(map: &BTreeMap<String, StructureAttribution>) -> String {
+    let mut out =
+        format!("{{\"type\":\"schema\",\"schema_version\":{}}}\n", marvel_telemetry::SCHEMA_VERSION);
+    for (name, a) in map {
+        out.push_str(&format!(
+            "{{\"type\":\"attribution\",\"structure\":{},\"reached_arch\":{},\"masked\":{},\"sdc\":{},\"crash\":{},\"mean_hops\":{:.3},\"mean_cycle\":{:.1}}}\n",
+            marvel_telemetry::json_string(name),
+            a.reached_arch,
+            a.masked,
+            a.sdc,
+            a.crash,
+            a.mean_hops(),
+            a.mean_cycle()
+        ));
+    }
+    out
+}
+
 /// Crash-cause breakdown (trap tags → counts).
 pub fn crash_breakdown(records: &[RunRecord]) -> BTreeMap<&'static str, usize> {
     let mut out = BTreeMap::new();
@@ -117,6 +248,9 @@ pub fn render_campaign(res: &CampaignResult) -> String {
     if let Some(m) = PropagationMatrix::from_records(&res.records) {
         s.push_str(&m.render());
     }
+    if let Some(attr) = attribution_by_structure(&res.records) {
+        s.push_str(&render_attribution(&attr));
+    }
     s
 }
 
@@ -149,6 +283,7 @@ mod tests {
             early_terminated: false,
             cycles: 1,
             forensics: None,
+            attribution: None,
         }
     }
 
@@ -181,8 +316,45 @@ mod tests {
             early_terminated: false,
             cycles: 1,
             forensics: None,
+            attribution: None,
         }];
         assert!(PropagationMatrix::from_records(&records).is_none());
+    }
+
+    #[test]
+    fn attribution_aggregates_by_structure() {
+        use marvel_telemetry::Attribution;
+        let attr = |reached: bool, st: &str, cycle: u64, hops: usize| Attribution {
+            reached_arch: reached,
+            structure: st.into(),
+            cycle,
+            hops,
+        };
+        let mut r1 = rec(FaultEffect::Sdc, HvfEffect::Corruption);
+        r1.attribution = Some(attr(true, "ROB", 100, 3));
+        let mut r2 = rec(FaultEffect::Crash, HvfEffect::Corruption);
+        r2.attribution = Some(attr(true, "ROB", 200, 5));
+        let mut r3 = rec(FaultEffect::Masked, HvfEffect::Masked);
+        r3.attribution = Some(attr(false, "L1D", 50, 1));
+        let records = [r1, r2, r3];
+        let map = attribution_by_structure(&records).unwrap();
+        assert_eq!(map["ROB"].reached_arch, 2);
+        assert_eq!(map["ROB"].sdc, 1);
+        assert_eq!(map["ROB"].crash, 1);
+        assert!((map["ROB"].mean_cycle() - 150.0).abs() < 1e-9);
+        assert!((map["ROB"].mean_hops() - 4.0).abs() < 1e-9);
+        assert_eq!(map["L1D"].masked, 1);
+        assert_eq!(map["L1D"].reached_arch, 0);
+        let table = render_attribution(&map);
+        assert!(table.contains("ROB") && table.contains("L1D"));
+        let csv = attribution_csv(&map);
+        assert!(csv.starts_with("# schema_version="));
+        assert!(marvel_telemetry::check_snapshot_version(&csv).is_ok());
+        let jsonl = attribution_jsonl(&map);
+        assert!(marvel_telemetry::check_snapshot_version(&jsonl).is_ok());
+        assert_eq!(jsonl.lines().count(), 3);
+        // Taint-off campaigns yield no table at all.
+        assert!(attribution_by_structure(&[rec(FaultEffect::Masked, HvfEffect::Masked)]).is_none());
     }
 
     #[test]

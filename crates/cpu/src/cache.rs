@@ -61,6 +61,11 @@ pub struct Cache {
     armed: Option<Armed>,
     pub hits: u64,
     pub misses: u64,
+    /// marvel-taint shadow plane: one shadow byte array per line
+    /// (bit-for-bit with `data`). Empty = taint tracking off. Shadow
+    /// accessors never touch PLRU, fate monitoring or hit counters, so
+    /// enabling taint cannot perturb the simulation.
+    shadow: Vec<Box<[u8]>>,
 }
 
 impl Cache {
@@ -85,6 +90,7 @@ impl Cache {
             armed: None,
             hits: 0,
             misses: 0,
+            shadow: Vec::new(),
         }
     }
 
@@ -227,6 +233,12 @@ impl Cache {
         l.valid = true;
         l.dirty = false;
         l.data.copy_from_slice(data);
+        if !self.shadow.is_empty() {
+            // The incoming line starts untainted (the caller re-taints it
+            // from the source level's shadow); stale victim taint dies.
+            self.shadow[idx].fill(0);
+            self.reapply_stuck_taint(set, way);
+        }
         self.apply_stuck_to_line(set, way);
         self.touch(set, way);
         evicted
@@ -273,6 +285,9 @@ impl Cache {
         self.lines[idx].data[byte] ^= mask;
         let fate = if valid { FaultFate::Pending } else { FaultFate::InvalidAtInjection };
         self.armed = Some(Armed { set, way, byte, fate });
+        if let Some(s) = self.shadow.get_mut(idx) {
+            s[byte] |= mask;
+        }
         fate
     }
 
@@ -293,6 +308,9 @@ impl Cache {
             byte,
             fate: if valid { FaultFate::Pending } else { FaultFate::InvalidAtInjection },
         });
+        if let Some(s) = self.shadow.get_mut(idx) {
+            s[byte] |= mask;
+        }
     }
 
     /// Current fate of the armed fault (if any).
@@ -334,6 +352,139 @@ impl Cache {
     pub fn bit_in_valid_line(&self, bit: u64) -> bool {
         let (set, way, _, _) = self.locate(bit);
         self.lines[self.idx(set, way)].valid
+    }
+
+    // ---- marvel-taint shadow plane ----
+    //
+    // Every accessor below is observational: no PLRU touches, no fate
+    // transitions, no hit/miss counting. The taint plane rides along
+    // with the data plane but can never change what the simulation does.
+
+    /// Allocate the shadow plane; later `flip_bit`/`set_stuck` calls
+    /// self-seed it at the injected bit.
+    pub fn enable_taint(&mut self) {
+        if self.shadow.is_empty() {
+            self.shadow =
+                self.lines.iter().map(|_| vec![0u8; self.cfg.line].into_boxed_slice()).collect();
+        }
+        // Enabled after arming: re-seed what we can still see.
+        if let Some(a) = self.armed {
+            let idx = self.idx(a.set, a.way);
+            self.shadow[idx][a.byte] = 0xFF;
+        }
+        let stuck = self.stuck.clone();
+        for (bit, _) in stuck {
+            let (set, way, byte, mask) = self.locate(bit);
+            let idx = self.idx(set, way);
+            self.shadow[idx][byte] |= mask;
+        }
+    }
+
+    #[inline]
+    pub fn taint_on(&self) -> bool {
+        !self.shadow.is_empty()
+    }
+
+    /// Way holding `addr`, with no PLRU side effect (taint paths only —
+    /// the data path must keep using [`lookup`](Self::lookup)).
+    pub fn probe(&self, addr: u64) -> Option<usize> {
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        (0..self.cfg.assoc).find(|&way| {
+            let l = &self.lines[self.idx(set, way)];
+            l.valid && l.tag == tag
+        })
+    }
+
+    /// Taint mask (LE bit order, like [`read`](Self::read)) of `n` bytes
+    /// at `addr` in a resident line.
+    pub fn taint_read(&self, addr: u64, n: usize, way: usize) -> u64 {
+        if self.shadow.is_empty() {
+            return 0;
+        }
+        let set = self.set_of(addr);
+        let off = (addr as usize) & (self.cfg.line - 1);
+        let s = &self.shadow[self.idx(set, way)];
+        let mut out = [0u8; 8];
+        out[..n].copy_from_slice(&s[off..off + n]);
+        u64::from_le_bytes(out)
+    }
+
+    /// Overwrite the taint of `n` bytes at `addr` (mirrors
+    /// [`write`](Self::write): stored data replaces the bytes' taint).
+    pub fn taint_write(&mut self, addr: u64, n: usize, mask: u64, way: usize) {
+        if self.shadow.is_empty() {
+            return;
+        }
+        let set = self.set_of(addr);
+        let off = (addr as usize) & (self.cfg.line - 1);
+        let idx = self.idx(set, way);
+        self.shadow[idx][off..off + n].copy_from_slice(&mask.to_le_bytes()[..n]);
+        self.reapply_stuck_taint(set, way);
+    }
+
+    /// Any tainted bit in `[off, off+n)` of the resident line holding
+    /// `addr`? (Instruction-fetch window check.)
+    pub fn taint_range_any(&self, addr: u64, way: usize, off: usize, n: usize) -> bool {
+        if self.shadow.is_empty() {
+            return false;
+        }
+        let set = self.set_of(addr);
+        let s = &self.shadow[self.idx(set, way)];
+        s[off..(off + n).min(self.cfg.line)].iter().any(|&b| b != 0)
+    }
+
+    /// Whole-line shadow of a resident line (level-to-level transfers).
+    pub fn taint_line(&self, addr: u64, way: usize) -> Option<&[u8]> {
+        if self.shadow.is_empty() {
+            return None;
+        }
+        let set = self.set_of(addr);
+        Some(&self.shadow[self.idx(set, way)])
+    }
+
+    /// Replace a resident line's shadow (after a fill from a source
+    /// level whose shadow was `src`).
+    pub fn set_taint_line(&mut self, addr: u64, way: usize, src: &[u8]) {
+        if self.shadow.is_empty() {
+            return;
+        }
+        let set = self.set_of(addr);
+        let idx = self.idx(set, way);
+        self.shadow[idx].copy_from_slice(src);
+        self.reapply_stuck_taint(set, way);
+    }
+
+    /// Shadow of the line [`fill`](Self::fill) would write back, captured
+    /// *before* the fill (mirrors fill's dirty-eviction condition).
+    /// Returns `None` when taint is off or no write-back would happen.
+    pub fn taint_prepare_fill(&self, addr: u64) -> Option<Vec<u8>> {
+        if self.shadow.is_empty() {
+            return None;
+        }
+        let set = self.set_of(addr);
+        let way = self.victim(set);
+        let idx = self.idx(set, way);
+        let l = &self.lines[idx];
+        if l.valid && l.dirty {
+            Some(self.shadow[idx].to_vec())
+        } else {
+            None
+        }
+    }
+
+    fn reapply_stuck_taint(&mut self, set: usize, way: usize) {
+        if self.stuck.is_empty() {
+            return;
+        }
+        let stuck = self.stuck.clone();
+        for (bit, _) in stuck {
+            let (s, w, byte, mask) = self.locate(bit);
+            if s == set && w == way {
+                let idx = self.idx(set, way);
+                self.shadow[idx][byte] |= mask;
+            }
+        }
     }
 }
 
@@ -436,6 +587,78 @@ mod tests {
         c.fill(0x4000_0000, &[0u8; 64]);
         let way = c.lookup(0x4000_0000).unwrap();
         assert_eq!(c.read(0x4000_0000, 1, way) & 0x80, 0x80);
+    }
+
+    #[test]
+    fn taint_follows_flip_write_and_fill() {
+        let mut c = small();
+        c.fill(0x4000_0000, &[0u8; 64]);
+        c.enable_taint();
+        c.flip_bit(3);
+        let way = c.probe(0x4000_0000).unwrap();
+        assert_eq!(c.taint_read(0x4000_0000, 1, way), 0b1000);
+        assert!(c.taint_range_any(0x4000_0000, way, 0, 8));
+        assert!(!c.taint_range_any(0x4000_0000, way, 8, 8));
+        // A store of clean data over the byte washes the taint out.
+        c.taint_write(0x4000_0000, 1, 0, way);
+        assert_eq!(c.taint_read(0x4000_0000, 1, way), 0);
+        // A tainted store marks exactly its bits.
+        c.taint_write(0x4000_0008, 8, 0xFF00, way);
+        assert_eq!(c.taint_read(0x4000_0008, 8, way), 0xFF00);
+        // Refill clears the line's shadow until the caller re-taints it.
+        c.invalidate_all();
+        c.fill(0x4000_0000, &[0u8; 64]);
+        let way = c.probe(0x4000_0000).unwrap();
+        assert_eq!(c.taint_read(0x4000_0008, 8, way), 0);
+        c.set_taint_line(0x4000_0000, way, &[0xAA; 64]);
+        assert_eq!(c.taint_line(0x4000_0000, way).unwrap()[5], 0xAA);
+    }
+
+    #[test]
+    fn probe_does_not_touch_plru() {
+        let mut c = small();
+        for i in 0..4u64 {
+            c.fill(0x4000_0000 + i * 256, &[0u8; 64]);
+        }
+        let before = c.victim(0);
+        // Probing the would-be victim must not promote it.
+        c.probe(0x4000_0000 + before as u64 * 256).unwrap();
+        assert_eq!(c.victim(0), before);
+    }
+
+    #[test]
+    fn taint_prepare_fill_matches_eviction() {
+        let mut c = small();
+        c.enable_taint();
+        c.fill(0x4000_0000, &[0u8; 64]);
+        let way = c.probe(0x4000_0000).unwrap();
+        c.write(0x4000_0000, 8, 0xBEEF, way); // dirty the line
+        c.taint_write(0x4000_0000, 8, 0xF0, way);
+        // Fill 4 more lines into set 0: way 0 eventually evicts.
+        for i in 1..=4u64 {
+            let a = 0x4000_0000 + i * 256;
+            let shadow = c.taint_prepare_fill(a);
+            let evicted = c.fill(a, &[0u8; 64]);
+            assert_eq!(shadow.is_some(), evicted.is_some(), "shadow/evict mismatch");
+            if let (Some(s), Some((eaddr, _))) = (shadow, evicted) {
+                assert_eq!(eaddr, 0x4000_0000);
+                assert_eq!(s[0], 0xF0);
+            }
+        }
+    }
+
+    #[test]
+    fn stuck_taint_reasserts_like_stuck_bits() {
+        let mut c = small();
+        c.fill(0x4000_0000, &[0u8; 64]);
+        c.enable_taint();
+        c.set_stuck(0, true);
+        let way = c.probe(0x4000_0000).unwrap();
+        c.taint_write(0x4000_0000, 1, 0, way);
+        assert_eq!(c.taint_read(0x4000_0000, 1, way) & 1, 1);
+        c.fill(0x4000_0000, &[0u8; 64]);
+        let way = c.probe(0x4000_0000).unwrap();
+        assert_eq!(c.taint_read(0x4000_0000, 1, way) & 1, 1);
     }
 
     #[test]

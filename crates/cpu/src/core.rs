@@ -12,7 +12,8 @@ use crate::cache::{Cache, FaultFate};
 use crate::config::CoreConfig;
 use crate::lsq::{LoadQueue, StoreQueue};
 use crate::prf::{FreeList, PhysRegFile, RenameMap};
-use marvel_isa::{Isa, MicroOp, Op, Trap, REG_NONE};
+use marvel_isa::{AluOp, Isa, MicroOp, Op, Trap, REG_NONE};
+use marvel_telemetry::{alu_taint, PipeTracer, TaintAluKind, TaintTracer};
 use std::sync::Arc;
 
 /// Backing memory + devices, provided by the SoC.
@@ -29,6 +30,39 @@ pub trait Bus {
     fn is_cacheable(&self, addr: u64) -> bool;
     /// Address belongs to a device range.
     fn is_device(&self, addr: u64) -> bool;
+    /// marvel-taint: shadow counterpart of [`read_line`](Bus::read_line).
+    /// Buses without a RAM shadow report zero taint (the default).
+    fn taint_read_line(&mut self, _addr: u64, buf: &mut [u8]) {
+        buf.fill(0);
+    }
+    /// marvel-taint: shadow counterpart of [`write_line`](Bus::write_line).
+    fn taint_write_line(&mut self, _addr: u64, _data: &[u8]) {}
+}
+
+// Structure names used in taint propagation timelines. Where a structure
+// is also an injection target these match `Target::name()`.
+const T_PRF: &str = "PhysRegFile(Int)";
+const T_ROB: &str = "ROB";
+const T_LQ: &str = "LoadQueue";
+const T_SQ: &str = "StoreQueue";
+const T_L1I: &str = "L1I";
+const T_L1D: &str = "L1D";
+const T_L2: &str = "L2";
+const T_RENAME: &str = "RenameMap";
+const T_RAM: &str = "RAM";
+const T_DECODE: &str = "Decode";
+const T_CONSOLE: &str = "Console";
+
+/// Core-side marvel-taint state: the per-run propagation tracer plus the
+/// rename-map taint bits (the PRF/cache shadows live inside those
+/// structures). Boxed behind an `Option` on [`Core`] so the disabled
+/// case costs one pointer test per hook.
+#[derive(Debug, Clone)]
+pub struct TaintPlane {
+    pub tracer: TaintTracer,
+    /// Per architectural register: the speculative rename mapping is
+    /// corrupted, so any dispatch reading it yields an unknown value.
+    rename: Vec<bool>,
 }
 
 const PNONE: u16 = u16::MAX;
@@ -102,6 +136,11 @@ struct RobEntry {
     /// An older store detected a memory-ordering violation: re-execute
     /// this load from fetch when it reaches the commit head.
     replay: bool,
+    /// marvel-taint: shadow mask of `result` (always present, defaults 0).
+    result_taint: u64,
+    /// marvel-taint: the uop itself is suspect (tainted fetch bytes or a
+    /// corrupted rename mapping), so every output is fully tainted.
+    ctl_taint: bool,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -113,6 +152,10 @@ struct FetchedUop {
     last_of_macro: bool,
     predicted_next: u64,
     trap: Option<Trap>,
+    /// marvel-taint: decoded from tainted L1I bytes.
+    tainted: bool,
+    /// Cycle the uop was fetched (pipeline trace only).
+    fetched_at: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -123,6 +166,9 @@ struct Event {
     /// For loads: deliver the value from this LQ entry's data field at
     /// writeback time (so LQ faults during the access window propagate).
     from_lq: u16,
+    /// marvel-taint: shadow mask of `result` (ALU results; loads re-read
+    /// the live LQ taint at writeback).
+    taint: u64,
 }
 
 /// Execution statistics.
@@ -213,7 +259,40 @@ pub struct Core {
     trace_pos: usize,
     pub divergence: Option<u64>,
 
+    /// marvel-taint plane (`None` = off: every hook is one pointer test).
+    taint: Option<Box<TaintPlane>>,
+    /// Konata pipeline tracer (`None` = off).
+    pipe: Option<Box<PipeTracer>>,
+
     pub stats: CoreStats,
+}
+
+/// Map an ALU op onto its taint-transfer class.
+fn taint_kind(op: AluOp) -> TaintAluKind {
+    match op {
+        AluOp::And | AluOp::Or | AluOp::Xor => TaintAluKind::Bitwise,
+        AluOp::Add | AluOp::Sub => TaintAluKind::Arith,
+        AluOp::Sll => TaintAluKind::ShiftLeft,
+        AluOp::Srl | AluOp::Sra => TaintAluKind::ShiftRight,
+        AluOp::Mul | AluOp::Div | AluOp::Rem | AluOp::Slt | AluOp::Sltu => TaintAluKind::Wide,
+    }
+}
+
+/// Taint mask of an ALU-class result given its operand taints (`b` is
+/// the runtime second operand, needed for shift transfer).
+fn alu_result_taint(u: &MicroOp, ta: u64, tb: u64, b: u64) -> u64 {
+    match u.op {
+        Op::Alu(op) => alu_taint(taint_kind(op), ta, tb, b),
+        Op::AluImm(op) => alu_taint(taint_kind(op), ta, 0, u.imm as u64),
+        Op::MovK(sh) => ta & !(0xFFFFu64 << sh),
+        // Link values / immediates derive from the (untainted) PC.
+        Op::LoadImm | Op::Auipc | Op::LinkAddr | Op::Jal => 0,
+        // A tainted jump target or branch decision poisons the control
+        // flow; the result field carries the poison to commit.
+        Op::Jalr if ta != 0 => !0,
+        Op::Branch(_) if (ta | tb) != 0 => !0,
+        _ => 0,
+    }
 }
 
 fn op_tag(op: Op) -> u8 {
@@ -267,9 +346,73 @@ impl Core {
             trace: Vec::new(),
             trace_pos: 0,
             divergence: None,
+            taint: None,
+            pipe: None,
             stats: CoreStats::default(),
             cfg,
         }
+    }
+
+    // ------------------------------------------------------------------
+    // marvel-taint / pipeline trace control
+    // ------------------------------------------------------------------
+
+    /// Enable the taint plane (before fault arming). Allocates the PRF
+    /// and cache shadows and the propagation tracer; `seed` labels the
+    /// injection site in the report.
+    pub fn enable_taint(&mut self, seed: &str) {
+        self.prf.enable_taint();
+        self.prf_fp.enable_taint();
+        self.l1i.enable_taint();
+        self.l1d.enable_taint();
+        self.l2.enable_taint();
+        let arch = self.isa.reg_spec().total_regs as usize;
+        self.taint =
+            Some(Box::new(TaintPlane { tracer: TaintTracer::new(seed), rename: vec![false; arch] }));
+    }
+
+    pub fn taint_enabled(&self) -> bool {
+        self.taint.is_some()
+    }
+
+    /// Mark the architectural register whose speculative rename mapping
+    /// holds the injected bit (called by the SoC after a rename-map flip).
+    pub fn seed_rename_taint(&mut self, bit: u64) {
+        let bpe = self.rename.bits_per_entry();
+        let a = (bit / bpe) as usize;
+        if let Some(tp) = self.taint.as_deref_mut() {
+            if let Some(t) = tp.rename.get_mut(a) {
+                *t = true;
+            }
+        }
+    }
+
+    /// Taint everything an already-armed ROB fault will touch (called by
+    /// the SoC when the taint plane is enabled after `rob_flip_bit`).
+    pub fn seed_rob_taint(&mut self) {
+        if let Some((bit, _)) = self.rob_armed {
+            let slot = bit / 64;
+            let cap = self.cfg.rob_entries as u64;
+            for e in &mut self.rob {
+                if e.seq % cap == slot {
+                    e.result_taint |= 1 << (bit % 64);
+                }
+            }
+        }
+    }
+
+    /// The per-run propagation tracer, when taint is enabled.
+    pub fn taint_tracer(&self) -> Option<&TaintTracer> {
+        self.taint.as_deref().map(|tp| &tp.tracer)
+    }
+
+    /// Start recording a Konata pipeline trace.
+    pub fn enable_pipe_trace(&mut self) {
+        self.pipe = Some(Box::new(PipeTracer::default()));
+    }
+
+    pub fn pipe_tracer(&self) -> Option<&PipeTracer> {
+        self.pipe.as_deref()
     }
 
     /// Reset the pipeline and start fetching at `pc`. Cache contents are
@@ -374,29 +517,45 @@ impl Core {
                 let e = self.events.swap_remove(i);
                 if let Some(idx) = self.rob_index_of(e.seq) {
                     // Loads deliver from the (injectable) LQ data field.
-                    let value = if e.from_lq != QNONE {
+                    let mut from_lq_taint = false;
+                    let (value, vtaint) = if e.from_lq != QNONE {
                         let lqe = &self.lq.entries[e.from_lq as usize];
                         if lqe.valid && lqe.seq == e.seq {
-                            lqe.data
+                            from_lq_taint = lqe.data_taint != 0;
+                            (lqe.data, lqe.data_taint)
                         } else {
-                            e.result
+                            (e.result, e.taint)
                         }
                     } else {
-                        e.result
+                        (e.result, e.taint)
                     };
                     let (pdst, rob_base) = {
                         let ent = &mut self.rob[idx];
                         ent.state = EState::Done;
                         ent.result = value;
+                        ent.result_taint |= vtaint | if ent.ctl_taint { !0 } else { 0 };
                         (ent.pdst, idx)
                     };
                     // Apply a pending ROB-result fault the moment the value
                     // lands in the entry.
                     self.apply_rob_flip(rob_base);
                     let result = self.rob[rob_base].result;
+                    let rtaint = self.rob[rob_base].result_taint;
                     if pdst != PNONE {
                         self.prf.write(pdst, result);
                         self.prf.set_ready(pdst, true);
+                        self.prf.set_taint(pdst, rtaint);
+                    }
+                    if let Some(tp) = self.taint.as_deref_mut() {
+                        if from_lq_taint {
+                            tp.tracer.hop(now, T_LQ, T_ROB);
+                        }
+                        if rtaint != 0 && pdst != PNONE {
+                            tp.tracer.hop(now, T_ROB, T_PRF);
+                        }
+                    }
+                    if let Some(p) = self.pipe.as_deref_mut() {
+                        p.complete(e.seq, now);
                     }
                 }
             } else {
@@ -411,6 +570,7 @@ impl Core {
             let ent_seq = self.rob[idx].seq;
             if ent_seq % cap == slot {
                 self.rob[idx].result ^= 1 << bit;
+                self.rob[idx].result_taint |= 1 << bit;
                 self.rob_flip = None;
                 if let Some((_, f)) = &mut self.rob_armed {
                     *f = FaultFate::Read;
@@ -449,6 +609,22 @@ impl Core {
                 self.mdp[(pc >> 2) as usize & 1023] = true;
                 self.flush_to(pc);
                 return StepEvent::None;
+            }
+
+            // marvel-taint: a tainted value retiring into architectural
+            // state (register write or control-flow decision). Stores are
+            // attributed at drain time instead, where the bytes land.
+            let tainted_commit = ent.result_taint != 0 || ent.ctl_taint;
+            if tainted_commit {
+                let arch = ent.pdst != PNONE || op_tag(ent.uop.op) == 4;
+                if let Some(tp) = self.taint.as_deref_mut() {
+                    if arch {
+                        tp.tracer.arch_reach(self.cycle, T_ROB);
+                    }
+                }
+            }
+            if let Some(p) = self.pipe.as_deref_mut() {
+                p.commit(ent.seq, self.cycle, tainted_commit);
             }
 
             // Architectural effects.
@@ -564,6 +740,10 @@ impl Core {
         // Rebuild the free list from the retirement map to stay consistent
         // even after rename-map fault injection.
         self.freelist = FreeList::new(self.cfg.int_prf as u16, self.retire.entries());
+        // Speculative rename corruption is wiped by the copy above.
+        if let Some(tp) = self.taint.as_deref_mut() {
+            tp.rename.iter_mut().for_each(|t| *t = false);
+        }
         self.fq.clear();
         self.fetch_pc = pc;
         self.fetch_halted = false;
@@ -580,14 +760,32 @@ impl Core {
             let mut e = self.sq.entries[idx];
             // A fault-corrupted width field saturates at the bus width.
             e.size = e.size.clamp(1, 8);
+            // A store with tainted data or a tainted address commits the
+            // corruption to architectural memory (or a device).
+            let drain_taint = e.data_taint | if e.addr_taint != 0 { !0 } else { 0 };
             if e.device || bus.is_device(e.addr) {
                 if bus.device_write(e.addr, e.size, e.data).is_none() {
                     return Some(Trap::MemFault { pc: 0, addr: e.addr });
+                }
+                if drain_taint != 0 {
+                    if let Some(tp) = self.taint.as_deref_mut() {
+                        tp.tracer.hop(self.cycle, T_SQ, T_CONSOLE);
+                        tp.tracer.arch_reach(self.cycle, T_SQ);
+                    }
                 }
             } else if bus.is_cacheable(e.addr)
                 && bus.is_cacheable(e.addr + e.size.saturating_sub(1) as u64)
             {
                 self.data_write(bus, e.addr, e.size, e.data);
+                if self.l1d.taint_on() {
+                    self.data_write_taint(e.addr, e.size, drain_taint);
+                    if drain_taint != 0 {
+                        if let Some(tp) = self.taint.as_deref_mut() {
+                            tp.tracer.hop(self.cycle, T_SQ, T_L1D);
+                            tp.tracer.arch_reach(self.cycle, T_SQ);
+                        }
+                    }
+                }
             } else {
                 // A fault-corrupted committed store aimed outside every
                 // mapped range: machine-check-style crash.
@@ -617,23 +815,57 @@ impl Core {
             return Some(l1_lat);
         }
         l1.misses += 1;
+        let taint_on = self.l2.taint_on();
+        let l1_name = if icache { T_L1I } else { T_L1D };
         // L2 lookup.
         let mut lat = l1_lat + self.cfg.l2.latency;
         let mut buf = vec![0u8; line as usize];
+        // Shadow bytes travelling with `buf` into the L1 (marvel-taint).
+        let mut shadow_in: Vec<u8> = Vec::new();
         if let Some(way) = self.l2.lookup(laddr) {
             self.l2.hits += 1;
             let bytes = self.l2.line_bytes(laddr, way, 0, line as usize);
             buf.copy_from_slice(bytes);
+            if taint_on {
+                shadow_in = self.l2.taint_line(laddr, way).map(|s| s.to_vec()).unwrap_or_default();
+            }
         } else {
             self.l2.misses += 1;
             lat += self.cfg.mem_latency;
             if !bus.read_line(laddr, &mut buf) {
                 return None;
             }
+            let evict_shadow = if taint_on { self.l2.taint_prepare_fill(laddr) } else { None };
             if let Some((eaddr, edata)) = self.l2.fill(laddr, &buf) {
                 let _ = bus.write_line(eaddr, &edata);
+                if let Some(es) = &evict_shadow {
+                    bus.taint_write_line(eaddr, es);
+                    if es.iter().any(|&b| b != 0) {
+                        self.taint_hop(T_L2, T_RAM);
+                    }
+                }
+            }
+            if taint_on {
+                shadow_in = vec![0u8; line as usize];
+                bus.taint_read_line(laddr, &mut shadow_in);
+                if shadow_in.iter().any(|&b| b != 0) {
+                    self.taint_hop(T_RAM, T_L2);
+                }
+                if let Some(way) = self.l2.probe(laddr) {
+                    self.l2.set_taint_line(laddr, way, &shadow_in);
+                    // Re-read so L2 stuck-at taint rides along into L1.
+                    if let Some(s) = self.l2.taint_line(laddr, way) {
+                        shadow_in = s.to_vec();
+                    }
+                }
             }
         }
+        let evict1_shadow = if taint_on {
+            let l1 = if icache { &self.l1i } else { &self.l1d };
+            l1.taint_prepare_fill(laddr)
+        } else {
+            None
+        };
         let l1 = if icache { &mut self.l1i } else { &mut self.l1d };
         if let Some((eaddr, edata)) = l1.fill(laddr, &buf) {
             // Write back dirty L1 victim into L2 (allocate on writeback).
@@ -645,11 +877,113 @@ impl Core {
                     self.l2.write(eaddr + (i * 8) as u64, chunk.len(), u64::from_le_bytes(v), way);
                 }
                 let _ = line_sz;
-            } else if let Some((e2, d2)) = self.l2.fill(eaddr, &edata) {
-                let _ = bus.write_line(e2, &d2);
+                if let Some(es) = &evict1_shadow {
+                    for (i, chunk) in es.chunks(8).enumerate() {
+                        let mut v = [0u8; 8];
+                        v[..chunk.len()].copy_from_slice(chunk);
+                        self.l2.taint_write(
+                            eaddr + (i * 8) as u64,
+                            chunk.len(),
+                            u64::from_le_bytes(v),
+                            way,
+                        );
+                    }
+                    if es.iter().any(|&b| b != 0) {
+                        self.taint_hop(l1_name, T_L2);
+                    }
+                }
+            } else {
+                let evict2_shadow = if taint_on { self.l2.taint_prepare_fill(eaddr) } else { None };
+                if let Some((e2, d2)) = self.l2.fill(eaddr, &edata) {
+                    let _ = bus.write_line(e2, &d2);
+                    if let Some(es2) = &evict2_shadow {
+                        bus.taint_write_line(e2, es2);
+                        if es2.iter().any(|&b| b != 0) {
+                            self.taint_hop(T_L2, T_RAM);
+                        }
+                    }
+                }
+                if taint_on {
+                    if let Some(way) = self.l2.probe(eaddr) {
+                        let zeros;
+                        let es: &[u8] = match &evict1_shadow {
+                            Some(es) => es,
+                            None => {
+                                zeros = vec![0u8; line as usize];
+                                &zeros
+                            }
+                        };
+                        self.l2.set_taint_line(eaddr, way, es);
+                    }
+                    if evict1_shadow.as_ref().is_some_and(|es| es.iter().any(|&b| b != 0)) {
+                        self.taint_hop(l1_name, T_L2);
+                    }
+                }
+            }
+        }
+        if taint_on {
+            let l1 = if icache { &self.l1i } else { &self.l1d };
+            if let Some(way) = l1.probe(laddr) {
+                let l1 = if icache { &mut self.l1i } else { &mut self.l1d };
+                l1.set_taint_line(laddr, way, &shadow_in);
+                if shadow_in.iter().any(|&b| b != 0) {
+                    self.taint_hop(T_L2, l1_name);
+                }
             }
         }
         Some(lat)
+    }
+
+    fn taint_hop(&mut self, from: &'static str, to: &'static str) {
+        if let Some(tp) = self.taint.as_deref_mut() {
+            tp.tracer.hop(self.cycle, from, to);
+        }
+    }
+
+    /// Shadow counterpart of [`data_read`](Self::data_read): gather the
+    /// taint mask of `size` resident bytes. Purely observational (uses
+    /// `probe`, never touches replacement or fault state).
+    fn data_read_taint(&self, addr: u64, size: u8) -> u64 {
+        if !self.l1d.taint_on() {
+            return 0;
+        }
+        let line = self.cfg.l1d.line as u64;
+        let end = addr + size as u64;
+        let mut out: u64 = 0;
+        let mut shift = 0;
+        let mut a = addr;
+        while a < end {
+            let seg_end = ((a & !(line - 1)) + line).min(end);
+            let n = (seg_end - a) as usize;
+            if let Some(way) = self.l1d.probe(a & !(line - 1)) {
+                out |= self.l1d.taint_read(a, n, way) << shift;
+            }
+            shift += 8 * n;
+            a = seg_end;
+        }
+        out
+    }
+
+    /// Shadow counterpart of [`data_write`](Self::data_write) (lines are
+    /// resident after the data write; a rare cross-line eviction between
+    /// the two passes loses taint conservatively).
+    fn data_write_taint(&mut self, addr: u64, size: u8, mask: u64) {
+        if !self.l1d.taint_on() {
+            return;
+        }
+        let line = self.cfg.l1d.line as u64;
+        let end = addr + size as u64;
+        let mut a = addr;
+        let mut m = mask;
+        while a < end {
+            let seg_end = ((a & !(line - 1)) + line).min(end);
+            let n = (seg_end - a) as usize;
+            if let Some(way) = self.l1d.probe(a & !(line - 1)) {
+                self.l1d.taint_write(a, n, m, way);
+            }
+            m = if n < 8 { m >> (8 * n) } else { 0 };
+            a = seg_end;
+        }
     }
 
     /// Read `size` bytes from the (resident) L1D, splitting across lines
@@ -701,6 +1035,14 @@ impl Core {
             0
         } else {
             self.prf.read(p)
+        }
+    }
+
+    fn operand_taint(&self, p: u16) -> u64 {
+        if p == PNONE {
+            0
+        } else {
+            self.prf.taint_of(p)
         }
     }
 
@@ -801,13 +1143,27 @@ impl Core {
         let a = self.operand(ent.psrc[0]);
         let b = self.operand(ent.psrc[1]);
         let (result, next, taken, trap, lat) = self.exec_alu(&ent, a, b);
+        let taint = if self.taint.is_some() {
+            let ta = self.operand_taint(ent.psrc[0]);
+            let tb = self.operand_taint(ent.psrc[1]);
+            let t = alu_result_taint(&ent.uop, ta, tb, b);
+            if (ta | tb) != 0 {
+                self.taint_hop(T_PRF, T_ROB);
+            }
+            t
+        } else {
+            0
+        };
         let e = &mut self.rob[idx];
         e.state = EState::Executing;
         e.actual_next = next;
         e.taken = taken;
         e.trap = e.trap.or(trap);
         let seq = e.seq;
-        self.events.push(Event { at: self.cycle + lat as u64, seq, result, from_lq: QNONE });
+        self.events.push(Event { at: self.cycle + lat as u64, seq, result, from_lq: QNONE, taint });
+        if let Some(p) = self.pipe.as_deref_mut() {
+            p.issue(seq, self.cycle);
+        }
     }
 
     fn exec_alu(&mut self, ent: &RobEntry, a: u64, b: u64) -> (u64, u64, bool, Option<Trap>, u32) {
@@ -849,6 +1205,15 @@ impl Core {
             base.wrapping_add(index)
         } else {
             base.wrapping_add(ent.uop.imm as u64)
+        };
+        // Tainted base/index bits can move the effective address anywhere
+        // above the lowest tainted bit: conservative arithmetic spread.
+        let addr_taint = if self.taint.is_some() {
+            let t = self.operand_taint(ent.psrc[0])
+                | if ent.uop.reg_offset { self.operand_taint(ent.psrc[1]) } else { 0 };
+            alu_taint(TaintAluKind::Arith, t, 0, 0) | if ent.ctl_taint { !0 } else { 0 }
+        } else {
+            0
         };
 
         let (w, is_load) = match ent.uop.op {
@@ -908,6 +1273,10 @@ impl Core {
                 lqe.addr = addr;
                 lqe.addr_ready = true;
                 lqe.size = size;
+                lqe.addr_taint |= addr_taint;
+            }
+            if addr_taint != 0 {
+                self.taint_hop(T_PRF, T_LQ);
             }
             {
                 let e = &mut self.rob[idx];
@@ -915,6 +1284,9 @@ impl Core {
                 e.mem_addr = addr;
             }
             self.pending_loads.push((self.cycle + REQUEST_DELAY, seq));
+            if let Some(p) = self.pipe.as_deref_mut() {
+                p.issue(seq, self.cycle);
+            }
             true
         } else {
             // Store: snoop the LQ for younger loads that already executed
@@ -942,10 +1314,16 @@ impl Core {
             }
             // Capture address and data into the SQ.
             let data = self.operand(ent.psrc[2]);
+            let data_taint = if self.taint.is_some() {
+                self.operand_taint(ent.psrc[2]) | if ent.ctl_taint { !0 } else { 0 }
+            } else {
+                0
+            };
             let e = &mut self.rob[idx];
             e.mem_addr = addr;
             e.state = EState::Done;
             e.result = data;
+            e.result_taint |= data_taint;
             if e.sq != QNONE {
                 let sqe = &mut self.sq.entries[e.sq as usize];
                 sqe.addr = addr;
@@ -954,6 +1332,14 @@ impl Core {
                 sqe.data = data;
                 sqe.data_ready = true;
                 sqe.device = device;
+                sqe.addr_taint |= addr_taint;
+                sqe.data_taint |= data_taint;
+            }
+            if addr_taint != 0 || data_taint != 0 {
+                self.taint_hop(T_PRF, T_SQ);
+            }
+            if let Some(p) = self.pipe.as_deref_mut() {
+                p.issue(seq, self.cycle);
             }
             true
         }
@@ -985,19 +1371,23 @@ impl Core {
             return true;
         }
         let device = bus.is_device(eff_addr);
-        let (raw, lat) = match self.sq.forwarding_candidate(seq, eff_addr, eff_size) {
+        let (raw, raw_taint, lat) = match self.sq.forwarding_candidate(seq, eff_addr, eff_size) {
             Some((sidx, covers)) => {
                 let se = self.sq.entries[sidx];
                 if !covers || !se.data_ready {
                     return false; // partial overlap: wait for drain
                 }
                 let shift = (eff_addr - se.addr) * 8;
-                (se.data >> shift, 1u32)
+                let t = (se.data_taint >> shift) | if se.addr_taint != 0 { !0 } else { 0 };
+                if t != 0 {
+                    self.taint_hop(T_SQ, T_LQ);
+                }
+                (se.data >> shift, t, 1u32)
             }
             None => {
                 if device {
                     match bus.device_read(eff_addr, eff_size) {
-                        Some(v) => (v, 10),
+                        Some(v) => (v, 0, 10),
                         None => {
                             let e = &mut self.rob[idx];
                             e.trap = Some(Trap::MemFault { pc: ent.pc, addr: eff_addr });
@@ -1014,7 +1404,13 @@ impl Core {
                     return true;
                 } else {
                     match self.data_read(bus, eff_addr, eff_size) {
-                        Some(x) => x,
+                        Some((v, lat)) => {
+                            let t = self.data_read_taint(eff_addr, eff_size);
+                            if t != 0 {
+                                self.taint_hop(T_L1D, T_LQ);
+                            }
+                            (v, t, lat)
+                        }
                         None => {
                             let e = &mut self.rob[idx];
                             e.trap = Some(Trap::MemFault { pc: ent.pc, addr: eff_addr });
@@ -1036,6 +1432,25 @@ impl Core {
             }
             _ => raw,
         };
+        // marvel-taint: mask the shadow like the value, then account for
+        // sign-extension (a tainted sign bit taints every upper bit) and
+        // a tainted request address (any byte could have been fetched).
+        let value_taint = if self.taint.is_some() {
+            let mut t = raw_taint;
+            if let Op::Load { signed, .. } = ent.uop.op {
+                if eff_size < 8 {
+                    let bits = eff_size as u32 * 8;
+                    t &= (1u64 << bits) - 1;
+                    if signed && t & (1u64 << (bits - 1)) != 0 {
+                        t |= !0u64 << (bits - 1);
+                    }
+                }
+            }
+            let addr_t = if ent.lq != QNONE { self.lq.entries[ent.lq as usize].addr_taint } else { 0 };
+            t | if addr_t != 0 || ent.ctl_taint { !0 } else { 0 }
+        } else {
+            0
+        };
         let e = &mut self.rob[idx];
         e.mem_addr = eff_addr;
         let from_lq = e.lq;
@@ -1043,8 +1458,17 @@ impl Core {
             let lqe = &mut self.lq.entries[e.lq as usize];
             lqe.done = true;
             lqe.data = value;
+            // The access overwrites the buffered data field, taint included
+            // (an earlier flip into it is masked by the fresh value).
+            lqe.data_taint = value_taint;
         }
-        self.events.push(Event { at: self.cycle + lat as u64, seq, result: value, from_lq });
+        self.events.push(Event {
+            at: self.cycle + lat as u64,
+            seq,
+            result: value,
+            from_lq,
+            taint: value_taint,
+        });
         true
     }
 
@@ -1111,6 +1535,31 @@ impl Core {
                 (PNONE, PNONE)
             };
 
+            // marvel-taint: a uop decoded from tainted bytes, or one whose
+            // source mapping was corrupted, is suspect end to end.
+            let mut ctl_taint = fu.tainted;
+            let cyc = self.cycle;
+            if let Some(tp) = self.taint.as_deref_mut() {
+                if fu.tainted {
+                    tp.tracer.hop(cyc, T_DECODE, T_ROB);
+                }
+                for rs in [fu.uop.rs1, fu.uop.rs2, fu.uop.rs3] {
+                    if rs != REG_NONE
+                        && Some(rs) != zero
+                        && tp.rename.get(rs as usize).copied().unwrap_or(false)
+                    {
+                        ctl_taint = true;
+                        tp.tracer.hop(cyc, T_RENAME, T_ROB);
+                    }
+                }
+                if needs_dst {
+                    // A fresh mapping overwrites (masks) a corrupted one.
+                    if let Some(t) = tp.rename.get_mut(fu.uop.rd as usize) {
+                        *t = false;
+                    }
+                }
+            }
+
             let needs_exec = fu.trap.is_none()
                 && !matches!(fu.uop.op, Op::Halt | Op::Checkpoint | Op::SwitchCpu | Op::Nop | Op::Iret);
 
@@ -1134,8 +1583,18 @@ impl Core {
                 result: 0,
                 mem_addr: 0,
                 replay: false,
+                result_taint: 0,
+                ctl_taint,
             };
             self.rob.push_back(ent);
+            if let Some(p) = self.pipe.as_deref_mut() {
+                p.dispatch(seq, fu.pc, format!("{:?}", fu.uop.op), fu.fetched_at, cyc);
+                if !needs_exec {
+                    // Markers/traps never issue: close their stages now.
+                    p.issue(seq, cyc);
+                    p.complete(seq, cyc);
+                }
+            }
             if needs_exec {
                 self.iq.push(seq);
             }
@@ -1179,10 +1638,12 @@ impl Core {
                     return;
                 }
             }
+            let mut win_tainted = false;
             {
                 let way = self.l1i.lookup(pc & !(line - 1)).expect("resident");
                 let bytes = self.l1i.line_bytes(pc & !(line - 1), way, off, avail0);
                 window[..avail0].copy_from_slice(&bytes[off..off + avail0]);
+                win_tainted |= self.l1i.taint_range_any(pc & !(line - 1), way, off, avail0);
             }
             let mut avail = avail0;
             let mut decoded = self.isa.decode(&window[..avail]);
@@ -1209,6 +1670,7 @@ impl Core {
                     let way = self.l1i.lookup(npc).expect("resident");
                     let bytes = self.l1i.line_bytes(npc, way, 0, need);
                     window[avail..avail + need].copy_from_slice(&bytes[..need]);
+                    win_tainted |= self.l1i.taint_range_any(npc, way, 0, need);
                 }
                 avail += need;
                 decoded = self.isa.decode(&window[..avail]);
@@ -1253,6 +1715,9 @@ impl Core {
                 _ => fallthrough,
             };
 
+            if win_tainted {
+                self.taint_hop(T_L1I, T_DECODE);
+            }
             let n = d.uops.len();
             for (k, &u) in d.uops.as_slice().iter().enumerate() {
                 self.fq.push(FetchedUop {
@@ -1263,6 +1728,8 @@ impl Core {
                     last_of_macro: k == n - 1,
                     predicted_next: if k == n - 1 { predicted_next } else { fallthrough },
                     trap: None,
+                    tainted: win_tainted,
+                    fetched_at: self.cycle,
                 });
             }
             budget = budget.saturating_sub(n);
@@ -1284,6 +1751,8 @@ impl Core {
             last_of_macro: true,
             predicted_next: pc,
             trap: Some(trap),
+            tainted: false,
+            fetched_at: self.cycle,
         });
         self.fetch_halted = true;
     }
@@ -1307,6 +1776,7 @@ impl Core {
         for e in &mut self.rob {
             if e.seq % cap == slot && e.state == EState::Done {
                 e.result ^= 1 << b;
+                e.result_taint |= 1 << b;
                 self.rob_armed = Some((bit, FaultFate::Read));
                 return FaultFate::Pending;
             }

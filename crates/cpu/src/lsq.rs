@@ -3,11 +3,12 @@
 //! Entry layouts (the injectable bit space):
 //!
 //! * LQ entry: 136 bits = address (64) + return data (64) + meta (8:
-//!   size[0..4], valid[4], addr_ready[5], done[6]). The return-data field
-//!   holds the loaded value between cache access and writeback, so cache
-//!   misses open a long exposure window.
-//! * SQ entry: 136 bits = address (64) + data (64) + meta (8: size[0..4],
-//!   valid[4], addr_ready[5], data_ready[6], senior[7]).
+//!   size\[0..4\], valid\[4\], addr_ready\[5\], done\[6\]). The
+//!   return-data field holds the loaded value between cache access and
+//!   writeback, so cache misses open a long exposure window.
+//! * SQ entry: 136 bits = address (64) + data (64) + meta (8:
+//!   size\[0..4\], valid\[4\], addr_ready\[5\], data_ready\[6\],
+//!   senior\[7\]).
 //!
 //! Flips into invalid entries are masked immediately (the paper's
 //! early-termination optimisation); flips into live entries corrupt
@@ -27,6 +28,11 @@ pub struct LqEntry {
     pub size: u8,
     pub addr_ready: bool,
     pub done: bool,
+    /// marvel-taint shadow masks for `addr`/`data`. Always present (they
+    /// default to 0 and cost nothing); only read when the core's taint
+    /// plane is enabled.
+    pub addr_taint: u64,
+    pub data_taint: u64,
 }
 
 /// One store-queue entry.
@@ -43,6 +49,9 @@ pub struct SqEntry {
     pub senior: bool,
     /// Store targets an uncached device address.
     pub device: bool,
+    /// marvel-taint shadow masks for `addr`/`data` (see [`LqEntry`]).
+    pub addr_taint: u64,
+    pub data_taint: u64,
 }
 
 pub const LQ_ENTRY_BITS: u64 = 136;
@@ -100,8 +109,10 @@ impl LoadQueue {
         }
         if b < 64 {
             e.addr ^= 1 << b;
+            e.addr_taint |= 1 << b;
         } else if b < 128 {
             e.data ^= 1 << (b - 64);
+            e.data_taint |= 1 << (b - 64);
         } else {
             match b - 128 {
                 0..=3 => e.size ^= 1 << (b - 128),
@@ -110,6 +121,9 @@ impl LoadQueue {
                 6 => e.done = !e.done,
                 _ => {}
             }
+            // Corrupted control/size state poisons the whole access.
+            e.addr_taint = !0;
+            e.data_taint = !0;
         }
         FaultFate::Pending
     }
@@ -202,8 +216,10 @@ impl StoreQueue {
         }
         if b < 64 {
             e.addr ^= 1 << b;
+            e.addr_taint |= 1 << b;
         } else if b < 128 {
             e.data ^= 1 << (b - 64);
+            e.data_taint |= 1 << (b - 64);
         } else {
             match b - 128 {
                 0..=3 => e.size ^= 1 << (b - 128),
@@ -213,6 +229,8 @@ impl StoreQueue {
                 7 => e.senior = !e.senior,
                 _ => {}
             }
+            e.addr_taint = !0;
+            e.data_taint = !0;
         }
         FaultFate::Pending
     }
@@ -304,6 +322,26 @@ mod tests {
         assert_eq!(sq.entries[a].data, 0xFE);
         sq.flip_bit(128 + 7); // senior flag
         assert!(sq.entries[a].senior);
+    }
+
+    #[test]
+    fn flips_seed_entry_taint_masks() {
+        let mut sq = StoreQueue::new(4);
+        let a = sq.alloc(1).unwrap();
+        sq.flip_bit(4); // addr bit 4
+        assert_eq!(sq.entries[a].addr_taint, 1 << 4);
+        assert_eq!(sq.entries[a].data_taint, 0);
+        sq.flip_bit(64 + 9); // data bit 9
+        assert_eq!(sq.entries[a].data_taint, 1 << 9);
+        let mut lq = LoadQueue::new(4);
+        let b = lq.alloc(1).unwrap();
+        lq.flip_bit(128); // size bit: control corruption poisons all
+        assert_eq!(lq.entries[b].addr_taint, !0);
+        assert_eq!(lq.entries[b].data_taint, !0);
+        // Reallocation resets taint with the rest of the entry.
+        lq.free(b);
+        let c = lq.alloc(2).unwrap();
+        assert_eq!(lq.entries[c].data_taint, 0);
     }
 
     #[test]

@@ -9,12 +9,22 @@ pub struct PhysRegFile {
     ready: Vec<bool>,
     stuck: Vec<(u64, bool)>,
     armed: Option<(u16, FaultFate)>,
+    /// marvel-taint shadow plane: one taint mask per register. Empty
+    /// (the default) means taint tracking is off and every taint
+    /// accessor is a cheap no-op.
+    taint: Vec<u64>,
 }
 
 impl PhysRegFile {
     /// Register 0 is reserved as the constant-zero register.
     pub fn new(n: usize) -> Self {
-        PhysRegFile { vals: vec![0; n], ready: vec![true; n], stuck: Vec::new(), armed: None }
+        PhysRegFile {
+            vals: vec![0; n],
+            ready: vec![true; n],
+            stuck: Vec::new(),
+            armed: None,
+            taint: Vec::new(),
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -85,6 +95,7 @@ impl PhysRegFile {
         let p = (bit / 64) as u16;
         self.vals[p as usize] ^= 1 << (bit % 64);
         self.armed = Some((p, FaultFate::Pending));
+        self.seed_taint_bit(bit);
         FaultFate::Pending
     }
 
@@ -98,10 +109,68 @@ impl PhysRegFile {
             self.vals[p] &= !m;
         }
         self.armed = Some((p as u16, FaultFate::Pending));
+        self.seed_taint_bit(bit);
     }
 
     pub fn fate(&self) -> Option<FaultFate> {
         self.armed.map(|(_, f)| f)
+    }
+
+    // ---- marvel-taint shadow plane ----
+
+    /// Allocate the shadow taint plane. Fault arming calls
+    /// ([`flip_bit`](Self::flip_bit)/[`set_stuck`](Self::set_stuck))
+    /// after this self-seed the shadow at the injected bit.
+    pub fn enable_taint(&mut self) {
+        if self.taint.is_empty() {
+            self.taint = vec![0; self.vals.len()];
+        }
+        if let Some((p, _)) = self.armed {
+            // Enabled after arming: conservatively taint the whole reg.
+            self.taint[p as usize] = !0;
+        }
+        for &(bit, _) in &self.stuck {
+            let p = (bit / 64) as usize;
+            self.taint[p] |= 1 << (bit % 64);
+        }
+    }
+
+    #[inline]
+    pub fn taint_on(&self) -> bool {
+        !self.taint.is_empty()
+    }
+
+    #[inline]
+    pub fn taint_of(&self, p: u16) -> u64 {
+        if self.taint.is_empty() {
+            0
+        } else {
+            self.taint[p as usize]
+        }
+    }
+
+    /// Replace a register's taint (called alongside every `write`, so a
+    /// clean result clears stale taint from reallocated registers).
+    #[inline]
+    pub fn set_taint(&mut self, p: u16, mask: u64) {
+        if self.taint.is_empty() {
+            return;
+        }
+        let mut m = mask;
+        // Stuck-at bits keep re-asserting the faulty value on every
+        // write, so their taint never washes out.
+        for &(bit, _) in &self.stuck {
+            if (bit / 64) as u16 == p {
+                m |= 1 << (bit % 64);
+            }
+        }
+        self.taint[p as usize] = m;
+    }
+
+    fn seed_taint_bit(&mut self, bit: u64) {
+        if let Some(t) = self.taint.get_mut((bit / 64) as usize) {
+            *t |= 1 << (bit % 64);
+        }
     }
 }
 
@@ -221,6 +290,33 @@ mod tests {
         prf.set_stuck(64 + 5, false);
         prf.write(1, 0xFF);
         assert_eq!(prf.peek(1) & 0b11_0000, 0b01_0000);
+    }
+
+    #[test]
+    fn taint_plane_tracks_flips_and_washes_out_on_write() {
+        let mut prf = PhysRegFile::new(8);
+        assert!(!prf.taint_on());
+        prf.set_taint(3, !0); // no-op while disabled
+        assert_eq!(prf.taint_of(3), 0);
+
+        prf.enable_taint();
+        prf.flip_bit(3 * 64 + 5);
+        assert_eq!(prf.taint_of(3), 1 << 5);
+        prf.set_taint(3, 0); // clean writeback clears the taint
+        assert_eq!(prf.taint_of(3), 0);
+
+        // Stuck-at taint re-asserts across writes.
+        prf.set_stuck(64 + 4, true);
+        prf.set_taint(1, 0);
+        assert_eq!(prf.taint_of(1), 1 << 4);
+    }
+
+    #[test]
+    fn enable_after_arming_taints_whole_register() {
+        let mut prf = PhysRegFile::new(8);
+        prf.flip_bit(2 * 64 + 9);
+        prf.enable_taint();
+        assert_eq!(prf.taint_of(2), !0);
     }
 
     #[test]

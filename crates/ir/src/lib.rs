@@ -8,7 +8,7 @@
 //!
 //! 1. Build a [`Module`] with [`FuncBuilder`] (three-address code over
 //!    virtual registers, labels, calls, globals).
-//! 2. [`assemble`] it for an [`marvel_isa::Isa`]: usage-priority register
+//! 2. [`assemble`](fn@assemble) it for an [`marvel_isa::Isa`]: usage-priority register
 //!    allocation, per-ISA instruction selection (addressing modes,
 //!    immediate ranges, two-operand constraints), two-pass layout with
 //!    branch relaxation, and encoding into a loadable [`Binary`].

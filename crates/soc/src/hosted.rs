@@ -111,6 +111,13 @@ impl HostedAccel {
 
     /// Advance one cycle. `ram` is the system RAM.
     pub fn tick(&mut self, ram: &mut [u8]) {
+        self.tick_tainted(ram, None)
+    }
+
+    /// [`tick`](Self::tick) with an optional RAM taint shadow, so DMA
+    /// transfers carry marvel-taint bytes between system RAM and the
+    /// accelerator SRAMs.
+    pub fn tick_tainted(&mut self, ram: &mut [u8], ram_shadow: Option<&mut [u8]>) {
         match self.state {
             HState::Idle | HState::Done => {
                 if self.accel.mmr.peek(MMR_CTRL) & CTRL_START != 0 {
@@ -127,7 +134,7 @@ impl HostedAccel {
             }
             HState::DmaIn => {
                 self.dma_cycles += 1;
-                if !self.dma.tick(ram, &mut self.accel) {
+                if !self.dma.tick_tainted(ram, ram_shadow, &mut self.accel) {
                     self.fail();
                     return;
                 }
@@ -165,7 +172,7 @@ impl HostedAccel {
             }
             HState::DmaOut => {
                 self.dma_cycles += 1;
-                if !self.dma.tick(ram, &mut self.accel) {
+                if !self.dma.tick_tainted(ram, ram_shadow, &mut self.accel) {
                     self.fail();
                     return;
                 }

@@ -91,6 +91,10 @@ pub struct SocBus {
     pub console: Vec<u8>,
     pub irq_ctrl: IrqController,
     pub accels: Vec<HostedAccel>,
+    /// marvel-taint shadow of `ram`, one byte of taint flags per data
+    /// byte (empty = tracking off). Moves with cache line traffic and
+    /// DMA transfers but never influences the data plane.
+    pub ram_shadow: Vec<u8>,
 }
 
 impl SocBus {
@@ -112,8 +116,13 @@ impl SocBus {
     /// Advance all devices one cycle; posts accelerator IRQs.
     fn tick_devices(&mut self) {
         let ram = &mut self.ram;
+        let shadow = &mut self.ram_shadow;
         for (i, a) in self.accels.iter_mut().enumerate() {
-            a.tick(ram);
+            if shadow.is_empty() {
+                a.tick(ram);
+            } else {
+                a.tick_tainted(ram, Some(&mut shadow[..]));
+            }
             if a.irq_out {
                 a.irq_out = false;
                 self.irq_ctrl.post(i as u32 + 1);
@@ -163,6 +172,23 @@ impl Bus for SocBus {
             return self.accels[idx].mmr_write(reg, val);
         }
         None
+    }
+
+    fn taint_read_line(&mut self, addr: u64, buf: &mut [u8]) {
+        if self.ram_shadow.is_empty() || !self.is_cacheable(addr) {
+            buf.fill(0);
+            return;
+        }
+        let off = (addr - RAM_BASE) as usize;
+        buf.copy_from_slice(&self.ram_shadow[off..off + buf.len()]);
+    }
+
+    fn taint_write_line(&mut self, addr: u64, data: &[u8]) {
+        if self.ram_shadow.is_empty() || !self.is_cacheable(addr) {
+            return;
+        }
+        let off = (addr - RAM_BASE) as usize;
+        self.ram_shadow[off..off + data.len()].copy_from_slice(data);
     }
 
     fn is_cacheable(&self, addr: u64) -> bool {
@@ -224,6 +250,7 @@ impl System {
                 console: Vec::new(),
                 irq_ctrl: IrqController::new(kind),
                 accels: Vec::new(),
+                ram_shadow: Vec::new(),
             },
             cycle: 0,
             checkpoint_cycle: None,
@@ -326,6 +353,47 @@ impl System {
     }
 
     // ------------------------------------------------------------------
+    // marvel-taint
+    // ------------------------------------------------------------------
+
+    /// Enable bit-level taint tracking for a fault that will be injected
+    /// into `t`. Must be called *before* [`flip`](Self::flip) /
+    /// [`set_stuck`](Self::set_stuck) so the injection seeds the shadow
+    /// planes. Allocates CPU, cache, accelerator and RAM shadows; the
+    /// data plane is untouched, so runs stay bit-identical.
+    pub fn enable_taint(&mut self, t: Target) {
+        let seed = t.name();
+        self.core.enable_taint(&seed);
+        for h in &mut self.bus.accels {
+            h.accel.enable_taint(&seed);
+        }
+        if self.bus.ram_shadow.is_empty() {
+            self.bus.ram_shadow = vec![0u8; self.bus.ram.len()];
+        }
+    }
+
+    pub fn taint_enabled(&self) -> bool {
+        self.core.taint_enabled()
+    }
+
+    /// Merged propagation report: CPU-side tracer plus every hosted
+    /// accelerator's tracer. `None` when taint is off.
+    pub fn taint_report(&self) -> Option<marvel_telemetry::TaintReport> {
+        let mut rep = self.core.taint_tracer()?.report();
+        for h in &self.bus.accels {
+            if let Some(tr) = h.accel.taint_tracer() {
+                rep.absorb(tr.report());
+            }
+        }
+        Some(rep)
+    }
+
+    /// Start recording a Konata pipeline trace on the CPU core.
+    pub fn enable_pipe_trace(&mut self) {
+        self.core.enable_pipe_trace();
+    }
+
+    // ------------------------------------------------------------------
     // fault-injection surface
     // ------------------------------------------------------------------
 
@@ -375,7 +443,12 @@ impl System {
             Target::Rob => {
                 self.core.rob_flip_bit(bit);
             }
-            Target::RenameMap => self.core.rename_map_mut().flip_bit(bit),
+            Target::RenameMap => {
+                self.core.rename_map_mut().flip_bit(bit);
+                // The rename array has no shadow of its own: mark the
+                // remapped architectural register as control-tainted.
+                self.core.seed_rename_taint(bit);
+            }
             Target::Spm { accel, mem } => {
                 self.bus.accels[accel].accel.spms[mem].flip_bit(bit);
             }

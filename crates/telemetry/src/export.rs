@@ -5,6 +5,11 @@ use crate::registry::Snapshot;
 use std::io::Write;
 use std::path::Path;
 
+/// Version of the snapshot export schema. Bump when the shape of the
+/// JSONL objects or CSV columns changes; readers must reject snapshots
+/// with a version they do not understand instead of misparsing them.
+pub const SCHEMA_VERSION: u32 = 1;
+
 /// Minimal JSON string escaping (names are ASCII metric paths, but be
 /// safe about quotes/backslashes/control bytes).
 pub fn json_string(s: &str) -> String {
@@ -29,7 +34,7 @@ pub fn json_string(s: &str) -> String {
 /// both sections name-sorted (deterministic output for diffable
 /// artifacts).
 pub fn render_jsonl(snap: &Snapshot) -> String {
-    let mut out = String::new();
+    let mut out = format!("{{\"type\":\"schema\",\"schema_version\":{SCHEMA_VERSION}}}\n");
     for (name, value) in &snap.counters {
         out.push_str(&format!(
             "{{\"type\":\"counter\",\"name\":{},\"value\":{value}}}\n",
@@ -54,7 +59,7 @@ pub fn render_jsonl(snap: &Snapshot) -> String {
 /// Render a snapshot as CSV (`name,kind,value,count,sum`): counters carry
 /// `value`, histograms carry `count`/`sum`.
 pub fn render_csv(snap: &Snapshot) -> String {
-    let mut out = String::from("name,kind,value,count,sum\n");
+    let mut out = format!("# schema_version={SCHEMA_VERSION}\nname,kind,value,count,sum\n");
     for (name, value) in &snap.counters {
         out.push_str(&format!("{name},counter,{value},,\n"));
     }
@@ -76,6 +81,31 @@ pub fn write_snapshot(snap: &Snapshot, path: &Path) -> std::io::Result<()> {
         if path.extension().is_some_and(|e| e == "csv") { render_csv(snap) } else { render_jsonl(snap) };
     let mut f = std::fs::File::create(path)?;
     f.write_all(body.as_bytes())
+}
+
+/// Validate the schema header of an exported snapshot (either format)
+/// on read-back. Returns the version, or an error for a missing header
+/// or a version this reader does not understand — downstream scripts
+/// must not guess at column meanings across schema bumps.
+pub fn check_snapshot_version(text: &str) -> Result<u32, String> {
+    let first = text.lines().next().unwrap_or("");
+    let version = if let Some(rest) = first.strip_prefix("# schema_version=") {
+        rest.trim().parse::<u32>().map_err(|_| format!("malformed CSV schema header: {first:?}"))?
+    } else if first.starts_with('{') && first.contains("\"type\":\"schema\"") {
+        let key = "\"schema_version\":";
+        let at = first.find(key).ok_or_else(|| format!("schema line lacks version: {first:?}"))?;
+        let digits: String =
+            first[at + key.len()..].chars().take_while(|c| c.is_ascii_digit()).collect();
+        digits.parse::<u32>().map_err(|_| format!("malformed JSONL schema header: {first:?}"))?
+    } else {
+        return Err(format!("snapshot has no schema_version header (first line: {first:?})"));
+    };
+    if version != SCHEMA_VERSION {
+        return Err(format!(
+            "unknown snapshot schema_version {version} (this reader understands {SCHEMA_VERSION})"
+        ));
+    }
+    Ok(version)
 }
 
 /// Append one pre-rendered JSONL line to `path` (forensics dumps are
@@ -110,19 +140,47 @@ mod tests {
     fn jsonl_one_object_per_line() {
         let text = render_jsonl(&sample());
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 3);
-        assert!(lines[0].starts_with("{\"type\":\"counter\",\"name\":\"campaign.runs\""));
-        assert!(lines[2].contains("\"type\":\"histogram\""));
-        assert!(lines[2].contains("\"count\":2,\"sum\":300"));
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0], format!("{{\"type\":\"schema\",\"schema_version\":{SCHEMA_VERSION}}}"));
+        assert!(lines[1].starts_with("{\"type\":\"counter\",\"name\":\"campaign.runs\""));
+        assert!(lines[3].contains("\"type\":\"histogram\""));
+        assert!(lines[3].contains("\"count\":2,\"sum\":300"));
     }
 
     #[test]
     fn csv_has_header_and_rows() {
         let text = render_csv(&sample());
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines[0], "name,kind,value,count,sum");
-        assert_eq!(lines[1], "campaign.runs,counter,100,,");
-        assert_eq!(lines[3], "campaign.run_cycles,histogram,,2,300");
+        assert_eq!(lines[0], format!("# schema_version={SCHEMA_VERSION}"));
+        assert_eq!(lines[1], "name,kind,value,count,sum");
+        assert_eq!(lines[2], "campaign.runs,counter,100,,");
+        assert_eq!(lines[4], "campaign.run_cycles,histogram,,2,300");
+    }
+
+    #[test]
+    fn readback_accepts_current_schema_both_formats() {
+        let snap = sample();
+        assert_eq!(check_snapshot_version(&render_jsonl(&snap)), Ok(SCHEMA_VERSION));
+        assert_eq!(check_snapshot_version(&render_csv(&snap)), Ok(SCHEMA_VERSION));
+    }
+
+    #[test]
+    fn readback_rejects_unknown_and_missing_versions() {
+        // A snapshot written by a future (or corrupted) exporter must be
+        // rejected, not misparsed.
+        let future_jsonl = "{\"type\":\"schema\",\"schema_version\":9999}\n";
+        let err = check_snapshot_version(future_jsonl).unwrap_err();
+        assert!(err.contains("unknown snapshot schema_version 9999"), "{err}");
+
+        let future_csv = "# schema_version=42\nname,kind,value,count,sum\n";
+        let err = check_snapshot_version(future_csv).unwrap_err();
+        assert!(err.contains("42"), "{err}");
+
+        // Pre-versioning exports have no header at all.
+        let legacy = "name,kind,value,count,sum\nx,counter,1,,\n";
+        assert!(check_snapshot_version(legacy).unwrap_err().contains("no schema_version"));
+        assert!(check_snapshot_version("").is_err());
+        assert!(check_snapshot_version("# schema_version=banana\n").is_err());
     }
 
     #[test]
@@ -139,7 +197,9 @@ mod tests {
         write_snapshot(&snap, &jpath).unwrap();
         write_snapshot(&snap, &cpath).unwrap();
         assert_eq!(std::fs::read_to_string(&jpath).unwrap(), render_jsonl(&snap));
-        assert!(std::fs::read_to_string(&cpath).unwrap().starts_with("name,kind"));
+        assert!(std::fs::read_to_string(&cpath)
+            .unwrap()
+            .starts_with(&format!("# schema_version={SCHEMA_VERSION}\nname,kind")));
         append_jsonl_line(&dir.join("f.jsonl"), "{}").unwrap();
         append_jsonl_line(&dir.join("f.jsonl"), "{}").unwrap();
         assert_eq!(std::fs::read_to_string(dir.join("f.jsonl")).unwrap(), "{}\n{}\n");

@@ -27,6 +27,13 @@ pub enum Event {
     EarlyTerminated,
     /// Final effect classification of the run.
     Classified { effect: &'static str },
+    /// Taint crossed a structure boundary (marvel-taint propagation
+    /// timeline; `cycle` on the [`TimedEvent`] is the crossing cycle).
+    TaintHop { from: &'static str, to: &'static str },
+    /// Taint became architecturally visible while resident in `structure`.
+    TaintArch { structure: String },
+    /// Taint never surfaced; it was masked/overwritten in `structure`.
+    TaintMasked { structure: String },
     /// Free-form instrumentation point.
     Note { label: &'static str, value: u64 },
 }
@@ -43,6 +50,9 @@ impl Event {
             Event::Trap { .. } => "trap",
             Event::EarlyTerminated => "early_terminated",
             Event::Classified { .. } => "classified",
+            Event::TaintHop { .. } => "taint_hop",
+            Event::TaintArch { .. } => "taint_arch",
+            Event::TaintMasked { .. } => "taint_masked",
             Event::Note { .. } => "note",
         }
     }
@@ -58,6 +68,11 @@ impl Event {
             Event::Trap { tag } => format!("trap: {tag}"),
             Event::EarlyTerminated => "run cut short: outcome already known".into(),
             Event::Classified { effect } => format!("final class: {effect}"),
+            Event::TaintHop { from, to } => format!("taint propagated {from} -> {to}"),
+            Event::TaintArch { structure } => {
+                format!("taint reached architectural state from {structure}")
+            }
+            Event::TaintMasked { structure } => format!("taint masked in {structure}"),
             Event::Note { label, value } => format!("{label} = {value}"),
         }
     }
@@ -71,6 +86,14 @@ impl Event {
             Event::FirstDivergence { seq } => format!(r#","seq":{seq}"#),
             Event::Trap { tag } => format!(r#","trap":{}"#, crate::export::json_string(tag)),
             Event::Classified { effect } => format!(r#","effect":"{effect}""#),
+            Event::TaintHop { from, to } => format!(
+                r#","from":{},"to":{}"#,
+                crate::export::json_string(from),
+                crate::export::json_string(to)
+            ),
+            Event::TaintArch { structure } | Event::TaintMasked { structure } => {
+                format!(r#","structure":{}"#, crate::export::json_string(structure))
+            }
             Event::Note { label, value } => {
                 format!(r#","label":{},"value":{value}"#, crate::export::json_string(label))
             }
@@ -214,6 +237,62 @@ mod tests {
         assert!(j.starts_with(r#"{"dropped":0,"events":["#), "{j}");
         assert!(j.contains(r#""cycle":10,"event":"fault_armed","target":"L1D","bit":42"#), "{j}");
         assert!(j.contains(r#""trap":"decode""#), "{j}");
+    }
+
+    #[test]
+    fn ring_wraparound_preserves_retained_timeline() {
+        // An SDC/Crash forensics timeline pushed far past capacity must
+        // evict strictly oldest-first and keep the retained suffix
+        // intact, in order, and uncorrupted — the tail is what crash
+        // diagnosis reads.
+        let cap = 8;
+        let mut fr = FlightRecorder::new(cap);
+        fr.record(0, Event::FaultArmed { target: "ROB".into(), bit: 7, model: "transient" });
+        for i in 1..=100u64 {
+            fr.record(i * 10, Event::Note { label: "poll", value: i });
+        }
+        fr.record(2000, Event::FirstDivergence { seq: 4242 });
+        fr.record(2001, Event::Trap { tag: "mem-fault" });
+        fr.record(2002, Event::Classified { effect: "Crash" });
+        let d = fr.take();
+
+        assert_eq!(d.events.len(), cap);
+        assert_eq!(d.dropped, (1 + 100 + 3 - cap) as u64);
+        // Cycle stamps remain monotonic across the wrap.
+        for w in d.events.windows(2) {
+            assert!(w[0].cycle <= w[1].cycle, "ring reordered events: {:?}", d.events);
+        }
+        // The classification tail survives verbatim and in order.
+        let n = d.events.len();
+        assert_eq!(d.events[n - 3].event, Event::FirstDivergence { seq: 4242 });
+        assert_eq!(d.events[n - 2].event, Event::Trap { tag: "mem-fault" });
+        assert_eq!(d.events[n - 1].event, Event::Classified { effect: "Crash" });
+        // The surviving poll events are the newest ones, contiguous.
+        let polls: Vec<u64> = d
+            .events
+            .iter()
+            .filter_map(|e| match e.event {
+                Event::Note { value, .. } => Some(value),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(polls, (96..=100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn taint_events_export_and_render() {
+        let mut fr = FlightRecorder::new(8);
+        fr.record(100, Event::TaintHop { from: "L1D", to: "LoadQueue" });
+        fr.record(120, Event::TaintArch { structure: "ROB".into() });
+        fr.record(121, Event::TaintMasked { structure: "StoreQueue".into() });
+        let d = fr.take();
+        let j = d.to_json();
+        assert!(j.contains(r#""event":"taint_hop","from":"L1D","to":"LoadQueue""#), "{j}");
+        assert!(j.contains(r#""event":"taint_arch","structure":"ROB""#), "{j}");
+        assert!(j.contains(r#""event":"taint_masked","structure":"StoreQueue""#), "{j}");
+        let text = d.render();
+        assert!(text.contains("taint propagated L1D -> LoadQueue"), "{text}");
+        assert!(text.contains("architectural state from ROB"), "{text}");
     }
 
     #[test]

@@ -20,8 +20,13 @@
 //!   only for runs that classify SDC/Crash, turning "bit 1234 flipped and
 //!   something broke" into an ordered timeline of the fault's life.
 //! * [`export`]/[`progress`] — JSONL/CSV artifact writers for registry
-//!   snapshots and flight dumps, plus the live progress line
+//!   snapshots and flight dumps (schema-versioned, see
+//!   [`export::SCHEMA_VERSION`]), plus the live progress line
 //!   (rate + ETA + running AVF ± margin) campaigns print.
+//! * [`taint`]/[`pipeview`] — marvel-taint bookkeeping: the
+//!   [`TaintTracer`] collects structure-to-structure propagation hops of
+//!   an injected bit's shadow taint, and the [`PipeTracer`] renders
+//!   per-cycle Konata pipeline traces for golden/faulty run pairs.
 //!
 //! Telemetry is strictly observational: nothing here feeds back into
 //! simulation state, so enabling it cannot perturb classifications (the
@@ -30,13 +35,20 @@
 pub mod export;
 pub mod flight;
 pub mod hist;
+pub mod pipeview;
 pub mod progress;
 pub mod registry;
 pub mod scope;
+pub mod taint;
 
-pub use export::{append_jsonl_line, json_string, render_csv, render_jsonl, write_snapshot};
+pub use export::{
+    append_jsonl_line, check_snapshot_version, json_string, render_csv, render_jsonl, write_snapshot,
+    SCHEMA_VERSION,
+};
 pub use flight::{Event, FlightDump, FlightRecorder, TimedEvent};
 pub use hist::{HistSnapshot, Histogram};
+pub use pipeview::{PipeRecord, PipeTracer};
 pub use progress::ProgressMeter;
 pub use registry::{Counter, Registry, Snapshot};
 pub use scope::Scope;
+pub use taint::{alu_taint, Attribution, TaintAluKind, TaintHop, TaintReport, TaintTracer};

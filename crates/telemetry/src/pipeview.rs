@@ -1,0 +1,234 @@
+//! Per-cycle pipeline trace export in the Konata/Kanata log format.
+//!
+//! The CPU core (when `--trace-pipeline` is on) reports each micro-op's
+//! stage timestamps here; [`PipeTracer::render_kanata`] serialises the
+//! collected records as a `Kanata 0004` text log that the Konata
+//! pipeline viewer can open directly. Rendering a golden and a faulty
+//! run side by side makes the divergence point visually inspectable.
+
+/// Stage timestamps for one micro-op. `None` means the op never reached
+/// that stage (squashed on a flush, or still in flight at simulation
+/// end — both render as a flush retirement).
+#[derive(Debug, Clone)]
+pub struct PipeRecord {
+    pub seq: u64,
+    pub pc: u64,
+    pub label: String,
+    pub fetched: u64,
+    pub dispatched: u64,
+    pub issued: Option<u64>,
+    pub completed: Option<u64>,
+    pub committed: Option<u64>,
+    /// Set at commit when the op retired a tainted result.
+    pub tainted: bool,
+}
+
+/// Bounded collector of [`PipeRecord`]s, keyed by sequence number.
+#[derive(Debug, Clone)]
+pub struct PipeTracer {
+    records: Vec<PipeRecord>,
+    cap: usize,
+    truncated: bool,
+}
+
+impl Default for PipeTracer {
+    fn default() -> Self {
+        PipeTracer::new(200_000)
+    }
+}
+
+impl PipeTracer {
+    pub fn new(cap: usize) -> PipeTracer {
+        PipeTracer { records: Vec::new(), cap, truncated: false }
+    }
+
+    /// Records are created at dispatch (sequence numbers are unique and
+    /// dispatch happens in seq order, so the vec stays sorted).
+    pub fn dispatch(&mut self, seq: u64, pc: u64, label: String, fetched: u64, cycle: u64) {
+        if self.records.len() >= self.cap {
+            self.truncated = true;
+            return;
+        }
+        self.records.push(PipeRecord {
+            seq,
+            pc,
+            label,
+            fetched,
+            dispatched: cycle,
+            issued: None,
+            completed: None,
+            committed: None,
+            tainted: false,
+        });
+    }
+
+    fn find(&mut self, seq: u64) -> Option<&mut PipeRecord> {
+        let i = self.records.binary_search_by_key(&seq, |r| r.seq).ok()?;
+        Some(&mut self.records[i])
+    }
+
+    pub fn issue(&mut self, seq: u64, cycle: u64) {
+        if let Some(r) = self.find(seq) {
+            if r.issued.is_none() {
+                r.issued = Some(cycle);
+            }
+        }
+    }
+
+    pub fn complete(&mut self, seq: u64, cycle: u64) {
+        if let Some(r) = self.find(seq) {
+            if r.completed.is_none() {
+                r.completed = Some(cycle);
+            }
+        }
+    }
+
+    pub fn commit(&mut self, seq: u64, cycle: u64, tainted: bool) {
+        if let Some(r) = self.find(seq) {
+            r.committed = Some(cycle);
+            r.tainted = tainted;
+        }
+    }
+
+    pub fn is_truncated(&self) -> bool {
+        self.truncated
+    }
+
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    pub fn records(&self) -> &[PipeRecord] {
+        &self.records
+    }
+
+    /// Serialise as a Konata-compatible `Kanata 0004` log.
+    pub fn render_kanata(&self) -> String {
+        // Build (cycle, line) events, then emit sorted with C deltas.
+        let mut events: Vec<(u64, String)> = Vec::new();
+        let mut max_cycle = 0;
+        for (id, r) in self.records.iter().enumerate() {
+            let id = id as u64;
+            let taint = if r.tainted { " [TAINT]" } else { "" };
+            events.push((r.fetched, format!("I\t{id}\t{}\t0", r.seq)));
+            events.push((r.fetched, format!("L\t{id}\t0\t{:#x}: {}{taint}", r.pc, r.label)));
+            // Stage chain: F -> Ds -> Is -> Cm, skipping stages the op
+            // never entered (non-exec ops have no Is/Cm).
+            let mut stages: Vec<(&str, u64)> = vec![("F", r.fetched), ("Ds", r.dispatched)];
+            if let Some(c) = r.issued {
+                stages.push(("Is", c));
+            }
+            if let Some(c) = r.completed {
+                stages.push(("Cm", c));
+            }
+            events.push((stages[0].1, format!("S\t{id}\t0\t{}", stages[0].0)));
+            for w in stages.windows(2) {
+                let (_, prev_start) = w[0];
+                let (name, start) = w[1];
+                // Kanata stage ends must not precede their start.
+                let start = start.max(prev_start);
+                events.push((start, format!("E\t{id}\t0\t{}", w[0].0)));
+                events.push((start, format!("S\t{id}\t0\t{name}")));
+            }
+            let last = stages.last().unwrap();
+            let end = match r.committed {
+                Some(c) => c.max(last.1),
+                None => last.1 + 1,
+            };
+            events.push((end, format!("E\t{id}\t0\t{}", last.0)));
+            let kind = if r.committed.is_some() { 0 } else { 1 };
+            events.push((end, format!("R\t{id}\t{}\t{kind}", r.seq)));
+            max_cycle = max_cycle.max(end);
+        }
+        events.sort_by_key(|(c, _)| *c);
+
+        let mut out = String::from("Kanata\t0004\n");
+        let mut cur = events.first().map(|(c, _)| *c).unwrap_or(0);
+        out.push_str(&format!("C=\t{cur}\n"));
+        for (c, line) in events {
+            if c > cur {
+                out.push_str(&format!("C\t{}\n", c - cur));
+                cur = c;
+            }
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PipeTracer {
+        let mut t = PipeTracer::new(16);
+        t.dispatch(1, 0x4000_0000, "add r1, r2, r3".into(), 10, 12);
+        t.issue(1, 14);
+        t.complete(1, 15);
+        t.commit(1, 16, false);
+        t.dispatch(2, 0x4000_0004, "ld r4, [r5]".into(), 10, 12);
+        t.issue(2, 15);
+        t.complete(2, 20);
+        t.commit(2, 21, true);
+        t.dispatch(3, 0x4000_0008, "beq r1, r0".into(), 11, 13);
+        // seq 3 squashed: never issues or commits.
+        t
+    }
+
+    #[test]
+    fn kanata_header_and_stage_lines() {
+        let k = sample().render_kanata();
+        let lines: Vec<&str> = k.lines().collect();
+        assert_eq!(lines[0], "Kanata\t0004");
+        assert_eq!(lines[1], "C=\t10");
+        assert!(lines.iter().any(|l| l.starts_with("I\t0\t1\t0")));
+        assert!(lines.contains(&"S\t0\t0\tF"));
+        assert!(lines.contains(&"E\t0\t0\tCm"));
+        // Retired ops use type 0, the squashed op type 1.
+        assert!(lines.contains(&"R\t0\t1\t0"));
+        assert!(lines.contains(&"R\t2\t3\t1"));
+        // Tainted commit is flagged in the label.
+        assert!(k.contains("[TAINT]"));
+        assert!(k.contains("ld r4, [r5] [TAINT]"));
+    }
+
+    #[test]
+    fn cycle_deltas_are_monotonic() {
+        let k = sample().render_kanata();
+        for l in k.lines().skip(2) {
+            if let Some(d) = l.strip_prefix("C\t") {
+                assert!(d.parse::<u64>().unwrap() > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn cap_truncates_without_corruption() {
+        let mut t = PipeTracer::new(2);
+        for s in 0..5 {
+            t.dispatch(s, s * 4, format!("op{s}"), s, s + 1);
+        }
+        assert_eq!(t.len(), 2);
+        assert!(t.is_truncated());
+        // Updates to dropped seqs are ignored, retained ones still work.
+        t.commit(4, 99, false);
+        t.commit(1, 10, false);
+        assert_eq!(t.records()[1].committed, Some(10));
+    }
+
+    #[test]
+    fn non_exec_ops_render_without_issue_stage() {
+        let mut t = PipeTracer::new(4);
+        t.dispatch(7, 0x100, "halt".into(), 3, 4);
+        t.commit(7, 6, false);
+        let k = t.render_kanata();
+        assert!(k.contains("S\t0\t0\tDs"));
+        assert!(!k.contains("S\t0\t0\tIs"));
+        assert!(k.contains("R\t0\t7\t0"));
+    }
+}

@@ -19,6 +19,13 @@ pub struct ProgressMeter {
     started: Instant,
 }
 
+/// Runs needed before the rate/ETA estimate is displayed. The first few
+/// completions land within milliseconds of campaign start, so
+/// `done / elapsed` is dominated by scheduling noise and the ETA swings
+/// wildly; withholding the estimate until a minimum sample exists keeps
+/// early progress lines stable.
+pub const MIN_RUNS_FOR_RATE: u64 = 10;
+
 impl ProgressMeter {
     pub fn new(label: &str, total_runs: u64) -> ProgressMeter {
         ProgressMeter { label: label.to_string(), total: total_runs, started: Instant::now() }
@@ -31,23 +38,26 @@ impl ProgressMeter {
     /// Render the line for the current state. `sdc`/`crash`/`early` are
     /// run tallies; `margin` is the ± on the running AVF estimate.
     pub fn line(&self, done: u64, sdc: u64, crash: u64, early: u64, margin: f64) -> String {
+        // Don't seed the rate estimate until enough runs completed (for
+        // tiny campaigns: until half the runs are in).
+        let warm = done >= MIN_RUNS_FOR_RATE.min(self.total / 2 + 1);
         let elapsed = self.elapsed_secs().max(1e-9);
         let rate = done as f64 / elapsed;
-        let eta = if done == 0 || rate <= 0.0 {
-            "?".to_string()
+        let (rate_s, eta) = if !warm || rate <= 0.0 {
+            ("--".to_string(), "?".to_string())
         } else {
-            format_secs((self.total.saturating_sub(done)) as f64 / rate)
+            (format!("{rate:.1}"), format_secs((self.total.saturating_sub(done)) as f64 / rate))
         };
         let pct = if self.total == 0 { 100.0 } else { 100.0 * done as f64 / self.total as f64 };
         let avf = if done == 0 { 0.0 } else { 100.0 * (sdc + crash) as f64 / done as f64 };
         let et = if done == 0 { 0.0 } else { 100.0 * early as f64 / done as f64 };
         format!(
-            "{}: {}/{} runs {:>5.1}% | {:.1} runs/s | ETA {} | AVF {:.2}% ± {:.2}% | ET {:.1}%",
+            "{}: {}/{} runs {:>5.1}% | {} runs/s | ETA {} | AVF {:.2}% ± {:.2}% | ET {:.1}%",
             self.label,
             done,
             self.total,
             pct,
-            rate,
+            rate_s,
             eta,
             avf,
             margin * 100.0,
@@ -87,6 +97,31 @@ mod tests {
         let line = m.line(0, 0, 0, 0, 0.0);
         assert!(line.contains("0/10"), "{line}");
         assert!(line.contains("ETA ?"), "{line}");
+    }
+
+    #[test]
+    fn eta_withheld_until_minimum_run_count() {
+        // Below the warm-up threshold the rate/ETA must read as unknown
+        // — a couple of instant completions must not print a bogus ETA.
+        let m = ProgressMeter::new("campaign", 1000);
+        for done in 1..MIN_RUNS_FOR_RATE {
+            let line = m.line(done, 0, 0, 0, 0.0);
+            assert!(line.contains("-- runs/s"), "{line}");
+            assert!(line.contains("ETA ?"), "{line}");
+        }
+        // At the threshold the estimate appears.
+        let line = m.line(MIN_RUNS_FOR_RATE, 0, 0, 0, 0.0);
+        assert!(!line.contains("ETA ?"), "{line}");
+        assert!(!line.contains("-- runs/s"), "{line}");
+    }
+
+    #[test]
+    fn tiny_campaigns_warm_up_at_half() {
+        // A 4-run campaign can't wait for 10 completions; the threshold
+        // scales down so the final runs still get an ETA.
+        let m = ProgressMeter::new("campaign", 4);
+        assert!(m.line(2, 0, 0, 0, 0.0).contains("ETA ?"));
+        assert!(!m.line(3, 0, 0, 0, 0.0).contains("ETA ?"));
     }
 
     #[test]

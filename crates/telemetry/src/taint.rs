@@ -1,0 +1,311 @@
+//! Taint propagation bookkeeping for `marvel-taint`.
+//!
+//! The simulator layers (CPU core, caches, accelerator engine, DMA)
+//! carry shadow taint bits alongside architectural data; whenever taint
+//! crosses a structure boundary they report the hop here. The tracer
+//! keeps a compact, deduplicated structure-to-structure timeline plus
+//! the two facts campaign attribution needs: where the tainted value
+//! first became architecturally visible, and where it was last resident
+//! (the masking site when it never surfaced).
+//!
+//! Everything in this module is pure bookkeeping — no simulator types,
+//! so both `marvel-cpu` and `marvel-accel` can depend on it.
+
+/// One structure-to-structure taint crossing, stamped with the cycle of
+/// its *first* occurrence (repeat crossings of the same edge are counted
+/// but not re-recorded — propagation timelines stay bounded).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaintHop {
+    pub cycle: u64,
+    pub from: &'static str,
+    pub to: &'static str,
+}
+
+/// Where a campaign run's injected bit ended up.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribution {
+    /// True if the taint became architecturally visible (committed
+    /// result, drained store, device write, DMA-out).
+    pub reached_arch: bool,
+    /// Structure the fault was resident in when it first reached
+    /// architectural state, or where it was masked/overwritten.
+    pub structure: String,
+    /// Cycle of first architectural reach, or of the last hop seen.
+    pub cycle: u64,
+    /// Number of distinct structure-to-structure edges taint crossed.
+    pub hops: usize,
+}
+
+/// Per-run taint event collector. One lives in the CPU core's taint
+/// plane and one in each accelerator; [`TaintReport`]s merge them.
+#[derive(Debug, Clone)]
+pub struct TaintTracer {
+    seed: String,
+    hops: Vec<TaintHop>,
+    cap: usize,
+    /// Edges seen after `cap` distinct ones were already recorded.
+    dropped: u64,
+    first_arch: Option<(u64, &'static str)>,
+    last_loc: Option<(u64, &'static str)>,
+}
+
+impl TaintTracer {
+    /// `seed` names the structure the fault was injected into.
+    pub fn new(seed: impl Into<String>) -> TaintTracer {
+        TaintTracer {
+            seed: seed.into(),
+            hops: Vec::new(),
+            cap: 64,
+            dropped: 0,
+            first_arch: None,
+            last_loc: None,
+        }
+    }
+
+    /// Record taint crossing from one structure to another. Only the
+    /// first occurrence of each `(from, to)` edge is kept.
+    pub fn hop(&mut self, cycle: u64, from: &'static str, to: &'static str) {
+        self.last_loc = Some((cycle, to));
+        if self.hops.iter().any(|h| h.from == from && h.to == to) {
+            return;
+        }
+        if self.hops.len() >= self.cap {
+            self.dropped += 1;
+            return;
+        }
+        self.hops.push(TaintHop { cycle, from, to });
+    }
+
+    /// Record the taint becoming architecturally visible while resident
+    /// in `structure`. Only the first reach is kept.
+    pub fn arch_reach(&mut self, cycle: u64, structure: &'static str) {
+        if self.first_arch.is_none() {
+            self.first_arch = Some((cycle, structure));
+        }
+    }
+
+    pub fn reached_arch(&self) -> bool {
+        self.first_arch.is_some()
+    }
+
+    /// Snapshot the tracer into an owned report.
+    pub fn report(&self) -> TaintReport {
+        TaintReport {
+            seed: self.seed.clone(),
+            hops: self.hops.clone(),
+            dropped: self.dropped,
+            first_arch: self.first_arch.map(|(c, s)| (c, s.to_string())),
+            last_loc: self.last_loc.map(|(c, s)| (c, s.to_string())),
+        }
+    }
+}
+
+/// Owned snapshot of one or more [`TaintTracer`]s, merged per run.
+#[derive(Debug, Clone, Default)]
+pub struct TaintReport {
+    pub seed: String,
+    pub hops: Vec<TaintHop>,
+    pub dropped: u64,
+    pub first_arch: Option<(u64, String)>,
+    pub last_loc: Option<(u64, String)>,
+}
+
+impl TaintReport {
+    /// Merge another tracer's report (e.g. an accelerator's) into this
+    /// one. The earliest architectural reach wins; the latest last-seen
+    /// location wins.
+    pub fn absorb(&mut self, other: TaintReport) {
+        if self.seed.is_empty() {
+            self.seed = other.seed;
+        }
+        for h in other.hops {
+            if !self.hops.iter().any(|e| e.from == h.from && e.to == h.to) {
+                self.hops.push(h);
+            }
+        }
+        self.dropped += other.dropped;
+        self.first_arch = match (self.first_arch.take(), other.first_arch) {
+            (Some(a), Some(b)) => Some(if b.0 < a.0 { b } else { a }),
+            (a, b) => a.or(b),
+        };
+        self.last_loc = match (self.last_loc.take(), other.last_loc) {
+            (Some(a), Some(b)) => Some(if b.0 > a.0 { b } else { a }),
+            (a, b) => a.or(b),
+        };
+    }
+
+    /// Collapse the report into the campaign-level attribution record.
+    pub fn attribution(&self) -> Attribution {
+        match &self.first_arch {
+            Some((cycle, s)) => Attribution {
+                reached_arch: true,
+                structure: s.clone(),
+                cycle: *cycle,
+                hops: self.hops.len(),
+            },
+            None => {
+                // Never surfaced: attribute the masking to wherever the
+                // taint was last resident (the seed structure if it
+                // never left).
+                let (cycle, structure) = self.last_loc.clone().unwrap_or((0, self.seed.clone()));
+                Attribution { reached_arch: false, structure, cycle, hops: self.hops.len() }
+            }
+        }
+    }
+}
+
+/// Taint mask transfer function for two-operand ALU ops, shared by the
+/// CPU core and the accelerator FU model. `kind` is a coarse opcode
+/// class so this crate stays ISA-agnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaintAluKind {
+    /// Bit-parallel ops (and/or/xor/mov): taint stays in place.
+    Bitwise,
+    /// Carry-propagating ops (add/sub): taint spreads to all bits at or
+    /// above the lowest tainted input bit.
+    Arith,
+    /// Left shift by `b & 63` when the amount operand is untainted.
+    ShiftLeft,
+    /// Right shift (logical or arithmetic) by `b & 63`, untainted amount.
+    ShiftRight,
+    /// Everything else (mul/div/compares/float): any tainted input bit
+    /// taints the whole result.
+    Wide,
+}
+
+/// Conservative taint transfer: `ta`/`tb` are the operand taint masks,
+/// `b` the runtime second operand (needed for shift amounts).
+pub fn alu_taint(kind: TaintAluKind, ta: u64, tb: u64, b: u64) -> u64 {
+    let t = ta | tb;
+    if t == 0 {
+        return 0;
+    }
+    match kind {
+        TaintAluKind::Bitwise => t,
+        TaintAluKind::Arith => !0u64 << t.trailing_zeros().min(63),
+        TaintAluKind::ShiftLeft => {
+            if tb != 0 {
+                !0
+            } else {
+                ta << (b & 63)
+            }
+        }
+        TaintAluKind::ShiftRight => {
+            if tb != 0 {
+                !0
+            } else {
+                // Arithmetic shifts replicate the (possibly tainted)
+                // sign bit; keep it tainted conservatively.
+                let mut m = ta >> (b & 63);
+                if ta & (1 << 63) != 0 {
+                    m |= !(!0u64 >> (b & 63));
+                }
+                m
+            }
+        }
+        TaintAluKind::Wide => !0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hops_dedupe_and_stamp_first_cycle() {
+        let mut t = TaintTracer::new("L1D");
+        t.hop(10, "L1D", "LoadQueue");
+        t.hop(20, "L1D", "LoadQueue");
+        t.hop(30, "LoadQueue", "ROB");
+        let r = t.report();
+        assert_eq!(r.hops.len(), 2);
+        assert_eq!(r.hops[0], TaintHop { cycle: 10, from: "L1D", to: "LoadQueue" });
+        assert_eq!(r.hops[1].cycle, 30);
+    }
+
+    #[test]
+    fn hop_cap_counts_drops() {
+        let mut t = TaintTracer::new("x");
+        t.cap = 2;
+        t.hop(1, "a", "b");
+        t.hop(2, "b", "c");
+        t.hop(3, "c", "d");
+        t.hop(4, "c", "d"); // dup of an unrecorded edge still drops
+        let r = t.report();
+        assert_eq!(r.hops.len(), 2);
+        assert_eq!(r.dropped, 2);
+    }
+
+    #[test]
+    fn attribution_reached_arch() {
+        let mut t = TaintTracer::new("PhysRegFile(Int)");
+        t.hop(5, "PhysRegFile(Int)", "ROB");
+        t.arch_reach(9, "ROB");
+        t.arch_reach(50, "StoreQueue"); // later reach ignored
+        let a = t.report().attribution();
+        assert!(a.reached_arch);
+        assert_eq!(a.structure, "ROB");
+        assert_eq!(a.cycle, 9);
+        assert_eq!(a.hops, 1);
+    }
+
+    #[test]
+    fn attribution_masked_at_seed_when_taint_never_moved() {
+        let t = TaintTracer::new("L1I");
+        let a = t.report().attribution();
+        assert!(!a.reached_arch);
+        assert_eq!(a.structure, "L1I");
+        assert_eq!(a.hops, 0);
+    }
+
+    #[test]
+    fn attribution_masked_at_last_location() {
+        let mut t = TaintTracer::new("L1D");
+        t.hop(10, "L1D", "LoadQueue");
+        t.hop(12, "LoadQueue", "ROB");
+        let a = t.report().attribution();
+        assert!(!a.reached_arch);
+        assert_eq!(a.structure, "ROB");
+        assert_eq!(a.cycle, 12);
+    }
+
+    #[test]
+    fn reports_merge_earliest_arch_reach() {
+        let mut cpu = TaintTracer::new("SPM[0.0]");
+        cpu.arch_reach(100, "ROB");
+        let mut acc = TaintTracer::new("SPM[0.0]");
+        acc.hop(3, "SPM", "FU");
+        acc.arch_reach(40, "SPM");
+        let mut r = cpu.report();
+        r.absorb(acc.report());
+        let a = r.attribution();
+        assert_eq!(a.structure, "SPM");
+        assert_eq!(a.cycle, 40);
+        assert_eq!(r.hops.len(), 1);
+    }
+
+    #[test]
+    fn alu_taint_transfer() {
+        // Untainted inputs propagate nothing regardless of kind.
+        for k in [
+            TaintAluKind::Bitwise,
+            TaintAluKind::Arith,
+            TaintAluKind::ShiftLeft,
+            TaintAluKind::ShiftRight,
+            TaintAluKind::Wide,
+        ] {
+            assert_eq!(alu_taint(k, 0, 0, 7), 0);
+        }
+        assert_eq!(alu_taint(TaintAluKind::Bitwise, 0b1010, 0b0100, 0), 0b1110);
+        // Carry spread: everything at or above bit 2.
+        assert_eq!(alu_taint(TaintAluKind::Arith, 0b100, 0, 0), !0u64 << 2);
+        assert_eq!(alu_taint(TaintAluKind::ShiftLeft, 0b1, 0, 4), 0b1_0000);
+        assert_eq!(alu_taint(TaintAluKind::ShiftRight, 0b1_0000, 0, 4), 0b1);
+        // Tainted shift amount poisons the whole result.
+        assert_eq!(alu_taint(TaintAluKind::ShiftLeft, 0b1, 0b1, 4), !0);
+        // Arithmetic-right of a tainted sign bit keeps the top tainted.
+        let m = alu_taint(TaintAluKind::ShiftRight, 1 << 63, 0, 8);
+        assert_eq!(m, !(!0u64 >> 8) | (1 << 55));
+        assert_eq!(alu_taint(TaintAluKind::Wide, 1, 0, 0), !0);
+    }
+}

@@ -78,8 +78,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // typed events. The rerun classifies identically (telemetry is
     // observational) and hands back the timeline.
     if let Some(mask) = worst {
-        let telemetry =
-            TelemetryConfig { registry: Registry::new(), progress_interval_ms: 0, flight_capacity: 64 };
+        let telemetry = TelemetryConfig {
+            registry: Registry::new(),
+            progress_interval_ms: 0,
+            flight_capacity: 64,
+            taint: false,
+        };
         let cc_rec = CampaignConfig { n_faults: 1, collect_hvf: true, telemetry, ..Default::default() };
         let rec = run_one(&golden, &mask, &cc_rec);
         println!(

@@ -7,17 +7,25 @@
 //! marvel campaign <benchmark> [--isa ...] [--target prf|l1i|l1d|l2|lq|sq|rob|rename]
 //!                 [--faults N] [--kind transient|permanent] [--hvf] [--seed S]
 //!                 [--metrics [path]] [--forensics [path]] [--progress [ms]]
+//!                 [--taint] [--attribution [path]] [--trace-pipeline [dir]]
 //! marvel dsa <design> [--faults N] [--fus N]
 //!                 [--metrics [path]] [--forensics [path]] [--progress [ms]]
+//!                 [--taint] [--attribution [path]]
 //! ```
 //!
 //! `--metrics`/`--forensics` export registry snapshots and flight-recorder
 //! timelines (JSONL; default paths under `results/`); `--progress` prints
 //! a live progress line with rate, ETA and the running AVF ± margin.
+//! `--taint` turns on marvel-taint shadow tracking: per-run propagation
+//! timelines ride the forensics dumps and the per-structure AVF
+//! attribution table is printed and exported (CSV + JSONL).
+//! `--trace-pipeline` writes a golden/faulty Konata pipeline trace pair
+//! for the campaign's first non-masked fault.
 
 use gem5_marvel::core::{
-    run_campaign, run_dsa_campaign, CampaignConfig, DsaGolden, FaultKind, Golden, RunRecord,
-    TelemetryConfig,
+    attribution_by_structure, attribution_csv, attribution_jsonl, campaign_masks, render_attribution,
+    run_campaign, run_dsa_campaign, trace_pipeline_pair, CampaignConfig, DsaGolden, FaultEffect,
+    FaultKind, Golden, RunRecord, TelemetryConfig,
 };
 use gem5_marvel::cpu::CoreConfig;
 use gem5_marvel::ir::assemble;
@@ -108,12 +116,32 @@ fn telemetry_from_args(
     } else {
         args.flags.get("progress").and_then(|v| v.parse().ok()).unwrap_or(0)
     };
+    let taint = args.switches.contains("taint") || args.flags.contains_key("taint");
     let tel = TelemetryConfig {
         registry: if metrics.is_some() { Registry::new() } else { Registry::disabled() },
         progress_interval_ms,
-        flight_capacity: if forensics.is_some() { 64 } else { 0 },
+        // Taint timelines ride the flight recorder, so --taint implies it.
+        flight_capacity: if forensics.is_some() || taint { 64 } else { 0 },
+        taint,
     };
     (tel, metrics, forensics)
+}
+
+/// Print the per-structure attribution table and export it next to the
+/// other artifacts as schema-versioned CSV + JSONL.
+fn report_attribution(records: &[RunRecord], csv_path: &std::path::Path) -> Result<(), String> {
+    let Some(map) = attribution_by_structure(records) else { return Ok(()) };
+    print!("{}", render_attribution(&map));
+    if let Some(parent) = csv_path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(|e| e.to_string())?;
+        }
+    }
+    std::fs::write(csv_path, attribution_csv(&map)).map_err(|e| e.to_string())?;
+    let jsonl_path = csv_path.with_extension("jsonl");
+    std::fs::write(&jsonl_path, attribution_jsonl(&map)).map_err(|e| e.to_string())?;
+    eprintln!("attribution written to {} and {}", csv_path.display(), jsonl_path.display());
+    Ok(())
 }
 
 /// Append every retained flight-recorder dump to `path` (one JSON object
@@ -261,6 +289,34 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
             print!("{}", r.forensics.as_ref().unwrap().render());
         }
     }
+    if cc.telemetry.taint {
+        let p = path_flag(args, "attribution", "results/campaign_attribution.csv")
+            .unwrap_or_else(|| PathBuf::from("results/campaign_attribution.csv"));
+        report_attribution(&res.records, &p)?;
+    }
+    if let Some(dir) = path_flag(args, "trace-pipeline", "results/pipeview") {
+        // Trace the first non-masked fault of the campaign (fall back to
+        // run 0 when everything was masked) against its fault-free twin.
+        let masks = campaign_masks(&golden, target, &cc);
+        let idx = res
+            .records
+            .iter()
+            .position(|r| r.effect != FaultEffect::Masked)
+            .unwrap_or(0)
+            .min(masks.len().saturating_sub(1));
+        let (gtrace, ftrace) = trace_pipeline_pair(&golden, &masks[idx], &cc);
+        std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+        let gp = dir.join(format!("{bench}_golden.kanata"));
+        let fp = dir.join(format!("{bench}_run{idx}_faulty.kanata"));
+        std::fs::write(&gp, gtrace).map_err(|e| e.to_string())?;
+        std::fs::write(&fp, ftrace).map_err(|e| e.to_string())?;
+        eprintln!(
+            "pipeline trace pair (run {idx}, {:?}) written to {} and {}",
+            res.records[idx].effect,
+            gp.display(),
+            fp.display()
+        );
+    }
     Ok(())
 }
 
@@ -286,6 +342,7 @@ fn cmd_dsa(args: &Args) -> Result<(), String> {
         std::fs::remove_file(p).ok();
     }
     let mut dumps = 0;
+    let mut all_records = Vec::new();
     for c in &d.components {
         let res = run_dsa_campaign(&golden, c.target, &cc);
         println!(
@@ -300,6 +357,14 @@ fn cmd_dsa(args: &Args) -> Result<(), String> {
         if let Some(p) = &forensics_path {
             dumps += dump_forensics(p, &res.records, &format!("{name}/{}", c.name))?;
         }
+        if cc.telemetry.taint {
+            all_records.extend(res.records);
+        }
+    }
+    if cc.telemetry.taint {
+        let p = path_flag(args, "attribution", "results/dsa_attribution.csv")
+            .unwrap_or_else(|| PathBuf::from("results/dsa_attribution.csv"));
+        report_attribution(&all_records, &p)?;
     }
     if let Some(p) = &metrics_path {
         write_snapshot(&cc.telemetry.registry.snapshot(), p).map_err(|e| e.to_string())?;
@@ -328,9 +393,11 @@ fn main() -> ExitCode {
                  marvel disasm <benchmark> [--isa ...] [--limit N]\n  \
                  marvel campaign <benchmark> [--isa ...] [--target prf|l1i|l1d|l2|lq|sq|rob|rename]\n            \
                  [--faults N] [--kind transient|permanent] [--hvf] [--seed S]\n            \
-                 [--metrics [path]] [--forensics [path]] [--progress [ms]]\n  \
+                 [--metrics [path]] [--forensics [path]] [--progress [ms]]\n            \
+                 [--taint] [--attribution [path]] [--trace-pipeline [dir]]\n  \
                  marvel dsa <design> [--faults N] [--fus N]\n            \
-                 [--metrics [path]] [--forensics [path]] [--progress [ms]]"
+                 [--metrics [path]] [--forensics [path]] [--progress [ms]]\n            \
+                 [--taint] [--attribution [path]]"
             );
             return ExitCode::from(2);
         }

@@ -29,6 +29,7 @@ fn full_telemetry() -> TelemetryConfig {
         // that touch the run path.
         progress_interval_ms: 0,
         flight_capacity: 64,
+        taint: false,
     }
 }
 

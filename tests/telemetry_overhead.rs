@@ -47,6 +47,7 @@ fn telemetry_overhead_is_bounded() {
             registry: Registry::new(),
             progress_interval_ms: 0,
             flight_capacity: 64,
+            taint: false,
         },
         ..Default::default()
     };
