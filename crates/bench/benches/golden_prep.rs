@@ -1,0 +1,67 @@
+//! Golden-run preparation cost: cycle-level simulation to the checkpoint
+//! (`Golden::prepare`) vs the marvel-ref architectural fast-forward
+//! (`Golden::prepare_fast`). The ratio between the two groups is the
+//! campaign-setup speedup quoted in EXPERIMENTS.md; both paths end in the
+//! same post-checkpoint golden run, so the delta is purely the cost of
+//! simulating the pre-checkpoint warm-up cycle by cycle.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use marvel_bench::{golden, golden_fast, golden_warmup};
+use marvel_isa::Isa;
+
+/// Warm-up iterations for the synthetic init-heavy workload (~0.3M
+/// pre-checkpoint instructions against a ~3k-instruction kernel).
+const WARM_ITERS: i64 = 40_000;
+
+fn prep_cycle_level(c: &mut Criterion) {
+    let mut g = c.benchmark_group("golden_prep_cycle");
+    g.sample_size(10);
+    for isa in Isa::ALL {
+        g.bench_with_input(BenchmarkId::from_parameter(isa.name()), &isa, |b, &isa| {
+            b.iter(|| golden("crc32", isa).exec_cycles)
+        });
+    }
+    g.finish();
+}
+
+fn prep_reference_fast_forward(c: &mut Criterion) {
+    let mut g = c.benchmark_group("golden_prep_ref");
+    g.sample_size(10);
+    for isa in Isa::ALL {
+        g.bench_with_input(BenchmarkId::from_parameter(isa.name()), &isa, |b, &isa| {
+            b.iter(|| golden_fast("crc32", isa).exec_cycles)
+        });
+    }
+    g.finish();
+}
+
+fn prep_cycle_level_warmup_heavy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("golden_prep_cycle_warmup");
+    g.sample_size(10);
+    for isa in Isa::ALL {
+        g.bench_with_input(BenchmarkId::from_parameter(isa.name()), &isa, |b, &isa| {
+            b.iter(|| golden_warmup(WARM_ITERS, isa, false).exec_cycles)
+        });
+    }
+    g.finish();
+}
+
+fn prep_reference_fast_forward_warmup_heavy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("golden_prep_ref_warmup");
+    g.sample_size(10);
+    for isa in Isa::ALL {
+        g.bench_with_input(BenchmarkId::from_parameter(isa.name()), &isa, |b, &isa| {
+            b.iter(|| golden_warmup(WARM_ITERS, isa, true).exec_cycles)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    prep_cycle_level,
+    prep_reference_fast_forward,
+    prep_cycle_level_warmup_heavy,
+    prep_reference_fast_forward_warmup_heavy
+);
+criterion_main!(benches);

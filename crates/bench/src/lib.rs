@@ -7,8 +7,8 @@
 
 use marvel_core::Golden;
 use marvel_cpu::CoreConfig;
-use marvel_ir::assemble;
-use marvel_isa::Isa;
+use marvel_ir::{assemble, FuncBuilder, Module};
+use marvel_isa::{AluOp, Cond, Isa, MemWidth};
 use marvel_soc::System;
 
 /// Build a checkpointed golden for a benchmark (shared by bench targets).
@@ -18,4 +18,88 @@ pub fn golden(bench: &str, isa: Isa) -> Golden {
     let mut sys = System::new(CoreConfig::table2(isa));
     sys.load_binary(&bin);
     Golden::prepare(sys, 80_000_000).unwrap()
+}
+
+/// Same golden, prepared by fast-forwarding to the checkpoint with the
+/// marvel-ref architectural interpreter instead of the cycle-level core.
+pub fn golden_fast(bench: &str, isa: Isa) -> Golden {
+    let m = marvel_workloads::mibench::build(bench);
+    let bin = assemble(&m, isa).unwrap();
+    let mut sys = System::new(CoreConfig::table2(isa));
+    sys.load_binary(&bin);
+    Golden::prepare_fast(sys, 80_000_000).unwrap()
+}
+
+/// Synthetic workload whose runtime is dominated by a pre-checkpoint
+/// warm-up phase: `warm_iters` iterations of an LCG churning a 512-entry
+/// table, then a short post-checkpoint checksum kernel. The MiBench ports
+/// all reach their checkpoint within the first ~30% of the run, so they
+/// understate what the reference-model fast-forward buys on workloads
+/// with a long initialisation phase — this is that shape, isolated.
+pub fn warmup_heavy_module(warm_iters: i64) -> Module {
+    let mut m = Module::new();
+    let buf = m.global_zeroed("tbl", 4096, 8);
+    let f = m.declare("main", 0);
+    let mut b = FuncBuilder::new(0);
+    let base = b.addr_of(buf);
+    let mulc = b.li(6364136223846793005);
+    let addc = b.li(1442695040888963407);
+    let lim = b.li(warm_iters);
+    let acc = b.li(0x2545_f491);
+    let i = b.li(0);
+    let top = b.new_label();
+    b.bind(top);
+    let mixed = b.bin(AluOp::Mul, acc, mulc);
+    let next = b.bin(AluOp::Add, mixed, addc);
+    b.assign(acc, next);
+    let slot = b.bin(AluOp::And, i, 511);
+    b.store_idx(MemWidth::D, acc, base, slot);
+    let i2 = b.bin(AluOp::Add, i, 1);
+    b.assign(i, i2);
+    b.br(Cond::Lt, i, lim, top);
+    b.checkpoint();
+    let j = b.li(0);
+    let sum = b.li(0);
+    let top2 = b.new_label();
+    b.bind(top2);
+    let v = b.load_idx(MemWidth::D, false, base, j);
+    let s = b.bin(AluOp::Xor, sum, v);
+    b.assign(sum, s);
+    let j2 = b.bin(AluOp::Add, j, 1);
+    b.assign(j, j2);
+    b.br(Cond::Lt, j, 512, top2);
+    b.out_byte(sum);
+    let hi = b.bin(AluOp::Srl, sum, 8);
+    b.out_byte(hi);
+    b.halt();
+    m.define(f, b.build());
+    m
+}
+
+/// Golden for [`warmup_heavy_module`], via either prep path.
+pub fn golden_warmup(warm_iters: i64, isa: Isa, fast: bool) -> Golden {
+    let bin = assemble(&warmup_heavy_module(warm_iters), isa).unwrap();
+    let mut sys = System::new(CoreConfig::table2(isa));
+    sys.load_binary(&bin);
+    if fast {
+        Golden::prepare_fast(sys, 80_000_000).unwrap()
+    } else {
+        Golden::prepare(sys, 80_000_000).unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warmup_heavy_preps_agree() {
+        for isa in Isa::ALL {
+            let slow = golden_warmup(4_000, isa, false);
+            let fast = golden_warmup(4_000, isa, true);
+            assert!(!slow.ref_prepped && fast.ref_prepped, "{isa}");
+            assert_eq!(fast.output, slow.output, "{isa}: golden output");
+            assert_eq!(fast.trace, slow.trace, "{isa}: commit trace");
+        }
+    }
 }

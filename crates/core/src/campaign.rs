@@ -143,6 +143,9 @@ pub struct Golden {
     /// (used for directed injection windows, e.g. the Listing 1 sanity
     /// check).
     pub switch_cycle: Option<u64>,
+    /// The checkpoint was produced by the reference-model fast-forward
+    /// ([`Golden::prepare_fast`]) rather than cycle-level warmup.
+    pub ref_prepped: bool,
 }
 
 impl Golden {
@@ -178,6 +181,67 @@ impl Golden {
             }
         }
 
+        Self::finish(ckpt, ckpt_cycle, max_cycles, false)
+    }
+
+    /// Reference-model fast-forward variant of [`prepare`](Self::prepare):
+    /// the pre-checkpoint warmup runs on the architectural interpreter
+    /// (`marvel-ref`) instead of the cycle-level core, then the
+    /// architectural state is transplanted into the O3 core and the
+    /// caches are warmed by replaying the recorded line-access trace.
+    /// Campaign setup skips the expensive cycle-level warmup entirely —
+    /// the golden run itself (and every injection run) is still fully
+    /// cycle-level.
+    ///
+    /// `max_cycles` bounds the fast-forward in *instructions* and the
+    /// golden run in cycles, mirroring `prepare`'s budget. The resulting
+    /// `ckpt_cycle` is 0: injection windows and watchdogs are expressed
+    /// relative to the (cycle-level) post-checkpoint execution, exactly
+    /// as with a marker-less program under `prepare`.
+    ///
+    /// Falls back to `prepare` when the system hosts accelerators — the
+    /// reference model executes only the CPU side.
+    pub fn prepare_fast(mut sys: System, max_cycles: u64) -> Result<Golden, GoldenError> {
+        if !sys.bus.accels.is_empty() {
+            return Self::prepare(sys, max_cycles);
+        }
+        let line = sys.core.cfg.l1i.line as u64;
+        let mut mem = marvel_ref::RefMem::new(sys.bus.ram.clone());
+        mem.enable_trace(line);
+        let mut cpu = marvel_ref::RefCpu::with_line(sys.core.isa(), sys.core.arch_pc(), line);
+        cpu.set_regs(&sys.core.arch_regs());
+        match cpu.run_to_checkpoint(&mut mem, max_cycles) {
+            marvel_ref::RefRunOutcome::Checkpoint { .. } => {
+                sys.bus.console = std::mem::take(&mut mem.console);
+                sys.bus.ram = std::mem::take(&mut mem.ram);
+                sys.core.transplant_arch_state(cpu.pc(), cpu.regs());
+                let lines = mem.trace_lines();
+                let System { core, bus, .. } = &mut sys;
+                core.warm_caches(bus, &lines);
+                sys.checkpoint_cycle = Some(0);
+            }
+            marvel_ref::RefRunOutcome::Halted { .. } => {
+                return Err(GoldenError::BadGoldenRun("halted before checkpoint".into()))
+            }
+            marvel_ref::RefRunOutcome::Trapped { trap, .. } => {
+                return Err(GoldenError::BadGoldenRun(format!("trapped before checkpoint: {trap}")))
+            }
+            // No checkpoint marker within budget: keep the untouched
+            // initial state, matching `prepare`'s marker-less contract
+            // (the interpreter ran on a RAM copy).
+            marvel_ref::RefRunOutcome::OutOfBudget => {}
+        }
+        Self::finish(sys, 0, max_cycles, true)
+    }
+
+    /// Shared tail of [`prepare`]/[`prepare_fast`]: run the fault-free
+    /// golden execution from the checkpoint, recording the commit trace.
+    fn finish(
+        ckpt: System,
+        ckpt_cycle: u64,
+        max_cycles: u64,
+        ref_prepped: bool,
+    ) -> Result<Golden, GoldenError> {
         let mut golden_run = ckpt.clone();
         golden_run.core.trace_mode = TraceMode::Record;
         match golden_run.run(max_cycles) {
@@ -191,6 +255,7 @@ impl Golden {
                     trace,
                     stats: golden_run.core.stats.clone(),
                     switch_cycle: golden_run.switch_cycle,
+                    ref_prepped,
                 })
             }
             RunOutcome::Crashed { trap, .. } => {
@@ -723,6 +788,28 @@ mod tests {
         let mut sys = System::new(CoreConfig::table2(isa));
         sys.load_binary(&bin);
         Golden::prepare(sys, 3_000_000).unwrap()
+    }
+
+    #[test]
+    fn fast_prep_matches_cycle_level_golden() {
+        for isa in Isa::ALL {
+            let bin = assemble(&bench_module(), isa).unwrap();
+            let mk = || {
+                let mut sys = System::new(CoreConfig::table2(isa));
+                sys.load_binary(&bin);
+                sys
+            };
+            let slow = Golden::prepare(mk(), 3_000_000).unwrap();
+            let fast = Golden::prepare_fast(mk(), 3_000_000).unwrap();
+            assert!(fast.ref_prepped && !slow.ref_prepped);
+            assert_eq!(fast.ckpt_cycle, 0);
+            // The committed architectural stream after the checkpoint is
+            // identical: same output bytes, same commit trace record for
+            // record — microarchitectural timing is all that may differ.
+            assert_eq!(fast.output, slow.output, "{isa:?}");
+            assert_eq!(fast.trace, slow.trace, "{isa:?}");
+            assert!(fast.exec_cycles > 0);
+        }
     }
 
     #[test]

@@ -95,6 +95,31 @@ pub struct CommitRecord {
     pub addr: u64,
 }
 
+/// One committed micro-op's full architectural effect, captured by the
+/// opt-in commit-effect log ([`Core::enable_commit_effects`]). This is
+/// the stream the `marvel-ref` lockstep oracle replays: everything an
+/// architectural interpreter can reproduce, nothing microarchitectural.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitEffect {
+    /// PC of the macro instruction this micro-op belongs to.
+    pub pc: u64,
+    pub uop: MicroOp,
+    /// Encoded length of the macro instruction (0 for fetch-trap stubs).
+    pub macro_len: u8,
+    pub last_of_macro: bool,
+    /// Destination architectural register, when one was renamed (`None`
+    /// for zero-register and no-destination micro-ops).
+    pub rd: Option<u8>,
+    /// Value written to `rd`, or the store data for stores.
+    pub value: u64,
+    /// Architectural next-PC after this micro-op's macro instruction.
+    pub next_pc: u64,
+    /// Effective address for loads/stores, 0 otherwise.
+    pub mem_addr: u64,
+    /// The trap that ended the run, if this commit trapped.
+    pub trap: Option<Trap>,
+}
+
 /// Commit-trace mode.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub enum TraceMode {
@@ -259,6 +284,10 @@ pub struct Core {
     trace_pos: usize,
     pub divergence: Option<u64>,
 
+    /// Commit-effect log for the lockstep oracle (`None` = off: the hook
+    /// is one pointer test per committed uop).
+    commit_log: Option<Vec<CommitEffect>>,
+
     /// marvel-taint plane (`None` = off: every hook is one pointer test).
     taint: Option<Box<TaintPlane>>,
     /// Konata pipeline tracer (`None` = off).
@@ -346,6 +375,7 @@ impl Core {
             trace: Vec::new(),
             trace_pos: 0,
             divergence: None,
+            commit_log: None,
             taint: None,
             pipe: None,
             stats: CoreStats::default(),
@@ -599,6 +629,7 @@ impl Core {
             }
             let ent = self.rob.front().unwrap().clone();
             if let Some(t) = ent.trap {
+                self.log_effect(&ent, Some(t));
                 return StepEvent::Trapped(t);
             }
             // Memory-ordering replay: squash from this load (inclusive)
@@ -667,6 +698,8 @@ impl Core {
                     }
                 }
             }
+
+            self.log_effect(&ent, None);
 
             self.stats.committed_uops += 1;
             if ent.last_of_macro {
@@ -1755,6 +1788,92 @@ impl Core {
             fetched_at: self.cycle,
         });
         self.fetch_halted = true;
+    }
+
+    // ------------------------------------------------------------------
+    // commit-effect log (lockstep oracle) & architectural state transfer
+    // ------------------------------------------------------------------
+
+    fn log_effect(&mut self, ent: &RobEntry, trap: Option<Trap>) {
+        if let Some(log) = self.commit_log.as_mut() {
+            log.push(CommitEffect {
+                pc: ent.pc,
+                uop: ent.uop,
+                macro_len: ent.macro_len,
+                last_of_macro: ent.last_of_macro,
+                rd: if ent.pdst != PNONE { Some(ent.uop.rd) } else { None },
+                value: ent.result,
+                next_pc: ent.actual_next,
+                mem_addr: ent.mem_addr,
+                trap,
+            });
+        }
+    }
+
+    /// Start logging every committed micro-op's architectural effects
+    /// (drained by the SoC into the lockstep oracle).
+    pub fn enable_commit_effects(&mut self) {
+        self.commit_log = Some(Vec::new());
+    }
+
+    pub fn commit_effects_enabled(&self) -> bool {
+        self.commit_log.is_some()
+    }
+
+    /// Take the effects committed since the previous drain.
+    pub fn drain_commit_effects(&mut self) -> Vec<CommitEffect> {
+        self.commit_log.as_mut().map(std::mem::take).unwrap_or_default()
+    }
+
+    /// The architectural PC. Only meaningful when the pipeline is empty
+    /// (right after [`reset_to`](Self::reset_to) or a committed marker).
+    pub fn arch_pc(&self) -> u64 {
+        self.fetch_pc
+    }
+
+    /// Snapshot the architectural register file through the retirement
+    /// rename map (observational: no fault monitoring side effects).
+    pub fn arch_regs(&self) -> Vec<u64> {
+        let n = self.isa.reg_spec().total_regs;
+        (0..n).map(|a| self.prf.peek(self.retire.get(a))).collect()
+    }
+
+    /// Adopt an externally computed architectural state: reset the
+    /// pipeline to `pc` and install `regs` as the committed register
+    /// values. Used by the reference-model fast-forward to skip the
+    /// cycle-level warmup. The zero register (where the ISA has one)
+    /// keeps its hardwired phys-0 mapping.
+    pub fn transplant_arch_state(&mut self, pc: u64, regs: &[u64]) {
+        self.reset_to(pc);
+        let spec = self.isa.reg_spec();
+        let mut in_use: Vec<u16> = vec![0];
+        for (a, &v) in regs.iter().enumerate().take(spec.total_regs as usize) {
+            if Some(a as u8) == spec.zero {
+                continue;
+            }
+            // Deterministic dense mapping: arch reg a → phys a+1.
+            let p = (a + 1) as u16;
+            self.prf.write(p, v);
+            self.rename.set(a as u8, p);
+            self.retire.set(a as u8, p);
+            in_use.push(p);
+        }
+        self.freelist = FreeList::new(self.cfg.int_prf as u16, &in_use);
+        self.prf.set_all_ready();
+    }
+
+    /// Replay a recorded `(line_addr, icache)` access trace through the
+    /// cache hierarchy — ordered oldest-last-touch first, so recently
+    /// used lines win the replacement race — then zero the hit/miss
+    /// counters so the warmup itself is not counted.
+    pub fn warm_caches(&mut self, bus: &mut dyn Bus, lines: &[(u64, bool)]) {
+        for &(addr, icache) in lines {
+            let _ = self.ensure_line(bus, addr, icache);
+        }
+        for c in [&mut self.l1i, &mut self.l1d, &mut self.l2] {
+            c.hits = 0;
+            c.misses = 0;
+        }
     }
 
     // ------------------------------------------------------------------

@@ -22,7 +22,7 @@ pub mod lsq;
 pub mod prf;
 pub mod testbus;
 
-pub use crate::core::{Bus, CommitRecord, Core, CoreStats, StepEvent, TraceMode};
+pub use crate::core::{Bus, CommitEffect, CommitRecord, Core, CoreStats, StepEvent, TraceMode};
 pub use cache::{Cache, FaultFate};
 pub use config::{CacheConfig, CoreConfig};
 pub use lsq::{LoadQueue, StoreQueue};

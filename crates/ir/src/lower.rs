@@ -200,10 +200,16 @@ impl ModCtx {
                     }
                 }
                 if neg {
-                    self.inst(AsmInst::MovZ { rd, imm16: 0xFFFF, hw: 3 });
+                    // movz the *actual* top chunk (not a hardwired 0xFFFF:
+                    // negatives below -2^48 have other patterns up there),
+                    // then movk the non-zero lower chunks — still <= 4 insts.
+                    let top = ((v as u64) >> 48) as u16;
+                    self.inst(AsmInst::MovZ { rd, imm16: top, hw: 3 });
                     for hw in (0..3u8).rev() {
                         let chunk = ((v as u64) >> (16 * hw)) as u16;
-                        self.inst(AsmInst::MovK { rd, imm16: chunk, hw });
+                        if chunk != 0 {
+                            self.inst(AsmInst::MovK { rd, imm16: chunk, hw });
+                        }
                     }
                 } else if first {
                     self.inst(AsmInst::MovZ { rd, imm16: 0, hw: 0 });
@@ -793,6 +799,48 @@ mod tests {
             let stores =
                 l.items.iter().filter(|i| matches!(i, Item::Inst(AsmInst::Store { .. }))).count();
             assert!(stores > 3, "{isa}: expected spill stores, got {stores}");
+        }
+    }
+
+    #[test]
+    fn arm_const_materialization_covers_full_i64_range() {
+        // Regression: negatives below -2^48 (top halfword not all-ones)
+        // were materialised with a hardwired 0xFFFF top chunk.
+        let cases: [i64; 14] = [
+            0,
+            1,
+            -1,
+            -5,
+            256,
+            -256,
+            -4096,
+            0x9C9C_9C9C_9C9C_9C9Cu64 as i64,
+            0x8000_0000_0000_0000u64 as i64,
+            i64::MIN + 1,
+            i64::MAX,
+            -0x0001_0000_0000_0000,
+            0x7FFF_FFFF_FFFF_0000,
+            0xFFFF_0000_0000_0001u64 as i64,
+        ];
+        for v in cases {
+            let mut ctx =
+                ModCtx { isa: Isa::Arm, spec: Isa::Arm.reg_spec(), items: Vec::new(), next_label: 0 };
+            ctx.emit_const(1, v, 2);
+            assert!(ctx.items.len() <= 4, "{v:#x}: movz/movk chain too long");
+            let mut r: u64 = 0xDEAD_BEEF_DEAD_BEEF; // poison: movz must come first
+            for it in &ctx.items {
+                match it {
+                    Item::Inst(AsmInst::MovZ { imm16, hw, .. }) => {
+                        r = (*imm16 as u64) << (16 * *hw as u32);
+                    }
+                    Item::Inst(AsmInst::MovK { imm16, hw, .. }) => {
+                        let sh = 16 * *hw as u32;
+                        r = (r & !(0xFFFFu64 << sh)) | ((*imm16 as u64) << sh);
+                    }
+                    other => panic!("unexpected lowering item {other:?}"),
+                }
+            }
+            assert_eq!(r, v as u64, "materialising {v:#x}");
         }
     }
 

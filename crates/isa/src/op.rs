@@ -244,6 +244,38 @@ impl Op {
     pub fn is_store(self) -> bool {
         matches!(self, Op::Store { .. })
     }
+
+    /// True for simulation markers (`Halt`/`Checkpoint`/`SwitchCpu`): they
+    /// have no architectural effects and exist only to signal the harness.
+    pub fn is_marker(self) -> bool {
+        matches!(self, Op::Halt | Op::Checkpoint | Op::SwitchCpu)
+    }
+
+    /// True when the micro-op architecturally writes its destination
+    /// register (assuming `rd` names one). Interpreters and the rename
+    /// stage agree on this set: everything else leaves `rd` meaningless.
+    pub fn writes_dest(self) -> bool {
+        matches!(
+            self,
+            Op::Alu(_)
+                | Op::AluImm(_)
+                | Op::LoadImm
+                | Op::MovK(_)
+                | Op::Auipc
+                | Op::LinkAddr
+                | Op::Load { .. }
+                | Op::Jal
+                | Op::Jalr
+        )
+    }
+
+    /// Memory access width for loads and stores, `None` otherwise.
+    pub fn mem_width(self) -> Option<MemWidth> {
+        match self {
+            Op::Load { w, .. } | Op::Store { w } => Some(w),
+            _ => None,
+        }
+    }
 }
 
 /// A fully decoded micro-operation with its register operands.
@@ -447,6 +479,23 @@ mod tests {
         u.rs3 = 7;
         let s: Vec<u8> = u.sources().collect();
         assert_eq!(s, vec![3, 7]);
+    }
+
+    #[test]
+    fn op_metadata_partitions() {
+        // Markers never write a destination and are not control flow.
+        for op in [Op::Halt, Op::Checkpoint, Op::SwitchCpu] {
+            assert!(op.is_marker());
+            assert!(!op.writes_dest());
+            assert!(!op.is_control());
+        }
+        assert!(!Op::Nop.is_marker() && !Op::Nop.writes_dest());
+        assert!(Op::Jal.writes_dest() && Op::Jal.is_control());
+        assert!(Op::Load { w: MemWidth::W, signed: true }.writes_dest());
+        assert!(!Op::Store { w: MemWidth::B }.writes_dest());
+        assert!(!Op::Branch(Cond::Eq).writes_dest());
+        assert_eq!(Op::Store { w: MemWidth::H }.mem_width(), Some(MemWidth::H));
+        assert_eq!(Op::Jal.mem_width(), None);
     }
 
     #[test]

@@ -1,0 +1,474 @@
+//! The architectural interpreter: one macro instruction per step, exact
+//! O3 commit semantics (same decoders, same `AluOp::eval`/`Cond::eval`
+//! helpers, same trap precedence, same fetch-window byte gathering), no
+//! timing.
+
+use crate::mem::RefMem;
+use marvel_cpu::CommitEffect;
+use marvel_ir::Binary;
+use marvel_isa::trap::DecodeError;
+use marvel_isa::{Isa, MicroOp, Op, Trap, REG_NONE};
+
+/// What one [`RefCpu::step`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefStep {
+    /// One macro instruction retired.
+    Retired,
+    /// A `Halt` marker retired: the program ended normally.
+    Halted,
+    /// A `Checkpoint` marker retired.
+    Checkpoint,
+    /// A `SwitchCpu` marker retired.
+    SwitchCpu,
+    /// A trap fired; the machine is stopped at the faulting instruction.
+    Trapped(Trap),
+}
+
+/// Why a [`RefCpu::run`] loop stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefRunOutcome {
+    Halted {
+        insts: u64,
+    },
+    Trapped {
+        trap: Trap,
+        insts: u64,
+    },
+    /// Only from [`RefCpu::run_to_checkpoint`]: the marker was reached.
+    Checkpoint {
+        insts: u64,
+    },
+    /// The instruction budget ran out first.
+    OutOfBudget,
+}
+
+/// Architectural CPU state: PC + register file, nothing else. The fetch
+/// path mirrors the O3 front end byte for byte (line-windowed decode, the
+/// same fetch/decode trap precedence), so the two models see identical
+/// instruction streams even for variable-length x86 straddling lines.
+#[derive(Debug, Clone)]
+pub struct RefCpu {
+    isa: Isa,
+    pc: u64,
+    regs: Vec<u64>,
+    halted: bool,
+    trapped: Option<Trap>,
+    retired: u64,
+    /// Cache line size used for fetch windowing (must match the core
+    /// being compared against; the default is the Table-2 config's 64).
+    line: u64,
+}
+
+impl RefCpu {
+    pub fn new(isa: Isa, pc: u64) -> Self {
+        Self::with_line(isa, pc, 64)
+    }
+
+    pub fn with_line(isa: Isa, pc: u64, line: u64) -> Self {
+        assert!(line.is_power_of_two() && line >= isa.max_inst_len() as u64);
+        let n = isa.reg_spec().total_regs as usize;
+        RefCpu { isa, pc, regs: vec![0; n], halted: false, trapped: None, retired: 0, line }
+    }
+
+    /// Install architectural register values (e.g. from `Core::arch_regs`).
+    /// The zero register stays hardwired to 0.
+    pub fn set_regs(&mut self, regs: &[u64]) {
+        let zero = self.isa.reg_spec().zero;
+        for (a, &v) in regs.iter().enumerate().take(self.regs.len()) {
+            if Some(a as u8) != zero {
+                self.regs[a] = v;
+            }
+        }
+    }
+
+    pub fn isa(&self) -> Isa {
+        self.isa
+    }
+
+    pub fn pc(&self) -> u64 {
+        self.pc
+    }
+
+    pub fn regs(&self) -> &[u64] {
+        &self.regs
+    }
+
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    pub fn trap(&self) -> Option<Trap> {
+        self.trapped
+    }
+
+    /// Macro instructions retired so far.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    fn read_reg(&self, r: u8) -> u64 {
+        if r == REG_NONE {
+            0
+        } else {
+            self.regs[r as usize]
+        }
+    }
+
+    fn write_reg(&mut self, r: u8, v: u64) {
+        if r != REG_NONE && Some(r) != self.isa.reg_spec().zero {
+            self.regs[r as usize] = v;
+        }
+    }
+
+    /// Whether the O3 rename stage would allocate a destination for this
+    /// uop — mirrored so logged effects pair up field for field.
+    fn renames_dest(&self, u: &MicroOp) -> bool {
+        u.rd != REG_NONE && Some(u.rd) != self.isa.reg_spec().zero
+    }
+
+    /// Execute one macro instruction. `effects`, when given, receives one
+    /// [`CommitEffect`] per retired micro-op with the exact conventions
+    /// of the O3 commit-effect log (fetch traps appear as zero-length
+    /// `Nop` stubs whose `next_pc` is the faulting PC, matching the O3
+    /// `push_trap_uop` path).
+    pub fn step_logged(
+        &mut self,
+        mem: &mut RefMem,
+        mut effects: Option<&mut Vec<CommitEffect>>,
+    ) -> RefStep {
+        if let Some(t) = self.trapped {
+            return RefStep::Trapped(t);
+        }
+        if self.halted {
+            return RefStep::Halted;
+        }
+        let pc = self.pc;
+
+        // --- fetch: gather up to max_inst_len bytes across ≤ 2 lines ---
+        let max_len = self.isa.max_inst_len();
+        let line = self.line;
+        let off = (pc % line) as usize;
+        let avail0 = (line as usize - off).min(max_len);
+        let mut window = [0u8; 16];
+
+        if !mem.is_cacheable(pc) {
+            return self.fetch_trap(Trap::FetchFault { pc }, effects);
+        }
+        mem.fetch_bytes(pc, &mut window[..avail0]);
+        let mut avail = avail0;
+        let mut decoded = self.isa.decode(&window[..avail]);
+        if matches!(decoded, Err(DecodeError::Truncated)) && avail < max_len {
+            let npc = (pc & !(line - 1)) + line;
+            if !mem.is_cacheable(npc) {
+                return self.fetch_trap(Trap::FetchFault { pc: npc }, effects);
+            }
+            let need = max_len - avail;
+            let mut tail = [0u8; 16];
+            mem.fetch_bytes(npc, &mut tail[..need]);
+            window[avail..avail + need].copy_from_slice(&tail[..need]);
+            avail += need;
+            decoded = self.isa.decode(&window[..avail]);
+        }
+        let d = match decoded {
+            Ok(d) => d,
+            Err(_) => return self.fetch_trap(Trap::IllegalInstruction { pc }, effects),
+        };
+
+        // --- execute the macro's micro-ops in order ---
+        let fallthrough = pc.wrapping_add(d.len as u64);
+        let mut next_pc = fallthrough;
+        let n = d.uops.len();
+        let mut marker = RefStep::Retired;
+        for (k, &u) in d.uops.as_slice().iter().enumerate() {
+            let last = k == n - 1;
+            let a = self.read_reg(u.rs1);
+            let b = self.read_reg(u.rs2);
+            // (value, uop_next, mem_addr, trap)
+            let mut eff_value = 0u64;
+            let mut eff_addr = 0u64;
+            let mut trap: Option<Trap> = None;
+            let mut uop_next = fallthrough;
+            match u.op {
+                Op::Alu(op) => match op.eval(a, b, self.isa) {
+                    Some(v) => eff_value = v,
+                    None => trap = Some(Trap::DivideByZero { pc }),
+                },
+                Op::AluImm(op) => match op.eval(a, u.imm as u64, self.isa) {
+                    Some(v) => eff_value = v,
+                    None => trap = Some(Trap::DivideByZero { pc }),
+                },
+                Op::LoadImm => eff_value = u.imm as u64,
+                Op::MovK(sh) => {
+                    let mask = 0xFFFFu64 << sh;
+                    eff_value = (a & !mask) | (((u.imm as u64) & 0xFFFF) << sh);
+                }
+                Op::Auipc => eff_value = pc.wrapping_add(u.imm as u64),
+                Op::LinkAddr => eff_value = fallthrough,
+                Op::Jal => {
+                    eff_value = fallthrough;
+                    uop_next = pc.wrapping_add(u.imm as u64);
+                }
+                Op::Jalr => {
+                    eff_value = fallthrough;
+                    uop_next = a.wrapping_add(u.imm as u64);
+                }
+                Op::Branch(c) => {
+                    if c.eval(a, b) {
+                        uop_next = pc.wrapping_add(u.imm as u64);
+                    }
+                }
+                Op::Load { w, signed } => {
+                    let addr =
+                        if u.reg_offset { a.wrapping_add(b) } else { a.wrapping_add(u.imm as u64) };
+                    eff_addr = addr;
+                    let size = w.bytes() as u8;
+                    match self.mem_trap(mem, pc, addr, size) {
+                        Some(t) => trap = Some(t),
+                        None if mem.is_device(addr) => match mem.device_read(addr, size) {
+                            Some(v) => eff_value = w.extend(v, signed),
+                            None => trap = Some(Trap::MemFault { pc, addr }),
+                        },
+                        None => eff_value = w.extend(mem.read(addr, size), signed),
+                    }
+                }
+                Op::Store { w } => {
+                    let addr =
+                        if u.reg_offset { a.wrapping_add(b) } else { a.wrapping_add(u.imm as u64) };
+                    eff_addr = addr;
+                    let size = w.bytes() as u8;
+                    let data = self.read_reg(u.rs3);
+                    eff_value = data;
+                    match self.mem_trap(mem, pc, addr, size) {
+                        Some(t) => trap = Some(t),
+                        None if mem.is_device(addr) => {
+                            if mem.device_write(addr, size, data).is_none() {
+                                trap = Some(Trap::MemFault { pc: 0, addr });
+                            }
+                        }
+                        None => mem.write(addr, size, data),
+                    }
+                }
+                Op::Halt => marker = RefStep::Halted,
+                Op::Checkpoint => marker = RefStep::Checkpoint,
+                Op::SwitchCpu => marker = RefStep::SwitchCpu,
+                // The reference model has no interrupt plumbing; lockstep
+                // is suspended on IRQ entry before an `Iret` can commit,
+                // and straight-line programs never execute one.
+                Op::Iret => trap = Some(Trap::IllegalInstruction { pc }),
+                Op::Nop => {}
+            }
+
+            if last && u.op.is_control() && trap.is_none() {
+                next_pc = uop_next;
+            }
+            if let Some(log) = effects.as_deref_mut() {
+                log.push(CommitEffect {
+                    pc,
+                    uop: u,
+                    macro_len: d.len,
+                    last_of_macro: last,
+                    rd: if self.renames_dest(&u) && trap.is_none() { Some(u.rd) } else { None },
+                    value: if trap.is_some() { 0 } else { eff_value },
+                    next_pc: if u.op.is_control() && trap.is_none() { uop_next } else { fallthrough },
+                    mem_addr: eff_addr,
+                    trap,
+                });
+            }
+            if let Some(t) = trap {
+                self.trapped = Some(t);
+                return RefStep::Trapped(t);
+            }
+            if u.op.writes_dest() {
+                self.write_reg(u.rd, eff_value);
+            }
+            if !matches!(marker, RefStep::Retired) {
+                // Markers end the macro; fetch resumes past them.
+                self.pc = fallthrough;
+                self.retired += 1;
+                if matches!(marker, RefStep::Halted) {
+                    self.halted = true;
+                }
+                return marker;
+            }
+        }
+        self.pc = next_pc;
+        self.retired += 1;
+        RefStep::Retired
+    }
+
+    /// Misalignment/mapping trap precedence, mirrored from the O3
+    /// `issue_mem` stage: alignment first (on trapping flavours), then
+    /// the mapped check across the full access.
+    fn mem_trap(&self, mem: &RefMem, pc: u64, addr: u64, size: u8) -> Option<Trap> {
+        if !addr.is_multiple_of(size as u64) && self.isa.traps_on_misaligned() {
+            return Some(Trap::Misaligned { pc, addr });
+        }
+        let mapped =
+            mem.is_device(addr) || (mem.is_cacheable(addr) && mem.is_cacheable(addr + size as u64 - 1));
+        if !mapped {
+            return Some(Trap::MemFault { pc, addr });
+        }
+        None
+    }
+
+    fn fetch_trap(&mut self, t: Trap, effects: Option<&mut Vec<CommitEffect>>) -> RefStep {
+        // Mirror the O3 `push_trap_uop` stub: a zero-length Nop whose
+        // next_pc is the (unadvanced) faulting PC.
+        if let Some(log) = effects {
+            log.push(CommitEffect {
+                pc: self.pc,
+                uop: MicroOp::bare(Op::Nop),
+                macro_len: 0,
+                last_of_macro: true,
+                rd: None,
+                value: 0,
+                next_pc: self.pc,
+                mem_addr: 0,
+                trap: Some(t),
+            });
+        }
+        self.trapped = Some(t);
+        RefStep::Trapped(t)
+    }
+
+    /// Execute one macro instruction without effect logging.
+    pub fn step(&mut self, mem: &mut RefMem) -> RefStep {
+        self.step_logged(mem, None)
+    }
+
+    /// Run until `Halt`, a trap, or the instruction budget runs out.
+    /// `Checkpoint`/`SwitchCpu` markers are retired and passed through.
+    pub fn run(&mut self, mem: &mut RefMem, budget: u64) -> RefRunOutcome {
+        self.run_inner(mem, budget, false)
+    }
+
+    /// Run until the `Checkpoint` marker (the golden-prep fast-forward),
+    /// `Halt`, a trap, or budget exhaustion.
+    pub fn run_to_checkpoint(&mut self, mem: &mut RefMem, budget: u64) -> RefRunOutcome {
+        self.run_inner(mem, budget, true)
+    }
+
+    fn run_inner(&mut self, mem: &mut RefMem, budget: u64, stop_at_ckpt: bool) -> RefRunOutcome {
+        for _ in 0..budget {
+            match self.step(mem) {
+                RefStep::Retired | RefStep::SwitchCpu => {}
+                RefStep::Checkpoint => {
+                    if stop_at_ckpt {
+                        return RefRunOutcome::Checkpoint { insts: self.retired };
+                    }
+                }
+                RefStep::Halted => return RefRunOutcome::Halted { insts: self.retired },
+                RefStep::Trapped(t) => return RefRunOutcome::Trapped { trap: t, insts: self.retired },
+            }
+        }
+        RefRunOutcome::OutOfBudget
+    }
+}
+
+/// Execute an assembled [`Binary`] on the reference model from scratch;
+/// returns the outcome and the console output.
+pub fn run_binary(bin: &Binary, budget: u64) -> (RefRunOutcome, Vec<u8>) {
+    let mut mem = RefMem::for_binary(bin);
+    let mut cpu = RefCpu::new(bin.isa, bin.entry);
+    let out = cpu.run(&mut mem, budget);
+    (out, mem.console)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marvel_ir::{assemble, interp, FuncBuilder, Module};
+    use marvel_isa::AluOp;
+
+    fn arith_module() -> Module {
+        let mut m = Module::new();
+        let main = m.declare("main", 0);
+        let mut b = FuncBuilder::new(0);
+        let buf = m.global_zeroed("buf", 64, 8);
+        let x = b.bin(AluOp::Mul, 6i64, 7i64);
+        let base = b.addr_of(buf);
+        b.store(marvel_isa::MemWidth::D, x, base, 0);
+        let y = b.load(marvel_isa::MemWidth::D, false, base, 0);
+        let z = b.bin(AluOp::Add, y, 1i64);
+        b.out_byte(z);
+        b.halt();
+        m.define(main, b.build());
+        m
+    }
+
+    #[test]
+    fn runs_arithmetic_on_all_isas() {
+        let m = arith_module();
+        let golden = interp::run(&m, 100_000).unwrap();
+        for isa in Isa::ALL {
+            let bin = assemble(&m, isa).unwrap();
+            let (out, console) = run_binary(&bin, 100_000);
+            assert!(matches!(out, RefRunOutcome::Halted { .. }), "{isa:?}: {out:?}");
+            assert_eq!(console, golden.output, "{isa:?}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_marker_stops_fast_forward() {
+        let mut m = Module::new();
+        let main = m.declare("main", 0);
+        let mut b = FuncBuilder::new(0);
+        let x = b.bin(AluOp::Add, 40i64, 2i64);
+        b.checkpoint();
+        b.out_byte(x);
+        b.halt();
+        m.define(main, b.build());
+        for isa in Isa::ALL {
+            let bin = assemble(&m, isa).unwrap();
+            let mut mem = RefMem::for_binary(&bin);
+            let mut cpu = RefCpu::new(isa, bin.entry);
+            let out = cpu.run_to_checkpoint(&mut mem, 10_000);
+            assert!(matches!(out, RefRunOutcome::Checkpoint { .. }), "{isa:?}: {out:?}");
+            assert!(mem.console.is_empty());
+            // Resume: the rest of the program still runs to completion.
+            let out = cpu.run(&mut mem, 10_000);
+            assert!(matches!(out, RefRunOutcome::Halted { .. }), "{isa:?}: {out:?}");
+            assert_eq!(mem.console, vec![42]);
+        }
+    }
+
+    #[test]
+    fn division_by_zero_traps_only_on_x86() {
+        let mut m = Module::new();
+        let main = m.declare("main", 0);
+        let mut b = FuncBuilder::new(0);
+        let q = b.bin(AluOp::Div, 7i64, 0i64);
+        b.out_byte(q);
+        b.halt();
+        m.define(main, b.build());
+        for isa in Isa::ALL {
+            let bin = assemble(&m, isa).unwrap();
+            let (out, _) = run_binary(&bin, 10_000);
+            if isa.traps_on_div_zero() {
+                assert!(
+                    matches!(out, RefRunOutcome::Trapped { trap: Trap::DivideByZero { .. }, .. }),
+                    "{isa:?}: {out:?}"
+                );
+            } else {
+                assert!(matches!(out, RefRunOutcome::Halted { .. }), "{isa:?}: {out:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn unmapped_fetch_faults_with_stub_effect() {
+        for isa in Isa::ALL {
+            let mut mem = RefMem::new(vec![0u8; 64]);
+            let mut cpu = RefCpu::new(isa, 0x10); // below RAM_BASE
+            let mut effs = Vec::new();
+            let step = cpu.step_logged(&mut mem, Some(&mut effs));
+            assert!(matches!(step, RefStep::Trapped(Trap::FetchFault { pc: 0x10 })), "{isa:?}");
+            assert_eq!(effs.len(), 1);
+            let e = &effs[0];
+            assert_eq!((e.macro_len, e.next_pc, e.rd), (0, 0x10, None));
+            assert!(matches!(e.uop.op, Op::Nop));
+            // The machine stays stopped at the fault.
+            assert!(matches!(cpu.step(&mut mem), RefStep::Trapped(_)));
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! # marvel-ref
+//!
+//! The architectural reference model: a fast interpreter over the shared
+//! micro-op space of `marvel-isa` that executes all three ISA flavours
+//! with registers, traps and flat memory — no pipeline, no caches, no
+//! speculation. It is the framework's analogue of gem5's atomic CPU, and
+//! serves two roles:
+//!
+//! 1. **Fast-forward golden prep** — `marvel-core` runs the reference
+//!    model to the `Checkpoint` marker and transplants the architectural
+//!    state into the cycle-level O3 core (replaying the recorded memory
+//!    access trace to warm the caches), so campaign setup skips the
+//!    expensive cycle-level warmup.
+//! 2. **Lockstep differential oracle** — [`Lockstep`] re-executes every
+//!    committed instruction's architectural effects next to the O3 core
+//!    (via the commit-effect log in `marvel-cpu`) and reports the first
+//!    divergence with full context. This is the correctness baseline that
+//!    validates the simulator substrate underneath the fault-injection
+//!    results.
+//!
+//! The interpreter deliberately reuses the decoders and the micro-op
+//! semantics helpers from `marvel-isa` (`AluOp::eval`, `Cond::eval`,
+//! `MemWidth::extend`, the per-ISA trap knobs) so that O3-vs-reference
+//! divergences point at *pipeline* bugs, not at a second copy of the
+//! instruction semantics drifting out of sync.
+//!
+//! ```
+//! use marvel_ir::{assemble, FuncBuilder, Module};
+//! use marvel_isa::{AluOp, Isa};
+//! use marvel_ref::{run_binary, RefRunOutcome};
+//!
+//! let mut m = Module::new();
+//! let main = m.declare("main", 0);
+//! let mut b = FuncBuilder::new(0);
+//! let v = b.bin(AluOp::Mul, 6i64, 7i64);
+//! b.out_byte(v);
+//! b.halt();
+//! m.define(main, b.build());
+//!
+//! let bin = assemble(&m, Isa::Arm).unwrap();
+//! let (outcome, output) = run_binary(&bin, 10_000);
+//! assert!(matches!(outcome, RefRunOutcome::Halted { .. }));
+//! assert_eq!(output, vec![42]);
+//! ```
+
+pub mod cpu;
+pub mod lockstep;
+pub mod mem;
+
+pub use cpu::{run_binary, RefCpu, RefRunOutcome, RefStep};
+pub use lockstep::{Divergence, Lockstep};
+pub use mem::RefMem;

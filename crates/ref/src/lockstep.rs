@@ -1,0 +1,252 @@
+//! The differential oracle: replay the O3 core's committed micro-op
+//! stream on the reference model and report the first architectural
+//! divergence with full context.
+
+use crate::cpu::RefCpu;
+use crate::mem::RefMem;
+use marvel_cpu::CommitEffect;
+use marvel_isa::{Isa, Trap};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// The first point where the O3 core and the reference model disagreed.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// Position in the committed micro-op stream (0-based).
+    pub index: u64,
+    /// Which field disagreed first.
+    pub field: &'static str,
+    /// What the O3 core committed.
+    pub dut: CommitEffect,
+    /// What the reference model computed (for "stream" divergences the
+    /// reference side may be a synthesized placeholder — see `field`).
+    pub reference: CommitEffect,
+    /// Reference-model architectural registers at the divergence point.
+    pub regs: Vec<u64>,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "lockstep divergence at committed uop #{} (field: {})", self.index, self.field)?;
+        writeln!(f, "  dut: pc={:#x} {:?}", self.dut.pc, self.dut.uop.op)?;
+        writeln!(
+            f,
+            "       rd={:?} value={:#x} next_pc={:#x} mem_addr={:#x} trap={:?}",
+            self.dut.rd, self.dut.value, self.dut.next_pc, self.dut.mem_addr, self.dut.trap
+        )?;
+        writeln!(f, "  ref: pc={:#x} {:?}", self.reference.pc, self.reference.uop.op)?;
+        writeln!(
+            f,
+            "       rd={:?} value={:#x} next_pc={:#x} mem_addr={:#x} trap={:?}",
+            self.reference.rd,
+            self.reference.value,
+            self.reference.next_pc,
+            self.reference.mem_addr,
+            self.reference.trap
+        )?;
+        write!(f, "  ref regs:")?;
+        for (i, v) in self.regs.iter().enumerate() {
+            if i % 4 == 0 {
+                writeln!(f)?;
+                write!(f, "   ")?;
+            }
+            write!(f, " r{i:<2}={v:#018x}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Lockstep comparator. Feed it every [`CommitEffect`] the core commits
+/// (in order); it advances its own [`RefCpu`] one macro instruction at a
+/// time and checks the streams micro-op for micro-op.
+///
+/// The oracle is self-disabling rather than wrong in the two situations
+/// the architectural model cannot follow: interrupt entry (the SoC
+/// suspends it) and device reads outside the reference memory map.
+#[derive(Debug, Clone)]
+pub struct Lockstep {
+    cpu: RefCpu,
+    mem: RefMem,
+    pending: VecDeque<CommitEffect>,
+    checked: u64,
+    divergence: Option<Box<Divergence>>,
+    disabled: Option<String>,
+}
+
+impl Lockstep {
+    /// Build an oracle whose reference machine starts from the given
+    /// architectural state and a copy of RAM. `line` is the core's cache
+    /// line size (fetch windows must match).
+    pub fn new(isa: Isa, pc: u64, regs: &[u64], ram: Vec<u8>, line: u64) -> Self {
+        let mut cpu = RefCpu::with_line(isa, pc, line);
+        cpu.set_regs(regs);
+        Lockstep {
+            cpu,
+            mem: RefMem::new(ram),
+            pending: VecDeque::new(),
+            checked: 0,
+            divergence: None,
+            disabled: None,
+        }
+    }
+
+    /// Micro-ops compared so far.
+    pub fn checked(&self) -> u64 {
+        self.checked
+    }
+
+    pub fn divergence(&self) -> Option<&Divergence> {
+        self.divergence.as_deref()
+    }
+
+    /// Why the oracle stopped comparing, if it had to bow out.
+    pub fn disabled_reason(&self) -> Option<&str> {
+        self.disabled.as_deref()
+    }
+
+    /// Permanently stop comparing (e.g. on interrupt entry, which the
+    /// reference model does not replay).
+    pub fn suspend(&mut self, reason: &str) {
+        if self.disabled.is_none() {
+            self.disabled = Some(reason.to_string());
+        }
+    }
+
+    /// The reference model's console output so far.
+    pub fn ref_console(&self) -> &[u8] {
+        &self.mem.console
+    }
+
+    /// Compare one committed micro-op against the reference stream.
+    pub fn check(&mut self, dut: &CommitEffect) {
+        if self.disabled.is_some() || self.divergence.is_some() {
+            return;
+        }
+        if self.pending.is_empty() {
+            if self.cpu.halted() || self.cpu.trap().is_some() {
+                // The DUT committed past the reference machine's end of
+                // stream: synthesize the missing reference side.
+                let placeholder = CommitEffect {
+                    pc: self.cpu.pc(),
+                    uop: marvel_isa::MicroOp::bare(marvel_isa::Op::Nop),
+                    macro_len: 0,
+                    last_of_macro: true,
+                    rd: None,
+                    value: 0,
+                    next_pc: self.cpu.pc(),
+                    mem_addr: 0,
+                    trap: self.cpu.trap(),
+                };
+                let idx = self.checked;
+                self.checked += 1;
+                self.diverge(idx, "stream", dut, &placeholder);
+                return;
+            }
+            let mut effs = Vec::new();
+            self.cpu.step_logged(&mut self.mem, Some(&mut effs));
+            self.pending.extend(effs);
+            if self.pending.is_empty() {
+                // Cannot happen (every step emits ≥ 1 effect), but never
+                // fail open silently.
+                self.suspend("reference model produced no effects");
+                return;
+            }
+        }
+        let r = self.pending.pop_front().expect("refilled above");
+        let idx = self.checked;
+        self.checked += 1;
+
+        match (dut.trap, r.trap) {
+            (Some(a), Some(b)) => {
+                // Both sides crash: the trap itself (kind, pc, addr) is
+                // the architectural effect to agree on.
+                if a != b {
+                    self.diverge(idx, "trap", dut, &r);
+                }
+            }
+            (None, Some(Trap::MemFault { .. })) if r.uop.op.is_load() => {
+                // The DUT load succeeded where the reference memory map
+                // has no backing store (a readable device outside the
+                // console-only model). Not a pipeline bug — bow out.
+                self.suspend(&format!(
+                    "device read at {:#x} outside the reference memory model (uop #{idx})",
+                    r.mem_addr
+                ));
+            }
+            (_, _) if dut.trap != r.trap => self.diverge(idx, "trap", dut, &r),
+            _ => {
+                let field = if dut.uop != r.uop {
+                    Some("uop")
+                } else if dut.pc != r.pc {
+                    Some("pc")
+                } else if dut.rd != r.rd {
+                    Some("rd")
+                } else if dut.rd.is_some() && dut.value != r.value {
+                    Some("value")
+                } else if dut.uop.op.is_store() && dut.value != r.value {
+                    Some("store_data")
+                } else if dut.next_pc != r.next_pc {
+                    Some("next_pc")
+                } else if (dut.uop.op.is_load() || dut.uop.op.is_store()) && dut.mem_addr != r.mem_addr {
+                    Some("mem_addr")
+                } else {
+                    None
+                };
+                if let Some(field) = field {
+                    self.diverge(idx, field, dut, &r);
+                }
+            }
+        }
+    }
+
+    fn diverge(&mut self, index: u64, field: &'static str, dut: &CommitEffect, r: &CommitEffect) {
+        self.divergence = Some(Box::new(Divergence {
+            index,
+            field,
+            dut: *dut,
+            reference: *r,
+            regs: self.cpu.regs().to_vec(),
+        }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marvel_isa::{MicroOp, Op};
+
+    fn stub_effect(pc: u64) -> CommitEffect {
+        CommitEffect {
+            pc,
+            uop: MicroOp::bare(Op::Nop),
+            macro_len: 4,
+            last_of_macro: true,
+            rd: None,
+            value: 0,
+            next_pc: pc + 4,
+            mem_addr: 0,
+            trap: None,
+        }
+    }
+
+    #[test]
+    fn committing_past_reference_halt_diverges() {
+        // An empty RAM: the reference fetch immediately faults, so any
+        // clean DUT commit is a stream divergence (trap mismatch).
+        let mut ls = Lockstep::new(Isa::RiscV, 0x10, &[], vec![0u8; 64], 64);
+        ls.check(&stub_effect(0x10));
+        let d = ls.divergence().expect("must diverge");
+        assert_eq!(d.field, "trap");
+        assert!(format!("{d}").contains("lockstep divergence"));
+    }
+
+    #[test]
+    fn suspend_is_sticky_and_stops_checking() {
+        let mut ls = Lockstep::new(Isa::RiscV, 0x10, &[], vec![0u8; 64], 64);
+        ls.suspend("irq entry");
+        ls.check(&stub_effect(0x10));
+        assert!(ls.divergence().is_none());
+        assert_eq!(ls.checked(), 0);
+        assert_eq!(ls.disabled_reason(), Some("irq entry"));
+    }
+}

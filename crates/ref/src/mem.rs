@@ -1,0 +1,176 @@
+//! Flat architectural memory for the reference model: RAM + console, with
+//! an optional line-granular access trace used to warm the O3 caches
+//! after a fast-forward state transplant.
+
+use marvel_ir::memmap::{CONSOLE_ADDR, RAM_BASE};
+use marvel_ir::Binary;
+use std::collections::HashMap;
+
+/// Line-granular access trace: for every touched cache line, the sequence
+/// number of its most recent access, split by instruction/data stream.
+/// Replaying the lines in ascending last-touch order approximates the
+/// recency state the cycle-level caches would have reached.
+#[derive(Debug, Clone, Default)]
+struct AccessTrace {
+    seq: u64,
+    /// `(line_addr, icache)` → last-touch sequence number.
+    lines: HashMap<(u64, bool), u64>,
+}
+
+/// Flat memory backing the reference model. Mirrors the address-space
+/// behaviour of `marvel_cpu::TestBus`: one cacheable RAM range at
+/// [`RAM_BASE`] and a write-only console device at [`CONSOLE_ADDR`].
+/// Device *reads* return `None` (→ `MemFault`), exactly like `TestBus`.
+#[derive(Debug, Clone)]
+pub struct RefMem {
+    pub ram: Vec<u8>,
+    pub console: Vec<u8>,
+    trace: Option<Box<AccessTrace>>,
+    line: u64,
+}
+
+impl RefMem {
+    /// Wrap an existing RAM image (e.g. a clone of the SoC RAM).
+    pub fn new(ram: Vec<u8>) -> Self {
+        RefMem { ram, console: Vec::new(), trace: None, line: 64 }
+    }
+
+    /// Build a fresh RAM holding `bin`'s image at its load address.
+    pub fn for_binary(bin: &Binary) -> Self {
+        let mut ram = vec![0u8; marvel_ir::memmap::RAM_SIZE as usize];
+        let off = (bin.entry - RAM_BASE) as usize;
+        ram[off..off + bin.image.len()].copy_from_slice(&bin.image);
+        RefMem::new(ram)
+    }
+
+    /// Start recording the line-granular access trace (`line` = cache
+    /// line size in bytes; must match the core the trace will warm).
+    pub fn enable_trace(&mut self, line: u64) {
+        assert!(line.is_power_of_two(), "line size must be a power of two");
+        self.line = line;
+        self.trace = Some(Box::default());
+    }
+
+    /// Touched lines as `(line_addr, icache)` in ascending last-touch
+    /// order — replay through the cache hierarchy oldest-first so the
+    /// most recently used lines win the replacement race.
+    pub fn trace_lines(&self) -> Vec<(u64, bool)> {
+        let Some(t) = self.trace.as_deref() else { return Vec::new() };
+        let mut v: Vec<(u64, u64, bool)> =
+            t.lines.iter().map(|(&(addr, ic), &seq)| (seq, addr, ic)).collect();
+        v.sort_unstable();
+        v.into_iter().map(|(_, addr, ic)| (addr, ic)).collect()
+    }
+
+    pub fn is_cacheable(&self, addr: u64) -> bool {
+        (RAM_BASE..RAM_BASE + self.ram.len() as u64).contains(&addr)
+    }
+
+    pub fn is_device(&self, addr: u64) -> bool {
+        addr == CONSOLE_ADDR
+    }
+
+    pub(crate) fn touch(&mut self, addr: u64, size: u64, icache: bool) {
+        let Some(t) = self.trace.as_deref_mut() else { return };
+        t.seq += 1;
+        let seq = t.seq;
+        let line = self.line;
+        let mut a = addr & !(line - 1);
+        let end = addr + size.max(1);
+        while a < end {
+            t.lines.insert((a, icache), seq);
+            a += line;
+        }
+    }
+
+    /// Read `size` bytes little-endian from RAM. Caller has validated the
+    /// range with [`is_cacheable`](Self::is_cacheable).
+    pub fn read(&mut self, addr: u64, size: u8) -> u64 {
+        self.touch(addr, size as u64, false);
+        let off = (addr - RAM_BASE) as usize;
+        let mut out = 0u64;
+        for i in (0..size as usize).rev() {
+            out = (out << 8) | self.ram[off + i] as u64;
+        }
+        out
+    }
+
+    /// Write `size` bytes little-endian into RAM (range pre-validated).
+    pub fn write(&mut self, addr: u64, size: u8, val: u64) {
+        self.touch(addr, size as u64, false);
+        let off = (addr - RAM_BASE) as usize;
+        let mut v = val;
+        for i in 0..size as usize {
+            self.ram[off + i] = v as u8;
+            v >>= 8;
+        }
+    }
+
+    /// Copy instruction bytes without touching the data-stream trace.
+    pub(crate) fn fetch_bytes(&mut self, addr: u64, buf: &mut [u8]) {
+        self.touch(addr, buf.len() as u64, true);
+        let off = (addr - RAM_BASE) as usize;
+        buf.copy_from_slice(&self.ram[off..off + buf.len()]);
+    }
+
+    /// Uncached device read — always `None` (console is write-only),
+    /// matching `TestBus::device_read`.
+    pub fn device_read(&mut self, _addr: u64, _size: u8) -> Option<u64> {
+        None
+    }
+
+    /// Uncached device write; only the console accepts data.
+    pub fn device_write(&mut self, addr: u64, _size: u8, val: u64) -> Option<()> {
+        if addr == CONSOLE_ADDR {
+            self.console.push(val as u8);
+            Some(())
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_roundtrip_le() {
+        let mut m = RefMem::new(vec![0u8; 4096]);
+        m.write(RAM_BASE + 16, 8, 0x1122_3344_5566_7788);
+        assert_eq!(m.read(RAM_BASE + 16, 8), 0x1122_3344_5566_7788);
+        assert_eq!(m.read(RAM_BASE + 16, 2), 0x7788);
+        assert_eq!(m.read(RAM_BASE + 22, 2), 0x1122);
+    }
+
+    #[test]
+    fn console_is_write_only_device() {
+        let mut m = RefMem::new(vec![0u8; 64]);
+        assert!(m.is_device(CONSOLE_ADDR));
+        assert!(m.device_read(CONSOLE_ADDR, 1).is_none());
+        m.device_write(CONSOLE_ADDR, 1, 0x41).unwrap();
+        assert!(m.device_write(CONSOLE_ADDR + 8, 1, 0).is_none());
+        assert_eq!(m.console, vec![0x41]);
+    }
+
+    #[test]
+    fn trace_orders_lines_by_last_touch() {
+        let mut m = RefMem::new(vec![0u8; 4096]);
+        m.enable_trace(64);
+        m.write(RAM_BASE, 8, 1); // line 0
+        m.write(RAM_BASE + 128, 8, 2); // line 2
+        m.write(RAM_BASE + 1, 1, 3); // line 0 again (now most recent)
+        let lines = m.trace_lines();
+        assert_eq!(lines, vec![(RAM_BASE + 128, false), (RAM_BASE, false)]);
+    }
+
+    #[test]
+    fn cross_line_access_touches_both_lines() {
+        let mut m = RefMem::new(vec![0u8; 4096]);
+        m.enable_trace(64);
+        m.write(RAM_BASE + 60, 8, 0xAABB_CCDD_EEFF_0011); // spans lines 0 and 1
+        let lines = m.trace_lines();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(m.read(RAM_BASE + 60, 8), 0xAABB_CCDD_EEFF_0011);
+    }
+}

@@ -238,6 +238,10 @@ pub struct System {
     pub switch_cycle: Option<u64>,
     /// Traps surfaced by the run loop (commit-stage crashes).
     pub traps: u64,
+    /// Lockstep differential oracle (`None` = off). Enabled with
+    /// [`enable_lockstep`](Self::enable_lockstep); every committed
+    /// micro-op is then replayed on the architectural reference model.
+    pub lockstep: Option<Box<marvel_ref::Lockstep>>,
 }
 
 impl System {
@@ -256,6 +260,7 @@ impl System {
             checkpoint_cycle: None,
             switch_cycle: None,
             traps: 0,
+            lockstep: None,
         }
     }
 
@@ -278,12 +283,49 @@ impl System {
         self.bus.accels.len() - 1
     }
 
+    /// Attach the lockstep differential oracle. Call after
+    /// [`load_binary`](Self::load_binary) and before the first tick: the
+    /// reference machine is seeded from the core's current architectural
+    /// state and a copy of RAM.
+    pub fn enable_lockstep(&mut self) {
+        self.core.enable_commit_effects();
+        let ls = marvel_ref::Lockstep::new(
+            self.core.isa(),
+            self.core.arch_pc(),
+            &self.core.arch_regs(),
+            self.bus.ram.clone(),
+            self.core.cfg.l1i.line as u64,
+        );
+        self.lockstep = Some(Box::new(ls));
+    }
+
+    /// First O3-vs-reference divergence, when lockstep is enabled.
+    pub fn lockstep_divergence(&self) -> Option<&marvel_ref::Divergence> {
+        self.lockstep.as_deref().and_then(|ls| ls.divergence())
+    }
+
+    /// Micro-ops checked by the lockstep oracle so far.
+    pub fn lockstep_checked(&self) -> u64 {
+        self.lockstep.as_deref().map(|ls| ls.checked()).unwrap_or(0)
+    }
+
     /// Advance one cycle.
     pub fn tick(&mut self) -> SysEvent {
         self.cycle += 1;
         self.bus.tick_devices();
         self.core.set_irq(self.bus.irq_ctrl.line());
-        match self.core.tick(&mut self.bus) {
+        let ev = self.core.tick(&mut self.bus);
+        if let Some(ls) = self.lockstep.as_deref_mut() {
+            // The reference model has no interrupt plumbing: stop
+            // comparing the moment the core vectors into the ISR.
+            if self.core.in_irq() {
+                ls.suspend("interrupt service entered");
+            }
+            for e in self.core.drain_commit_effects() {
+                ls.check(&e);
+            }
+        }
+        match ev {
             StepEvent::None => SysEvent::Running,
             StepEvent::Halted => SysEvent::Halted,
             StepEvent::Trapped(t) => {
@@ -565,6 +607,65 @@ mod tests {
         assert_eq!(sys.output(), &[42]);
         // Determinism extends to cycle counts.
         assert_eq!(sys.cycle, restored.cycle);
+    }
+
+    #[test]
+    fn lockstep_clean_run_has_no_divergence() {
+        for isa in Isa::ALL {
+            let bin = assemble(&hello_module(), isa).unwrap();
+            let mut sys = System::new(CoreConfig::table2(isa));
+            sys.load_binary(&bin);
+            sys.enable_lockstep();
+            let out = sys.run(1_000_000);
+            assert!(matches!(out, RunOutcome::Halted { .. }), "{isa}: {out:?}");
+            if let Some(d) = sys.lockstep_divergence() {
+                panic!("{isa}: {d}");
+            }
+            assert!(sys.lockstep_checked() > 0, "{isa}: oracle never ran");
+            // The reference machine saw the same console bytes.
+            assert_eq!(sys.lockstep.as_deref().unwrap().ref_console(), sys.output());
+        }
+    }
+
+    #[test]
+    fn lockstep_catches_injected_corruption() {
+        // A PRF flip that causes an SDC must surface as a divergence —
+        // the oracle detecting a corrupted committed value is the
+        // positive control for the whole comparison path.
+        let isa = Isa::Arm;
+        let mut m = Module::new();
+        let f = m.declare("main", 0);
+        let mut b = FuncBuilder::new(0);
+        let mut acc = b.li(1);
+        for i in 2..24 {
+            acc = b.bin(AluOp::Add, acc, i as i64);
+        }
+        b.out_byte(acc);
+        b.halt();
+        m.define(f, b.build());
+        let bin = assemble(&m, isa).unwrap();
+        let mut found = false;
+        for bit in 0..512u64 {
+            let mut sys = System::new(CoreConfig::table2(isa));
+            sys.load_binary(&bin);
+            sys.enable_lockstep();
+            for _ in 0..30 {
+                sys.tick();
+            }
+            sys.flip(Target::PrfInt, bit);
+            let out = sys.run(1_000_000);
+            let sdc = matches!(out, RunOutcome::Halted { .. }) && sys.output() != [20];
+            if sys.lockstep_divergence().is_some() {
+                found = true;
+                break;
+            }
+            // An SDC the oracle missed would be a real hole — but only
+            // when the oracle was still active at the end.
+            if sdc && sys.lockstep.as_deref().unwrap().disabled_reason().is_none() {
+                panic!("bit {bit}: SDC escaped the lockstep oracle");
+            }
+        }
+        assert!(found, "no injected fault ever produced a divergence");
     }
 
     #[test]

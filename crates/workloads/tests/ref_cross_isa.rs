@@ -1,0 +1,66 @@
+//! Cross-ISA architectural equivalence under the marvel-ref reference
+//! model: every MiBench-style benchmark, compiled for every ISA flavour,
+//! must produce the interpreter's golden output when executed by the
+//! fast architectural interpreter — with no pipeline in the loop at all.
+//!
+//! Together with `mibench_cross_isa.rs` (O3 core vs interpreter) this
+//! closes the triangle: interpreter == reference model == O3 core, so a
+//! regression in any one of the three executors is pinned to that
+//! executor by which test fails.
+
+use marvel_ir::{assemble, interp};
+use marvel_isa::Isa;
+use marvel_ref::{run_binary, RefRunOutcome};
+use marvel_workloads::mibench;
+
+/// Generous: the reference model retires one instruction per step, so
+/// this bounds instructions, not cycles.
+const MAX_STEPS: u64 = 100_000_000;
+
+#[test]
+fn suite_matches_golden_under_reference_model() {
+    for name in mibench::NAMES {
+        let golden = interp::run(&mibench::build(name), 100_000_000)
+            .unwrap_or_else(|e| panic!("{name}: interp: {e:?}"));
+        for isa in Isa::ALL {
+            let bin = assemble(&mibench::build(name), isa)
+                .unwrap_or_else(|e| panic!("{name}/{isa}: assemble: {e}"));
+            let (outcome, console) = run_binary(&bin, MAX_STEPS);
+            match outcome {
+                RefRunOutcome::Halted { .. } => {}
+                other => panic!("{name}/{isa}: reference model did not halt: {other:?}"),
+            }
+            assert_eq!(
+                console,
+                golden.output,
+                "{name}/{isa}: reference output mismatch (got {:02x?} want {:02x?})",
+                &console[..console.len().min(16)],
+                &golden.output[..golden.output.len().min(16)]
+            );
+        }
+    }
+}
+
+#[test]
+fn retired_instruction_counts_are_close_across_isas() {
+    // Architectural instruction counts may differ between flavours
+    // (register pressure, immediate materialisation) but should stay
+    // within the same order of magnitude for every workload; a blowup
+    // indicates a lowering pathology rather than an ISA difference.
+    for name in mibench::NAMES {
+        let mut counts = Vec::new();
+        for isa in Isa::ALL {
+            let bin = assemble(&mibench::build(name), isa).unwrap();
+            let (outcome, _) = run_binary(&bin, MAX_STEPS);
+            match outcome {
+                RefRunOutcome::Halted { insts } => counts.push(insts),
+                other => panic!("{name}/{isa}: {other:?}"),
+            }
+        }
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!(
+            max / min.max(&1) < 8,
+            "{name}: retired-instruction spread too wide across ISAs: {counts:?}"
+        );
+    }
+}

@@ -2,10 +2,11 @@
 //!
 //! ```text
 //! marvel list
-//! marvel run <benchmark> [--isa arm|x86|riscv]
+//! marvel run <benchmark> [--isa arm|x86|riscv] [--lockstep]
 //! marvel disasm <benchmark> [--isa ...] [--limit N]
 //! marvel campaign <benchmark> [--isa ...] [--target prf|l1i|l1d|l2|lq|sq|rob|rename]
 //!                 [--faults N] [--kind transient|permanent] [--hvf] [--seed S]
+//!                 [--prep ref|cycle]
 //!                 [--metrics [path]] [--forensics [path]] [--progress [ms]]
 //!                 [--taint] [--attribution [path]] [--trace-pipeline [dir]]
 //! marvel dsa <design> [--faults N] [--fus N]
@@ -21,6 +22,11 @@
 //! attribution table is printed and exported (CSV + JSONL).
 //! `--trace-pipeline` writes a golden/faulty Konata pipeline trace pair
 //! for the campaign's first non-masked fault.
+//! `--lockstep` runs the cycle-level core under the architectural
+//! reference model, checking every committed instruction's effects and
+//! reporting the first divergence; `--prep ref` fast-forwards the golden
+//! run to the checkpoint with the reference interpreter instead of the
+//! cycle-level core.
 
 use gem5_marvel::core::{
     attribution_by_structure, attribution_csv, attribution_jsonl, campaign_masks, render_attribution,
@@ -166,14 +172,18 @@ fn dump_forensics(path: &std::path::Path, records: &[RunRecord], label: &str) ->
     Ok(n)
 }
 
-fn golden_for(bench: &str, isa: Isa) -> Result<Golden, String> {
+fn golden_for(bench: &str, isa: Isa, fast: bool) -> Result<Golden, String> {
     if !mibench::NAMES.contains(&bench) {
         return Err(format!("unknown benchmark '{bench}' (try `marvel list`)"));
     }
     let bin = assemble(&mibench::build(bench), isa).map_err(|e| e.to_string())?;
     let mut sys = System::new(CoreConfig::table2(isa));
     sys.load_binary(&bin);
-    Golden::prepare(sys, 200_000_000).map_err(|e| e.to_string())
+    if fast {
+        Golden::prepare_fast(sys, 200_000_000).map_err(|e| e.to_string())
+    } else {
+        Golden::prepare(sys, 200_000_000).map_err(|e| e.to_string())
+    }
 }
 
 fn cmd_list() -> Result<(), String> {
@@ -196,8 +206,26 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     let bin = assemble(&mibench::build(bench), isa).map_err(|e| e.to_string())?;
     let mut sys = System::new(CoreConfig::table2(isa));
     sys.load_binary(&bin);
+    let lockstep = args.switches.contains("lockstep");
+    if lockstep {
+        sys.enable_lockstep();
+    }
     match sys.run(200_000_000) {
         RunOutcome::Halted { cycles } => {
+            if lockstep {
+                if let Some(d) = sys.lockstep_divergence() {
+                    return Err(format!("lockstep divergence detected:\n{d}"));
+                }
+                let ls = sys.lockstep.as_deref().expect("lockstep was enabled");
+                match ls.disabled_reason() {
+                    Some(why) => {
+                        eprintln!("lockstep: {} commits checked, then suspended ({why})", ls.checked())
+                    }
+                    None => {
+                        eprintln!("lockstep: all {} commits match the reference model", ls.checked())
+                    }
+                }
+            }
             let s = &sys.core.stats;
             println!("{bench} on {isa}: halted after {cycles} cycles");
             println!("  code size       : {} B", bin.code_len);
@@ -219,7 +247,12 @@ fn cmd_run(args: &Args) -> Result<(), String> {
             println!("  output ({} B)   : {hex}", sys.output().len());
             Ok(())
         }
-        o => Err(format!("{bench} did not halt: {o:?}")),
+        o => {
+            if let Some(d) = sys.lockstep_divergence() {
+                return Err(format!("lockstep divergence detected:\n{d}"));
+            }
+            Err(format!("{bench} did not halt: {o:?}"))
+        }
     }
 }
 
@@ -245,6 +278,11 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
         _ => FaultKind::Transient,
     };
     let seed: u64 = args.flags.get("seed").map(|v| v.parse().unwrap_or(0xC0FFEE)).unwrap_or(0xC0FFEE);
+    let fast_prep = match args.flags.get("prep").map(String::as_str).unwrap_or("cycle") {
+        "ref" | "fast" => true,
+        "cycle" | "o3" => false,
+        other => return Err(format!("unknown prep mode '{other}' (ref|cycle)")),
+    };
     let (telemetry, metrics_path, forensics_path) =
         telemetry_from_args(args, "results/campaign_metrics.jsonl", "results/campaign_forensics.jsonl");
     let cc = CampaignConfig {
@@ -255,8 +293,11 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
         telemetry,
         ..Default::default()
     };
-    eprintln!("preparing golden run for {bench}/{isa} ...");
-    let golden = golden_for(bench, isa)?;
+    eprintln!(
+        "preparing golden run for {bench}/{isa} ({} prep) ...",
+        if fast_prep { "reference fast-forward" } else { "cycle-level" }
+    );
+    let golden = golden_for(bench, isa, fast_prep)?;
     golden.publish_metrics(&cc.telemetry.registry);
     eprintln!(
         "golden: {} cycles, injecting {} {:?} faults into {} ...",
@@ -389,10 +430,10 @@ fn main() -> ExitCode {
         _ => {
             eprintln!(
                 "marvel — microarchitecture-level fault injection\n\n\
-                 usage:\n  marvel list\n  marvel run <benchmark> [--isa arm|x86|riscv]\n  \
+                 usage:\n  marvel list\n  marvel run <benchmark> [--isa arm|x86|riscv] [--lockstep]\n  \
                  marvel disasm <benchmark> [--isa ...] [--limit N]\n  \
                  marvel campaign <benchmark> [--isa ...] [--target prf|l1i|l1d|l2|lq|sq|rob|rename]\n            \
-                 [--faults N] [--kind transient|permanent] [--hvf] [--seed S]\n            \
+                 [--faults N] [--kind transient|permanent] [--hvf] [--seed S] [--prep ref|cycle]\n            \
                  [--metrics [path]] [--forensics [path]] [--progress [ms]]\n            \
                  [--taint] [--attribution [path]] [--trace-pipeline [dir]]\n  \
                  marvel dsa <design> [--faults N] [--fus N]\n            \

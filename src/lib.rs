@@ -12,6 +12,8 @@
 //! * [`ir`] — the portable IR and per-ISA compiler;
 //! * [`cpu`] — the cycle-level out-of-order core with injectable
 //!   structures;
+//! * [`ref_model`] — the architectural reference interpreter used for
+//!   lockstep differential checking and fast-forward golden prep;
 //! * [`accel`] — the CDFG accelerator engine (SPMs, RegBanks, MMRs, DMA);
 //! * [`soc`] — system composition, interrupt controllers, checkpointing;
 //! * [`core`] — the fault-injection framework (the paper's contribution);
@@ -25,6 +27,7 @@ pub use marvel_core as core;
 pub use marvel_cpu as cpu;
 pub use marvel_ir as ir;
 pub use marvel_isa as isa;
+pub use marvel_ref as ref_model;
 pub use marvel_soc as soc;
 pub use marvel_telemetry as telemetry;
 pub use marvel_workloads as workloads;
