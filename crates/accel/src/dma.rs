@@ -32,12 +32,42 @@ pub struct DmaEngine {
     /// Bytes moved per cycle.
     pub bandwidth: usize,
     pub bytes_moved: u64,
+    /// Watermark `[lo, hi)` over RAM offsets this engine wrote (ToRam
+    /// drains) since the last [`reset_from`](Self::reset_from) — lets the
+    /// zero-copy campaign reset journal RAM writes that bypass the bus.
+    ram_lo: usize,
+    ram_hi: usize,
 }
 
 impl DmaEngine {
     pub fn new(bandwidth: usize) -> Self {
         assert!(bandwidth > 0);
-        DmaEngine { jobs: Default::default(), progress: 0, bandwidth, bytes_moved: 0 }
+        DmaEngine {
+            jobs: Default::default(),
+            progress: 0,
+            bandwidth,
+            bytes_moved: 0,
+            ram_lo: usize::MAX,
+            ram_hi: 0,
+        }
+    }
+
+    /// RAM byte range written by ToRam transfers since the last reset
+    /// (`None` when no such write happened).
+    pub fn ram_written_range(&self) -> Option<(usize, usize)> {
+        (self.ram_lo < self.ram_hi).then_some((self.ram_lo, self.ram_hi))
+    }
+
+    /// Restore from `pristine`, clearing the RAM-write watermark. Returns
+    /// state bytes copied (zero-copy campaign reset accounting).
+    pub fn reset_from(&mut self, pristine: &DmaEngine) -> u64 {
+        self.jobs.clone_from(&pristine.jobs);
+        self.progress = pristine.progress;
+        self.bandwidth = pristine.bandwidth;
+        self.bytes_moved = pristine.bytes_moved;
+        self.ram_lo = usize::MAX;
+        self.ram_hi = 0;
+        self.jobs.len() as u64 * std::mem::size_of::<DmaJob>() as u64 + 24
     }
 
     pub fn push(&mut self, job: DmaJob) {
@@ -93,6 +123,8 @@ impl DmaEngine {
             }
             DmaDir::ToRam => match accel.mem(job.mem).drain(mem_lo, n) {
                 Some(chunk) => {
+                    self.ram_lo = self.ram_lo.min(ram_lo);
+                    self.ram_hi = self.ram_hi.max(ram_lo + n);
                     ram[ram_lo..ram_lo + n].copy_from_slice(&chunk);
                     if accel.taint_enabled() {
                         let sh =

@@ -246,6 +246,30 @@ impl Accelerator {
         }
     }
 
+    /// Restore this accelerator to the pristine checkpoint it was cloned
+    /// from, for the zero-copy campaign reset. SRAM data uses the dirty
+    /// watermarks; the (immutable-during-runs) CDFG is not copied. Returns
+    /// state bytes copied.
+    pub fn reset_from(&mut self, pristine: &Accelerator) -> u64 {
+        let mut bytes = 0u64;
+        for (s, p) in self.spms.iter_mut().zip(&pristine.spms) {
+            bytes += s.reset_from(p);
+        }
+        for (s, p) in self.regbanks.iter_mut().zip(&pristine.regbanks) {
+            bytes += s.reset_from(p);
+        }
+        bytes += self.mmr.reset_from(&pristine.mmr);
+        self.fu = pristine.fu;
+        self.state = pristine.state;
+        self.exec.clone_from(&pristine.exec);
+        self.cycle = pristine.cycle;
+        self.irq = pristine.irq;
+        self.stats = pristine.stats.clone();
+        // Per-run taint plane: the pristine checkpoint never carries one.
+        self.taint.clone_from(&pristine.taint);
+        bytes + std::mem::size_of::<AccelStats>() as u64 + 32
+    }
+
     /// Start computation directly (standalone mode), passing entry-block
     /// arguments. Equivalent to writing the data MMRs then CTRL.start.
     pub fn start(&mut self, args: &[u64]) {

@@ -127,6 +127,20 @@ impl Mmr {
         self.armed.map(|(_, f)| f)
     }
 
+    /// Restore from `pristine` wholesale (the register block is tiny), for
+    /// the zero-copy campaign reset. Returns state bytes copied.
+    pub fn reset_from(&mut self, pristine: &Mmr) -> u64 {
+        self.regs.clone_from(&pristine.regs);
+        self.stuck.clone_from(&pristine.stuck);
+        self.armed = pristine.armed;
+        if pristine.shadow.is_empty() {
+            self.shadow.clear();
+        } else {
+            self.shadow.clone_from(&pristine.shadow);
+        }
+        self.regs.len() as u64 * 8 + 16
+    }
+
     // ---- marvel-taint shadow plane ----
 
     /// Allocate the shadow plane (call before arming; enabling afterwards

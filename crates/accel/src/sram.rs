@@ -55,6 +55,11 @@ pub struct Sram {
     /// accessors never touch `armed`/`reads`/`writes`, so enabling the
     /// plane cannot perturb fault fates or timing.
     shadow: Vec<u8>,
+    /// Dirty byte watermark `[dirty_lo, dirty_hi)` covering every data
+    /// mutation since the last [`reset_from`](Self::reset_from). Always
+    /// maintained (two compares per write); empty when `lo > hi`.
+    dirty_lo: usize,
+    dirty_hi: usize,
 }
 
 impl Sram {
@@ -69,7 +74,15 @@ impl Sram {
             reads: 0,
             writes: 0,
             shadow: Vec::new(),
+            dirty_lo: usize::MAX,
+            dirty_hi: 0,
         }
+    }
+
+    #[inline]
+    fn mark_range(&mut self, off: usize, n: usize) {
+        self.dirty_lo = self.dirty_lo.min(off);
+        self.dirty_hi = self.dirty_hi.max(off + n);
     }
 
     pub fn size(&self) -> usize {
@@ -108,6 +121,7 @@ impl Sram {
                 *fate = SramFate::Overwritten;
             }
         }
+        self.mark_range(off, n);
         self.bytes[off..off + n].copy_from_slice(&val.to_le_bytes()[..n]);
         self.apply_stuck_range(off, n);
         Some(())
@@ -124,6 +138,7 @@ impl Sram {
                 *fate = SramFate::Overwritten;
             }
         }
+        self.mark_range(off, data.len());
         self.bytes[off..off + data.len()].copy_from_slice(data);
         self.apply_stuck_range(off, data.len());
         Some(())
@@ -156,6 +171,7 @@ impl Sram {
 
     pub fn flip_bit(&mut self, bit: u64) -> SramFate {
         let byte = (bit / 8) as usize;
+        self.mark_range(byte, 1);
         self.bytes[byte] ^= 1 << (bit % 8);
         self.armed = Some((byte, SramFate::Pending));
         if let Some(s) = self.shadow.get_mut(byte) {
@@ -167,6 +183,7 @@ impl Sram {
     pub fn set_stuck(&mut self, bit: u64, value: bool) {
         self.stuck.push((bit, value));
         let byte = (bit / 8) as usize;
+        self.mark_range(byte, 1);
         let mask = 1u8 << (bit % 8);
         if value {
             self.bytes[byte] |= mask;
@@ -181,6 +198,34 @@ impl Sram {
 
     pub fn fate(&self) -> Option<SramFate> {
         self.armed.map(|(_, f)| f)
+    }
+
+    // ---- zero-copy campaign reset ----
+
+    /// Restore this SRAM to `pristine` by copying only the watermarked
+    /// dirty byte range. Returns state bytes copied. Per-run fault state
+    /// (stuck list, armed fate, taint shadow) is restored wholesale.
+    pub fn reset_from(&mut self, pristine: &Sram) -> u64 {
+        debug_assert_eq!(self.bytes.len(), pristine.bytes.len());
+        let mut bytes = 0u64;
+        if self.dirty_lo < self.dirty_hi {
+            let lo = self.dirty_lo;
+            let hi = self.dirty_hi.min(self.bytes.len());
+            self.bytes[lo..hi].copy_from_slice(&pristine.bytes[lo..hi]);
+            bytes += (hi - lo) as u64;
+        }
+        self.dirty_lo = usize::MAX;
+        self.dirty_hi = 0;
+        self.stuck.clone_from(&pristine.stuck);
+        self.armed = pristine.armed;
+        self.reads = pristine.reads;
+        self.writes = pristine.writes;
+        if pristine.shadow.is_empty() {
+            self.shadow.clear();
+        } else {
+            self.shadow.clone_from(&pristine.shadow);
+        }
+        bytes + 24 // counters + armed state
     }
 
     // ---- marvel-taint shadow plane ----
@@ -340,6 +385,24 @@ mod tests {
         s.set_stuck(8 * 2 + 1, true);
         s.taint_write(2, 1, 0);
         assert_eq!(s.taint_read(2, 1), 0b10);
+    }
+
+    #[test]
+    fn dirty_reset_restores_watermarked_range() {
+        let mut pristine = Sram::new("t", SramKind::Spm, 64, 2);
+        pristine.fill(0, &[5u8; 64]).unwrap();
+        let mut s = pristine.clone();
+        let _ = s.reset_from(&pristine); // flush the construction watermark
+        s.write(8, 8, 0xDEAD_BEEF).unwrap();
+        s.flip_bit(3);
+        s.enable_taint();
+        let bytes = s.reset_from(&pristine);
+        // Watermark spans byte 0 (flip) through 16 (write end).
+        assert!((16..64).contains(&bytes), "bytes {bytes}");
+        assert_eq!(s.bytes(), pristine.bytes());
+        assert_eq!(s.fate(), pristine.fate());
+        assert!(!s.taint_on());
+        assert_eq!((s.reads, s.writes), (pristine.reads, pristine.writes));
     }
 
     #[test]

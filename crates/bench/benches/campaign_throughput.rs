@@ -1,0 +1,241 @@
+//! Campaign throughput rig: clone-per-run vs the zero-copy dirty reset,
+//! over transient and permanent faults on both the CPU and DSA sides.
+//!
+//! Not a criterion target: each scenario times every injection run
+//! individually so it can report runs/sec plus p50/p95 per-run latency,
+//! and the results are written as machine-readable JSON
+//! (`BENCH_campaign.json` at the workspace root, or `$BENCH_CAMPAIGN_JSON`)
+//! for CI to archive. The headline scenario — transient faults into the
+//! integer PRF of a short-window kernel, where most runs terminate early —
+//! is the case the dirty-reset engine is built around: the run is over in
+//! a few thousand simulated cycles, so under clone mode the checkpoint
+//! memcpy dominates wall-clock.
+
+use marvel_core::{
+    campaign_masks, run_one_in, CampaignConfig, DsaGolden, DsaHarness, FaultKind, Golden, MaskGenerator,
+    Target, WorkerCtx,
+};
+use marvel_cpu::CoreConfig;
+use marvel_ir::{assemble, FuncBuilder, Module};
+use marvel_isa::{AluOp, Cond, Isa, MemWidth};
+use marvel_soc::System;
+use marvel_workloads::accel;
+use std::time::Instant;
+
+/// Short post-checkpoint kernel (~a few thousand cycles): squares into a
+/// buffer, then streams it to the console. Small enough that per-run
+/// state handling, not simulation, dominates campaign wall-clock.
+fn short_kernel() -> Module {
+    let mut m = Module::new();
+    let buf = m.global_zeroed("buf", 256, 8);
+    let f = m.declare("main", 0);
+    let mut b = FuncBuilder::new(0);
+    let base = b.addr_of(buf);
+    b.checkpoint();
+    let i = b.li(0);
+    let top = b.new_label();
+    b.bind(top);
+    let v = b.bin(AluOp::Mul, i, i);
+    b.store_idx(MemWidth::D, v, base, i);
+    let i2 = b.bin(AluOp::Add, i, 1);
+    b.assign(i, i2);
+    b.br(Cond::Lt, i, 32, top);
+    let j = b.li(0);
+    let top2 = b.new_label();
+    b.bind(top2);
+    let v2 = b.load_idx(MemWidth::D, false, base, j);
+    b.out_byte(v2);
+    let j2 = b.bin(AluOp::Add, j, 1);
+    b.assign(j, j2);
+    b.br(Cond::Lt, j, 32, top2);
+    b.halt();
+    m.define(f, b.build());
+    m
+}
+
+/// Per-mode measurement of one scenario.
+struct Sample {
+    runs_per_sec: f64,
+    p50_us: f64,
+    p95_us: f64,
+}
+
+fn quantile(sorted_us: &[f64], q: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * q).round() as usize;
+    sorted_us[idx]
+}
+
+fn sample(mut run: impl FnMut(), n: usize) -> Sample {
+    let mut us: Vec<f64> = Vec::with_capacity(n);
+    let t_all = Instant::now();
+    for _ in 0..n {
+        let t = Instant::now();
+        run();
+        us.push(t.elapsed().as_nanos() as f64 / 1_000.0);
+    }
+    let total = t_all.elapsed().as_secs_f64();
+    us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    Sample {
+        runs_per_sec: n as f64 / total.max(1e-9),
+        p50_us: quantile(&us, 0.50),
+        p95_us: quantile(&us, 0.95),
+    }
+}
+
+struct Scenario {
+    name: &'static str,
+    side: &'static str,
+    target: String,
+    kind: &'static str,
+    runs: usize,
+    clone: Sample,
+    dirty: Sample,
+}
+
+fn cpu_scenario(
+    name: &'static str,
+    golden: &Golden,
+    target: Target,
+    kind: FaultKind,
+    n: usize,
+) -> Scenario {
+    let cc = CampaignConfig { n_faults: n, kind, ..Default::default() };
+    let masks = campaign_masks(golden, target, &cc);
+
+    // Clone mode: every run deep-copies the checkpoint (ctx = None).
+    let mut it = masks.iter().cycle();
+    let clone = sample(
+        || {
+            run_one_in(golden, it.next().unwrap(), &cc, None);
+        },
+        n,
+    );
+
+    // Dirty mode: one reusable context; prime it so the first run's
+    // unavoidable clone stays out of the timings.
+    let mut ctx = WorkerCtx::new();
+    run_one_in(golden, &masks[0], &cc, Some(&mut ctx));
+    let mut it = masks.iter().cycle();
+    let dirty = sample(
+        || {
+            run_one_in(golden, it.next().unwrap(), &cc, Some(&mut ctx));
+        },
+        n,
+    );
+
+    Scenario { name, side: "cpu", target: target.name(), kind: kind_name(kind), runs: n, clone, dirty }
+}
+
+fn kind_name(kind: FaultKind) -> &'static str {
+    match kind {
+        FaultKind::Transient => "transient",
+        FaultKind::Permanent => "permanent",
+        FaultKind::PermanentStuck0 => "stuck0",
+        FaultKind::PermanentStuck1 => "stuck1",
+    }
+}
+
+fn dsa_scenario(name: &'static str, golden: &DsaGolden, kind: FaultKind, n: usize) -> Scenario {
+    let target = Target::Spm { accel: 0, mem: 0 };
+    let bit_len = golden.harness.accel.spms[0].bit_len();
+    let mut gen = MaskGenerator::new(0xC0FFEE ^ 0xD5A);
+    let masks = gen.single_bit(target, bit_len, kind, 1..golden.cycles.max(2), n);
+    let watchdog = golden.cycles * 3 + 10_000;
+
+    let mut it = masks.iter().cycle();
+    let clone = sample(
+        || {
+            let mut h = golden.harness.clone();
+            let _ = h.run(Some(it.next().unwrap()), watchdog);
+        },
+        n,
+    );
+
+    let mut reusable: Box<DsaHarness> = Box::new(golden.harness.clone());
+    let mut it = masks.iter().cycle();
+    let dirty = sample(
+        || {
+            reusable.reset_from(&golden.harness);
+            let _ = reusable.run(Some(it.next().unwrap()), watchdog);
+        },
+        n,
+    );
+
+    Scenario { name, side: "dsa", target: target.name(), kind: kind_name(kind), runs: n, clone, dirty }
+}
+
+fn emit_json(scenarios: &[Scenario], path: &str) {
+    let mut out = String::from("{\n  \"schema_version\": 1,\n  \"scenarios\": [\n");
+    for (i, s) in scenarios.iter().enumerate() {
+        let sep = if i + 1 < scenarios.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"side\": \"{}\", \"target\": \"{}\", \"kind\": \"{}\", \"runs\": {},\n      \
+             \"clone\": {{\"runs_per_sec\": {:.1}, \"p50_us\": {:.1}, \"p95_us\": {:.1}}},\n      \
+             \"dirty\": {{\"runs_per_sec\": {:.1}, \"p50_us\": {:.1}, \"p95_us\": {:.1}}},\n      \
+             \"speedup\": {:.2}}}{}\n",
+            s.name,
+            s.side,
+            s.target,
+            s.kind,
+            s.runs,
+            s.clone.runs_per_sec,
+            s.clone.p50_us,
+            s.clone.p95_us,
+            s.dirty.runs_per_sec,
+            s.dirty.p50_us,
+            s.dirty.p95_us,
+            s.dirty.runs_per_sec / s.clone.runs_per_sec.max(1e-9),
+            sep
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+}
+
+fn main() {
+    let bin = assemble(&short_kernel(), Isa::RiscV).unwrap();
+    let mut sys = System::new(CoreConfig::table2(Isa::RiscV));
+    sys.load_binary(&bin);
+    let cpu_golden = Golden::prepare(sys, 3_000_000).unwrap();
+
+    let d = accel::design("FFT");
+    let dsa_golden = DsaGolden::prepare((d.make)(marvel_accel::FuConfig::default()), 50_000_000);
+
+    // DSA runs simulate tens of thousands of accelerator cycles each, so
+    // they get fewer samples — they measure that state handling is *not*
+    // the bottleneck there (speedup ≈ 1), unlike the CPU scenarios.
+    let n_cpu = 200;
+    let n_dsa = 150;
+    let scenarios = vec![
+        cpu_scenario("cpu_prf_transient", &cpu_golden, Target::PrfInt, FaultKind::Transient, n_cpu),
+        cpu_scenario("cpu_prf_permanent", &cpu_golden, Target::PrfInt, FaultKind::Permanent, n_cpu),
+        cpu_scenario("cpu_l1d_transient", &cpu_golden, Target::L1D, FaultKind::Transient, n_cpu),
+        dsa_scenario("dsa_spm_transient", &dsa_golden, FaultKind::Transient, n_dsa),
+        dsa_scenario("dsa_spm_permanent", &dsa_golden, FaultKind::Permanent, n_dsa),
+    ];
+
+    println!(
+        "{:<20} {:>6} {:>12} {:>12} {:>9} {:>9} {:>8}",
+        "scenario", "runs", "clone r/s", "dirty r/s", "p50 µs", "p95 µs", "speedup"
+    );
+    for s in &scenarios {
+        println!(
+            "{:<20} {:>6} {:>12.0} {:>12.0} {:>9.1} {:>9.1} {:>7.2}x",
+            s.name,
+            s.runs,
+            s.clone.runs_per_sec,
+            s.dirty.runs_per_sec,
+            s.dirty.p50_us,
+            s.dirty.p95_us,
+            s.dirty.runs_per_sec / s.clone.runs_per_sec.max(1e-9)
+        );
+    }
+
+    let path = std::env::var("BENCH_CAMPAIGN_JSON")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_campaign.json").into());
+    emit_json(&scenarios, &path);
+    eprintln!("wrote {path}");
+}

@@ -75,6 +75,33 @@ pub struct TelemetryConfig {
     pub taint: bool,
 }
 
+/// How each injection run obtains its starting state.
+///
+/// Both modes produce bit-identical campaign results at any worker count
+/// (the differential regression tests pin this); they differ only in cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ResetMode {
+    /// Deep-clone the golden checkpoint for every run. The original path,
+    /// kept selectable as an oracle for the dirty-reset journal.
+    Clone,
+    /// Zero-copy: each worker keeps one reusable [`System`] and undoes
+    /// dirty state (journaled RAM pages, cache sets, registers) against
+    /// the shared pristine checkpoint between runs.
+    #[default]
+    Dirty,
+}
+
+impl ResetMode {
+    /// Parse a CLI flag value.
+    pub fn parse(s: &str) -> Option<ResetMode> {
+        match s {
+            "clone" => Some(ResetMode::Clone),
+            "dirty" => Some(ResetMode::Dirty),
+            _ => None,
+        }
+    }
+}
+
 /// Campaign-wide configuration.
 #[derive(Debug, Clone)]
 pub struct CampaignConfig {
@@ -90,6 +117,8 @@ pub struct CampaignConfig {
     /// Enable the fault-overwritten/invalid-entry early termination.
     pub early_termination: bool,
     pub confidence: f64,
+    /// Run-state reset strategy (zero-copy dirty reset vs. deep clone).
+    pub reset_mode: ResetMode,
     /// Observability (metrics, progress line, flight recorder).
     pub telemetry: TelemetryConfig,
 }
@@ -105,6 +134,7 @@ impl Default for CampaignConfig {
             watchdog_factor: 3,
             early_termination: true,
             confidence: 0.95,
+            reset_mode: ResetMode::default(),
             telemetry: TelemetryConfig::default(),
         }
     }
@@ -158,15 +188,9 @@ impl Golden {
     /// [`GoldenError::BadGoldenRun`] if the fault-free run traps or
     /// exceeds `max_cycles`.
     pub fn prepare(mut sys: System, max_cycles: u64) -> Result<Golden, GoldenError> {
-        let mut ckpt = sys.clone();
-        let mut ckpt_cycle = 0;
         loop {
             match sys.tick() {
-                SysEvent::Checkpoint => {
-                    ckpt = sys.clone();
-                    ckpt_cycle = sys.cycle;
-                    break;
-                }
+                SysEvent::Checkpoint => break,
                 SysEvent::Halted => {
                     return Err(GoldenError::BadGoldenRun("halted before checkpoint".into()))
                 }
@@ -176,12 +200,38 @@ impl Golden {
                 _ => {}
             }
             if sys.cycle >= max_cycles {
-                // No checkpoint marker: snapshot the initial state instead.
-                break;
+                // No checkpoint marker within budget. Re-running the
+                // initial state could only time out again (halting or
+                // trapping inside the budget would have been caught
+                // above), so report that outcome without the re-run.
+                return Err(GoldenError::BadGoldenRun("golden run timed out".into()));
             }
         }
-
-        Self::finish(ckpt, ckpt_cycle, max_cycles, false)
+        // Snapshot exactly once, at the marker, then continue the same
+        // system as the golden run: its state *is* the checkpoint, so
+        // recording from here matches a fresh clone bit for bit.
+        let ckpt_cycle = sys.cycle;
+        let ckpt = sys.clone();
+        sys.core.trace_mode = TraceMode::Record;
+        match sys.run(max_cycles) {
+            RunOutcome::Halted { cycles } => {
+                let trace = Arc::new(std::mem::take(&mut sys.core.trace));
+                Ok(Golden {
+                    ckpt,
+                    ckpt_cycle,
+                    exec_cycles: cycles - ckpt_cycle,
+                    output: sys.bus.console.clone(),
+                    trace,
+                    stats: sys.core.stats.clone(),
+                    switch_cycle: sys.switch_cycle,
+                    ref_prepped: false,
+                })
+            }
+            RunOutcome::Crashed { trap, .. } => {
+                Err(GoldenError::BadGoldenRun(format!("golden run trapped: {trap}")))
+            }
+            RunOutcome::Timeout => Err(GoldenError::BadGoldenRun("golden run timed out".into())),
+        }
     }
 
     /// Reference-model fast-forward variant of [`prepare`](Self::prepare):
@@ -234,8 +284,10 @@ impl Golden {
         Self::finish(sys, 0, max_cycles, true)
     }
 
-    /// Shared tail of [`prepare`]/[`prepare_fast`]: run the fault-free
-    /// golden execution from the checkpoint, recording the commit trace.
+    /// Tail of [`prepare_fast`](Self::prepare_fast): clone the transplanted
+    /// checkpoint and run the fault-free golden execution from it,
+    /// recording the commit trace. ([`prepare`](Self::prepare) avoids this
+    /// extra clone by continuing the warmup system in place.)
     fn finish(
         ckpt: System,
         ckpt_cycle: u64,
@@ -334,8 +386,38 @@ pub(crate) fn taint_finish(rep: Option<TaintReport>, fr: &mut FlightRecorder) ->
     Some(rep.attribution())
 }
 
-/// Execute one injection run.
+/// Reusable per-worker run state for [`ResetMode::Dirty`]: one `System`
+/// kept alive across runs and reset against the shared pristine
+/// checkpoint, instead of a deep clone per run.
+#[derive(Debug, Default)]
+pub struct WorkerCtx {
+    sys: Option<Box<System>>,
+}
+
+impl WorkerCtx {
+    pub fn new() -> Self {
+        WorkerCtx::default()
+    }
+}
+
+/// Execute one injection run (always via a fresh deep clone of the
+/// checkpoint — the oracle path; campaigns route through [`run_one_in`]).
 pub fn run_one(golden: &Golden, mask: &FaultMask, cc: &CampaignConfig) -> RunRecord {
+    run_one_in(golden, mask, cc, None)
+}
+
+/// Execute one injection run inside an optional reusable worker context.
+///
+/// With `ctx = None` (or on a context's first run) the checkpoint is deep
+/// cloned; afterwards the context's system is dirty-reset from the shared
+/// pristine checkpoint, recording `campaign.reset_ns` / `campaign.reset_bytes`
+/// when the registry is live. Classifications are bit-identical either way.
+pub fn run_one_in(
+    golden: &Golden,
+    mask: &FaultMask,
+    cc: &CampaignConfig,
+    ctx: Option<&mut WorkerCtx>,
+) -> RunRecord {
     let tel = &cc.telemetry;
     let mut fr = if tel.flight_capacity > 0 {
         FlightRecorder::new(tel.flight_capacity)
@@ -344,13 +426,42 @@ pub fn run_one(golden: &Golden, mask: &FaultMask, cc: &CampaignConfig) -> RunRec
     };
     let mut fate_seen = false;
 
-    let restore_start = tel.registry.is_enabled().then(std::time::Instant::now);
-    let mut sys = golden.ckpt.clone();
-    if let Some(t0) = restore_start {
-        if let Some(h) = tel.registry.histogram("campaign.ckpt_restore_ns") {
-            h.record(t0.elapsed().as_nanos() as u64);
+    let reset_start = tel.registry.is_enabled().then(std::time::Instant::now);
+    let mut owned: Option<Box<System>> = None;
+    let sys: &mut System = match ctx {
+        Some(c) => {
+            match &mut c.sys {
+                Some(s) => {
+                    let bytes = s.reset_from(&golden.ckpt);
+                    if let Some(t0) = reset_start {
+                        if let Some(h) = tel.registry.histogram("campaign.reset_ns") {
+                            h.record(t0.elapsed().as_nanos() as u64);
+                        }
+                        if let Some(h) = tel.registry.histogram("campaign.reset_bytes") {
+                            h.record(bytes);
+                        }
+                    }
+                }
+                slot @ None => {
+                    // First run on this worker: pay the one clone, then
+                    // arm the dirty journals for every later reset.
+                    let mut s = Box::new(golden.ckpt.clone());
+                    s.enable_dirty_tracking();
+                    *slot = Some(s);
+                }
+            }
+            c.sys.as_mut().expect("worker context populated above")
         }
-    }
+        None => {
+            let s = Box::new(golden.ckpt.clone());
+            if let Some(t0) = reset_start {
+                if let Some(h) = tel.registry.histogram("campaign.ckpt_restore_ns") {
+                    h.record(t0.elapsed().as_nanos() as u64);
+                }
+            }
+            owned.insert(s)
+        }
+    };
     if cc.collect_hvf {
         sys.core.trace_mode = TraceMode::Check(golden.trace.clone());
     }
@@ -667,42 +778,84 @@ fn run_masks_with_population(
     let crash_n = AtomicU64::new(0);
     let early_n = AtomicU64::new(0);
     let run_cycles = tel.registry.histogram("campaign.run_cycles");
+    let total = masks.len() as u64;
+    // Wakes the progress reporter the moment the last run lands, instead
+    // of letting it sleep out a full interval after the workers are done.
+    let finish_wake = (std::sync::Mutex::new(false), std::sync::Condvar::new());
 
     crossbeam::thread::scope(|s| {
         for w in 0..workers {
             let worker_runs = tel.registry.scoped_counter(&scope.indexed("worker", w), "runs");
             let (next, slots) = (&next, &slots);
             let (done, sdc_n, crash_n, early_n) = (&done, &sdc_n, &crash_n, &early_n);
+            let finish_wake = &finish_wake;
             let run_cycles = run_cycles.clone();
-            s.spawn(move |_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= masks.len() {
-                    break;
+            s.spawn(move |_| {
+                let mut ctx = WorkerCtx::new();
+                // Shared-counter traffic is batched: the effect tallies
+                // and cycle samples accumulate locally and flush every
+                // BATCH runs (plus once at exit). Only `done` — which
+                // drives progress and the finish wake — bumps per run.
+                const BATCH: u64 = 32;
+                let (mut b_runs, mut b_sdc, mut b_crash, mut b_early) = (0u64, 0u64, 0u64, 0u64);
+                let mut b_cycles: Vec<u64> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= masks.len() {
+                        break;
+                    }
+                    let ctx = (cc.reset_mode == ResetMode::Dirty).then_some(&mut ctx);
+                    let rec = run_one_in(golden, &masks[i], cc, ctx);
+                    b_runs += 1;
+                    match rec.effect {
+                        FaultEffect::Sdc => b_sdc += 1,
+                        FaultEffect::Crash => b_crash += 1,
+                        FaultEffect::Masked => {}
+                    }
+                    if rec.early_terminated {
+                        b_early += 1;
+                    }
+                    if run_cycles.is_some() {
+                        b_cycles.push(rec.cycles);
+                    }
+                    *slots[i].lock().unwrap() = Some(rec);
+                    let last = done.fetch_add(1, Ordering::Relaxed) + 1 == total;
+                    if b_runs >= BATCH || last {
+                        worker_runs.add(b_runs);
+                        sdc_n.fetch_add(b_sdc, Ordering::Relaxed);
+                        crash_n.fetch_add(b_crash, Ordering::Relaxed);
+                        early_n.fetch_add(b_early, Ordering::Relaxed);
+                        if let Some(h) = &run_cycles {
+                            b_cycles.drain(..).for_each(|c| h.record(c));
+                        }
+                        (b_runs, b_sdc, b_crash, b_early) = (0, 0, 0, 0);
+                    }
+                    if last {
+                        let (lock, cvar) = finish_wake;
+                        *lock.lock().unwrap() = true;
+                        cvar.notify_all();
+                    }
                 }
-                let rec = run_one(golden, &masks[i], cc);
-                worker_runs.inc();
-                match rec.effect {
-                    FaultEffect::Sdc => sdc_n.fetch_add(1, Ordering::Relaxed),
-                    FaultEffect::Crash => crash_n.fetch_add(1, Ordering::Relaxed),
-                    FaultEffect::Masked => 0,
-                };
-                if rec.early_terminated {
-                    early_n.fetch_add(1, Ordering::Relaxed);
+                if b_runs > 0 {
+                    worker_runs.add(b_runs);
+                    sdc_n.fetch_add(b_sdc, Ordering::Relaxed);
+                    crash_n.fetch_add(b_crash, Ordering::Relaxed);
+                    early_n.fetch_add(b_early, Ordering::Relaxed);
+                    if let Some(h) = &run_cycles {
+                        b_cycles.drain(..).for_each(|c| h.record(c));
+                    }
                 }
-                if let Some(h) = &run_cycles {
-                    h.record(rec.cycles);
-                }
-                *slots[i].lock().unwrap() = Some(rec);
-                done.fetch_add(1, Ordering::Relaxed);
             });
         }
         if tel.progress_interval_ms > 0 {
             let (done, sdc_n, crash_n, early_n) = (&done, &sdc_n, &crash_n, &early_n);
-            let total = masks.len() as u64;
+            let finish_wake = &finish_wake;
             let interval = std::time::Duration::from_millis(tel.progress_interval_ms);
             let confidence = cc.confidence;
             s.spawn(move |_| {
                 let meter = ProgressMeter::new("campaign", total);
+                let (lock, cvar) = finish_wake;
+                let mut finished = lock.lock().unwrap();
                 loop {
                     let d = done.load(Ordering::Relaxed);
                     let margin = error_margin(d.max(1) as usize, population, confidence);
@@ -719,14 +872,19 @@ fn run_masks_with_population(
                     if d >= total {
                         break;
                     }
-                    std::thread::sleep(interval);
+                    // Interval tick, cut short by the last run's notify
+                    // (checked under the lock, so the wake can't be lost).
+                    if !*finished {
+                        finished = cvar.wait_timeout(finished, interval).unwrap().0;
+                    }
                 }
             });
         }
     })
     .expect("campaign worker panicked");
 
-    let total = masks.len() as u64;
+    // In-flight effect tallies were flushed at worker exit; the scope join
+    // above means the atomics now hold the full-campaign totals.
     let (sdc, crash) = (sdc_n.into_inner(), crash_n.into_inner());
     tel.registry.publish_scoped(&scope, "runs", total);
     tel.registry.publish_scoped(&scope, "sdc", sdc);
@@ -851,6 +1009,26 @@ mod tests {
         let e1: Vec<_> = r1.records.iter().map(|r| r.effect).collect();
         let e2: Vec<_> = r2.records.iter().map(|r| r.effect).collect();
         assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn reset_modes_produce_identical_records() {
+        let g = golden_for(Isa::RiscV);
+        let mk = |mode| CampaignConfig {
+            n_faults: 16,
+            collect_hvf: true,
+            workers: 3,
+            reset_mode: mode,
+            ..Default::default()
+        };
+        for target in [Target::PrfInt, Target::L1D] {
+            let rc = run_campaign(&g, target, &mk(ResetMode::Clone));
+            let rd = run_campaign(&g, target, &mk(ResetMode::Dirty));
+            let key = |r: &RunRecord| (r.effect, r.hvf, r.trap, r.early_terminated, r.cycles);
+            let kc: Vec<_> = rc.records.iter().map(key).collect();
+            let kd: Vec<_> = rd.records.iter().map(key).collect();
+            assert_eq!(kc, kd, "{target:?}");
+        }
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! non-masked fault is architecturally visible, so only the AVF classes
 //! are reported.
 
-use crate::campaign::{taint_finish, CampaignConfig, FaultEffect, RunRecord};
+use crate::campaign::{taint_finish, CampaignConfig, FaultEffect, ResetMode, RunRecord};
 use crate::fault::{FaultMask, FaultModel, MaskGenerator};
 use crate::stats::error_margin;
 use marvel_accel::{AccelState, Accelerator, DmaEngine, DmaJob, SramFate};
@@ -80,6 +80,22 @@ impl DsaHarness {
             Target::Mmr { .. } => self.accel.mmr.fate(),
             _ => None,
         }
+    }
+
+    /// Restore this harness to the pristine golden copy it was cloned
+    /// from (zero-copy campaign reset). The accelerator resets through
+    /// its SPM write watermarks; the private RAM buffer is copied
+    /// wholesale — DSA RAM is a few hundred bytes, not the SoC's
+    /// megabytes. Returns state bytes copied.
+    pub fn reset_from(&mut self, pristine: &DsaHarness) -> u64 {
+        let mut bytes = self.accel.reset_from(&pristine.accel);
+        self.ram.clone_from(&pristine.ram);
+        bytes += self.ram.len() as u64;
+        self.jobs_in.clone_from(&pristine.jobs_in);
+        self.jobs_out.clone_from(&pristine.jobs_out);
+        self.args.clone_from(&pristine.args);
+        self.output = pristine.output.clone();
+        bytes + 16
     }
 
     /// Run the full DMA-in → compute → DMA-out sequence, optionally
@@ -288,90 +304,147 @@ pub fn run_dsa_campaign(golden: &DsaGolden, target: Target, cc: &CampaignConfig)
     let crash_n = AtomicU64::new(0);
     let run_cycles = tel.registry.histogram("dsa.run_cycles");
     let masks = masks.as_slice();
+    let total = masks.len() as u64;
+    // Wakes the progress reporter as soon as the last run lands (see the
+    // matching pattern in `run_masks_with_population`).
+    let finish_wake = (std::sync::Mutex::new(false), std::sync::Condvar::new());
 
     crossbeam::thread::scope(|s| {
         for w in 0..workers {
             let worker_runs = tel.registry.scoped_counter(&scope.indexed("worker", w), "runs");
             let (next, slots) = (&next, &slots);
             let (done, sdc_n, crash_n) = (&done, &sdc_n, &crash_n);
+            let finish_wake = &finish_wake;
             let run_cycles = run_cycles.clone();
             let flight_capacity = tel.flight_capacity;
             let taint = tel.taint;
-            s.spawn(move |_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= masks.len() {
-                    break;
-                }
-                let mut fr = if flight_capacity > 0 {
-                    FlightRecorder::new(flight_capacity)
-                } else {
-                    FlightRecorder::disabled()
-                };
-                let mut h = golden.harness.clone();
-                if taint {
-                    // Before arming: the injection inside `run_recorded`
-                    // seeds the shadow planes.
-                    h.accel.enable_taint(&target.name());
-                }
-                let outcome = h.run_recorded(Some(&masks[i]), watchdog, &mut fr);
-                let (effect, trap) = match &outcome {
-                    DsaOutcome::Done { output, .. } => {
-                        if *output == golden.output {
-                            (FaultEffect::Masked, None)
-                        } else {
-                            (FaultEffect::Sdc, None)
-                        }
+            s.spawn(move |_| {
+                // Reusable per-worker harness for the dirty reset mode.
+                let mut reusable: Option<Box<DsaHarness>> = None;
+                const BATCH: u64 = 32;
+                let (mut b_runs, mut b_sdc, mut b_crash) = (0u64, 0u64, 0u64);
+                let mut b_cycles: Vec<u64> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= masks.len() {
+                        break;
                     }
-                    DsaOutcome::Error { .. } => (FaultEffect::Crash, Some("accel-error")),
-                    DsaOutcome::Timeout => (FaultEffect::Crash, Some("watchdog")),
-                };
-                let cycles = match outcome {
-                    DsaOutcome::Done { cycles, .. } | DsaOutcome::Error { cycles } => cycles,
-                    DsaOutcome::Timeout => watchdog,
-                };
-                if fr.is_enabled() {
-                    match h.fault_fate(target) {
-                        Some(SramFate::Read) => fr.record(cycles, Event::BitRead),
-                        Some(SramFate::Overwritten) => fr.record(cycles, Event::BitOverwritten),
-                        _ => {}
-                    }
-                    let tag = match effect {
-                        FaultEffect::Masked => "Masked",
-                        FaultEffect::Sdc => "SDC",
-                        FaultEffect::Crash => "Crash",
+                    let mut fr = if flight_capacity > 0 {
+                        FlightRecorder::new(flight_capacity)
+                    } else {
+                        FlightRecorder::disabled()
                     };
-                    fr.record(cycles, Event::Classified { effect: tag });
+                    let mut fresh: Option<DsaHarness> = None;
+                    let h: &mut DsaHarness = match cc.reset_mode {
+                        ResetMode::Dirty => {
+                            let reset_start = tel.registry.is_enabled().then(std::time::Instant::now);
+                            if let Some(h) = reusable.as_mut() {
+                                let bytes = h.reset_from(&golden.harness);
+                                if let Some(t0) = reset_start {
+                                    if let Some(hist) = tel.registry.histogram("dsa.reset_ns") {
+                                        hist.record(t0.elapsed().as_nanos() as u64);
+                                    }
+                                    if let Some(hist) = tel.registry.histogram("dsa.reset_bytes") {
+                                        hist.record(bytes);
+                                    }
+                                }
+                            } else {
+                                reusable = Some(Box::new(golden.harness.clone()));
+                            }
+                            reusable.as_mut().expect("populated above")
+                        }
+                        ResetMode::Clone => fresh.insert(golden.harness.clone()),
+                    };
+                    if taint {
+                        // Before arming: the injection inside `run_recorded`
+                        // seeds the shadow planes.
+                        h.accel.enable_taint(&target.name());
+                    }
+                    let outcome = h.run_recorded(Some(&masks[i]), watchdog, &mut fr);
+                    let (effect, trap) = match &outcome {
+                        DsaOutcome::Done { output, .. } => {
+                            if *output == golden.output {
+                                (FaultEffect::Masked, None)
+                            } else {
+                                (FaultEffect::Sdc, None)
+                            }
+                        }
+                        DsaOutcome::Error { .. } => (FaultEffect::Crash, Some("accel-error")),
+                        DsaOutcome::Timeout => (FaultEffect::Crash, Some("watchdog")),
+                    };
+                    let cycles = match outcome {
+                        DsaOutcome::Done { cycles, .. } | DsaOutcome::Error { cycles } => cycles,
+                        DsaOutcome::Timeout => watchdog,
+                    };
+                    if fr.is_enabled() {
+                        match h.fault_fate(target) {
+                            Some(SramFate::Read) => fr.record(cycles, Event::BitRead),
+                            Some(SramFate::Overwritten) => fr.record(cycles, Event::BitOverwritten),
+                            _ => {}
+                        }
+                        let tag = match effect {
+                            FaultEffect::Masked => "Masked",
+                            FaultEffect::Sdc => "SDC",
+                            FaultEffect::Crash => "Crash",
+                        };
+                        fr.record(cycles, Event::Classified { effect: tag });
+                    }
+                    b_runs += 1;
+                    match effect {
+                        FaultEffect::Sdc => b_sdc += 1,
+                        FaultEffect::Crash => b_crash += 1,
+                        FaultEffect::Masked => {}
+                    }
+                    if run_cycles.is_some() {
+                        b_cycles.push(cycles);
+                    }
+                    let attribution = taint_finish(h.accel.taint_tracer().map(|t| t.report()), &mut fr);
+                    let forensics =
+                        (fr.is_enabled() && effect != FaultEffect::Masked).then(|| fr.take());
+                    *slots[i].lock().unwrap() = Some(RunRecord {
+                        effect,
+                        hvf: None,
+                        trap,
+                        early_terminated: false,
+                        cycles,
+                        forensics,
+                        attribution,
+                    });
+                    let last = done.fetch_add(1, Ordering::Relaxed) + 1 == total;
+                    if b_runs >= BATCH || last {
+                        worker_runs.add(b_runs);
+                        sdc_n.fetch_add(b_sdc, Ordering::Relaxed);
+                        crash_n.fetch_add(b_crash, Ordering::Relaxed);
+                        if let Some(hist) = &run_cycles {
+                            b_cycles.drain(..).for_each(|c| hist.record(c));
+                        }
+                        (b_runs, b_sdc, b_crash) = (0, 0, 0);
+                    }
+                    if last {
+                        let (lock, cvar) = finish_wake;
+                        *lock.lock().unwrap() = true;
+                        cvar.notify_all();
+                    }
                 }
-                worker_runs.inc();
-                match effect {
-                    FaultEffect::Sdc => sdc_n.fetch_add(1, Ordering::Relaxed),
-                    FaultEffect::Crash => crash_n.fetch_add(1, Ordering::Relaxed),
-                    FaultEffect::Masked => 0,
-                };
-                if let Some(hist) = &run_cycles {
-                    hist.record(cycles);
+                if b_runs > 0 {
+                    worker_runs.add(b_runs);
+                    sdc_n.fetch_add(b_sdc, Ordering::Relaxed);
+                    crash_n.fetch_add(b_crash, Ordering::Relaxed);
+                    if let Some(hist) = &run_cycles {
+                        b_cycles.drain(..).for_each(|c| hist.record(c));
+                    }
                 }
-                let attribution = taint_finish(h.accel.taint_tracer().map(|t| t.report()), &mut fr);
-                let forensics = (fr.is_enabled() && effect != FaultEffect::Masked).then(|| fr.take());
-                *slots[i].lock().unwrap() = Some(RunRecord {
-                    effect,
-                    hvf: None,
-                    trap,
-                    early_terminated: false,
-                    cycles,
-                    forensics,
-                    attribution,
-                });
-                done.fetch_add(1, Ordering::Relaxed);
             });
         }
         if tel.progress_interval_ms > 0 {
             let (done, sdc_n, crash_n) = (&done, &sdc_n, &crash_n);
-            let total = masks.len() as u64;
+            let finish_wake = &finish_wake;
             let interval = std::time::Duration::from_millis(tel.progress_interval_ms);
             let confidence = cc.confidence;
             s.spawn(move |_| {
                 let meter = ProgressMeter::new("dsa", total);
+                let (lock, cvar) = finish_wake;
+                let mut finished = lock.lock().unwrap();
                 loop {
                     let d = done.load(Ordering::Relaxed);
                     let margin = error_margin(d.max(1) as usize, population, confidence);
@@ -388,14 +461,15 @@ pub fn run_dsa_campaign(golden: &DsaGolden, target: Target, cc: &CampaignConfig)
                     if d >= total {
                         break;
                     }
-                    std::thread::sleep(interval);
+                    if !*finished {
+                        finished = cvar.wait_timeout(finished, interval).unwrap().0;
+                    }
                 }
             });
         }
     })
     .expect("dsa campaign worker panicked");
 
-    let total = masks.len() as u64;
     let (sdc, crash) = (sdc_n.into_inner(), crash_n.into_inner());
     tel.registry.publish_scoped(&scope, "runs", total);
     tel.registry.publish_scoped(&scope, "sdc", sdc);
@@ -519,6 +593,26 @@ mod tests {
         };
         let res = run_dsa_campaign(&g, Target::Spm { accel: 0, mem: 1 }, &cc);
         assert_eq!(res.records.len(), 30);
+    }
+
+    #[test]
+    fn reset_modes_produce_identical_records() {
+        let g = DsaGolden::prepare(triple_harness(), 100_000);
+        let mk = |mode, kind| CampaignConfig {
+            n_faults: 24,
+            kind,
+            workers: 3,
+            reset_mode: mode,
+            ..Default::default()
+        };
+        for kind in [crate::fault::FaultKind::Transient, crate::fault::FaultKind::Permanent] {
+            let rc = run_dsa_campaign(&g, Target::Spm { accel: 0, mem: 0 }, &mk(ResetMode::Clone, kind));
+            let rd = run_dsa_campaign(&g, Target::Spm { accel: 0, mem: 0 }, &mk(ResetMode::Dirty, kind));
+            let key = |r: &RunRecord| (r.effect, r.trap, r.cycles);
+            let kc: Vec<_> = rc.records.iter().map(key).collect();
+            let kd: Vec<_> = rd.records.iter().map(key).collect();
+            assert_eq!(kc, kd, "{kind:?}");
+        }
     }
 
     #[test]

@@ -29,8 +29,9 @@ pub mod report;
 pub mod stats;
 
 pub use campaign::{
-    campaign_masks, run_campaign, run_masks, run_one, trace_pipeline_pair, CampaignConfig,
-    CampaignResult, FaultEffect, Golden, GoldenError, HvfEffect, RunRecord, TelemetryConfig,
+    campaign_masks, run_campaign, run_masks, run_one, run_one_in, trace_pipeline_pair, CampaignConfig,
+    CampaignResult, FaultEffect, Golden, GoldenError, HvfEffect, ResetMode, RunRecord, TelemetryConfig,
+    WorkerCtx,
 };
 pub use dsa::{run_dsa_campaign, DsaCampaignResult, DsaGolden, DsaHarness, DsaOutcome};
 pub use fault::{FaultKind, FaultMask, FaultModel, MaskGenerator};

@@ -63,6 +63,17 @@ impl BranchPredictor {
     pub fn ras_pop(&mut self) -> Option<u64> {
         self.ras.pop()
     }
+
+    /// Restore from `pristine`, reusing this predictor's allocations.
+    /// Returns state bytes copied (zero-copy campaign reset accounting).
+    pub fn reset_from(&mut self, pristine: &BranchPredictor) -> u64 {
+        self.counters.clone_from(&pristine.counters);
+        self.ras.clone_from(&pristine.ras);
+        self.ras_max = pristine.ras_max;
+        self.lookups = pristine.lookups;
+        self.mispredicts = pristine.mispredicts;
+        (self.counters.len() + self.ras.len() * 8 + 16) as u64
+    }
 }
 
 #[cfg(test)]

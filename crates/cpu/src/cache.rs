@@ -7,6 +7,7 @@
 //! fault-injection methodology rests on.
 
 use crate::config::CacheConfig;
+use crate::dirty::DirtyMap;
 
 /// Monitoring state for the single armed (injected) bit, used for the
 /// paper's early-termination optimisation and fault-propagation reports.
@@ -66,6 +67,11 @@ pub struct Cache {
     /// accessors never touch PLRU, fate monitoring or hit counters, so
     /// enabling taint cannot perturb the simulation.
     shadow: Vec<Box<[u8]>>,
+    /// Per-set dirty journal for the zero-copy campaign reset (`None` =
+    /// tracking off). A set is marked whenever its lines or PLRU bits
+    /// change; armed-fate and shadow updates are not journaled because
+    /// `reset_from` restores them wholesale from the pristine checkpoint.
+    journal: Option<Box<DirtyMap>>,
 }
 
 impl Cache {
@@ -91,6 +97,14 @@ impl Cache {
             hits: 0,
             misses: 0,
             shadow: Vec::new(),
+            journal: None,
+        }
+    }
+
+    #[inline]
+    fn mark_set(&mut self, set: usize) {
+        if let Some(j) = &mut self.journal {
+            j.mark(set);
         }
     }
 
@@ -129,6 +143,7 @@ impl Cache {
 
     /// Tree-PLRU touch: flip tree bits towards `way`.
     fn touch(&mut self, set: usize, way: usize) {
+        self.mark_set(set);
         // For associativity w (power of two ≤ 8) the tree has w-1 internal
         // nodes stored breadth-first in a byte.
         let mut node = 0usize;
@@ -199,6 +214,7 @@ impl Cache {
         let set = self.set_of(addr);
         let off = (addr as usize) & (self.cfg.line - 1);
         debug_assert!(off + n <= self.cfg.line);
+        self.mark_set(set);
         self.note_access(set, way, off, n, true);
         let idx = self.idx(set, way);
         let l = &mut self.lines[idx];
@@ -212,6 +228,7 @@ impl Cache {
     pub fn fill(&mut self, addr: u64, data: &[u8]) -> Option<(u64, Vec<u8>)> {
         let set = self.set_of(addr);
         let way = self.victim(set);
+        self.mark_set(set);
         // Filling over the armed line without it having been read masks it.
         if let Some(a) = &mut self.armed {
             if a.set == set && a.way == way && a.fate == FaultFate::Pending {
@@ -251,6 +268,9 @@ impl Cache {
 
     /// Invalidate every line, writing back nothing (test/reset helper).
     pub fn invalidate_all(&mut self) {
+        if let Some(j) = &mut self.journal {
+            j.mark_all();
+        }
         for l in &mut self.lines {
             l.valid = false;
             l.dirty = false;
@@ -280,6 +300,7 @@ impl Cache {
     /// Flip one data-array bit (transient fault). Arms fate monitoring.
     pub fn flip_bit(&mut self, bit: u64) -> FaultFate {
         let (set, way, byte, mask) = self.locate(bit);
+        self.mark_set(set);
         let idx = self.idx(set, way);
         let valid = self.lines[idx].valid;
         self.lines[idx].data[byte] ^= mask;
@@ -295,6 +316,7 @@ impl Cache {
     pub fn set_stuck(&mut self, bit: u64, value: bool) {
         self.stuck.push((bit, value));
         let (set, way, byte, mask) = self.locate(bit);
+        self.mark_set(set);
         let idx = self.idx(set, way);
         if value {
             self.lines[idx].data[byte] |= mask;
@@ -471,6 +493,68 @@ impl Cache {
         } else {
             None
         }
+    }
+
+    // ---- zero-copy campaign reset ----
+
+    /// Start journaling per-set mutations so [`reset_from`](Self::reset_from)
+    /// can restore only the dirtied sets.
+    pub fn enable_dirty_tracking(&mut self) {
+        if self.journal.is_none() {
+            self.journal = Some(Box::new(DirtyMap::new(self.sets)));
+        }
+    }
+
+    /// Restore this cache to `pristine` by undoing only the journaled sets
+    /// (full sweep when tracking is off). Returns the number of state bytes
+    /// copied, the currency of the campaign perf-guard.
+    ///
+    /// `pristine` must be the checkpoint this cache was cloned from (same
+    /// geometry); per-run fault state (armed fate, stuck list, taint shadow)
+    /// is restored wholesale since the pristine checkpoint never carries it.
+    pub fn reset_from(&mut self, pristine: &Cache) -> u64 {
+        debug_assert_eq!(self.lines.len(), pristine.lines.len());
+        let assoc = self.cfg.assoc;
+        let line_bytes = self.cfg.line as u64;
+        // tag + valid + dirty bookkeeping ≈ 10 bytes per line, 1 PLRU byte
+        // per set — counted so the perf-guard sees metadata traffic too.
+        let per_line = line_bytes + 10;
+        let mut bytes = 0u64;
+        if let Some(mut j) = self.journal.take() {
+            j.drain(|set| {
+                for way in 0..assoc {
+                    let idx = set * assoc + way;
+                    let src = &pristine.lines[idx];
+                    let dst = &mut self.lines[idx];
+                    dst.tag = src.tag;
+                    dst.valid = src.valid;
+                    dst.dirty = src.dirty;
+                    dst.data.copy_from_slice(&src.data);
+                }
+                self.plru[set] = pristine.plru[set];
+                bytes += assoc as u64 * per_line + 1;
+            });
+            self.journal = Some(j);
+        } else {
+            for (dst, src) in self.lines.iter_mut().zip(&pristine.lines) {
+                dst.tag = src.tag;
+                dst.valid = src.valid;
+                dst.dirty = src.dirty;
+                dst.data.copy_from_slice(&src.data);
+            }
+            self.plru.copy_from_slice(&pristine.plru);
+            bytes += self.lines.len() as u64 * per_line + self.plru.len() as u64;
+        }
+        self.hits = pristine.hits;
+        self.misses = pristine.misses;
+        self.stuck.clone_from(&pristine.stuck);
+        self.armed = pristine.armed;
+        if pristine.shadow.is_empty() {
+            self.shadow.clear();
+        } else {
+            self.shadow.clone_from(&pristine.shadow);
+        }
+        bytes
     }
 
     fn reapply_stuck_taint(&mut self, set: usize, way: usize) {
@@ -665,5 +749,46 @@ mod tests {
     fn bit_len_matches_geometry() {
         let c = small();
         assert_eq!(c.bit_len(), 1024 * 8);
+    }
+
+    #[test]
+    fn dirty_reset_matches_fresh_clone() {
+        let mut pristine = small();
+        pristine.fill(0x4000_0000, &[7u8; 64]);
+        pristine.fill(0x4000_0100, &[9u8; 64]);
+        let mut c = pristine.clone();
+        c.enable_dirty_tracking();
+        let way = c.lookup(0x4000_0000).unwrap();
+        c.write(0x4000_0000, 8, 0xDEAD, way);
+        c.flip_bit(3);
+        c.enable_taint();
+        let bytes = c.reset_from(&pristine);
+        assert!(bytes > 0);
+        assert_eq!(c.fate(), None);
+        assert!(!c.taint_on());
+        let mut fresh = pristine.clone();
+        for addr in [0x4000_0000u64, 0x4000_0100] {
+            let wa = c.lookup(addr).expect("line resident after reset");
+            let wb = fresh.lookup(addr).unwrap();
+            assert_eq!(c.read(addr, 8, wa), fresh.read(addr, 8, wb));
+        }
+        assert_eq!((c.hits, c.misses), (fresh.hits, fresh.misses));
+    }
+
+    #[test]
+    fn dirty_reset_touches_only_dirty_sets() {
+        let mut pristine = small();
+        for i in 0..4u64 {
+            pristine.fill(0x4000_0000 + i * 64, &[1u8; 64]); // 4 distinct sets
+        }
+        let mut c = pristine.clone();
+        c.enable_dirty_tracking();
+        let _ = c.reset_from(&pristine); // flush the clone's clean journal
+        let way = c.lookup(0x4000_0000).unwrap();
+        c.write(0x4000_0000, 1, 0xFF, way);
+        let one_set = c.reset_from(&pristine);
+        c.invalidate_all();
+        let all_sets = c.reset_from(&pristine);
+        assert!(one_set < all_sets, "one dirty set ({one_set}B) vs full sweep ({all_sets}B)");
     }
 }

@@ -465,6 +465,78 @@ impl Core {
         self.prf.set_all_ready();
     }
 
+    /// Turn on dirty-journaling in the journaled structures (PRFs and
+    /// caches) so [`reset_from`](Self::reset_from) restores only what a
+    /// run actually touched. Call once on the per-worker reusable core.
+    pub fn enable_dirty_tracking(&mut self) {
+        self.prf.enable_dirty_tracking();
+        self.prf_fp.enable_dirty_tracking();
+        self.l1i.enable_dirty_tracking();
+        self.l1d.enable_dirty_tracking();
+        self.l2.enable_dirty_tracking();
+    }
+
+    /// Restore this core to the pristine checkpoint it was cloned from,
+    /// undoing journaled state where possible and copying the small
+    /// unjournaled structures wholesale (reusing their allocations).
+    /// Returns state bytes copied — the perf-guard's cost measure.
+    pub fn reset_from(&mut self, pristine: &Core) -> u64 {
+        let mut bytes = self.prf.reset_from(&pristine.prf);
+        bytes += self.prf_fp.reset_from(&pristine.prf_fp);
+        bytes += self.l1i.reset_from(&pristine.l1i);
+        bytes += self.l1d.reset_from(&pristine.l1d);
+        bytes += self.l2.reset_from(&pristine.l2);
+        bytes += self.bp.reset_from(&pristine.bp);
+
+        self.cycle = pristine.cycle;
+        self.next_seq = pristine.next_seq;
+        self.fetch_pc = pristine.fetch_pc;
+        self.fetch_halted = pristine.fetch_halted;
+        self.fetch_stall_until = pristine.fetch_stall_until;
+        self.fq.clone_from(&pristine.fq);
+        self.rename.copy_from(&pristine.rename);
+        self.retire.copy_from(&pristine.retire);
+        self.freelist.copy_from(&pristine.freelist);
+        self.rob.clone_from(&pristine.rob);
+        self.iq.clone_from(&pristine.iq);
+        self.events.clone_from(&pristine.events);
+        self.pending_loads.clone_from(&pristine.pending_loads);
+        self.muldiv_free_at = pristine.muldiv_free_at;
+        self.lq.entries.clone_from(&pristine.lq.entries);
+        self.sq.entries.clone_from(&pristine.sq.entries);
+        self.irq_pending = pristine.irq_pending;
+        self.in_irq = pristine.in_irq;
+        self.iret_pc = pristine.iret_pc;
+        self.mdp.copy_from_slice(&pristine.mdp);
+        self.rob_armed = pristine.rob_armed;
+        self.rob_flip = pristine.rob_flip;
+        self.trace_mode = pristine.trace_mode.clone();
+        self.trace.clone_from(&pristine.trace);
+        self.trace_pos = pristine.trace_pos;
+        self.divergence = pristine.divergence;
+        // Per-run observers: the pristine checkpoint never carries them,
+        // so these normally just drop the run's planes.
+        self.commit_log.clone_from(&pristine.commit_log);
+        self.taint.clone_from(&pristine.taint);
+        self.pipe.clone_from(&pristine.pipe);
+        self.stats = pristine.stats.clone();
+
+        use std::mem::size_of;
+        bytes += (self.fq.len() * size_of::<FetchedUop>()
+            + self.rob.len() * size_of::<RobEntry>()
+            + self.iq.len() * 8
+            + self.events.len() * size_of::<Event>()
+            + self.pending_loads.len() * 16
+            + self.lq.entries.len() * size_of::<crate::lsq::LqEntry>()
+            + self.sq.entries.len() * size_of::<crate::lsq::SqEntry>()
+            + self.rename.entries().len() * 2 * 2
+            + self.freelist.len() * 2
+            + self.mdp.len()
+            + size_of::<CoreStats>()
+            + 96) as u64; // scalar pipeline state
+        bytes
+    }
+
     pub fn isa(&self) -> Isa {
         self.isa
     }

@@ -1,0 +1,121 @@
+//! Dirty-state journal used by the zero-copy campaign reset path.
+//!
+//! A [`DirtyMap`] records which elements of an indexed structure (registers,
+//! cache sets, RAM pages, …) were mutated during a fault-injection run. The
+//! campaign worker then restores *only* those elements from the shared
+//! pristine checkpoint instead of deep-cloning the whole `System` per run.
+//!
+//! Soundness contract: every mutation of journaled state must call
+//! [`DirtyMap::mark`] (or [`DirtyMap::mark_all`] for bulk invalidations)
+//! before or at the mutation. Over-marking is harmless — resetting a clean
+//! element is a no-op copy; under-marking silently corrupts later runs, which
+//! the clone-vs-dirty differential tests exist to catch.
+
+/// Set of dirty indices with O(1) mark and O(dirty) drain.
+#[derive(Debug, Clone, Default)]
+pub struct DirtyMap {
+    bits: Vec<bool>,
+    touched: Vec<u32>,
+    saturated: bool,
+}
+
+impl DirtyMap {
+    /// Journal for a structure with `len` elements, initially clean.
+    pub fn new(len: usize) -> Self {
+        DirtyMap { bits: vec![false; len], touched: Vec::new(), saturated: false }
+    }
+
+    /// Number of journaled elements.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// True when no element has been marked.
+    pub fn is_empty(&self) -> bool {
+        !self.saturated && self.touched.is_empty()
+    }
+
+    /// Mark element `i` dirty.
+    #[inline]
+    pub fn mark(&mut self, i: usize) {
+        if self.saturated {
+            return;
+        }
+        if let Some(b) = self.bits.get_mut(i) {
+            if !*b {
+                *b = true;
+                self.touched.push(i as u32);
+            }
+        }
+    }
+
+    /// Mark every element dirty (bulk invalidation); `drain` then does a
+    /// full sweep instead of iterating individual indices.
+    pub fn mark_all(&mut self) {
+        self.saturated = true;
+    }
+
+    /// Visit every dirty index, clearing the journal. After `drain` the map
+    /// is clean again and ready for the next run.
+    pub fn drain(&mut self, mut f: impl FnMut(usize)) {
+        if self.saturated {
+            for i in 0..self.bits.len() {
+                f(i);
+            }
+            self.bits.iter_mut().for_each(|b| *b = false);
+            self.touched.clear();
+            self.saturated = false;
+        } else {
+            for &i in &self.touched {
+                self.bits[i as usize] = false;
+                f(i as usize);
+            }
+            self.touched.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn marks_dedup_and_drain_clears() {
+        let mut d = DirtyMap::new(8);
+        d.mark(3);
+        d.mark(3);
+        d.mark(5);
+        let mut seen = Vec::new();
+        d.drain(|i| seen.push(i));
+        assert_eq!(seen, vec![3, 5]);
+        assert!(d.is_empty());
+        d.mark(3);
+        let mut seen2 = Vec::new();
+        d.drain(|i| seen2.push(i));
+        assert_eq!(seen2, vec![3]);
+    }
+
+    #[test]
+    fn saturation_full_sweeps() {
+        let mut d = DirtyMap::new(4);
+        d.mark(1);
+        d.mark_all();
+        d.mark(2); // no-op once saturated
+        let mut seen = Vec::new();
+        d.drain(|i| seen.push(i));
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+        assert!(d.is_empty());
+        // Journal usable again after a saturated drain.
+        d.mark(2);
+        let mut seen2 = Vec::new();
+        d.drain(|i| seen2.push(i));
+        assert_eq!(seen2, vec![2]);
+    }
+
+    #[test]
+    fn out_of_range_mark_ignored() {
+        let mut d = DirtyMap::new(2);
+        d.mark(7);
+        assert!(d.is_empty());
+    }
+}

@@ -18,6 +18,7 @@ pub mod bp;
 pub mod cache;
 pub mod config;
 pub mod core;
+pub mod dirty;
 pub mod lsq;
 pub mod prf;
 pub mod testbus;
@@ -25,5 +26,6 @@ pub mod testbus;
 pub use crate::core::{Bus, CommitEffect, CommitRecord, Core, CoreStats, StepEvent, TraceMode};
 pub use cache::{Cache, FaultFate};
 pub use config::{CacheConfig, CoreConfig};
+pub use dirty::DirtyMap;
 pub use lsq::{LoadQueue, StoreQueue};
 pub use prf::{FreeList, PhysRegFile, RenameMap};

@@ -1,6 +1,7 @@
 //! Physical register file, rename map and free list — all fault-injectable.
 
 use crate::cache::FaultFate;
+use crate::dirty::DirtyMap;
 
 /// A physical register file holding explicit 64-bit values.
 #[derive(Debug, Clone)]
@@ -13,6 +14,10 @@ pub struct PhysRegFile {
     /// (the default) means taint tracking is off and every taint
     /// accessor is a cheap no-op.
     taint: Vec<u64>,
+    /// Per-register dirty journal for the zero-copy campaign reset
+    /// (`None` = tracking off). Marked on value/ready mutation; armed
+    /// fate and taint are restored wholesale by `reset_from`.
+    journal: Option<Box<DirtyMap>>,
 }
 
 impl PhysRegFile {
@@ -24,6 +29,14 @@ impl PhysRegFile {
             stuck: Vec::new(),
             armed: None,
             taint: Vec::new(),
+            journal: None,
+        }
+    }
+
+    #[inline]
+    fn mark(&mut self, p: u16) {
+        if let Some(j) = &mut self.journal {
+            j.mark(p as usize);
         }
     }
 
@@ -52,6 +65,7 @@ impl PhysRegFile {
 
     #[inline]
     pub fn write(&mut self, p: u16, v: u64) {
+        self.mark(p);
         if let Some((ap, fate)) = &mut self.armed {
             if *ap == p && *fate == FaultFate::Pending {
                 *fate = FaultFate::Overwritten;
@@ -77,11 +91,15 @@ impl PhysRegFile {
     }
 
     pub fn set_ready(&mut self, p: u16, r: bool) {
+        self.mark(p);
         self.ready[p as usize] = r;
     }
 
     /// Mark every register ready (used at reset).
     pub fn set_all_ready(&mut self) {
+        if let Some(j) = &mut self.journal {
+            j.mark_all();
+        }
         self.ready.iter_mut().for_each(|r| *r = true);
     }
 
@@ -93,6 +111,7 @@ impl PhysRegFile {
 
     pub fn flip_bit(&mut self, bit: u64) -> FaultFate {
         let p = (bit / 64) as u16;
+        self.mark(p);
         self.vals[p as usize] ^= 1 << (bit % 64);
         self.armed = Some((p, FaultFate::Pending));
         self.seed_taint_bit(bit);
@@ -101,6 +120,7 @@ impl PhysRegFile {
 
     pub fn set_stuck(&mut self, bit: u64, value: bool) {
         self.stuck.push((bit, value));
+        self.mark((bit / 64) as u16);
         let p = (bit / 64) as usize;
         let m = 1u64 << (bit % 64);
         if value {
@@ -114,6 +134,45 @@ impl PhysRegFile {
 
     pub fn fate(&self) -> Option<FaultFate> {
         self.armed.map(|(_, f)| f)
+    }
+
+    // ---- zero-copy campaign reset ----
+
+    /// Start journaling per-register mutations so
+    /// [`reset_from`](Self::reset_from) restores only the dirtied ones.
+    pub fn enable_dirty_tracking(&mut self) {
+        if self.journal.is_none() {
+            self.journal = Some(Box::new(DirtyMap::new(self.vals.len())));
+        }
+    }
+
+    /// Restore this register file to `pristine` by undoing only journaled
+    /// registers (full sweep when tracking is off). Returns state bytes
+    /// copied. Fault state (stuck list, armed fate, taint) is per-run and
+    /// restored wholesale.
+    pub fn reset_from(&mut self, pristine: &PhysRegFile) -> u64 {
+        debug_assert_eq!(self.vals.len(), pristine.vals.len());
+        let mut bytes = 0u64;
+        if let Some(mut j) = self.journal.take() {
+            j.drain(|p| {
+                self.vals[p] = pristine.vals[p];
+                self.ready[p] = pristine.ready[p];
+                bytes += 9; // 8 value bytes + 1 ready byte
+            });
+            self.journal = Some(j);
+        } else {
+            self.vals.copy_from_slice(&pristine.vals);
+            self.ready.copy_from_slice(&pristine.ready);
+            bytes += self.vals.len() as u64 * 9;
+        }
+        self.stuck.clone_from(&pristine.stuck);
+        self.armed = pristine.armed;
+        if pristine.taint.is_empty() {
+            self.taint.clear();
+        } else {
+            self.taint.clone_from(&pristine.taint);
+        }
+        bytes
     }
 
     // ---- marvel-taint shadow plane ----
@@ -248,6 +307,11 @@ impl FreeList {
         self.free.push(p);
     }
 
+    /// Restore from `other`, reusing this list's allocation.
+    pub fn copy_from(&mut self, other: &FreeList) {
+        self.free.clone_from(&other.free);
+    }
+
     pub fn len(&self) -> usize {
         self.free.len()
     }
@@ -334,6 +398,26 @@ mod tests {
         m.set(2, 95);
         m.flip_bit(2 * 7 + 6); // flip the top bit of entry 2
         assert!(m.get(2) < 96);
+    }
+
+    #[test]
+    fn dirty_reset_restores_only_touched_regs() {
+        let mut pristine = PhysRegFile::new(8);
+        pristine.write(3, 42);
+        let mut prf = pristine.clone();
+        prf.enable_dirty_tracking();
+        let _ = prf.reset_from(&pristine); // flush the clone-time journal
+        prf.write(3, 7);
+        prf.set_ready(5, false);
+        prf.flip_bit(2 * 64 + 1);
+        prf.enable_taint();
+        let bytes = prf.reset_from(&pristine);
+        assert_eq!(bytes, 3 * 9, "exactly regs 2, 3 and 5 journaled");
+        assert_eq!(prf.peek(3), 42);
+        assert_eq!(prf.peek(2), 0);
+        assert!(prf.is_ready(5));
+        assert_eq!(prf.fate(), None);
+        assert!(!prf.taint_on());
     }
 
     #[test]

@@ -72,6 +72,21 @@ impl HostedAccel {
         }
     }
 
+    /// Restore to the pristine checkpoint this wrapper was cloned from
+    /// (zero-copy campaign reset). Returns state bytes copied.
+    pub fn reset_from(&mut self, pristine: &HostedAccel) -> u64 {
+        let mut bytes = self.accel.reset_from(&pristine.accel);
+        bytes += self.dma.reset_from(&pristine.dma);
+        self.plan_in.clone_from(&pristine.plan_in);
+        self.plan_out.clone_from(&pristine.plan_out);
+        self.compute_args.clone_from(&pristine.compute_args);
+        self.state = pristine.state;
+        self.irq_out = pristine.irq_out;
+        self.dma_cycles = pristine.dma_cycles;
+        self.compute_cycles = pristine.compute_cycles;
+        bytes + 32
+    }
+
     /// Host MMR write (8-byte registers).
     pub fn mmr_write(&mut self, reg: usize, val: u64) -> Option<()> {
         self.accel.mmr.write(reg, val)

@@ -5,7 +5,7 @@
 use crate::hosted::HostedAccel;
 use crate::irq::{IrqController, IrqCtrlKind};
 use crate::isr::build_isr;
-use marvel_cpu::{Bus, Core, CoreConfig, FaultFate, StepEvent};
+use marvel_cpu::{Bus, Core, CoreConfig, DirtyMap, FaultFate, StepEvent};
 use marvel_ir::memmap::{
     ACCEL_MMR_BASE, ACCEL_MMR_STRIDE, CONSOLE_ADDR, IRQ_CTRL_BASE, IRQ_CTRL_SIZE, IRQ_VECTOR, RAM_BASE,
     RAM_SIZE,
@@ -95,7 +95,15 @@ pub struct SocBus {
     /// byte (empty = tracking off). Moves with cache line traffic and
     /// DMA transfers but never influences the data plane.
     pub ram_shadow: Vec<u8>,
+    /// Dirty-page journal over `ram` (4 KiB pages) for the zero-copy
+    /// campaign reset (`None` = tracking off). `write_line` marks pages;
+    /// DMA ToRam drains, which write RAM through a raw slice, are folded
+    /// in from the engines' watermarks by [`System::reset_from`].
+    ram_journal: Option<Box<DirtyMap>>,
 }
+
+/// RAM dirty-page granularity (log2 of the 4 KiB page).
+const RAM_PAGE_SHIFT: usize = 12;
 
 impl SocBus {
     fn accel_reg(&self, addr: u64) -> Option<(usize, usize)> {
@@ -146,6 +154,10 @@ impl Bus for SocBus {
             return false;
         }
         let off = (addr - RAM_BASE) as usize;
+        if let Some(j) = &mut self.ram_journal {
+            j.mark(off >> RAM_PAGE_SHIFT);
+            j.mark((off + data.len() - 1) >> RAM_PAGE_SHIFT);
+        }
         self.ram[off..off + data.len()].copy_from_slice(data);
         true
     }
@@ -255,6 +267,7 @@ impl System {
                 irq_ctrl: IrqController::new(kind),
                 accels: Vec::new(),
                 ram_shadow: Vec::new(),
+                ram_journal: None,
             },
             cycle: 0,
             checkpoint_cycle: None,
@@ -307,6 +320,70 @@ impl System {
     /// Micro-ops checked by the lockstep oracle so far.
     pub fn lockstep_checked(&self) -> u64 {
         self.lockstep.as_deref().map(|ls| ls.checked()).unwrap_or(0)
+    }
+
+    /// Turn on dirty-state journaling (CPU structures + RAM page journal)
+    /// so [`reset_from`](Self::reset_from) can restore this system to its
+    /// checkpoint by undoing only what a run touched. Call once on the
+    /// per-worker reusable system, right after cloning the checkpoint.
+    pub fn enable_dirty_tracking(&mut self) {
+        self.core.enable_dirty_tracking();
+        if self.bus.ram_journal.is_none() {
+            let pages = self.bus.ram.len().div_ceil(1 << RAM_PAGE_SHIFT);
+            self.bus.ram_journal = Some(Box::new(DirtyMap::new(pages)));
+        }
+    }
+
+    /// Restore this system to the pristine checkpoint it was cloned from,
+    /// undoing journaled state (dirty RAM pages, dirty cache sets and
+    /// registers) and copying small unjournaled structures wholesale.
+    /// Returns state bytes copied — the zero-copy campaign's cost measure.
+    ///
+    /// Soundness relies on every RAM mutation being visible to the page
+    /// journal: `write_line` marks pages directly, and DMA ToRam drains
+    /// (raw-slice writes) are folded in here from each engine's watermark.
+    pub fn reset_from(&mut self, pristine: &System) -> u64 {
+        let mut bytes = self.core.reset_from(&pristine.core);
+        if let Some(j) = &mut self.bus.ram_journal {
+            for h in &self.bus.accels {
+                if let Some((lo, hi)) = h.dma.ram_written_range() {
+                    for p in (lo >> RAM_PAGE_SHIFT)..=((hi - 1) >> RAM_PAGE_SHIFT) {
+                        j.mark(p);
+                    }
+                }
+            }
+        }
+        if let Some(mut j) = self.bus.ram_journal.take() {
+            let ram_len = self.bus.ram.len();
+            j.drain(|p| {
+                let lo = p << RAM_PAGE_SHIFT;
+                let hi = (lo + (1 << RAM_PAGE_SHIFT)).min(ram_len);
+                self.bus.ram[lo..hi].copy_from_slice(&pristine.bus.ram[lo..hi]);
+                bytes += (hi - lo) as u64;
+            });
+            self.bus.ram_journal = Some(j);
+        } else {
+            self.bus.ram.copy_from_slice(&pristine.bus.ram);
+            bytes += self.bus.ram.len() as u64;
+        }
+        self.bus.console.clone_from(&pristine.bus.console);
+        bytes += pristine.bus.console.len() as u64;
+        self.bus.irq_ctrl = pristine.bus.irq_ctrl.clone();
+        for (h, p) in self.bus.accels.iter_mut().zip(&pristine.bus.accels) {
+            bytes += h.reset_from(p);
+        }
+        // Per-run taint shadow: the pristine checkpoint never carries one.
+        if pristine.bus.ram_shadow.is_empty() {
+            self.bus.ram_shadow.clear();
+        } else {
+            self.bus.ram_shadow.clone_from(&pristine.bus.ram_shadow);
+        }
+        self.cycle = pristine.cycle;
+        self.checkpoint_cycle = pristine.checkpoint_cycle;
+        self.switch_cycle = pristine.switch_cycle;
+        self.traps = pristine.traps;
+        self.lockstep.clone_from(&pristine.lockstep);
+        bytes + 40 // SoC scalars + IRQ controller
     }
 
     /// Advance one cycle.
@@ -607,6 +684,51 @@ mod tests {
         assert_eq!(sys.output(), &[42]);
         // Determinism extends to cycle counts.
         assert_eq!(sys.cycle, restored.cycle);
+    }
+
+    #[test]
+    fn dirty_reset_matches_clone_restore() {
+        let isa = Isa::RiscV;
+        let mut m = Module::new();
+        let f = m.declare("main", 0);
+        let mut b = FuncBuilder::new(0);
+        let x = b.li(7);
+        b.checkpoint();
+        let y = b.bin(AluOp::Mul, x, 6);
+        b.out_byte(y);
+        b.halt();
+        m.define(f, b.build());
+        let bin = assemble(&m, isa).unwrap();
+        let mut sys = System::new(CoreConfig::table2(isa));
+        sys.load_binary(&bin);
+        assert_eq!(sys.run_to_checkpoint(1_000_000), SysEvent::Checkpoint);
+        let ckpt = sys;
+        // Reference: a fresh clone per run.
+        let mut cloned = ckpt.clone();
+        let o_ref = cloned.run(1_000_000);
+        // Reusable worker system: run, dirty-reset, run again — both runs
+        // and the post-reset state must match the clone path exactly.
+        let mut worker = ckpt.clone();
+        worker.enable_dirty_tracking();
+        let o1 = worker.run(1_000_000);
+        assert_eq!(o1, o_ref);
+        let run_output = worker.output().to_vec();
+        let bytes = worker.reset_from(&ckpt);
+        assert!(bytes > 0);
+        assert_eq!(worker.cycle, ckpt.cycle);
+        assert_eq!(worker.output(), ckpt.output());
+        let o2 = worker.run(1_000_000);
+        assert_eq!(o2, o_ref);
+        assert_eq!(worker.output(), &run_output[..]);
+        assert_eq!(worker.cycle, cloned.cycle);
+        // Faulted run followed by reset also converges back.
+        worker.reset_from(&ckpt);
+        worker.flip(Target::PrfInt, 5 * 64 + 1);
+        let _ = worker.run(2_000_000);
+        worker.reset_from(&ckpt);
+        let o3 = worker.run(1_000_000);
+        assert_eq!(o3, o_ref);
+        assert_eq!(worker.output(), &run_output[..]);
     }
 
     #[test]

@@ -6,10 +6,10 @@
 //! marvel disasm <benchmark> [--isa ...] [--limit N]
 //! marvel campaign <benchmark> [--isa ...] [--target prf|l1i|l1d|l2|lq|sq|rob|rename]
 //!                 [--faults N] [--kind transient|permanent] [--hvf] [--seed S]
-//!                 [--prep ref|cycle]
+//!                 [--prep ref|cycle] [--reset-mode clone|dirty]
 //!                 [--metrics [path]] [--forensics [path]] [--progress [ms]]
 //!                 [--taint] [--attribution [path]] [--trace-pipeline [dir]]
-//! marvel dsa <design> [--faults N] [--fus N]
+//! marvel dsa <design> [--faults N] [--fus N] [--reset-mode clone|dirty]
 //!                 [--metrics [path]] [--forensics [path]] [--progress [ms]]
 //!                 [--taint] [--attribution [path]]
 //! ```
@@ -22,6 +22,11 @@
 //! attribution table is printed and exported (CSV + JSONL).
 //! `--trace-pipeline` writes a golden/faulty Konata pipeline trace pair
 //! for the campaign's first non-masked fault.
+//! `--reset-mode` selects how each injection run gets its starting state:
+//! `dirty` (default) reuses one system per worker and undoes journaled
+//! dirty state against the shared checkpoint; `clone` deep-clones the
+//! checkpoint per run (the original path, kept as an oracle — both modes
+//! produce bit-identical reports).
 //! `--lockstep` runs the cycle-level core under the architectural
 //! reference model, checking every committed instruction's effects and
 //! reporting the first divergence; `--prep ref` fast-forwards the golden
@@ -31,7 +36,7 @@
 use gem5_marvel::core::{
     attribution_by_structure, attribution_csv, attribution_jsonl, campaign_masks, render_attribution,
     run_campaign, run_dsa_campaign, trace_pipeline_pair, CampaignConfig, DsaGolden, FaultEffect,
-    FaultKind, Golden, RunRecord, TelemetryConfig,
+    FaultKind, Golden, ResetMode, RunRecord, TelemetryConfig,
 };
 use gem5_marvel::cpu::CoreConfig;
 use gem5_marvel::ir::assemble;
@@ -94,6 +99,15 @@ fn parse_target(s: &str) -> Result<Target, String> {
         "rename" => Target::RenameMap,
         other => return Err(format!("unknown target '{other}'")),
     })
+}
+
+/// Parse `--reset-mode clone|dirty` (default: dirty, the zero-copy path;
+/// `clone` keeps the original deep-clone-per-run oracle selectable).
+fn parse_reset_mode(args: &Args) -> Result<ResetMode, String> {
+    match args.flags.get("reset-mode") {
+        None => Ok(ResetMode::default()),
+        Some(v) => ResetMode::parse(v).ok_or_else(|| format!("unknown reset mode '{v}' (clone|dirty)")),
+    }
 }
 
 /// Resolve `--<name> <path>` (explicit path) or bare `--<name>` (default
@@ -283,6 +297,7 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
         "cycle" | "o3" => false,
         other => return Err(format!("unknown prep mode '{other}' (ref|cycle)")),
     };
+    let reset_mode = parse_reset_mode(args)?;
     let (telemetry, metrics_path, forensics_path) =
         telemetry_from_args(args, "results/campaign_metrics.jsonl", "results/campaign_forensics.jsonl");
     let cc = CampaignConfig {
@@ -290,6 +305,7 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
         kind,
         seed,
         collect_hvf: args.switches.contains("hvf"),
+        reset_mode,
         telemetry,
         ..Default::default()
     };
@@ -376,9 +392,10 @@ fn cmd_dsa(args: &Args) -> Result<(), String> {
         golden.harness.accel.area(),
         fus
     );
+    let reset_mode = parse_reset_mode(args)?;
     let (telemetry, metrics_path, forensics_path) =
         telemetry_from_args(args, "results/dsa_metrics.jsonl", "results/dsa_forensics.jsonl");
-    let cc = CampaignConfig { n_faults, telemetry, ..Default::default() };
+    let cc = CampaignConfig { n_faults, reset_mode, telemetry, ..Default::default() };
     if let Some(p) = &forensics_path {
         std::fs::remove_file(p).ok();
     }
@@ -434,9 +451,9 @@ fn main() -> ExitCode {
                  marvel disasm <benchmark> [--isa ...] [--limit N]\n  \
                  marvel campaign <benchmark> [--isa ...] [--target prf|l1i|l1d|l2|lq|sq|rob|rename]\n            \
                  [--faults N] [--kind transient|permanent] [--hvf] [--seed S] [--prep ref|cycle]\n            \
-                 [--metrics [path]] [--forensics [path]] [--progress [ms]]\n            \
+                 [--reset-mode clone|dirty] [--metrics [path]] [--forensics [path]] [--progress [ms]]\n            \
                  [--taint] [--attribution [path]] [--trace-pipeline [dir]]\n  \
-                 marvel dsa <design> [--faults N] [--fus N]\n            \
+                 marvel dsa <design> [--faults N] [--fus N] [--reset-mode clone|dirty]\n            \
                  [--metrics [path]] [--forensics [path]] [--progress [ms]]\n            \
                  [--taint] [--attribution [path]]"
             );

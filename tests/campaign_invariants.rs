@@ -3,7 +3,7 @@
 //! worker-pool size — parallelism must be a pure speed knob.
 
 use gem5_marvel::core::{
-    run_campaign, run_dsa_campaign, CampaignConfig, DsaGolden, FaultEffect, Golden, RunRecord,
+    run_campaign, run_dsa_campaign, CampaignConfig, DsaGolden, FaultEffect, Golden, ResetMode, RunRecord,
 };
 use gem5_marvel::cpu::CoreConfig;
 use gem5_marvel::ir::assemble;
@@ -71,6 +71,44 @@ fn dsa_campaign_identical_across_worker_counts() {
     }
     assert_eq!(runs[0], runs[1], "workers=1 vs workers=2");
     assert_eq!(runs[0], runs[2], "workers=1 vs workers=all");
+}
+
+#[test]
+fn reset_mode_is_a_pure_speed_knob() {
+    // The zero-copy dirty reset must be invisible in the results: for any
+    // worker count, the record stream matches the clone-per-run oracle.
+    let g = golden("crc32", Isa::RiscV);
+    for target in [Target::PrfInt, Target::L1D, Target::Rob] {
+        let fp = |mode, workers| {
+            let cc = CampaignConfig {
+                n_faults: 30,
+                collect_hvf: true,
+                workers,
+                reset_mode: mode,
+                ..Default::default()
+            };
+            fingerprint(&run_campaign(&g, target, &cc).records)
+        };
+        let oracle = fp(ResetMode::Clone, 1);
+        for workers in [1usize, 2, 0] {
+            assert_eq!(oracle, fp(ResetMode::Dirty, workers), "{target:?} workers={workers}");
+        }
+    }
+}
+
+#[test]
+fn dsa_reset_mode_is_a_pure_speed_knob() {
+    let d = accel::design("FFT");
+    let g = DsaGolden::prepare((d.make)(FuConfig::default()), 50_000_000);
+    let target = d.components[0].target;
+    let fp = |mode, workers| {
+        let cc = CampaignConfig { n_faults: 24, workers, reset_mode: mode, ..Default::default() };
+        fingerprint(&run_dsa_campaign(&g, target, &cc).records)
+    };
+    let oracle = fp(ResetMode::Clone, 1);
+    for workers in [1usize, 2, 0] {
+        assert_eq!(oracle, fp(ResetMode::Dirty, workers), "workers={workers}");
+    }
 }
 
 #[test]

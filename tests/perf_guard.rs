@@ -1,0 +1,53 @@
+//! Perf guard for the zero-copy campaign engine, in bytes rather than
+//! wall-clock so CI noise cannot flake it: on an early-termination-heavy
+//! campaign, the dirty reset must touch a small bounded slice of the
+//! checkpoint — not degrade back into a full-state copy.
+
+use gem5_marvel::core::{run_campaign, CampaignConfig, Golden, ResetMode, Target, TelemetryConfig};
+use gem5_marvel::cpu::CoreConfig;
+use gem5_marvel::ir::assemble;
+use gem5_marvel::isa::Isa;
+use gem5_marvel::telemetry::Registry;
+use gem5_marvel::workloads::mibench;
+
+/// Per-reset byte budget. A full checkpoint clone copies the entire
+/// multi-megabyte `System` (4 MiB RAM + 1 MiB L2 alone); a dirty reset
+/// after a masked-early run must stay well over an order of magnitude
+/// below that.
+const RESET_BYTE_BUDGET: u64 = 256 * 1024;
+
+#[test]
+fn dirty_reset_touches_bounded_bytes_on_early_terminated_runs() {
+    let bin = assemble(&mibench::build("crc32"), Isa::RiscV).unwrap();
+    let mut sys = gem5_marvel::soc::System::new(CoreConfig::table2(Isa::RiscV));
+    sys.load_binary(&bin);
+    let g = Golden::prepare(sys, 80_000_000).unwrap();
+
+    let registry = Registry::new();
+    // workers=1: a single worker context, so run 1 pays the clone and the
+    // remaining n-1 runs all go through reset_from.
+    let cc = CampaignConfig {
+        n_faults: 48,
+        workers: 1,
+        reset_mode: ResetMode::Dirty,
+        telemetry: TelemetryConfig { registry: registry.clone(), ..Default::default() },
+        ..Default::default()
+    };
+    // PrfInt transients mostly land in dead registers: the campaign is
+    // dominated by masked-early runs, the case the zero-copy engine is
+    // built around.
+    let res = run_campaign(&g, Target::PrfInt, &cc);
+    assert!(
+        res.early_termination_rate() > 0.5,
+        "guard needs an early-termination-heavy campaign, got {:.0}%",
+        res.early_termination_rate() * 100.0
+    );
+
+    let snap = registry.histogram("campaign.reset_bytes").expect("registry is live").snapshot();
+    assert_eq!(snap.count, 47, "every run after the first must reset, not clone");
+    let mean = snap.mean();
+    assert!(
+        mean <= RESET_BYTE_BUDGET as f64,
+        "mean dirty-reset footprint {mean:.0} B exceeds the {RESET_BYTE_BUDGET} B budget"
+    );
+}
