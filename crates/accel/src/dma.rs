@@ -70,6 +70,15 @@ impl DmaEngine {
         self.jobs.len() as u64 * std::mem::size_of::<DmaJob>() as u64 + 24
     }
 
+    /// Functional-state equality for the convergence exit: the job queue,
+    /// in-flight progress and bandwidth steer future transfers; the
+    /// bytes-moved tally and RAM watermark are observational.
+    pub fn state_eq(&self, pristine: &DmaEngine) -> bool {
+        self.jobs == pristine.jobs
+            && self.progress == pristine.progress
+            && self.bandwidth == pristine.bandwidth
+    }
+
     pub fn push(&mut self, job: DmaJob) {
         self.jobs.push_back(job);
     }

@@ -110,6 +110,25 @@ struct BlockExec {
     vals_taint: Vec<u64>,
 }
 
+impl BlockExec {
+    /// Functional equality: the taint shadows are excluded (a faulty run
+    /// with taint enabled allocates them; the pristine snapshot does not),
+    /// their effect is checked separately via taint quiescence.
+    fn func_eq(&self, other: &BlockExec) -> bool {
+        self.block == other.block
+            && self.args == other.args
+            && self.vals == other.vals
+            && self.done == other.done
+            && self.started == other.started
+            && self.pending == other.pending
+            && self.remaining == other.remaining
+    }
+
+    fn taint_quiescent(&self) -> bool {
+        self.args_taint.iter().all(|&t| t == 0) && self.vals_taint.iter().all(|&t| t == 0)
+    }
+}
+
 /// A SALAM-style accelerator instance.
 #[derive(Debug, Clone)]
 pub struct Accelerator {
@@ -166,6 +185,17 @@ impl Accelerator {
             s.enable_taint();
         }
         self.mmr.enable_taint();
+        // Enabling mid-run (a checkpoint-ladder rung restore) finds a block
+        // already in flight whose shadows were never allocated: give it
+        // zeroed planes — the fault-free prefix carries no taint.
+        if let Some(ex) = self.exec.as_mut() {
+            if ex.args_taint.len() < ex.args.len() {
+                ex.args_taint = vec![0; ex.args.len()];
+            }
+            if ex.vals_taint.len() < ex.vals.len() {
+                ex.vals_taint = vec![0; ex.vals.len()];
+            }
+        }
         self.taint = Some(Box::new(AccelTaint { tracer: TaintTracer::new(seed), ctl: false }));
     }
 
@@ -268,6 +298,33 @@ impl Accelerator {
         // Per-run taint plane: the pristine checkpoint never carries one.
         self.taint.clone_from(&pristine.taint);
         bytes + std::mem::size_of::<AccelStats>() as u64 + 32
+    }
+
+    /// Functional-state equality against a pristine snapshot at the same
+    /// cycle, for the convergence exit: execution state, memories and MMRs
+    /// must match; statistics, armed fates, stuck lists and taint shadows
+    /// are observational and excluded.
+    pub fn state_eq(&self, pristine: &Accelerator) -> bool {
+        self.state == pristine.state
+            && self.cycle == pristine.cycle
+            && self.irq == pristine.irq
+            && self.mmr.state_eq(&pristine.mmr)
+            && match (&self.exec, &pristine.exec) {
+                (None, None) => true,
+                (Some(a), Some(b)) => a.func_eq(b),
+                _ => false,
+            }
+            && self.spms.iter().zip(&pristine.spms).all(|(s, p)| s.state_eq(p))
+            && self.regbanks.iter().zip(&pristine.regbanks).all(|(s, p)| s.state_eq(p))
+    }
+
+    /// True when no live state carries taint (or tracking is off) — a
+    /// precondition for the convergence exit when attribution is collected.
+    pub fn taint_quiescent(&self) -> bool {
+        self.spms.iter().chain(&self.regbanks).all(|s| s.taint_quiescent())
+            && self.mmr.taint_quiescent()
+            && self.exec.as_ref().is_none_or(|e| e.taint_quiescent())
+            && self.taint.as_deref().is_none_or(|t| !t.ctl)
     }
 
     /// Start computation directly (standalone mode), passing entry-block

@@ -141,6 +141,18 @@ impl Mmr {
         self.regs.len() as u64 * 8 + 16
     }
 
+    /// Functional-state equality for the convergence exit: the register
+    /// values steer future behaviour; armed fate, the stuck list and the
+    /// taint shadow are observational.
+    pub fn state_eq(&self, pristine: &Mmr) -> bool {
+        self.regs == pristine.regs
+    }
+
+    /// True when no register carries taint (or the plane is off).
+    pub fn taint_quiescent(&self) -> bool {
+        self.shadow.iter().all(|&t| t == 0)
+    }
+
     // ---- marvel-taint shadow plane ----
 
     /// Allocate the shadow plane (call before arming; enabling afterwards

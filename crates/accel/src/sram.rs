@@ -228,6 +228,19 @@ impl Sram {
         bytes + 24 // counters + armed state
     }
 
+    /// Functional-state equality for the convergence exit: only the data
+    /// bytes steer future behaviour. Access tallies, armed fate, the stuck
+    /// list and the taint shadow are observational (the shadow is checked
+    /// separately via [`taint_quiescent`](Self::taint_quiescent)).
+    pub fn state_eq(&self, pristine: &Sram) -> bool {
+        self.bytes == pristine.bytes
+    }
+
+    /// True when no shadow byte is set (or the plane is off).
+    pub fn taint_quiescent(&self) -> bool {
+        self.shadow.iter().all(|&b| b == 0)
+    }
+
     // ---- marvel-taint shadow plane ----
 
     /// Allocate the per-byte shadow. Call before fault arming; enabling

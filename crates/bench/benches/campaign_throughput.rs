@@ -1,25 +1,37 @@
-//! Campaign throughput rig: clone-per-run vs the zero-copy dirty reset,
-//! over transient and permanent faults on both the CPU and DSA sides.
+//! Campaign throughput rig: for each scenario, a *base* mode against an
+//! *opt* mode — clone-per-run vs the zero-copy dirty reset, and the
+//! full-prefix oracle vs the checkpoint ladder + dirty-diff convergence
+//! exit — over transient and permanent faults on both the CPU and DSA
+//! sides.
 //!
-//! Not a criterion target: each scenario times every injection run
-//! individually so it can report runs/sec plus p50/p95 per-run latency,
-//! and the results are written as machine-readable JSON
+//! Not a criterion target: the clone/dirty scenarios time every injection
+//! run individually so they can report runs/sec plus p50/p95 per-run
+//! latency, while the ladder scenarios time whole campaigns (the ladder
+//! build is a per-campaign cost and must be charged to the optimised
+//! mode). Results are written as machine-readable JSON
 //! (`BENCH_campaign.json` at the workspace root, or `$BENCH_CAMPAIGN_JSON`)
-//! for CI to archive. The headline scenario — transient faults into the
-//! integer PRF of a short-window kernel, where most runs terminate early —
-//! is the case the dirty-reset engine is built around: the run is over in
-//! a few thousand simulated cycles, so under clone mode the checkpoint
-//! memcpy dominates wall-clock.
+//! for CI to archive.
+//!
+//! Two headline scenarios:
+//!   * `cpu_prf_transient` — transient faults into the integer PRF of a
+//!     short-window kernel, where most runs terminate early: under clone
+//!     mode the checkpoint memcpy dominates wall-clock.
+//!   * `dsa_spm_late_transient` — transients windowed into the late 20% of
+//!     the accelerator run, where the full-prefix engine re-simulates ≥80%
+//!     of the golden run fault-free before the flip even lands. The
+//!     checkpoint ladder must buy ≥2× here (enforced at the bottom of
+//!     `main`); exports stay byte-identical to `--ladder-rungs 0` (see
+//!     `tests/ladder_differential.rs`).
 
 use marvel_core::{
-    campaign_masks, run_one_in, CampaignConfig, DsaGolden, DsaHarness, FaultKind, Golden, MaskGenerator,
-    Target, WorkerCtx,
+    campaign_masks, run_dsa_masks, run_masks, run_one_in, CampaignConfig, DsaGolden, DsaHarness,
+    FaultKind, Golden, MaskGenerator, ResetMode, Target, WorkerCtx,
 };
 use marvel_cpu::CoreConfig;
 use marvel_ir::{assemble, FuncBuilder, Module};
 use marvel_isa::{AluOp, Cond, Isa, MemWidth};
 use marvel_soc::System;
-use marvel_workloads::accel;
+use marvel_workloads::{accel, mibench};
 use std::time::Instant;
 
 /// Short post-checkpoint kernel (~a few thousand cycles): squares into a
@@ -53,11 +65,13 @@ fn short_kernel() -> Module {
     m
 }
 
-/// Per-mode measurement of one scenario.
+/// One mode's measurement. Per-run latency percentiles are only available
+/// when the rig drives runs one at a time; campaign-level modes report
+/// throughput alone.
 struct Sample {
     runs_per_sec: f64,
-    p50_us: f64,
-    p95_us: f64,
+    p50_us: Option<f64>,
+    p95_us: Option<f64>,
 }
 
 fn quantile(sorted_us: &[f64], q: f64) -> f64 {
@@ -80,9 +94,23 @@ fn sample(mut run: impl FnMut(), n: usize) -> Sample {
     us.sort_by(|a, b| a.partial_cmp(b).unwrap());
     Sample {
         runs_per_sec: n as f64 / total.max(1e-9),
-        p50_us: quantile(&us, 0.50),
-        p95_us: quantile(&us, 0.95),
+        p50_us: Some(quantile(&us, 0.50)),
+        p95_us: Some(quantile(&us, 0.95)),
     }
+}
+
+/// Time one whole campaign of `n` runs (used for the ladder scenarios,
+/// where the per-campaign ladder build must be charged to the mode).
+fn sample_campaign(n: usize, run: impl FnOnce()) -> Sample {
+    let t = Instant::now();
+    run();
+    let total = t.elapsed().as_secs_f64();
+    Sample { runs_per_sec: n as f64 / total.max(1e-9), p50_us: None, p95_us: None }
+}
+
+struct Mode {
+    label: &'static str,
+    s: Sample,
 }
 
 struct Scenario {
@@ -91,8 +119,14 @@ struct Scenario {
     target: String,
     kind: &'static str,
     runs: usize,
-    clone: Sample,
-    dirty: Sample,
+    base: Mode,
+    opt: Mode,
+}
+
+impl Scenario {
+    fn speedup(&self) -> f64 {
+        self.opt.s.runs_per_sec / self.base.s.runs_per_sec.max(1e-9)
+    }
 }
 
 fn cpu_scenario(
@@ -126,7 +160,15 @@ fn cpu_scenario(
         n,
     );
 
-    Scenario { name, side: "cpu", target: target.name(), kind: kind_name(kind), runs: n, clone, dirty }
+    Scenario {
+        name,
+        side: "cpu",
+        target: target.name(),
+        kind: kind_name(kind),
+        runs: n,
+        base: Mode { label: "clone", s: clone },
+        opt: Mode { label: "dirty", s: dirty },
+    }
 }
 
 fn kind_name(kind: FaultKind) -> &'static str {
@@ -164,30 +206,116 @@ fn dsa_scenario(name: &'static str, golden: &DsaGolden, kind: FaultKind, n: usiz
         n,
     );
 
-    Scenario { name, side: "dsa", target: target.name(), kind: kind_name(kind), runs: n, clone, dirty }
+    Scenario {
+        name,
+        side: "dsa",
+        target: target.name(),
+        kind: kind_name(kind),
+        runs: n,
+        base: Mode { label: "clone", s: clone },
+        opt: Mode { label: "dirty", s: dirty },
+    }
+}
+
+/// Full-prefix oracle vs checkpoint ladder + convergence exit, with all
+/// injections windowed into the late 20% of the run — the ladder's
+/// headline case. Both modes share the dirty reset and worker count, so
+/// the measured ratio isolates the prefix elimination itself.
+fn ladder_config(rungs: usize) -> CampaignConfig {
+    CampaignConfig {
+        workers: 2,
+        reset_mode: ResetMode::Dirty,
+        ladder_rungs: rungs,
+        convergence_exit: rungs > 0,
+        ..Default::default()
+    }
+}
+
+fn cpu_ladder_scenario(name: &'static str, golden: &Golden, n: usize) -> Scenario {
+    let w = golden.injection_window();
+    let late = (w.start + (w.end - w.start) * 4 / 5)..w.end;
+    let mut gen = MaskGenerator::new(0xBE7C4);
+    let masks = gen.single_bit(
+        Target::PrfInt,
+        golden.ckpt.bit_len(Target::PrfInt),
+        FaultKind::Transient,
+        late,
+        n,
+    );
+
+    let base = sample_campaign(n, || {
+        run_masks(golden, &masks, &ladder_config(0));
+    });
+    let opt = sample_campaign(n, || {
+        run_masks(golden, &masks, &ladder_config(8));
+    });
+
+    Scenario {
+        name,
+        side: "cpu",
+        target: Target::PrfInt.name(),
+        kind: "transient",
+        runs: n,
+        base: Mode { label: "full_prefix", s: base },
+        opt: Mode { label: "ladder8+conv", s: opt },
+    }
+}
+
+fn dsa_ladder_scenario(name: &'static str, golden: &DsaGolden, n: usize) -> Scenario {
+    let target = Target::Spm { accel: 0, mem: 0 };
+    let bit_len = golden.harness.accel.spms[0].bit_len();
+    let late = (golden.cycles * 4 / 5).max(1)..golden.cycles.max(2);
+    let mut gen = MaskGenerator::new(0xBE7C4 ^ 0xD5A);
+    let masks = gen.single_bit(target, bit_len, FaultKind::Transient, late, n);
+
+    let base = sample_campaign(n, || {
+        run_dsa_masks(golden, target, &masks, &ladder_config(0));
+    });
+    let opt = sample_campaign(n, || {
+        run_dsa_masks(golden, target, &masks, &ladder_config(8));
+    });
+
+    Scenario {
+        name,
+        side: "dsa",
+        target: target.name(),
+        kind: "transient",
+        runs: n,
+        base: Mode { label: "full_prefix", s: base },
+        opt: Mode { label: "ladder8+conv", s: opt },
+    }
+}
+
+fn json_opt(v: Option<f64>) -> String {
+    v.map_or_else(|| "null".into(), |v| format!("{v:.1}"))
 }
 
 fn emit_json(scenarios: &[Scenario], path: &str) {
-    let mut out = String::from("{\n  \"schema_version\": 1,\n  \"scenarios\": [\n");
+    let mut out = String::from("{\n  \"schema_version\": 2,\n  \"scenarios\": [\n");
     for (i, s) in scenarios.iter().enumerate() {
         let sep = if i + 1 < scenarios.len() { "," } else { "" };
+        let mode = |m: &Mode| {
+            format!(
+                "{{\"mode\": \"{}\", \"runs_per_sec\": {:.1}, \"p50_us\": {}, \"p95_us\": {}}}",
+                m.label,
+                m.s.runs_per_sec,
+                json_opt(m.s.p50_us),
+                json_opt(m.s.p95_us),
+            )
+        };
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"side\": \"{}\", \"target\": \"{}\", \"kind\": \"{}\", \"runs\": {},\n      \
-             \"clone\": {{\"runs_per_sec\": {:.1}, \"p50_us\": {:.1}, \"p95_us\": {:.1}}},\n      \
-             \"dirty\": {{\"runs_per_sec\": {:.1}, \"p50_us\": {:.1}, \"p95_us\": {:.1}}},\n      \
+             \"base\": {},\n      \
+             \"opt\": {},\n      \
              \"speedup\": {:.2}}}{}\n",
             s.name,
             s.side,
             s.target,
             s.kind,
             s.runs,
-            s.clone.runs_per_sec,
-            s.clone.p50_us,
-            s.clone.p95_us,
-            s.dirty.runs_per_sec,
-            s.dirty.p50_us,
-            s.dirty.p95_us,
-            s.dirty.runs_per_sec / s.clone.runs_per_sec.max(1e-9),
+            mode(&s.base),
+            mode(&s.opt),
+            s.speedup(),
             sep
         ));
     }
@@ -200,6 +328,14 @@ fn main() {
     let mut sys = System::new(CoreConfig::table2(Isa::RiscV));
     sys.load_binary(&bin);
     let cpu_golden = Golden::prepare(sys, 3_000_000).unwrap();
+
+    // A real kernel with a long injection window for the ladder scenarios:
+    // on the short kernel the fault-free prefix is a few thousand cycles,
+    // so there is nothing worth eliminating.
+    let bin = assemble(&mibench::build("crc32"), Isa::RiscV).unwrap();
+    let mut sys = System::new(CoreConfig::table2(Isa::RiscV));
+    sys.load_binary(&bin);
+    let crc_golden = Golden::prepare(sys, 80_000_000).unwrap();
 
     let d = accel::design("FFT");
     let dsa_golden = DsaGolden::prepare((d.make)(marvel_accel::FuConfig::default()), 50_000_000);
@@ -215,22 +351,25 @@ fn main() {
         cpu_scenario("cpu_l1d_transient", &cpu_golden, Target::L1D, FaultKind::Transient, n_cpu),
         dsa_scenario("dsa_spm_transient", &dsa_golden, FaultKind::Transient, n_dsa),
         dsa_scenario("dsa_spm_permanent", &dsa_golden, FaultKind::Permanent, n_dsa),
+        cpu_ladder_scenario("cpu_crc32_late_transient", &crc_golden, 32),
+        dsa_ladder_scenario("dsa_spm_late_transient", &dsa_golden, 96),
     ];
 
     println!(
-        "{:<20} {:>6} {:>12} {:>12} {:>9} {:>9} {:>8}",
-        "scenario", "runs", "clone r/s", "dirty r/s", "p50 µs", "p95 µs", "speedup"
+        "{:<26} {:>6} {:>13} {:>13} {:>9} {:>9} {:>8}",
+        "scenario", "runs", "base r/s", "opt r/s", "p50 µs", "p95 µs", "speedup"
     );
     for s in &scenarios {
+        let fmt = |v: Option<f64>| v.map_or_else(|| "-".into(), |v: f64| format!("{v:.1}"));
         println!(
-            "{:<20} {:>6} {:>12.0} {:>12.0} {:>9.1} {:>9.1} {:>7.2}x",
+            "{:<26} {:>6} {:>13.0} {:>13.0} {:>9} {:>9} {:>7.2}x",
             s.name,
             s.runs,
-            s.clone.runs_per_sec,
-            s.dirty.runs_per_sec,
-            s.dirty.p50_us,
-            s.dirty.p95_us,
-            s.dirty.runs_per_sec / s.clone.runs_per_sec.max(1e-9)
+            s.base.s.runs_per_sec,
+            s.opt.s.runs_per_sec,
+            fmt(s.opt.s.p50_us),
+            fmt(s.opt.s.p95_us),
+            s.speedup()
         );
     }
 
@@ -238,4 +377,15 @@ fn main() {
         .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_campaign.json").into());
     emit_json(&scenarios, &path);
     eprintln!("wrote {path}");
+
+    // Acceptance floor: the checkpoint ladder must buy at least 2× on the
+    // late-injection DSA campaign. The margin is wide (the base mode
+    // re-simulates ≥80% of the run fault-free), so this does not flake on
+    // loaded CI runners.
+    let dsa_late = scenarios.iter().find(|s| s.name == "dsa_spm_late_transient").unwrap();
+    assert!(
+        dsa_late.speedup() >= 2.0,
+        "checkpoint ladder speedup regressed: {:.2}x < 2.0x on dsa_spm_late_transient",
+        dsa_late.speedup()
+    );
 }

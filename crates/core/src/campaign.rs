@@ -5,7 +5,7 @@
 use crate::fault::{FaultKind, FaultMask, FaultModel, MaskGenerator};
 use crate::stats::error_margin;
 use marvel_cpu::{CoreStats, FaultFate, TraceMode};
-use marvel_soc::{RunOutcome, SysEvent, System, Target};
+use marvel_soc::{RunOutcome, SysDirtyMarks, SysEvent, System, Target};
 use marvel_telemetry::{
     Attribution, Event, FlightDump, FlightRecorder, ProgressMeter, Registry, Scope, TaintReport,
 };
@@ -42,6 +42,11 @@ pub struct RunRecord {
     pub trap: Option<&'static str>,
     /// The run was cut short by the early-termination optimisation.
     pub early_terminated: bool,
+    /// The run was cut short by the dirty-diff convergence exit: its state
+    /// matched the golden run's at a ladder rung, so the remaining tail
+    /// was skipped and `cycles` reports the golden execution length the
+    /// full run would have reached.
+    pub converged: bool,
     /// Simulated cycles of this run (from checkpoint).
     pub cycles: u64,
     /// Flight-recorder timeline, retained only for SDC/Crash runs of
@@ -119,6 +124,16 @@ pub struct CampaignConfig {
     pub confidence: f64,
     /// Run-state reset strategy (zero-copy dirty reset vs. deep clone).
     pub reset_mode: ResetMode,
+    /// Intermediate checkpoint-ladder rungs snapshotted across the
+    /// injection window. Transient runs start from the nearest rung at or
+    /// below their injection cycle instead of replaying the whole prefix.
+    /// 0 = off: the full-prefix oracle path.
+    pub ladder_rungs: usize,
+    /// Dirty-diff convergence exit: at each rung crossing after injection,
+    /// compare the run's dirty state against the golden snapshot at the
+    /// same cycle and terminate as Masked on exact match. Requires a
+    /// ladder (`ladder_rungs > 0`) to have any effect.
+    pub convergence_exit: bool,
     /// Observability (metrics, progress line, flight recorder).
     pub telemetry: TelemetryConfig,
 }
@@ -135,6 +150,8 @@ impl Default for CampaignConfig {
             early_termination: true,
             confidence: 0.95,
             reset_mode: ResetMode::default(),
+            ladder_rungs: 0,
+            convergence_exit: false,
             telemetry: TelemetryConfig::default(),
         }
     }
@@ -335,6 +352,85 @@ impl Golden {
         reg.publish_scoped(&scope, "trace_commits", self.trace.len() as u64);
         self.ckpt.publish_metrics(reg, &scope.child("soc"));
     }
+
+    /// Build a checkpoint ladder: `n_rungs` evenly spaced snapshots of the
+    /// golden run across the injection window, each carrying the dirty
+    /// marks of the golden segment since the previous rung.
+    ///
+    /// The builder replays the golden run once with dirty tracking on;
+    /// `collect_hvf` must match the campaign's setting so rung snapshots
+    /// carry the same trace-checking state as the faulty runs they are
+    /// compared against. Rung cycles are strictly inside the window and
+    /// deduplicated, so a short window simply yields fewer rungs.
+    pub fn build_ladder(&self, n_rungs: usize, collect_hvf: bool) -> Ladder {
+        if n_rungs == 0 || self.exec_cycles < 2 {
+            return Ladder::default();
+        }
+        let span = self.exec_cycles;
+        let mut cycles: Vec<u64> = (1..=n_rungs as u64)
+            .map(|i| self.ckpt_cycle + i * span / (n_rungs as u64 + 1))
+            .filter(|&c| c > self.ckpt_cycle && c < self.ckpt_cycle + span)
+            .collect();
+        cycles.dedup();
+        let mut sys = Box::new(self.ckpt.clone());
+        sys.enable_dirty_tracking();
+        if collect_hvf {
+            sys.core.trace_mode = TraceMode::Check(self.trace.clone());
+        }
+        let mut rungs = Vec::with_capacity(cycles.len());
+        for &c in &cycles {
+            while sys.cycle < c {
+                match sys.tick() {
+                    // The golden run completing inside the window would
+                    // contradict `exec_cycles`; stop laddering defensively.
+                    SysEvent::Halted | SysEvent::Trapped(_) => return Ladder { rungs },
+                    _ => {}
+                }
+            }
+            let seg = sys.take_dirty_marks();
+            rungs.push(LadderRung { cycle: c, sys: (*sys).clone(), seg });
+        }
+        Ladder { rungs }
+    }
+}
+
+/// One ladder rung: the golden system snapshot at `cycle` plus the dirty
+/// marks of the golden segment `(previous rung, cycle]`.
+#[derive(Debug, Clone)]
+pub struct LadderRung {
+    pub cycle: u64,
+    sys: System,
+    seg: SysDirtyMarks,
+}
+
+/// A checkpoint ladder shared read-only across campaign workers: evenly
+/// spaced golden-run snapshots that let transient injection runs skip the
+/// fault-free prefix below their injection cycle, and serve as comparison
+/// points for the dirty-diff convergence exit.
+#[derive(Debug, Clone, Default)]
+pub struct Ladder {
+    rungs: Vec<LadderRung>,
+}
+
+impl Ladder {
+    pub fn is_empty(&self) -> bool {
+        self.rungs.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.rungs.len()
+    }
+
+    /// Rung cycles, ascending.
+    pub fn cycles(&self) -> Vec<u64> {
+        self.rungs.iter().map(|r| r.cycle).collect()
+    }
+
+    /// Index of the first rung strictly above `cycle` (also the count of
+    /// rungs usable as a starting point for an injection at `cycle`).
+    fn partition_at(&self, cycle: u64) -> usize {
+        self.rungs.partition_point(|r| r.cycle <= cycle)
+    }
 }
 
 /// Record the first observed fate transition of the armed bit.
@@ -392,6 +488,10 @@ pub(crate) fn taint_finish(rep: Option<TaintReport>, fr: &mut FlightRecorder) ->
 #[derive(Debug, Default)]
 pub struct WorkerCtx {
     sys: Option<Box<System>>,
+    /// Cycle of the pristine base the reusable system was cloned from
+    /// (checkpoint or ladder rung). A dirty reset is only sound against
+    /// the *same* base; switching rungs forces a reclone.
+    base_cycle: u64,
 }
 
 impl WorkerCtx {
@@ -418,6 +518,22 @@ pub fn run_one_in(
     cc: &CampaignConfig,
     ctx: Option<&mut WorkerCtx>,
 ) -> RunRecord {
+    run_one_laddered(golden, None, mask, cc, ctx)
+}
+
+/// [`run_one_in`] with an optional checkpoint ladder: transient
+/// runs start from the nearest rung at or below their injection cycle
+/// (skipping the fault-free prefix), and — when `cc.convergence_exit` is
+/// set — compare dirty state against golden rung snapshots at each later
+/// rung crossing, exiting as Masked on exact convergence. Classifications
+/// and exported records stay identical to the ladder-less oracle.
+pub fn run_one_laddered(
+    golden: &Golden,
+    ladder: Option<&Ladder>,
+    mask: &FaultMask,
+    cc: &CampaignConfig,
+    ctx: Option<&mut WorkerCtx>,
+) -> RunRecord {
     let tel = &cc.telemetry;
     let mut fr = if tel.flight_capacity > 0 {
         FlightRecorder::new(tel.flight_capacity)
@@ -426,13 +542,38 @@ pub fn run_one_in(
     };
     let mut fate_seen = false;
 
+    // Base selection: permanents apply at the checkpoint; transients start
+    // from the nearest rung at or below their injection cycle. `next_rung`
+    // is the first rung the run will cross after injection.
+    let inject_cycle = match mask.model {
+        FaultModel::Transient { cycle } => Some(cycle),
+        FaultModel::Permanent { .. } => None,
+    };
+    let (base_sys, base_cycle, mut next_rung) = match (ladder, inject_cycle) {
+        (Some(l), Some(c)) if !l.is_empty() => match l.partition_at(c) {
+            0 => (&golden.ckpt, golden.ckpt_cycle, 0),
+            k => (&l.rungs[k - 1].sys, l.rungs[k - 1].cycle, k),
+        },
+        _ => (&golden.ckpt, golden.ckpt_cycle, 0),
+    };
+    if tel.registry.is_enabled() {
+        if let Some(h) = tel.registry.histogram("campaign.prefix_cycles_skipped") {
+            h.record(base_cycle - golden.ckpt_cycle);
+        }
+        if let Some(c) = inject_cycle {
+            if let Some(h) = tel.registry.histogram("campaign.prefix_cycles") {
+                h.record(c.saturating_sub(base_cycle));
+            }
+        }
+    }
+
     let reset_start = tel.registry.is_enabled().then(std::time::Instant::now);
     let mut owned: Option<Box<System>> = None;
     let sys: &mut System = match ctx {
         Some(c) => {
             match &mut c.sys {
-                Some(s) => {
-                    let bytes = s.reset_from(&golden.ckpt);
+                Some(s) if c.base_cycle == base_cycle => {
+                    let bytes = s.reset_from(base_sys);
                     if let Some(t0) = reset_start {
                         if let Some(h) = tel.registry.histogram("campaign.reset_ns") {
                             h.record(t0.elapsed().as_nanos() as u64);
@@ -442,18 +583,22 @@ pub fn run_one_in(
                         }
                     }
                 }
-                slot @ None => {
-                    // First run on this worker: pay the one clone, then
-                    // arm the dirty journals for every later reset.
-                    let mut s = Box::new(golden.ckpt.clone());
+                slot => {
+                    // First run on this worker, or the base rung changed:
+                    // pay the one clone, then arm the dirty journals for
+                    // every later same-base reset. (Campaign scheduling
+                    // sorts runs by injection cycle, so each worker pays
+                    // at most one reclone per rung.)
+                    let mut s = Box::new(base_sys.clone());
                     s.enable_dirty_tracking();
                     *slot = Some(s);
+                    c.base_cycle = base_cycle;
                 }
             }
             c.sys.as_mut().expect("worker context populated above")
         }
         None => {
-            let s = Box::new(golden.ckpt.clone());
+            let s = Box::new(base_sys.clone());
             if let Some(t0) = reset_start {
                 if let Some(h) = tel.registry.histogram("campaign.ckpt_restore_ns") {
                     h.record(t0.elapsed().as_nanos() as u64);
@@ -521,6 +666,7 @@ pub fn run_one_in(
                     hvf: cc.collect_hvf.then_some(HvfEffect::Masked),
                     trap: None,
                     early_terminated: true,
+                    converged: false,
                     cycles: sys.cycle - golden.ckpt_cycle,
                     forensics: None,
                     attribution: taint_finish(sys.taint_report(), &mut fr),
@@ -543,6 +689,38 @@ pub fn run_one_in(
         if sys.cycle >= watchdog {
             break RunOutcome::Timeout;
         }
+        // Ladder-rung crossing: merge the golden segment's dirty marks so
+        // the journals cover everything *either* run wrote since the base
+        // rung, then (optionally) try the dirty-diff convergence exit.
+        if let Some(l) = ladder {
+            if next_rung < l.rungs.len() && sys.cycle == l.rungs[next_rung].cycle {
+                let rung = &l.rungs[next_rung];
+                sys.merge_dirty_marks(&rung.seg);
+                next_rung += 1;
+                if cc.convergence_exit && mask.model.is_transient() && sys.core.divergence.is_none() {
+                    // Fate split: when the fate monitor already knows the
+                    // fault is dead and early termination is on, leave the
+                    // exit to the fate poll — it reports the same cycle
+                    // count the ladder-less oracle would. Otherwise a
+                    // converged run is Masked with the golden run length.
+                    let skip = cc.early_termination
+                        && sys.fault_fate(mask.target).is_some_and(|f| f.is_masked_early());
+                    if !skip && (!tel.taint || sys.taint_quiescent()) && sys.state_converged(&rung.sys) {
+                        fr.record(sys.cycle, Event::Converged);
+                        return RunRecord {
+                            effect: FaultEffect::Masked,
+                            hvf: cc.collect_hvf.then_some(HvfEffect::Masked),
+                            trap: None,
+                            early_terminated: false,
+                            converged: true,
+                            cycles: golden.exec_cycles,
+                            forensics: None,
+                            attribution: taint_finish(sys.taint_report(), &mut fr),
+                        };
+                    }
+                }
+            }
+        }
         if poll_fate && sys.cycle >= check_at {
             check_at = sys.cycle + 1024;
             let fate = sys.fault_fate(mask.target);
@@ -556,6 +734,7 @@ pub fn run_one_in(
                             hvf: cc.collect_hvf.then_some(HvfEffect::Masked),
                             trap: None,
                             early_terminated: true,
+                            converged: false,
                             cycles: sys.cycle - golden.ckpt_cycle,
                             forensics: None,
                             attribution: taint_finish(sys.taint_report(), &mut fr),
@@ -606,6 +785,7 @@ pub fn run_one_in(
         hvf,
         trap,
         early_terminated: false,
+        converged: false,
         cycles: sys.cycle - golden.ckpt_cycle,
         forensics,
         attribution,
@@ -666,6 +846,14 @@ impl CampaignResult {
             return 0.0;
         }
         self.records.iter().filter(|r| r.early_terminated).count() as f64 / self.records.len() as f64
+    }
+
+    /// Fraction of runs cut short by the dirty-diff convergence exit.
+    pub fn convergence_exit_rate(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().filter(|r| r.converged).count() as f64 / self.records.len() as f64
     }
 
     /// Statistical error margin of the AVF estimate.
@@ -754,12 +942,41 @@ pub fn run_masks(golden: &Golden, masks: &[FaultMask], cc: &CampaignConfig) -> V
     run_masks_with_population(golden, masks, cc, u64::MAX)
 }
 
+/// Mask sort key for rung-monotone scheduling: permanents first (their
+/// base is always the checkpoint), then transients by injection cycle, so
+/// each worker walks the ladder upward and pays at most one reclone per
+/// rung. Ties keep the original index for determinism.
+pub(crate) fn schedule_key(mask: &FaultMask) -> u64 {
+    match mask.model {
+        FaultModel::Permanent { .. } => 0,
+        FaultModel::Transient { cycle } => cycle.saturating_add(1),
+    }
+}
+
 fn run_masks_with_population(
     golden: &Golden,
     masks: &[FaultMask],
     cc: &CampaignConfig,
     population: u64,
 ) -> Vec<RunRecord> {
+    let ladder = if cc.ladder_rungs > 0 {
+        let t0 = std::time::Instant::now();
+        let l = golden.build_ladder(cc.ladder_rungs, cc.collect_hvf);
+        let reg = &cc.telemetry.registry;
+        reg.publish("campaign.ladder_rungs", l.len() as u64);
+        reg.publish("campaign.ladder_build_ns", t0.elapsed().as_nanos() as u64);
+        Some(l)
+    } else {
+        None
+    };
+    let ladder = ladder.as_ref();
+    // Rung-monotone claim order (identity when no ladder: runs at any
+    // worker count stay bit-identical either way, only locality changes).
+    let mut order: Vec<usize> = (0..masks.len()).collect();
+    if ladder.is_some() {
+        order.sort_by_key(|&i| (schedule_key(&masks[i]), i));
+    }
+    let order = &order;
     let workers = if cc.workers == 0 {
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
     } else {
@@ -777,6 +994,7 @@ fn run_masks_with_population(
     let sdc_n = AtomicU64::new(0);
     let crash_n = AtomicU64::new(0);
     let early_n = AtomicU64::new(0);
+    let conv_n = AtomicU64::new(0);
     let run_cycles = tel.registry.histogram("campaign.run_cycles");
     let total = masks.len() as u64;
     // Wakes the progress reporter the moment the last run lands, instead
@@ -787,7 +1005,7 @@ fn run_masks_with_population(
         for w in 0..workers {
             let worker_runs = tel.registry.scoped_counter(&scope.indexed("worker", w), "runs");
             let (next, slots) = (&next, &slots);
-            let (done, sdc_n, crash_n, early_n) = (&done, &sdc_n, &crash_n, &early_n);
+            let (done, sdc_n, crash_n, early_n, conv_n) = (&done, &sdc_n, &crash_n, &early_n, &conv_n);
             let finish_wake = &finish_wake;
             let run_cycles = run_cycles.clone();
             s.spawn(move |_| {
@@ -797,15 +1015,17 @@ fn run_masks_with_population(
                 // BATCH runs (plus once at exit). Only `done` — which
                 // drives progress and the finish wake — bumps per run.
                 const BATCH: u64 = 32;
-                let (mut b_runs, mut b_sdc, mut b_crash, mut b_early) = (0u64, 0u64, 0u64, 0u64);
+                let (mut b_runs, mut b_sdc, mut b_crash, mut b_early, mut b_conv) =
+                    (0u64, 0u64, 0u64, 0u64, 0u64);
                 let mut b_cycles: Vec<u64> = Vec::new();
                 loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= masks.len() {
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    if k >= order.len() {
                         break;
                     }
+                    let i = order[k];
                     let ctx = (cc.reset_mode == ResetMode::Dirty).then_some(&mut ctx);
-                    let rec = run_one_in(golden, &masks[i], cc, ctx);
+                    let rec = run_one_laddered(golden, ladder, &masks[i], cc, ctx);
                     b_runs += 1;
                     match rec.effect {
                         FaultEffect::Sdc => b_sdc += 1,
@@ -814,6 +1034,9 @@ fn run_masks_with_population(
                     }
                     if rec.early_terminated {
                         b_early += 1;
+                    }
+                    if rec.converged {
+                        b_conv += 1;
                     }
                     if run_cycles.is_some() {
                         b_cycles.push(rec.cycles);
@@ -825,10 +1048,11 @@ fn run_masks_with_population(
                         sdc_n.fetch_add(b_sdc, Ordering::Relaxed);
                         crash_n.fetch_add(b_crash, Ordering::Relaxed);
                         early_n.fetch_add(b_early, Ordering::Relaxed);
+                        conv_n.fetch_add(b_conv, Ordering::Relaxed);
                         if let Some(h) = &run_cycles {
                             b_cycles.drain(..).for_each(|c| h.record(c));
                         }
-                        (b_runs, b_sdc, b_crash, b_early) = (0, 0, 0, 0);
+                        (b_runs, b_sdc, b_crash, b_early, b_conv) = (0, 0, 0, 0, 0);
                     }
                     if last {
                         let (lock, cvar) = finish_wake;
@@ -841,6 +1065,7 @@ fn run_masks_with_population(
                     sdc_n.fetch_add(b_sdc, Ordering::Relaxed);
                     crash_n.fetch_add(b_crash, Ordering::Relaxed);
                     early_n.fetch_add(b_early, Ordering::Relaxed);
+                    conv_n.fetch_add(b_conv, Ordering::Relaxed);
                     if let Some(h) = &run_cycles {
                         b_cycles.drain(..).for_each(|c| h.record(c));
                     }
@@ -891,6 +1116,7 @@ fn run_masks_with_population(
     tel.registry.publish_scoped(&scope, "crash", crash);
     tel.registry.publish_scoped(&scope, "masked", total - sdc - crash);
     tel.registry.publish_scoped(&scope, "early_terminated", early_n.into_inner());
+    tel.registry.publish_scoped(&scope, "convergence_exits", conv_n.into_inner());
 
     for (i, slot) in slots.into_iter().enumerate() {
         records[i] = slot.into_inner().unwrap();
@@ -1029,6 +1255,41 @@ mod tests {
             let kd: Vec<_> = rd.records.iter().map(key).collect();
             assert_eq!(kc, kd, "{target:?}");
         }
+    }
+
+    #[test]
+    fn ladder_and_convergence_match_oracle() {
+        // The checkpoint ladder + convergence exit are pure optimisations:
+        // every record must be identical to the full-prefix oracle, for
+        // both reset modes. `converged` itself is excluded — it marks
+        // which runs took the shortcut.
+        let g = golden_for(Isa::RiscV);
+        let mk = |rungs, conv, mode| CampaignConfig {
+            n_faults: 16,
+            collect_hvf: true,
+            workers: 3,
+            reset_mode: mode,
+            ladder_rungs: rungs,
+            convergence_exit: conv,
+            ..Default::default()
+        };
+        let key = |r: &RunRecord| (r.effect, r.hvf, r.trap, r.early_terminated, r.cycles);
+        for target in [Target::PrfInt, Target::L1D] {
+            let oracle = run_campaign(&g, target, &mk(0, false, ResetMode::Clone));
+            let ko: Vec<_> = oracle.records.iter().map(key).collect();
+            for mode in [ResetMode::Clone, ResetMode::Dirty] {
+                let fast = run_campaign(&g, target, &mk(6, true, mode));
+                let kf: Vec<_> = fast.records.iter().map(key).collect();
+                assert_eq!(ko, kf, "{target:?} {mode:?}");
+            }
+        }
+        // The ladder itself covers the injection window with ascending
+        // rungs strictly inside it.
+        let ladder = g.build_ladder(6, true);
+        let cycles = ladder.cycles();
+        assert!(!cycles.is_empty());
+        assert!(cycles.windows(2).all(|w| w[0] < w[1]));
+        assert!(cycles.iter().all(|&c| c > g.ckpt_cycle && c < g.ckpt_cycle + g.exec_cycles));
     }
 
     #[test]

@@ -133,30 +133,19 @@ impl DsaHarness {
             _ => None,
         });
 
-        let mut cycle: u64 = 0;
-        let mut dma = DmaEngine::new(8);
-        for j in &self.jobs_in {
-            dma.push(*j);
-        }
-        // RAM taint shadow (marvel-taint): allocated only when the
-        // accelerator's shadow planes are on, so plain runs pay nothing.
-        let mut ram_shadow =
-            if self.accel.taint_enabled() { vec![0u8; self.ram.len()] } else { Vec::new() };
-        let mut phase = 0u8; // 0 = dma-in, 1 = compute, 2 = dma-out
-        self.accel.start(&self.args.clone());
-
+        let mut st = DsaSimState::start(self);
         loop {
-            cycle += 1;
-            if cycle > watchdog {
-                fr.record(cycle, Event::Trap { tag: "watchdog" });
+            st.cycle += 1;
+            if st.cycle > watchdog {
+                fr.record(st.cycle, Event::Trap { tag: "watchdog" });
                 return DsaOutcome::Timeout;
             }
             if let Some(c) = inject_at {
-                if cycle == c {
+                if st.cycle == c {
                     let m = mask.unwrap().clone();
                     self.apply(&m, None);
                     fr.record(
-                        cycle,
+                        st.cycle,
                         Event::FaultArmed {
                             target: m.target.name(),
                             bit: m.bits.first().copied().unwrap_or(0),
@@ -165,54 +154,101 @@ impl DsaHarness {
                     );
                 }
             }
-            let shadow = (!ram_shadow.is_empty()).then_some(&mut ram_shadow[..]);
-            match phase {
-                0 => {
-                    if dma.busy() {
-                        if !dma.tick_tainted(&mut self.ram, shadow, &mut self.accel) {
-                            fr.record(cycle, Event::Trap { tag: "dma-error" });
-                            return DsaOutcome::Error { cycles: cycle };
-                        }
-                    } else {
-                        fr.record(cycle, Event::Note { label: "dma_in_bytes", value: dma.bytes_moved });
-                        phase = 1;
+            if let Some(o) = self.step_sim(&mut st, fr) {
+                return o;
+            }
+        }
+    }
+
+    /// Advance the run one cycle (the phase action for `st.cycle`, which
+    /// the caller has already incremented); returns the outcome once the
+    /// run finishes. Split from [`run_recorded`](Self::run_recorded) so
+    /// campaign drivers can snapshot/resume mid-run state for the
+    /// checkpoint ladder.
+    fn step_sim(&mut self, st: &mut DsaSimState, fr: &mut FlightRecorder) -> Option<DsaOutcome> {
+        let shadow = (!st.ram_shadow.is_empty()).then_some(&mut st.ram_shadow[..]);
+        match st.phase {
+            0 => {
+                if st.dma.busy() {
+                    if !st.dma.tick_tainted(&mut self.ram, shadow, &mut self.accel) {
+                        fr.record(st.cycle, Event::Trap { tag: "dma-error" });
+                        return Some(DsaOutcome::Error { cycles: st.cycle });
                     }
+                } else {
+                    fr.record(
+                        st.cycle,
+                        Event::Note { label: "dma_in_bytes", value: st.dma.bytes_moved },
+                    );
+                    st.phase = 1;
                 }
-                1 => match self.accel.tick() {
-                    AccelState::Done => {
-                        fr.record(
-                            cycle,
-                            Event::Note {
-                                label: "compute_cycles",
-                                value: self.accel.stats.compute_cycles,
-                            },
-                        );
-                        for j in &self.jobs_out {
-                            dma.push(*j);
-                        }
-                        phase = 2;
+            }
+            1 => match self.accel.tick() {
+                AccelState::Done => {
+                    fr.record(
+                        st.cycle,
+                        Event::Note { label: "compute_cycles", value: self.accel.stats.compute_cycles },
+                    );
+                    for j in &self.jobs_out {
+                        st.dma.push(*j);
                     }
-                    AccelState::Error(_) => {
-                        fr.record(cycle, Event::Trap { tag: "accel-error" });
-                        return DsaOutcome::Error { cycles: cycle };
+                    st.phase = 2;
+                }
+                AccelState::Error(_) => {
+                    fr.record(st.cycle, Event::Trap { tag: "accel-error" });
+                    return Some(DsaOutcome::Error { cycles: st.cycle });
+                }
+                _ => {}
+            },
+            _ => {
+                if st.dma.busy() {
+                    if !st.dma.tick_tainted(&mut self.ram, shadow, &mut self.accel) {
+                        fr.record(st.cycle, Event::Trap { tag: "dma-error" });
+                        return Some(DsaOutcome::Error { cycles: st.cycle });
                     }
-                    _ => {}
-                },
-                _ => {
-                    if dma.busy() {
-                        if !dma.tick_tainted(&mut self.ram, shadow, &mut self.accel) {
-                            fr.record(cycle, Event::Trap { tag: "dma-error" });
-                            return DsaOutcome::Error { cycles: cycle };
-                        }
-                    } else {
-                        return DsaOutcome::Done {
-                            output: self.ram[self.output.clone()].to_vec(),
-                            cycles: cycle,
-                        };
-                    }
+                } else {
+                    return Some(DsaOutcome::Done {
+                        output: self.ram[self.output.clone()].to_vec(),
+                        cycles: st.cycle,
+                    });
                 }
             }
         }
+        None
+    }
+}
+
+/// Mid-run simulation state of a harness run — the DMA engine, phase
+/// machine, cycle count and RAM taint shadow that used to live on
+/// `run_recorded`'s stack. Split out so checkpoint-ladder rungs can
+/// snapshot a fault-free run in flight and campaign workers can resume
+/// from it.
+#[derive(Debug, Clone)]
+pub struct DsaSimState {
+    dma: DmaEngine,
+    /// 0 = dma-in, 1 = compute, 2 = dma-out.
+    phase: u8,
+    cycle: u64,
+    /// RAM taint shadow (marvel-taint): allocated only when the
+    /// accelerator's shadow planes are on, so plain runs pay nothing.
+    ram_shadow: Vec<u8>,
+}
+
+impl DsaSimState {
+    /// Queue the DMA-in plan and start the accelerator: the cycle-0 state
+    /// of a run on `h`.
+    fn start(h: &mut DsaHarness) -> DsaSimState {
+        let mut dma = DmaEngine::new(8);
+        for j in &h.jobs_in {
+            dma.push(*j);
+        }
+        let ram_shadow = if h.accel.taint_enabled() { vec![0u8; h.ram.len()] } else { Vec::new() };
+        h.accel.start(&h.args.clone());
+        DsaSimState { dma, phase: 0, cycle: 0, ram_shadow }
+    }
+
+    /// True when no taint is latched in the run-local state.
+    fn taint_quiescent(&self) -> bool {
+        self.ram_shadow.iter().all(|&b| b == 0)
     }
 }
 
@@ -235,6 +271,73 @@ impl DsaGolden {
             DsaOutcome::Done { output, cycles } => DsaGolden { harness, output, cycles },
             o => panic!("fault-free DSA run failed: {o:?}"),
         }
+    }
+
+    /// Replay the fault-free run once more, freezing `n_rungs` evenly
+    /// spaced [`DsaLadderRung`]s strictly inside the injection window.
+    /// Built once per campaign and shared read-only across workers.
+    pub fn build_ladder(&self, n_rungs: usize) -> DsaLadder {
+        let mut ladder = DsaLadder::default();
+        if n_rungs == 0 || self.cycles < 2 {
+            return ladder;
+        }
+        let mut cycles: Vec<u64> = (1..=n_rungs as u64)
+            .map(|i| i * self.cycles / (n_rungs as u64 + 1))
+            .filter(|&c| c > 0 && c < self.cycles)
+            .collect();
+        cycles.dedup();
+        let mut h = self.harness.clone();
+        let mut st = DsaSimState::start(&mut h);
+        let mut fr = FlightRecorder::disabled();
+        for &c in &cycles {
+            while st.cycle < c {
+                st.cycle += 1;
+                if h.step_sim(&mut st, &mut fr).is_some() {
+                    // Fault-free run ended before the window did (cannot
+                    // happen for rungs < self.cycles); stop defensively.
+                    return ladder;
+                }
+            }
+            ladder.rungs.push(DsaLadderRung { cycle: c, harness: h.clone(), sim: st.clone() });
+        }
+        ladder
+    }
+}
+
+/// One rung of a [`DsaLadder`]: the harness plus run-local state of the
+/// fault-free run, frozen right after the step for `cycle` completed. A
+/// run injecting at cycle `c` may start from the deepest rung with
+/// `cycle < c` — the injection applies at the top of cycle `c`, before
+/// that cycle's step, so a rung at exactly `c` is already past it.
+#[derive(Debug, Clone)]
+pub struct DsaLadderRung {
+    pub cycle: u64,
+    harness: DsaHarness,
+    sim: DsaSimState,
+}
+
+/// Checkpoint ladder for DSA campaigns: intermediate snapshots of the
+/// fault-free run at evenly spaced cycles. Workers restore the nearest
+/// rung below each injection cycle instead of re-simulating the
+/// fault-free prefix from cycle 0, and the convergence exit compares
+/// post-injection state against the rung frozen at the same cycle.
+#[derive(Debug, Clone, Default)]
+pub struct DsaLadder {
+    rungs: Vec<DsaLadderRung>,
+}
+
+impl DsaLadder {
+    pub fn len(&self) -> usize {
+        self.rungs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rungs.is_empty()
+    }
+
+    /// Rung cycles, ascending.
+    pub fn cycles(&self) -> Vec<u64> {
+        self.rungs.iter().map(|r| r.cycle).collect()
     }
 }
 
@@ -275,6 +378,127 @@ impl DsaCampaignResult {
             self.confidence,
         )
     }
+
+    /// Fraction of runs cut short by the fate-poll early termination.
+    pub fn early_termination_rate(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().filter(|r| r.early_terminated).count() as f64 / self.records.len() as f64
+    }
+
+    /// Fraction of runs ended by the ladder convergence exit.
+    pub fn convergence_exit_rate(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().filter(|r| r.converged).count() as f64 / self.records.len() as f64
+    }
+}
+
+/// How a campaign-driven DSA run ended.
+enum DsaRunEnd {
+    /// Ran to a terminal outcome (done / error / timeout).
+    Finished(DsaOutcome),
+    /// The fate poll saw the armed bit overwritten before any read — the
+    /// fault is architecturally dead, the run is definitively Masked.
+    MaskedEarly { cycles: u64 },
+    /// Post-injection state matched the golden rung frozen at the same
+    /// cycle — the rest of the run is bit-identical to the fault-free
+    /// one, so the record is Masked with the golden cycle count.
+    Converged,
+}
+
+/// Drive one masked campaign run on `h`/`st` (already positioned at the
+/// base cycle, fault-free) to an end. `next_rung` indexes the first
+/// ladder rung strictly above the base cycle.
+#[allow(clippy::too_many_arguments)]
+fn drive_run(
+    h: &mut DsaHarness,
+    st: &mut DsaSimState,
+    mask: &FaultMask,
+    inject_at: Option<u64>,
+    ladder: Option<&DsaLadder>,
+    mut next_rung: usize,
+    cc: &CampaignConfig,
+    watchdog: u64,
+    taint: bool,
+    fr: &mut FlightRecorder,
+) -> DsaRunEnd {
+    if let FaultModel::Permanent { value } = mask.model {
+        h.apply(mask, Some(value));
+        fr.record(
+            0,
+            Event::FaultArmed {
+                target: mask.target.name(),
+                bit: mask.bits.first().copied().unwrap_or(0),
+                model: "permanent",
+            },
+        );
+    }
+    let mut armed = inject_at.is_none();
+    loop {
+        st.cycle += 1;
+        if st.cycle > watchdog {
+            fr.record(st.cycle, Event::Trap { tag: "watchdog" });
+            return DsaRunEnd::Finished(DsaOutcome::Timeout);
+        }
+        if inject_at == Some(st.cycle) {
+            h.apply(mask, None);
+            armed = true;
+            fr.record(
+                st.cycle,
+                Event::FaultArmed {
+                    target: mask.target.name(),
+                    bit: mask.bits.first().copied().unwrap_or(0),
+                    model: "transient",
+                },
+            );
+        }
+        if let Some(o) = h.step_sim(st, fr) {
+            return DsaRunEnd::Finished(o);
+        }
+        // Ladder-rung crossing: dirty-diff convergence exit. DSA state is
+        // a few KiB, so the "diff" is a wholesale functional compare.
+        if let Some(l) = ladder {
+            if next_rung < l.rungs.len() && st.cycle == l.rungs[next_rung].cycle {
+                let rung = &l.rungs[next_rung];
+                next_rung += 1;
+                if cc.convergence_exit && armed && mask.model.is_transient() {
+                    // Fate split: if the early-termination poll would also
+                    // catch this run (bit overwritten before any read),
+                    // defer to it — the poll fires at the same absolute
+                    // cycles with or without the ladder, keeping records
+                    // bit-identical across configurations.
+                    let skip =
+                        cc.early_termination && h.fault_fate(mask.target) == Some(SramFate::Overwritten);
+                    if !skip
+                        && (!taint || (h.accel.taint_quiescent() && st.taint_quiescent()))
+                        && st.phase == rung.sim.phase
+                        && st.dma.state_eq(&rung.sim.dma)
+                        && h.ram == rung.harness.ram
+                        && h.accel.state_eq(&rung.harness.accel)
+                    {
+                        fr.record(st.cycle, Event::Converged);
+                        return DsaRunEnd::Converged;
+                    }
+                }
+            }
+        }
+        // Early termination: poll the armed bit's fate on a coarse,
+        // absolute-cycle cadence (deterministic across reset modes,
+        // worker counts and ladder bases). Overwritten-before-read is
+        // definitively Masked.
+        if cc.early_termination
+            && armed
+            && mask.model.is_transient()
+            && st.cycle.is_multiple_of(1024)
+            && h.fault_fate(mask.target) == Some(SramFate::Overwritten)
+        {
+            fr.record(st.cycle, Event::EarlyTerminated);
+            return DsaRunEnd::MaskedEarly { cycles: st.cycle };
+        }
+    }
 }
 
 /// Run a statistical campaign on one DSA memory target.
@@ -282,7 +506,20 @@ pub fn run_dsa_campaign(golden: &DsaGolden, target: Target, cc: &CampaignConfig)
     let bit_len = golden.harness.bit_len(target);
     let mut gen = MaskGenerator::new(cc.seed ^ 0xD5A);
     let masks = gen.single_bit(target, bit_len, cc.kind, 1..golden.cycles.max(2), cc.n_faults);
+    run_dsa_masks(golden, target, &masks, cc)
+}
 
+/// Run one injection per caller-supplied mask. `run_dsa_campaign` is this
+/// plus uniform mask sampling over the whole run; calling it directly lets
+/// harnesses window injections (e.g. into the late tail of the run, where
+/// the checkpoint ladder pays off most).
+pub fn run_dsa_masks(
+    golden: &DsaGolden,
+    target: Target,
+    masks: &[FaultMask],
+    cc: &CampaignConfig,
+) -> DsaCampaignResult {
+    let bit_len = golden.harness.bit_len(target);
     let workers = if cc.workers == 0 {
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
     } else {
@@ -299,12 +536,38 @@ pub fn run_dsa_campaign(golden: &DsaGolden, target: Target, cc: &CampaignConfig)
     let population = bit_len.saturating_mul(golden.cycles.max(1));
     tel.registry.publish_scoped(&scope, "bit_population", bit_len);
     tel.registry.publish_scoped(&scope, "golden_cycles", golden.cycles);
+
+    // Checkpoint ladder: built once from the fault-free run, shared
+    // read-only across workers.
+    let build_start = std::time::Instant::now();
+    let ladder =
+        if cc.ladder_rungs > 0 { golden.build_ladder(cc.ladder_rungs) } else { DsaLadder::default() };
+    let ladder_ref = (!ladder.is_empty()).then_some(&ladder);
+    if ladder_ref.is_some() {
+        tel.registry.publish_scoped(&scope, "ladder_rungs", ladder.len() as u64);
+        tel.registry.publish_scoped(&scope, "ladder_build_ns", build_start.elapsed().as_nanos() as u64);
+    }
+
     let done = AtomicU64::new(0);
     let sdc_n = AtomicU64::new(0);
     let crash_n = AtomicU64::new(0);
+    let early_n = AtomicU64::new(0);
+    let conv_n = AtomicU64::new(0);
     let run_cycles = tel.registry.histogram("dsa.run_cycles");
-    let masks = masks.as_slice();
+    let prefix_cycles = tel.registry.histogram("dsa.prefix_cycles");
+    let prefix_skipped = tel.registry.histogram("dsa.prefix_cycles_skipped");
     let total = masks.len() as u64;
+
+    // Rung-monotone claim order (permanents first — their base is always
+    // the checkpoint — then transients by injection cycle), so each worker
+    // walks the ladder upward and pays at most one reclone per rung.
+    // Results land in `slots[original index]`, so record order — and thus
+    // every export — is identical to the unsorted schedule.
+    let mut order: Vec<usize> = (0..masks.len()).collect();
+    if ladder_ref.is_some() {
+        order.sort_by_key(|&i| (crate::campaign::schedule_key(&masks[i]), i));
+    }
+    let order = order.as_slice();
     // Wakes the progress reporter as soon as the last run lands (see the
     // matching pattern in `run_masks_with_population`).
     let finish_wake = (std::sync::Mutex::new(false), std::sync::Condvar::new());
@@ -314,32 +577,56 @@ pub fn run_dsa_campaign(golden: &DsaGolden, target: Target, cc: &CampaignConfig)
             let worker_runs = tel.registry.scoped_counter(&scope.indexed("worker", w), "runs");
             let (next, slots) = (&next, &slots);
             let (done, sdc_n, crash_n) = (&done, &sdc_n, &crash_n);
+            let (early_n, conv_n) = (&early_n, &conv_n);
             let finish_wake = &finish_wake;
             let run_cycles = run_cycles.clone();
+            let prefix_cycles = prefix_cycles.clone();
+            let prefix_skipped = prefix_skipped.clone();
             let flight_capacity = tel.flight_capacity;
             let taint = tel.taint;
             s.spawn(move |_| {
                 // Reusable per-worker harness for the dirty reset mode.
+                // The dirty reset is only valid against the snapshot the
+                // harness was cloned from, so a rung switch recloned.
                 let mut reusable: Option<Box<DsaHarness>> = None;
+                let mut reusable_base: u64 = 0;
                 const BATCH: u64 = 32;
-                let (mut b_runs, mut b_sdc, mut b_crash) = (0u64, 0u64, 0u64);
+                let (mut b_runs, mut b_sdc, mut b_crash, mut b_early, mut b_conv) =
+                    (0u64, 0u64, 0u64, 0u64, 0u64);
                 let mut b_cycles: Vec<u64> = Vec::new();
                 loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= masks.len() {
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    if k >= order.len() {
                         break;
                     }
+                    let i = order[k];
+                    let mask = &masks[i];
                     let mut fr = if flight_capacity > 0 {
                         FlightRecorder::new(flight_capacity)
                     } else {
                         FlightRecorder::disabled()
                     };
+                    let inject_at = match mask.model {
+                        FaultModel::Transient { cycle } => Some(cycle),
+                        _ => None,
+                    };
+                    // Deepest rung strictly below the injection cycle; the
+                    // cycle-0 harness for permanents and early injections.
+                    let (base, next_rung) = match (ladder_ref, inject_at) {
+                        (Some(l), Some(c)) => {
+                            let r = l.rungs.partition_point(|r| r.cycle < c);
+                            (r.checked_sub(1).map(|r| &l.rungs[r]), r)
+                        }
+                        _ => (None, 0),
+                    };
+                    let (base_h, base_cycle) =
+                        base.map_or((&golden.harness, 0), |r| (&r.harness, r.cycle));
                     let mut fresh: Option<DsaHarness> = None;
                     let h: &mut DsaHarness = match cc.reset_mode {
                         ResetMode::Dirty => {
                             let reset_start = tel.registry.is_enabled().then(std::time::Instant::now);
-                            if let Some(h) = reusable.as_mut() {
-                                let bytes = h.reset_from(&golden.harness);
+                            if let Some(h) = reusable.as_mut().filter(|_| reusable_base == base_cycle) {
+                                let bytes = h.reset_from(base_h);
                                 if let Some(t0) = reset_start {
                                     if let Some(hist) = tel.registry.histogram("dsa.reset_ns") {
                                         hist.record(t0.elapsed().as_nanos() as u64);
@@ -349,32 +636,65 @@ pub fn run_dsa_campaign(golden: &DsaGolden, target: Target, cc: &CampaignConfig)
                                     }
                                 }
                             } else {
-                                reusable = Some(Box::new(golden.harness.clone()));
+                                // First run, or the base rung changed: pay
+                                // one full clone of the new base.
+                                reusable = Some(Box::new(base_h.clone()));
+                                reusable_base = base_cycle;
                             }
                             reusable.as_mut().expect("populated above")
                         }
-                        ResetMode::Clone => fresh.insert(golden.harness.clone()),
+                        ResetMode::Clone => fresh.insert(base_h.clone()),
                     };
                     if taint {
-                        // Before arming: the injection inside `run_recorded`
-                        // seeds the shadow planes.
+                        // Before arming: the injection seeds the shadow
+                        // planes. The fault-free prefix carries no taint,
+                        // so enabling at a rung matches enabling at cycle 0.
                         h.accel.enable_taint(&target.name());
                     }
-                    let outcome = h.run_recorded(Some(&masks[i]), watchdog, &mut fr);
-                    let (effect, trap) = match &outcome {
-                        DsaOutcome::Done { output, .. } => {
-                            if *output == golden.output {
-                                (FaultEffect::Masked, None)
-                            } else {
-                                (FaultEffect::Sdc, None)
+                    let mut st = match base {
+                        Some(r) => {
+                            let mut st = r.sim.clone();
+                            if taint && st.ram_shadow.is_empty() {
+                                st.ram_shadow = vec![0u8; h.ram.len()];
                             }
+                            st
                         }
-                        DsaOutcome::Error { .. } => (FaultEffect::Crash, Some("accel-error")),
-                        DsaOutcome::Timeout => (FaultEffect::Crash, Some("watchdog")),
+                        None => DsaSimState::start(h),
                     };
-                    let cycles = match outcome {
-                        DsaOutcome::Done { cycles, .. } | DsaOutcome::Error { cycles } => cycles,
-                        DsaOutcome::Timeout => watchdog,
+                    if let Some(c) = inject_at {
+                        if let Some(hist) = &prefix_cycles {
+                            hist.record(c - base_cycle);
+                        }
+                        if let Some(hist) = &prefix_skipped {
+                            hist.record(base_cycle);
+                        }
+                    }
+                    let end = drive_run(
+                        h, &mut st, mask, inject_at, ladder_ref, next_rung, cc, watchdog, taint, &mut fr,
+                    );
+                    let (effect, trap, cycles, early_terminated, converged) = match end {
+                        DsaRunEnd::Finished(outcome) => {
+                            let (effect, trap) = match &outcome {
+                                DsaOutcome::Done { output, .. } => {
+                                    if *output == golden.output {
+                                        (FaultEffect::Masked, None)
+                                    } else {
+                                        (FaultEffect::Sdc, None)
+                                    }
+                                }
+                                DsaOutcome::Error { .. } => (FaultEffect::Crash, Some("accel-error")),
+                                DsaOutcome::Timeout => (FaultEffect::Crash, Some("watchdog")),
+                            };
+                            let cycles = match outcome {
+                                DsaOutcome::Done { cycles, .. } | DsaOutcome::Error { cycles } => cycles,
+                                DsaOutcome::Timeout => watchdog,
+                            };
+                            (effect, trap, cycles, false, false)
+                        }
+                        DsaRunEnd::MaskedEarly { cycles } => {
+                            (FaultEffect::Masked, None, cycles, true, false)
+                        }
+                        DsaRunEnd::Converged => (FaultEffect::Masked, None, golden.cycles, false, true),
                     };
                     if fr.is_enabled() {
                         match h.fault_fate(target) {
@@ -395,6 +715,12 @@ pub fn run_dsa_campaign(golden: &DsaGolden, target: Target, cc: &CampaignConfig)
                         FaultEffect::Crash => b_crash += 1,
                         FaultEffect::Masked => {}
                     }
+                    if early_terminated {
+                        b_early += 1;
+                    }
+                    if converged {
+                        b_conv += 1;
+                    }
                     if run_cycles.is_some() {
                         b_cycles.push(cycles);
                     }
@@ -405,7 +731,8 @@ pub fn run_dsa_campaign(golden: &DsaGolden, target: Target, cc: &CampaignConfig)
                         effect,
                         hvf: None,
                         trap,
-                        early_terminated: false,
+                        early_terminated,
+                        converged,
                         cycles,
                         forensics,
                         attribution,
@@ -415,10 +742,12 @@ pub fn run_dsa_campaign(golden: &DsaGolden, target: Target, cc: &CampaignConfig)
                         worker_runs.add(b_runs);
                         sdc_n.fetch_add(b_sdc, Ordering::Relaxed);
                         crash_n.fetch_add(b_crash, Ordering::Relaxed);
+                        early_n.fetch_add(b_early, Ordering::Relaxed);
+                        conv_n.fetch_add(b_conv, Ordering::Relaxed);
                         if let Some(hist) = &run_cycles {
                             b_cycles.drain(..).for_each(|c| hist.record(c));
                         }
-                        (b_runs, b_sdc, b_crash) = (0, 0, 0);
+                        (b_runs, b_sdc, b_crash, b_early, b_conv) = (0, 0, 0, 0, 0);
                     }
                     if last {
                         let (lock, cvar) = finish_wake;
@@ -430,6 +759,8 @@ pub fn run_dsa_campaign(golden: &DsaGolden, target: Target, cc: &CampaignConfig)
                     worker_runs.add(b_runs);
                     sdc_n.fetch_add(b_sdc, Ordering::Relaxed);
                     crash_n.fetch_add(b_crash, Ordering::Relaxed);
+                    early_n.fetch_add(b_early, Ordering::Relaxed);
+                    conv_n.fetch_add(b_conv, Ordering::Relaxed);
                     if let Some(hist) = &run_cycles {
                         b_cycles.drain(..).for_each(|c| hist.record(c));
                     }
@@ -437,7 +768,7 @@ pub fn run_dsa_campaign(golden: &DsaGolden, target: Target, cc: &CampaignConfig)
             });
         }
         if tel.progress_interval_ms > 0 {
-            let (done, sdc_n, crash_n) = (&done, &sdc_n, &crash_n);
+            let (done, sdc_n, crash_n, early_n) = (&done, &sdc_n, &crash_n, &early_n);
             let finish_wake = &finish_wake;
             let interval = std::time::Duration::from_millis(tel.progress_interval_ms);
             let confidence = cc.confidence;
@@ -454,7 +785,7 @@ pub fn run_dsa_campaign(golden: &DsaGolden, target: Target, cc: &CampaignConfig)
                             d,
                             sdc_n.load(Ordering::Relaxed),
                             crash_n.load(Ordering::Relaxed),
-                            0,
+                            early_n.load(Ordering::Relaxed),
                             margin
                         )
                     );
@@ -475,6 +806,8 @@ pub fn run_dsa_campaign(golden: &DsaGolden, target: Target, cc: &CampaignConfig)
     tel.registry.publish_scoped(&scope, "sdc", sdc);
     tel.registry.publish_scoped(&scope, "crash", crash);
     tel.registry.publish_scoped(&scope, "masked", total - sdc - crash);
+    tel.registry.publish_scoped(&scope, "early_terminated", early_n.into_inner());
+    tel.registry.publish_scoped(&scope, "convergence_exits", conv_n.into_inner());
     if tel.registry.is_enabled() {
         // One extra fault-free run to export the accelerator's structure
         // counters (SPM/RegBank traffic, node/block execution).
@@ -613,6 +946,44 @@ mod tests {
             let kd: Vec<_> = rd.records.iter().map(key).collect();
             assert_eq!(kc, kd, "{kind:?}");
         }
+    }
+
+    #[test]
+    fn ladder_and_convergence_match_oracle() {
+        // Ladder prefix elimination + convergence exit must not change a
+        // single record relative to the full-prefix oracle, in either
+        // reset mode and for both fault models.
+        let g = DsaGolden::prepare(triple_harness(), 100_000);
+        let mk = |rungs: usize, conv, mode, kind| CampaignConfig {
+            n_faults: 24,
+            kind,
+            workers: 3,
+            reset_mode: mode,
+            ladder_rungs: rungs,
+            convergence_exit: conv,
+            ..Default::default()
+        };
+        let key = |r: &RunRecord| (r.effect, r.trap, r.early_terminated, r.cycles);
+        for kind in [crate::fault::FaultKind::Transient, crate::fault::FaultKind::Permanent] {
+            let oracle = run_dsa_campaign(
+                &g,
+                Target::Spm { accel: 0, mem: 0 },
+                &mk(0, false, ResetMode::Clone, kind),
+            );
+            let ko: Vec<_> = oracle.records.iter().map(key).collect();
+            for mode in [ResetMode::Clone, ResetMode::Dirty] {
+                let fast =
+                    run_dsa_campaign(&g, Target::Spm { accel: 0, mem: 0 }, &mk(6, true, mode, kind));
+                let kf: Vec<_> = fast.records.iter().map(key).collect();
+                assert_eq!(ko, kf, "{kind:?} {mode:?}");
+            }
+        }
+        // Rungs are ascending and strictly inside the injection window.
+        let ladder = g.build_ladder(6);
+        let cycles = ladder.cycles();
+        assert!(!cycles.is_empty());
+        assert!(cycles.windows(2).all(|w| w[0] < w[1]));
+        assert!(cycles.iter().all(|&c| c > 0 && c < g.cycles));
     }
 
     #[test]

@@ -281,6 +281,7 @@ mod tests {
             hvf: Some(hvf),
             trap: None,
             early_terminated: false,
+            converged: false,
             cycles: 1,
             forensics: None,
             attribution: None,
@@ -314,6 +315,7 @@ mod tests {
             hvf: None,
             trap: None,
             early_terminated: false,
+            converged: false,
             cycles: 1,
             forensics: None,
             attribution: None,

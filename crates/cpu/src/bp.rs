@@ -64,6 +64,13 @@ impl BranchPredictor {
         self.ras.pop()
     }
 
+    /// Functional-state equality for the convergence exit: counters and the
+    /// RAS steer future fetch, so both must match; the lookup/mispredict
+    /// tallies are observational and excluded.
+    pub fn converged_with(&self, pristine: &BranchPredictor) -> bool {
+        self.counters == pristine.counters && self.ras == pristine.ras
+    }
+
     /// Restore from `pristine`, reusing this predictor's allocations.
     /// Returns state bytes copied (zero-copy campaign reset accounting).
     pub fn reset_from(&mut self, pristine: &BranchPredictor) -> u64 {

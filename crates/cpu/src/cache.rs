@@ -7,7 +7,7 @@
 //! fault-injection methodology rests on.
 
 use crate::config::CacheConfig;
-use crate::dirty::DirtyMap;
+use crate::dirty::{DirtyMap, DirtyMarks};
 
 /// Monitoring state for the single armed (injected) bit, used for the
 /// paper's early-termination optimisation and fault-propagation reports.
@@ -555,6 +555,56 @@ impl Cache {
             self.shadow.clone_from(&pristine.shadow);
         }
         bytes
+    }
+
+    /// Drain the set journal into a detached capture (ladder construction).
+    pub fn take_marks(&mut self) -> DirtyMarks {
+        self.journal.as_mut().map(|j| j.take_marks()).unwrap_or_default()
+    }
+
+    /// Fold a captured golden-segment mark set into the live journal.
+    pub fn merge_marks(&mut self, m: &DirtyMarks) {
+        if let Some(j) = &mut self.journal {
+            j.merge(m);
+        }
+    }
+
+    /// Functional-state equality against the rung snapshot `pristine`,
+    /// restricted to the journaled dirty sets (clean sets are equal by the
+    /// journal's soundness contract; full sweep when tracking is off).
+    ///
+    /// Deliberately ignores observational state — hit/miss counters, armed
+    /// fate, the stuck list and the taint shadow — none of which can change
+    /// future data-plane behaviour for a transient fault (the taint plane is
+    /// checked separately via [`taint_quiescent`](Self::taint_quiescent)).
+    pub fn converged_with(&self, pristine: &Cache) -> bool {
+        debug_assert_eq!(self.lines.len(), pristine.lines.len());
+        let assoc = self.cfg.assoc;
+        let set_eq = |set: usize| {
+            if self.plru[set] != pristine.plru[set] {
+                return false;
+            }
+            (0..assoc).all(|way| {
+                let a = &self.lines[set * assoc + way];
+                let b = &pristine.lines[set * assoc + way];
+                a.valid == b.valid
+                    && (!a.valid || (a.tag == b.tag && a.dirty == b.dirty && a.data == b.data))
+            })
+        };
+        match &self.journal {
+            Some(j) => {
+                let mut ok = true;
+                j.peek(|set| ok = ok && set_eq(set));
+                ok
+            }
+            None => (0..self.sets).all(set_eq),
+        }
+    }
+
+    /// True when the taint shadow plane carries no set bit (or is off):
+    /// the propagation report can no longer change.
+    pub fn taint_quiescent(&self) -> bool {
+        self.shadow.iter().all(|l| l.iter().all(|&b| b == 0))
     }
 
     fn reapply_stuck_taint(&mut self, set: usize, way: usize) {

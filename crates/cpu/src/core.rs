@@ -10,6 +10,7 @@
 use crate::bp::BranchPredictor;
 use crate::cache::{Cache, FaultFate};
 use crate::config::CoreConfig;
+use crate::dirty::DirtyMarks;
 use crate::lsq::{LoadQueue, StoreQueue};
 use crate::prf::{FreeList, PhysRegFile, RenameMap};
 use marvel_isa::{AluOp, Isa, MicroOp, Op, Trap, REG_NONE};
@@ -63,6 +64,18 @@ pub struct TaintPlane {
     /// Per architectural register: the speculative rename mapping is
     /// corrupted, so any dispatch reading it yields an unknown value.
     rename: Vec<bool>,
+}
+
+/// Detached dirty-mark captures for every journaled core structure: one
+/// golden segment of the checkpoint ladder. Produced by
+/// [`Core::take_dirty_marks`], folded back by [`Core::merge_dirty_marks`].
+#[derive(Debug, Clone, Default)]
+pub struct CoreDirtyMarks {
+    prf: DirtyMarks,
+    prf_fp: DirtyMarks,
+    l1i: DirtyMarks,
+    l1d: DirtyMarks,
+    l2: DirtyMarks,
 }
 
 const PNONE: u16 = u16::MAX;
@@ -138,7 +151,7 @@ enum EState {
     Done,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 struct RobEntry {
     seq: u64,
     uop: MicroOp,
@@ -183,7 +196,7 @@ struct FetchedUop {
     fetched_at: u64,
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 struct Event {
     at: u64,
     seq: u64,
@@ -535,6 +548,95 @@ impl Core {
             + size_of::<CoreStats>()
             + 96) as u64; // scalar pipeline state
         bytes
+    }
+
+    /// Drain every structure journal into a detached capture: one golden
+    /// segment of the checkpoint ladder (the registers/sets the fault-free
+    /// run dirtied between two consecutive rungs).
+    pub fn take_dirty_marks(&mut self) -> CoreDirtyMarks {
+        CoreDirtyMarks {
+            prf: self.prf.take_marks(),
+            prf_fp: self.prf_fp.take_marks(),
+            l1i: self.l1i.take_marks(),
+            l1d: self.l1d.take_marks(),
+            l2: self.l2.take_marks(),
+        }
+    }
+
+    /// Fold a golden-segment capture into the live journals at a ladder-rung
+    /// crossing, so the convergence compare also covers locations only the
+    /// golden run wrote (a fault can suppress a golden write).
+    pub fn merge_dirty_marks(&mut self, m: &CoreDirtyMarks) {
+        self.prf.merge_marks(&m.prf);
+        self.prf_fp.merge_marks(&m.prf_fp);
+        self.l1i.merge_marks(&m.l1i);
+        self.l1d.merge_marks(&m.l1d);
+        self.l2.merge_marks(&m.l2);
+    }
+
+    /// Functional-state equality against a ladder rung at the same cycle:
+    /// true means every future tick of `self` behaves exactly like the
+    /// golden run's, so the fault is masked. Journaled structures compare
+    /// only their dirty indices; small pipeline structures compare
+    /// wholesale. Observational state (stats, armed fates, trace contents,
+    /// taint shadows, tracers) is excluded — it cannot steer the data
+    /// plane. `fq` entries ignore their `fetched_at` pipeline-trace stamp;
+    /// invalid LSQ entries are wildcards (stale payload).
+    pub fn state_converged(&self, pristine: &Core) -> bool {
+        let fuop_eq = |a: &FetchedUop, b: &FetchedUop| {
+            a.uop == b.uop
+                && a.pc == b.pc
+                && a.macro_len == b.macro_len
+                && a.first_of_macro == b.first_of_macro
+                && a.last_of_macro == b.last_of_macro
+                && a.predicted_next == b.predicted_next
+                && a.trap == b.trap
+                && a.tainted == b.tainted
+        };
+        self.cycle == pristine.cycle
+            && self.next_seq == pristine.next_seq
+            && self.fetch_pc == pristine.fetch_pc
+            && self.fetch_halted == pristine.fetch_halted
+            && self.fetch_stall_until == pristine.fetch_stall_until
+            && self.muldiv_free_at == pristine.muldiv_free_at
+            && self.irq_pending == pristine.irq_pending
+            && self.in_irq == pristine.in_irq
+            && self.iret_pc == pristine.iret_pc
+            && self.trace_pos == pristine.trace_pos
+            && self.divergence == pristine.divergence
+            // A still-pending ROB flip would fire later: never converged.
+            && self.rob_flip == pristine.rob_flip
+            && self.fq.len() == pristine.fq.len()
+            && self.fq.iter().zip(&pristine.fq).all(|(a, b)| fuop_eq(a, b))
+            && self.rob == pristine.rob
+            && self.iq == pristine.iq
+            && self.events == pristine.events
+            && self.pending_loads == pristine.pending_loads
+            && self.mdp == pristine.mdp
+            && self.rename == pristine.rename
+            && self.retire == pristine.retire
+            && self.freelist == pristine.freelist
+            && self.lq.converged_with(&pristine.lq)
+            && self.sq.converged_with(&pristine.sq)
+            && self.bp.converged_with(&pristine.bp)
+            && self.prf.converged_with(&pristine.prf)
+            && self.prf_fp.converged_with(&pristine.prf_fp)
+            && self.l1i.converged_with(&pristine.l1i)
+            && self.l1d.converged_with(&pristine.l1d)
+            && self.l2.converged_with(&pristine.l2)
+    }
+
+    /// True when no core-side taint shadow carries a set bit, so the
+    /// propagation report is frozen (live ROB/LSQ entry taints are covered
+    /// by [`state_converged`](Self::state_converged) against a zero-taint
+    /// rung).
+    pub fn taint_quiescent(&self) -> bool {
+        self.taint.as_deref().is_none_or(|tp| tp.rename.iter().all(|&b| !b))
+            && self.prf.taint_quiescent()
+            && self.prf_fp.taint_quiescent()
+            && self.l1i.taint_quiescent()
+            && self.l1d.taint_quiescent()
+            && self.l2.taint_quiescent()
     }
 
     pub fn isa(&self) -> Isa {

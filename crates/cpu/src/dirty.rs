@@ -19,6 +19,24 @@ pub struct DirtyMap {
     saturated: bool,
 }
 
+/// A captured mark set, detached from any journal. Ladder rungs store one
+/// per golden segment (the pages/sets/registers the fault-free run dirtied
+/// between two consecutive rungs); at a rung crossing the campaign merges it
+/// back into the live journal so the convergence compare also covers
+/// locations only the *golden* run wrote.
+#[derive(Debug, Clone, Default)]
+pub struct DirtyMarks {
+    saturated: bool,
+    touched: Vec<u32>,
+}
+
+impl DirtyMarks {
+    /// True when the capture recorded no dirty element.
+    pub fn is_empty(&self) -> bool {
+        !self.saturated && self.touched.is_empty()
+    }
+}
+
 impl DirtyMap {
     /// Journal for a structure with `len` elements, initially clean.
     pub fn new(len: usize) -> Self {
@@ -53,6 +71,48 @@ impl DirtyMap {
     /// full sweep instead of iterating individual indices.
     pub fn mark_all(&mut self) {
         self.saturated = true;
+    }
+
+    /// Visit every dirty index *without* clearing the journal. The
+    /// convergence compare walks the marks mid-run; they must survive for
+    /// the eventual `reset_from` drain.
+    pub fn peek(&self, mut f: impl FnMut(usize)) {
+        if self.saturated {
+            for i in 0..self.bits.len() {
+                f(i);
+            }
+        } else {
+            for &i in &self.touched {
+                f(i as usize);
+            }
+        }
+    }
+
+    /// Drain the journal into a detached [`DirtyMarks`] capture, leaving
+    /// the map clean (ladder construction: per-segment golden mark sets).
+    pub fn take_marks(&mut self) -> DirtyMarks {
+        let m = DirtyMarks { saturated: self.saturated, touched: std::mem::take(&mut self.touched) };
+        if self.saturated {
+            self.bits.iter_mut().for_each(|b| *b = false);
+            self.saturated = false;
+        } else {
+            for &i in &m.touched {
+                self.bits[i as usize] = false;
+            }
+        }
+        m
+    }
+
+    /// Fold a captured mark set back into the journal (rung-crossing merge).
+    /// Over-marking is harmless, per the module's soundness contract.
+    pub fn merge(&mut self, m: &DirtyMarks) {
+        if m.saturated {
+            self.mark_all();
+        } else {
+            for &i in &m.touched {
+                self.mark(i as usize);
+            }
+        }
     }
 
     /// Visit every dirty index, clearing the journal. After `drain` the map
@@ -110,6 +170,44 @@ mod tests {
         let mut seen2 = Vec::new();
         d.drain(|i| seen2.push(i));
         assert_eq!(seen2, vec![2]);
+    }
+
+    #[test]
+    fn peek_preserves_marks() {
+        let mut d = DirtyMap::new(8);
+        d.mark(2);
+        d.mark(6);
+        let mut seen = Vec::new();
+        d.peek(|i| seen.push(i));
+        assert_eq!(seen, vec![2, 6]);
+        let mut drained = Vec::new();
+        d.drain(|i| drained.push(i));
+        assert_eq!(drained, vec![2, 6]);
+    }
+
+    #[test]
+    fn take_marks_round_trips_through_merge() {
+        let mut d = DirtyMap::new(8);
+        d.mark(1);
+        d.mark(4);
+        let m = d.take_marks();
+        assert!(d.is_empty());
+        assert!(!m.is_empty());
+        d.mark(4); // overlap dedups on merge
+        d.merge(&m);
+        let mut seen = Vec::new();
+        d.drain(|i| seen.push(i));
+        seen.sort_unstable();
+        assert_eq!(seen, vec![1, 4]);
+        // Saturated captures merge as saturation.
+        let mut s = DirtyMap::new(4);
+        s.mark_all();
+        let sm = s.take_marks();
+        assert!(s.is_empty());
+        d.merge(&sm);
+        let mut all = Vec::new();
+        d.drain(|i| all.push(i));
+        assert_eq!(all, vec![0, 1, 2, 3, 4, 5, 6, 7]);
     }
 
     #[test]

@@ -23,9 +23,11 @@ pub mod lsq;
 pub mod prf;
 pub mod testbus;
 
-pub use crate::core::{Bus, CommitEffect, CommitRecord, Core, CoreStats, StepEvent, TraceMode};
+pub use crate::core::{
+    Bus, CommitEffect, CommitRecord, Core, CoreDirtyMarks, CoreStats, StepEvent, TraceMode,
+};
 pub use cache::{Cache, FaultFate};
 pub use config::{CacheConfig, CoreConfig};
-pub use dirty::DirtyMap;
+pub use dirty::{DirtyMap, DirtyMarks};
 pub use lsq::{LoadQueue, StoreQueue};
 pub use prf::{FreeList, PhysRegFile, RenameMap};

@@ -18,7 +18,7 @@
 use crate::cache::FaultFate;
 
 /// One load-queue entry.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LqEntry {
     pub valid: bool,
     pub seq: u64,
@@ -36,7 +36,7 @@ pub struct LqEntry {
 }
 
 /// One store-queue entry.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SqEntry {
     pub valid: bool,
     pub seq: u64,
@@ -97,6 +97,15 @@ impl LoadQueue {
 
     pub fn bit_len(&self) -> u64 {
         self.entries.len() as u64 * LQ_ENTRY_BITS
+    }
+
+    /// Functional-state equality for the convergence exit: invalid entries
+    /// are wildcards — `free`/squash only clear `valid`, leaving stale
+    /// payload (and stale taint) that the next `alloc` fully overwrites, so
+    /// it can never influence future behaviour.
+    pub fn converged_with(&self, pristine: &LoadQueue) -> bool {
+        self.entries.len() == pristine.entries.len()
+            && self.entries.iter().zip(&pristine.entries).all(|(a, b)| (!a.valid && !b.valid) || a == b)
     }
 
     /// Flip a bit of the queue's flat bit space.
@@ -205,6 +214,13 @@ impl StoreQueue {
 
     pub fn bit_len(&self) -> u64 {
         self.entries.len() as u64 * SQ_ENTRY_BITS
+    }
+
+    /// Functional-state equality for the convergence exit (see
+    /// [`LoadQueue::converged_with`] for the invalid-entry wildcard rule).
+    pub fn converged_with(&self, pristine: &StoreQueue) -> bool {
+        self.entries.len() == pristine.entries.len()
+            && self.entries.iter().zip(&pristine.entries).all(|(a, b)| (!a.valid && !b.valid) || a == b)
     }
 
     pub fn flip_bit(&mut self, bit: u64) -> FaultFate {

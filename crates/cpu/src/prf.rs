@@ -1,7 +1,7 @@
 //! Physical register file, rename map and free list — all fault-injectable.
 
 use crate::cache::FaultFate;
-use crate::dirty::DirtyMap;
+use crate::dirty::{DirtyMap, DirtyMarks};
 
 /// A physical register file holding explicit 64-bit values.
 #[derive(Debug, Clone)]
@@ -175,6 +175,41 @@ impl PhysRegFile {
         bytes
     }
 
+    /// Drain the register journal into a detached capture (ladder
+    /// construction).
+    pub fn take_marks(&mut self) -> DirtyMarks {
+        self.journal.as_mut().map(|j| j.take_marks()).unwrap_or_default()
+    }
+
+    /// Fold a captured golden-segment mark set into the live journal.
+    pub fn merge_marks(&mut self, m: &DirtyMarks) {
+        if let Some(j) = &mut self.journal {
+            j.merge(m);
+        }
+    }
+
+    /// Functional-state equality against the rung snapshot `pristine`,
+    /// restricted to journaled dirty registers (full sweep when tracking is
+    /// off). Armed fate and the taint plane are observational and excluded;
+    /// taint is checked separately via [`taint_quiescent`](Self::taint_quiescent).
+    pub fn converged_with(&self, pristine: &PhysRegFile) -> bool {
+        debug_assert_eq!(self.vals.len(), pristine.vals.len());
+        let reg_eq = |p: usize| self.vals[p] == pristine.vals[p] && self.ready[p] == pristine.ready[p];
+        match &self.journal {
+            Some(j) => {
+                let mut ok = true;
+                j.peek(|p| ok = ok && reg_eq(p));
+                ok
+            }
+            None => (0..self.vals.len()).all(reg_eq),
+        }
+    }
+
+    /// True when no register carries taint (or the plane is off).
+    pub fn taint_quiescent(&self) -> bool {
+        self.taint.iter().all(|&t| t == 0)
+    }
+
     // ---- marvel-taint shadow plane ----
 
     /// Allocate the shadow taint plane. Fault arming calls
@@ -236,7 +271,7 @@ impl PhysRegFile {
 /// Rename map: architectural register → physical register. Injectable: a
 /// flipped mapping bit silently redirects reads/writes of an architectural
 /// register to the wrong physical register.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RenameMap {
     map: Vec<u16>,
     prf_size: u16,
@@ -285,7 +320,7 @@ impl RenameMap {
 }
 
 /// Free list of physical registers.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FreeList {
     free: Vec<u16>,
 }

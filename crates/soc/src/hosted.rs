@@ -87,6 +87,21 @@ impl HostedAccel {
         bytes + 32
     }
 
+    /// Functional-state equality for the convergence exit: the host-side
+    /// phase machine, IRQ line, DMA queue and the wrapped accelerator must
+    /// all match; the per-phase cycle tallies are observational.
+    pub fn state_eq(&self, pristine: &HostedAccel) -> bool {
+        self.state == pristine.state
+            && self.irq_out == pristine.irq_out
+            && self.dma.state_eq(&pristine.dma)
+            && self.accel.state_eq(&pristine.accel)
+    }
+
+    /// True when neither the accelerator nor its memories carry taint.
+    pub fn taint_quiescent(&self) -> bool {
+        self.accel.taint_quiescent()
+    }
+
     /// Host MMR write (8-byte registers).
     pub fn mmr_write(&mut self, reg: usize, val: u64) -> Option<()> {
         self.accel.mmr.write(reg, val)

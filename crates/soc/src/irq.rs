@@ -106,6 +106,15 @@ impl IrqController {
         }
     }
 
+    /// Functional-state equality for the convergence exit: pending and
+    /// in-service masks steer delivery; the claim/completion tallies are
+    /// observational.
+    pub fn state_eq(&self, pristine: &IrqController) -> bool {
+        self.kind == pristine.kind
+            && self.pending == pristine.pending
+            && self.in_service == pristine.in_service
+    }
+
     /// Register-block read at byte offset `off`.
     pub fn mmio_read(&mut self, off: u64) -> Option<u64> {
         if off == 0 {

@@ -16,4 +16,4 @@ pub mod system;
 
 pub use hosted::{DmaPlanEntry, HostedAccel};
 pub use irq::{IrqController, IrqCtrlKind};
-pub use system::{RunOutcome, SocBus, SysEvent, System, Target};
+pub use system::{RunOutcome, SocBus, SysDirtyMarks, SysEvent, System, Target};

@@ -5,7 +5,7 @@
 use crate::hosted::HostedAccel;
 use crate::irq::{IrqController, IrqCtrlKind};
 use crate::isr::build_isr;
-use marvel_cpu::{Bus, Core, CoreConfig, DirtyMap, FaultFate, StepEvent};
+use marvel_cpu::{Bus, Core, CoreConfig, CoreDirtyMarks, DirtyMap, DirtyMarks, FaultFate, StepEvent};
 use marvel_ir::memmap::{
     ACCEL_MMR_BASE, ACCEL_MMR_STRIDE, CONSOLE_ADDR, IRQ_CTRL_BASE, IRQ_CTRL_SIZE, IRQ_VECTOR, RAM_BASE,
     RAM_SIZE,
@@ -214,6 +214,17 @@ impl Bus for SocBus {
     }
 }
 
+/// Drained dirty marks of a whole system segment: which CPU structures and
+/// RAM pages a stretch of execution touched. Captured per ladder rung while
+/// building the golden checkpoint ladder, then merged into a faulty run's
+/// live journals at each rung crossing so the convergence compare covers
+/// locations the *golden* run wrote even if the fault suppressed the write.
+#[derive(Debug, Clone, Default)]
+pub struct SysDirtyMarks {
+    core: CoreDirtyMarks,
+    ram: DirtyMarks,
+}
+
 /// Outcome of [`System::run`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RunOutcome {
@@ -344,15 +355,7 @@ impl System {
     /// (raw-slice writes) are folded in here from each engine's watermark.
     pub fn reset_from(&mut self, pristine: &System) -> u64 {
         let mut bytes = self.core.reset_from(&pristine.core);
-        if let Some(j) = &mut self.bus.ram_journal {
-            for h in &self.bus.accels {
-                if let Some((lo, hi)) = h.dma.ram_written_range() {
-                    for p in (lo >> RAM_PAGE_SHIFT)..=((hi - 1) >> RAM_PAGE_SHIFT) {
-                        j.mark(p);
-                    }
-                }
-            }
-        }
+        self.fold_dma_watermarks();
         if let Some(mut j) = self.bus.ram_journal.take() {
             let ram_len = self.bus.ram.len();
             j.drain(|p| {
@@ -384,6 +387,101 @@ impl System {
         self.traps = pristine.traps;
         self.lockstep.clone_from(&pristine.lockstep);
         bytes + 40 // SoC scalars + IRQ controller
+    }
+
+    /// Fold each DMA engine's RAM-write watermark into the page journal so
+    /// raw-slice DMA drains are visible to journal-driven reset/compare.
+    /// Marking is idempotent; the watermarks stay armed until the next
+    /// [`reset_from`](Self::reset_from).
+    fn fold_dma_watermarks(&mut self) {
+        if let Some(j) = &mut self.bus.ram_journal {
+            for h in &self.bus.accels {
+                if let Some((lo, hi)) = h.dma.ram_written_range() {
+                    for p in (lo >> RAM_PAGE_SHIFT)..=((hi - 1) >> RAM_PAGE_SHIFT) {
+                        j.mark(p);
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // checkpoint-ladder support (segment dirty marks + convergence exit)
+    // ------------------------------------------------------------------
+
+    /// Drain the CPU and RAM dirty journals into a [`SysDirtyMarks`]
+    /// segment record, leaving the journals clean. Used while building the
+    /// checkpoint ladder: each rung captures what the golden run touched
+    /// since the previous rung. Requires
+    /// [`enable_dirty_tracking`](Self::enable_dirty_tracking).
+    pub fn take_dirty_marks(&mut self) -> SysDirtyMarks {
+        self.fold_dma_watermarks();
+        SysDirtyMarks {
+            core: self.core.take_dirty_marks(),
+            ram: self.bus.ram_journal.as_mut().map(|j| j.take_marks()).unwrap_or_default(),
+        }
+    }
+
+    /// Merge a golden segment's dirty marks into this system's live
+    /// journals, so a subsequent [`state_converged`](Self::state_converged)
+    /// also checks locations only the golden run wrote (a fault can
+    /// *suppress* a golden store; comparing only the faulty run's dirt
+    /// would miss that divergence). Over-marking is harmless.
+    pub fn merge_dirty_marks(&mut self, m: &SysDirtyMarks) {
+        self.core.merge_dirty_marks(&m.core);
+        if let Some(j) = &mut self.bus.ram_journal {
+            j.merge(&m.ram);
+        }
+    }
+
+    /// Dirty-diff convergence check: does this system's functional state
+    /// equal `pristine`'s (a golden-run snapshot at the same cycle)?
+    ///
+    /// Journaled structures (RAM pages, cache sets, physical registers)
+    /// are compared only at dirty locations — sound as long as golden
+    /// segment marks have been [`merge_dirty_marks`](Self::merge_dirty_marks)-ed
+    /// in at every rung crossing since restore, so the union covers every
+    /// location either run wrote. Unjournaled structures are compared
+    /// wholesale. Observational state (statistics, armed fault fates,
+    /// journals, taint shadows) is excluded: it never steers execution.
+    pub fn state_converged(&mut self, pristine: &System) -> bool {
+        if self.cycle != pristine.cycle
+            || self.checkpoint_cycle != pristine.checkpoint_cycle
+            || self.switch_cycle != pristine.switch_cycle
+            || self.traps != pristine.traps
+            || self.bus.console != pristine.bus.console
+            || !self.bus.irq_ctrl.state_eq(&pristine.bus.irq_ctrl)
+        {
+            return false;
+        }
+        if !self.bus.accels.iter().zip(&pristine.bus.accels).all(|(h, p)| h.state_eq(p)) {
+            return false;
+        }
+        self.fold_dma_watermarks();
+        let ram_len = self.bus.ram.len();
+        let page_eq = |p: usize| {
+            let lo = p << RAM_PAGE_SHIFT;
+            let hi = (lo + (1 << RAM_PAGE_SHIFT)).min(ram_len);
+            self.bus.ram[lo..hi] == pristine.bus.ram[lo..hi]
+        };
+        let ram_ok = match &self.bus.ram_journal {
+            Some(j) => {
+                let mut ok = true;
+                j.peek(|p| ok = ok && page_eq(p));
+                ok
+            }
+            None => self.bus.ram == pristine.bus.ram,
+        };
+        ram_ok && self.core.state_converged(&pristine.core)
+    }
+
+    /// True when no tracked state carries taint (or tracking is off) —
+    /// required before a convergence exit when attribution is collected,
+    /// so the frozen taint report equals the full run's.
+    pub fn taint_quiescent(&self) -> bool {
+        self.core.taint_quiescent()
+            && self.bus.ram_shadow.iter().all(|&b| b == 0)
+            && self.bus.accels.iter().all(|h| h.taint_quiescent())
     }
 
     /// Advance one cycle.

@@ -25,6 +25,9 @@ pub enum Event {
     Trap { tag: &'static str },
     /// The run was cut short by the early-termination optimisation.
     EarlyTerminated,
+    /// The run's dirty state matched the golden run's at a checkpoint
+    /// ladder rung — the fault is Masked and the tail was skipped.
+    Converged,
     /// Final effect classification of the run.
     Classified { effect: &'static str },
     /// Taint crossed a structure boundary (marvel-taint propagation
@@ -49,6 +52,7 @@ impl Event {
             Event::FirstDivergence { .. } => "first_divergence",
             Event::Trap { .. } => "trap",
             Event::EarlyTerminated => "early_terminated",
+            Event::Converged => "converged",
             Event::Classified { .. } => "classified",
             Event::TaintHop { .. } => "taint_hop",
             Event::TaintArch { .. } => "taint_arch",
@@ -67,6 +71,7 @@ impl Event {
             Event::FirstDivergence { seq } => format!("commit stream diverges from golden at seq {seq}"),
             Event::Trap { tag } => format!("trap: {tag}"),
             Event::EarlyTerminated => "run cut short: outcome already known".into(),
+            Event::Converged => "state converged with the golden run at a ladder rung".into(),
             Event::Classified { effect } => format!("final class: {effect}"),
             Event::TaintHop { from, to } => format!("taint propagated {from} -> {to}"),
             Event::TaintArch { structure } => {

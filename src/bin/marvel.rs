@@ -7,9 +7,11 @@
 //! marvel campaign <benchmark> [--isa ...] [--target prf|l1i|l1d|l2|lq|sq|rob|rename]
 //!                 [--faults N] [--kind transient|permanent] [--hvf] [--seed S]
 //!                 [--prep ref|cycle] [--reset-mode clone|dirty]
+//!                 [--ladder-rungs N] [--convergence-exit]
 //!                 [--metrics [path]] [--forensics [path]] [--progress [ms]]
 //!                 [--taint] [--attribution [path]] [--trace-pipeline [dir]]
 //! marvel dsa <design> [--faults N] [--fus N] [--reset-mode clone|dirty]
+//!                 [--ladder-rungs N] [--convergence-exit]
 //!                 [--metrics [path]] [--forensics [path]] [--progress [ms]]
 //!                 [--taint] [--attribution [path]]
 //! ```
@@ -27,6 +29,13 @@
 //! dirty state against the shared checkpoint; `clone` deep-clones the
 //! checkpoint per run (the original path, kept as an oracle — both modes
 //! produce bit-identical reports).
+//! `--ladder-rungs` (default 8) snapshots the fault-free run at N evenly
+//! spaced cycles; each injection run then restores the nearest rung below
+//! its injection cycle instead of re-simulating the fault-free prefix.
+//! `--convergence-exit` additionally diffs each run's journaled dirty
+//! state against the golden rung at every crossing and declares the fault
+//! Masked the moment all of it has converged. Both are pure optimisations:
+//! reports stay bit-identical to `--ladder-rungs 0` (the full-run oracle).
 //! `--lockstep` runs the cycle-level core under the architectural
 //! reference model, checking every committed instruction's effects and
 //! reporting the first divergence; `--prep ref` fast-forwards the golden
@@ -108,6 +117,17 @@ fn parse_reset_mode(args: &Args) -> Result<ResetMode, String> {
         None => Ok(ResetMode::default()),
         Some(v) => ResetMode::parse(v).ok_or_else(|| format!("unknown reset mode '{v}' (clone|dirty)")),
     }
+}
+
+/// Parse `--ladder-rungs N` (default 8; 0 disables the checkpoint ladder
+/// and restores the full-prefix oracle) plus the `--convergence-exit`
+/// switch (dirty-diff masked-run exit at ladder rungs).
+fn parse_ladder(args: &Args) -> Result<(usize, bool), String> {
+    let rungs = match args.flags.get("ladder-rungs") {
+        None => 8,
+        Some(v) => v.parse().map_err(|_| format!("bad --ladder-rungs '{v}' (want a count)"))?,
+    };
+    Ok((rungs, args.switches.contains("convergence-exit")))
 }
 
 /// Resolve `--<name> <path>` (explicit path) or bare `--<name>` (default
@@ -298,6 +318,7 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
         other => return Err(format!("unknown prep mode '{other}' (ref|cycle)")),
     };
     let reset_mode = parse_reset_mode(args)?;
+    let (ladder_rungs, convergence_exit) = parse_ladder(args)?;
     let (telemetry, metrics_path, forensics_path) =
         telemetry_from_args(args, "results/campaign_metrics.jsonl", "results/campaign_forensics.jsonl");
     let cc = CampaignConfig {
@@ -306,6 +327,8 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
         seed,
         collect_hvf: args.switches.contains("hvf"),
         reset_mode,
+        ladder_rungs,
+        convergence_exit,
         telemetry,
         ..Default::default()
     };
@@ -333,6 +356,9 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
         println!("HVF       : {:.2}%", h * 100.0);
     }
     println!("early-terminated runs: {:.0}%", res.early_termination_rate() * 100.0);
+    if convergence_exit {
+        println!("convergence exits    : {:.0}%", res.convergence_exit_rate() * 100.0);
+    }
     if let Some(p) = &metrics_path {
         write_snapshot(&cc.telemetry.registry.snapshot(), p).map_err(|e| e.to_string())?;
         eprintln!("metrics snapshot written to {}", p.display());
@@ -393,9 +419,17 @@ fn cmd_dsa(args: &Args) -> Result<(), String> {
         fus
     );
     let reset_mode = parse_reset_mode(args)?;
+    let (ladder_rungs, convergence_exit) = parse_ladder(args)?;
     let (telemetry, metrics_path, forensics_path) =
         telemetry_from_args(args, "results/dsa_metrics.jsonl", "results/dsa_forensics.jsonl");
-    let cc = CampaignConfig { n_faults, reset_mode, telemetry, ..Default::default() };
+    let cc = CampaignConfig {
+        n_faults,
+        reset_mode,
+        ladder_rungs,
+        convergence_exit,
+        telemetry,
+        ..Default::default()
+    };
     if let Some(p) = &forensics_path {
         std::fs::remove_file(p).ok();
     }
@@ -451,9 +485,11 @@ fn main() -> ExitCode {
                  marvel disasm <benchmark> [--isa ...] [--limit N]\n  \
                  marvel campaign <benchmark> [--isa ...] [--target prf|l1i|l1d|l2|lq|sq|rob|rename]\n            \
                  [--faults N] [--kind transient|permanent] [--hvf] [--seed S] [--prep ref|cycle]\n            \
-                 [--reset-mode clone|dirty] [--metrics [path]] [--forensics [path]] [--progress [ms]]\n            \
+                 [--reset-mode clone|dirty] [--ladder-rungs N] [--convergence-exit]\n            \
+                 [--metrics [path]] [--forensics [path]] [--progress [ms]]\n            \
                  [--taint] [--attribution [path]] [--trace-pipeline [dir]]\n  \
                  marvel dsa <design> [--faults N] [--fus N] [--reset-mode clone|dirty]\n            \
+                 [--ladder-rungs N] [--convergence-exit]\n            \
                  [--metrics [path]] [--forensics [path]] [--progress [ms]]\n            \
                  [--taint] [--attribution [path]]"
             );

@@ -1,9 +1,14 @@
-//! Perf guard for the zero-copy campaign engine, in bytes rather than
-//! wall-clock so CI noise cannot flake it: on an early-termination-heavy
+//! Perf guards for the campaign engine, in bytes and cycles rather than
+//! wall-clock so CI noise cannot flake them: on an early-termination-heavy
 //! campaign, the dirty reset must touch a small bounded slice of the
-//! checkpoint — not degrade back into a full-state copy.
+//! checkpoint — not degrade back into a full-state copy — and on a
+//! late-injection campaign, the checkpoint ladder must cut the fault-free
+//! prefix each run re-simulates down to at most one inter-rung gap.
 
-use gem5_marvel::core::{run_campaign, CampaignConfig, Golden, ResetMode, Target, TelemetryConfig};
+use gem5_marvel::core::{
+    run_campaign, run_masks, CampaignConfig, FaultKind, Golden, MaskGenerator, ResetMode, Target,
+    TelemetryConfig,
+};
 use gem5_marvel::cpu::CoreConfig;
 use gem5_marvel::ir::assemble;
 use gem5_marvel::isa::Isa;
@@ -49,5 +54,60 @@ fn dirty_reset_touches_bounded_bytes_on_early_terminated_runs() {
     assert!(
         mean <= RESET_BYTE_BUDGET as f64,
         "mean dirty-reset footprint {mean:.0} B exceeds the {RESET_BYTE_BUDGET} B budget"
+    );
+}
+
+#[test]
+fn ladder_bounds_residual_prefix_on_late_injections() {
+    let bin = assemble(&mibench::build("crc32"), Isa::RiscV).unwrap();
+    let mut sys = gem5_marvel::soc::System::new(CoreConfig::table2(Isa::RiscV));
+    sys.load_binary(&bin);
+    let g = Golden::prepare(sys, 80_000_000).unwrap();
+
+    let registry = Registry::new();
+    const RUNGS: u64 = 8;
+    let cc = CampaignConfig {
+        workers: 2,
+        reset_mode: ResetMode::Dirty,
+        ladder_rungs: RUNGS as usize,
+        convergence_exit: true,
+        telemetry: TelemetryConfig { registry: registry.clone(), ..Default::default() },
+        ..Default::default()
+    };
+    // Masks windowed into the last fifth of the injection window — the
+    // worst case for the full-prefix engine (each run used to re-simulate
+    // ≥80% of the golden run fault-free before the flip even landed).
+    let w = g.injection_window();
+    let late = (w.start + (w.end - w.start) * 4 / 5)..w.end;
+    let n = 32;
+    let mut gen = MaskGenerator::new(0x1ADDE2);
+    let masks =
+        gen.single_bit(Target::PrfInt, g.ckpt.bit_len(Target::PrfInt), FaultKind::Transient, late, n);
+    let records = run_masks(&g, &masks, &cc);
+    assert_eq!(records.len(), n);
+
+    // Residual fault-free prefix actually simulated per run (injection
+    // cycle minus the restored rung's cycle). With K rungs it is bounded
+    // by one inter-rung gap, exec/(K+1) — allow exec/K for rounding slack.
+    // Without the ladder this mean sits at ≥ 0.8 × exec_cycles.
+    let snap = registry.histogram("campaign.prefix_cycles").expect("registry is live").snapshot();
+    assert_eq!(snap.count, n as u64, "every transient run must report its residual prefix");
+    let budget = (g.exec_cycles / RUNGS) as f64;
+    let mean = snap.mean();
+    assert!(
+        mean <= budget,
+        "mean residual prefix {mean:.0} cycles exceeds the inter-rung budget {budget:.0} \
+         (exec_cycles {})",
+        g.exec_cycles
+    );
+
+    // And the ladder must actually be skipping work: the prefix cycles
+    // skipped per run dwarf the residual simulated.
+    let skipped =
+        registry.histogram("campaign.prefix_cycles_skipped").expect("registry is live").snapshot();
+    assert!(
+        skipped.mean() >= 4.0 * budget,
+        "skipped-prefix mean {:.0} is too small for a late-injection campaign",
+        skipped.mean()
     );
 }
