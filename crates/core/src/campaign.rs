@@ -9,7 +9,7 @@ use marvel_soc::{RunOutcome, SysDirtyMarks, SysEvent, System, Target};
 use marvel_telemetry::{
     Attribution, Event, FlightDump, FlightRecorder, ProgressMeter, Registry, Scope, TaintReport,
 };
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// AVF fault-effect classes (Section IV-A2).
@@ -953,26 +953,62 @@ pub(crate) fn schedule_key(mask: &FaultMask) -> u64 {
     }
 }
 
-fn run_masks_with_population(
+/// Outcome of one incremental [`drive_masks`]/[`crate::dsa::drive_dsa_masks`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DriveOutcome {
+    /// Runs completed (and handed to the sink) by this call.
+    pub completed: usize,
+    /// The cancel flag was observed: workers stopped claiming new runs
+    /// before the pending set was drained.
+    pub cancelled: bool,
+}
+
+/// Build the campaign's checkpoint ladder per `cc.ladder_rungs` and
+/// publish its build metrics; `None` when the ladder is disabled.
+///
+/// Split out of the campaign entry points so long-lived drivers (the
+/// campaign service, journaled CLI runs) can build the ladder once and
+/// reuse it across many incremental [`drive_masks`] calls.
+pub fn build_campaign_ladder(golden: &Golden, cc: &CampaignConfig) -> Option<Ladder> {
+    if cc.ladder_rungs == 0 {
+        return None;
+    }
+    let t0 = std::time::Instant::now();
+    let l = golden.build_ladder(cc.ladder_rungs, cc.collect_hvf);
+    let reg = &cc.telemetry.registry;
+    reg.publish("campaign.ladder_rungs", l.len() as u64);
+    reg.publish("campaign.ladder_build_ns", t0.elapsed().as_nanos() as u64);
+    Some(l)
+}
+
+/// Incrementally drive the subset of `masks` *not* marked in `skip`
+/// through the worker pool, handing each finished [`RunRecord`] to `sink`
+/// the moment it lands (in completion order, tagged with its mask index).
+///
+/// This is the resumable core that the one-shot wrappers and the campaign
+/// service share. A journaling caller marks the indices already on disk
+/// in `skip`, passes an optional `cancel` flag for graceful shutdown
+/// (workers stop claiming new runs; in-flight runs still complete and
+/// reach the sink), and rebuilds exports from the sink stream. Every
+/// record is per-mask deterministic — independent of worker count, reset
+/// mode, ladder and interruption points (the differential tests pin
+/// this) — so any skip/resume partition reproduces the same record for a
+/// given index.
+#[allow(clippy::too_many_arguments)]
+pub fn drive_masks(
     golden: &Golden,
+    ladder: Option<&Ladder>,
     masks: &[FaultMask],
     cc: &CampaignConfig,
     population: u64,
-) -> Vec<RunRecord> {
-    let ladder = if cc.ladder_rungs > 0 {
-        let t0 = std::time::Instant::now();
-        let l = golden.build_ladder(cc.ladder_rungs, cc.collect_hvf);
-        let reg = &cc.telemetry.registry;
-        reg.publish("campaign.ladder_rungs", l.len() as u64);
-        reg.publish("campaign.ladder_build_ns", t0.elapsed().as_nanos() as u64);
-        Some(l)
-    } else {
-        None
-    };
-    let ladder = ladder.as_ref();
+    skip: &[bool],
+    cancel: Option<&AtomicBool>,
+    sink: &(dyn Fn(usize, RunRecord) + Sync),
+) -> DriveOutcome {
+    assert_eq!(skip.len(), masks.len(), "skip flags must cover every mask");
     // Rung-monotone claim order (identity when no ladder: runs at any
     // worker count stay bit-identical either way, only locality changes).
-    let mut order: Vec<usize> = (0..masks.len()).collect();
+    let mut order: Vec<usize> = (0..masks.len()).filter(|&i| !skip[i]).collect();
     if ladder.is_some() {
         order.sort_by_key(|&i| (schedule_key(&masks[i]), i));
     }
@@ -982,11 +1018,8 @@ fn run_masks_with_population(
     } else {
         cc.workers
     };
-    let workers = workers.min(masks.len().max(1));
+    let workers = workers.min(order.len().max(1));
     let next = AtomicUsize::new(0);
-    let mut records: Vec<Option<RunRecord>> = vec![None; masks.len()];
-    let slots: Vec<std::sync::Mutex<Option<RunRecord>>> =
-        masks.iter().map(|_| std::sync::Mutex::new(None)).collect();
 
     let tel = &cc.telemetry;
     let scope = Scope::new("campaign");
@@ -995,17 +1028,21 @@ fn run_masks_with_population(
     let crash_n = AtomicU64::new(0);
     let early_n = AtomicU64::new(0);
     let conv_n = AtomicU64::new(0);
+    let cancelled = AtomicBool::new(false);
+    let active = AtomicUsize::new(workers);
     let run_cycles = tel.registry.histogram("campaign.run_cycles");
-    let total = masks.len() as u64;
-    // Wakes the progress reporter the moment the last run lands, instead
-    // of letting it sleep out a full interval after the workers are done.
+    let total = order.len() as u64;
+    // Wakes the progress reporter the moment the last worker exits
+    // (normal completion or cancellation), instead of letting it sleep
+    // out a full interval after the workers are done.
     let finish_wake = (std::sync::Mutex::new(false), std::sync::Condvar::new());
 
     crossbeam::thread::scope(|s| {
         for w in 0..workers {
             let worker_runs = tel.registry.scoped_counter(&scope.indexed("worker", w), "runs");
-            let (next, slots) = (&next, &slots);
+            let next = &next;
             let (done, sdc_n, crash_n, early_n, conv_n) = (&done, &sdc_n, &crash_n, &early_n, &conv_n);
+            let (cancelled, active) = (&cancelled, &active);
             let finish_wake = &finish_wake;
             let run_cycles = run_cycles.clone();
             s.spawn(move |_| {
@@ -1013,12 +1050,16 @@ fn run_masks_with_population(
                 // Shared-counter traffic is batched: the effect tallies
                 // and cycle samples accumulate locally and flush every
                 // BATCH runs (plus once at exit). Only `done` — which
-                // drives progress and the finish wake — bumps per run.
+                // drives progress — bumps per run.
                 const BATCH: u64 = 32;
                 let (mut b_runs, mut b_sdc, mut b_crash, mut b_early, mut b_conv) =
                     (0u64, 0u64, 0u64, 0u64, 0u64);
                 let mut b_cycles: Vec<u64> = Vec::new();
                 loop {
+                    if cancel.is_some_and(|c| c.load(Ordering::Relaxed)) {
+                        cancelled.store(true, Ordering::Relaxed);
+                        break;
+                    }
                     let k = next.fetch_add(1, Ordering::Relaxed);
                     if k >= order.len() {
                         break;
@@ -1041,9 +1082,9 @@ fn run_masks_with_population(
                     if run_cycles.is_some() {
                         b_cycles.push(rec.cycles);
                     }
-                    *slots[i].lock().unwrap() = Some(rec);
-                    let last = done.fetch_add(1, Ordering::Relaxed) + 1 == total;
-                    if b_runs >= BATCH || last {
+                    sink(i, rec);
+                    done.fetch_add(1, Ordering::Relaxed);
+                    if b_runs >= BATCH {
                         worker_runs.add(b_runs);
                         sdc_n.fetch_add(b_sdc, Ordering::Relaxed);
                         crash_n.fetch_add(b_crash, Ordering::Relaxed);
@@ -1053,11 +1094,6 @@ fn run_masks_with_population(
                             b_cycles.drain(..).for_each(|c| h.record(c));
                         }
                         (b_runs, b_sdc, b_crash, b_early, b_conv) = (0, 0, 0, 0, 0);
-                    }
-                    if last {
-                        let (lock, cvar) = finish_wake;
-                        *lock.lock().unwrap() = true;
-                        cvar.notify_all();
                     }
                 }
                 if b_runs > 0 {
@@ -1069,6 +1105,13 @@ fn run_masks_with_population(
                     if let Some(h) = &run_cycles {
                         b_cycles.drain(..).for_each(|c| h.record(c));
                     }
+                }
+                // Last worker out (normal drain or cancellation) wakes
+                // the progress reporter for its final line.
+                if active.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    let (lock, cvar) = finish_wake;
+                    *lock.lock().unwrap() = true;
+                    cvar.notify_all();
                 }
             });
         }
@@ -1094,14 +1137,14 @@ fn run_masks_with_population(
                             margin
                         )
                     );
-                    if d >= total {
+                    // `finished` covers both normal completion and a
+                    // cancelled drive whose workers have all exited.
+                    if d >= total || *finished {
                         break;
                     }
-                    // Interval tick, cut short by the last run's notify
+                    // Interval tick, cut short by the workers' notify
                     // (checked under the lock, so the wake can't be lost).
-                    if !*finished {
-                        finished = cvar.wait_timeout(finished, interval).unwrap().0;
-                    }
+                    finished = cvar.wait_timeout(finished, interval).unwrap().0;
                 }
             });
         }
@@ -1109,19 +1152,33 @@ fn run_masks_with_population(
     .expect("campaign worker panicked");
 
     // In-flight effect tallies were flushed at worker exit; the scope join
-    // above means the atomics now hold the full-campaign totals.
+    // above means the atomics now hold this drive's totals.
+    let completed = done.into_inner();
     let (sdc, crash) = (sdc_n.into_inner(), crash_n.into_inner());
-    tel.registry.publish_scoped(&scope, "runs", total);
+    tel.registry.publish_scoped(&scope, "runs", completed);
     tel.registry.publish_scoped(&scope, "sdc", sdc);
     tel.registry.publish_scoped(&scope, "crash", crash);
-    tel.registry.publish_scoped(&scope, "masked", total - sdc - crash);
+    tel.registry.publish_scoped(&scope, "masked", completed - sdc - crash);
     tel.registry.publish_scoped(&scope, "early_terminated", early_n.into_inner());
     tel.registry.publish_scoped(&scope, "convergence_exits", conv_n.into_inner());
 
-    for (i, slot) in slots.into_iter().enumerate() {
-        records[i] = slot.into_inner().unwrap();
-    }
-    records.into_iter().map(|r| r.expect("all masks executed")).collect()
+    DriveOutcome { completed: completed as usize, cancelled: cancelled.into_inner() }
+}
+
+fn run_masks_with_population(
+    golden: &Golden,
+    masks: &[FaultMask],
+    cc: &CampaignConfig,
+    population: u64,
+) -> Vec<RunRecord> {
+    let ladder = build_campaign_ladder(golden, cc);
+    let skip = vec![false; masks.len()];
+    let slots: Vec<std::sync::Mutex<Option<RunRecord>>> =
+        masks.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    drive_masks(golden, ladder.as_ref(), masks, cc, population, &skip, None, &|i, rec| {
+        *slots[i].lock().unwrap() = Some(rec);
+    });
+    slots.into_iter().map(|slot| slot.into_inner().unwrap().expect("all masks executed")).collect()
 }
 
 fn target_hash(t: Target) -> u64 {

@@ -6,13 +6,13 @@
 //! non-masked fault is architecturally visible, so only the AVF classes
 //! are reported.
 
-use crate::campaign::{taint_finish, CampaignConfig, FaultEffect, ResetMode, RunRecord};
+use crate::campaign::{taint_finish, CampaignConfig, DriveOutcome, FaultEffect, ResetMode, RunRecord};
 use crate::fault::{FaultMask, FaultModel, MaskGenerator};
 use crate::stats::error_margin;
 use marvel_accel::{AccelState, Accelerator, DmaEngine, DmaJob, SramFate};
 use marvel_soc::Target;
 use marvel_telemetry::{Event, FlightRecorder, ProgressMeter, Scope};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
 /// A self-contained accelerator experiment: the accelerator, a private RAM
 /// buffer, DMA plans and entry arguments.
@@ -503,10 +503,37 @@ fn drive_run(
 
 /// Run a statistical campaign on one DSA memory target.
 pub fn run_dsa_campaign(golden: &DsaGolden, target: Target, cc: &CampaignConfig) -> DsaCampaignResult {
+    let masks = dsa_campaign_masks(golden, target, cc);
+    run_dsa_masks(golden, target, &masks, cc)
+}
+
+/// The deterministic mask population a DSA campaign injects: a pure
+/// function of the golden run, the target and the config seed, so
+/// resumable drivers (journaled CLI runs, the campaign service) can
+/// regenerate the exact mask list a crashed campaign was executing.
+pub fn dsa_campaign_masks(golden: &DsaGolden, target: Target, cc: &CampaignConfig) -> Vec<FaultMask> {
     let bit_len = golden.harness.bit_len(target);
     let mut gen = MaskGenerator::new(cc.seed ^ 0xD5A);
-    let masks = gen.single_bit(target, bit_len, cc.kind, 1..golden.cycles.max(2), cc.n_faults);
-    run_dsa_masks(golden, target, &masks, cc)
+    gen.single_bit(target, bit_len, cc.kind, 1..golden.cycles.max(2), cc.n_faults)
+}
+
+/// Build the DSA checkpoint ladder per `cc.ladder_rungs` and publish its
+/// build metrics; empty when the ladder is disabled. Split out (like
+/// [`crate::campaign::build_campaign_ladder`]) so long-lived drivers can
+/// build once and reuse across many incremental [`drive_dsa_masks`] calls.
+pub fn build_dsa_ladder(golden: &DsaGolden, cc: &CampaignConfig) -> DsaLadder {
+    if cc.ladder_rungs == 0 {
+        return DsaLadder::default();
+    }
+    let t0 = std::time::Instant::now();
+    let ladder = golden.build_ladder(cc.ladder_rungs);
+    if !ladder.is_empty() {
+        let reg = &cc.telemetry.registry;
+        let scope = Scope::new("dsa");
+        reg.publish_scoped(&scope, "ladder_rungs", ladder.len() as u64);
+        reg.publish_scoped(&scope, "ladder_build_ns", t0.elapsed().as_nanos() as u64);
+    }
+    ladder
 }
 
 /// Run one injection per caller-supplied mask. `run_dsa_campaign` is this
@@ -519,16 +546,55 @@ pub fn run_dsa_masks(
     masks: &[FaultMask],
     cc: &CampaignConfig,
 ) -> DsaCampaignResult {
-    let bit_len = golden.harness.bit_len(target);
-    let workers = if cc.workers == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
-    } else {
-        cc.workers
-    };
-    let workers = workers.min(masks.len().max(1));
-    let next = AtomicUsize::new(0);
+    let ladder = build_dsa_ladder(golden, cc);
+    let ladder_ref = (!ladder.is_empty()).then_some(&ladder);
+    let skip = vec![false; masks.len()];
     let slots: Vec<std::sync::Mutex<Option<RunRecord>>> =
         masks.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    drive_dsa_masks(golden, target, ladder_ref, masks, cc, &skip, None, &|i, rec| {
+        *slots[i].lock().unwrap() = Some(rec);
+    });
+
+    let tel = &cc.telemetry;
+    if tel.registry.is_enabled() {
+        // One extra fault-free run to export the accelerator's structure
+        // counters (SPM/RegBank traffic, node/block execution).
+        let watchdog = golden.cycles * cc.watchdog_factor + 10_000;
+        let mut h = golden.harness.clone();
+        let _ = h.run(None, watchdog);
+        h.accel.publish_metrics(&tel.registry, &Scope::new("dsa").child("golden_accel"));
+    }
+
+    let records =
+        slots.into_iter().map(|s| s.into_inner().unwrap().expect("all masks executed")).collect();
+    DsaCampaignResult {
+        target,
+        records,
+        bit_population: golden.harness.bit_len(target),
+        golden_cycles: golden.cycles,
+        confidence: cc.confidence,
+    }
+}
+
+/// Incrementally drive the subset of `masks` *not* marked in `skip`
+/// through the DSA worker pool, handing each finished [`RunRecord`] to
+/// `sink` as it lands (completion order, tagged with its mask index).
+/// The DSA counterpart of [`crate::campaign::drive_masks`] — same
+/// skip/cancel/sink contract, same per-mask determinism guarantee.
+#[allow(clippy::too_many_arguments)]
+pub fn drive_dsa_masks(
+    golden: &DsaGolden,
+    target: Target,
+    ladder_ref: Option<&DsaLadder>,
+    masks: &[FaultMask],
+    cc: &CampaignConfig,
+    skip: &[bool],
+    cancel: Option<&AtomicBool>,
+    sink: &(dyn Fn(usize, RunRecord) + Sync),
+) -> DriveOutcome {
+    assert_eq!(skip.len(), masks.len(), "skip flags must cover every mask");
+    let bit_len = golden.harness.bit_len(target);
+    let next = AtomicUsize::new(0);
     let watchdog = golden.cycles * cc.watchdog_factor + 10_000;
 
     let tel = &cc.telemetry;
@@ -537,47 +603,45 @@ pub fn run_dsa_masks(
     tel.registry.publish_scoped(&scope, "bit_population", bit_len);
     tel.registry.publish_scoped(&scope, "golden_cycles", golden.cycles);
 
-    // Checkpoint ladder: built once from the fault-free run, shared
-    // read-only across workers.
-    let build_start = std::time::Instant::now();
-    let ladder =
-        if cc.ladder_rungs > 0 { golden.build_ladder(cc.ladder_rungs) } else { DsaLadder::default() };
-    let ladder_ref = (!ladder.is_empty()).then_some(&ladder);
-    if ladder_ref.is_some() {
-        tel.registry.publish_scoped(&scope, "ladder_rungs", ladder.len() as u64);
-        tel.registry.publish_scoped(&scope, "ladder_build_ns", build_start.elapsed().as_nanos() as u64);
-    }
-
     let done = AtomicU64::new(0);
     let sdc_n = AtomicU64::new(0);
     let crash_n = AtomicU64::new(0);
     let early_n = AtomicU64::new(0);
     let conv_n = AtomicU64::new(0);
+    let cancelled = AtomicBool::new(false);
     let run_cycles = tel.registry.histogram("dsa.run_cycles");
     let prefix_cycles = tel.registry.histogram("dsa.prefix_cycles");
     let prefix_skipped = tel.registry.histogram("dsa.prefix_cycles_skipped");
-    let total = masks.len() as u64;
 
     // Rung-monotone claim order (permanents first — their base is always
     // the checkpoint — then transients by injection cycle), so each worker
     // walks the ladder upward and pays at most one reclone per rung.
-    // Results land in `slots[original index]`, so record order — and thus
-    // every export — is identical to the unsorted schedule.
-    let mut order: Vec<usize> = (0..masks.len()).collect();
+    // Results are tagged with the original mask index, so record order —
+    // and thus every export — is identical to the unsorted schedule.
+    let mut order: Vec<usize> = (0..masks.len()).filter(|&i| !skip[i]).collect();
     if ladder_ref.is_some() {
         order.sort_by_key(|&i| (crate::campaign::schedule_key(&masks[i]), i));
     }
     let order = order.as_slice();
-    // Wakes the progress reporter as soon as the last run lands (see the
-    // matching pattern in `run_masks_with_population`).
+    let total = order.len() as u64;
+    let workers = if cc.workers == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    } else {
+        cc.workers
+    };
+    let workers = workers.min(order.len().max(1));
+    let active = AtomicUsize::new(workers);
+    // Wakes the progress reporter the moment the last worker exits (see
+    // the matching pattern in `drive_masks`).
     let finish_wake = (std::sync::Mutex::new(false), std::sync::Condvar::new());
 
     crossbeam::thread::scope(|s| {
         for w in 0..workers {
             let worker_runs = tel.registry.scoped_counter(&scope.indexed("worker", w), "runs");
-            let (next, slots) = (&next, &slots);
+            let next = &next;
             let (done, sdc_n, crash_n) = (&done, &sdc_n, &crash_n);
             let (early_n, conv_n) = (&early_n, &conv_n);
+            let (cancelled, active) = (&cancelled, &active);
             let finish_wake = &finish_wake;
             let run_cycles = run_cycles.clone();
             let prefix_cycles = prefix_cycles.clone();
@@ -595,6 +659,10 @@ pub fn run_dsa_masks(
                     (0u64, 0u64, 0u64, 0u64, 0u64);
                 let mut b_cycles: Vec<u64> = Vec::new();
                 loop {
+                    if cancel.is_some_and(|c| c.load(Ordering::Relaxed)) {
+                        cancelled.store(true, Ordering::Relaxed);
+                        break;
+                    }
                     let k = next.fetch_add(1, Ordering::Relaxed);
                     if k >= order.len() {
                         break;
@@ -727,18 +795,21 @@ pub fn run_dsa_masks(
                     let attribution = taint_finish(h.accel.taint_tracer().map(|t| t.report()), &mut fr);
                     let forensics =
                         (fr.is_enabled() && effect != FaultEffect::Masked).then(|| fr.take());
-                    *slots[i].lock().unwrap() = Some(RunRecord {
-                        effect,
-                        hvf: None,
-                        trap,
-                        early_terminated,
-                        converged,
-                        cycles,
-                        forensics,
-                        attribution,
-                    });
-                    let last = done.fetch_add(1, Ordering::Relaxed) + 1 == total;
-                    if b_runs >= BATCH || last {
+                    sink(
+                        i,
+                        RunRecord {
+                            effect,
+                            hvf: None,
+                            trap,
+                            early_terminated,
+                            converged,
+                            cycles,
+                            forensics,
+                            attribution,
+                        },
+                    );
+                    done.fetch_add(1, Ordering::Relaxed);
+                    if b_runs >= BATCH {
                         worker_runs.add(b_runs);
                         sdc_n.fetch_add(b_sdc, Ordering::Relaxed);
                         crash_n.fetch_add(b_crash, Ordering::Relaxed);
@@ -748,11 +819,6 @@ pub fn run_dsa_masks(
                             b_cycles.drain(..).for_each(|c| hist.record(c));
                         }
                         (b_runs, b_sdc, b_crash, b_early, b_conv) = (0, 0, 0, 0, 0);
-                    }
-                    if last {
-                        let (lock, cvar) = finish_wake;
-                        *lock.lock().unwrap() = true;
-                        cvar.notify_all();
                     }
                 }
                 if b_runs > 0 {
@@ -764,6 +830,13 @@ pub fn run_dsa_masks(
                     if let Some(hist) = &run_cycles {
                         b_cycles.drain(..).for_each(|c| hist.record(c));
                     }
+                }
+                // Last worker out (normal drain or cancellation) wakes
+                // the progress reporter for its final line.
+                if active.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    let (lock, cvar) = finish_wake;
+                    *lock.lock().unwrap() = true;
+                    cvar.notify_all();
                 }
             });
         }
@@ -789,41 +862,28 @@ pub fn run_dsa_masks(
                             margin
                         )
                     );
-                    if d >= total {
+                    // `finished` covers both normal completion and a
+                    // cancelled drive whose workers have all exited.
+                    if d >= total || *finished {
                         break;
                     }
-                    if !*finished {
-                        finished = cvar.wait_timeout(finished, interval).unwrap().0;
-                    }
+                    finished = cvar.wait_timeout(finished, interval).unwrap().0;
                 }
             });
         }
     })
     .expect("dsa campaign worker panicked");
 
+    let completed = done.into_inner();
     let (sdc, crash) = (sdc_n.into_inner(), crash_n.into_inner());
-    tel.registry.publish_scoped(&scope, "runs", total);
+    tel.registry.publish_scoped(&scope, "runs", completed);
     tel.registry.publish_scoped(&scope, "sdc", sdc);
     tel.registry.publish_scoped(&scope, "crash", crash);
-    tel.registry.publish_scoped(&scope, "masked", total - sdc - crash);
+    tel.registry.publish_scoped(&scope, "masked", completed - sdc - crash);
     tel.registry.publish_scoped(&scope, "early_terminated", early_n.into_inner());
     tel.registry.publish_scoped(&scope, "convergence_exits", conv_n.into_inner());
-    if tel.registry.is_enabled() {
-        // One extra fault-free run to export the accelerator's structure
-        // counters (SPM/RegBank traffic, node/block execution).
-        let mut h = golden.harness.clone();
-        let _ = h.run(None, watchdog);
-        h.accel.publish_metrics(&tel.registry, &scope.child("golden_accel"));
-    }
 
-    let records = slots.into_iter().map(|s| s.into_inner().unwrap().unwrap()).collect();
-    DsaCampaignResult {
-        target,
-        records,
-        bit_population: bit_len,
-        golden_cycles: golden.cycles,
-        confidence: cc.confidence,
-    }
+    DriveOutcome { completed: completed as usize, cancelled: cancelled.into_inner() }
 }
 
 #[cfg(test)]

@@ -29,13 +29,14 @@ pub mod report;
 pub mod stats;
 
 pub use campaign::{
-    campaign_masks, run_campaign, run_masks, run_one, run_one_in, run_one_laddered, trace_pipeline_pair,
-    CampaignConfig, CampaignResult, FaultEffect, Golden, GoldenError, HvfEffect, Ladder, LadderRung,
-    ResetMode, RunRecord, TelemetryConfig, WorkerCtx,
+    build_campaign_ladder, campaign_masks, drive_masks, run_campaign, run_masks, run_one, run_one_in,
+    run_one_laddered, trace_pipeline_pair, CampaignConfig, CampaignResult, DriveOutcome, FaultEffect,
+    Golden, GoldenError, HvfEffect, Ladder, LadderRung, ResetMode, RunRecord, TelemetryConfig,
+    WorkerCtx,
 };
 pub use dsa::{
-    run_dsa_campaign, run_dsa_masks, DsaCampaignResult, DsaGolden, DsaHarness, DsaLadder, DsaLadderRung,
-    DsaOutcome, DsaSimState,
+    build_dsa_ladder, drive_dsa_masks, dsa_campaign_masks, run_dsa_campaign, run_dsa_masks,
+    DsaCampaignResult, DsaGolden, DsaHarness, DsaLadder, DsaLadderRung, DsaOutcome, DsaSimState,
 };
 pub use fault::{FaultKind, FaultMask, FaultModel, MaskGenerator};
 pub use marvel_soc::Target;

@@ -1,0 +1,82 @@
+//! Thin client for the line-delimited service protocol: connect, send
+//! one request line, read one (or, for WATCH, many) JSON response lines.
+//! Used by the `marvel submit`/`status`/`watch` CLI verbs and the
+//! integration tests.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+fn addr_file(root: &Path) -> PathBuf {
+    root.join("_serve").join("addr")
+}
+
+/// Record the service's actual listen address under the artifact root so
+/// clients can find it (the service binds port 0 by default).
+pub fn write_addr_file(root: &Path, addr: &str) -> Result<(), String> {
+    let path = addr_file(root);
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent).map_err(|e| e.to_string())?;
+    }
+    std::fs::write(&path, format!("{addr}\n")).map_err(|e| e.to_string())
+}
+
+/// Read the service address from the artifact root's addr file.
+pub fn read_addr_file(root: &Path) -> Result<String, String> {
+    let path = addr_file(root);
+    std::fs::read_to_string(&path).map(|s| s.trim().to_string()).map_err(|e| {
+        format!("no service address at {} ({e}); is `marvel serve` running?", path.display())
+    })
+}
+
+/// Wait for the addr file to appear (service startup race in tests and
+/// scripted submissions) and return its contents.
+pub fn wait_for_addr(root: &Path, timeout: Duration) -> Result<String, String> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if let Ok(addr) = read_addr_file(root) {
+            if !addr.is_empty() {
+                return Ok(addr);
+            }
+        }
+        if Instant::now() >= deadline {
+            return Err(format!(
+                "service address did not appear under {} within {timeout:?}",
+                root.display()
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Send one request line and return the first response line.
+pub fn request(addr: &str, line: &str) -> Result<String, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream.set_read_timeout(Some(Duration::from_secs(30))).map_err(|e| e.to_string())?;
+    writeln!(stream, "{line}").map_err(|e| e.to_string())?;
+    stream.flush().map_err(|e| e.to_string())?;
+    let mut reader = BufReader::new(stream);
+    let mut response = String::new();
+    reader.read_line(&mut response).map_err(|e| e.to_string())?;
+    if response.is_empty() {
+        return Err("service closed the connection without responding".into());
+    }
+    Ok(response.trim_end().to_string())
+}
+
+/// Stream a WATCH subscription, invoking `on_line` per progress line
+/// until the service closes the stream or the callback returns `false`.
+pub fn watch(addr: &str, id: &str, mut on_line: impl FnMut(&str) -> bool) -> Result<(), String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    writeln!(stream, "WATCH {id}").map_err(|e| e.to_string())?;
+    stream.flush().map_err(|e| e.to_string())?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line.map_err(|e| e.to_string())?;
+        if !on_line(line.trim_end()) {
+            break;
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,42 @@
+//! # marvel-serve
+//!
+//! Campaign-as-a-service on top of the `marvel-core` fault-injection
+//! engine: a long-running process that accepts versioned JSON
+//! [`spec::CampaignSpec`]s, shards each campaign's run-index range across
+//! an in-process worker pool with fair round-robin scheduling between
+//! campaigns, journals every completed run incrementally with fsync'd
+//! watermarks, and streams live progress and metrics over a
+//! line-delimited TCP protocol.
+//!
+//! The resilience story mirrors the campaigns it runs: because per-mask
+//! records are deterministic (the invariant the differential tests pin),
+//! a service killed at any point resumes each campaign from its journal
+//! and produces byte-identical exports to an uninterrupted run.
+//!
+//! Module map:
+//!
+//! - [`spec`] — schema-versioned campaign specs (parse/render/digest) and
+//!   prepared campaign state (golden, ladder, masks, drive dispatch);
+//! - [`journal`] — the JSONL run journal with watermark fsync, torn-tail
+//!   recovery and compact-on-open;
+//! - [`server`] — the service itself (scheduler, worker pool, wire
+//!   protocol, spool, crash recovery);
+//! - [`client`] — line-protocol client helpers for the CLI verbs;
+//! - [`exports`] — artifact rendering (records/summary/attribution);
+//! - [`signals`] — SIGINT/SIGTERM → graceful-shutdown flag;
+//! - [`json`] — the minimal JSON parser backing specs and journals.
+
+pub mod client;
+pub mod exports;
+pub mod journal;
+pub mod json;
+pub mod server;
+pub mod signals;
+pub mod spec;
+
+pub use client::{read_addr_file, request, wait_for_addr, watch};
+pub use exports::{render_records_csv, render_records_jsonl, render_summary_csv, write_exports};
+pub use journal::{encode_record, read_journal, Journal, FLUSH_EVERY};
+pub use server::{serve, spool_spec, ServeConfig};
+pub use signals::{install_shutdown_handler, shutdown_flag, shutdown_requested};
+pub use spec::{CampaignSpec, Prepared, Workload, SPEC_SCHEMA_VERSION};

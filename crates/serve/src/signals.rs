@@ -1,0 +1,73 @@
+//! Graceful-shutdown signal handling without a libc dependency (the
+//! workspace is offline): raw FFI to `signal(2)` installs an
+//! async-signal-safe handler that stores into a process-wide flag.
+//! Campaign drivers poll the flag via their `cancel` hook — workers stop
+//! claiming new runs, in-flight runs complete and land in the journal,
+//! and partial exports are flushed before exit.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod unix {
+    use std::os::raw::c_int;
+
+    pub const SIGINT: c_int = 2;
+    pub const SIGTERM: c_int = 15;
+
+    extern "C" {
+        // `signal` is in every libc the platform links anyway; binding it
+        // directly avoids a crate dependency. The handler only does an
+        // atomic store, which is async-signal-safe.
+        fn signal(signum: c_int, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_sig: c_int) {
+        super::SHUTDOWN.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_signal as *const () as usize);
+            signal(SIGTERM, on_signal as *const () as usize);
+        }
+    }
+}
+
+/// Install SIGINT/SIGTERM handlers (idempotent) and return the shutdown
+/// flag they trip. On non-unix targets the flag simply never trips.
+pub fn install_shutdown_handler() -> &'static AtomicBool {
+    #[cfg(unix)]
+    unix::install();
+    &SHUTDOWN
+}
+
+/// The process-wide shutdown flag (without installing handlers).
+pub fn shutdown_flag() -> &'static AtomicBool {
+    &SHUTDOWN
+}
+
+/// True once a shutdown signal has arrived.
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg(unix)]
+    fn handler_trips_flag_on_raised_signal() {
+        extern "C" {
+            fn raise(sig: std::os::raw::c_int) -> std::os::raw::c_int;
+        }
+        let flag = install_shutdown_handler();
+        assert!(!flag.load(Ordering::SeqCst) || cfg!(not(unix)));
+        unsafe { raise(unix::SIGTERM) };
+        assert!(shutdown_requested());
+        // Reset so other tests in this process see a clean flag.
+        flag.store(false, Ordering::SeqCst);
+    }
+}

@@ -56,6 +56,35 @@ pub fn render_jsonl(snap: &Snapshot) -> String {
     out
 }
 
+/// Render a snapshot as one self-describing JSON line for streaming
+/// consumers (the campaign service's `METRICS` response, watch streams):
+/// counters as a name→value object, histograms as name→{count,sum,mean},
+/// both name-sorted like [`render_jsonl`]. Unlike the multi-line
+/// renderings this is a protocol message, so the schema version rides
+/// inline rather than as a separate header line.
+pub fn render_snapshot_line(snap: &Snapshot) -> String {
+    let counters: Vec<String> =
+        snap.counters.iter().map(|(name, v)| format!("{}:{v}", json_string(name))).collect();
+    let hists: Vec<String> = snap
+        .histograms
+        .iter()
+        .map(|(name, h)| {
+            format!(
+                "{}:{{\"count\":{},\"sum\":{},\"mean\":{:.3}}}",
+                json_string(name),
+                h.count,
+                h.sum,
+                h.mean()
+            )
+        })
+        .collect();
+    format!(
+        "{{\"type\":\"metrics\",\"schema_version\":{SCHEMA_VERSION},\"counters\":{{{}}},\"histograms\":{{{}}}}}",
+        counters.join(","),
+        hists.join(",")
+    )
+}
+
 /// Render a snapshot as CSV (`name,kind,value,count,sum`): counters carry
 /// `value`, histograms carry `count`/`sum`.
 pub fn render_csv(snap: &Snapshot) -> String {
@@ -181,6 +210,17 @@ mod tests {
         assert!(check_snapshot_version(legacy).unwrap_err().contains("no schema_version"));
         assert!(check_snapshot_version("").is_err());
         assert!(check_snapshot_version("# schema_version=banana\n").is_err());
+    }
+
+    #[test]
+    fn snapshot_line_is_single_self_describing_json() {
+        let line = render_snapshot_line(&sample());
+        assert!(!line.contains('\n'), "{line}");
+        assert!(line.starts_with(&format!(
+            "{{\"type\":\"metrics\",\"schema_version\":{SCHEMA_VERSION},\"counters\":{{"
+        )));
+        assert!(line.contains("\"campaign.runs\":100"), "{line}");
+        assert!(line.contains("\"campaign.run_cycles\":{\"count\":2,\"sum\":300"), "{line}");
     }
 
     #[test]

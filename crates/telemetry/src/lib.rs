@@ -42,8 +42,8 @@ pub mod scope;
 pub mod taint;
 
 pub use export::{
-    append_jsonl_line, check_snapshot_version, json_string, render_csv, render_jsonl, write_snapshot,
-    SCHEMA_VERSION,
+    append_jsonl_line, check_snapshot_version, json_string, render_csv, render_jsonl,
+    render_snapshot_line, write_snapshot, SCHEMA_VERSION,
 };
 pub use flight::{Event, FlightDump, FlightRecorder, TimedEvent};
 pub use hist::{HistSnapshot, Histogram};

@@ -66,6 +66,21 @@ impl ProgressMeter {
     }
 }
 
+impl ProgressMeter {
+    /// Render the current state as one JSON line for streaming consumers
+    /// (the campaign service's watch stream). Same inputs as
+    /// [`ProgressMeter::line`], machine-readable shape.
+    pub fn json_line(&self, done: u64, sdc: u64, crash: u64, early: u64, margin: f64) -> String {
+        let avf = if done == 0 { 0.0 } else { (sdc + crash) as f64 / done as f64 };
+        format!(
+            "{{\"type\":\"progress\",\"label\":{},\"done\":{done},\"total\":{},\"sdc\":{sdc},\"crash\":{crash},\"early\":{early},\"avf\":{avf:.6},\"margin\":{margin:.6},\"elapsed_s\":{:.3}}}",
+            crate::export::json_string(&self.label),
+            self.total,
+            self.elapsed_secs()
+        )
+    }
+}
+
 fn format_secs(s: f64) -> String {
     if s < 60.0 {
         format!("{s:.1}s")
@@ -122,6 +137,17 @@ mod tests {
         let m = ProgressMeter::new("campaign", 4);
         assert!(m.line(2, 0, 0, 0, 0.0).contains("ETA ?"));
         assert!(!m.line(3, 0, 0, 0, 0.0).contains("ETA ?"));
+    }
+
+    #[test]
+    fn json_line_carries_tallies() {
+        let m = ProgressMeter::new("campaign", 1000);
+        let line = m.json_line(400, 30, 20, 136, 0.031);
+        assert!(line.starts_with("{\"type\":\"progress\",\"label\":\"campaign\""), "{line}");
+        assert!(line.contains("\"done\":400,\"total\":1000"), "{line}");
+        assert!(line.contains("\"avf\":0.125000"), "{line}");
+        assert!(line.contains("\"margin\":0.031000"), "{line}");
+        assert!(!line.contains('\n'), "{line}");
     }
 
     #[test]

@@ -14,6 +14,10 @@
 //!                 [--ladder-rungs N] [--convergence-exit]
 //!                 [--metrics [path]] [--forensics [path]] [--progress [ms]]
 //!                 [--taint] [--attribution [path]]
+//! marvel serve [--root dir] [--addr host:port] [--workers N] [--shard N] [--once]
+//! marvel submit <spec.json> [--root dir] [--spool]
+//! marvel status [campaign-id] [--root dir]
+//! marvel watch <campaign-id> [--root dir]
 //! ```
 //!
 //! `--metrics`/`--forensics` export registry snapshots and flight-recorder
@@ -41,21 +45,35 @@
 //! reporting the first divergence; `--prep ref` fast-forwards the golden
 //! run to the checkpoint with the reference interpreter instead of the
 //! cycle-level core.
+//! `--journal <path>` journals every completed run (fsync'd watermarks,
+//! same format as the campaign service); Ctrl-C flushes the journal and
+//! prints a resume hint, and `--resume` continues an interrupted campaign
+//! from its journal — the final report is byte-identical to an
+//! uninterrupted run.
+//! `marvel serve` starts the campaign service (see `marvel-serve`):
+//! submit schema-versioned specs with `marvel submit`, inspect them with
+//! `marvel status`, and stream live progress with `marvel watch`.
 
 use gem5_marvel::core::{
-    attribution_by_structure, attribution_csv, attribution_jsonl, campaign_masks, render_attribution,
-    run_campaign, run_dsa_campaign, trace_pipeline_pair, CampaignConfig, DsaGolden, FaultEffect,
-    FaultKind, Golden, ResetMode, RunRecord, TelemetryConfig,
+    attribution_by_structure, attribution_csv, attribution_jsonl, build_campaign_ladder, campaign_masks,
+    drive_masks, render_attribution, run_campaign, run_dsa_campaign, trace_pipeline_pair,
+    CampaignConfig, CampaignResult, DsaGolden, FaultEffect, FaultKind, Golden, ResetMode, RunRecord,
+    TelemetryConfig,
 };
 use gem5_marvel::cpu::CoreConfig;
 use gem5_marvel::ir::assemble;
 use gem5_marvel::isa::{disassemble, Isa};
+use gem5_marvel::serve::{
+    install_shutdown_handler, read_addr_file, request, serve, watch, CampaignSpec, Journal, ServeConfig,
+    Workload,
+};
 use gem5_marvel::soc::{RunOutcome, System, Target};
 use gem5_marvel::telemetry::{append_jsonl_line, json_string, write_snapshot, Registry};
 use gem5_marvel::workloads::{accel, mibench};
 use marvel_accel::FuConfig;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Mutex;
 
 struct Args {
     positional: Vec<String>,
@@ -345,7 +363,42 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
         kind,
         target.name()
     );
-    let res = run_campaign(&golden, target, &cc);
+    let res = match args.flags.get("journal").map(PathBuf::from) {
+        Some(jpath) => {
+            // Journal identity = the service's spec digest, so a CLI
+            // journal and a service journal are interchangeable.
+            let spec = CampaignSpec {
+                id: args.flags.get("campaign-id").cloned().unwrap_or_else(|| {
+                    format!("{bench}-{}", args.flags.get("target").map(String::as_str).unwrap_or("prf"))
+                }),
+                workload: Workload::Cpu { bench: bench.clone(), isa },
+                cpu_target: target,
+                n_faults,
+                kind,
+                seed,
+                workers: 0,
+                reset_mode,
+                ladder_rungs,
+                convergence_exit,
+                collect_hvf: cc.collect_hvf,
+                taint: cc.telemetry.taint,
+                fast_prep,
+            };
+            let resume = args.switches.contains("resume");
+            match run_campaign_journaled(&golden, target, &cc, &spec, &jpath, resume)? {
+                Some(res) => res,
+                // Interrupted: the journal holds the progress and the
+                // resume hint is already printed.
+                None => return Ok(()),
+            }
+        }
+        None => {
+            if args.switches.contains("resume") {
+                return Err("--resume requires --journal <path>".into());
+            }
+            run_campaign(&golden, target, &cc)
+        }
+    };
     println!("benchmark : {bench} ({isa})");
     println!("target    : {}", target.name());
     println!("faults    : {} ({kind:?}, seed {seed:#x})", res.n());
@@ -401,6 +454,73 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
         );
     }
     Ok(())
+}
+
+/// The `--journal` campaign path: drive the same masks through the same
+/// engine, but journal every record as it lands (service journal format)
+/// and honour SIGINT/SIGTERM by flushing and printing a resume hint.
+/// Returns `None` when interrupted, `Some(result)` when complete — and
+/// because per-mask records are deterministic, a resumed campaign's
+/// result is bit-identical to an uninterrupted one.
+fn run_campaign_journaled(
+    golden: &Golden,
+    target: Target,
+    cc: &CampaignConfig,
+    spec: &CampaignSpec,
+    path: &Path,
+    resume: bool,
+) -> Result<Option<CampaignResult>, String> {
+    let (journal, recovered) = Journal::open(path, &spec.id, &spec.digest(), cc.n_faults)?;
+    let prior = recovered.iter().filter(|r| r.is_some()).count();
+    if prior > 0 && !resume {
+        return Err(format!(
+            "journal {} already holds {prior}/{} runs; pass --resume to continue it \
+             or delete the file to restart",
+            path.display(),
+            cc.n_faults
+        ));
+    }
+    if prior > 0 {
+        eprintln!("resuming from {}: {prior}/{} runs already journaled", path.display(), cc.n_faults);
+    }
+    let ladder = build_campaign_ladder(golden, cc);
+    let masks = campaign_masks(golden, target, cc);
+    let bit_len = golden.ckpt.bit_len(target);
+    let population = bit_len.saturating_mul(golden.exec_cycles.max(1));
+    let reg = &cc.telemetry.registry;
+    reg.publish("campaign.bit_population", bit_len);
+    reg.publish("campaign.golden_exec_cycles", golden.exec_cycles);
+    let skip: Vec<bool> = recovered.iter().map(|r| r.is_some()).collect();
+    let state = Mutex::new((journal, recovered));
+    let cancel = install_shutdown_handler();
+    let outcome =
+        drive_masks(golden, ladder.as_ref(), &masks, cc, population, &skip, Some(cancel), &|i, rec| {
+            let mut g = state.lock().unwrap();
+            if let Err(e) = g.0.append(i, &rec) {
+                eprintln!("journal: {e}");
+            }
+            g.1[i] = Some(rec);
+        });
+    let (mut journal, recovered) = state.into_inner().unwrap();
+    journal.flush()?;
+    if outcome.cancelled {
+        eprintln!(
+            "interrupted — {}/{} runs journaled to {}; re-run with --journal {} --resume to finish",
+            journal.done(),
+            cc.n_faults,
+            path.display(),
+            path.display()
+        );
+        return Ok(None);
+    }
+    let records: Vec<RunRecord> = recovered.into_iter().map(|r| r.expect("complete journal")).collect();
+    Ok(Some(CampaignResult {
+        target,
+        records,
+        bit_population: bit_len,
+        golden_exec_cycles: golden.exec_cycles,
+        confidence: cc.confidence,
+    }))
 }
 
 fn cmd_dsa(args: &Args) -> Result<(), String> {
@@ -468,6 +588,81 @@ fn cmd_dsa(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `marvel serve` — run the campaign service in the foreground until
+/// SIGINT/SIGTERM (or, with `--once`, until every campaign settles).
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let mut cfg = ServeConfig::default();
+    if let Some(root) = args.flags.get("root") {
+        cfg.root = PathBuf::from(root);
+    }
+    if let Some(addr) = args.flags.get("addr") {
+        cfg.addr = addr.clone();
+    }
+    if let Some(w) = args.flags.get("workers") {
+        cfg.workers = w.parse().map_err(|_| format!("bad --workers '{w}'"))?;
+    }
+    if let Some(s) = args.flags.get("shard") {
+        cfg.shard = s.parse().map_err(|_| format!("bad --shard '{s}'"))?;
+        if cfg.shard == 0 {
+            return Err("--shard must be at least 1".into());
+        }
+    }
+    cfg.once = args.switches.contains("once");
+    serve(cfg)
+}
+
+fn service_root(args: &Args) -> PathBuf {
+    args.flags.get("root").map(PathBuf::from).unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// `marvel submit <spec.json>` — validate a spec locally, then hand it to
+/// the running service over TCP (or drop it into the spool with
+/// `--spool` when the service isn't reachable yet).
+fn cmd_submit(args: &Args) -> Result<(), String> {
+    let path = args.positional.get(1).ok_or("usage: marvel submit <spec.json>")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    // Validate locally first so a typo'd spec fails with a real parse
+    // error rather than a one-line service rejection.
+    let spec = CampaignSpec::parse(text.trim())?;
+    let root = service_root(args);
+    if args.switches.contains("spool") {
+        let spooled = gem5_marvel::serve::spool_spec(&root, &spec)?;
+        println!("spooled {} for pickup at {}", spec.id, spooled.display());
+        return Ok(());
+    }
+    let addr = read_addr_file(&root)?;
+    let reply = request(&addr, &format!("SUBMIT {}", spec.render()))?;
+    println!("{reply}");
+    if reply.contains("\"ok\":false") {
+        return Err(format!("service rejected spec '{}'", spec.id));
+    }
+    Ok(())
+}
+
+/// `marvel status [id]` — one-shot status query against the service.
+fn cmd_status(args: &Args) -> Result<(), String> {
+    let root = service_root(args);
+    let addr = read_addr_file(&root)?;
+    let line = match args.positional.get(1) {
+        Some(id) => format!("STATUS {id}"),
+        None => "STATUS".to_string(),
+    };
+    println!("{}", request(&addr, &line)?);
+    Ok(())
+}
+
+/// `marvel watch <id>` — stream live progress lines until the campaign
+/// settles (the service closes the stream with a final status line).
+fn cmd_watch(args: &Args) -> Result<(), String> {
+    let id = args.positional.get(1).ok_or("usage: marvel watch <campaign-id>")?;
+    let root = service_root(args);
+    let addr = read_addr_file(&root)?;
+    watch(&addr, id, |line| {
+        println!("{line}");
+        true
+    })
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let args = parse_args(&argv);
@@ -478,6 +673,10 @@ fn main() -> ExitCode {
         "disasm" => cmd_disasm(&args),
         "campaign" => cmd_campaign(&args),
         "dsa" => cmd_dsa(&args),
+        "serve" => cmd_serve(&args),
+        "submit" => cmd_submit(&args),
+        "status" => cmd_status(&args),
+        "watch" => cmd_watch(&args),
         _ => {
             eprintln!(
                 "marvel — microarchitecture-level fault injection\n\n\
@@ -491,7 +690,12 @@ fn main() -> ExitCode {
                  marvel dsa <design> [--faults N] [--fus N] [--reset-mode clone|dirty]\n            \
                  [--ladder-rungs N] [--convergence-exit]\n            \
                  [--metrics [path]] [--forensics [path]] [--progress [ms]]\n            \
-                 [--taint] [--attribution [path]]"
+                 [--taint] [--attribution [path]]\n  \
+                 marvel campaign ... [--journal path [--resume]] [--campaign-id id]\n  \
+                 marvel serve [--root dir] [--addr host:port] [--workers N] [--shard N] [--once]\n  \
+                 marvel submit <spec.json> [--root dir] [--spool]\n  \
+                 marvel status [campaign-id] [--root dir]\n  \
+                 marvel watch <campaign-id> [--root dir]"
             );
             return ExitCode::from(2);
         }

@@ -17,7 +17,9 @@
 //! * [`accel`] — the CDFG accelerator engine (SPMs, RegBanks, MMRs, DMA);
 //! * [`soc`] — system composition, interrupt controllers, checkpointing;
 //! * [`core`] — the fault-injection framework (the paper's contribution);
-//! * [`workloads`] — the MiBench-style suite and MachSuite-style designs.
+//! * [`workloads`] — the MiBench-style suite and MachSuite-style designs;
+//! * [`serve`] — the campaign service (journaled, resumable,
+//!   shard-scheduled campaigns over a line-delimited TCP protocol).
 //!
 //! Start with `examples/quickstart.rs`, or regenerate the paper's tables
 //! and figures with `cargo bench -p marvel-experiments`.
@@ -28,6 +30,7 @@ pub use marvel_cpu as cpu;
 pub use marvel_ir as ir;
 pub use marvel_isa as isa;
 pub use marvel_ref as ref_model;
+pub use marvel_serve as serve;
 pub use marvel_soc as soc;
 pub use marvel_telemetry as telemetry;
 pub use marvel_workloads as workloads;

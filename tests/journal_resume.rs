@@ -1,0 +1,182 @@
+//! Crash-recovery differential: a campaign interrupted at a randomized
+//! point and resumed from its journal must produce exports that are
+//! **byte-identical** to an uninterrupted run — across worker counts and
+//! both reset modes, for CPU and DSA workloads, including a simulated
+//! SIGKILL torn tail (the journal cut mid-line).
+//!
+//! This extends the reset-mode differential suite's invariant (per-mask
+//! records are deterministic) to the persistence layer: because records
+//! don't depend on *when* they ran, replaying the journaled prefix and
+//! driving only the remainder reproduces the full record set exactly.
+
+use gem5_marvel::core::{CampaignConfig, ResetMode, RunRecord, TelemetryConfig};
+use gem5_marvel::serve::{CampaignSpec, Journal, Prepared};
+use gem5_marvel::telemetry::Registry;
+use std::fs::OpenOptions;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Tiny deterministic LCG for the randomized interruption points (no
+/// RNG dependency in integration tests).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("marvel_journal_resume_{}_{tag}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn config_for(spec: &CampaignSpec, workers: usize, reset: ResetMode) -> CampaignConfig {
+    let mut cc = spec.to_config(TelemetryConfig {
+        registry: Registry::disabled(),
+        progress_interval_ms: 0,
+        flight_capacity: 0,
+        taint: spec.taint,
+    });
+    cc.workers = workers;
+    cc.reset_mode = reset;
+    cc
+}
+
+/// The uninterrupted oracle: drive everything in one go.
+fn oracle_records(prepared: &Prepared, cc: &CampaignConfig, total: usize) -> Vec<RunRecord> {
+    let slots: Mutex<Vec<Option<RunRecord>>> = Mutex::new(vec![None; total]);
+    let outcome = prepared.drive(cc, &vec![false; total], None, &|i, rec| {
+        slots.lock().unwrap()[i] = Some(rec);
+    });
+    assert_eq!(outcome.completed, total);
+    assert!(!outcome.cancelled);
+    slots.into_inner().unwrap().into_iter().map(|r| r.expect("oracle complete")).collect()
+}
+
+/// Interrupt after `cut` journaled records (cancel flag tripped from the
+/// sink, like a shutdown signal landing mid-campaign), optionally tear
+/// the journal tail mid-line (SIGKILL between write and fsync), then
+/// "restart": reopen the journal, drive only what's missing, export.
+fn interrupted_then_resumed(
+    spec: &CampaignSpec,
+    prepared: &Prepared,
+    cc: &CampaignConfig,
+    dir: &Path,
+    cut: usize,
+    tear_tail: bool,
+) -> Vec<String> {
+    let total = spec.n_faults;
+    let jpath = dir.join("journal.jsonl");
+
+    // Phase 1: run until `cut` records have landed, then cancel.
+    {
+        let (journal, recovered) = Journal::open(&jpath, &spec.id, &spec.digest(), total).unwrap();
+        assert!(recovered.iter().all(|r| r.is_none()), "fresh journal");
+        let state = Mutex::new(journal);
+        let delivered = AtomicUsize::new(0);
+        let cancel = AtomicBool::new(false);
+        prepared.drive(cc, &vec![false; total], Some(&cancel), &|i, rec| {
+            state.lock().unwrap().append(i, &rec).unwrap();
+            if delivered.fetch_add(1, Ordering::SeqCst) + 1 >= cut {
+                cancel.store(true, Ordering::SeqCst);
+            }
+        });
+        // No flush: the journal ends wherever the last append left it,
+        // exactly like a process that died without a clean shutdown.
+    }
+    if tear_tail {
+        let len = std::fs::metadata(&jpath).unwrap().len();
+        let file = OpenOptions::new().write(true).open(&jpath).unwrap();
+        file.set_len(len.saturating_sub(7)).unwrap();
+    }
+
+    // Phase 2: "restart" — recover the journal, drive only the remainder.
+    let (journal, recovered) = Journal::open(&jpath, &spec.id, &spec.digest(), total).unwrap();
+    let prior = recovered.iter().filter(|r| r.is_some()).count();
+    assert!(prior >= 1, "interruption should leave journaled progress (cut={cut})");
+    assert!(
+        prior < total || cut >= total,
+        "interruption at cut={cut} should leave work to resume (prior={prior})"
+    );
+    let skip: Vec<bool> = recovered.iter().map(|r| r.is_some()).collect();
+    let state = Mutex::new((journal, recovered));
+    let outcome = prepared.drive(cc, &skip, None, &|i, rec| {
+        let mut g = state.lock().unwrap();
+        g.0.append(i, &rec).unwrap();
+        g.1[i] = Some(rec);
+    });
+    let (mut journal, slots) = state.into_inner().unwrap();
+    journal.flush().unwrap();
+    assert_eq!(prior + outcome.completed, total);
+    let records: Vec<RunRecord> =
+        slots.into_iter().map(|r| r.expect("resume completes every run")).collect();
+    gem5_marvel::serve::write_exports(dir, spec, prepared, &records).unwrap()
+}
+
+fn assert_resume_byte_identical(spec_text: &str, tag: &str) {
+    let spec = CampaignSpec::parse(spec_text).unwrap();
+    let total = spec.n_faults;
+    let mut lcg = Lcg(spec.seed ^ 0x9E3779B97F4A7C15);
+    for (case, (workers, reset)) in
+        [(1usize, ResetMode::Dirty), (2, ResetMode::Dirty), (1, ResetMode::Clone), (2, ResetMode::Clone)]
+            .into_iter()
+            .enumerate()
+    {
+        let cc = config_for(&spec, workers, reset);
+        let prepared = Prepared::new(&spec, &cc).unwrap();
+
+        let oracle_dir = scratch_dir(&format!("{tag}_{case}_oracle"));
+        let oracle = oracle_records(&prepared, &cc, total);
+        let oracle_files =
+            gem5_marvel::serve::write_exports(&oracle_dir, &spec, &prepared, &oracle).unwrap();
+
+        // Randomized interruption point strictly inside the campaign;
+        // tear the tail on every other case to also cover torn writes.
+        let cut = 1 + (lcg.next() as usize) % (total - 1);
+        let tear = case % 2 == 1;
+        let resumed_dir = scratch_dir(&format!("{tag}_{case}_resumed"));
+        let resumed_files = interrupted_then_resumed(&spec, &prepared, &cc, &resumed_dir, cut, tear);
+
+        assert_eq!(oracle_files, resumed_files, "same artifact set");
+        for name in &oracle_files {
+            let a = std::fs::read(oracle_dir.join(name)).unwrap();
+            let b = std::fs::read(resumed_dir.join(name)).unwrap();
+            assert_eq!(
+                a, b,
+                "{name} differs after resume (workers={workers}, reset={reset:?}, \
+                 cut={cut}, tear={tear})"
+            );
+        }
+        std::fs::remove_dir_all(&oracle_dir).ok();
+        std::fs::remove_dir_all(&resumed_dir).ok();
+    }
+}
+
+#[test]
+fn dsa_campaign_resume_is_byte_identical() {
+    // Taint on: exercises the attribution field's journal round-trip and
+    // the attribution export surfaces.
+    assert_resume_byte_identical(
+        r#"{"type":"campaign_spec","schema_version":1,"id":"jr-dsa",
+            "workload":{"kind":"dsa","design":"fft","component":"REAL","fus":4},
+            "faults":24,"seed":11,"taint":true}"#,
+        "dsa",
+    );
+}
+
+#[test]
+fn cpu_campaign_resume_is_byte_identical() {
+    // HVF on: exercises the hvf field's journal round-trip.
+    assert_resume_byte_identical(
+        r#"{"type":"campaign_spec","schema_version":1,"id":"jr-cpu",
+            "workload":{"kind":"cpu","bench":"crc32","isa":"riscv"},
+            "target":"prf","faults":12,"seed":5,"hvf":true,"ladder_rungs":4,
+            "fast_prep":true}"#,
+        "cpu",
+    );
+}

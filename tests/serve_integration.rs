@@ -1,0 +1,183 @@
+//! End-to-end service test, process boundary included: start `marvel
+//! serve`, submit two campaigns over TCP, watch both make progress
+//! concurrently (fair scheduling), SIGKILL the server mid-flight,
+//! restart it, and verify both campaigns complete from their journals
+//! with the correct record counts and exports byte-identical to an
+//! in-process oracle. This is the scenario the CI serve step runs.
+
+use gem5_marvel::core::TelemetryConfig;
+use gem5_marvel::serve::json::{self, Json};
+use gem5_marvel::serve::{request, wait_for_addr, CampaignSpec, Prepared};
+use gem5_marvel::telemetry::Registry;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+const FAULTS: usize = 48;
+
+fn spec_text(id: &str, design: &str, component: &str, seed: u64) -> String {
+    // Canonical single-line form (the wire protocol is line-delimited).
+    CampaignSpec::parse(&format!(
+        r#"{{"type":"campaign_spec","schema_version":1,"id":"{id}",
+            "workload":{{"kind":"dsa","design":"{design}","component":"{component}","fus":4}},
+            "faults":{FAULTS},"seed":{seed}}}"#
+    ))
+    .unwrap()
+    .render()
+}
+
+fn spawn_serve(root: &Path, throttle_ms: Option<u64>, once: bool) -> Child {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_marvel"));
+    cmd.arg("serve")
+        .arg("--root")
+        .arg(root)
+        .args(["--workers", "2", "--shard", "8"])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null());
+    if let Some(ms) = throttle_ms {
+        cmd.env("MARVEL_SERVE_THROTTLE_MS", ms.to_string());
+    } else {
+        cmd.env_remove("MARVEL_SERVE_THROTTLE_MS");
+    }
+    if once {
+        cmd.arg("--once");
+    }
+    cmd.spawn().expect("spawn marvel serve")
+}
+
+fn status_done(addr: &str, id: &str) -> (String, usize) {
+    let line = request(addr, &format!("STATUS {id}")).expect("STATUS request");
+    let v = json::parse(&line).expect("status is JSON");
+    let phase = v.get("phase").and_then(Json::as_str).unwrap_or("?").to_string();
+    let done = v.get("done").and_then(Json::as_usize).unwrap_or(0);
+    (phase, done)
+}
+
+fn journaled_runs(root: &Path, id: &str) -> usize {
+    let text = std::fs::read_to_string(root.join(id).join("journal.jsonl")).unwrap_or_default();
+    text.lines().filter(|l| l.contains("\"type\":\"run\"")).count()
+}
+
+fn wait_for_exit(child: &mut Child, timeout: Duration) -> bool {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if child.try_wait().expect("try_wait").is_some() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    false
+}
+
+#[test]
+fn sigkilled_service_resumes_both_campaigns_with_identical_exports() {
+    let root = std::env::temp_dir().join(format!("marvel_serve_it_{}", std::process::id()));
+    std::fs::remove_dir_all(&root).ok();
+    std::fs::create_dir_all(&root).unwrap();
+
+    let specs = [spec_text("it-fft", "fft", "REAL", 21), spec_text("it-bfs", "bfs", "NODES", 22)];
+    let ids = ["it-fft", "it-bfs"];
+
+    // Phase 1: throttled service; submit both campaigns over TCP.
+    let mut server = spawn_serve(&root, Some(20), false);
+    let addr = wait_for_addr(&root, Duration::from_secs(30)).expect("service came up");
+    for spec in &specs {
+        let ack = request(&addr, &format!("SUBMIT {spec}")).expect("SUBMIT");
+        assert!(ack.contains("\"ok\":true"), "submission accepted: {ack}");
+    }
+    // Resubmitting the identical spec is an idempotent ack, a colliding
+    // id with a different spec is an error.
+    let again = request(&addr, &format!("SUBMIT {}", specs[0])).unwrap();
+    assert!(again.contains("\"known\":true"), "idempotent resubmit: {again}");
+    let clash = specs[0].replace(&format!("\"seed\":{}", 21), "\"seed\":99");
+    let rejected = request(&addr, &format!("SUBMIT {clash}")).unwrap();
+    assert!(rejected.contains("\"ok\":false"), "digest clash rejected: {rejected}");
+
+    // Fairness: wait until BOTH campaigns have journaled progress at the
+    // same time, then SIGKILL the server mid-flight.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let done: Vec<usize> = ids.iter().map(|id| status_done(&addr, id).1).collect();
+        if done.iter().all(|&d| d >= 2) {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "both campaigns should make concurrent progress (done={done:?})"
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    server.kill().expect("SIGKILL server");
+    server.wait().expect("reap server");
+
+    // The kill landed mid-campaign: journals hold partial progress.
+    for id in &ids {
+        let runs = journaled_runs(&root, id);
+        assert!(runs >= 2, "{id}: journal survived the kill ({runs} runs)");
+        assert!(runs < FAULTS, "{id}: kill landed mid-campaign ({runs}/{FAULTS})");
+        assert!(!root.join(id).join("DONE").exists());
+    }
+
+    // Phase 2: restart unthrottled with --once; it must recover both
+    // campaigns from disk, resume from the journals, and exit on its own.
+    let mut server = spawn_serve(&root, None, true);
+    assert!(
+        wait_for_exit(&mut server, Duration::from_secs(300)),
+        "restarted service finishes and exits (--once)"
+    );
+
+    // Both campaigns completed, in separate artifact dirs, with the
+    // correct record counts.
+    for (id, spec) in ids.iter().zip(&specs) {
+        let dir = root.join(id);
+        assert!(dir.join("DONE").exists(), "{id} completed");
+        assert_eq!(journaled_runs(&root, id), FAULTS, "{id}: every run journaled exactly once");
+        let jsonl = std::fs::read_to_string(dir.join("records.jsonl")).unwrap();
+        let n = jsonl.lines().filter(|l| l.contains("\"type\":\"run\"")).count();
+        assert_eq!(n, FAULTS, "{id}: exported record count");
+
+        // Byte-identity against an uninterrupted in-process oracle.
+        let spec = CampaignSpec::parse(spec).unwrap();
+        let cc = spec.to_config(TelemetryConfig {
+            registry: Registry::disabled(),
+            progress_interval_ms: 0,
+            flight_capacity: 0,
+            taint: spec.taint,
+        });
+        let prepared = Prepared::new(&spec, &cc).unwrap();
+        let slots = Mutex::new(vec![None; FAULTS]);
+        prepared.drive(&cc, &[false; FAULTS], None, &|i, rec| {
+            slots.lock().unwrap()[i] = Some(rec);
+        });
+        let records: Vec<_> = slots.into_inner().unwrap().into_iter().map(Option::unwrap).collect();
+        let oracle_dir = root.join(format!("_oracle_{id}"));
+        let files = gem5_marvel::serve::write_exports(&oracle_dir, &spec, &prepared, &records).unwrap();
+        for name in &files {
+            let a = std::fs::read(oracle_dir.join(name)).unwrap();
+            let b = std::fs::read(dir.join(name)).unwrap();
+            assert_eq!(a, b, "{id}/{name}: service exports match the uninterrupted oracle");
+        }
+    }
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// The spool path: a spec dropped as a file is picked up without any
+/// network round-trip, and `--once` exits once it settles.
+#[test]
+fn spooled_spec_runs_to_completion() {
+    let root = std::env::temp_dir().join(format!("marvel_spool_it_{}", std::process::id()));
+    std::fs::remove_dir_all(&root).ok();
+    let spool = root.join("_serve").join("spool");
+    std::fs::create_dir_all(&spool).unwrap();
+    let spec = spec_text("sp-fft", "fft", "IMG", 31);
+    std::fs::write(spool.join("sp-fft.json"), format!("{spec}\n")).unwrap();
+
+    let mut server = spawn_serve(&root, None, true);
+    assert!(wait_for_exit(&mut server, Duration::from_secs(300)), "--once exits after spool run");
+    let dir: PathBuf = root.join("sp-fft");
+    assert!(dir.join("DONE").exists());
+    assert!(spool.join("sp-fft.json.accepted").exists(), "spool file marked accepted");
+    assert_eq!(journaled_runs(&root, "sp-fft"), FAULTS);
+    std::fs::remove_dir_all(&root).ok();
+}
