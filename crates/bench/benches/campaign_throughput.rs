@@ -25,12 +25,13 @@
 
 use marvel_core::{
     campaign_masks, run_dsa_masks, run_masks, run_one_in, CampaignConfig, DsaGolden, DsaHarness,
-    FaultKind, Golden, MaskGenerator, ResetMode, Target, WorkerCtx,
+    FaultKind, FaultMask, Golden, MaskGenerator, ResetMode, Target, TelemetryConfig, WorkerCtx,
 };
 use marvel_cpu::CoreConfig;
 use marvel_ir::{assemble, FuncBuilder, Module};
 use marvel_isa::{AluOp, Cond, Isa, MemWidth};
 use marvel_soc::System;
+use marvel_telemetry::{render_phase_object, SpanCollector};
 use marvel_workloads::{accel, mibench};
 use std::time::Instant;
 
@@ -121,12 +122,50 @@ struct Scenario {
     runs: usize,
     base: Mode,
     opt: Mode,
+    /// Per-phase wall-time attribution for the opt mode, as a rendered
+    /// JSON object (`{"SimStepCpu": {"calls": .., "self_us": ..}, ..}`) —
+    /// a spans-enabled re-run at workers=1 so self-times sum sensibly.
+    phases: String,
 }
 
 impl Scenario {
     fn speedup(&self) -> f64 {
         self.opt.s.runs_per_sec / self.base.s.runs_per_sec.max(1e-9)
     }
+}
+
+/// Config for the per-scenario profiling pass: the opt mode's state
+/// handling (dirty reset; ladder when the scenario uses one) with span
+/// tracing enabled, single-threaded so per-phase self-times attribute
+/// the scenario's whole wall clock.
+fn profile_config(kind: FaultKind, rungs: usize, spans: &SpanCollector) -> CampaignConfig {
+    CampaignConfig {
+        kind,
+        workers: 1,
+        reset_mode: ResetMode::Dirty,
+        ladder_rungs: rungs,
+        convergence_exit: rungs > 0,
+        telemetry: TelemetryConfig { spans: spans.clone(), ..Default::default() },
+        ..Default::default()
+    }
+}
+
+fn profile_cpu(golden: &Golden, masks: &[FaultMask], kind: FaultKind, rungs: usize) -> String {
+    let spans = SpanCollector::enabled();
+    run_masks(golden, masks, &profile_config(kind, rungs, &spans));
+    render_phase_object(&spans.report())
+}
+
+fn profile_dsa(
+    golden: &DsaGolden,
+    target: Target,
+    masks: &[FaultMask],
+    kind: FaultKind,
+    rungs: usize,
+) -> String {
+    let spans = SpanCollector::enabled();
+    run_dsa_masks(golden, target, masks, &profile_config(kind, rungs, &spans));
+    render_phase_object(&spans.report())
 }
 
 fn cpu_scenario(
@@ -168,6 +207,7 @@ fn cpu_scenario(
         runs: n,
         base: Mode { label: "clone", s: clone },
         opt: Mode { label: "dirty", s: dirty },
+        phases: profile_cpu(golden, &masks, kind, 0),
     }
 }
 
@@ -214,6 +254,7 @@ fn dsa_scenario(name: &'static str, golden: &DsaGolden, kind: FaultKind, n: usiz
         runs: n,
         base: Mode { label: "clone", s: clone },
         opt: Mode { label: "dirty", s: dirty },
+        phases: profile_dsa(golden, target, &masks, kind, 0),
     }
 }
 
@@ -258,6 +299,7 @@ fn cpu_ladder_scenario(name: &'static str, golden: &Golden, n: usize) -> Scenari
         runs: n,
         base: Mode { label: "full_prefix", s: base },
         opt: Mode { label: "ladder8+conv", s: opt },
+        phases: profile_cpu(golden, &masks, FaultKind::Transient, 8),
     }
 }
 
@@ -283,6 +325,7 @@ fn dsa_ladder_scenario(name: &'static str, golden: &DsaGolden, n: usize) -> Scen
         runs: n,
         base: Mode { label: "full_prefix", s: base },
         opt: Mode { label: "ladder8+conv", s: opt },
+        phases: profile_dsa(golden, target, &masks, FaultKind::Transient, 8),
     }
 }
 
@@ -291,7 +334,9 @@ fn json_opt(v: Option<f64>) -> String {
 }
 
 fn emit_json(scenarios: &[Scenario], path: &str) {
-    let mut out = String::from("{\n  \"schema_version\": 2,\n  \"scenarios\": [\n");
+    // v3: adds the per-scenario "phases" object (per-phase call counts
+    // and self/total µs from a spans-enabled profiling pass).
+    let mut out = String::from("{\n  \"schema_version\": 3,\n  \"scenarios\": [\n");
     for (i, s) in scenarios.iter().enumerate() {
         let sep = if i + 1 < scenarios.len() { "," } else { "" };
         let mode = |m: &Mode| {
@@ -307,6 +352,7 @@ fn emit_json(scenarios: &[Scenario], path: &str) {
             "    {{\"name\": \"{}\", \"side\": \"{}\", \"target\": \"{}\", \"kind\": \"{}\", \"runs\": {},\n      \
              \"base\": {},\n      \
              \"opt\": {},\n      \
+             \"phases\": {},\n      \
              \"speedup\": {:.2}}}{}\n",
             s.name,
             s.side,
@@ -315,6 +361,7 @@ fn emit_json(scenarios: &[Scenario], path: &str) {
             s.runs,
             mode(&s.base),
             mode(&s.opt),
+            s.phases,
             s.speedup(),
             sep
         ));

@@ -33,6 +33,7 @@ fn injection_run_overhead(c: &mut Criterion) {
             progress_interval_ms: 0,
             flight_capacity: 64,
             taint: false,
+            ..Default::default()
         },
         ..Default::default()
     };
@@ -43,6 +44,7 @@ fn injection_run_overhead(c: &mut Criterion) {
             progress_interval_ms: 0,
             flight_capacity: 64,
             taint: true,
+            ..Default::default()
         },
         ..Default::default()
     };

@@ -7,7 +7,8 @@ use crate::stats::error_margin;
 use marvel_cpu::{CoreStats, FaultFate, TraceMode};
 use marvel_soc::{RunOutcome, SysDirtyMarks, SysEvent, System, Target};
 use marvel_telemetry::{
-    Attribution, Event, FlightDump, FlightRecorder, ProgressMeter, Registry, Scope, TaintReport,
+    Attribution, Event, FlightDump, FlightRecorder, PhaseId, ProgressMeter, Registry, Scope,
+    SpanCollector, SpanLane, TaintReport,
 };
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -78,6 +79,11 @@ pub struct TelemetryConfig {
     /// (into the flight recorder) and per-structure AVF attribution.
     /// Strictly observational — classifications stay bit-identical.
     pub taint: bool,
+    /// marvel-spans phase tracing: per-worker span stacks attributing wall
+    /// time to campaign phases ([`PhaseId`]), exportable as a Chrome trace
+    /// and a per-phase attribution table. Disabled by default (the
+    /// enter/exit hot path is then a single branch).
+    pub spans: SpanCollector,
 }
 
 /// How each injection run obtains its starting state.
@@ -534,6 +540,31 @@ pub fn run_one_laddered(
     cc: &CampaignConfig,
     ctx: Option<&mut WorkerCtx>,
 ) -> RunRecord {
+    run_one_spanned(golden, ladder, mask, cc, ctx, &mut SpanLane::disabled())
+}
+
+/// How the post-injection simulation loop ended — lets the span around it
+/// close before the record is built, whichever exit path fired.
+enum LoopEnd {
+    Outcome(RunOutcome),
+    /// Dirty-diff convergence exit at a ladder rung.
+    Converged,
+    /// Early termination: the fate monitor proved the fault dead.
+    MaskedEarly,
+}
+
+/// [`run_one_laddered`] with an explicit span lane: campaign workers pass
+/// their lane so the run's phases (reset, inject, simulate, convergence
+/// diffs) land in the marvel-spans trace. `SpanLane::disabled()` makes
+/// this identical to the un-traced path.
+pub fn run_one_spanned(
+    golden: &Golden,
+    ladder: Option<&Ladder>,
+    mask: &FaultMask,
+    cc: &CampaignConfig,
+    ctx: Option<&mut WorkerCtx>,
+    lane: &mut SpanLane,
+) -> RunRecord {
     let tel = &cc.telemetry;
     let mut fr = if tel.flight_capacity > 0 {
         FlightRecorder::new(tel.flight_capacity)
@@ -573,7 +604,9 @@ pub fn run_one_laddered(
         Some(c) => {
             match &mut c.sys {
                 Some(s) if c.base_cycle == base_cycle => {
+                    lane.enter(PhaseId::DirtyReset);
                     let bytes = s.reset_from(base_sys);
+                    lane.exit(PhaseId::DirtyReset);
                     if let Some(t0) = reset_start {
                         if let Some(h) = tel.registry.histogram("campaign.reset_ns") {
                             h.record(t0.elapsed().as_nanos() as u64);
@@ -589,8 +622,10 @@ pub fn run_one_laddered(
                     // every later same-base reset. (Campaign scheduling
                     // sorts runs by injection cycle, so each worker pays
                     // at most one reclone per rung.)
+                    lane.enter(PhaseId::RungRestore);
                     let mut s = Box::new(base_sys.clone());
                     s.enable_dirty_tracking();
+                    lane.exit(PhaseId::RungRestore);
                     *slot = Some(s);
                     c.base_cycle = base_cycle;
                 }
@@ -598,7 +633,9 @@ pub fn run_one_laddered(
             c.sys.as_mut().expect("worker context populated above")
         }
         None => {
+            lane.enter(PhaseId::RungRestore);
             let s = Box::new(base_sys.clone());
+            lane.exit(PhaseId::RungRestore);
             if let Some(t0) = reset_start {
                 if let Some(h) = tel.registry.histogram("campaign.ckpt_restore_ns") {
                     h.record(t0.elapsed().as_nanos() as u64);
@@ -617,6 +654,7 @@ pub fn run_one_laddered(
         FaultModel::Permanent { .. } => "permanent",
         FaultModel::Transient { .. } => "transient",
     };
+    lane.enter(PhaseId::Inject);
     match mask.model {
         FaultModel::Permanent { value } => {
             if tel.taint {
@@ -646,6 +684,7 @@ pub fn run_one_laddered(
             }
         }
     }
+    lane.exit(PhaseId::Inject);
     fr.record(
         sys.cycle,
         Event::FaultArmed {
@@ -680,14 +719,17 @@ pub fn run_one_laddered(
     // simulation.
     let poll_fate = cc.early_termination || fr.is_enabled();
     let mut check_at = sys.cycle + 256;
-    let outcome = loop {
+    lane.enter(PhaseId::SimStepCpu);
+    let end = loop {
         match sys.tick() {
-            SysEvent::Halted => break RunOutcome::Halted { cycles: sys.cycle },
-            SysEvent::Trapped(t) => break RunOutcome::Crashed { trap: t, cycles: sys.cycle },
+            SysEvent::Halted => break LoopEnd::Outcome(RunOutcome::Halted { cycles: sys.cycle }),
+            SysEvent::Trapped(t) => {
+                break LoopEnd::Outcome(RunOutcome::Crashed { trap: t, cycles: sys.cycle })
+            }
             _ => {}
         }
         if sys.cycle >= watchdog {
-            break RunOutcome::Timeout;
+            break LoopEnd::Outcome(RunOutcome::Timeout);
         }
         // Ladder-rung crossing: merge the golden segment's dirty marks so
         // the journals cover everything *either* run wrote since the base
@@ -705,18 +747,13 @@ pub fn run_one_laddered(
                     // converged run is Masked with the golden run length.
                     let skip = cc.early_termination
                         && sys.fault_fate(mask.target).is_some_and(|f| f.is_masked_early());
-                    if !skip && (!tel.taint || sys.taint_quiescent()) && sys.state_converged(&rung.sys) {
+                    lane.enter(PhaseId::ConvergenceDiff);
+                    let converged =
+                        !skip && (!tel.taint || sys.taint_quiescent()) && sys.state_converged(&rung.sys);
+                    lane.exit(PhaseId::ConvergenceDiff);
+                    if converged {
                         fr.record(sys.cycle, Event::Converged);
-                        return RunRecord {
-                            effect: FaultEffect::Masked,
-                            hvf: cc.collect_hvf.then_some(HvfEffect::Masked),
-                            trap: None,
-                            early_terminated: false,
-                            converged: true,
-                            cycles: golden.exec_cycles,
-                            forensics: None,
-                            attribution: taint_finish(sys.taint_report(), &mut fr),
-                        };
+                        break LoopEnd::Converged;
                     }
                 }
             }
@@ -729,18 +766,37 @@ pub fn run_one_laddered(
                 if let Some(f) = fate {
                     if f.is_masked_early() && sys.core.divergence.is_none() {
                         fr.record(sys.cycle, Event::EarlyTerminated);
-                        return RunRecord {
-                            effect: FaultEffect::Masked,
-                            hvf: cc.collect_hvf.then_some(HvfEffect::Masked),
-                            trap: None,
-                            early_terminated: true,
-                            converged: false,
-                            cycles: sys.cycle - golden.ckpt_cycle,
-                            forensics: None,
-                            attribution: taint_finish(sys.taint_report(), &mut fr),
-                        };
+                        break LoopEnd::MaskedEarly;
                     }
                 }
+            }
+        }
+    };
+    lane.exit(PhaseId::SimStepCpu);
+    let outcome = match end {
+        LoopEnd::Outcome(o) => o,
+        LoopEnd::Converged => {
+            return RunRecord {
+                effect: FaultEffect::Masked,
+                hvf: cc.collect_hvf.then_some(HvfEffect::Masked),
+                trap: None,
+                early_terminated: false,
+                converged: true,
+                cycles: golden.exec_cycles,
+                forensics: None,
+                attribution: taint_finish(sys.taint_report(), &mut fr),
+            }
+        }
+        LoopEnd::MaskedEarly => {
+            return RunRecord {
+                effect: FaultEffect::Masked,
+                hvf: cc.collect_hvf.then_some(HvfEffect::Masked),
+                trap: None,
+                early_terminated: true,
+                converged: false,
+                cycles: sys.cycle - golden.ckpt_cycle,
+                forensics: None,
+                attribution: taint_finish(sys.taint_report(), &mut fr),
             }
         }
     };
@@ -973,12 +1029,14 @@ pub fn build_campaign_ladder(golden: &Golden, cc: &CampaignConfig) -> Option<Lad
     if cc.ladder_rungs == 0 {
         return None;
     }
-    let t0 = std::time::Instant::now();
-    let l = golden.build_ladder(cc.ladder_rungs, cc.collect_hvf);
-    let reg = &cc.telemetry.registry;
-    reg.publish("campaign.ladder_rungs", l.len() as u64);
-    reg.publish("campaign.ladder_build_ns", t0.elapsed().as_nanos() as u64);
-    Some(l)
+    cc.telemetry.spans.time(PhaseId::LadderBuild, || {
+        let t0 = std::time::Instant::now();
+        let l = golden.build_ladder(cc.ladder_rungs, cc.collect_hvf);
+        let reg = &cc.telemetry.registry;
+        reg.publish("campaign.ladder_rungs", l.len() as u64);
+        reg.publish("campaign.ladder_build_ns", t0.elapsed().as_nanos() as u64);
+        Some(l)
+    })
 }
 
 /// Incrementally drive the subset of `masks` *not* marked in `skip`
@@ -1047,6 +1105,7 @@ pub fn drive_masks(
             let run_cycles = run_cycles.clone();
             s.spawn(move |_| {
                 let mut ctx = WorkerCtx::new();
+                let mut lane = tel.spans.lane(&format!("cpu-worker-{w}"));
                 // Shared-counter traffic is batched: the effect tallies
                 // and cycle samples accumulate locally and flush every
                 // BATCH runs (plus once at exit). Only `done` — which
@@ -1060,13 +1119,20 @@ pub fn drive_masks(
                         cancelled.store(true, Ordering::Relaxed);
                         break;
                     }
+                    // The claim itself is spanned only when it succeeds: a
+                    // drained-schedule probe is cancelled, so Schedule call
+                    // counts equal completed runs at any worker count.
+                    lane.enter(PhaseId::Schedule);
                     let k = next.fetch_add(1, Ordering::Relaxed);
                     if k >= order.len() {
+                        lane.cancel(PhaseId::Schedule);
                         break;
                     }
                     let i = order[k];
+                    lane.exit(PhaseId::Schedule);
+                    lane.begin_run(i as u64);
                     let ctx = (cc.reset_mode == ResetMode::Dirty).then_some(&mut ctx);
-                    let rec = run_one_laddered(golden, ladder, &masks[i], cc, ctx);
+                    let rec = run_one_spanned(golden, ladder, &masks[i], cc, ctx, &mut lane);
                     b_runs += 1;
                     match rec.effect {
                         FaultEffect::Sdc => b_sdc += 1,
@@ -1082,7 +1148,10 @@ pub fn drive_masks(
                     if run_cycles.is_some() {
                         b_cycles.push(rec.cycles);
                     }
+                    lane.enter(PhaseId::ExportRecord);
                     sink(i, rec);
+                    lane.exit(PhaseId::ExportRecord);
+                    lane.end_run();
                     done.fetch_add(1, Ordering::Relaxed);
                     if b_runs >= BATCH {
                         worker_runs.add(b_runs);

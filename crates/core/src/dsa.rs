@@ -11,7 +11,7 @@ use crate::fault::{FaultMask, FaultModel, MaskGenerator};
 use crate::stats::error_margin;
 use marvel_accel::{AccelState, Accelerator, DmaEngine, DmaJob, SramFate};
 use marvel_soc::Target;
-use marvel_telemetry::{Event, FlightRecorder, ProgressMeter, Scope};
+use marvel_telemetry::{Event, FlightRecorder, PhaseId, ProgressMeter, Scope, SpanLane};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
 /// A self-contained accelerator experiment: the accelerator, a private RAM
@@ -424,9 +424,12 @@ fn drive_run(
     watchdog: u64,
     taint: bool,
     fr: &mut FlightRecorder,
+    lane: &mut SpanLane,
 ) -> DsaRunEnd {
     if let FaultModel::Permanent { value } = mask.model {
+        lane.enter(PhaseId::Inject);
         h.apply(mask, Some(value));
+        lane.exit(PhaseId::Inject);
         fr.record(
             0,
             Event::FaultArmed {
@@ -437,14 +440,17 @@ fn drive_run(
         );
     }
     let mut armed = inject_at.is_none();
-    loop {
+    lane.enter(PhaseId::SimStepDsa);
+    let end = loop {
         st.cycle += 1;
         if st.cycle > watchdog {
             fr.record(st.cycle, Event::Trap { tag: "watchdog" });
-            return DsaRunEnd::Finished(DsaOutcome::Timeout);
+            break DsaRunEnd::Finished(DsaOutcome::Timeout);
         }
         if inject_at == Some(st.cycle) {
+            lane.enter(PhaseId::Inject);
             h.apply(mask, None);
+            lane.exit(PhaseId::Inject);
             armed = true;
             fr.record(
                 st.cycle,
@@ -456,7 +462,7 @@ fn drive_run(
             );
         }
         if let Some(o) = h.step_sim(st, fr) {
-            return DsaRunEnd::Finished(o);
+            break DsaRunEnd::Finished(o);
         }
         // Ladder-rung crossing: dirty-diff convergence exit. DSA state is
         // a few KiB, so the "diff" is a wholesale functional compare.
@@ -472,15 +478,17 @@ fn drive_run(
                     // bit-identical across configurations.
                     let skip =
                         cc.early_termination && h.fault_fate(mask.target) == Some(SramFate::Overwritten);
-                    if !skip
+                    lane.enter(PhaseId::ConvergenceDiff);
+                    let converged = !skip
                         && (!taint || (h.accel.taint_quiescent() && st.taint_quiescent()))
                         && st.phase == rung.sim.phase
                         && st.dma.state_eq(&rung.sim.dma)
                         && h.ram == rung.harness.ram
-                        && h.accel.state_eq(&rung.harness.accel)
-                    {
+                        && h.accel.state_eq(&rung.harness.accel);
+                    lane.exit(PhaseId::ConvergenceDiff);
+                    if converged {
                         fr.record(st.cycle, Event::Converged);
-                        return DsaRunEnd::Converged;
+                        break DsaRunEnd::Converged;
                     }
                 }
             }
@@ -496,9 +504,11 @@ fn drive_run(
             && h.fault_fate(mask.target) == Some(SramFate::Overwritten)
         {
             fr.record(st.cycle, Event::EarlyTerminated);
-            return DsaRunEnd::MaskedEarly { cycles: st.cycle };
+            break DsaRunEnd::MaskedEarly { cycles: st.cycle };
         }
-    }
+    };
+    lane.exit(PhaseId::SimStepDsa);
+    end
 }
 
 /// Run a statistical campaign on one DSA memory target.
@@ -525,15 +535,17 @@ pub fn build_dsa_ladder(golden: &DsaGolden, cc: &CampaignConfig) -> DsaLadder {
     if cc.ladder_rungs == 0 {
         return DsaLadder::default();
     }
-    let t0 = std::time::Instant::now();
-    let ladder = golden.build_ladder(cc.ladder_rungs);
-    if !ladder.is_empty() {
-        let reg = &cc.telemetry.registry;
-        let scope = Scope::new("dsa");
-        reg.publish_scoped(&scope, "ladder_rungs", ladder.len() as u64);
-        reg.publish_scoped(&scope, "ladder_build_ns", t0.elapsed().as_nanos() as u64);
-    }
-    ladder
+    cc.telemetry.spans.time(PhaseId::LadderBuild, || {
+        let t0 = std::time::Instant::now();
+        let ladder = golden.build_ladder(cc.ladder_rungs);
+        if !ladder.is_empty() {
+            let reg = &cc.telemetry.registry;
+            let scope = Scope::new("dsa");
+            reg.publish_scoped(&scope, "ladder_rungs", ladder.len() as u64);
+            reg.publish_scoped(&scope, "ladder_build_ns", t0.elapsed().as_nanos() as u64);
+        }
+        ladder
+    })
 }
 
 /// Run one injection per caller-supplied mask. `run_dsa_campaign` is this
@@ -654,6 +666,7 @@ pub fn drive_dsa_masks(
                 // harness was cloned from, so a rung switch recloned.
                 let mut reusable: Option<Box<DsaHarness>> = None;
                 let mut reusable_base: u64 = 0;
+                let mut lane = tel.spans.lane(&format!("dsa-worker-{w}"));
                 const BATCH: u64 = 32;
                 let (mut b_runs, mut b_sdc, mut b_crash, mut b_early, mut b_conv) =
                     (0u64, 0u64, 0u64, 0u64, 0u64);
@@ -663,11 +676,17 @@ pub fn drive_dsa_masks(
                         cancelled.store(true, Ordering::Relaxed);
                         break;
                     }
+                    // Spanned only when the claim succeeds (see the CPU
+                    // worker): Schedule calls equal completed runs.
+                    lane.enter(PhaseId::Schedule);
                     let k = next.fetch_add(1, Ordering::Relaxed);
                     if k >= order.len() {
+                        lane.cancel(PhaseId::Schedule);
                         break;
                     }
                     let i = order[k];
+                    lane.exit(PhaseId::Schedule);
+                    lane.begin_run(i as u64);
                     let mask = &masks[i];
                     let mut fr = if flight_capacity > 0 {
                         FlightRecorder::new(flight_capacity)
@@ -694,7 +713,9 @@ pub fn drive_dsa_masks(
                         ResetMode::Dirty => {
                             let reset_start = tel.registry.is_enabled().then(std::time::Instant::now);
                             if let Some(h) = reusable.as_mut().filter(|_| reusable_base == base_cycle) {
+                                lane.enter(PhaseId::DirtyReset);
                                 let bytes = h.reset_from(base_h);
+                                lane.exit(PhaseId::DirtyReset);
                                 if let Some(t0) = reset_start {
                                     if let Some(hist) = tel.registry.histogram("dsa.reset_ns") {
                                         hist.record(t0.elapsed().as_nanos() as u64);
@@ -706,12 +727,19 @@ pub fn drive_dsa_masks(
                             } else {
                                 // First run, or the base rung changed: pay
                                 // one full clone of the new base.
+                                lane.enter(PhaseId::RungRestore);
                                 reusable = Some(Box::new(base_h.clone()));
+                                lane.exit(PhaseId::RungRestore);
                                 reusable_base = base_cycle;
                             }
                             reusable.as_mut().expect("populated above")
                         }
-                        ResetMode::Clone => fresh.insert(base_h.clone()),
+                        ResetMode::Clone => {
+                            lane.enter(PhaseId::RungRestore);
+                            let h = fresh.insert(base_h.clone());
+                            lane.exit(PhaseId::RungRestore);
+                            h
+                        }
                     };
                     if taint {
                         // Before arming: the injection seeds the shadow
@@ -738,7 +766,8 @@ pub fn drive_dsa_masks(
                         }
                     }
                     let end = drive_run(
-                        h, &mut st, mask, inject_at, ladder_ref, next_rung, cc, watchdog, taint, &mut fr,
+                        h, &mut st, mask, inject_at, ladder_ref, next_rung, cc, watchdog, taint,
+                        &mut fr, &mut lane,
                     );
                     let (effect, trap, cycles, early_terminated, converged) = match end {
                         DsaRunEnd::Finished(outcome) => {
@@ -795,6 +824,7 @@ pub fn drive_dsa_masks(
                     let attribution = taint_finish(h.accel.taint_tracer().map(|t| t.report()), &mut fr);
                     let forensics =
                         (fr.is_enabled() && effect != FaultEffect::Masked).then(|| fr.take());
+                    lane.enter(PhaseId::ExportRecord);
                     sink(
                         i,
                         RunRecord {
@@ -808,6 +838,8 @@ pub fn drive_dsa_masks(
                             attribution,
                         },
                     );
+                    lane.exit(PhaseId::ExportRecord);
+                    lane.end_run();
                     done.fetch_add(1, Ordering::Relaxed);
                     if b_runs >= BATCH {
                         worker_runs.add(b_runs);

@@ -3,8 +3,8 @@
 //! Used by the `marvel submit`/`status`/`watch` CLI verbs and the
 //! integration tests.
 
-use std::io::{BufRead, BufReader, Write};
-use std::net::TcpStream;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, TcpStream};
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
@@ -63,6 +63,23 @@ pub fn request(addr: &str, line: &str) -> Result<String, String> {
         return Err("service closed the connection without responding".into());
     }
     Ok(response.trim_end().to_string())
+}
+
+/// Send one request line and read the response to EOF — for multi-line
+/// responses (`METRICS <id> prom`). Shutting down the write half tells
+/// the service no further requests follow, so it closes after replying.
+pub fn request_text(addr: &str, line: &str) -> Result<String, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream.set_read_timeout(Some(Duration::from_secs(30))).map_err(|e| e.to_string())?;
+    writeln!(stream, "{line}").map_err(|e| e.to_string())?;
+    stream.flush().map_err(|e| e.to_string())?;
+    stream.shutdown(Shutdown::Write).map_err(|e| e.to_string())?;
+    let mut text = String::new();
+    BufReader::new(stream).read_to_string(&mut text).map_err(|e| e.to_string())?;
+    if text.is_empty() {
+        return Err("service closed the connection without responding".into());
+    }
+    Ok(text)
 }
 
 /// Stream a WATCH subscription, invoking `on_line` per progress line

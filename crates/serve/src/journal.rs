@@ -24,10 +24,12 @@
 use crate::json::{parse, Json};
 use crate::spec::SPEC_SCHEMA_VERSION;
 use marvel_core::{FaultEffect, HvfEffect, RunRecord};
-use marvel_telemetry::{json_string, Attribution};
+use marvel_telemetry::{json_string, Attribution, Histogram, PhaseId, SpanCollector};
 use std::fs::File;
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Records between fsync'd watermarks. Small enough that a SIGKILL loses
 /// at most a batch of cheap re-runnable injections, large enough that
@@ -244,6 +246,12 @@ pub struct Journal {
     done: usize,
     /// Lines appended since the last fsync'd watermark.
     unsynced: usize,
+    /// Span collector for `JournalAppend`/`JournalFsync` phase attribution
+    /// (disabled by default; wired by the service per campaign).
+    spans: SpanCollector,
+    /// Per-fsync latency histogram (`journal.fsync_ns` on the campaign
+    /// registry) — the durability half of "where do campaign cycles go".
+    fsync_hist: Option<Arc<Histogram>>,
 }
 
 impl Journal {
@@ -293,15 +301,37 @@ impl Journal {
             .append(true)
             .open(path)
             .map_err(|e| format!("cannot open journal {}: {e}", path.display()))?;
-        Ok((Journal { file, path: path.to_path_buf(), done, unsynced: 0 }, recovered))
+        Ok((
+            Journal {
+                file,
+                path: path.to_path_buf(),
+                done,
+                unsynced: 0,
+                spans: SpanCollector::disabled(),
+                fsync_hist: None,
+            },
+            recovered,
+        ))
+    }
+
+    /// Attach phase spans and an fsync-latency histogram. Purely
+    /// observational: appends and flushes behave identically either way.
+    pub fn set_profiling(&mut self, spans: SpanCollector, fsync_hist: Option<Arc<Histogram>>) {
+        self.spans = spans;
+        self.fsync_hist = fsync_hist;
     }
 
     /// Append one completed run. Every [`FLUSH_EVERY`] appends, a
     /// watermark is written and the file is fsync'd.
     pub fn append(&mut self, idx: usize, rec: &RunRecord) -> Result<(), String> {
-        let mut line = encode_record(idx, rec);
-        line.push('\n');
-        self.file.write_all(line.as_bytes()).map_err(|e| self.io_err(e))?;
+        let spans = self.spans.clone();
+        spans
+            .time(PhaseId::JournalAppend, || {
+                let mut line = encode_record(idx, rec);
+                line.push('\n');
+                self.file.write_all(line.as_bytes())
+            })
+            .map_err(|e| self.io_err(e))?;
         self.done += 1;
         self.unsynced += 1;
         if self.unsynced >= FLUSH_EVERY {
@@ -313,9 +343,19 @@ impl Journal {
     /// Write a watermark and fsync. Idempotent; called on batch
     /// boundaries, graceful shutdown and campaign completion.
     pub fn flush(&mut self) -> Result<(), String> {
-        let line = format!("{{\"type\":\"watermark\",\"done\":{}}}\n", self.done);
-        self.file.write_all(line.as_bytes()).map_err(|e| self.io_err(e))?;
-        self.file.sync_data().map_err(|e| self.io_err(e))?;
+        let spans = self.spans.clone();
+        spans
+            .time(PhaseId::JournalFsync, || {
+                let line = format!("{{\"type\":\"watermark\",\"done\":{}}}\n", self.done);
+                self.file.write_all(line.as_bytes())?;
+                let t0 = Instant::now();
+                self.file.sync_data()?;
+                if let Some(h) = &self.fsync_hist {
+                    h.record(t0.elapsed().as_nanos() as u64);
+                }
+                Ok::<(), std::io::Error>(())
+            })
+            .map_err(|e| self.io_err(e))?;
         self.unsynced = 0;
         Ok(())
     }
@@ -431,5 +471,24 @@ mod tests {
         assert!(Journal::open(&path, "c1", "1111111111111111", 4)
             .unwrap_err()
             .contains("schema_version 9"));
+    }
+
+    #[test]
+    fn profiling_attributes_appends_and_fsyncs() {
+        let path = tmpdir("prof").join("j.jsonl");
+        std::fs::remove_file(&path).ok();
+        let (mut j, _) = Journal::open(&path, "c", "00000000000000bb", 64).unwrap();
+        let spans = SpanCollector::enabled();
+        let hist = Arc::new(Histogram::new());
+        j.set_profiling(spans.clone(), Some(hist.clone()));
+        for i in 0..40 {
+            j.append(i, &rec(FaultEffect::Masked, 1)).unwrap();
+        }
+        j.flush().unwrap();
+        let rep = spans.report();
+        assert_eq!(rep.calls(PhaseId::JournalAppend), 40);
+        // 40 appends cross one FLUSH_EVERY watermark, plus the explicit flush.
+        assert_eq!(rep.calls(PhaseId::JournalFsync), 2);
+        assert_eq!(hist.snapshot().count, 2);
     }
 }

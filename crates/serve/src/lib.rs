@@ -34,7 +34,7 @@ pub mod server;
 pub mod signals;
 pub mod spec;
 
-pub use client::{read_addr_file, request, wait_for_addr, watch};
+pub use client::{read_addr_file, request, request_text, wait_for_addr, watch};
 pub use exports::{render_records_csv, render_records_jsonl, render_summary_csv, write_exports};
 pub use journal::{encode_record, read_journal, Journal, FLUSH_EVERY};
 pub use server::{serve, spool_spec, ServeConfig};

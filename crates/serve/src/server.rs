@@ -28,7 +28,10 @@
 //! PING                      → {"ok":true,"type":"pong"}
 //! SUBMIT {spec json}        → {"ok":true,"id":...,"digest":...} | {"ok":false,"error":...}
 //! STATUS [id]               → status object (or list of them)
-//! METRICS <id>              → one-line registry snapshot
+//! METRICS <id>              → one-line registry snapshot + per-phase wall-time totals
+//! METRICS <id> prom         → multi-line Prometheus text exposition (read to EOF)
+//! PROFILE [id]              → one-line phase profile (campaign, or the service
+//!                             scheduler itself when no id is given)
 //! WATCH <id>                → progress lines until the campaign settles
 //! ```
 
@@ -38,7 +41,10 @@ use crate::journal::Journal;
 use crate::signals::install_shutdown_handler;
 use crate::spec::{CampaignSpec, Prepared};
 use marvel_core::{error_margin, FaultEffect, RunRecord, TelemetryConfig};
-use marvel_telemetry::{json_string, render_snapshot_line, ProgressMeter, Registry};
+use marvel_telemetry::{
+    json_string, render_phase_object, render_prometheus, render_snapshot_line, PhaseId, PhaseReport,
+    ProgressMeter, Registry, SpanCollector, TRACE_SCHEMA_VERSION,
+};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
@@ -139,6 +145,9 @@ struct Campaign {
     dir: PathBuf,
     total: usize,
     registry: Registry,
+    /// Per-campaign phase spans (golden prep, sim steps, journal I/O …);
+    /// always on — the per-run cost is two clock reads per phase.
+    spans: SpanCollector,
     state: Mutex<CampState>,
 }
 
@@ -152,6 +161,7 @@ impl Campaign {
             dir,
             total,
             registry: Registry::new(),
+            spans: SpanCollector::enabled(),
             state: Mutex::new(CampState {
                 phase,
                 error: None,
@@ -206,6 +216,19 @@ impl Campaign {
     }
 }
 
+/// One-line phase profile for the `PROFILE` verb: wall clock, attributed
+/// self time and the per-phase breakdown, schema-versioned like every
+/// other protocol line.
+fn profile_line(id: &str, rep: &PhaseReport) -> String {
+    format!(
+        "{{\"type\":\"profile\",\"schema_version\":{TRACE_SCHEMA_VERSION},\"id\":{},\"wall_us\":{},\"attributed_us\":{},\"phases\":{}}}",
+        json_string(id),
+        rep.wall_us,
+        rep.self_total_us(),
+        render_phase_object(rep)
+    )
+}
+
 /// One claimable unit of work.
 enum Unit {
     /// Golden prep + ladder + masks + journal recovery.
@@ -224,6 +247,10 @@ struct Server {
     shutdown: &'static AtomicBool,
     /// Internal stop for worker threads (set on shutdown or once-exit).
     stop: AtomicBool,
+    /// Service-level spans: scheduler idle time (a campaign's collector
+    /// cannot own it — idle belongs to no campaign). `PROFILE` with no id
+    /// reads this.
+    spans: SpanCollector,
 }
 
 impl Server {
@@ -364,6 +391,7 @@ impl Server {
             progress_interval_ms: 0,
             flight_capacity: 0,
             taint: c.spec.taint,
+            spans: c.spans.clone(),
         };
         let cc = c.spec.to_config(telemetry);
         let prepared = match Prepared::new(&c.spec, &cc) {
@@ -371,12 +399,13 @@ impl Server {
             Err(e) => return self.fail(c, format!("golden prep failed: {e}")),
         };
         let journal_path = c.dir.join("journal.jsonl");
-        let (journal, recovered) = match Journal::open(&journal_path, &c.spec.id, &c.digest, c.total) {
+        let (mut journal, recovered) = match Journal::open(&journal_path, &c.spec.id, &c.digest, c.total)
+        {
             Ok(r) => r,
             Err(e) => return self.fail(c, format!("journal: {e}")),
         };
+        journal.set_profiling(c.spans.clone(), c.registry.histogram("journal.fsync_ns"));
         let mut st = c.state.lock().unwrap();
-        st.meter = Some(ProgressMeter::new(&c.spec.id, c.total as u64));
         st.done = 0;
         st.sdc = 0;
         st.crash = 0;
@@ -396,6 +425,10 @@ impl Server {
                 st.records[i] = Some(rec);
             }
         }
+        // Seed the meter with the journaled prefix so the live rate and
+        // ETA reflect only runs executed by *this* process — a resumed
+        // campaign must not report the recovered records as throughput.
+        st.meter = Some(ProgressMeter::resumed(&c.spec.id, c.total as u64, st.done as u64));
         st.pending = (0..c.total).filter(|&i| !st.done_flags[i]).collect();
         st.cursor = 0;
         st.prepared = Some(prepared);
@@ -423,6 +456,7 @@ impl Server {
                 progress_interval_ms: 0,
                 flight_capacity: 0,
                 taint: c.spec.taint,
+                spans: c.spans.clone(),
             };
             (st.prepared.clone().expect("shard claimed before prep"), c.spec.to_config(telemetry))
         };
@@ -515,7 +549,9 @@ impl Server {
             match self.claim() {
                 Some(Unit::Prep(c)) => self.run_prep(&c),
                 Some(Unit::Shard(c, idxs)) => self.run_shard(&c, &idxs),
-                None => std::thread::sleep(Duration::from_millis(self.cfg.poll_ms.clamp(10, 500))),
+                None => self.spans.time(PhaseId::Idle, || {
+                    std::thread::sleep(Duration::from_millis(self.cfg.poll_ms.clamp(10, 500)))
+                }),
             }
         }
     }
@@ -559,14 +595,50 @@ impl Server {
                     }
                 }
             }
-            "METRICS" => match self.find(rest) {
-                Some(c) => writeln!(out, "{}", render_snapshot_line(&c.registry.snapshot())),
-                None => writeln!(
-                    out,
-                    "{{\"ok\":false,\"error\":{}}}",
-                    json_string(&format!("unknown campaign '{rest}'"))
-                ),
-            },
+            "METRICS" => {
+                let (id, prom) = match rest.split_once(' ') {
+                    Some((id, "prom")) => (id, true),
+                    _ => (rest, false),
+                };
+                match self.find(id) {
+                    Some(c) if prom => {
+                        // Multi-line exposition: the client reads to EOF
+                        // (see `client::request_text`), so just write it.
+                        let labels = format!("campaign=\"{}\"", c.spec.id);
+                        write!(
+                            out,
+                            "{}",
+                            render_prometheus(&c.registry.snapshot(), &c.spans.report(), &labels)
+                        )
+                    }
+                    Some(c) => {
+                        // Splice the phase totals into the snapshot line so
+                        // one METRICS round-trip carries both surfaces.
+                        let line = render_snapshot_line(&c.registry.snapshot());
+                        let body = line.trim_end().strip_suffix('}').unwrap_or(&line).to_string();
+                        writeln!(out, "{body},\"phases\":{}}}", render_phase_object(&c.spans.report()))
+                    }
+                    None => writeln!(
+                        out,
+                        "{{\"ok\":false,\"error\":{}}}",
+                        json_string(&format!("unknown campaign '{id}'"))
+                    ),
+                }
+            }
+            "PROFILE" => {
+                if rest.is_empty() {
+                    writeln!(out, "{}", profile_line("_serve", &self.spans.report()))
+                } else {
+                    match self.find(rest) {
+                        Some(c) => writeln!(out, "{}", profile_line(&c.spec.id, &c.spans.report())),
+                        None => writeln!(
+                            out,
+                            "{{\"ok\":false,\"error\":{}}}",
+                            json_string(&format!("unknown campaign '{rest}'"))
+                        ),
+                    }
+                }
+            }
             "WATCH" => match self.find(rest) {
                 Some(c) => loop {
                     writeln!(out, "{}", c.progress_line())?;
@@ -640,6 +712,7 @@ pub fn serve(mut cfg: ServeConfig) -> Result<(), String> {
         rr: AtomicUsize::new(0),
         shutdown,
         stop: AtomicBool::new(false),
+        spans: SpanCollector::enabled(),
     });
     server.recover_from_disk();
 

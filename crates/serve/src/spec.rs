@@ -23,7 +23,7 @@ use marvel_cpu::CoreConfig;
 use marvel_ir::assemble;
 use marvel_isa::Isa;
 use marvel_soc::{System, Target};
-use marvel_telemetry::json_string;
+use marvel_telemetry::{json_string, PhaseId};
 use marvel_workloads::{accel, mibench};
 use std::sync::atomic::AtomicBool;
 
@@ -337,11 +337,17 @@ impl Prepared {
                 let bin = assemble(&mibench::build(bench), *isa).map_err(|e| e.to_string())?;
                 let mut sys = System::new(CoreConfig::table2(*isa));
                 sys.load_binary(&bin);
-                let golden = if spec.fast_prep {
-                    Golden::prepare_fast(sys, 200_000_000).map_err(|e| e.to_string())?
-                } else {
-                    Golden::prepare(sys, 200_000_000).map_err(|e| e.to_string())?
-                };
+                let golden = cc
+                    .telemetry
+                    .spans
+                    .time(PhaseId::GoldenPrep, || {
+                        if spec.fast_prep {
+                            Golden::prepare_fast(sys, 200_000_000)
+                        } else {
+                            Golden::prepare(sys, 200_000_000)
+                        }
+                    })
+                    .map_err(|e| e.to_string())?;
                 golden.publish_metrics(&cc.telemetry.registry);
                 let ladder = build_campaign_ladder(&golden, cc);
                 let target = spec.cpu_target;
@@ -366,7 +372,9 @@ impl Prepared {
                     .find(|c| c.name == *component)
                     .ok_or_else(|| format!("design {design} has no component '{component}'"))?;
                 let target = comp.target;
-                let golden = DsaGolden::prepare((d.make)(FuConfig::uniform(*fus)), 100_000_000);
+                let golden = cc.telemetry.spans.time(PhaseId::GoldenPrep, || {
+                    DsaGolden::prepare((d.make)(FuConfig::uniform(*fus)), 100_000_000)
+                });
                 let ladder = build_dsa_ladder(&golden, cc);
                 let masks = dsa_campaign_masks(&golden, target, cc);
                 let bit_population = match target {

@@ -28,7 +28,7 @@ pub struct HistSnapshot {
 }
 
 impl Histogram {
-    pub fn new() -> Histogram {
+    pub const fn new() -> Histogram {
         Histogram {
             buckets: [const { AtomicU64::new(0) }; BUCKETS],
             count: AtomicU64::new(0),
@@ -53,7 +53,17 @@ impl Histogram {
     pub fn record(&self, value: u64) {
         self.buckets[Self::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(value, Ordering::Relaxed);
+        // Saturate instead of wrapping: a campaign recording u64-scale
+        // values (e.g. `u64::MAX` sentinel cycles) must not lap the sum
+        // and report a tiny mean.
+        let mut cur = self.sum.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_add(value);
+            match self.sum.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
     }
 
     pub fn snapshot(&self) -> HistSnapshot {
@@ -144,5 +154,54 @@ mod tests {
         h.record(u64::MAX);
         let s = h.snapshot();
         assert_eq!(s.buckets, vec![(u64::MAX, 1)]);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.sum, 0);
+        assert!(s.buckets.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        for q in [0.0, 0.5, 0.95, 1.0] {
+            assert_eq!(s.quantile(q), 0, "q={q}");
+        }
+    }
+
+    #[test]
+    fn single_sample_quantiles() {
+        let h = Histogram::new();
+        h.record(5);
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        // Every quantile of a one-sample distribution is that sample's
+        // bucket bound (5 → bucket [4,7]).
+        for q in [0.0, 0.5, 0.95, 1.0] {
+            assert_eq!(s.quantile(q), 7, "q={q}");
+        }
+        assert_eq!(s.mean(), 5.0);
+    }
+
+    #[test]
+    fn sum_saturates_instead_of_wrapping() {
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(2);
+        let s = h.snapshot();
+        assert_eq!(s.count, 2);
+        // A wrapping sum would report 1 here — and a mean of 0.5 for a
+        // histogram whose every sample is astronomically large.
+        assert_eq!(s.sum, u64::MAX);
+        assert!(s.mean() > 1e18);
+    }
+
+    #[test]
+    fn q0_is_the_minimum_bucket_bound() {
+        let h = Histogram::new();
+        h.record(100);
+        h.record(1000);
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.0), 127);
+        assert_eq!(s.quantile(1.0), 1023);
     }
 }

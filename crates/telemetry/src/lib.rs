@@ -23,6 +23,11 @@
 //!   snapshots and flight dumps (schema-versioned, see
 //!   [`export::SCHEMA_VERSION`]), plus the live progress line
 //!   (rate + ETA + running AVF ± margin) campaigns print.
+//! * [`SpanCollector`]/[`SpanLane`] — marvel-spans: structured phase
+//!   tracing across the campaign stack. Thread-local span stacks record
+//!   enter/exit deltas per [`PhaseId`]; exporters render Chrome
+//!   trace-event JSON (Perfetto) and the per-phase wall-time attribution
+//!   table ([`trace_export`]).
 //! * [`taint`]/[`pipeview`] — marvel-taint bookkeeping: the
 //!   [`TaintTracer`] collects structure-to-structure propagation hops of
 //!   an injected bit's shadow taint, and the [`PipeTracer`] renders
@@ -39,7 +44,9 @@ pub mod pipeview;
 pub mod progress;
 pub mod registry;
 pub mod scope;
+pub mod span;
 pub mod taint;
+pub mod trace_export;
 
 pub use export::{
     append_jsonl_line, check_snapshot_version, json_string, render_csv, render_jsonl,
@@ -51,4 +58,11 @@ pub use pipeview::{PipeRecord, PipeTracer};
 pub use progress::ProgressMeter;
 pub use registry::{Counter, Registry, Snapshot};
 pub use scope::Scope;
+pub use span::{
+    LaneDump, PhaseId, PhaseReport, PhaseRow, RunTree, SpanCollector, SpanEvent, SpanLane, TraceDump,
+};
 pub use taint::{alu_taint, Attribution, TaintAluKind, TaintHop, TaintReport, TaintTracer};
+pub use trace_export::{
+    render_chrome_trace, render_phase_csv, render_phase_jsonl, render_phase_object, render_phase_table,
+    render_prometheus, TRACE_SCHEMA_VERSION,
+};

@@ -17,6 +17,10 @@ pub struct ProgressMeter {
     label: String,
     total: u64,
     started: Instant,
+    /// Runs already complete when this meter started (journal resume):
+    /// they count toward progress but not toward the rate/ETA estimate —
+    /// this process did none of that work.
+    prior: u64,
 }
 
 /// Runs needed before the rate/ETA estimate is displayed. The first few
@@ -28,7 +32,15 @@ pub const MIN_RUNS_FOR_RATE: u64 = 10;
 
 impl ProgressMeter {
     pub fn new(label: &str, total_runs: u64) -> ProgressMeter {
-        ProgressMeter { label: label.to_string(), total: total_runs, started: Instant::now() }
+        ProgressMeter::resumed(label, total_runs, 0)
+    }
+
+    /// A meter for a campaign resumed from a journal: `prior` runs are
+    /// already on disk. Without this, the recovered prefix would be
+    /// divided by the fresh process's elapsed time, inflating runs/s (and
+    /// deflating the ETA) until new completions dilute it.
+    pub fn resumed(label: &str, total_runs: u64, prior: u64) -> ProgressMeter {
+        ProgressMeter { label: label.to_string(), total: total_runs, started: Instant::now(), prior }
     }
 
     pub fn elapsed_secs(&self) -> f64 {
@@ -38,11 +50,14 @@ impl ProgressMeter {
     /// Render the line for the current state. `sdc`/`crash`/`early` are
     /// run tallies; `margin` is the ± on the running AVF estimate.
     pub fn line(&self, done: u64, sdc: u64, crash: u64, early: u64, margin: f64) -> String {
+        // Only runs this process completed feed the rate; the journaled
+        // prefix of a resumed campaign took no time here.
+        let fresh = done.saturating_sub(self.prior);
         // Don't seed the rate estimate until enough runs completed (for
         // tiny campaigns: until half the runs are in).
-        let warm = done >= MIN_RUNS_FOR_RATE.min(self.total / 2 + 1);
+        let warm = fresh >= MIN_RUNS_FOR_RATE.min(self.total.saturating_sub(self.prior) / 2 + 1);
         let elapsed = self.elapsed_secs().max(1e-9);
-        let rate = done as f64 / elapsed;
+        let rate = fresh as f64 / elapsed;
         let (rate_s, eta) = if !warm || rate <= 0.0 {
             ("--".to_string(), "?".to_string())
         } else {
@@ -148,6 +163,34 @@ mod tests {
         assert!(line.contains("\"avf\":0.125000"), "{line}");
         assert!(line.contains("\"margin\":0.031000"), "{line}");
         assert!(!line.contains('\n'), "{line}");
+    }
+
+    #[test]
+    fn resumed_meter_excludes_journaled_prefix_from_rate() {
+        // A campaign resumed with 900/1000 runs already journaled must
+        // not report ~900 runs-per-instant: the rate stays withheld until
+        // enough *fresh* completions exist, then reflects only them.
+        let m = ProgressMeter::resumed("campaign", 1000, 900);
+        let line = m.line(900, 0, 0, 0, 0.0);
+        assert!(line.contains("900/1000"), "{line}");
+        assert!(line.contains("-- runs/s"), "{line}");
+        assert!(line.contains("ETA ?"), "{line}");
+        // A few fresh runs: still below the warm threshold.
+        assert!(m.line(905, 0, 0, 0, 0.0).contains("ETA ?"));
+        // Enough fresh runs: the estimate appears, and it is on the order
+        // of the fresh count over elapsed — not the journaled total.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let line = m.line(910, 0, 0, 0, 0.0);
+        assert!(!line.contains("ETA ?"), "{line}");
+        let rate: f64 = line
+            .split(" runs/s")
+            .next()
+            .and_then(|s| s.rsplit("| ").next())
+            .and_then(|s| s.trim().parse().ok())
+            .expect("rate parses");
+        // 10 fresh runs over ≥20ms is at most 500/s; the inflated figure
+        // would be 910 runs over the same window (≥45k/s).
+        assert!(rate <= 510.0, "rate {rate} should reflect fresh runs only: {line}");
     }
 
     #[test]

@@ -83,6 +83,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             progress_interval_ms: 0,
             flight_capacity: 64,
             taint: false,
+            ..Default::default()
         };
         let cc_rec = CampaignConfig { n_faults: 1, collect_hvf: true, telemetry, ..Default::default() };
         let rec = run_one(&golden, &mask, &cc_rec);

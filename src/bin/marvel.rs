@@ -3,6 +3,7 @@
 //! ```text
 //! marvel list
 //! marvel run <benchmark> [--isa arm|x86|riscv] [--lockstep]
+//!                 [--trace-spans [path]] [--phase-report]
 //! marvel disasm <benchmark> [--isa ...] [--limit N]
 //! marvel campaign <benchmark> [--isa ...] [--target prf|l1i|l1d|l2|lq|sq|rob|rename]
 //!                 [--faults N] [--kind transient|permanent] [--hvf] [--seed S]
@@ -10,10 +11,12 @@
 //!                 [--ladder-rungs N] [--convergence-exit]
 //!                 [--metrics [path]] [--forensics [path]] [--progress [ms]]
 //!                 [--taint] [--attribution [path]] [--trace-pipeline [dir]]
+//!                 [--trace-spans [path]] [--phase-report]
 //! marvel dsa <design> [--faults N] [--fus N] [--reset-mode clone|dirty]
 //!                 [--ladder-rungs N] [--convergence-exit]
 //!                 [--metrics [path]] [--forensics [path]] [--progress [ms]]
 //!                 [--taint] [--attribution [path]]
+//!                 [--trace-spans [path]] [--phase-report]
 //! marvel serve [--root dir] [--addr host:port] [--workers N] [--shard N] [--once]
 //! marvel submit <spec.json> [--root dir] [--spool]
 //! marvel status [campaign-id] [--root dir]
@@ -28,6 +31,11 @@
 //! attribution table is printed and exported (CSV + JSONL).
 //! `--trace-pipeline` writes a golden/faulty Konata pipeline trace pair
 //! for the campaign's first non-masked fault.
+//! `--trace-spans [path]` records marvel-spans phase tracing and writes a
+//! Chrome trace-event JSON (load it in Perfetto / `chrome://tracing`);
+//! `--phase-report` prints the per-phase wall-time attribution table
+//! (calls, total/self µs, p50/p95) with a coverage line. Either flag
+//! enables the collector; with both absent the span hooks stay no-ops.
 //! `--reset-mode` selects how each injection run gets its starting state:
 //! `dirty` (default) reuses one system per worker and undoes journaled
 //! dirty state against the shared checkpoint; `clone` deep-clones the
@@ -68,7 +76,10 @@ use gem5_marvel::serve::{
     Workload,
 };
 use gem5_marvel::soc::{RunOutcome, System, Target};
-use gem5_marvel::telemetry::{append_jsonl_line, json_string, write_snapshot, Registry};
+use gem5_marvel::telemetry::{
+    append_jsonl_line, json_string, render_chrome_trace, render_phase_table, write_snapshot, PhaseId,
+    Registry, SpanCollector,
+};
 use gem5_marvel::workloads::{accel, mibench};
 use marvel_accel::FuConfig;
 use std::path::{Path, PathBuf};
@@ -160,15 +171,29 @@ fn path_flag(args: &Args, name: &str, default: &str) -> Option<PathBuf> {
     }
 }
 
-/// Build the observability config from `--metrics`, `--forensics` and
-/// `--progress [ms]`. Returns the config plus the export paths.
+/// Where the marvel-spans output of a command goes: the Chrome trace
+/// JSON path (`--trace-spans [path]`) and/or the printed attribution
+/// table (`--phase-report`). Both absent ⇒ span collection stays off.
+struct SpanOutputs {
+    trace: Option<PathBuf>,
+    report: bool,
+}
+
+/// Build the observability config from `--metrics`, `--forensics`,
+/// `--progress [ms]`, `--trace-spans` and `--phase-report`. Returns the
+/// config plus the export paths and span outputs.
 fn telemetry_from_args(
     args: &Args,
     metrics_default: &str,
     forensics_default: &str,
-) -> (TelemetryConfig, Option<PathBuf>, Option<PathBuf>) {
+    trace_default: &str,
+) -> (TelemetryConfig, Option<PathBuf>, Option<PathBuf>, SpanOutputs) {
     let metrics = path_flag(args, "metrics", metrics_default);
     let forensics = path_flag(args, "forensics", forensics_default);
+    let spans_out = SpanOutputs {
+        trace: path_flag(args, "trace-spans", trace_default),
+        report: args.switches.contains("phase-report"),
+    };
     let progress_interval_ms = if args.switches.contains("progress") {
         500
     } else {
@@ -181,8 +206,44 @@ fn telemetry_from_args(
         // Taint timelines ride the flight recorder, so --taint implies it.
         flight_capacity: if forensics.is_some() || taint { 64 } else { 0 },
         taint,
+        spans: if spans_out.trace.is_some() || spans_out.report {
+            SpanCollector::enabled()
+        } else {
+            SpanCollector::disabled()
+        },
     };
-    (tel, metrics, forensics)
+    (tel, metrics, forensics, spans_out)
+}
+
+/// Print the phase attribution table and/or write the Chrome trace JSON.
+/// The emitted trace is re-parsed with the service's JSON parser before
+/// it lands on disk — an artifact Perfetto cannot load must fail here,
+/// not in the browser.
+fn report_spans(spans: &SpanCollector, out: &SpanOutputs) -> Result<(), String> {
+    if !spans.is_enabled() {
+        return Ok(());
+    }
+    if out.report {
+        print!("{}", render_phase_table(&spans.report()));
+    }
+    if let Some(path) = &out.trace {
+        let json = render_chrome_trace(&spans.trace());
+        let parsed = gem5_marvel::serve::json::parse(&json)
+            .map_err(|e| format!("emitted span trace is not valid JSON: {e}"))?;
+        let events = parsed
+            .get("traceEvents")
+            .and_then(gem5_marvel::serve::json::Json::as_array)
+            .ok_or("emitted span trace has no traceEvents array")?
+            .len();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).map_err(|e| e.to_string())?;
+            }
+        }
+        std::fs::write(path, &json).map_err(|e| e.to_string())?;
+        eprintln!("span trace ({events} events, validated) written to {}", path.display());
+    }
+    Ok(())
 }
 
 /// Print the per-structure attribution table and export it next to the
@@ -262,7 +323,18 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     if lockstep {
         sys.enable_lockstep();
     }
-    match sys.run(200_000_000) {
+    let spans_out = SpanOutputs {
+        trace: path_flag(args, "trace-spans", "results/run_trace.json"),
+        report: args.switches.contains("phase-report"),
+    };
+    let spans = if spans_out.trace.is_some() || spans_out.report {
+        SpanCollector::enabled()
+    } else {
+        SpanCollector::disabled()
+    };
+    let outcome = spans.time(PhaseId::SimStepCpu, || sys.run(200_000_000));
+    report_spans(&spans, &spans_out)?;
+    match outcome {
         RunOutcome::Halted { cycles } => {
             if lockstep {
                 if let Some(d) = sys.lockstep_divergence() {
@@ -337,8 +409,12 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
     };
     let reset_mode = parse_reset_mode(args)?;
     let (ladder_rungs, convergence_exit) = parse_ladder(args)?;
-    let (telemetry, metrics_path, forensics_path) =
-        telemetry_from_args(args, "results/campaign_metrics.jsonl", "results/campaign_forensics.jsonl");
+    let (telemetry, metrics_path, forensics_path, spans_out) = telemetry_from_args(
+        args,
+        "results/campaign_metrics.jsonl",
+        "results/campaign_forensics.jsonl",
+        "results/campaign_trace.json",
+    );
     let cc = CampaignConfig {
         n_faults,
         kind,
@@ -354,7 +430,7 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
         "preparing golden run for {bench}/{isa} ({} prep) ...",
         if fast_prep { "reference fast-forward" } else { "cycle-level" }
     );
-    let golden = golden_for(bench, isa, fast_prep)?;
+    let golden = cc.telemetry.spans.time(PhaseId::GoldenPrep, || golden_for(bench, isa, fast_prep))?;
     golden.publish_metrics(&cc.telemetry.registry);
     eprintln!(
         "golden: {} cycles, injecting {} {:?} faults into {} ...",
@@ -453,6 +529,7 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
             fp.display()
         );
     }
+    report_spans(&cc.telemetry.spans, &spans_out)?;
     Ok(())
 }
 
@@ -531,17 +608,14 @@ fn cmd_dsa(args: &Args) -> Result<(), String> {
         .into_iter()
         .find(|d| d.name == name)
         .ok_or_else(|| format!("unknown design '{name}' (try `marvel list`)"))?;
-    let golden = DsaGolden::prepare((d.make)(FuConfig::uniform(fus)), 100_000_000);
-    println!(
-        "{name}: {} cycles fault-free, area {:.1} a.u., {} FUs/class",
-        golden.cycles,
-        golden.harness.accel.area(),
-        fus
-    );
     let reset_mode = parse_reset_mode(args)?;
     let (ladder_rungs, convergence_exit) = parse_ladder(args)?;
-    let (telemetry, metrics_path, forensics_path) =
-        telemetry_from_args(args, "results/dsa_metrics.jsonl", "results/dsa_forensics.jsonl");
+    let (telemetry, metrics_path, forensics_path, spans_out) = telemetry_from_args(
+        args,
+        "results/dsa_metrics.jsonl",
+        "results/dsa_forensics.jsonl",
+        "results/dsa_trace.json",
+    );
     let cc = CampaignConfig {
         n_faults,
         reset_mode,
@@ -550,6 +624,16 @@ fn cmd_dsa(args: &Args) -> Result<(), String> {
         telemetry,
         ..Default::default()
     };
+    let golden = cc
+        .telemetry
+        .spans
+        .time(PhaseId::GoldenPrep, || DsaGolden::prepare((d.make)(FuConfig::uniform(fus)), 100_000_000));
+    println!(
+        "{name}: {} cycles fault-free, area {:.1} a.u., {} FUs/class",
+        golden.cycles,
+        golden.harness.accel.area(),
+        fus
+    );
     if let Some(p) = &forensics_path {
         std::fs::remove_file(p).ok();
     }
@@ -585,6 +669,7 @@ fn cmd_dsa(args: &Args) -> Result<(), String> {
     if let Some(p) = &forensics_path {
         eprintln!("{dumps} flight-recorder dumps written to {}", p.display());
     }
+    report_spans(&cc.telemetry.spans, &spans_out)?;
     Ok(())
 }
 
@@ -686,11 +771,12 @@ fn main() -> ExitCode {
                  [--faults N] [--kind transient|permanent] [--hvf] [--seed S] [--prep ref|cycle]\n            \
                  [--reset-mode clone|dirty] [--ladder-rungs N] [--convergence-exit]\n            \
                  [--metrics [path]] [--forensics [path]] [--progress [ms]]\n            \
-                 [--taint] [--attribution [path]] [--trace-pipeline [dir]]\n  \
+                 [--taint] [--attribution [path]] [--trace-pipeline [dir]]\n            \
+                 [--trace-spans [path]] [--phase-report]\n  \
                  marvel dsa <design> [--faults N] [--fus N] [--reset-mode clone|dirty]\n            \
                  [--ladder-rungs N] [--convergence-exit]\n            \
                  [--metrics [path]] [--forensics [path]] [--progress [ms]]\n            \
-                 [--taint] [--attribution [path]]\n  \
+                 [--taint] [--attribution [path]] [--trace-spans [path]] [--phase-report]\n  \
                  marvel campaign ... [--journal path [--resume]] [--campaign-id id]\n  \
                  marvel serve [--root dir] [--addr host:port] [--workers N] [--shard N] [--once]\n  \
                  marvel submit <spec.json> [--root dir] [--spool]\n  \

@@ -41,6 +41,7 @@ fn config_for(spec: &CampaignSpec, workers: usize, reset: ResetMode) -> Campaign
         progress_interval_ms: 0,
         flight_capacity: 0,
         taint: spec.taint,
+        ..Default::default()
     });
     cc.workers = workers;
     cc.reset_mode = reset;

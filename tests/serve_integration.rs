@@ -7,8 +7,8 @@
 
 use gem5_marvel::core::TelemetryConfig;
 use gem5_marvel::serve::json::{self, Json};
-use gem5_marvel::serve::{request, wait_for_addr, CampaignSpec, Prepared};
-use gem5_marvel::telemetry::Registry;
+use gem5_marvel::serve::{request, request_text, wait_for_addr, CampaignSpec, Prepared};
+use gem5_marvel::telemetry::{Registry, SpanCollector};
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
 use std::sync::Mutex;
@@ -108,6 +108,26 @@ fn sigkilled_service_resumes_both_campaigns_with_identical_exports() {
         );
         std::thread::sleep(Duration::from_millis(100));
     }
+    // marvel-spans round-trip while the service is live: METRICS carries
+    // the per-phase totals spliced into the snapshot, PROFILE returns the
+    // attribution line, and the Prometheus exposition exposes both the
+    // phase series and the journal fsync histogram.
+    let m = request(&addr, "METRICS it-fft").expect("METRICS");
+    let v = json::parse(&m).expect("metrics line is JSON");
+    let phases = v.get("phases").expect("METRICS carries a phases object");
+    let dsa_calls =
+        phases.get("SimStepDsa").and_then(|p| p.get("calls")).and_then(Json::as_u64).unwrap_or(0);
+    assert!(dsa_calls >= 2, "phase totals reflect completed runs: {m}");
+    assert!(phases.get("JournalAppend").is_some(), "journal appends attributed: {m}");
+    let p = request(&addr, "PROFILE it-fft").expect("PROFILE");
+    let v = json::parse(&p).expect("profile line is JSON");
+    assert_eq!(v.get("type").and_then(Json::as_str), Some("profile"), "{p}");
+    assert!(v.get("wall_us").and_then(Json::as_u64).unwrap_or(0) > 0, "{p}");
+    assert!(v.get("phases").and_then(|ph| ph.get("GoldenPrep")).is_some(), "{p}");
+    let prom = request_text(&addr, "METRICS it-fft prom").expect("METRICS prom");
+    assert!(prom.contains("marvel_phase_self_microseconds{campaign=\"it-fft\""), "{prom}");
+    assert!(prom.contains("marvel_journal_fsync_ns_count{campaign=\"it-fft\"}"), "{prom}");
+
     server.kill().expect("SIGKILL server");
     server.wait().expect("reap server");
 
@@ -144,6 +164,7 @@ fn sigkilled_service_resumes_both_campaigns_with_identical_exports() {
             progress_interval_ms: 0,
             flight_capacity: 0,
             taint: spec.taint,
+            spans: SpanCollector::disabled(),
         });
         let prepared = Prepared::new(&spec, &cc).unwrap();
         let slots = Mutex::new(vec![None; FAULTS]);

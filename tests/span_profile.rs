@@ -1,0 +1,131 @@
+//! marvel-spans integration: the span layer's cross-cutting invariants,
+//! checked through the real campaign engine.
+//!
+//! 1. **Determinism** — phase *call counts* are a pure function of the
+//!    spec: the same seed driven at 1, 2 and 8 workers aggregates
+//!    identical per-phase counts (wall-times of course differ). Runs in
+//!    `Clone` reset mode, where even `RungRestore` is per-run and thus
+//!    worker-count-invariant; in `Dirty` mode only the
+//!    `DirtyReset + RungRestore` *sum* is invariant (each worker pays one
+//!    reclone whenever it inherits a permanently-faulted system).
+//! 2. **Trace validity** — the Chrome trace-event JSON parses with the
+//!    service's own JSON parser and every event is well-formed per the
+//!    trace-event spec (`"M"` metadata or complete `"X"` with ts/dur).
+//! 3. **Attribution coverage** — at workers=1 the phase report accounts
+//!    for most of the collector's wall clock. The CI profile-smoke step
+//!    enforces the release-build ≥90% bound on a real scenario; here the
+//!    bound is loose (debug build, shared CI runners) but still catches
+//!    a span that silently stops covering the simulation loop.
+
+use gem5_marvel::core::{run_campaign, CampaignConfig, Golden, ResetMode, TelemetryConfig};
+use gem5_marvel::cpu::CoreConfig;
+use gem5_marvel::ir::assemble;
+use gem5_marvel::isa::Isa;
+use gem5_marvel::serve::json::{self, Json};
+use gem5_marvel::soc::{System, Target};
+use gem5_marvel::telemetry::{render_chrome_trace, PhaseId, SpanCollector, TRACE_SCHEMA_VERSION};
+use gem5_marvel::workloads::mibench;
+
+const FAULTS: usize = 12;
+
+fn golden() -> Golden {
+    let bin = assemble(&mibench::build("crc32"), Isa::RiscV).unwrap();
+    let mut sys = System::new(CoreConfig::table2(Isa::RiscV));
+    sys.load_binary(&bin);
+    Golden::prepare(sys, 80_000_000).unwrap()
+}
+
+/// Run the reference campaign with spans on and return its collector.
+fn campaign_collector(golden: &Golden, workers: usize) -> SpanCollector {
+    let collector = SpanCollector::enabled();
+    let cc = CampaignConfig {
+        n_faults: FAULTS,
+        seed: 0xBEEF,
+        workers,
+        reset_mode: ResetMode::Clone,
+        ladder_rungs: 8,
+        telemetry: TelemetryConfig { spans: collector.clone(), ..Default::default() },
+        ..Default::default()
+    };
+    let res = run_campaign(golden, Target::PrfInt, &cc);
+    assert_eq!(res.records.len(), FAULTS);
+    collector
+}
+
+#[test]
+fn phase_counts_are_worker_count_invariant() {
+    let g = golden();
+    let rep1 = campaign_collector(&g, 1).report();
+    // Shape at workers=1: one span per run for every per-run phase (the
+    // Schedule span counts only successful claims, so it too equals the
+    // run count at any worker count), one ladder build.
+    assert_eq!(rep1.calls(PhaseId::LadderBuild), 1);
+    for phase in [
+        PhaseId::Schedule,
+        PhaseId::Inject,
+        PhaseId::SimStepCpu,
+        PhaseId::RungRestore,
+        PhaseId::ExportRecord,
+    ] {
+        assert_eq!(rep1.calls(phase), FAULTS as u64, "{} per-run", phase.name());
+    }
+    let base: Vec<u64> = PhaseId::ALL.iter().map(|&p| rep1.calls(p)).collect();
+    for workers in [2, 8] {
+        let rep = campaign_collector(&g, workers).report();
+        let counts: Vec<u64> = PhaseId::ALL.iter().map(|&p| rep.calls(p)).collect();
+        assert_eq!(
+            base, counts,
+            "phase call counts must not depend on worker count (workers={workers})"
+        );
+    }
+}
+
+#[test]
+fn chrome_trace_parses_and_events_are_well_formed() {
+    let g = golden();
+    let c = campaign_collector(&g, 2);
+    let text = render_chrome_trace(&c.trace());
+    let v = json::parse(&text).expect("trace is valid JSON");
+    assert_eq!(
+        v.get("otherData").and_then(|o| o.get("schema_version")).and_then(Json::as_u64),
+        Some(TRACE_SCHEMA_VERSION as u64)
+    );
+    let events = v.get("traceEvents").and_then(Json::as_array).expect("traceEvents array");
+    let (mut tracks, mut spans) = (0usize, 0usize);
+    for e in events {
+        match e.get("ph").and_then(Json::as_str) {
+            Some("M") => {
+                tracks += 1;
+                assert_eq!(e.get("name").and_then(Json::as_str), Some("thread_name"));
+                assert!(e.get("args").and_then(|a| a.get("name")).is_some(), "track has a name");
+            }
+            Some("X") => {
+                spans += 1;
+                assert!(e.get("name").and_then(Json::as_str).is_some(), "span has a phase name");
+                assert!(e.get("ts").and_then(Json::as_u64).is_some(), "span has a timestamp");
+                assert!(e.get("dur").and_then(Json::as_u64).is_some(), "span has a duration");
+                assert_eq!(e.get("cat").and_then(Json::as_str), Some("phase"));
+                assert!(e.get("tid").and_then(Json::as_u64).is_some());
+            }
+            other => panic!("unexpected event phase {other:?}"),
+        }
+    }
+    assert!(tracks >= 2, "at least the shared track plus one worker lane ({tracks})");
+    assert!(spans >= FAULTS, "per-run spans present ({spans})");
+}
+
+#[test]
+fn single_worker_report_attributes_most_wall_time() {
+    let g = golden();
+    let rep = campaign_collector(&g, 1).report();
+    let cov = rep.coverage();
+    assert!(
+        cov > 0.5,
+        "phase self-times cover {:.1}% of the collector wall clock \
+         (attributed {} µs of {} µs) — expected the simulation loop to dominate",
+        cov * 100.0,
+        rep.self_total_us(),
+        rep.wall_us
+    );
+    assert!(cov <= 1.0 + 1e-9, "self-time cannot exceed wall time at one worker ({cov})");
+}

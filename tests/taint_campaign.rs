@@ -38,6 +38,7 @@ fn matrix() -> [TelemetryConfig; 4] {
         progress_interval_ms: 0,
         flight_capacity: 64,
         taint,
+        ..Default::default()
     };
     let bare = |taint| TelemetryConfig { taint, ..Default::default() };
     [bare(false), bare(true), full(false), full(true)]
@@ -90,6 +91,7 @@ fn cpu_campaign_attributes_sdc_runs_with_timeline() {
             progress_interval_ms: 0,
             flight_capacity: 128,
             taint: true,
+            ..Default::default()
         },
         ..Default::default()
     };

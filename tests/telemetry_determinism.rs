@@ -10,7 +10,7 @@ use gem5_marvel::cpu::CoreConfig;
 use gem5_marvel::ir::assemble;
 use gem5_marvel::isa::Isa;
 use gem5_marvel::soc::{System, Target};
-use gem5_marvel::telemetry::Registry;
+use gem5_marvel::telemetry::{Registry, SpanCollector};
 use gem5_marvel::workloads::{accel, mibench};
 use marvel_accel::FuConfig;
 
@@ -30,6 +30,8 @@ fn full_telemetry() -> TelemetryConfig {
         progress_interval_ms: 0,
         flight_capacity: 64,
         taint: false,
+        // Span tracing rides along: it must be observational too.
+        spans: SpanCollector::enabled(),
     }
 }
 

@@ -6,12 +6,14 @@
 //! still catching structural regressions (e.g. an accidental lock or
 //! allocation per tick).
 
-use gem5_marvel::core::{run_one, CampaignConfig, FaultMask, FaultModel, Golden, TelemetryConfig};
+use gem5_marvel::core::{
+    run_one, run_one_spanned, CampaignConfig, FaultMask, FaultModel, Golden, TelemetryConfig,
+};
 use gem5_marvel::cpu::CoreConfig;
 use gem5_marvel::ir::assemble;
 use gem5_marvel::isa::Isa;
 use gem5_marvel::soc::{System, Target};
-use gem5_marvel::telemetry::Registry;
+use gem5_marvel::telemetry::{PhaseId, Registry, SpanCollector, SpanLane};
 use gem5_marvel::workloads::mibench;
 use std::time::Instant;
 
@@ -48,6 +50,7 @@ fn telemetry_overhead_is_bounded() {
             progress_interval_ms: 0,
             flight_capacity: 64,
             taint: false,
+            spans: SpanCollector::disabled(),
         },
         ..Default::default()
     };
@@ -64,6 +67,90 @@ fn telemetry_overhead_is_bounded() {
         "telemetry-on injection run took {ratio:.2}x the disabled-registry time \
          (off {t_off:.4}s, on {t_on:.4}s) — expected near-zero overhead"
     );
+}
+
+/// Span-tracing overhead guard (marvel-spans). The precision target is
+/// ≤3% with the collector enabled (a run enters a handful of phases, each
+/// two monotonic clock reads and a ring push) and exactly 0% disabled
+/// (a single `Option` branch per hook). Like the registry guard above,
+/// the asserting bound is a loose 1.5x so CI scheduler noise cannot
+/// flake it while structural regressions (per-phase allocation, a lock
+/// on the hot path) still trip it.
+#[test]
+fn span_tracing_overhead_is_bounded() {
+    let bin = assemble(&mibench::build("crc32"), Isa::RiscV).unwrap();
+    let mut sys = System::new(CoreConfig::table2(Isa::RiscV));
+    sys.load_binary(&bin);
+    let golden = Golden::prepare(sys, 80_000_000).unwrap();
+    // Bit 4321 lands in a *valid* L1D line (same mask as the registry
+    // guard above): the run must reach the post-injection simulation
+    // loop, so the SimStepCpu span is exercised — a bit in an invalid
+    // entry would return "masked immediately" from the fate probe
+    // without ever entering it.
+    let mask = FaultMask {
+        target: Target::L1D,
+        bits: vec![4321],
+        model: FaultModel::Transient { cycle: golden.ckpt_cycle + golden.exec_cycles / 2 },
+    };
+    let cc = CampaignConfig { n_faults: 1, ..Default::default() };
+
+    let collector = SpanCollector::enabled();
+    let mut on = collector.lane("overhead-guard");
+    let mut off = SpanLane::disabled();
+    // Warm up both paths, then compare medians over the same run count.
+    run_one_spanned(&golden, None, &mask, &cc, None, &mut off);
+    run_one_spanned(&golden, None, &mask, &cc, None, &mut on);
+    let median = |lane: &mut SpanLane| -> f64 {
+        let mut times: Vec<f64> = (0..7)
+            .map(|i| {
+                lane.begin_run(i);
+                let t0 = Instant::now();
+                let rec = run_one_spanned(&golden, None, &mask, &cc, None, lane);
+                let dt = t0.elapsed().as_secs_f64();
+                lane.end_run();
+                assert!(rec.cycles > 0);
+                dt
+            })
+            .collect();
+        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        times[times.len() / 2]
+    };
+    let t_off = median(&mut off);
+    let t_on = median(&mut on);
+    drop(on);
+
+    // The enabled run actually collected: phases aggregated, run trees kept.
+    let rep = collector.report();
+    assert!(rep.calls(PhaseId::SimStepCpu) >= 8, "spans collected: {:?}", rep.rows);
+
+    let ratio = t_on / t_off.max(1e-12);
+    assert!(
+        ratio < 1.5,
+        "span-traced injection run took {ratio:.2}x the disabled-lane time \
+         (off {t_off:.4}s, on {t_on:.4}s) — target is ≤3% overhead"
+    );
+}
+
+/// Disabled span hooks must be free: no events, no allocation, no state.
+#[test]
+fn disabled_span_lane_collects_nothing() {
+    let collector = SpanCollector::disabled();
+    assert!(!collector.is_enabled());
+    let mut lane = collector.lane("ghost");
+    for i in 0..10_000 {
+        lane.begin_run(i);
+        lane.enter(PhaseId::SimStepCpu);
+        lane.enter(PhaseId::ConvergenceDiff);
+        lane.exit(PhaseId::ConvergenceDiff);
+        lane.exit(PhaseId::SimStepCpu);
+        lane.end_run();
+    }
+    drop(lane);
+    collector.time(PhaseId::GoldenPrep, || {});
+    let rep = collector.report();
+    assert!(rep.rows.is_empty(), "disabled collector aggregated phases: {:?}", rep.rows);
+    let trace = collector.trace();
+    assert!(trace.lanes.is_empty() && trace.external.outer.is_empty() && trace.external.runs.is_empty());
 }
 
 #[test]
