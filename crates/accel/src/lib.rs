@@ -43,10 +43,12 @@ pub mod air;
 pub mod dma;
 pub mod engine;
 pub mod mmr;
+pub mod schedule;
 pub mod sram;
 
 pub use air::{Cdfg, CdfgBuilder, MemRef, NodeId, NodeOp};
 pub use dma::{DmaDir, DmaEngine, DmaJob};
-pub use engine::{AccelError, AccelState, AccelStats, Accelerator, FuConfig};
+pub use engine::{AccelEngine, AccelError, AccelState, AccelStats, Accelerator, FuConfig};
 pub use mmr::Mmr;
+pub use schedule::{build_schedule, BlockSchedule, GoldenTrace, MemTiming, StaticSchedule};
 pub use sram::{Sram, SramFate, SramKind};

@@ -109,6 +109,25 @@ impl Sram {
         Some(u64::from_le_bytes(out))
     }
 
+    /// The observable side effects of a [`read`](Self::read) without the
+    /// data: access tally and armed-bit fate. The replay engine's
+    /// memoized loads use this — the value comes from the golden trace,
+    /// but early-termination polls and forensics still see the access.
+    /// Returns `false` when the access would be out of bounds.
+    pub fn touch_read(&mut self, off: u64, n: usize) -> bool {
+        let off = off as usize;
+        if off + n > self.bytes.len() {
+            return false;
+        }
+        self.reads += 1;
+        if let Some((b, fate)) = &mut self.armed {
+            if *fate == SramFate::Pending && *b >= off && *b < off + n {
+                *fate = SramFate::Read;
+            }
+        }
+        true
+    }
+
     /// Write `n ≤ 8` bytes at `off`.
     pub fn write(&mut self, off: u64, n: usize, val: u64) -> Option<()> {
         let off = off as usize;

@@ -1,8 +1,9 @@
 //! Campaign throughput rig: for each scenario, a *base* mode against an
-//! *opt* mode — clone-per-run vs the zero-copy dirty reset, and the
-//! full-prefix oracle vs the checkpoint ladder + dirty-diff convergence
-//! exit — over transient and permanent faults on both the CPU and DSA
-//! sides.
+//! *opt* mode — clone-per-run vs the zero-copy dirty reset on the CPU
+//! side, the cycle-exact oracle vs the event-driven static-schedule
+//! engine on the DSA side, and the full-prefix oracle vs the checkpoint
+//! ladder + dirty-diff convergence exit — over transient and permanent
+//! faults on both the CPU and DSA sides.
 //!
 //! Not a criterion target: the clone/dirty scenarios time every injection
 //! run individually so they can report runs/sec plus p50/p95 per-run
@@ -12,10 +13,15 @@
 //! (`BENCH_campaign.json` at the workspace root, or `$BENCH_CAMPAIGN_JSON`)
 //! for CI to archive.
 //!
-//! Two headline scenarios:
+//! Three headline scenarios:
 //!   * `cpu_prf_transient` — transient faults into the integer PRF of a
 //!     short-window kernel, where most runs terminate early: under clone
 //!     mode the checkpoint memcpy dominates wall-clock.
+//!   * `dsa_spm_transient` — transient SPM faults on the FFT accelerator,
+//!     cycle-exact oracle vs the event-driven engine with memoized golden
+//!     replay on a shared dirty reset. The event engine must buy ≥10×
+//!     (enforced at the bottom of `main`); exports stay byte-identical
+//!     (see `tests/dsa_engine_differential.rs`).
 //!   * `dsa_spm_late_transient` — transients windowed into the late 20% of
 //!     the accelerator run, where the full-prefix engine re-simulates ≥80%
 //!     of the golden run fault-free before the flip even lands. The
@@ -24,8 +30,9 @@
 //!     `tests/ladder_differential.rs`).
 
 use marvel_core::{
-    campaign_masks, run_dsa_masks, run_masks, run_one_in, CampaignConfig, DsaGolden, DsaHarness,
-    FaultKind, FaultMask, Golden, MaskGenerator, ResetMode, Target, TelemetryConfig, WorkerCtx,
+    campaign_masks, run_dsa_masks, run_masks, run_one_in, CampaignConfig, DsaEngine, DsaGolden,
+    DsaHarness, FaultKind, FaultMask, Golden, MaskGenerator, ResetMode, Target, TelemetryConfig,
+    WorkerCtx,
 };
 use marvel_cpu::CoreConfig;
 use marvel_ir::{assemble, FuncBuilder, Module};
@@ -111,6 +118,9 @@ fn sample_campaign(n: usize, run: impl FnOnce()) -> Sample {
 
 struct Mode {
     label: &'static str,
+    /// Which DSA simulation engine drove the mode (`None` on the CPU
+    /// side, where the knob does not exist).
+    engine: Option<&'static str>,
     s: Sample,
 }
 
@@ -138,13 +148,19 @@ impl Scenario {
 /// handling (dirty reset; ladder when the scenario uses one) with span
 /// tracing enabled, single-threaded so per-phase self-times attribute
 /// the scenario's whole wall clock.
-fn profile_config(kind: FaultKind, rungs: usize, spans: &SpanCollector) -> CampaignConfig {
+fn profile_config(
+    kind: FaultKind,
+    rungs: usize,
+    engine: DsaEngine,
+    spans: &SpanCollector,
+) -> CampaignConfig {
     CampaignConfig {
         kind,
         workers: 1,
         reset_mode: ResetMode::Dirty,
         ladder_rungs: rungs,
         convergence_exit: rungs > 0,
+        dsa_engine: engine,
         telemetry: TelemetryConfig { spans: spans.clone(), ..Default::default() },
         ..Default::default()
     }
@@ -152,7 +168,7 @@ fn profile_config(kind: FaultKind, rungs: usize, spans: &SpanCollector) -> Campa
 
 fn profile_cpu(golden: &Golden, masks: &[FaultMask], kind: FaultKind, rungs: usize) -> String {
     let spans = SpanCollector::enabled();
-    run_masks(golden, masks, &profile_config(kind, rungs, &spans));
+    run_masks(golden, masks, &profile_config(kind, rungs, DsaEngine::Cycle, &spans));
     render_phase_object(&spans.report())
 }
 
@@ -162,9 +178,10 @@ fn profile_dsa(
     masks: &[FaultMask],
     kind: FaultKind,
     rungs: usize,
+    engine: DsaEngine,
 ) -> String {
     let spans = SpanCollector::enabled();
-    run_dsa_masks(golden, target, masks, &profile_config(kind, rungs, &spans));
+    run_dsa_masks(golden, target, masks, &profile_config(kind, rungs, engine, &spans));
     render_phase_object(&spans.report())
 }
 
@@ -205,8 +222,8 @@ fn cpu_scenario(
         target: target.name(),
         kind: kind_name(kind),
         runs: n,
-        base: Mode { label: "clone", s: clone },
-        opt: Mode { label: "dirty", s: dirty },
+        base: Mode { label: "clone", engine: None, s: clone },
+        opt: Mode { label: "dirty", engine: None, s: dirty },
         phases: profile_cpu(golden, &masks, kind, 0),
     }
 }
@@ -220,6 +237,12 @@ fn kind_name(kind: FaultKind) -> &'static str {
     }
 }
 
+/// Cycle-exact oracle vs the event-driven static-schedule engine with
+/// memoized golden replay, both on the zero-copy dirty reset so the
+/// measured ratio isolates the simulation engine itself. This is the
+/// headline DSA comparison: the event engine must buy ≥10× on
+/// `dsa_spm_transient` (enforced at the bottom of `main`) while staying
+/// byte-identical to the oracle (`tests/dsa_engine_differential.rs`).
 fn dsa_scenario(name: &'static str, golden: &DsaGolden, kind: FaultKind, n: usize) -> Scenario {
     let target = Target::Spm { accel: 0, mem: 0 };
     let bit_len = golden.harness.accel.spms[0].bit_len();
@@ -227,20 +250,28 @@ fn dsa_scenario(name: &'static str, golden: &DsaGolden, kind: FaultKind, n: usiz
     let masks = gen.single_bit(target, bit_len, kind, 1..golden.cycles.max(2), n);
     let watchdog = golden.cycles * 3 + 10_000;
 
+    let mut reusable: Box<DsaHarness> = Box::new(golden.harness.clone());
     let mut it = masks.iter().cycle();
-    let clone = sample(
+    let cycle = sample(
         || {
-            let mut h = golden.harness.clone();
-            let _ = h.run(Some(it.next().unwrap()), watchdog);
+            reusable.reset_from(&golden.harness);
+            let _ = reusable.run(Some(it.next().unwrap()), watchdog);
         },
         n,
     );
 
+    // Event mode: the reset restores the base harness's cycle engine, so
+    // each run re-selects the event engine and re-arms the taint planes
+    // the replay memoizer keys on — exactly what the campaign driver does
+    // per run.
     let mut reusable: Box<DsaHarness> = Box::new(golden.harness.clone());
     let mut it = masks.iter().cycle();
-    let dirty = sample(
+    let tname = target.name();
+    let event = sample(
         || {
             reusable.reset_from(&golden.harness);
+            reusable.accel.set_engine_event();
+            reusable.accel.enable_taint(&tname);
             let _ = reusable.run(Some(it.next().unwrap()), watchdog);
         },
         n,
@@ -252,9 +283,9 @@ fn dsa_scenario(name: &'static str, golden: &DsaGolden, kind: FaultKind, n: usiz
         target: target.name(),
         kind: kind_name(kind),
         runs: n,
-        base: Mode { label: "clone", s: clone },
-        opt: Mode { label: "dirty", s: dirty },
-        phases: profile_dsa(golden, target, &masks, kind, 0),
+        base: Mode { label: "dirty", engine: Some("cycle"), s: cycle },
+        opt: Mode { label: "dirty", engine: Some("event"), s: event },
+        phases: profile_dsa(golden, target, &masks, kind, 0, DsaEngine::Event),
     }
 }
 
@@ -268,6 +299,10 @@ fn ladder_config(rungs: usize) -> CampaignConfig {
         reset_mode: ResetMode::Dirty,
         ladder_rungs: rungs,
         convergence_exit: rungs > 0,
+        // Pinned to the cycle oracle on both sides of the comparison so
+        // the ≥2× ladder floor keeps measuring prefix elimination alone,
+        // not the (much larger) event-engine win measured above.
+        dsa_engine: DsaEngine::Cycle,
         ..Default::default()
     }
 }
@@ -297,8 +332,8 @@ fn cpu_ladder_scenario(name: &'static str, golden: &Golden, n: usize) -> Scenari
         target: Target::PrfInt.name(),
         kind: "transient",
         runs: n,
-        base: Mode { label: "full_prefix", s: base },
-        opt: Mode { label: "ladder8+conv", s: opt },
+        base: Mode { label: "full_prefix", engine: None, s: base },
+        opt: Mode { label: "ladder8+conv", engine: None, s: opt },
         phases: profile_cpu(golden, &masks, FaultKind::Transient, 8),
     }
 }
@@ -323,9 +358,9 @@ fn dsa_ladder_scenario(name: &'static str, golden: &DsaGolden, n: usize) -> Scen
         target: target.name(),
         kind: "transient",
         runs: n,
-        base: Mode { label: "full_prefix", s: base },
-        opt: Mode { label: "ladder8+conv", s: opt },
-        phases: profile_dsa(golden, target, &masks, FaultKind::Transient, 8),
+        base: Mode { label: "full_prefix", engine: Some("cycle"), s: base },
+        opt: Mode { label: "ladder8+conv", engine: Some("cycle"), s: opt },
+        phases: profile_dsa(golden, target, &masks, FaultKind::Transient, 8, DsaEngine::Cycle),
     }
 }
 
@@ -334,15 +369,19 @@ fn json_opt(v: Option<f64>) -> String {
 }
 
 fn emit_json(scenarios: &[Scenario], path: &str) {
-    // v3: adds the per-scenario "phases" object (per-phase call counts
-    // and self/total µs from a spans-enabled profiling pass).
-    let mut out = String::from("{\n  \"schema_version\": 3,\n  \"scenarios\": [\n");
+    // v4: DSA modes carry an "engine" key ("cycle" | "event") and the
+    // dsa_* scenarios compare the cycle-exact oracle against the
+    // event-driven static-schedule engine on a shared dirty reset.
+    // (v3 added the per-scenario "phases" object.)
+    let mut out = String::from("{\n  \"schema_version\": 4,\n  \"scenarios\": [\n");
     for (i, s) in scenarios.iter().enumerate() {
         let sep = if i + 1 < scenarios.len() { "," } else { "" };
         let mode = |m: &Mode| {
+            let engine = m.engine.map_or_else(String::new, |e| format!("\"engine\": \"{e}\", "));
             format!(
-                "{{\"mode\": \"{}\", \"runs_per_sec\": {:.1}, \"p50_us\": {}, \"p95_us\": {}}}",
+                "{{\"mode\": \"{}\", {}\"runs_per_sec\": {:.1}, \"p50_us\": {}, \"p95_us\": {}}}",
                 m.label,
+                engine,
                 m.s.runs_per_sec,
                 json_opt(m.s.p50_us),
                 json_opt(m.s.p95_us),
@@ -434,5 +473,16 @@ fn main() {
         dsa_late.speedup() >= 2.0,
         "checkpoint ladder speedup regressed: {:.2}x < 2.0x on dsa_spm_late_transient",
         dsa_late.speedup()
+    );
+
+    // Acceptance floor for the event-driven engine: ≥10× the cycle-exact
+    // oracle on the headline transient-SPM campaign. The margin is wide —
+    // the oracle scans every node every cycle while replay memoizes all
+    // but the taint cone — so this too holds on loaded CI runners.
+    let dsa_t = scenarios.iter().find(|s| s.name == "dsa_spm_transient").unwrap();
+    assert!(
+        dsa_t.speedup() >= 10.0,
+        "event-engine speedup regressed: {:.2}x < 10.0x on dsa_spm_transient",
+        dsa_t.speedup()
     );
 }

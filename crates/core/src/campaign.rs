@@ -113,6 +113,33 @@ impl ResetMode {
     }
 }
 
+/// Which stepping engine DSA campaigns drive the accelerator with.
+///
+/// Both engines produce bit-identical campaign results (the engine
+/// differential test pins this); they differ only in cost. Event falls
+/// back to Cycle automatically when a design is unschedulable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DsaEngine {
+    /// Tick-every-cycle CDFG execution — the original oracle, kept
+    /// selectable for differential testing.
+    Cycle,
+    /// Event-driven stepping over the precomputed static schedule with
+    /// memoized golden-trace replay.
+    #[default]
+    Event,
+}
+
+impl DsaEngine {
+    /// Parse a CLI flag value.
+    pub fn parse(s: &str) -> Option<DsaEngine> {
+        match s {
+            "cycle" => Some(DsaEngine::Cycle),
+            "event" => Some(DsaEngine::Event),
+            _ => None,
+        }
+    }
+}
+
 /// Campaign-wide configuration.
 #[derive(Debug, Clone)]
 pub struct CampaignConfig {
@@ -140,6 +167,9 @@ pub struct CampaignConfig {
     /// same cycle and terminate as Masked on exact match. Requires a
     /// ladder (`ladder_rungs > 0`) to have any effect.
     pub convergence_exit: bool,
+    /// Accelerator stepping engine for DSA campaigns (ignored by CPU
+    /// campaigns). Event by default; Cycle is the differential oracle.
+    pub dsa_engine: DsaEngine,
     /// Observability (metrics, progress line, flight recorder).
     pub telemetry: TelemetryConfig,
 }
@@ -158,6 +188,7 @@ impl Default for CampaignConfig {
             reset_mode: ResetMode::default(),
             ladder_rungs: 0,
             convergence_exit: false,
+            dsa_engine: DsaEngine::default(),
             telemetry: TelemetryConfig::default(),
         }
     }

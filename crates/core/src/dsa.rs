@@ -6,13 +6,16 @@
 //! non-masked fault is architecturally visible, so only the AVF classes
 //! are reported.
 
-use crate::campaign::{taint_finish, CampaignConfig, DriveOutcome, FaultEffect, ResetMode, RunRecord};
+use crate::campaign::{
+    taint_finish, CampaignConfig, DriveOutcome, DsaEngine, FaultEffect, ResetMode, RunRecord,
+};
 use crate::fault::{FaultMask, FaultModel, MaskGenerator};
 use crate::stats::error_margin;
 use marvel_accel::{AccelState, Accelerator, DmaEngine, DmaJob, SramFate};
 use marvel_soc::Target;
-use marvel_telemetry::{Event, FlightRecorder, PhaseId, ProgressMeter, Scope, SpanLane};
+use marvel_telemetry::{Event, FlightRecorder, PhaseId, ProgressMeter, Scope, SpanCollector, SpanLane};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// A self-contained accelerator experiment: the accelerator, a private RAM
 /// buffer, DMA plans and entry arguments.
@@ -134,27 +137,42 @@ impl DsaHarness {
         });
 
         let mut st = DsaSimState::start(self);
+        let mut armed = inject_at.is_none();
         loop {
-            st.cycle += 1;
-            if st.cycle > watchdog {
+            // Bulk-advance to the next special cycle; every special cycle
+            // itself goes through the single-cycle path below so event
+            // ordering matches the historical per-cycle loop exactly.
+            let mut stop = watchdog;
+            if !armed {
+                if let Some(c) = inject_at {
+                    stop = stop.min(c.saturating_sub(1));
+                }
+            }
+            if stop > st.cycle {
+                if let Some(o) = self.advance_sim(&mut st, stop, fr) {
+                    return o;
+                }
+            }
+            if st.cycle + 1 > watchdog {
+                st.cycle += 1;
                 fr.record(st.cycle, Event::Trap { tag: "watchdog" });
                 return DsaOutcome::Timeout;
             }
-            if let Some(c) = inject_at {
-                if st.cycle == c {
-                    let m = mask.unwrap().clone();
-                    self.apply(&m, None);
-                    fr.record(
-                        st.cycle,
-                        Event::FaultArmed {
-                            target: m.target.name(),
-                            bit: m.bits.first().copied().unwrap_or(0),
-                            model: "transient",
-                        },
-                    );
-                }
+            if !armed && inject_at == Some(st.cycle + 1) {
+                let m = mask.unwrap().clone();
+                self.apply(&m, None);
+                fr.record(
+                    st.cycle + 1,
+                    Event::FaultArmed {
+                        target: m.target.name(),
+                        bit: m.bits.first().copied().unwrap_or(0),
+                        model: "transient",
+                    },
+                );
+                armed = true;
             }
-            if let Some(o) = self.step_sim(&mut st, fr) {
+            let one = st.cycle + 1;
+            if let Some(o) = self.advance_sim(&mut st, one, fr) {
                 return o;
             }
         }
@@ -215,6 +233,59 @@ impl DsaHarness {
         }
         None
     }
+
+    /// Advance the run up to absolute cycle `limit` (or a terminal
+    /// outcome, whichever comes first). Semantically identical to calling
+    /// [`step_sim`](Self::step_sim) once per cycle; when the accelerator
+    /// is on the event engine, the compute phase instead jumps between
+    /// schedule events via [`Accelerator::advance`], bulk-charging the
+    /// skipped cycles. DMA phases move bytes every cycle and stay
+    /// cycle-stepped either way.
+    fn advance_sim(
+        &mut self,
+        st: &mut DsaSimState,
+        limit: u64,
+        fr: &mut FlightRecorder,
+    ) -> Option<DsaOutcome> {
+        if !self.accel.event_engine() {
+            while st.cycle < limit {
+                st.cycle += 1;
+                if let Some(o) = self.step_sim(st, fr) {
+                    return Some(o);
+                }
+            }
+            return None;
+        }
+        while st.cycle < limit {
+            if st.phase != 1 {
+                st.cycle += 1;
+                if let Some(o) = self.step_sim(st, fr) {
+                    return Some(o);
+                }
+                continue;
+            }
+            let (state, used) = self.accel.advance(limit - st.cycle);
+            st.cycle += used;
+            match state {
+                AccelState::Done => {
+                    fr.record(
+                        st.cycle,
+                        Event::Note { label: "compute_cycles", value: self.accel.stats.compute_cycles },
+                    );
+                    for j in &self.jobs_out {
+                        st.dma.push(*j);
+                    }
+                    st.phase = 2;
+                }
+                AccelState::Error(_) => {
+                    fr.record(st.cycle, Event::Trap { tag: "accel-error" });
+                    return Some(DsaOutcome::Error { cycles: st.cycle });
+                }
+                _ => {}
+            }
+        }
+        None
+    }
 }
 
 /// Mid-run simulation state of a harness run — the DMA engine, phase
@@ -261,22 +332,69 @@ pub struct DsaGolden {
 }
 
 impl DsaGolden {
-    /// Execute the fault-free run.
+    /// Execute the fault-free run, then arm the event engine: build the
+    /// static CDFG schedule, record the golden node-firing trace with an
+    /// event-engine run (self-checked bit-for-bit against the cycle
+    /// oracle), and install both on the stored pristine harness. The
+    /// harness itself stays on the cycle engine — campaign drivers opt
+    /// runs into the event engine per [`CampaignConfig::dsa_engine`].
+    /// Designs the schedule builder rejects simply stay cycle-only.
     ///
     /// # Panics
-    /// Panics if the fault-free run errors or times out (a design bug).
+    /// Panics if the fault-free run errors or times out (a design bug),
+    /// or if the event engine disagrees with the cycle oracle.
     pub fn prepare(harness: DsaHarness, watchdog: u64) -> DsaGolden {
-        let mut h = harness.clone();
-        match h.run(None, watchdog) {
-            DsaOutcome::Done { output, cycles } => DsaGolden { harness, output, cycles },
-            o => panic!("fault-free DSA run failed: {o:?}"),
-        }
+        Self::prepare_spanned(harness, watchdog, &SpanCollector::disabled())
+    }
+
+    /// [`prepare`](Self::prepare) with phase spans: the cycle-oracle run
+    /// lands in [`PhaseId::GoldenPrep`], the schedule build plus trace
+    /// recording in [`PhaseId::ScheduleBuild`].
+    pub fn prepare_spanned(mut harness: DsaHarness, watchdog: u64, spans: &SpanCollector) -> DsaGolden {
+        let (output, cycles) = spans.time(PhaseId::GoldenPrep, || {
+            let mut h = harness.clone();
+            match h.run(None, watchdog) {
+                DsaOutcome::Done { output, cycles } => (output, cycles),
+                o => panic!("fault-free DSA run failed: {o:?}"),
+            }
+        });
+        spans.time(PhaseId::ScheduleBuild, || {
+            if harness.accel.prepare_event_engine() {
+                let mut h = harness.clone();
+                h.accel.set_engine_event();
+                h.accel.begin_trace_recording();
+                match h.run(None, watchdog) {
+                    DsaOutcome::Done { output: o2, cycles: c2 } => {
+                        assert!(
+                            o2 == output && c2 == cycles,
+                            "event engine diverged from the cycle oracle on the golden run \
+                             (cycles {c2} vs {cycles})"
+                        );
+                        let trace = h.accel.take_trace().expect("trace recording was armed");
+                        harness.accel.arm_replay(Arc::new(trace));
+                    }
+                    o => panic!("event-engine golden run failed: {o:?}"),
+                }
+            }
+        });
+        DsaGolden { harness, output, cycles }
     }
 
     /// Replay the fault-free run once more, freezing `n_rungs` evenly
     /// spaced [`DsaLadderRung`]s strictly inside the injection window.
     /// Built once per campaign and shared read-only across workers.
     pub fn build_ladder(&self, n_rungs: usize) -> DsaLadder {
+        self.build_ladder_engine(n_rungs, false)
+    }
+
+    /// [`build_ladder`](Self::build_ladder), optionally replayed on the
+    /// event engine. Rungs must be frozen by the same engine that later
+    /// drives runs from them: the engines agree on architectural state at
+    /// every cycle, but the event engine retires lazily, so mid-block
+    /// bookkeeping (and the replay cursors) only line up engine-to-engine.
+    /// The event ladder also enables the taint shadow planes, which event
+    /// runs need for replay memoization.
+    pub fn build_ladder_engine(&self, n_rungs: usize, event: bool) -> DsaLadder {
         let mut ladder = DsaLadder::default();
         if n_rungs == 0 || self.cycles < 2 {
             return ladder;
@@ -287,16 +405,16 @@ impl DsaGolden {
             .collect();
         cycles.dedup();
         let mut h = self.harness.clone();
+        if event && h.accel.set_engine_event() {
+            h.accel.enable_taint("ladder");
+        }
         let mut st = DsaSimState::start(&mut h);
         let mut fr = FlightRecorder::disabled();
         for &c in &cycles {
-            while st.cycle < c {
-                st.cycle += 1;
-                if h.step_sim(&mut st, &mut fr).is_some() {
-                    // Fault-free run ended before the window did (cannot
-                    // happen for rungs < self.cycles); stop defensively.
-                    return ladder;
-                }
+            if h.advance_sim(&mut st, c, &mut fr).is_some() {
+                // Fault-free run ended before the window did (cannot
+                // happen for rungs < self.cycles); stop defensively.
+                return ladder;
             }
             ladder.rungs.push(DsaLadderRung { cycle: c, harness: h.clone(), sim: st.clone() });
         }
@@ -441,19 +559,49 @@ fn drive_run(
     }
     let mut armed = inject_at.is_none();
     lane.enter(PhaseId::SimStepDsa);
+    let event = h.accel.event_engine();
+    if event {
+        // Sub-attribute event-driven stepping (schedule jumps + golden
+        // replay) under the sim-step lane so the span report separates
+        // the two drive paths.
+        lane.enter(PhaseId::TraceReplay);
+    }
     let end = loop {
-        st.cycle += 1;
-        if st.cycle > watchdog {
+        // Bulk-advance to the next special cycle (injection, ladder rung,
+        // fate poll, watchdog); each special cycle then goes through the
+        // single-cycle path so check ordering matches the historical
+        // per-cycle loop exactly.
+        let mut stop = watchdog;
+        if !armed {
+            if let Some(c) = inject_at {
+                stop = stop.min(c.saturating_sub(1));
+            }
+        }
+        if let Some(l) = ladder {
+            if next_rung < l.rungs.len() {
+                stop = stop.min(l.rungs[next_rung].cycle.saturating_sub(1));
+            }
+        }
+        if cc.early_termination && armed && mask.model.is_transient() {
+            stop = stop.min((st.cycle / 1024 + 1) * 1024 - 1);
+        }
+        if stop > st.cycle {
+            if let Some(o) = h.advance_sim(st, stop, fr) {
+                break DsaRunEnd::Finished(o);
+            }
+        }
+        if st.cycle + 1 > watchdog {
+            st.cycle += 1;
             fr.record(st.cycle, Event::Trap { tag: "watchdog" });
             break DsaRunEnd::Finished(DsaOutcome::Timeout);
         }
-        if inject_at == Some(st.cycle) {
+        if !armed && inject_at == Some(st.cycle + 1) {
             lane.enter(PhaseId::Inject);
             h.apply(mask, None);
             lane.exit(PhaseId::Inject);
             armed = true;
             fr.record(
-                st.cycle,
+                st.cycle + 1,
                 Event::FaultArmed {
                     target: mask.target.name(),
                     bit: mask.bits.first().copied().unwrap_or(0),
@@ -461,7 +609,8 @@ fn drive_run(
                 },
             );
         }
-        if let Some(o) = h.step_sim(st, fr) {
+        let one = st.cycle + 1;
+        if let Some(o) = h.advance_sim(st, one, fr) {
             break DsaRunEnd::Finished(o);
         }
         // Ladder-rung crossing: dirty-diff convergence exit. DSA state is
@@ -507,6 +656,9 @@ fn drive_run(
             break DsaRunEnd::MaskedEarly { cycles: st.cycle };
         }
     };
+    if event {
+        lane.exit(PhaseId::TraceReplay);
+    }
     lane.exit(PhaseId::SimStepDsa);
     end
 }
@@ -537,7 +689,9 @@ pub fn build_dsa_ladder(golden: &DsaGolden, cc: &CampaignConfig) -> DsaLadder {
     }
     cc.telemetry.spans.time(PhaseId::LadderBuild, || {
         let t0 = std::time::Instant::now();
-        let ladder = golden.build_ladder(cc.ladder_rungs);
+        // Rungs must be frozen by the engine that will drive runs from
+        // them — see `build_ladder_engine`.
+        let ladder = golden.build_ladder_engine(cc.ladder_rungs, dsa_event_engine(golden, cc));
         if !ladder.is_empty() {
             let reg = &cc.telemetry.registry;
             let scope = Scope::new("dsa");
@@ -588,6 +742,15 @@ pub fn run_dsa_masks(
     }
 }
 
+/// Whether a campaign drives runs on the event engine: the config opted
+/// in *and* golden prep armed a schedule + replay trace (designs the
+/// schedule builder rejects fall back to the cycle oracle silently —
+/// both engines are bit-identical, so the fallback is purely a speed
+/// question).
+fn dsa_event_engine(golden: &DsaGolden, cc: &CampaignConfig) -> bool {
+    cc.dsa_engine == DsaEngine::Event && golden.harness.accel.replay_armed()
+}
+
 /// Incrementally drive the subset of `masks` *not* marked in `skip`
 /// through the DSA worker pool, handing each finished [`RunRecord`] to
 /// `sink` as it lands (completion order, tagged with its mask index).
@@ -608,6 +771,7 @@ pub fn drive_dsa_masks(
     let bit_len = golden.harness.bit_len(target);
     let next = AtomicUsize::new(0);
     let watchdog = golden.cycles * cc.watchdog_factor + 10_000;
+    let event = dsa_event_engine(golden, cc);
 
     let tel = &cc.telemetry;
     let scope = Scope::new("dsa");
@@ -741,7 +905,19 @@ pub fn drive_dsa_masks(
                             h
                         }
                     };
-                    if taint {
+                    // Pin the drive engine after positioning — resets copy
+                    // the base's engine, and the pristine golden harness
+                    // stays on the cycle oracle.
+                    if event {
+                        h.accel.set_engine_event();
+                    } else {
+                        h.accel.set_engine_cycle();
+                    }
+                    // The event engine needs the shadow planes even in
+                    // non-taint campaigns: replay memoization is gated on
+                    // untainted inputs.
+                    let planes = taint || event;
+                    if planes {
                         // Before arming: the injection seeds the shadow
                         // planes. The fault-free prefix carries no taint,
                         // so enabling at a rung matches enabling at cycle 0.
@@ -750,7 +926,7 @@ pub fn drive_dsa_masks(
                     let mut st = match base {
                         Some(r) => {
                             let mut st = r.sim.clone();
-                            if taint && st.ram_shadow.is_empty() {
+                            if planes && st.ram_shadow.is_empty() {
                                 st.ram_shadow = vec![0u8; h.ram.len()];
                             }
                             st
@@ -821,7 +997,14 @@ pub fn drive_dsa_masks(
                     if run_cycles.is_some() {
                         b_cycles.push(cycles);
                     }
-                    let attribution = taint_finish(h.accel.taint_tracer().map(|t| t.report()), &mut fr);
+                    // Attribution only when the user asked for taint —
+                    // planes enabled solely for replay memoization must
+                    // not change exports vs the cycle oracle.
+                    let attribution = if taint {
+                        taint_finish(h.accel.taint_tracer().map(|t| t.report()), &mut fr)
+                    } else {
+                        None
+                    };
                     let forensics =
                         (fr.is_enabled() && effect != FaultEffect::Masked).then(|| fr.take());
                     lane.enter(PhaseId::ExportRecord);

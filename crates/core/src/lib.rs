@@ -31,8 +31,8 @@ pub mod stats;
 pub use campaign::{
     build_campaign_ladder, campaign_masks, drive_masks, run_campaign, run_masks, run_one, run_one_in,
     run_one_laddered, run_one_spanned, trace_pipeline_pair, CampaignConfig, CampaignResult,
-    DriveOutcome, FaultEffect, Golden, GoldenError, HvfEffect, Ladder, LadderRung, ResetMode, RunRecord,
-    TelemetryConfig, WorkerCtx,
+    DriveOutcome, DsaEngine, FaultEffect, Golden, GoldenError, HvfEffect, Ladder, LadderRung, ResetMode,
+    RunRecord, TelemetryConfig, WorkerCtx,
 };
 pub use dsa::{
     build_dsa_ladder, drive_dsa_masks, dsa_campaign_masks, run_dsa_campaign, run_dsa_masks,

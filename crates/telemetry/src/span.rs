@@ -31,7 +31,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Number of distinct [`PhaseId`]s (array sizes below).
-pub const PHASE_COUNT: usize = 13;
+pub const PHASE_COUNT: usize = 15;
 
 /// Static identifiers for every phase of the campaign pipeline, CPU and
 /// DSA sides included. One enum across the whole stack keeps attribution
@@ -53,6 +53,13 @@ pub enum PhaseId {
     SimStepCpu,
     /// Post-injection DSA simulation (DMA-in → compute → DMA-out).
     SimStepDsa,
+    /// Static CDFG schedule construction plus golden firing-trace
+    /// recording during DSA golden prep (the event engine's inputs).
+    ScheduleBuild,
+    /// Event-driven DSA stepping under golden-trace replay — the
+    /// sub-attribution of [`PhaseId::SimStepDsa`] spent inside the
+    /// memoizing engine rather than the cycle-exact oracle.
+    TraceReplay,
     /// Dirty-diff state comparison at a ladder-rung crossing.
     ConvergenceDiff,
     /// Handing a finished record to the sink (journal append, slot store).
@@ -78,6 +85,8 @@ impl PhaseId {
         PhaseId::Inject,
         PhaseId::SimStepCpu,
         PhaseId::SimStepDsa,
+        PhaseId::ScheduleBuild,
+        PhaseId::TraceReplay,
         PhaseId::ConvergenceDiff,
         PhaseId::ExportRecord,
         PhaseId::JournalAppend,
@@ -95,6 +104,8 @@ impl PhaseId {
             PhaseId::Inject => "Inject",
             PhaseId::SimStepCpu => "SimStepCpu",
             PhaseId::SimStepDsa => "SimStepDsa",
+            PhaseId::ScheduleBuild => "ScheduleBuild",
+            PhaseId::TraceReplay => "TraceReplay",
             PhaseId::ConvergenceDiff => "ConvergenceDiff",
             PhaseId::ExportRecord => "ExportRecord",
             PhaseId::JournalAppend => "JournalAppend",

@@ -13,6 +13,7 @@
 //!                 [--taint] [--attribution [path]] [--trace-pipeline [dir]]
 //!                 [--trace-spans [path]] [--phase-report]
 //! marvel dsa <design> [--faults N] [--fus N] [--reset-mode clone|dirty]
+//!                 [--dsa-engine cycle|event]
 //!                 [--ladder-rungs N] [--convergence-exit]
 //!                 [--metrics [path]] [--forensics [path]] [--progress [ms]]
 //!                 [--taint] [--attribution [path]]
@@ -41,6 +42,12 @@
 //! dirty state against the shared checkpoint; `clone` deep-clones the
 //! checkpoint per run (the original path, kept as an oracle — both modes
 //! produce bit-identical reports).
+//! `--dsa-engine` (default `event`) picks the accelerator drive engine:
+//! `event` precomputes the static CDFG schedule at golden prep and jumps
+//! between node-fire events, replaying memoized golden values for
+//! untainted nodes; `cycle` is the original tick-every-cycle oracle.
+//! Both engines produce bit-identical campaign reports — designs the
+//! schedule builder rejects fall back to `cycle` automatically.
 //! `--ladder-rungs` (default 8) snapshots the fault-free run at N evenly
 //! spaced cycles; each injection run then restores the nearest rung below
 //! its injection cycle instead of re-simulating the fault-free prefix.
@@ -65,8 +72,8 @@
 use gem5_marvel::core::{
     attribution_by_structure, attribution_csv, attribution_jsonl, build_campaign_ladder, campaign_masks,
     drive_masks, render_attribution, run_campaign, run_dsa_campaign, trace_pipeline_pair,
-    CampaignConfig, CampaignResult, DsaGolden, FaultEffect, FaultKind, Golden, ResetMode, RunRecord,
-    TelemetryConfig,
+    CampaignConfig, CampaignResult, DsaEngine, DsaGolden, FaultEffect, FaultKind, Golden, ResetMode,
+    RunRecord, TelemetryConfig,
 };
 use gem5_marvel::cpu::CoreConfig;
 use gem5_marvel::ir::assemble;
@@ -609,6 +616,12 @@ fn cmd_dsa(args: &Args) -> Result<(), String> {
         .find(|d| d.name == name)
         .ok_or_else(|| format!("unknown design '{name}' (try `marvel list`)"))?;
     let reset_mode = parse_reset_mode(args)?;
+    let dsa_engine = match args.flags.get("dsa-engine").map(String::as_str) {
+        None => DsaEngine::default(),
+        Some(s) => {
+            DsaEngine::parse(s).ok_or_else(|| format!("unknown --dsa-engine '{s}' (cycle|event)"))?
+        }
+    };
     let (ladder_rungs, convergence_exit) = parse_ladder(args)?;
     let (telemetry, metrics_path, forensics_path, spans_out) = telemetry_from_args(
         args,
@@ -621,18 +634,24 @@ fn cmd_dsa(args: &Args) -> Result<(), String> {
         reset_mode,
         ladder_rungs,
         convergence_exit,
+        dsa_engine,
         telemetry,
         ..Default::default()
     };
-    let golden = cc
-        .telemetry
-        .spans
-        .time(PhaseId::GoldenPrep, || DsaGolden::prepare((d.make)(FuConfig::uniform(fus)), 100_000_000));
+    // prepare_spanned splits the cycle-oracle run (GoldenPrep) from the
+    // static-schedule build + trace recording (ScheduleBuild).
+    let golden =
+        DsaGolden::prepare_spanned((d.make)(FuConfig::uniform(fus)), 100_000_000, &cc.telemetry.spans);
     println!(
-        "{name}: {} cycles fault-free, area {:.1} a.u., {} FUs/class",
+        "{name}: {} cycles fault-free, area {:.1} a.u., {} FUs/class, {} engine",
         golden.cycles,
         golden.harness.accel.area(),
-        fus
+        fus,
+        match cc.dsa_engine {
+            DsaEngine::Event if golden.harness.accel.replay_armed() => "event",
+            DsaEngine::Event => "event (fell back to cycle: unschedulable)",
+            DsaEngine::Cycle => "cycle",
+        }
     );
     if let Some(p) = &forensics_path {
         std::fs::remove_file(p).ok();
@@ -774,7 +793,7 @@ fn main() -> ExitCode {
                  [--taint] [--attribution [path]] [--trace-pipeline [dir]]\n            \
                  [--trace-spans [path]] [--phase-report]\n  \
                  marvel dsa <design> [--faults N] [--fus N] [--reset-mode clone|dirty]\n            \
-                 [--ladder-rungs N] [--convergence-exit]\n            \
+                 [--dsa-engine cycle|event] [--ladder-rungs N] [--convergence-exit]\n            \
                  [--metrics [path]] [--forensics [path]] [--progress [ms]]\n            \
                  [--taint] [--attribution [path]] [--trace-spans [path]] [--phase-report]\n  \
                  marvel campaign ... [--journal path [--resume]] [--campaign-id id]\n  \

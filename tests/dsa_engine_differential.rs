@@ -1,0 +1,150 @@
+//! Differential oracle for the event-driven DSA engine: campaigns driven
+//! by the static-schedule/golden-replay engine must produce byte-identical
+//! exports — per-run effect/trap/cycles/early-termination/convergence plus
+//! the marvel-taint attribution tables — to the tick-every-cycle oracle,
+//! across fault models (transient/permanent), targets (SPM, RegBank, MMR),
+//! worker counts, reset modes and ladder/convergence configurations.
+
+use gem5_marvel::core::{
+    attribution_by_structure, attribution_csv, attribution_jsonl, run_dsa_campaign, run_dsa_masks,
+    CampaignConfig, DsaCampaignResult, DsaEngine, DsaGolden, FaultKind, FaultMask, FaultModel,
+    ResetMode, TelemetryConfig,
+};
+use gem5_marvel::soc::Target;
+use gem5_marvel::workloads::accel;
+use marvel_accel::FuConfig;
+
+fn config(
+    kind: FaultKind,
+    engine: DsaEngine,
+    reset: ResetMode,
+    rungs: usize,
+    conv: bool,
+    workers: usize,
+) -> CampaignConfig {
+    CampaignConfig {
+        n_faults: 12,
+        kind,
+        workers,
+        reset_mode: reset,
+        ladder_rungs: rungs,
+        convergence_exit: conv,
+        dsa_engine: engine,
+        telemetry: TelemetryConfig { taint: true, ..Default::default() },
+        ..Default::default()
+    }
+}
+
+/// Render the full export surface of one campaign: one line per run
+/// (classification, trap tag, cycle count, early-termination and
+/// convergence flags) plus the attribution CSV + JSONL tables.
+fn export(res: &DsaCampaignResult) -> String {
+    let mut out: String = res
+        .records
+        .iter()
+        .map(|r| {
+            format!("{:?},{:?},{},{},{}\n", r.effect, r.trap, r.cycles, r.early_terminated, r.converged)
+        })
+        .collect();
+    if let Some(map) = attribution_by_structure(&res.records) {
+        out.push_str(&attribution_csv(&map));
+        out.push_str(&attribution_jsonl(&map));
+    }
+    out
+}
+
+#[test]
+fn event_engine_exports_byte_identical_across_matrix() {
+    let cases = [
+        ("FFT", Target::Spm { accel: 0, mem: 0 }),
+        ("BFS", Target::RegBank { accel: 0, mem: 0 }),
+        ("BFS", Target::Mmr { accel: 0 }),
+    ];
+    for (design, target) in cases {
+        let d = accel::design(design);
+        let g = DsaGolden::prepare((d.make)(FuConfig::default()), 50_000_000);
+        assert!(g.harness.accel.replay_armed(), "{design} must be schedulable");
+        for kind in [FaultKind::Transient, FaultKind::Permanent] {
+            let oracle = export(&run_dsa_campaign(
+                &g,
+                target,
+                &config(kind, DsaEngine::Cycle, ResetMode::Clone, 0, false, 1),
+            ));
+            for workers in [1usize, 2, 8] {
+                for reset in [ResetMode::Clone, ResetMode::Dirty] {
+                    for (rungs, conv) in [(0usize, false), (6, true)] {
+                        let got = export(&run_dsa_campaign(
+                            &g,
+                            target,
+                            &config(kind, DsaEngine::Event, reset, rungs, conv, workers),
+                        ));
+                        assert_eq!(
+                            oracle, got,
+                            "{design} {target:?} {kind:?} workers={workers} \
+                             reset={reset:?} rungs={rungs} conv={conv}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Non-taint campaigns must also export identically: the event engine
+/// enables the shadow planes internally (replay memoization needs them),
+/// which must not leak attribution into records the cycle oracle leaves
+/// bare.
+#[test]
+fn event_engine_without_taint_matches_cycle_oracle() {
+    let d = accel::design("FFT");
+    let g = DsaGolden::prepare((d.make)(FuConfig::default()), 50_000_000);
+    let target = Target::Spm { accel: 0, mem: 1 };
+    let plain = |engine| {
+        let cc = CampaignConfig { n_faults: 16, workers: 2, dsa_engine: engine, ..Default::default() };
+        let res = run_dsa_campaign(&g, target, &cc);
+        assert!(
+            res.records.iter().all(|r| r.attribution.is_none()),
+            "non-taint campaigns must not carry attribution ({engine:?})"
+        );
+        export(&res)
+    };
+    assert_eq!(plain(DsaEngine::Cycle), plain(DsaEngine::Event));
+}
+
+/// Regression for the convergence-exit bugfix: with the event engine's
+/// lazy retirement, a fault injected on a cycle strictly between two
+/// schedule events must not let `state_eq` declare a masked run while
+/// fire events are still pending. Sweep a dense band of injection cycles
+/// mid-compute (guaranteeing many between-event landings) and require
+/// the laddered convergence-exit campaign to match the full-run cycle
+/// oracle record for record.
+#[test]
+fn convergence_exit_is_exact_between_fire_events() {
+    let d = accel::design("FFT");
+    let g = DsaGolden::prepare((d.make)(FuConfig::default()), 50_000_000);
+    let target = Target::Spm { accel: 0, mem: 0 };
+    let bit_len = g.harness.accel.spms[0].bit_len();
+    let mid = g.cycles / 2;
+    let masks: Vec<FaultMask> = (0..48u64)
+        .map(|i| FaultMask {
+            target,
+            bits: vec![(i * 977) % bit_len],
+            model: FaultModel::Transient { cycle: mid + i },
+        })
+        .collect();
+    let oracle = export(&run_dsa_masks(
+        &g,
+        target,
+        &masks,
+        &config(FaultKind::Transient, DsaEngine::Cycle, ResetMode::Clone, 0, false, 1),
+    ));
+    for engine in [DsaEngine::Cycle, DsaEngine::Event] {
+        let got = export(&run_dsa_masks(
+            &g,
+            target,
+            &masks,
+            &config(FaultKind::Transient, engine, ResetMode::Dirty, 8, true, 2),
+        ));
+        assert_eq!(oracle, got, "laddered convergence exit diverged on {engine:?}");
+    }
+}

@@ -6,14 +6,18 @@
 //! prefix each run re-simulates down to at most one inter-rung gap.
 
 use gem5_marvel::core::{
-    run_campaign, run_masks, CampaignConfig, FaultKind, Golden, MaskGenerator, ResetMode, Target,
-    TelemetryConfig,
+    run_campaign, run_dsa_campaign, run_masks, CampaignConfig, DsaEngine, DsaGolden, DsaOutcome,
+    FaultKind, FaultMask, FaultModel, Golden, MaskGenerator, ResetMode, Target, TelemetryConfig,
 };
 use gem5_marvel::cpu::CoreConfig;
 use gem5_marvel::ir::assemble;
 use gem5_marvel::isa::Isa;
-use gem5_marvel::telemetry::Registry;
-use gem5_marvel::workloads::mibench;
+use gem5_marvel::telemetry::{PhaseId, Registry, SpanCollector};
+use gem5_marvel::workloads::{accel, mibench};
+use marvel_accel::air::{CdfgBuilder, MemRef};
+use marvel_accel::{Accelerator, DmaDir, DmaJob, FuConfig, Sram, SramKind};
+use marvel_core::DsaHarness;
+use marvel_isa::AluOp;
 
 /// Per-reset byte budget. A full checkpoint clone copies the entire
 /// multi-megabyte `System` (4 MiB RAM + 1 MiB L2 alone); a dirty reset
@@ -109,5 +113,154 @@ fn ladder_bounds_residual_prefix_on_late_injections() {
         skipped.mean() >= 4.0 * budget,
         "skipped-prefix mean {:.0} is too small for a late-injection campaign",
         skipped.mean()
+    );
+}
+
+/// Elementwise OUT[i] = IN[i] * 3 over `n` elements — a workload where a
+/// single flipped SPM bit taints exactly one element's dataflow cone, so
+/// golden replay should memoize essentially everything else.
+fn triple_harness(n: u64) -> DsaHarness {
+    let bytes = (n * 8) as usize;
+    let mut g = CdfgBuilder::new();
+    let entry = g.block(0);
+    let body = g.block(1);
+    let done = g.block(0);
+    g.select(entry);
+    let z = g.konst(0);
+    g.jump(body, &[z]);
+    g.select(body);
+    let i = g.arg(0);
+    let eight = g.konst(8);
+    let off = g.alu(AluOp::Mul, i, eight);
+    let v = g.load(MemRef::Spm(0), 8, off);
+    let three = g.konst(3);
+    let prod = g.alu(AluOp::Mul, v, three);
+    g.store(MemRef::Spm(1), 8, off, prod);
+    let one = g.konst(1);
+    let i2 = g.alu(AluOp::Add, i, one);
+    let nn = g.konst(n);
+    let more = g.alu(AluOp::Sltu, i2, nn);
+    g.branch(more, body, &[i2], done, &[]);
+    g.select(done);
+    g.finish();
+    let accel = Accelerator::new(
+        "triple",
+        g.build().unwrap(),
+        FuConfig::default(),
+        vec![Sram::new("IN", SramKind::Spm, bytes, 2), Sram::new("OUT", SramKind::Spm, bytes, 2)],
+        vec![],
+        0,
+    );
+    let mut ram = vec![0u8; bytes * 2];
+    for (k, b) in ram.iter_mut().take(bytes).enumerate() {
+        *b = (k as u8).wrapping_mul(13).wrapping_add(7);
+    }
+    DsaHarness {
+        accel,
+        ram,
+        jobs_in: vec![DmaJob {
+            dir: DmaDir::ToSram,
+            ram_off: 0,
+            mem: MemRef::Spm(0),
+            mem_off: 0,
+            len: bytes,
+        }],
+        jobs_out: vec![DmaJob {
+            dir: DmaDir::ToRam,
+            ram_off: bytes,
+            mem: MemRef::Spm(1),
+            mem_off: 0,
+            len: bytes,
+        }],
+        args: vec![],
+        output: bytes..bytes * 2,
+    }
+}
+
+/// Node evaluations per faulty replay run must be proportional to the
+/// taint cone, not the design size: on the contained-taint elementwise
+/// workload a single flipped bit taints one element's chain, so a full
+/// event-engine run may re-evaluate only a handful of nodes while
+/// everything else replays from the golden trace.
+const TAINT_EVAL_BUDGET: u64 = 16;
+
+#[test]
+fn replay_bounds_node_evals_to_the_taint_cone() {
+    let g = DsaGolden::prepare(triple_harness(64), 1_000_000);
+    assert!(g.harness.accel.replay_armed(), "triple must be schedulable");
+
+    // Fault-free oracle for the eval population: the cycle engine
+    // re-evaluates every non-trivial node.
+    let mut oracle = g.harness.clone();
+    oracle.run(None, 1_000_000);
+    let full_evals = oracle.accel.stats.node_evals;
+    assert!(full_evals > 300, "triple(64) must evaluate hundreds of nodes, got {full_evals}");
+
+    // Faulty event run: flip one bit of IN element 5 just after DMA-in
+    // lands (cycle 68 of a 64-cycle DMA phase), before the element is
+    // consumed.
+    let mut h = g.harness.clone();
+    assert!(h.accel.set_engine_event());
+    h.accel.enable_taint("IN");
+    let mask = FaultMask {
+        target: Target::Spm { accel: 0, mem: 0 },
+        bits: vec![5 * 64 + 3],
+        model: FaultModel::Transient { cycle: 68 },
+    };
+    let out = h.run(Some(&mask), 1_000_000);
+    match out {
+        DsaOutcome::Done { output, .. } => {
+            assert_ne!(output, g.output, "the tainted element must corrupt the output")
+        }
+        o => panic!("faulty run must still finish, got {o:?}"),
+    }
+    let stats = &h.accel.stats;
+    assert!(
+        stats.node_evals <= TAINT_EVAL_BUDGET,
+        "faulty replay re-evaluated {} nodes; budget is {TAINT_EVAL_BUDGET} (full run: {full_evals})",
+        stats.node_evals
+    );
+    assert!(
+        stats.memo_hits >= full_evals - TAINT_EVAL_BUDGET,
+        "replay must memoize the untainted remainder: {} hits of {full_evals} evals",
+        stats.memo_hits
+    );
+}
+
+/// Per-run sim-step wall time, as seen by the span layer: the
+/// event-driven engine's SimStepDsa p50 must sit well below the cycle
+/// oracle's on the same campaign. A relative ceiling keeps the guard
+/// machine-independent while still catching an engine that silently
+/// degrades to per-cycle scanning.
+#[test]
+fn event_engine_sim_step_p50_beats_cycle_oracle() {
+    let d = accel::design("FFT");
+    let g = DsaGolden::prepare((d.make)(FuConfig::default()), 50_000_000);
+    assert!(g.harness.accel.replay_armed());
+    let target = Target::Spm { accel: 0, mem: 0 };
+    let p50 = |engine: DsaEngine| {
+        let spans = SpanCollector::enabled();
+        let cc = CampaignConfig {
+            n_faults: 12,
+            workers: 2,
+            dsa_engine: engine,
+            telemetry: TelemetryConfig { spans: spans.clone(), ..Default::default() },
+            ..Default::default()
+        };
+        run_dsa_campaign(&g, target, &cc);
+        let report = spans.report();
+        report
+            .rows
+            .iter()
+            .find(|r| r.phase == PhaseId::SimStepDsa)
+            .unwrap_or_else(|| panic!("no SimStepDsa span rows for {engine:?}"))
+            .p50_us
+    };
+    let cycle = p50(DsaEngine::Cycle);
+    let event = p50(DsaEngine::Event);
+    assert!(
+        event * 2 <= cycle,
+        "event-engine SimStepDsa p50 ({event} µs) must be at most half the \
+         cycle oracle's ({cycle} µs)"
     );
 }
