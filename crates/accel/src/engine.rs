@@ -110,6 +110,8 @@ pub struct AccelStats {
     pub node_evals: u64,
     /// Fires satisfied from the golden trace without re-evaluation.
     pub memo_hits: u64,
+    /// Block instances collapsed whole by the warp fast path.
+    pub warp_blocks: u64,
 }
 
 /// Which stepping strategy [`Accelerator::advance`] uses. The cycle
@@ -1006,6 +1008,11 @@ impl Accelerator {
                         left -= warped;
                         continue;
                     }
+                    let coned = self.try_cone(left);
+                    if coned > 0 {
+                        left -= coned;
+                        continue;
+                    }
                     let next = self.next_event_cycle();
                     let delta = next - self.cycle;
                     if delta > left {
@@ -1120,6 +1127,7 @@ impl Accelerator {
             let n = self.cdfg.blocks[block].nodes.len();
             self.stats.nodes_executed += n as u64;
             self.stats.memo_hits += bs.n_memoizable;
+            self.stats.warp_blocks += 1;
             self.stats.mem_reads += bs.loads.len() as u64;
             self.stats.mem_writes += bs.stores.len() as u64;
             self.stats.compute_cycles += delta;
@@ -1155,6 +1163,79 @@ impl Accelerator {
                 }
             }
         }
+    }
+
+    /// One-pass block execution: batch every schedule event of the
+    /// running block when the whole block fits inside the caller's cycle
+    /// budget. Fires run in schedule order at their scheduled cycles
+    /// (bulk-charging the skipped compute cycles) and the terminator runs
+    /// at the block's terminator cycle — exactly the sequence per-event
+    /// stepping would produce, minus the advance-loop and `step_event`
+    /// scan paid at every intermediate event cycle.
+    ///
+    /// Unlike the whole-block warp this path tolerates taint anywhere:
+    /// tainted loads, tainted entry arguments, even control poison. Every
+    /// node still goes through [`Self::exec_node`], so memoization,
+    /// taint propagation, access-time fate transitions, stuck-bit
+    /// reassertion and trace-cursor bookkeeping are byte-identical to
+    /// per-fire stepping; it is a pure batching of the event loop. This
+    /// is what keeps stuck-at campaigns fast: a permanent fault's taint
+    /// cone (blocks whose loads genuinely observe the stuck byte) cannot
+    /// be warped, but its blocks collapse to one pass each instead of an
+    /// event-queue iteration per fire cycle.
+    fn try_cone(&mut self, left: u64) -> u64 {
+        if self.engine != AccelEngine::Event || self.recording.is_some() {
+            return 0;
+        }
+        let Some(sched) = self.schedule.clone() else { return 0 };
+        {
+            // Fresh block instance only (nothing issued or in flight),
+            // and the whole block must fit the budget so DMA stop
+            // patterns, ladder rungs and early-termination polls observe
+            // identical cycle boundaries to per-fire stepping.
+            let Some(ex) = self.exec.as_ref() else { return 0 };
+            if ex.sched_pos != 0
+                || !ex.pending.is_empty()
+                || ex.remaining != self.cdfg.blocks[ex.block].nodes.len()
+            {
+                return 0;
+            }
+            let delta =
+                (ex.entry_cycle + sched.blocks[ex.block].term_rel as u64).saturating_sub(self.cycle);
+            if delta == 0 || delta > left {
+                return 0;
+            }
+        }
+        let mut ex = self.exec.take().expect("checked above");
+        let bs = &sched.blocks[ex.block];
+        let start = self.cycle;
+        for &(r, ni) in &bs.fires {
+            let at = ex.entry_cycle + r as u64;
+            if at > self.cycle {
+                self.stats.compute_cycles += at - self.cycle;
+                self.cycle = at;
+            }
+            ex.sched_pos += 1;
+            if !self.exec_node(&mut ex, ni as usize, at) {
+                // Datapath error: the accelerator finished at this fire's
+                // cycle; report exactly the cycles consumed so far.
+                return self.cycle - start;
+            }
+        }
+        let term = ex.entry_cycle + bs.term_rel as u64;
+        self.stats.compute_cycles += term - self.cycle;
+        self.cycle = term;
+        // Every completion is due by the terminator cycle by schedule
+        // construction: retire them all and run the terminator.
+        for &(due, ni) in &ex.pending {
+            debug_assert!(due <= term, "completion past the terminator cycle");
+            ex.done[ni as usize] = true;
+            ex.remaining -= 1;
+        }
+        ex.pending.clear();
+        debug_assert_eq!(ex.remaining, 0, "one-pass block left nodes unfired");
+        self.run_terminator(ex);
+        self.cycle - start
     }
 
     /// The next cycle at which anything fires or the terminator runs.

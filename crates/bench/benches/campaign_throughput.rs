@@ -38,7 +38,7 @@ use marvel_cpu::CoreConfig;
 use marvel_ir::{assemble, FuncBuilder, Module};
 use marvel_isa::{AluOp, Cond, Isa, MemWidth};
 use marvel_soc::System;
-use marvel_telemetry::{render_phase_object, SpanCollector};
+use marvel_telemetry::{render_phase_object, Registry, SpanCollector};
 use marvel_workloads::{accel, mibench};
 use std::time::Instant;
 
@@ -124,6 +124,25 @@ struct Mode {
     s: Sample,
 }
 
+/// Lane-packed campaign leg: the scalar oracle (`--lane-width 0`) against
+/// the 64-wide bit-plane engine on the same masks, dirty reset and worker
+/// count, so the ratio isolates the lane packing itself. Occupancy and
+/// fork counts come from the campaign registry
+/// (`campaign.lane_runs_packed / campaign.lane_passes`).
+struct LaneLeg {
+    scalar: Sample,
+    lane: Sample,
+    mean_occupancy: f64,
+    passes: u64,
+    forks: u64,
+}
+
+impl LaneLeg {
+    fn speedup(&self) -> f64 {
+        self.lane.runs_per_sec / self.scalar.runs_per_sec.max(1e-9)
+    }
+}
+
 struct Scenario {
     name: &'static str,
     side: &'static str,
@@ -132,6 +151,9 @@ struct Scenario {
     runs: usize,
     base: Mode,
     opt: Mode,
+    /// Scalar-vs-lane-packed campaign comparison; only present where the
+    /// faults are lane-packable (single-bit CPU transients).
+    lane: Option<LaneLeg>,
     /// Per-phase wall-time attribution for the opt mode, as a rendered
     /// JSON object (`{"SimStepCpu": {"calls": .., "self_us": ..}, ..}`) —
     /// a spans-enabled re-run at workers=1 so self-times sum sensibly.
@@ -141,6 +163,35 @@ struct Scenario {
 impl Scenario {
     fn speedup(&self) -> f64 {
         self.opt.s.runs_per_sec / self.base.s.runs_per_sec.max(1e-9)
+    }
+}
+
+fn lane_leg(golden: &Golden, masks: &[FaultMask], kind: FaultKind) -> LaneLeg {
+    let cc = |lane_width: usize, registry: Registry| CampaignConfig {
+        kind,
+        workers: 1,
+        reset_mode: ResetMode::Dirty,
+        lane_width,
+        telemetry: TelemetryConfig { registry, ..Default::default() },
+        ..Default::default()
+    };
+    let n = masks.len();
+    let scalar = sample_campaign(n, || {
+        run_masks(golden, masks, &cc(0, Registry::disabled()));
+    });
+    let registry = Registry::new();
+    let lane = sample_campaign(n, || {
+        run_masks(golden, masks, &cc(64, registry.clone()));
+    });
+    let passes = registry.counter("campaign.lane_passes").get();
+    let packed = registry.counter("campaign.lane_runs_packed").get();
+    let forks = registry.counter("campaign.lane_forks").get();
+    LaneLeg {
+        scalar,
+        lane,
+        mean_occupancy: if passes > 0 { packed as f64 / passes as f64 } else { 0.0 },
+        passes,
+        forks,
     }
 }
 
@@ -216,6 +267,10 @@ fn cpu_scenario(
         n,
     );
 
+    // Lane leg only where the faults can pack: single-bit transients on a
+    // lane-packable structure. Permanents stay scalar (`lane: null`).
+    let lane = (kind == FaultKind::Transient).then(|| lane_leg(golden, &masks, kind));
+
     Scenario {
         name,
         side: "cpu",
@@ -224,6 +279,7 @@ fn cpu_scenario(
         runs: n,
         base: Mode { label: "clone", engine: None, s: clone },
         opt: Mode { label: "dirty", engine: None, s: dirty },
+        lane,
         phases: profile_cpu(golden, &masks, kind, 0),
     }
 }
@@ -285,6 +341,7 @@ fn dsa_scenario(name: &'static str, golden: &DsaGolden, kind: FaultKind, n: usiz
         runs: n,
         base: Mode { label: "dirty", engine: Some("cycle"), s: cycle },
         opt: Mode { label: "dirty", engine: Some("event"), s: event },
+        lane: None,
         phases: profile_dsa(golden, target, &masks, kind, 0, DsaEngine::Event),
     }
 }
@@ -301,8 +358,10 @@ fn ladder_config(rungs: usize) -> CampaignConfig {
         convergence_exit: rungs > 0,
         // Pinned to the cycle oracle on both sides of the comparison so
         // the ≥2× ladder floor keeps measuring prefix elimination alone,
-        // not the (much larger) event-engine win measured above.
+        // not the (much larger) event-engine win measured above. Lane
+        // packing is pinned off for the same reason.
         dsa_engine: DsaEngine::Cycle,
+        lane_width: 0,
         ..Default::default()
     }
 }
@@ -334,6 +393,7 @@ fn cpu_ladder_scenario(name: &'static str, golden: &Golden, n: usize) -> Scenari
         runs: n,
         base: Mode { label: "full_prefix", engine: None, s: base },
         opt: Mode { label: "ladder8+conv", engine: None, s: opt },
+        lane: None,
         phases: profile_cpu(golden, &masks, FaultKind::Transient, 8),
     }
 }
@@ -360,6 +420,7 @@ fn dsa_ladder_scenario(name: &'static str, golden: &DsaGolden, n: usize) -> Scen
         runs: n,
         base: Mode { label: "full_prefix", engine: Some("cycle"), s: base },
         opt: Mode { label: "ladder8+conv", engine: Some("cycle"), s: opt },
+        lane: None,
         phases: profile_dsa(golden, target, &masks, FaultKind::Transient, 8, DsaEngine::Cycle),
     }
 }
@@ -369,11 +430,12 @@ fn json_opt(v: Option<f64>) -> String {
 }
 
 fn emit_json(scenarios: &[Scenario], path: &str) {
-    // v4: DSA modes carry an "engine" key ("cycle" | "event") and the
-    // dsa_* scenarios compare the cycle-exact oracle against the
-    // event-driven static-schedule engine on a shared dirty reset.
-    // (v3 added the per-scenario "phases" object.)
-    let mut out = String::from("{\n  \"schema_version\": 4,\n  \"scenarios\": [\n");
+    // v5: lane-packable scenarios carry a "lane" leg — the scalar oracle
+    // vs the 64-wide bit-plane engine on the same masks, with
+    // mean_lane_occupancy and fork counts from the campaign registry;
+    // scenarios without packable faults record "lane": null.
+    // (v4 added per-mode DSA "engine" keys; v3 the "phases" object.)
+    let mut out = String::from("{\n  \"schema_version\": 5,\n  \"scenarios\": [\n");
     for (i, s) in scenarios.iter().enumerate() {
         let sep = if i + 1 < scenarios.len() { "," } else { "" };
         let mode = |m: &Mode| {
@@ -387,10 +449,27 @@ fn emit_json(scenarios: &[Scenario], path: &str) {
                 json_opt(m.s.p95_us),
             )
         };
+        let lane = s.lane.as_ref().map_or_else(
+            || "null".into(),
+            |l| {
+                format!(
+                    "{{\"lane_width\": 64, \"scalar_runs_per_sec\": {:.1}, \
+                     \"lane_runs_per_sec\": {:.1}, \"mean_lane_occupancy\": {:.2}, \
+                     \"passes\": {}, \"forks\": {}, \"speedup\": {:.2}}}",
+                    l.scalar.runs_per_sec,
+                    l.lane.runs_per_sec,
+                    l.mean_occupancy,
+                    l.passes,
+                    l.forks,
+                    l.speedup(),
+                )
+            },
+        );
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"side\": \"{}\", \"target\": \"{}\", \"kind\": \"{}\", \"runs\": {},\n      \
              \"base\": {},\n      \
              \"opt\": {},\n      \
+             \"lane\": {},\n      \
              \"phases\": {},\n      \
              \"speedup\": {:.2}}}{}\n",
             s.name,
@@ -400,6 +479,7 @@ fn emit_json(scenarios: &[Scenario], path: &str) {
             s.runs,
             mode(&s.base),
             mode(&s.opt),
+            lane,
             s.phases,
             s.speedup(),
             sep
@@ -458,6 +538,19 @@ fn main() {
             s.speedup()
         );
     }
+    for s in scenarios.iter().filter(|s| s.lane.is_some()) {
+        let l = s.lane.as_ref().unwrap();
+        println!(
+            "{:<26} lane64 {:>12.0} -> {:>.0} r/s  occ {:>5.1}/64  passes {:>3}  forks {:>3}  {:>6.2}x",
+            s.name,
+            l.scalar.runs_per_sec,
+            l.lane.runs_per_sec,
+            l.mean_occupancy,
+            l.passes,
+            l.forks,
+            l.speedup()
+        );
+    }
 
     let path = std::env::var("BENCH_CAMPAIGN_JSON")
         .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_campaign.json").into());
@@ -484,5 +577,21 @@ fn main() {
         dsa_t.speedup() >= 10.0,
         "event-engine speedup regressed: {:.2}x < 10.0x on dsa_spm_transient",
         dsa_t.speedup()
+    );
+
+    // Acceptance floor for the lane-packed engine: ≥4× the scalar oracle
+    // on the headline PRF-transient campaign. The margin is wide — a full
+    // pass retires up to 64 masked lanes on one golden execution, and
+    // PRF transients on the short kernel are overwhelmingly masked — so
+    // this holds on loaded CI runners.
+    let prf = scenarios.iter().find(|s| s.name == "cpu_prf_transient").unwrap();
+    let lane = prf.lane.as_ref().expect("cpu_prf_transient must record a lane leg");
+    assert!(
+        lane.speedup() >= 4.0,
+        "lane-packed speedup regressed: {:.2}x < 4.0x on cpu_prf_transient \
+         (mean occupancy {:.1}, {} forks)",
+        lane.speedup(),
+        lane.mean_occupancy,
+        lane.forks
     );
 }

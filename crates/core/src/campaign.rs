@@ -4,7 +4,7 @@
 
 use crate::fault::{FaultKind, FaultMask, FaultModel, MaskGenerator};
 use crate::stats::error_margin;
-use marvel_cpu::{CoreStats, FaultFate, TraceMode};
+use marvel_cpu::{CoreStats, FaultFate, LaneEvent, TraceMode, MAX_LANES};
 use marvel_soc::{RunOutcome, SysDirtyMarks, SysEvent, System, Target};
 use marvel_telemetry::{
     Attribution, Event, FlightDump, FlightRecorder, PhaseId, ProgressMeter, Registry, Scope,
@@ -170,6 +170,15 @@ pub struct CampaignConfig {
     /// Accelerator stepping engine for DSA campaigns (ignored by CPU
     /// campaigns). Event by default; Cycle is the differential oracle.
     pub dsa_engine: DsaEngine,
+    /// Lane-packed execution width for CPU campaigns: up to this many
+    /// single-bit transient faults on the same target and ladder segment
+    /// share one golden pass as bit-plane lanes, each forked out to an
+    /// ordinary scalar run the moment its divergence could touch control
+    /// flow, a memory address or store data. `0` disables packing (the
+    /// scalar oracle); values are clamped to `2..=64`. Records are
+    /// bit-identical to the scalar path at any width (the lane
+    /// differential test pins this).
+    pub lane_width: usize,
     /// Observability (metrics, progress line, flight recorder).
     pub telemetry: TelemetryConfig,
 }
@@ -189,6 +198,7 @@ impl Default for CampaignConfig {
             ladder_rungs: 0,
             convergence_exit: false,
             dsa_engine: DsaEngine::default(),
+            lane_width: 64,
             telemetry: TelemetryConfig::default(),
         }
     }
@@ -584,6 +594,66 @@ enum LoopEnd {
     MaskedEarly,
 }
 
+/// Establish a run's (or lane pass's) starting system: dirty-reset the
+/// worker's reusable system when its base matches, otherwise pay one
+/// deep clone (into the context, or into `owned` for context-less runs).
+/// Shared by the scalar path and the lane-pass driver so both pay
+/// byte-identical reset behaviour.
+fn acquire_system<'a>(
+    base_sys: &System,
+    base_cycle: u64,
+    tel: &TelemetryConfig,
+    ctx: Option<&'a mut WorkerCtx>,
+    owned: &'a mut Option<Box<System>>,
+    lane: &mut SpanLane,
+) -> &'a mut System {
+    let reset_start = tel.registry.is_enabled().then(std::time::Instant::now);
+    match ctx {
+        Some(c) => {
+            match &mut c.sys {
+                Some(s) if c.base_cycle == base_cycle => {
+                    lane.enter(PhaseId::DirtyReset);
+                    let bytes = s.reset_from(base_sys);
+                    lane.exit(PhaseId::DirtyReset);
+                    if let Some(t0) = reset_start {
+                        if let Some(h) = tel.registry.histogram("campaign.reset_ns") {
+                            h.record(t0.elapsed().as_nanos() as u64);
+                        }
+                        if let Some(h) = tel.registry.histogram("campaign.reset_bytes") {
+                            h.record(bytes);
+                        }
+                    }
+                }
+                slot => {
+                    // First run on this worker, or the base rung changed:
+                    // pay the one clone, then arm the dirty journals for
+                    // every later same-base reset. (Campaign scheduling
+                    // sorts runs by injection cycle, so each worker pays
+                    // at most one reclone per rung.)
+                    lane.enter(PhaseId::RungRestore);
+                    let mut s = Box::new(base_sys.clone());
+                    s.enable_dirty_tracking();
+                    lane.exit(PhaseId::RungRestore);
+                    *slot = Some(s);
+                    c.base_cycle = base_cycle;
+                }
+            }
+            c.sys.as_mut().expect("worker context populated above")
+        }
+        None => {
+            lane.enter(PhaseId::RungRestore);
+            let s = Box::new(base_sys.clone());
+            lane.exit(PhaseId::RungRestore);
+            if let Some(t0) = reset_start {
+                if let Some(h) = tel.registry.histogram("campaign.ckpt_restore_ns") {
+                    h.record(t0.elapsed().as_nanos() as u64);
+                }
+            }
+            owned.insert(s)
+        }
+    }
+}
+
 /// [`run_one_laddered`] with an explicit span lane: campaign workers pass
 /// their lane so the run's phases (reset, inject, simulate, convergence
 /// diffs) land in the marvel-spans trace. `SpanLane::disabled()` makes
@@ -629,52 +699,8 @@ pub fn run_one_spanned(
         }
     }
 
-    let reset_start = tel.registry.is_enabled().then(std::time::Instant::now);
     let mut owned: Option<Box<System>> = None;
-    let sys: &mut System = match ctx {
-        Some(c) => {
-            match &mut c.sys {
-                Some(s) if c.base_cycle == base_cycle => {
-                    lane.enter(PhaseId::DirtyReset);
-                    let bytes = s.reset_from(base_sys);
-                    lane.exit(PhaseId::DirtyReset);
-                    if let Some(t0) = reset_start {
-                        if let Some(h) = tel.registry.histogram("campaign.reset_ns") {
-                            h.record(t0.elapsed().as_nanos() as u64);
-                        }
-                        if let Some(h) = tel.registry.histogram("campaign.reset_bytes") {
-                            h.record(bytes);
-                        }
-                    }
-                }
-                slot => {
-                    // First run on this worker, or the base rung changed:
-                    // pay the one clone, then arm the dirty journals for
-                    // every later same-base reset. (Campaign scheduling
-                    // sorts runs by injection cycle, so each worker pays
-                    // at most one reclone per rung.)
-                    lane.enter(PhaseId::RungRestore);
-                    let mut s = Box::new(base_sys.clone());
-                    s.enable_dirty_tracking();
-                    lane.exit(PhaseId::RungRestore);
-                    *slot = Some(s);
-                    c.base_cycle = base_cycle;
-                }
-            }
-            c.sys.as_mut().expect("worker context populated above")
-        }
-        None => {
-            lane.enter(PhaseId::RungRestore);
-            let s = Box::new(base_sys.clone());
-            lane.exit(PhaseId::RungRestore);
-            if let Some(t0) = reset_start {
-                if let Some(h) = tel.registry.histogram("campaign.ckpt_restore_ns") {
-                    h.record(t0.elapsed().as_nanos() as u64);
-                }
-            }
-            owned.insert(s)
-        }
-    };
+    let sys: &mut System = acquire_system(base_sys, base_cycle, tel, ctx, &mut owned, lane);
     if cc.collect_hvf {
         sys.core.trace_mode = TraceMode::Check(golden.trace.clone());
     }
@@ -1040,6 +1066,386 @@ pub(crate) fn schedule_key(mask: &FaultMask) -> u64 {
     }
 }
 
+// ----------------------------------------------------------------------
+// lane-packed execution
+// ----------------------------------------------------------------------
+
+/// Effective lane width: `0`/`1` disable packing, everything else clamps
+/// to the bit-plane word width.
+fn effective_lane_width(cc: &CampaignConfig) -> usize {
+    if cc.lane_width < 2 {
+        0
+    } else {
+        cc.lane_width.min(MAX_LANES)
+    }
+}
+
+/// Can this mask ride in a lane pass? Packing requires a single-bit
+/// transient on a structure whose corruption stays in the data plane
+/// until the divergence monitor catches it, and a run with no per-run
+/// observational state (taint shadows, flight timelines) that the shared
+/// golden pass could not keep per-lane.
+fn lane_packable_mask(mask: &FaultMask, cc: &CampaignConfig) -> bool {
+    effective_lane_width(cc) >= 2
+        && mask.bits.len() == 1
+        && matches!(mask.model, FaultModel::Transient { .. })
+        && !cc.telemetry.taint
+        && cc.telemetry.flight_capacity == 0
+        && System::lane_packable(mask.target)
+}
+
+/// One claimable work item of a campaign drive: an ordinary scalar run,
+/// or a lane pass packing up to [`MAX_LANES`] masks that share a target
+/// and a ladder segment into one golden execution.
+enum Unit {
+    Scalar(usize),
+    Pass(Vec<usize>),
+}
+
+impl Unit {
+    fn first(&self) -> usize {
+        match self {
+            Unit::Scalar(i) => *i,
+            Unit::Pass(v) => v[0],
+        }
+    }
+}
+
+/// Partition the claimable masks into scheduling units. Eligible masks
+/// are grouped by (target, ladder segment) — every member of a pass
+/// shares the base rung and the same rung-crossing sequence — and chunked
+/// to the lane width; everything else stays scalar. Unit order is
+/// rung-monotone so each worker still pays at most one reclone per rung.
+fn build_units(
+    masks: &[FaultMask],
+    order: &[usize],
+    ladder: Option<&Ladder>,
+    cc: &CampaignConfig,
+) -> Vec<Unit> {
+    let width = effective_lane_width(cc);
+    let mut units: Vec<Unit> = Vec::new();
+    let mut groups: Vec<((Target, usize), Vec<usize>)> = Vec::new();
+    for &i in order {
+        let m = &masks[i];
+        if width == 0 || !lane_packable_mask(m, cc) {
+            units.push(Unit::Scalar(i));
+            continue;
+        }
+        let FaultModel::Transient { cycle } = m.model else { unreachable!("packable ⇒ transient") };
+        let seg = ladder.map(|l| l.partition_at(cycle)).unwrap_or(0);
+        match groups.iter_mut().find(|(k, _)| *k == (m.target, seg)) {
+            Some((_, v)) => v.push(i),
+            None => groups.push(((m.target, seg), vec![i])),
+        }
+    }
+    if groups.is_empty() {
+        return units;
+    }
+    for (_, v) in groups {
+        for chunk in v.chunks(width) {
+            if chunk.len() >= 2 {
+                units.push(Unit::Pass(chunk.to_vec()));
+            } else {
+                units.push(Unit::Scalar(chunk[0]));
+            }
+        }
+    }
+    units.sort_by_key(|u| (schedule_key(&masks[u.first()]), u.first()));
+    units
+}
+
+/// A [`RunRecord`] retired inside a lane pass: always `Masked` (anything
+/// that could have produced output divergence, a trap or a timeout forks
+/// to a scalar run first), differing only in which shortcut fired.
+fn lane_record(
+    cc: &CampaignConfig,
+    cycles: u64,
+    early: bool,
+    converged: bool,
+    diverged: bool,
+) -> RunRecord {
+    RunRecord {
+        effect: FaultEffect::Masked,
+        hvf: cc.collect_hvf.then_some(if diverged { HvfEffect::Corruption } else { HvfEffect::Masked }),
+        trap: None,
+        early_terminated: early,
+        converged,
+        cycles,
+        forensics: None,
+        attribution: None,
+    }
+}
+
+/// Per-lane bookkeeping of one pass.
+struct LaneRun {
+    /// Mask index in the campaign order.
+    idx: usize,
+    inject: u64,
+    armed: bool,
+    /// Next early-termination fate-poll cycle (mirrors the scalar run's
+    /// `inject + 256`, then `+1024` cadence, so a lane retired by the
+    /// poll reports the exact cycle count the scalar run would).
+    check_at: u64,
+    /// Retired in-pass or handed to a scalar re-run.
+    done: bool,
+}
+
+/// Execute one lane pass: run the shared golden control flow once from
+/// the pack's base rung, arming each mask as a bit-plane lane at its
+/// injection cycle. Lanes retire in place through the same shortcuts as
+/// scalar runs (arm-time early termination, fate-poll early termination,
+/// rung convergence, halt) with identical records; lanes whose divergence
+/// reaches beyond the data plane fork out and are returned for ordinary
+/// scalar re-runs. Pushes `(mask index, record)` pairs for every lane
+/// retired in-pass onto `out`.
+#[allow(clippy::too_many_arguments)]
+fn run_lane_pass(
+    golden: &Golden,
+    ladder: Option<&Ladder>,
+    masks: &[FaultMask],
+    pack: &[usize],
+    cc: &CampaignConfig,
+    ctx: Option<&mut WorkerCtx>,
+    lane: &mut SpanLane,
+    out: &mut Vec<(usize, RunRecord)>,
+) -> Vec<usize> {
+    debug_assert!((2..=MAX_LANES).contains(&pack.len()));
+    let tel = &cc.telemetry;
+    let target = masks[pack[0]].target;
+    let inject_of = |i: usize| match masks[i].model {
+        FaultModel::Transient { cycle } => cycle,
+        FaultModel::Permanent { .. } => unreachable!("lane passes are transient-only"),
+    };
+
+    // Base selection: identical to the scalar path; every pack member
+    // shares the segment, so the first mask picks the rung for all.
+    let (base_sys, base_cycle, mut next_rung) = match ladder {
+        Some(l) if !l.is_empty() => match l.partition_at(inject_of(pack[0])) {
+            0 => (&golden.ckpt, golden.ckpt_cycle, 0),
+            k => (&l.rungs[k - 1].sys, l.rungs[k - 1].cycle, k),
+        },
+        _ => (&golden.ckpt, golden.ckpt_cycle, 0),
+    };
+    if tel.registry.is_enabled() {
+        for &i in pack {
+            if let Some(h) = tel.registry.histogram("campaign.prefix_cycles_skipped") {
+                h.record(base_cycle - golden.ckpt_cycle);
+            }
+            if let Some(h) = tel.registry.histogram("campaign.prefix_cycles") {
+                h.record(inject_of(i).saturating_sub(base_cycle));
+            }
+        }
+    }
+
+    let mut owned: Option<Box<System>> = None;
+    let sys: &mut System = acquire_system(base_sys, base_cycle, tel, ctx, &mut owned, lane);
+    if cc.collect_hvf {
+        sys.core.trace_mode = TraceMode::Check(golden.trace.clone());
+    }
+    let watchdog = golden.ckpt_cycle + golden.exec_cycles.saturating_mul(cc.watchdog_factor) + 50_000;
+    let cache_target = matches!(target, Target::L1I | Target::L1D | Target::L2);
+
+    let mut lanes: Vec<LaneRun> = pack
+        .iter()
+        .map(|&i| LaneRun {
+            idx: i,
+            inject: inject_of(i),
+            armed: false,
+            check_at: u64::MAX,
+            done: false,
+        })
+        .collect();
+    let mut forked: Vec<usize> = Vec::new();
+    let mut diverged: u64 = 0;
+    let mut remaining = lanes.len();
+
+    sys.lane_begin();
+    lane.enter(PhaseId::SimStepLane);
+
+    // Arm every lane due at `sys.cycle` — mirrors the scalar prefix loop
+    // (`while cycle < inject { tick }` then flip), including the
+    // immediate early termination of a flip landing in an invalid entry.
+    #[allow(clippy::too_many_arguments)]
+    fn arm_due(
+        sys: &mut System,
+        lanes: &mut [LaneRun],
+        masks: &[FaultMask],
+        target: Target,
+        cc: &CampaignConfig,
+        golden: &Golden,
+        out: &mut Vec<(usize, RunRecord)>,
+        remaining: &mut usize,
+    ) {
+        let now = sys.cycle;
+        for (l, lr) in lanes.iter_mut().enumerate() {
+            if lr.armed || lr.inject != now {
+                continue;
+            }
+            lr.armed = true;
+            lr.check_at = now + 256;
+            let fate = sys.lane_arm(l as u8, target, masks[lr.idx].bits[0]);
+            if cc.early_termination && fate.is_masked_early() {
+                lr.done = true;
+                *remaining -= 1;
+                out.push((lr.idx, lane_record(cc, now - golden.ckpt_cycle, true, false, false)));
+            }
+        }
+    }
+
+    arm_due(sys, &mut lanes, masks, target, cc, golden, out, &mut remaining);
+    let mut halted = false;
+    while remaining > 0 {
+        let ev = sys.tick();
+        // Divergence monitor first: forks triggered by this very tick
+        // leave the pass before any retirement below could misclaim them.
+        for e in sys.lane_drain_events() {
+            match e {
+                LaneEvent::Fork(l) => {
+                    let lr = &mut lanes[l as usize];
+                    if !lr.done {
+                        lr.done = true;
+                        remaining -= 1;
+                        forked.push(lr.idx);
+                    }
+                }
+                LaneEvent::Diverged(l) => diverged |= 1u64 << l,
+                LaneEvent::Fate(..) => {}
+            }
+        }
+        match ev {
+            SysEvent::Halted => {
+                halted = true;
+                break;
+            }
+            SysEvent::Trapped(_) => {
+                // The golden control flow never traps (the golden run
+                // halted); defensively hand every straggler to scalar.
+                break;
+            }
+            _ => {}
+        }
+        if sys.cycle >= watchdog {
+            break;
+        }
+        // Ladder-rung crossing: merge golden segment marks (journal union
+        // covers everything either side wrote), then retire every lane
+        // whose diffs are provably dead — exactly the lanes whose scalar
+        // run would pass the dirty-diff convergence check here.
+        if let Some(l) = ladder {
+            if next_rung < l.rungs.len() && sys.cycle == l.rungs[next_rung].cycle {
+                let rung = &l.rungs[next_rung];
+                sys.merge_dirty_marks(&rung.seg);
+                next_rung += 1;
+                if cc.convergence_exit {
+                    let eng = sys.lane_engine().expect("pass engine armed");
+                    let diffs = eng.diffs_live();
+                    let mut cand: Vec<usize> = Vec::new();
+                    for (li, lr) in lanes.iter().enumerate() {
+                        if lr.done || !lr.armed || eng.live & (1u64 << li) == 0 {
+                            continue;
+                        }
+                        let fate = eng.fates[li];
+                        // Fate split (scalar parity): a dead fault with
+                        // early termination on exits at the fate poll,
+                        // which reports the shorter cycle count.
+                        if cc.early_termination && fate.is_masked_early() {
+                            continue;
+                        }
+                        if cc.collect_hvf && diverged & (1u64 << li) != 0 {
+                            continue;
+                        }
+                        let diff_alive =
+                            diffs & (1u64 << li) != 0 || (cache_target && fate == FaultFate::Pending);
+                        if !diff_alive {
+                            cand.push(li);
+                        }
+                    }
+                    if !cand.is_empty() {
+                        lane.enter(PhaseId::ConvergenceDiff);
+                        let golden_matches = sys.state_converged(&rung.sys);
+                        lane.exit(PhaseId::ConvergenceDiff);
+                        if golden_matches {
+                            for li in cand {
+                                let lr = &mut lanes[li];
+                                lr.done = true;
+                                remaining -= 1;
+                                out.push((
+                                    lr.idx,
+                                    lane_record(cc, golden.exec_cycles, false, true, false),
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Early-termination fate polls, on each lane's own scalar cadence.
+        if cc.early_termination {
+            let (fates, live) = {
+                let eng = sys.lane_engine().expect("pass engine armed");
+                (eng.fates, eng.live)
+            };
+            for (li, lr) in lanes.iter_mut().enumerate() {
+                if lr.done || !lr.armed || sys.cycle < lr.check_at || live & (1u64 << li) == 0 {
+                    continue;
+                }
+                lr.check_at = sys.cycle + 1024;
+                if fates[li].is_masked_early() && !(cc.collect_hvf && diverged & (1u64 << li) != 0) {
+                    lr.done = true;
+                    remaining -= 1;
+                    out.push((
+                        lr.idx,
+                        lane_record(cc, sys.cycle - golden.ckpt_cycle, true, false, false),
+                    ));
+                }
+            }
+        }
+        arm_due(sys, &mut lanes, masks, target, cc, golden, out, &mut remaining);
+    }
+    lane.exit(PhaseId::SimStepLane);
+
+    if halted {
+        // Live lanes surviving to halt ran the golden execution to the
+        // letter: identical console output (store-data diffs fork before
+        // reaching memory), so the scalar classification is Masked, with
+        // HVF Corruption exactly for lanes that committed a corrupt
+        // result along the way.
+        debug_assert_eq!(sys.bus.console, golden.output, "live lanes must replay golden output");
+        for (li, lr) in lanes.iter_mut().enumerate() {
+            if lr.done {
+                continue;
+            }
+            lr.done = true;
+            remaining -= 1;
+            if lr.armed {
+                out.push((
+                    lr.idx,
+                    lane_record(
+                        cc,
+                        sys.cycle - golden.ckpt_cycle,
+                        false,
+                        false,
+                        diverged & (1u64 << li) != 0,
+                    ),
+                ));
+            } else {
+                forked.push(lr.idx);
+            }
+        }
+    } else {
+        // Trap/watchdog escape (defensive — golden execution does
+        // neither): every unfinished lane re-runs scalar.
+        for lr in lanes.iter_mut().filter(|lr| !lr.done) {
+            lr.done = true;
+            remaining -= 1;
+            forked.push(lr.idx);
+        }
+    }
+    debug_assert_eq!(remaining, 0);
+    sys.lane_end();
+    forked
+}
+
 /// Outcome of one incremental [`drive_masks`]/[`crate::dsa::drive_dsa_masks`] call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DriveOutcome {
@@ -1101,13 +1507,18 @@ pub fn drive_masks(
     if ladder.is_some() {
         order.sort_by_key(|&i| (schedule_key(&masks[i]), i));
     }
-    let order = &order;
+    let total = order.len() as u64;
+    // Lane packing: eligible masks fold into shared-pass units; every
+    // record stays per-mask deterministic, so unit shape only affects
+    // cost, never results (the lane differential test pins this).
+    let units = build_units(masks, &order, ladder, cc);
+    let units = &units;
     let workers = if cc.workers == 0 {
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
     } else {
         cc.workers
     };
-    let workers = workers.min(order.len().max(1));
+    let workers = workers.min(units.len().max(1));
     let next = AtomicUsize::new(0);
 
     let tel = &cc.telemetry;
@@ -1120,7 +1531,9 @@ pub fn drive_masks(
     let cancelled = AtomicBool::new(false);
     let active = AtomicUsize::new(workers);
     let run_cycles = tel.registry.histogram("campaign.run_cycles");
-    let total = order.len() as u64;
+    let lane_occupancy = tel.registry.histogram("campaign.lane_occupancy");
+    let (lane_passes, lane_packed, lane_forks) =
+        (AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0));
     // Wakes the progress reporter the moment the last worker exits
     // (normal completion or cancellation), instead of letting it sleep
     // out a full interval after the workers are done.
@@ -1134,6 +1547,8 @@ pub fn drive_masks(
             let (cancelled, active) = (&cancelled, &active);
             let finish_wake = &finish_wake;
             let run_cycles = run_cycles.clone();
+            let lane_occupancy = lane_occupancy.clone();
+            let (lane_passes, lane_packed, lane_forks) = (&lane_passes, &lane_packed, &lane_forks);
             s.spawn(move |_| {
                 let mut ctx = WorkerCtx::new();
                 let mut lane = tel.spans.lane(&format!("cpu-worker-{w}"));
@@ -1155,35 +1570,79 @@ pub fn drive_masks(
                     // counts equal completed runs at any worker count.
                     lane.enter(PhaseId::Schedule);
                     let k = next.fetch_add(1, Ordering::Relaxed);
-                    if k >= order.len() {
+                    if k >= units.len() {
                         lane.cancel(PhaseId::Schedule);
                         break;
                     }
-                    let i = order[k];
+                    let unit = &units[k];
                     lane.exit(PhaseId::Schedule);
-                    lane.begin_run(i as u64);
-                    let ctx = (cc.reset_mode == ResetMode::Dirty).then_some(&mut ctx);
-                    let rec = run_one_spanned(golden, ladder, &masks[i], cc, ctx, &mut lane);
-                    b_runs += 1;
-                    match rec.effect {
-                        FaultEffect::Sdc => b_sdc += 1,
-                        FaultEffect::Crash => b_crash += 1,
-                        FaultEffect::Masked => {}
+                    let mut retired: Vec<(usize, RunRecord)> = Vec::new();
+                    match unit {
+                        Unit::Scalar(i) => {
+                            lane.begin_run(*i as u64);
+                            let c = (cc.reset_mode == ResetMode::Dirty).then_some(&mut ctx);
+                            let rec = run_one_spanned(golden, ladder, &masks[*i], cc, c, &mut lane);
+                            lane.end_run();
+                            retired.push((*i, rec));
+                        }
+                        Unit::Pass(pack) => {
+                            lane.begin_run(pack[0] as u64);
+                            let c = (cc.reset_mode == ResetMode::Dirty).then_some(&mut ctx);
+                            let fk = run_lane_pass(
+                                golden,
+                                ladder,
+                                masks,
+                                pack,
+                                cc,
+                                c,
+                                &mut lane,
+                                &mut retired,
+                            );
+                            lane.end_run();
+                            lane_passes.fetch_add(1, Ordering::Relaxed);
+                            lane_packed.fetch_add(pack.len() as u64, Ordering::Relaxed);
+                            lane_forks.fetch_add(fk.len() as u64, Ordering::Relaxed);
+                            if let Some(h) = &lane_occupancy {
+                                h.record(pack.len() as u64);
+                            }
+                            // Forked lanes fall back to ordinary scalar
+                            // runs — same mask, same worker context, same
+                            // record the pure scalar path would produce.
+                            for i in fk {
+                                lane.enter(PhaseId::LaneFork);
+                                lane.begin_run(i as u64);
+                                let c = (cc.reset_mode == ResetMode::Dirty).then_some(&mut ctx);
+                                let rec = run_one_spanned(golden, ladder, &masks[i], cc, c, &mut lane);
+                                lane.end_run();
+                                lane.exit(PhaseId::LaneFork);
+                                retired.push((i, rec));
+                            }
+                        }
                     }
-                    if rec.early_terminated {
-                        b_early += 1;
+                    for (i, rec) in retired {
+                        b_runs += 1;
+                        match rec.effect {
+                            FaultEffect::Sdc => b_sdc += 1,
+                            FaultEffect::Crash => b_crash += 1,
+                            FaultEffect::Masked => {}
+                        }
+                        if rec.early_terminated {
+                            b_early += 1;
+                        }
+                        if rec.converged {
+                            b_conv += 1;
+                        }
+                        if run_cycles.is_some() {
+                            b_cycles.push(rec.cycles);
+                        }
+                        lane.enter(PhaseId::ExportRecord);
+                        sink(i, rec);
+                        lane.exit(PhaseId::ExportRecord);
+                        // Progress rate/ETA counts retired *runs*, not
+                        // passes: a 64-wide pass advances the meter by
+                        // up to 64 the moment its lanes land.
+                        done.fetch_add(1, Ordering::Relaxed);
                     }
-                    if rec.converged {
-                        b_conv += 1;
-                    }
-                    if run_cycles.is_some() {
-                        b_cycles.push(rec.cycles);
-                    }
-                    lane.enter(PhaseId::ExportRecord);
-                    sink(i, rec);
-                    lane.exit(PhaseId::ExportRecord);
-                    lane.end_run();
-                    done.fetch_add(1, Ordering::Relaxed);
                     if b_runs >= BATCH {
                         worker_runs.add(b_runs);
                         sdc_n.fetch_add(b_sdc, Ordering::Relaxed);
@@ -1261,6 +1720,9 @@ pub fn drive_masks(
     tel.registry.publish_scoped(&scope, "masked", completed - sdc - crash);
     tel.registry.publish_scoped(&scope, "early_terminated", early_n.into_inner());
     tel.registry.publish_scoped(&scope, "convergence_exits", conv_n.into_inner());
+    tel.registry.publish_scoped(&scope, "lane_passes", lane_passes.into_inner());
+    tel.registry.publish_scoped(&scope, "lane_runs_packed", lane_packed.into_inner());
+    tel.registry.publish_scoped(&scope, "lane_forks", lane_forks.into_inner());
 
     DriveOutcome { completed: completed as usize, cancelled: cancelled.into_inner() }
 }

@@ -49,6 +49,31 @@ struct Armed {
     fate: FaultFate,
 }
 
+/// One lane-packed armed bit: like [`Armed`] but the data plane is NOT
+/// mutated — the pass runs pure golden execution and this entry only
+/// watches for the access that would make the scalar run diverge.
+#[derive(Debug, Clone, Copy)]
+struct LaneArmed {
+    lane: u8,
+    set: usize,
+    way: usize,
+    byte: usize,
+    fate: FaultFate,
+}
+
+/// Events the lane monitor reports to the campaign pass driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheLaneEvent {
+    /// The armed byte was consumed while the flip was still live: a
+    /// scalar run would have seen corrupt data here (read overlap), or
+    /// would have written the flipped byte downstream (dirty eviction).
+    /// The lane can no longer ride the golden pass and must fork.
+    Fork(u8),
+    /// Fate transition that keeps the lane packed (the flip died without
+    /// ever being observed: clean overwrite or clean refill).
+    Fate(u8, FaultFate),
+}
+
 /// One cache level.
 #[derive(Debug, Clone)]
 pub struct Cache {
@@ -60,6 +85,10 @@ pub struct Cache {
     /// Permanent stuck-at faults on data bits: (bit index, value).
     stuck: Vec<(u64, bool)>,
     armed: Option<Armed>,
+    /// Lane-packed armed bits (campaign lane passes). Empty in scalar
+    /// runs, so the hot-path hook is a single `is_empty` test.
+    lane_armed: Vec<LaneArmed>,
+    lane_events: Vec<CacheLaneEvent>,
     pub hits: u64,
     pub misses: u64,
     /// marvel-taint shadow plane: one shadow byte array per line
@@ -94,6 +123,8 @@ impl Cache {
             plru: vec![0; sets],
             stuck: Vec::new(),
             armed: None,
+            lane_armed: Vec::new(),
+            lane_events: Vec::new(),
             hits: 0,
             misses: 0,
             shadow: Vec::new(),
@@ -235,6 +266,28 @@ impl Cache {
                 a.fate = FaultFate::Overwritten;
             }
         }
+        if !self.lane_armed.is_empty() {
+            // A clean victim discards the flip with the line (the pass's
+            // golden fill data is the scalar run's fill data — addresses
+            // and PLRU are identical for live lanes). A dirty victim is
+            // written back, carrying the flipped byte downstream where the
+            // overlay cannot follow it: the lane forks.
+            let dirty_escape = {
+                let l = &self.lines[self.idx(set, way)];
+                l.valid && l.dirty
+            };
+            for a in &mut self.lane_armed {
+                if a.fate == FaultFate::Pending && a.set == set && a.way == way {
+                    if dirty_escape {
+                        a.fate = FaultFate::Read;
+                        self.lane_events.push(CacheLaneEvent::Fork(a.lane));
+                    } else {
+                        a.fate = FaultFate::Overwritten;
+                        self.lane_events.push(CacheLaneEvent::Fate(a.lane, FaultFate::Overwritten));
+                    }
+                }
+            }
+        }
         let line_size = self.cfg.line as u64;
         let sets = self.sets as u64;
         let new_tag = self.tag_of(addr);
@@ -288,6 +341,33 @@ impl Cache {
                 a.fate = if is_write { FaultFate::Overwritten } else { FaultFate::Read };
             }
         }
+        if !self.lane_armed.is_empty() {
+            self.note_lane_access(set, way, off, n, is_write);
+        }
+    }
+
+    /// Lane-pass mirror of the armed-byte transitions. A write of golden
+    /// store data restores the byte exactly (live lanes never diverge
+    /// store data — they fork first), so a write overlap kills the flip in
+    /// place and the lane stays packed. A read overlap is the moment the
+    /// scalar run would have consumed the corrupt byte: the lane forks.
+    fn note_lane_access(&mut self, set: usize, way: usize, off: usize, n: usize, is_write: bool) {
+        for a in &mut self.lane_armed {
+            if a.fate == FaultFate::Pending
+                && a.set == set
+                && a.way == way
+                && a.byte >= off
+                && a.byte < off + n
+            {
+                if is_write {
+                    a.fate = FaultFate::Overwritten;
+                    self.lane_events.push(CacheLaneEvent::Fate(a.lane, FaultFate::Overwritten));
+                } else {
+                    a.fate = FaultFate::Read;
+                    self.lane_events.push(CacheLaneEvent::Fork(a.lane));
+                }
+            }
+        }
     }
 
     // ---- fault injection ----
@@ -338,6 +418,33 @@ impl Cache {
     /// Current fate of the armed fault (if any).
     pub fn fate(&self) -> Option<FaultFate> {
         self.armed.map(|a| a.fate)
+    }
+
+    // ---- lane-packed arming (campaign lane passes) ----
+
+    /// Arm lane `lane`'s transient flip at data-array bit `bit` WITHOUT
+    /// touching the data plane: the pass executes golden data and this
+    /// monitor reports the first access that would make the scalar run
+    /// observable. Returns the initial fate (`InvalidAtInjection` when
+    /// the bit lands in an invalid line, exactly like
+    /// [`flip_bit`](Self::flip_bit)).
+    pub fn lane_arm(&mut self, lane: u8, bit: u64) -> FaultFate {
+        let (set, way, byte, _) = self.locate(bit);
+        let valid = self.lines[self.idx(set, way)].valid;
+        let fate = if valid { FaultFate::Pending } else { FaultFate::InvalidAtInjection };
+        self.lane_armed.push(LaneArmed { lane, set, way, byte, fate });
+        fate
+    }
+
+    /// Drop all lane monitors and queued events (pass teardown).
+    pub fn lane_clear(&mut self) {
+        self.lane_armed.clear();
+        self.lane_events.clear();
+    }
+
+    /// Drain events queued since the last call.
+    pub fn drain_lane_events(&mut self) -> Vec<CacheLaneEvent> {
+        std::mem::take(&mut self.lane_events)
     }
 
     fn locate(&self, bit: u64) -> (usize, usize, usize, u8) {
@@ -549,6 +656,8 @@ impl Cache {
         self.misses = pristine.misses;
         self.stuck.clone_from(&pristine.stuck);
         self.armed = pristine.armed;
+        self.lane_armed.clear();
+        self.lane_events.clear();
         if pristine.shadow.is_empty() {
             self.shadow.clear();
         } else {

@@ -8,9 +8,10 @@
 //! execution, overwrites, cache evictions, decode don't-cares.
 
 use crate::bp::BranchPredictor;
-use crate::cache::{Cache, FaultFate};
+use crate::cache::{Cache, CacheLaneEvent, FaultFate};
 use crate::config::CoreConfig;
 use crate::dirty::DirtyMarks;
+use crate::lane::{LaneEngine, LaneEvent};
 use crate::lsq::{LoadQueue, StoreQueue};
 use crate::prf::{FreeList, PhysRegFile, RenameMap};
 use marvel_isa::{AluOp, Isa, MicroOp, Op, Trap, REG_NONE};
@@ -305,6 +306,9 @@ pub struct Core {
     taint: Option<Box<TaintPlane>>,
     /// Konata pipeline tracer (`None` = off).
     pipe: Option<Box<PipeTracer>>,
+    /// Lane-packed campaign overlay (`None` = scalar run: every hook is
+    /// one pointer test). Never survives a reset.
+    lanes: Option<Box<LaneEngine>>,
 
     pub stats: CoreStats,
 }
@@ -391,6 +395,7 @@ impl Core {
             commit_log: None,
             taint: None,
             pipe: None,
+            lanes: None,
             stats: CoreStats::default(),
             cfg,
         }
@@ -532,6 +537,7 @@ impl Core {
         self.commit_log.clone_from(&pristine.commit_log);
         self.taint.clone_from(&pristine.taint);
         self.pipe.clone_from(&pristine.pipe);
+        self.lanes = None;
         self.stats = pristine.stats.clone();
 
         use std::mem::size_of;
@@ -743,6 +749,15 @@ impl Core {
                     // Apply a pending ROB-result fault the moment the value
                     // lands in the entry.
                     self.apply_rob_flip(rob_base);
+                    if self.lanes.is_some() {
+                        let slot = (e.seq % self.cfg.rob_entries as u64) as u16;
+                        let pd = if pdst == PNONE { None } else { Some(pdst) };
+                        let le = self.lanes.as_deref_mut().unwrap();
+                        le.writeback(e.seq, slot, pd, false);
+                        if let Some(p) = pd {
+                            le.note_reg_write(false, p);
+                        }
+                    }
                     let result = self.rob[rob_base].result;
                     let rtaint = self.rob[rob_base].result_taint;
                     if pdst != PNONE {
@@ -873,6 +888,14 @@ impl Core {
                 }
             }
 
+            if let Some(le) = self.lanes.as_deref_mut() {
+                // Only tags 1-3 put the result field into the commit
+                // record (tag 4 records `actual_next`, which carries no
+                // diff for live lanes); a nonzero entry diff on one of
+                // those is a committed-stream divergence.
+                le.commit(ent.seq, (1..=3).contains(&tag) && !matches!(ent.uop.op, Op::Nop));
+            }
+
             self.log_effect(&ent, None);
 
             self.stats.committed_uops += 1;
@@ -929,6 +952,11 @@ impl Core {
     /// Full pipeline flush; resume fetching at `pc`.
     fn flush_to(&mut self, pc: u64) {
         self.stats.flushes += 1;
+        if let Some(le) = self.lanes.as_deref_mut() {
+            // Every in-flight diff is squashed with the pipeline; register
+            // diffs and deferred ROB arms survive, like scalar state.
+            le.flush();
+        }
         // Release in-flight destination registers.
         let pdsts: Vec<u16> = self.rob.iter().filter(|e| e.pdst != PNONE).map(|e| e.pdst).collect();
         for p in pdsts {
@@ -1241,6 +1269,9 @@ impl Core {
         if p == PNONE {
             0
         } else {
+            if let Some(le) = self.lanes.as_deref_mut() {
+                le.note_reg_read(false, p);
+            }
             self.prf.read(p)
         }
     }
@@ -1350,6 +1381,9 @@ impl Core {
         let a = self.operand(ent.psrc[0]);
         let b = self.operand(ent.psrc[1]);
         let (result, next, taken, trap, lat) = self.exec_alu(&ent, a, b);
+        if self.lanes.is_some() {
+            self.lane_issue_alu(&ent, a, b, result, trap);
+        }
         let taint = if self.taint.is_some() {
             let ta = self.operand_taint(ent.psrc[0]);
             let tb = self.operand_taint(ent.psrc[1]);
@@ -1370,6 +1404,74 @@ impl Core {
         self.events.push(Event { at: self.cycle + lat as u64, seq, result, from_lq: QNONE, taint });
         if let Some(p) = self.pipe.as_deref_mut() {
             p.issue(seq, self.cycle);
+        }
+    }
+
+    /// Lane overlay for [`issue_alu`](Self::issue_alu): propagate operand
+    /// diffs into a result diff attached to the execute event, or fork
+    /// lanes whose divergence reaches control flow or a trap decision.
+    fn lane_issue_alu(&mut self, ent: &RobEntry, a: u64, b: u64, golden: u64, trap: Option<Trap>) {
+        let le = self.lanes.as_deref_mut().unwrap();
+        let src = |p: u16| if p == PNONE { None } else { Some(p) };
+        let (da, dam) = le.operand_diffs(false, src(ent.psrc[0]));
+        let (db, dbm) = le.operand_diffs(false, src(ent.psrc[1]));
+        if (dam | dbm) & le.live == 0 {
+            return;
+        }
+        match ent.uop.op {
+            Op::Alu(op) | Op::AluImm(op) => {
+                if trap.is_some() {
+                    // Golden divided by zero here: an operand diff could
+                    // turn the trap into a value (or vice versa) — the
+                    // data-flow overlay cannot express that.
+                    le.fork(dam | dbm);
+                    return;
+                }
+                let (diff, nz) = if matches!(ent.uop.op, Op::Alu(_)) {
+                    le.alu(op, a, b, golden, &da, dam, &db, dbm)
+                } else {
+                    le.alu(op, a, ent.uop.imm as u64, golden, &da, dam, &[0; 64], 0)
+                };
+                le.push_event(ent.seq, diff, nz);
+            }
+            Op::MovK(sh) => {
+                let keep = !(0xFFFFu64 << sh);
+                let mut diff = [0u64; 64];
+                let mut nz = 0u64;
+                let mut m = dam & le.live;
+                while m != 0 {
+                    let l = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    diff[l] = da[l] & keep;
+                    if diff[l] != 0 {
+                        nz |= 1 << l;
+                    }
+                }
+                le.push_event(ent.seq, diff, nz);
+            }
+            // Result and next-PC derive from the PC alone: no register
+            // diff can flow in.
+            Op::LoadImm | Op::Auipc | Op::LinkAddr | Op::Jal => {}
+            // Any diff on the target register moves the jump target.
+            Op::Jalr => le.fork(dam),
+            Op::Branch(c) => {
+                // Fork exactly the lanes whose branch outcome flips; a
+                // diff that leaves the decision unchanged never escapes
+                // (branches produce no result).
+                let golden_taken = c.eval(a, b);
+                let mut forkm = 0u64;
+                let mut m = (dam | dbm) & le.live;
+                while m != 0 {
+                    let l = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    if c.eval(a ^ da[l], b ^ db[l]) != golden_taken {
+                        forkm |= 1 << l;
+                    }
+                }
+                le.fork(forkm);
+            }
+            // Nothing else reaches issue_alu with register operands.
+            _ => {}
         }
     }
 
@@ -1422,6 +1524,15 @@ impl Core {
         } else {
             0
         };
+        if let Some(le) = self.lanes.as_deref_mut() {
+            // A diff feeding the effective address moves the access: the
+            // overlay cannot follow a lane to a different location.
+            let mut m = if ent.psrc[0] == PNONE { 0 } else { le.reg_mask(false, ent.psrc[0]) };
+            if ent.uop.reg_offset && ent.psrc[1] != PNONE {
+                m |= le.reg_mask(false, ent.psrc[1]);
+            }
+            le.fork(m);
+        }
 
         let (w, is_load) = match ent.uop.op {
             Op::Load { w, .. } => (w, true),
@@ -1521,6 +1632,13 @@ impl Core {
             }
             // Capture address and data into the SQ.
             let data = self.operand(ent.psrc[2]);
+            if let Some(le) = self.lanes.as_deref_mut() {
+                // Diverged store data would land in golden memory.
+                if ent.psrc[2] != PNONE {
+                    let m = le.reg_mask(false, ent.psrc[2]);
+                    le.fork(m);
+                }
+            }
             let data_taint = if self.taint.is_some() {
                 self.operand_taint(ent.psrc[2]) | if ent.ctl_taint { !0 } else { 0 }
             } else {
@@ -2082,6 +2200,79 @@ impl Core {
     /// Fate of the armed ROB fault.
     pub fn rob_fate(&self) -> Option<FaultFate> {
         self.rob_armed.map(|(_, f)| f)
+    }
+
+    // ------------------------------------------------------------------
+    // lane-packed campaign passes
+    // ------------------------------------------------------------------
+
+    /// Attach the lane overlay engine: the next run is a lane pass.
+    pub fn lane_begin(&mut self) {
+        self.lanes = Some(Box::new(LaneEngine::new(self.prf.len(), self.prf_fp.len(), self.isa)));
+    }
+
+    /// Tear the overlay down and drop every cache-side lane monitor.
+    pub fn lane_end(&mut self) {
+        self.lanes = None;
+        self.l1i.lane_clear();
+        self.l1d.lane_clear();
+        self.l2.lane_clear();
+    }
+
+    /// The live overlay, for the pass driver's retirement arithmetic.
+    pub fn lane_engine(&self) -> Option<&LaneEngine> {
+        self.lanes.as_deref()
+    }
+
+    /// Arm lane `lane` on a PRF bit (`fp` selects the FP file): the diff
+    /// overlay and fate monitor are seeded; golden values stay untouched.
+    /// Mirrors [`PhysRegFile::flip_bit`]'s initial `Pending` fate.
+    pub fn lane_arm_prf(&mut self, lane: u8, fp: bool, bit: u64) -> FaultFate {
+        let le = self.lanes.as_deref_mut().expect("lane_begin before lane_arm_prf");
+        le.arm_prf(lane, fp, (bit / 64) as u16, (bit % 64) as u8);
+        FaultFate::Pending
+    }
+
+    /// Arm lane `lane` on a ROB result bit, with the same in-place /
+    /// deferred split as [`rob_flip_bit`](Self::rob_flip_bit): a `Done`
+    /// entry in the slot is corrupted at once (fate `Read`), otherwise
+    /// the flip fires at the next writeback into the slot.
+    pub fn lane_arm_rob(&mut self, lane: u8, bit: u64) -> FaultFate {
+        let slot = bit / 64;
+        let b = (bit % 64) as u8;
+        let cap = self.cfg.rob_entries as u64;
+        let inplace =
+            self.rob.iter().find(|e| e.seq % cap == slot && e.state == EState::Done).map(|e| e.seq);
+        let le = self.lanes.as_deref_mut().expect("lane_begin before lane_arm_rob");
+        match inplace {
+            Some(seq) => le.arm_rob_inplace(lane, seq, b),
+            None => le.arm_rob_deferred(lane, slot as u16, b),
+        }
+        FaultFate::Pending
+    }
+
+    /// Register a cache-armed lane with the overlay (the cache's own
+    /// monitor was armed via [`Cache::lane_arm`], which returned `fate`).
+    pub fn lane_note_cache_arm(&mut self, lane: u8, fate: FaultFate) {
+        let le = self.lanes.as_deref_mut().expect("lane_begin before cache arming");
+        le.arm_cache(lane);
+        if fate != FaultFate::Pending {
+            le.note_fate(lane, fate);
+        }
+    }
+
+    /// Drain lane events from the overlay and every cache monitor.
+    pub fn lane_drain_events(&mut self) -> Vec<LaneEvent> {
+        let Some(le) = self.lanes.as_deref_mut() else { return Vec::new() };
+        for c in [&mut self.l1i, &mut self.l1d, &mut self.l2] {
+            for ev in c.drain_lane_events() {
+                match ev {
+                    CacheLaneEvent::Fork(l) => le.fork(1u64 << l),
+                    CacheLaneEvent::Fate(l, f) => le.note_fate(l, f),
+                }
+            }
+        }
+        le.drain_events()
     }
 
     /// Access the speculative rename map (fault-injection target).

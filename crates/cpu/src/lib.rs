@@ -19,6 +19,7 @@ pub mod cache;
 pub mod config;
 pub mod core;
 pub mod dirty;
+pub mod lane;
 pub mod lsq;
 pub mod prf;
 pub mod testbus;
@@ -26,8 +27,9 @@ pub mod testbus;
 pub use crate::core::{
     Bus, CommitEffect, CommitRecord, Core, CoreDirtyMarks, CoreStats, StepEvent, TraceMode,
 };
-pub use cache::{Cache, FaultFate};
+pub use cache::{Cache, CacheLaneEvent, FaultFate};
 pub use config::{CacheConfig, CoreConfig};
 pub use dirty::{DirtyMap, DirtyMarks};
+pub use lane::{LaneEngine, LaneEvent, LanePlane, MAX_LANES};
 pub use lsq::{LoadQueue, StoreQueue};
 pub use prf::{FreeList, PhysRegFile, RenameMap};

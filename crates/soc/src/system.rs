@@ -5,7 +5,10 @@
 use crate::hosted::HostedAccel;
 use crate::irq::{IrqController, IrqCtrlKind};
 use crate::isr::build_isr;
-use marvel_cpu::{Bus, Core, CoreConfig, CoreDirtyMarks, DirtyMap, DirtyMarks, FaultFate, StepEvent};
+use marvel_cpu::{
+    Bus, Core, CoreConfig, CoreDirtyMarks, DirtyMap, DirtyMarks, FaultFate, LaneEngine, LaneEvent,
+    StepEvent,
+};
 use marvel_ir::memmap::{
     ACCEL_MMR_BASE, ACCEL_MMR_STRIDE, CONSOLE_ADDR, IRQ_CTRL_BASE, IRQ_CTRL_SIZE, IRQ_VECTOR, RAM_BASE,
     RAM_SIZE,
@@ -724,6 +727,71 @@ impl System {
             Target::Mmr { accel } => self.bus.accels[accel].accel.mmr.fate().map(conv),
             Target::LoadQueue | Target::StoreQueue | Target::RenameMap => None,
         }
+    }
+
+    // ------------------------------------------------------------------
+    // lane-packed injection surface
+    // ------------------------------------------------------------------
+
+    /// True when `t` supports bit-plane lane packing: single-bit transients
+    /// on these structures leave golden control flow, memory addressing and
+    /// timing untouched until the divergence monitor forks the lane out.
+    pub fn lane_packable(t: Target) -> bool {
+        matches!(
+            t,
+            Target::PrfInt | Target::PrfFp | Target::Rob | Target::L1I | Target::L1D | Target::L2
+        )
+    }
+
+    /// Attach the lane-divergence overlay to the core. Must be called
+    /// before any [`lane_arm`](Self::lane_arm); the overlay is purely
+    /// observational (the data plane keeps executing the golden run).
+    pub fn lane_begin(&mut self) {
+        self.core.lane_begin();
+    }
+
+    /// Detach the lane overlay and clear all cache lane monitors.
+    pub fn lane_end(&mut self) {
+        self.core.lane_end();
+    }
+
+    /// Arm `lane` with a single-bit transient on `t` at bit `bit`,
+    /// returning the arm-time fate (e.g. `InvalidAtInjection` for a flip
+    /// landing in an invalid cache line). No data-plane state changes.
+    pub fn lane_arm(&mut self, lane: u8, t: Target, bit: u64) -> FaultFate {
+        assert!(bit < self.bit_len(t), "bit {bit} out of range for {}", t.name());
+        match t {
+            Target::PrfInt => self.core.lane_arm_prf(lane, false, bit),
+            Target::PrfFp => self.core.lane_arm_prf(lane, true, bit),
+            Target::Rob => self.core.lane_arm_rob(lane, bit),
+            Target::L1I => {
+                let f = self.core.l1i.lane_arm(lane, bit);
+                self.core.lane_note_cache_arm(lane, f);
+                f
+            }
+            Target::L1D => {
+                let f = self.core.l1d.lane_arm(lane, bit);
+                self.core.lane_note_cache_arm(lane, f);
+                f
+            }
+            Target::L2 => {
+                let f = self.core.l2.lane_arm(lane, bit);
+                self.core.lane_note_cache_arm(lane, f);
+                f
+            }
+            _ => unreachable!("{} is not lane-packable", t.name()),
+        }
+    }
+
+    /// Drain lane fork/fate/divergence events accumulated since the last
+    /// drain (including cache-monitor events folded through the core).
+    pub fn lane_drain_events(&mut self) -> Vec<LaneEvent> {
+        self.core.lane_drain_events()
+    }
+
+    /// The live lane-divergence overlay, when armed.
+    pub fn lane_engine(&self) -> Option<&LaneEngine> {
+        self.core.lane_engine()
     }
 }
 

@@ -31,7 +31,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Number of distinct [`PhaseId`]s (array sizes below).
-pub const PHASE_COUNT: usize = 15;
+pub const PHASE_COUNT: usize = 17;
 
 /// Static identifiers for every phase of the campaign pipeline, CPU and
 /// DSA sides included. One enum across the whole stack keeps attribution
@@ -51,6 +51,13 @@ pub enum PhaseId {
     Inject,
     /// Post-injection cycle-level CPU simulation to a terminal outcome.
     SimStepCpu,
+    /// Lane-packed CPU pass: one shared golden execution carrying up to
+    /// 64 bit-plane fault lanes, retiring them in place.
+    SimStepLane,
+    /// A lane left its pass (divergence reached control flow, a memory
+    /// address, store data or a corrupt byte was read) and is handed to
+    /// an ordinary scalar re-run.
+    LaneFork,
     /// Post-injection DSA simulation (DMA-in → compute → DMA-out).
     SimStepDsa,
     /// Static CDFG schedule construction plus golden firing-trace
@@ -84,6 +91,8 @@ impl PhaseId {
         PhaseId::DirtyReset,
         PhaseId::Inject,
         PhaseId::SimStepCpu,
+        PhaseId::SimStepLane,
+        PhaseId::LaneFork,
         PhaseId::SimStepDsa,
         PhaseId::ScheduleBuild,
         PhaseId::TraceReplay,
@@ -103,6 +112,8 @@ impl PhaseId {
             PhaseId::DirtyReset => "DirtyReset",
             PhaseId::Inject => "Inject",
             PhaseId::SimStepCpu => "SimStepCpu",
+            PhaseId::SimStepLane => "SimStepLane",
+            PhaseId::LaneFork => "LaneFork",
             PhaseId::SimStepDsa => "SimStepDsa",
             PhaseId::ScheduleBuild => "ScheduleBuild",
             PhaseId::TraceReplay => "TraceReplay",

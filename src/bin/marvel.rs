@@ -8,7 +8,7 @@
 //! marvel campaign <benchmark> [--isa ...] [--target prf|l1i|l1d|l2|lq|sq|rob|rename]
 //!                 [--faults N] [--kind transient|permanent] [--hvf] [--seed S]
 //!                 [--prep ref|cycle] [--reset-mode clone|dirty]
-//!                 [--ladder-rungs N] [--convergence-exit]
+//!                 [--ladder-rungs N] [--convergence-exit] [--lane-width N]
 //!                 [--metrics [path]] [--forensics [path]] [--progress [ms]]
 //!                 [--taint] [--attribution [path]] [--trace-pipeline [dir]]
 //!                 [--trace-spans [path]] [--phase-report]
@@ -55,6 +55,11 @@
 //! state against the golden rung at every crossing and declares the fault
 //! Masked the moment all of it has converged. Both are pure optimisations:
 //! reports stay bit-identical to `--ladder-rungs 0` (the full-run oracle).
+//! `--lane-width` (default 64) packs up to N single-bit transients on the
+//! same structure into bit-plane lanes of one shared golden execution,
+//! forking a lane out to an ordinary scalar run the moment it diverges;
+//! 0 (or 1) disables packing and restores the scalar oracle. Pure
+//! optimisation: records stay byte-identical at every width.
 //! `--lockstep` runs the cycle-level core under the architectural
 //! reference model, checking every committed instruction's effects and
 //! reporting the first divergence; `--prep ref` fast-forwards the golden
@@ -164,6 +169,16 @@ fn parse_ladder(args: &Args) -> Result<(usize, bool), String> {
         Some(v) => v.parse().map_err(|_| format!("bad --ladder-rungs '{v}' (want a count)"))?,
     };
     Ok((rungs, args.switches.contains("convergence-exit")))
+}
+
+/// Parse `--lane-width N` (default 64: pack up to 64 single-bit
+/// transients per lane pass; 0 or 1 restores the scalar oracle; widths
+/// above 64 are clamped by the engine).
+fn parse_lane_width(args: &Args) -> Result<usize, String> {
+    match args.flags.get("lane-width") {
+        None => Ok(CampaignConfig::default().lane_width),
+        Some(v) => v.parse().map_err(|_| format!("bad --lane-width '{v}' (want 0..=64)")),
+    }
 }
 
 /// Resolve `--<name> <path>` (explicit path) or bare `--<name>` (default
@@ -416,6 +431,7 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
     };
     let reset_mode = parse_reset_mode(args)?;
     let (ladder_rungs, convergence_exit) = parse_ladder(args)?;
+    let lane_width = parse_lane_width(args)?;
     let (telemetry, metrics_path, forensics_path, spans_out) = telemetry_from_args(
         args,
         "results/campaign_metrics.jsonl",
@@ -430,6 +446,7 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
         reset_mode,
         ladder_rungs,
         convergence_exit,
+        lane_width,
         telemetry,
         ..Default::default()
     };
@@ -788,7 +805,7 @@ fn main() -> ExitCode {
                  marvel disasm <benchmark> [--isa ...] [--limit N]\n  \
                  marvel campaign <benchmark> [--isa ...] [--target prf|l1i|l1d|l2|lq|sq|rob|rename]\n            \
                  [--faults N] [--kind transient|permanent] [--hvf] [--seed S] [--prep ref|cycle]\n            \
-                 [--reset-mode clone|dirty] [--ladder-rungs N] [--convergence-exit]\n            \
+                 [--reset-mode clone|dirty] [--ladder-rungs N] [--convergence-exit] [--lane-width N]\n            \
                  [--metrics [path]] [--forensics [path]] [--progress [ms]]\n            \
                  [--taint] [--attribution [path]] [--trace-pipeline [dir]]\n            \
                  [--trace-spans [path]] [--phase-report]\n  \

@@ -12,7 +12,10 @@ use gem5_marvel::core::{
 };
 use gem5_marvel::soc::Target;
 use gem5_marvel::workloads::accel;
-use marvel_accel::FuConfig;
+use marvel_accel::air::{CdfgBuilder, MemRef};
+use marvel_accel::{Accelerator, DmaDir, DmaJob, FuConfig, Sram, SramKind};
+use marvel_core::DsaHarness;
+use marvel_isa::AluOp;
 
 fn config(
     kind: FaultKind,
@@ -109,6 +112,125 @@ fn event_engine_without_taint_matches_cycle_oracle() {
         export(&res)
     };
     assert_eq!(plain(DsaEngine::Cycle), plain(DsaEngine::Event));
+}
+
+/// Elementwise OUT[i] = IN[i] * 3: IN (Spm 0) is the only memory any load
+/// manifest touches, OUT (Spm 1) is store-only. A fault in OUT is
+/// therefore provably disjoint from every load in the design.
+fn triple_harness(n: u64) -> DsaHarness {
+    let bytes = (n * 8) as usize;
+    let mut g = CdfgBuilder::new();
+    let entry = g.block(0);
+    let body = g.block(1);
+    let done = g.block(0);
+    g.select(entry);
+    let z = g.konst(0);
+    g.jump(body, &[z]);
+    g.select(body);
+    let i = g.arg(0);
+    let eight = g.konst(8);
+    let off = g.alu(AluOp::Mul, i, eight);
+    let v = g.load(MemRef::Spm(0), 8, off);
+    let three = g.konst(3);
+    let prod = g.alu(AluOp::Mul, v, three);
+    g.store(MemRef::Spm(1), 8, off, prod);
+    let one = g.konst(1);
+    let i2 = g.alu(AluOp::Add, i, one);
+    let nn = g.konst(n);
+    let more = g.alu(AluOp::Sltu, i2, nn);
+    g.branch(more, body, &[i2], done, &[]);
+    g.select(done);
+    g.finish();
+    let accel = Accelerator::new(
+        "triple",
+        g.build().unwrap(),
+        FuConfig::default(),
+        vec![Sram::new("IN", SramKind::Spm, bytes, 2), Sram::new("OUT", SramKind::Spm, bytes, 2)],
+        vec![],
+        0,
+    );
+    let mut ram = vec![0u8; bytes * 2];
+    for (k, b) in ram.iter_mut().take(bytes).enumerate() {
+        *b = (k as u8).wrapping_mul(13).wrapping_add(7);
+    }
+    DsaHarness {
+        accel,
+        ram,
+        jobs_in: vec![DmaJob {
+            dir: DmaDir::ToSram,
+            ram_off: 0,
+            mem: MemRef::Spm(0),
+            mem_off: 0,
+            len: bytes,
+        }],
+        jobs_out: vec![DmaJob {
+            dir: DmaDir::ToRam,
+            ram_off: bytes,
+            mem: MemRef::Spm(1),
+            mem_off: 0,
+            len: bytes,
+        }],
+        args: vec![],
+        output: bytes..bytes * 2,
+    }
+}
+
+/// Stuck-at shadow taint whose byte range is provably disjoint from every
+/// load manifest must not defeat the whole-block warp: the warp's
+/// per-load taint check is byte-precise, so a permanent fault in a
+/// store-only memory leaves every block warpable (stores still go through
+/// the ordinary write path, which reasserts the stuck bit and its shadow
+/// taint). Pins both the warp coverage — via the `warp_blocks` stat —
+/// and campaign-level byte-identity against the cycle oracle.
+#[test]
+fn warp_tolerates_load_disjoint_stuck_taint() {
+    let g = DsaGolden::prepare(triple_harness(64), 1_000_000);
+    assert!(g.harness.accel.replay_armed(), "triple must be schedulable");
+    let out_spm = Target::Spm { accel: 0, mem: 1 };
+
+    // Warp coverage oracle: the fault-free event run warps everything.
+    let warp_full = {
+        let mut h = g.harness.clone();
+        assert!(h.accel.set_engine_event());
+        h.accel.enable_taint("IN");
+        h.run(None, 1_000_000);
+        h.accel.stats.warp_blocks
+    };
+    assert!(warp_full > 60, "fault-free replay must warp the whole run, got {warp_full}");
+
+    // Stuck-at in the store-only OUT memory: taint never meets a load
+    // manifest, so warp coverage must not regress.
+    let mut h = g.harness.clone();
+    assert!(h.accel.set_engine_event());
+    h.accel.enable_taint("OUT");
+    let mask = FaultMask {
+        target: out_spm,
+        bits: vec![5 * 64 + 3],
+        model: FaultModel::Permanent { value: true },
+    };
+    h.run(Some(&mask), 1_000_000);
+    assert_eq!(
+        h.accel.stats.warp_blocks, warp_full,
+        "load-disjoint stuck taint must not abort any block warp"
+    );
+
+    // And the campaign export surface stays byte-identical to the cycle
+    // oracle for stuck-at faults on the store-only memory.
+    let oracle = export(&run_dsa_campaign(
+        &g,
+        out_spm,
+        &config(FaultKind::Permanent, DsaEngine::Cycle, ResetMode::Clone, 0, false, 1),
+    ));
+    for reset in [ResetMode::Clone, ResetMode::Dirty] {
+        for (rungs, conv) in [(0usize, false), (6, true)] {
+            let got = export(&run_dsa_campaign(
+                &g,
+                out_spm,
+                &config(FaultKind::Permanent, DsaEngine::Event, reset, rungs, conv, 2),
+            ));
+            assert_eq!(oracle, got, "stuck-at OUT campaign reset={reset:?} rungs={rungs} conv={conv}");
+        }
+    }
 }
 
 /// Regression for the convergence-exit bugfix: with the event engine's

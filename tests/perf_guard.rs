@@ -35,10 +35,14 @@ fn dirty_reset_touches_bounded_bytes_on_early_terminated_runs() {
     let registry = Registry::new();
     // workers=1: a single worker context, so run 1 pays the clone and the
     // remaining n-1 runs all go through reset_from.
+    // lane_width 0: this guard bounds the *scalar* dirty-reset footprint
+    // (one reset per run); lane packing shares resets across a pass and
+    // has its own utilization guard below.
     let cc = CampaignConfig {
         n_faults: 48,
         workers: 1,
         reset_mode: ResetMode::Dirty,
+        lane_width: 0,
         telemetry: TelemetryConfig { registry: registry.clone(), ..Default::default() },
         ..Default::default()
     };
@@ -70,11 +74,15 @@ fn ladder_bounds_residual_prefix_on_late_injections() {
 
     let registry = Registry::new();
     const RUNGS: u64 = 8;
+    // lane_width 0: the guard asserts one prefix_cycles sample per run,
+    // which is a scalar-engine invariant — a lane pass simulates the
+    // residual prefix once for every lane it carries.
     let cc = CampaignConfig {
         workers: 2,
         reset_mode: ResetMode::Dirty,
         ladder_rungs: RUNGS as usize,
         convergence_exit: true,
+        lane_width: 0,
         telemetry: TelemetryConfig { registry: registry.clone(), ..Default::default() },
         ..Default::default()
     };
@@ -114,6 +122,56 @@ fn ladder_bounds_residual_prefix_on_late_injections() {
         "skipped-prefix mean {:.0} is too small for a late-injection campaign",
         skipped.mean()
     );
+}
+
+/// Lane-utilization guard, in counters rather than wall-clock: on a
+/// packable campaign (single-bit PRF transients) the lane engine must
+/// actually pack nearly every run, keep the mean lanes-per-pass well
+/// above the break-even point, and fork only a bounded fraction back to
+/// scalar re-runs. A regression that silently degrades packing (masks
+/// misgrouped, lanes forked eagerly, eligibility over-tightened) trips
+/// this long before the wall-clock floor in the bench would.
+#[test]
+fn lane_packing_sustains_occupancy_and_bounded_forks() {
+    let bin = assemble(&mibench::build("crc32"), Isa::RiscV).unwrap();
+    let mut sys = gem5_marvel::soc::System::new(CoreConfig::table2(Isa::RiscV));
+    sys.load_binary(&bin);
+    let g = Golden::prepare(sys, 80_000_000).unwrap();
+
+    let registry = Registry::new();
+    let n = 96;
+    let cc = CampaignConfig {
+        n_faults: n,
+        workers: 2,
+        reset_mode: ResetMode::Dirty,
+        ladder_rungs: 8,
+        convergence_exit: true,
+        lane_width: 64,
+        telemetry: TelemetryConfig { registry: registry.clone(), ..Default::default() },
+        ..Default::default()
+    };
+    let res = run_campaign(&g, Target::PrfInt, &cc);
+    assert_eq!(res.n(), n);
+
+    let passes = registry.counter("campaign.lane_passes").get();
+    let packed = registry.counter("campaign.lane_runs_packed").get();
+    let forks = registry.counter("campaign.lane_forks").get();
+    assert!(passes > 0, "a packable campaign must run lane passes");
+    // Single-bit transients on one target are all eligible; only chunks
+    // of one (a ladder segment holding a lone mask) may fall out.
+    assert!(packed >= n as u64 * 3 / 4, "only {packed} of {n} eligible runs were lane-packed");
+    // Mean lanes per pass: with 8 rungs the masks split over 9 ladder
+    // segments, so ~n/9 lanes share each pass — demand at least half
+    // that, far above the ~2-lane break-even of a shared golden pass.
+    let occupancy = packed as f64 / passes as f64;
+    assert!(
+        occupancy >= (n / 9) as f64 / 2.0,
+        "mean lane occupancy {occupancy:.1} is below the utilization floor"
+    );
+    // Forks are safe but must stay the exception: a PRF-transient
+    // campaign is overwhelmingly masked, so at most a quarter of packed
+    // lanes may leave their pass for a scalar re-run.
+    assert!(forks * 4 <= packed, "{forks} of {packed} packed lanes forked to scalar re-runs");
 }
 
 /// Elementwise OUT[i] = IN[i] * 3 over `n` elements — a workload where a

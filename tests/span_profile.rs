@@ -38,12 +38,17 @@ fn golden() -> Golden {
 /// Run the reference campaign with spans on and return its collector.
 fn campaign_collector(golden: &Golden, workers: usize) -> SpanCollector {
     let collector = SpanCollector::enabled();
+    // lane_width 0: these invariants are stated over the scalar engine's
+    // span shape (one Inject/SimStepCpu/... span per run); a lane pass
+    // shares those spans across its lanes, so the per-phase counts stop
+    // being `FAULTS` the moment packing kicks in.
     let cc = CampaignConfig {
         n_faults: FAULTS,
         seed: 0xBEEF,
         workers,
         reset_mode: ResetMode::Clone,
         ladder_rungs: 8,
+        lane_width: 0,
         telemetry: TelemetryConfig { spans: collector.clone(), ..Default::default() },
         ..Default::default()
     };
